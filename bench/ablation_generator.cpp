@@ -1,0 +1,154 @@
+// Ablation study of the synthetic-generator design choices (DESIGN.md):
+// disables one mechanism at a time and measures which paper-level
+// observable breaks. This is the evidence that each mechanism is
+// load-bearing:
+//
+//   revival        -> Fig 2(c) mature-node edge share
+//   PA decay       -> Fig 3(c) alpha(t) decay
+//   supernode bias -> Fig 3(c) early alpha level
+//   group homophily-> Fig 4(a) modularity
+//   triadic closure-> Fig 1(e) clustering coefficient
+//   churn          -> Fig 8(a/b) post-merge activity decline
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/edge_dynamics.h"
+#include "analysis/merge_analysis.h"
+#include "analysis/pref_attach.h"
+#include "bench_common.h"
+#include "community/louvain.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/clustering.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+namespace {
+
+struct AblationRow {
+  std::string name;
+  std::size_t edges = 0;
+  double alphaEarly = 0.0;
+  double alphaLate = 0.0;
+  double minAge30End = 0.0;
+  double clusteringEnd = 0.0;
+  double modularityEnd = 0.0;
+  double mainActiveDrop = 0.0;  // percentage points lost after the merge
+};
+
+AblationRow runVariant(const std::string& name, GeneratorConfig config) {
+  Stopwatch watch;
+  AblationRow row;
+  row.name = name;
+  TraceGenerator generator(std::move(config));
+  const EventStream stream = generator.generate();
+  row.edges = stream.edgeCount();
+
+  PrefAttachConfig paConfig;
+  paConfig.fitEveryEdges = stream.edgeCount() / 40 + 500;
+  paConfig.startEdges = 3000;
+  const PrefAttachResult pa = analyzePreferentialAttachment(stream, paConfig);
+  if (!pa.alphaHigher.empty()) {
+    row.alphaEarly = pa.alphaHigher.valueAt(0);
+    row.alphaLate = pa.alphaHigher.lastValue();
+  }
+
+  const EdgeDynamics dynamics = analyzeEdgeDynamics(stream);
+  if (!dynamics.minAge30.empty()) {
+    row.minAge30End = dynamics.minAge30.lastValue();
+  }
+
+  Replayer replayer(stream);
+  replayer.advanceToEnd();
+  const Graph& graph = replayer.graph().graph();
+  Rng rng(5);
+  row.clusteringEnd = sampledAverageClustering(graph, 500, rng);
+  LouvainConfig louvainConfig;
+  louvainConfig.delta = 0.04;
+  row.modularityEnd = louvain(graph, louvainConfig).modularity;
+
+  MergeAnalysisConfig mergeConfig;
+  mergeConfig.mergeDay = 386.0;
+  mergeConfig.distanceSamples = 0;  // skip the BFS probes, not needed here
+  mergeConfig.distanceEvery = 1e9;
+  const MergeAnalysisResult merge = analyzeMerge(stream, mergeConfig);
+  if (!merge.activeMain.all.empty()) {
+    row.mainActiveDrop =
+        merge.activeMain.all.valueAt(0) - merge.activeMain.all.lastValue();
+  }
+  std::printf("[ablation] %-16s done in %.1fs\n", name.c_str(),
+              watch.seconds());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  GeneratorConfig base = GeneratorConfig::communityScale(options.seed);
+
+  std::vector<AblationRow> rows;
+  rows.push_back(runVariant("baseline", base));
+
+  {
+    GeneratorConfig variant = base;
+    variant.revival.dailyFraction = 0.0;
+    rows.push_back(runVariant("no-revival", variant));
+  }
+  {
+    GeneratorConfig variant = base;
+    variant.attachment.paEnd = variant.attachment.paStart;  // no decay
+    rows.push_back(runVariant("no-pa-decay", variant));
+  }
+  {
+    GeneratorConfig variant = base;
+    variant.attachment.bestOfStart = 1;  // no early supernode bias
+    rows.push_back(runVariant("no-supernode", variant));
+  }
+  {
+    GeneratorConfig variant = base;
+    // Homophily off; its probability mass moves to the PA/random mix.
+    variant.attachment.groupProb = 0.0;
+    rows.push_back(runVariant("no-homophily", variant));
+  }
+  {
+    GeneratorConfig variant = base;
+    variant.attachment.triadicProb = 0.0;
+    rows.push_back(runVariant("no-triadic", variant));
+  }
+  {
+    GeneratorConfig variant = base;
+    variant.merge.churnDailyMain = 0.0;
+    variant.merge.churnDailySecond = 0.0;
+    rows.push_back(runVariant("no-churn", variant));
+  }
+
+  section("generator ablations (communityScale trace)");
+  std::printf("  %-16s %8s %8s %8s %10s %10s %8s %10s\n", "variant", "edges",
+              "a_early", "a_late", "minage30", "clust", "Q", "act.drop");
+  for (const AblationRow& row : rows) {
+    std::printf("  %-16s %8zu %8.2f %8.2f %9.1f%% %10.3f %8.3f %9.1fpp\n",
+                row.name.c_str(), row.edges, row.alphaEarly, row.alphaLate,
+                row.minAge30End, row.clusteringEnd, row.modularityEnd,
+                row.mainActiveDrop);
+  }
+
+  section("expected effects");
+  compare("no-revival raises the end-of-trace min-age share",
+          "mature-node share collapses (Fig 2c)", "see minage30 column");
+  compare("no-pa-decay keeps alpha flat and high", "no Fig 3c decay",
+          "see a_late column");
+  compare("no-supernode lowers early alpha", "no superlinear start",
+          "see a_early column");
+  compare("no-homophily collapses modularity", "no Fig 4a structure",
+          "see Q column");
+  compare("no-triadic collapses clustering", "no Fig 1e curve",
+          "see clust column");
+  compare("no-churn flattens post-merge activity", "no Fig 8 decline",
+          "see act.drop column");
+  return 0;
+}

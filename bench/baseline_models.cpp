@@ -1,0 +1,138 @@
+// Baseline generative models vs the paper's observations. The paper
+// argues (Sec 3.3) that classic single-process models cannot capture the
+// measured dynamics and proposes a preferential+random hybrid; this bench
+// runs the same measurements on four traces — Barabási-Albert, Forest
+// Fire, the paper's hybrid proposal, and this library's full multi-scale
+// generator — and shows which observation each reproduces.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/edge_dynamics.h"
+#include "analysis/pref_attach.h"
+#include "bench_common.h"
+#include "community/louvain.h"
+#include "gen/baselines.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/clustering.h"
+#include "metrics/degree.h"
+#include "metrics/paths.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+namespace {
+
+struct ModelRow {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double alphaEarly = 0.0;
+  double alphaLate = 0.0;
+  double clustering = 0.0;
+  double modularity = 0.0;
+  double apl = 0.0;
+  double minAge30End = 0.0;
+};
+
+ModelRow measure(const std::string& name, const EventStream& stream) {
+  Stopwatch watch;
+  ModelRow row;
+  row.name = name;
+  row.nodes = stream.nodeCount();
+  row.edges = stream.edgeCount();
+
+  PrefAttachConfig pa;
+  pa.fitEveryEdges = stream.edgeCount() / 30 + 500;
+  pa.startEdges = 8000;
+  const PrefAttachResult result = analyzePreferentialAttachment(stream, pa);
+  if (!result.alphaHigher.empty()) {
+    // "Early" at a quarter of the trace: the very first windows are too
+    // noisy on the sparse baselines to be representative.
+    row.alphaEarly = result.alphaHigher.valueAtOrBefore(
+        0.25 * static_cast<double>(stream.edgeCount()),
+        result.alphaHigher.valueAt(0));
+    row.alphaLate = result.alphaHigher.lastValue();
+  }
+
+  Replayer replayer(stream);
+  replayer.advanceToEnd();
+  const Graph& graph = replayer.graph().graph();
+  Rng rng(9);
+  row.clustering = sampledAverageClustering(graph, 600, rng);
+  row.apl = sampledAveragePathLength(graph, 16, rng);
+  LouvainConfig louvainConfig;
+  louvainConfig.delta = 0.04;
+  row.modularity = louvain(graph, louvainConfig).modularity;
+
+  const EdgeDynamics dynamics = analyzeEdgeDynamics(stream);
+  if (!dynamics.minAge30.empty()) {
+    row.minAge30End = dynamics.minAge30.lastValue();
+  }
+  std::printf("[baselines] %-12s measured in %.1fs\n", name.c_str(),
+              watch.seconds());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  const std::size_t nodes = 30000;
+
+  std::vector<ModelRow> rows;
+  {
+    BarabasiAlbertConfig config;
+    config.seed = options.seed;
+    config.nodes = nodes;
+    config.edgesPerNode = 6;
+    rows.push_back(measure("BA", generateBarabasiAlbert(config)));
+  }
+  {
+    ForestFireConfig config;
+    config.seed = options.seed;
+    config.nodes = nodes;
+    config.burnProbability = 0.37;
+    rows.push_back(measure("ForestFire", generateForestFire(config)));
+  }
+  {
+    HybridPaConfig config;
+    config.seed = options.seed;
+    config.nodes = nodes;
+    config.edgesPerNode = 6;
+    config.paStart = 1.0;
+    config.paEnd = 0.15;
+    config.halfLifeEdges = 40e3;
+    rows.push_back(measure("HybridPA", generateHybridPa(config)));
+  }
+  {
+    GeneratorConfig config = GeneratorConfig::communityScale(options.seed);
+    TraceGenerator generator(config);
+    rows.push_back(measure("msdyn(full)", generator.generate()));
+  }
+
+  section("baseline generative models vs the paper's observations");
+  std::printf("  %-12s %8s %8s %8s %8s %8s %8s %6s %9s\n", "model", "nodes",
+              "edges", "a_early", "a_late", "clust", "Q", "apl",
+              "minage30");
+  for (const ModelRow& row : rows) {
+    std::printf("  %-12s %8zu %8zu %8.2f %8.2f %8.3f %8.3f %6.2f %8.1f%%\n",
+                row.name.c_str(), row.nodes, row.edges, row.alphaEarly,
+                row.alphaLate, row.clustering, row.modularity, row.apl,
+                row.minAge30End);
+  }
+
+  section("which observation each model reproduces");
+  compare("alpha(t) decay (Fig 3c)",
+          "needs PA+random mix (paper Sec 3.3)",
+          "BA: flat ~1; HybridPA & msdyn: decays");
+  compare("clustering / community structure (Fig 1e, 4a)",
+          "triadic closure + homophily required",
+          "BA & HybridPA: ~0; ForestFire: clustering only; msdyn: both");
+  compare("mature-node edge share (Fig 2c)",
+          "arrival-driven models stay ~100% young",
+          "BA/FF/HybridPA: every edge has a brand-new endpoint");
+  return 0;
+}

@@ -1,0 +1,152 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: argument parsing,
+// trace generation/caching, table printing, and CSV export. Every bench
+// binary regenerates one figure of the paper (see DESIGN.md for the
+// experiment index) and prints a paper-vs-measured summary.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/config.h"
+#include "gen/trace_generator.h"
+#include "graph/event_stream.h"
+#include "io/csv.h"
+#include "io/event_io.h"
+#include "util/stopwatch.h"
+#include "util/time_series.h"
+
+namespace msd::bench {
+
+/// Common command-line options of every figure bench.
+struct Options {
+  std::uint64_t seed = 1;
+  std::string scale = "renren";  ///< renren | community | tiny
+  std::string outDir = "bench_out";
+  bool exportCsv = true;
+};
+
+inline Options parseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      if (arg.rfind(name, 0) == 0 && arg.size() > std::strlen(name) + 1) {
+        return arg.c_str() + std::strlen(name) + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--seed")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--scale")) {
+      options.scale = v;
+    } else if (const char* v = value("--out")) {
+      options.outDir = v;
+    } else if (arg == "--no-csv") {
+      options.exportCsv = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--seed=N] [--scale=renren|community|tiny] "
+          "[--out=DIR] [--no-csv]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inline GeneratorConfig configFor(const Options& options) {
+  if (options.scale == "tiny") return GeneratorConfig::tiny(options.seed);
+  if (options.scale == "community") {
+    return GeneratorConfig::communityScale(options.seed);
+  }
+  return GeneratorConfig::renren(options.seed);
+}
+
+/// Generates (and caches on disk, keyed by scale+seed) the synthetic
+/// trace, so that running all benches back-to-back pays the generation
+/// cost once.
+inline EventStream makeTrace(const Options& options) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(options.outDir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  // Bump kTraceCacheVersion whenever the generator's behavior changes;
+  // stale caches would otherwise silently pin old dynamics.
+  constexpr int kTraceCacheVersion = 2;
+  const fs::path cache =
+      dir / ("trace_v" + std::to_string(kTraceCacheVersion) + "_" +
+             options.scale + "_" + std::to_string(options.seed) + ".msdb");
+  if (fs::exists(cache)) {
+    try {
+      return event_io::loadBinaryFile(cache.string());
+    } catch (const std::exception&) {
+      // Fall through and regenerate on any cache corruption.
+    }
+  }
+  Stopwatch watch;
+  TraceGenerator generator(configFor(options));
+  EventStream stream = generator.generate();
+  std::printf("[gen] %s/seed=%llu: %zu nodes, %zu edges over %.0f days "
+              "(%.1fs)\n",
+              options.scale.c_str(),
+              static_cast<unsigned long long>(options.seed),
+              stream.nodeCount(), stream.edgeCount(), stream.lastTime(),
+              watch.seconds());
+  if (options.exportCsv) {
+    try {
+      event_io::saveBinaryFile(stream, cache.string());
+    } catch (const std::exception&) {
+      // Cache writes are best-effort.
+    }
+  }
+  return stream;
+}
+
+/// Prints a horizontal rule + section title.
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a paper-vs-measured comparison line.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-52s paper: %-22s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+/// Prints a time series, sampled every `stride` points.
+inline void printSeries(const TimeSeries& series, std::size_t stride,
+                        const char* xlabel = "day") {
+  std::printf("  %-10s %s\n", xlabel, series.name().c_str());
+  for (std::size_t i = 0; i < series.size();
+       i += std::max<std::size_t>(1, stride)) {
+    std::printf("  %-10.0f %.6g\n", series.timeAt(i), series.valueAt(i));
+  }
+  if (series.size() > 1) {
+    std::printf("  %-10.0f %.6g\n", series.timeAt(series.size() - 1),
+                series.lastValue());
+  }
+}
+
+/// Exports a set of series as one CSV (best-effort).
+inline void exportSeries(const Options& options, const std::string& name,
+                         std::vector<TimeSeries> series) {
+  if (!options.exportCsv) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options.outDir, ec);
+  const std::string path = options.outDir + "/" + name + ".csv";
+  try {
+    writeSeriesCsv(path, series);
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("[csv] failed to write %s: %s\n", path.c_str(), e.what());
+  }
+}
+
+}  // namespace msd::bench

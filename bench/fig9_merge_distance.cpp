@@ -1,0 +1,127 @@
+// Reproduces Figure 9 of the paper: the OSN merge, network side —
+// (a) internal/external edge ratio per day and per origin, (b) new/external
+// edge ratio per day and per origin (different crossover days), (c) the
+// sampled cross-OSN hop distance collapsing to an asymptote.
+
+#include <cstdio>
+
+#include "analysis/merge_analysis.h"
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+namespace {
+
+/// First day a ratio series crosses at or below/above 1.
+double crossingDay(const TimeSeries& series, bool below) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const bool crossed =
+        below ? series.valueAt(i) < 1.0 : series.valueAt(i) >= 1.0;
+    if (crossed) return series.timeAt(i);
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  const EventStream stream = makeTrace(options);
+  const GeneratorConfig generatorConfig = configFor(options);
+  Stopwatch watch;
+
+  MergeAnalysisConfig config;
+  config.mergeDay = generatorConfig.merge.mergeDay;
+  config.distanceEvery = 4.0;
+  config.distanceSamples = 200;
+  config.seed = options.seed;
+  const MergeAnalysisResult result = analyzeMerge(stream, config);
+  std::printf("[fig9] analysis done in %.1fs\n", watch.seconds());
+
+  section("Fig 9(a) internal/external edge ratio per day");
+  std::printf("  %-6s %10s %10s %10s\n", "day", "main", "second", "both");
+  for (double day : {1.0, 5.0, 10.0, 16.0, 30.0, 60.0, 120.0, 240.0, 360.0}) {
+    if (day > stream.lastTime() - config.mergeDay) break;
+    std::printf("  %-6.0f %10.2f %10.2f %10.2f\n", day,
+                result.intExtMain.valueAtOrBefore(day),
+                result.intExtSecond.valueAtOrBefore(day),
+                result.intExtBoth.valueAtOrBefore(day));
+  }
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line),
+                  "second < 1 from day %.0f; main stays > 1; both > 1",
+                  crossingDay(result.intExtSecond, true));
+    compare("5Q-analog flips to favoring external edges",
+            "by day 16; Xiaonei & both stay > 1", line);
+  }
+
+  section("Fig 9(b) new/external edge ratio per day");
+  std::printf("  %-6s %10s %10s %10s\n", "day", "main", "second", "both");
+  for (double day : {1.0, 3.0, 5.0, 10.0, 20.0, 32.0, 60.0, 120.0, 240.0}) {
+    if (day > stream.lastTime() - config.mergeDay) break;
+    std::printf("  %-6.0f %10.2f %10.2f %10.2f\n", day,
+                result.newExtMain.valueAtOrBefore(day),
+                result.newExtSecond.valueAtOrBefore(day),
+                result.newExtBoth.valueAtOrBefore(day));
+  }
+  {
+    static char line[96];
+    std::snprintf(line, sizeof(line), "main day %.0f, second day %.0f",
+                  crossingDay(result.newExtMain, false),
+                  crossingDay(result.newExtSecond, false));
+    compare("new-user edges overtake external, main first",
+            "main day 5, second day 32", line);
+  }
+
+  section("Fig 9(c) average cross-OSN distance over time");
+  std::printf("  %-6s %18s %18s\n", "day", "second->main", "main->second");
+  for (std::size_t i = 0; i < result.distanceSecondToMain.size();
+       i += std::max<std::size_t>(1, result.distanceSecondToMain.size() / 16)) {
+    const double day = result.distanceSecondToMain.timeAt(i);
+    std::printf("  %-6.0f %18.2f %18.2f\n", day,
+                result.distanceSecondToMain.valueAt(i),
+                result.distanceMainToSecond.valueAtOrBefore(day, -1.0));
+  }
+  {
+    static char line[96];
+    const double early = result.distanceSecondToMain.empty()
+                             ? -1.0
+                             : result.distanceSecondToMain.valueAt(0);
+    double day47 = result.distanceSecondToMain.valueAtOrBefore(47.0, -1.0);
+    std::snprintf(line, sizeof(line), "%.2f -> %.2f (day ~47) -> %.2f (end)",
+                  early, day47,
+                  result.distanceSecondToMain.empty()
+                      ? -1.0
+                      : result.distanceSecondToMain.lastValue());
+    compare("distance collapses below 2 hops within ~47 days",
+            ">3 -> <2 by day 47, asymptote ~1.5", line);
+  }
+  {
+    // Main->second should be uniformly shorter (the paper: Xiaonei to 5Q
+    // paths are shorter).
+    std::size_t shorter = 0, comparisons = 0;
+    for (std::size_t i = 0; i < result.distanceMainToSecond.size(); ++i) {
+      const double day = result.distanceMainToSecond.timeAt(i);
+      const double other =
+          result.distanceSecondToMain.valueAtOrBefore(day, -1.0);
+      if (other < 0.0) continue;
+      ++comparisons;
+      if (result.distanceMainToSecond.valueAt(i) <= other + 1e-9) ++shorter;
+    }
+    static char line[64];
+    std::snprintf(line, sizeof(line), "%zu of %zu probe days", shorter,
+                  comparisons);
+    compare("main->second paths at most as long", "uniformly shorter", line);
+  }
+
+  exportSeries(options, "fig9_ratios",
+               {result.intExtMain, result.intExtSecond, result.intExtBoth,
+                result.newExtMain, result.newExtSecond, result.newExtBoth});
+  exportSeries(options, "fig9_distance",
+               {result.distanceSecondToMain, result.distanceMainToSecond});
+  std::printf("\n[fig9] total %.1fs\n", watch.seconds());
+  return 0;
+}

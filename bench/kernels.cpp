@@ -1,0 +1,175 @@
+// Microbenchmarks of the library's computational kernels
+// (google-benchmark): trace generation, event replay, BFS, clustering,
+// assortativity, Louvain (cold and incremental), community tracking, and
+// the pe(d) estimator. Not a paper figure — an engineering baseline for
+// the substrates behind every figure bench.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/pref_attach.h"
+#include "community/louvain.h"
+#include "community/tracker.h"
+#include "gen/trace_generator.h"
+#include "graph/csr.h"
+#include "graph/snapshot.h"
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+const EventStream& sharedTrace() {
+  static const EventStream stream = [] {
+    GeneratorConfig config = GeneratorConfig::communityScale(7);
+    config.days = 500.0;
+    TraceGenerator generator(config);
+    return generator.generate();
+  }();
+  return stream;
+}
+
+const Graph& sharedGraph() {
+  static const Graph graph = [] {
+    Replayer replayer(sharedTrace());
+    replayer.advanceToEnd();
+    return replayer.graph().graph();
+  }();
+  return graph;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GeneratorConfig config = GeneratorConfig::tiny(seed++);
+    TraceGenerator generator(config);
+    const EventStream stream = generator.generate();
+    benchmark::DoNotOptimize(stream.size());
+    state.counters["events"] = static_cast<double>(stream.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_EventReplay(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  for (auto _ : state) {
+    Replayer replayer(stream);
+    replayer.advanceToEnd();
+    benchmark::DoNotOptimize(replayer.graph().edgeCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_EventReplay)->Unit(benchmark::kMillisecond);
+
+void BM_Bfs(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto source =
+        static_cast<NodeId>(rng.uniformInt(graph.nodeCount()));
+    benchmark::DoNotOptimize(bfsDistances(graph, source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.edgeCount()));
+}
+BENCHMARK(BM_Bfs)->Unit(benchmark::kMillisecond);
+
+void BM_BfsCsr(benchmark::State& state) {
+  static const CsrGraph csr = CsrGraph::fromGraph(sharedGraph());
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto source = static_cast<NodeId>(rng.uniformInt(csr.nodeCount()));
+    benchmark::DoNotOptimize(bfsDistances(csr, source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.edgeCount()));
+}
+BENCHMARK(BM_BfsCsr)->Unit(benchmark::kMillisecond);
+
+void BM_CsrBuild(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph::fromGraph(graph).edgeCount());
+  }
+}
+BENCHMARK(BM_CsrBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SampledClustering(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampledAverageClustering(graph, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_SampledClustering)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Assortativity(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degreeAssortativity(graph));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.edgeCount()));
+}
+BENCHMARK(BM_Assortativity)->Unit(benchmark::kMillisecond);
+
+void BM_LouvainCold(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  LouvainConfig config;
+  config.delta = 0.04;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvain(graph, config).modularity);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.edgeCount()));
+}
+BENCHMARK(BM_LouvainCold)->Unit(benchmark::kMillisecond);
+
+void BM_LouvainIncremental(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  LouvainConfig config;
+  config.delta = 0.04;
+  const LouvainResult seedResult = louvain(graph, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        louvain(graph, config, &seedResult.partition).modularity);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.edgeCount()));
+}
+BENCHMARK(BM_LouvainIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_CommunityTrackingSnapshot(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  LouvainConfig config;
+  config.delta = 0.04;
+  const LouvainResult detection = louvain(graph, config);
+  for (auto _ : state) {
+    CommunityTracker tracker;
+    tracker.addSnapshot(1.0, graph, detection.partition);
+    tracker.addSnapshot(2.0, graph, detection.partition);
+    benchmark::DoNotOptimize(tracker.communities().size());
+  }
+}
+BENCHMARK(BM_CommunityTrackingSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_PrefAttachEstimator(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  PrefAttachConfig config;
+  config.fitEveryEdges = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzePreferentialAttachment(stream, config).alphaHigher.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.edgeCount()));
+}
+BENCHMARK(BM_PrefAttachEstimator)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace msd
+
+BENCHMARK_MAIN();

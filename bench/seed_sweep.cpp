@@ -1,0 +1,117 @@
+// Robustness of the reproduction across generator seeds: reruns the key
+// headline measurements on several independent traces and reports
+// mean +/- stddev, so a reader can tell which shape results are stable
+// properties of the model and which are single-trace luck.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/edge_dynamics.h"
+#include "analysis/merge_analysis.h"
+#include "analysis/pref_attach.h"
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+namespace {
+
+struct Sweep {
+  const char* name;
+  const char* paper;
+  RunningStats stats;
+};
+
+void report(const Sweep& sweep) {
+  std::printf("  %-42s paper: %-16s measured: %.3f +/- %.3f  [%.3f, %.3f]\n",
+              sweep.name, sweep.paper, sweep.stats.mean(),
+              sweep.stats.stddev(), sweep.stats.min(), sweep.stats.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+
+  Sweep dupMain{"duplicate fraction, main (%)", "11", {}};
+  Sweep dupSecond{"duplicate fraction, second (%)", "28", {}};
+  Sweep activeDropMain{"active-user drop, main (pp)", "12", {}};
+  Sweep activeDropSecond{"active-user drop, second (pp)", "24", {}};
+  Sweep alphaFirst{"alpha(higher), first window", "~1.25", {}};
+  Sweep alphaLast{"alpha(higher), last window", "~0.65", {}};
+  Sweep minAgeEnd{"min-age<=30d share at end (%)", "48", {}};
+  Sweep newOverExt{"new>external crossover (day)", "3", {}};
+  Sweep newOverInt{"new>internal crossover (day)", "19", {}};
+  Sweep dist47{"cross-OSN distance at day ~47", "<2", {}};
+
+  Stopwatch total;
+  for (std::uint64_t seed : seeds) {
+    Options perSeed = options;
+    perSeed.seed = seed;
+    perSeed.exportCsv = false;
+    const EventStream stream = makeTrace(perSeed);
+
+    MergeAnalysisConfig mergeConfig;
+    mergeConfig.seed = seed;
+    const MergeAnalysisResult merge = analyzeMerge(stream, mergeConfig);
+    dupMain.stats.add(100.0 * merge.day0InactiveMain);
+    dupSecond.stats.add(100.0 * merge.day0InactiveSecond);
+    if (!merge.activeMain.all.empty()) {
+      activeDropMain.stats.add(merge.activeMain.all.valueAt(0) -
+                               merge.activeMain.all.lastValue());
+      activeDropSecond.stats.add(merge.activeSecond.all.valueAt(0) -
+                                 merge.activeSecond.all.lastValue());
+    }
+    double overExt = -1.0, overInt = -1.0;
+    for (std::size_t i = 0; i < merge.edgesNew.size(); ++i) {
+      const double day = merge.edgesNew.timeAt(i);
+      const double newEdges = merge.edgesNew.valueAt(i);
+      if (overExt < 0.0 &&
+          newEdges > merge.edgesExternal.valueAtOrBefore(day)) {
+        overExt = day;
+      }
+      if (overInt < 0.0 &&
+          newEdges > merge.edgesInternal.valueAtOrBefore(day)) {
+        overInt = day;
+      }
+    }
+    if (overExt >= 0.0) newOverExt.stats.add(overExt);
+    if (overInt >= 0.0) newOverInt.stats.add(overInt);
+    const double d47 = merge.distanceSecondToMain.valueAtOrBefore(47.0, -1.0);
+    if (d47 >= 0.0) dist47.stats.add(d47);
+
+    PrefAttachConfig paConfig;
+    paConfig.fitEveryEdges = stream.edgeCount() / 60 + 1000;
+    paConfig.startEdges = 3000;
+    paConfig.seed = seed;
+    const PrefAttachResult pa = analyzePreferentialAttachment(stream, paConfig);
+    if (!pa.alphaHigher.empty()) {
+      alphaFirst.stats.add(pa.alphaHigher.valueAt(0));
+      alphaLast.stats.add(pa.alphaHigher.lastValue());
+    }
+
+    const EdgeDynamics dynamics = analyzeEdgeDynamics(stream);
+    if (!dynamics.minAge30.empty()) {
+      minAgeEnd.stats.add(dynamics.minAge30.lastValue());
+    }
+    std::printf("[sweep] seed %llu done (%.1fs cumulative)\n",
+                static_cast<unsigned long long>(seed), total.seconds());
+  }
+
+  section("seed sweep: headline results across 5 independent traces");
+  report(dupMain);
+  report(dupSecond);
+  report(activeDropMain);
+  report(activeDropSecond);
+  report(alphaFirst);
+  report(alphaLast);
+  report(minAgeEnd);
+  report(newOverExt);
+  report(newOverInt);
+  report(dist47);
+  std::printf("\n[sweep] total %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Network-merge walkthrough: generate a trace containing a scripted OSN
+// merge (the paper's Xiaonei + 5Q event), then measure duplicate
+// accounts, per-class edge dynamics, and the collapsing distance between
+// the two user populations — the Sec 5 pipeline on a toy trace.
+
+#include <cstdio>
+
+#include "analysis/merge_analysis.h"
+#include "gen/trace_generator.h"
+
+using namespace msd;
+
+int main() {
+  GeneratorConfig generatorConfig = GeneratorConfig::tiny(/*seed=*/5);
+  TraceGenerator generator(generatorConfig);
+  const EventStream trace = generator.generate();
+
+  std::size_t main = 0, second = 0, post = 0;
+  for (const Event& event : trace.events()) {
+    if (event.kind != EventKind::kNodeJoin) continue;
+    switch (event.origin) {
+      case Origin::kMain: ++main; break;
+      case Origin::kSecond: ++second; break;
+      case Origin::kPostMerge: ++post; break;
+    }
+  }
+  std::printf("populations: %zu main, %zu imported, %zu joined after the "
+              "merge (day %.0f)\n",
+              main, second, post, generatorConfig.merge.mergeDay);
+
+  MergeAnalysisConfig config;
+  config.mergeDay = generatorConfig.merge.mergeDay;
+  config.activityWindow = 15.0;  // short trace -> short window
+  config.distanceEvery = 2.0;
+  config.distanceSamples = 100;
+  const MergeAnalysisResult result = analyzeMerge(trace, config);
+
+  std::printf("\nduplicate-account estimate (inactive from day 0): "
+              "%.1f%% main, %.1f%% second\n",
+              100.0 * result.day0InactiveMain,
+              100.0 * result.day0InactiveSecond);
+
+  std::printf("\nedges per day after the merge:\n");
+  std::printf("  %-5s %10s %10s %10s\n", "day", "new", "internal",
+              "external");
+  for (double day : {1.0, 3.0, 7.0, 14.0, 25.0}) {
+    std::printf("  %-5.0f %10.0f %10.0f %10.0f\n", day,
+                result.edgesNew.valueAtOrBefore(day),
+                result.edgesInternal.valueAtOrBefore(day),
+                result.edgesExternal.valueAtOrBefore(day));
+  }
+
+  std::printf("\ncross-OSN distance (hops, post-merge users excluded):\n");
+  for (std::size_t i = 0; i < result.distanceSecondToMain.size(); ++i) {
+    std::printf("  day %-4.0f second->main %.2f   main->second %.2f\n",
+                result.distanceSecondToMain.timeAt(i),
+                result.distanceSecondToMain.valueAt(i),
+                result.distanceMainToSecond.valueAtOrBefore(
+                    result.distanceSecondToMain.timeAt(i), -1.0));
+  }
+  std::printf("\nthe two populations meld into one connected whole as the "
+              "distance approaches its asymptote.\n");
+  return 0;
+}

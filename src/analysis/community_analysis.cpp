@@ -1,0 +1,234 @@
+#include "analysis/community_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/snapshot.h"
+#include "metrics/modularity.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/rng.h"
+
+namespace msd {
+
+CommunityAnalysisResult analyzeCommunities(
+    const EventStream& stream, const CommunityAnalysisConfig& config) {
+  require(config.snapshotStep > 0.0,
+          "analyzeCommunities: snapshotStep must be positive");
+
+  CommunityAnalysisResult result;
+  result.modularity = TimeSeries("modularity");
+  result.communityCount = TimeSeries("community_count");
+  result.avgSimilarity = TimeSeries("avg_similarity");
+  result.topCoverage = TimeSeries("top_coverage_pct");
+
+  const double lastDay = stream.empty() ? 0.0 : std::floor(stream.lastTime());
+  if (lastDay < config.startDay) return result;
+
+  CommunityTracker tracker(config.tracker);
+  Partition previous;
+  bool havePrevious = false;
+
+  std::vector<double> pendingSizeDays = config.sizeDistributionDays;
+  std::sort(pendingSizeDays.begin(), pendingSizeDays.end());
+  std::size_t nextSizeDay = 0;
+
+  const SnapshotSchedule schedule(config.startDay, lastDay,
+                                  config.snapshotStep);
+  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
+    const Graph& graph = dynamic.graph();
+    if (graph.edgeCount() == 0) return;
+
+    const LouvainResult detection =
+        louvain(graph, config.louvain,
+                config.incremental && havePrevious ? &previous : nullptr);
+    previous = detection.partition;
+    havePrevious = true;
+
+    result.modularity.add(day, detection.modularity);
+    tracker.addSnapshot(day, graph, detection.partition);
+
+    // Sizes of the tracked (>= minimum size) communities this snapshot.
+    const Partition filtered =
+        detection.partition.filteredBySize(config.tracker.minCommunitySize);
+    std::vector<std::size_t> sizes = filtered.sizes();
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    result.communityCount.add(day, static_cast<double>(sizes.size()));
+
+    if (!sizes.empty()) {
+      std::size_t covered = 0;
+      for (std::size_t i = 0; i < std::min(config.topCommunities, sizes.size());
+           ++i) {
+        covered += sizes[i];
+      }
+      result.topCoverage.add(day, 100.0 * static_cast<double>(covered) /
+                                      static_cast<double>(graph.nodeCount()));
+    }
+
+    while (nextSizeDay < pendingSizeDays.size() &&
+           day + config.snapshotStep > pendingSizeDays[nextSizeDay]) {
+      result.sizeDistributions.push_back({day, sizes});
+      ++nextSizeDay;
+    }
+  });
+
+  for (const TransitionSimilarity& transition :
+       tracker.transitionSimilarities()) {
+    result.avgSimilarity.add(transition.day, transition.average);
+  }
+  for (const TrackedCommunity& community : tracker.communities()) {
+    result.lifetimes.push_back(community.lifetime());
+  }
+  result.mergeRatios = tracker.mergeSizeRatios();
+  result.splitRatios = tracker.splitSizeRatios();
+  for (const LifecycleEvent& event : tracker.events()) {
+    if (event.kind == LifecycleKind::kMergeDeath) {
+      result.strongestTieOutcomes.emplace_back(event.day, event.strongestTie);
+    }
+  }
+  result.mergeSamples = extractMergeSamples(tracker, config.excludeBirthLo,
+                                            config.excludeBirthHi);
+
+  result.finalMembership = tracker.currentMembership();
+  result.finalCommunitySize.assign(tracker.communities().size(), 0);
+  for (const TrackedCommunity& community : tracker.communities()) {
+    if (!community.history.empty()) {
+      result.finalCommunitySize[community.id] = community.history.back().size;
+    }
+  }
+  return result;
+}
+
+MergePredictionResult evaluateMergePrediction(
+    const std::vector<MergeSample>& samples, double ageBinWidth,
+    double maxAge, std::uint64_t seed) {
+  MergePredictionResult result;
+  if (samples.size() < 20) return result;
+
+  // Seeded shuffle, 50/50 train/test split (the classes are preserved
+  // approximately; training balances hinge weights itself).
+  Rng rng(seed);
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t split = samples.size() / 2;
+
+  std::vector<std::vector<double>> trainRows, testRows;
+  std::vector<std::uint8_t> trainLabels, testLabels;
+  std::vector<double> testAges;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const MergeSample& sample = samples[order[i]];
+    if (i < split) {
+      trainRows.push_back(sample.features);
+      trainLabels.push_back(sample.willMerge);
+    } else {
+      testRows.push_back(sample.features);
+      testLabels.push_back(sample.willMerge);
+      testAges.push_back(sample.age);
+    }
+  }
+
+  // Both classes must be present to train.
+  const bool hasBoth =
+      std::find(trainLabels.begin(), trainLabels.end(), true) !=
+          trainLabels.end() &&
+      std::find(trainLabels.begin(), trainLabels.end(), false) !=
+          trainLabels.end();
+  if (!hasBoth) return result;
+
+  FeatureScaler scaler;
+  scaler.fit(trainRows);
+  for (auto& row : trainRows) scaler.apply(row);
+  for (auto& row : testRows) scaler.apply(row);
+
+  LinearSvm model;
+  model.train(trainRows, trainLabels);
+
+  const ClassAccuracy overall = evaluate(model, testRows, testLabels);
+  result.mergeAccuracy = overall.positiveAccuracy;
+  result.noMergeAccuracy = overall.negativeAccuracy;
+  result.trainSize = trainRows.size();
+  result.testSize = testRows.size();
+
+  const auto bins = static_cast<std::size_t>(std::ceil(maxAge / ageBinWidth));
+  std::vector<std::array<std::size_t, 4>> counts(bins, {0, 0, 0, 0});
+  // counts: [mergeHits, mergeTotal, noMergeHits, noMergeTotal]
+  for (std::size_t i = 0; i < testRows.size(); ++i) {
+    auto bin = static_cast<std::size_t>(testAges[i] / ageBinWidth);
+    if (bin >= bins) bin = bins - 1;
+    const bool predicted = model.predict(testRows[i]);
+    if (testLabels[i]) {
+      ++counts[bin][1];
+      if (predicted) ++counts[bin][0];
+    } else {
+      ++counts[bin][3];
+      if (!predicted) ++counts[bin][2];
+    }
+  }
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    AgeBinAccuracy entry;
+    entry.ageLo = static_cast<double>(bin) * ageBinWidth;
+    entry.ageHi = entry.ageLo + ageBinWidth;
+    entry.mergeCount = counts[bin][1];
+    entry.noMergeCount = counts[bin][3];
+    entry.mergeAccuracy =
+        entry.mergeCount == 0
+            ? 0.0
+            : static_cast<double>(counts[bin][0]) /
+                  static_cast<double>(entry.mergeCount);
+    entry.noMergeAccuracy =
+        entry.noMergeCount == 0
+            ? 0.0
+            : static_cast<double>(counts[bin][2]) /
+                  static_cast<double>(entry.noMergeCount);
+    result.byAge.push_back(entry);
+  }
+  return result;
+}
+
+DeltaSelection selectDelta(const EventStream& stream,
+                           const std::vector<double>& candidates,
+                           CommunityAnalysisConfig config) {
+  require(!candidates.empty(), "selectDelta: need at least one candidate");
+  DeltaSelection selection;
+  for (double delta : candidates) {
+    config.louvain.delta = delta;
+    const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+    DeltaScore score;
+    score.delta = delta;
+    score.meanModularity = mean(result.modularity.values());
+    score.meanSimilarity = mean(result.avgSimilarity.values());
+    selection.scores.push_back(score);
+  }
+  // Min-max normalize each metric over the candidate set, then balance.
+  auto normalize = [&](auto accessor) {
+    double lo = 1e300, hi = -1e300;
+    for (const DeltaScore& s : selection.scores) {
+      lo = std::min(lo, accessor(s));
+      hi = std::max(hi, accessor(s));
+    }
+    const double span = hi - lo;
+    std::vector<double> normalized;
+    for (const DeltaScore& s : selection.scores) {
+      normalized.push_back(span <= 0.0 ? 1.0 : (accessor(s) - lo) / span);
+    }
+    return normalized;
+  };
+  const std::vector<double> q =
+      normalize([](const DeltaScore& s) { return s.meanModularity; });
+  const std::vector<double> sim =
+      normalize([](const DeltaScore& s) { return s.meanSimilarity; });
+  double best = -1.0;
+  for (std::size_t i = 0; i < selection.scores.size(); ++i) {
+    selection.scores[i].balance = q[i] + sim[i];
+    if (selection.scores[i].balance > best) {
+      best = selection.scores[i].balance;
+      selection.best = selection.scores[i].delta;
+    }
+  }
+  return selection;
+}
+
+}  // namespace msd

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "community/features.h"
+#include "community/louvain.h"
+#include "community/tracker.h"
+#include "graph/event_stream.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Parameters of the community-evolution pipeline (Sec 4).
+struct CommunityAnalysisConfig {
+  double snapshotStep = 3.0;   ///< the paper uses 3-day snapshots
+  double startDay = 20.0;      ///< first snapshot (network big enough)
+  LouvainConfig louvain{};     ///< delta defaults to the paper's 0.04
+  bool incremental = true;     ///< bootstrap Louvain from previous snapshot
+  TrackerConfig tracker{};     ///< min community size 10
+  /// Days whose community-size distributions should be captured
+  /// (Fig 4(c)/5(a); the paper uses days 401, 602, 770).
+  std::vector<double> sizeDistributionDays = {401.0, 602.0, 770.0};
+  /// Exclusion window for merge-prediction samples: communities born in
+  /// [lo, hi] are skipped (the paper excludes the network-merge day).
+  double excludeBirthLo = 385.0;
+  double excludeBirthHi = 389.0;
+  /// How many of the largest communities Fig 5(b) tracks.
+  std::size_t topCommunities = 5;
+};
+
+/// A community-size distribution captured at one snapshot day.
+struct SizeDistribution {
+  double day = 0.0;
+  std::vector<std::size_t> sizes;  ///< community sizes, descending
+};
+
+/// Everything the Fig 4-6 benches need, produced by one replay.
+struct CommunityAnalysisResult {
+  TimeSeries modularity;          ///< Fig 4(a): Q per snapshot
+  TimeSeries communityCount;      ///< tracked communities per snapshot
+  TimeSeries avgSimilarity;       ///< Fig 4(b): mean Jaccard per transition
+  TimeSeries topCoverage;         ///< Fig 5(b): % nodes in top-k communities
+  std::vector<SizeDistribution> sizeDistributions;  ///< Fig 4(c)/5(a)
+  std::vector<double> lifetimes;  ///< Fig 5(c): per tracked community, days
+  std::vector<GroupSizeRatio> mergeRatios;  ///< Fig 6(a)
+  std::vector<GroupSizeRatio> splitRatios;  ///< Fig 6(a)
+  /// Fig 6(c): one entry per merge death (day, destination-was-strongest-tie).
+  std::vector<std::pair<double, bool>> strongestTieOutcomes;
+  std::vector<MergeSample> mergeSamples;  ///< Fig 6(b) dataset
+  /// Tracked-community membership per node at the final snapshot
+  /// (kNoCommunity outside) and each tracked community's final size —
+  /// the inputs of the Fig 7 user-activity comparison.
+  std::vector<std::uint32_t> finalMembership;
+  std::vector<std::size_t> finalCommunitySize;
+};
+
+/// Runs the full community pipeline: incremental Louvain on every
+/// snapshot, similarity-based tracking, lifecycle statistics, and
+/// merge-prediction sample extraction.
+CommunityAnalysisResult analyzeCommunities(
+    const EventStream& stream, const CommunityAnalysisConfig& config = {});
+
+/// Per-age-bin accuracy of the merge predictor (the two curves of
+/// Fig 6(b)).
+struct AgeBinAccuracy {
+  double ageLo = 0.0;
+  double ageHi = 0.0;
+  double mergeAccuracy = 0.0;    ///< recall on "will merge"
+  double noMergeAccuracy = 0.0;  ///< recall on "will not merge"
+  std::size_t mergeCount = 0;
+  std::size_t noMergeCount = 0;
+};
+
+/// Overall outcome of training and evaluating the merge predictor.
+struct MergePredictionResult {
+  double mergeAccuracy = 0.0;
+  double noMergeAccuracy = 0.0;
+  std::vector<AgeBinAccuracy> byAge;
+  std::size_t trainSize = 0;
+  std::size_t testSize = 0;
+};
+
+/// Trains the linear SVM on a (seeded) random half of the samples with
+/// standardized features and evaluates per-class accuracy on the other
+/// half, overall and per community-age bin of the given width.
+MergePredictionResult evaluateMergePrediction(
+    const std::vector<MergeSample>& samples, double ageBinWidth = 10.0,
+    double maxAge = 100.0, std::uint64_t seed = 17);
+
+/// One candidate's scores in the paper's delta-selection procedure.
+struct DeltaScore {
+  double delta = 0.0;
+  double meanModularity = 0.0;  ///< detection quality
+  double meanSimilarity = 0.0;  ///< tracking robustness
+  double balance = 0.0;         ///< min-max-normalized sum of both
+};
+
+/// Outcome of the selection sweep.
+struct DeltaSelection {
+  std::vector<DeltaScore> scores;  ///< in candidate order
+  double best = 0.0;               ///< candidate with the highest balance
+};
+
+/// The paper's Sec 4.1 procedure for choosing the Louvain threshold:
+/// run the full tracking pipeline for each candidate delta, score each by
+/// modularity (quality) and average cross-snapshot similarity
+/// (robustness), and pick the candidate with the best balance — here the
+/// sum of both metrics min-max-normalized over the candidate set.
+/// `config.louvain.delta` is overridden per candidate.
+DeltaSelection selectDelta(const EventStream& stream,
+                           const std::vector<double>& candidates,
+                           CommunityAnalysisConfig config = {});
+
+}  // namespace msd

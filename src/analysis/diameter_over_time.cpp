@@ -1,0 +1,29 @@
+#include "analysis/diameter_over_time.h"
+
+#include "graph/csr.h"
+#include "graph/snapshot.h"
+#include "util/error.h"
+
+namespace msd {
+
+DiameterOverTime analyzeDiameterOverTime(
+    const EventStream& stream, const DiameterOverTimeConfig& config) {
+  require(config.every > 0.0, "analyzeDiameterOverTime: every must be > 0");
+  DiameterOverTime result{TimeSeries("effective_diameter"),
+                          TimeSeries("anf_mean_distance")};
+  if (stream.empty() || stream.lastTime() < config.firstDay) return result;
+
+  const SnapshotSchedule schedule(config.firstDay, stream.lastTime(),
+                                  config.every);
+  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
+    if (dynamic.edgeCount() == 0) return;
+    const CsrGraph csr = CsrGraph::fromGraph(dynamic.graph());
+    const NeighborhoodFunction anf = neighborhoodFunction(csr, config.anf);
+    if (anf.pairs.size() < 2) return;
+    result.effectiveDiameter.add(day, anf.effectiveDiameter(config.fraction));
+    result.meanDistance.add(day, anf.averageDistance());
+  });
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/event_stream.h"
+#include "metrics/neighborhood.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Parameters of the effective-diameter time series (companion to the
+/// paper's Fig 1(d) sampled path length; uses the HyperANF neighborhood
+/// function on frozen CSR snapshots instead of BFS sampling, which also
+/// exposes the classic "shrinking diameter" view of densification).
+struct DiameterOverTimeConfig {
+  double every = 30.0;        ///< days between probes
+  double firstDay = 30.0;     ///< skip the degenerate early graph
+  double fraction = 0.9;      ///< effective-diameter quantile
+  AnfConfig anf{};            ///< sketch resolution etc.
+};
+
+/// Effective diameter and ANF mean distance per probed snapshot.
+struct DiameterOverTime {
+  TimeSeries effectiveDiameter;
+  TimeSeries meanDistance;
+};
+
+/// Replays the trace once and probes the neighborhood function at each
+/// scheduled day.
+DiameterOverTime analyzeDiameterOverTime(
+    const EventStream& stream, const DiameterOverTimeConfig& config = {});
+
+}  // namespace msd

@@ -1,0 +1,149 @@
+#include "analysis/edge_dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+std::string bucketName(std::size_t index,
+                       const std::vector<double>& ends) {
+  const double lo = index == 0 ? 0.0 : ends[index - 1];
+  const double hi = ends[index];
+  const int monthLo = static_cast<int>(lo / 30.0) + 1;
+  const int monthHi = static_cast<int>(hi / 30.0);
+  if (monthLo >= monthHi) return "month " + std::to_string(monthHi);
+  return "month " + std::to_string(monthLo) + "-" + std::to_string(monthHi);
+}
+
+}  // namespace
+
+EdgeDynamics analyzeEdgeDynamics(const EventStream& stream,
+                                 const EdgeDynamicsConfig& config) {
+  require(!config.ageBucketEnds.empty(),
+          "analyzeEdgeDynamics: need at least one age bucket");
+  require(std::is_sorted(config.ageBucketEnds.begin(),
+                         config.ageBucketEnds.end()),
+          "analyzeEdgeDynamics: age bucket ends must be sorted");
+
+  EdgeDynamics result;
+  result.minAge1 = TimeSeries("min_age_le_1d_pct");
+  result.minAge10 = TimeSeries("min_age_le_10d_pct");
+  result.minAge30 = TimeSeries("min_age_le_30d_pct");
+
+  const std::size_t bucketCount = config.ageBucketEnds.size();
+  std::vector<LogHistogram> gapHistograms;
+  gapHistograms.reserve(bucketCount);
+  for (std::size_t i = 0; i < bucketCount; ++i) {
+    gapHistograms.emplace_back(config.gapLo, config.gapHi,
+                               config.binsPerDecade);
+  }
+
+  // Per-node replay state.
+  std::vector<double> joinTime;
+  std::vector<double> lastEdgeTime;
+  std::vector<std::vector<double>> edgeTimes;  // for Fig 2(b)
+
+  // Fig 2(c) per-day counters.
+  std::size_t dayEdges = 0, dayMin1 = 0, dayMin10 = 0, dayMin30 = 0;
+  double currentDay = 0.0;
+  auto flushDay = [&](double day) {
+    if (dayEdges > 0) {
+      const double total = static_cast<double>(dayEdges);
+      result.minAge1.add(day, 100.0 * static_cast<double>(dayMin1) / total);
+      result.minAge10.add(day, 100.0 * static_cast<double>(dayMin10) / total);
+      result.minAge30.add(day, 100.0 * static_cast<double>(dayMin30) / total);
+    }
+    dayEdges = dayMin1 = dayMin10 = dayMin30 = 0;
+  };
+
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      joinTime.push_back(event.time);
+      lastEdgeTime.push_back(-1.0);
+      edgeTimes.emplace_back();
+      continue;
+    }
+    const double day = std::floor(event.time);
+    if (day != currentDay) {
+      flushDay(currentDay);
+      currentDay = day;
+    }
+
+    const double ageU = event.time - joinTime[event.u];
+    const double ageV = event.time - joinTime[event.v];
+    const double minAge = std::min(ageU, ageV);
+    ++dayEdges;
+    if (minAge <= 1.0) ++dayMin1;
+    if (minAge <= 10.0) ++dayMin10;
+    if (minAge <= 30.0) ++dayMin30;
+
+    // Fig 2(a): per-endpoint inter-arrival gap, bucketed by that
+    // endpoint's age at this edge.
+    for (const NodeId endpoint : {event.u, event.v}) {
+      const double age = event.time - joinTime[endpoint];
+      if (lastEdgeTime[endpoint] >= 0.0) {
+        const double gap = event.time - lastEdgeTime[endpoint];
+        const auto bucket = static_cast<std::size_t>(
+            std::upper_bound(config.ageBucketEnds.begin(),
+                             config.ageBucketEnds.end(), age) -
+            config.ageBucketEnds.begin());
+        if (bucket < bucketCount && gap > 0.0) {
+          gapHistograms[bucket].add(gap);
+        }
+      }
+      lastEdgeTime[endpoint] = event.time;
+      edgeTimes[endpoint].push_back(event.time);
+    }
+  }
+  flushDay(currentDay);
+
+  // Fig 2(a) output: PDFs plus power-law fits.
+  for (std::size_t i = 0; i < bucketCount; ++i) {
+    InterArrivalBucket bucket;
+    bucket.name = bucketName(i, config.ageBucketEnds);
+    bucket.maxAgeDays = config.ageBucketEnds[i];
+    bucket.pdf = gapHistograms[i].densities();
+    bucket.samples = gapHistograms[i].total();
+    if (bucket.pdf.size() >= 2) {
+      std::vector<double> xs, ys;
+      for (const DensityBin& bin : bucket.pdf) {
+        xs.push_back(bin.center);
+        ys.push_back(bin.density);
+      }
+      bucket.fit = fitPowerLaw(xs, ys);
+    }
+    result.interArrival.push_back(std::move(bucket));
+  }
+
+  // Fig 2(b): normalized position of each edge within the user's
+  // lifetime, for users with enough history.
+  const double endOfTrace = stream.lastTime();
+  std::vector<double> fractions(config.lifetimeBins, 0.0);
+  double totalWeight = 0.0;
+  for (std::size_t node = 0; node < edgeTimes.size(); ++node) {
+    const auto& times = edgeTimes[node];
+    if (times.size() < config.minDegree) continue;
+    if (endOfTrace - joinTime[node] < config.minHistoryDays) continue;
+    const double lifetime = times.back() - joinTime[node];
+    if (lifetime <= 0.0) continue;
+    const double weight = 1.0 / static_cast<double>(times.size());
+    for (double t : times) {
+      double normalized = (t - joinTime[node]) / lifetime;
+      if (normalized >= 1.0) normalized = 0.999999;
+      const auto bin = static_cast<std::size_t>(
+          normalized * static_cast<double>(config.lifetimeBins));
+      fractions[bin] += weight;  // each user contributes total weight 1
+    }
+    totalWeight += 1.0;
+  }
+  if (totalWeight > 0.0) {
+    for (double& f : fractions) f /= totalWeight;
+  }
+  result.lifetimeFractions = std::move(fractions);
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/event_stream.h"
+#include "util/fit.h"
+#include "util/histogram.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Parameters for the Fig 2 edge-dynamics analyses.
+struct EdgeDynamicsConfig {
+  /// Node-age bucket upper bounds in days (the paper's Month 1, 2, 3,
+  /// 4-5, 6-14, 15-26 buckets).
+  std::vector<double> ageBucketEnds = {30, 60, 90, 150, 420, 780};
+  /// Fig 2(b) filters: only nodes observed at least this long...
+  double minHistoryDays = 30.0;
+  /// ...with at least this many edges.
+  std::size_t minDegree = 20;
+  /// Normalized-lifetime histogram bins for Fig 2(b).
+  std::size_t lifetimeBins = 10;
+  /// Log-histogram range and resolution for the inter-arrival PDFs. The
+  /// paper's Fig 2(a) covers 1 to 1000 days; sub-day gaps fall into the
+  /// underflow counter and are excluded from the power-law fit.
+  double gapLo = 1.0;
+  double gapHi = 1000.0;
+  std::size_t binsPerDecade = 6;
+};
+
+/// Inter-arrival PDF of one node-age bucket, with its power-law fit.
+struct InterArrivalBucket {
+  std::string name;                ///< e.g. "month 1"
+  double maxAgeDays = 0.0;         ///< bucket upper bound
+  std::vector<DensityBin> pdf;     ///< log-binned PDF of gaps (days)
+  PowerLawFit fit;                 ///< pe ~ gap^alpha (alpha is negative)
+  std::size_t samples = 0;
+};
+
+/// Results of the Fig 2 analyses, produced in a single replay.
+struct EdgeDynamics {
+  /// Fig 2(a): inter-arrival time PDF per node-age bucket.
+  std::vector<InterArrivalBucket> interArrival;
+  /// Fig 2(b): fraction of a user's edges per normalized-lifetime bin.
+  std::vector<double> lifetimeFractions;
+  /// Fig 2(c): percentage of each day's edges whose younger endpoint is
+  /// at most 1 / 10 / 30 days old.
+  TimeSeries minAge1;
+  TimeSeries minAge10;
+  TimeSeries minAge30;
+};
+
+/// Runs all Fig 2 analyses over the trace.
+EdgeDynamics analyzeEdgeDynamics(const EventStream& stream,
+                                 const EdgeDynamicsConfig& config = {});
+
+}  // namespace msd

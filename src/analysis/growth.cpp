@@ -1,0 +1,53 @@
+#include "analysis/growth.h"
+
+#include <cmath>
+#include <vector>
+
+namespace msd {
+
+GrowthSeries analyzeGrowth(const EventStream& stream) {
+  GrowthSeries series{TimeSeries("new_nodes"),   TimeSeries("new_edges"),
+                      TimeSeries("total_nodes"), TimeSeries("total_edges"),
+                      TimeSeries("node_growth_pct"),
+                      TimeSeries("edge_growth_pct")};
+  if (stream.empty()) return series;
+
+  const auto lastDay = static_cast<std::size_t>(std::floor(stream.lastTime()));
+  std::vector<std::size_t> nodesPerDay(lastDay + 1, 0);
+  std::vector<std::size_t> edgesPerDay(lastDay + 1, 0);
+  for (const Event& event : stream.events()) {
+    auto day = static_cast<std::size_t>(std::floor(event.time));
+    if (day > lastDay) day = lastDay;
+    if (event.kind == EventKind::kNodeJoin) {
+      ++nodesPerDay[day];
+    } else {
+      ++edgesPerDay[day];
+    }
+  }
+
+  std::size_t nodeTotal = 0, edgeTotal = 0;
+  for (std::size_t day = 0; day <= lastDay; ++day) {
+    const double t = static_cast<double>(day);
+    const std::size_t previousNodes = nodeTotal;
+    const std::size_t previousEdges = edgeTotal;
+    nodeTotal += nodesPerDay[day];
+    edgeTotal += edgesPerDay[day];
+    series.newNodes.add(t, static_cast<double>(nodesPerDay[day]));
+    series.newEdges.add(t, static_cast<double>(edgesPerDay[day]));
+    series.totalNodes.add(t, static_cast<double>(nodeTotal));
+    series.totalEdges.add(t, static_cast<double>(edgeTotal));
+    if (previousNodes > 0) {
+      series.nodeGrowthRate.add(t, 100.0 *
+                                       static_cast<double>(nodesPerDay[day]) /
+                                       static_cast<double>(previousNodes));
+    }
+    if (previousEdges > 0) {
+      series.edgeGrowthRate.add(t, 100.0 *
+                                       static_cast<double>(edgesPerDay[day]) /
+                                       static_cast<double>(previousEdges));
+    }
+  }
+  return series;
+}
+
+}  // namespace msd

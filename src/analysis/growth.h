@@ -1,0 +1,21 @@
+#pragma once
+
+#include "graph/event_stream.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Daily growth series of a trace — the data behind Fig 1(a) and 1(b).
+struct GrowthSeries {
+  TimeSeries newNodes;        ///< nodes added per day
+  TimeSeries newEdges;        ///< edges added per day
+  TimeSeries totalNodes;      ///< cumulative nodes at end of day
+  TimeSeries totalEdges;      ///< cumulative edges at end of day
+  TimeSeries nodeGrowthRate;  ///< daily new nodes / previous total, percent
+  TimeSeries edgeGrowthRate;  ///< daily new edges / previous total, percent
+};
+
+/// Bins a trace's events by integer day and derives the growth series.
+GrowthSeries analyzeGrowth(const EventStream& stream);
+
+}  // namespace msd

@@ -1,0 +1,292 @@
+#include "analysis/merge_analysis.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "metrics/paths.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace msd {
+namespace {
+
+// Edge-class indices for the activity bookkeeping.
+constexpr std::size_t kClassAll = 0;
+constexpr std::size_t kClassNew = 1;
+constexpr std::size_t kClassInternal = 2;
+constexpr std::size_t kClassExternal = 3;
+
+/// Turns one user's sorted per-class edge times (relative to the merge)
+/// into +1/-1 marks on a day-indexed difference array: the user is active
+/// at integer day d iff some edge falls in [d, d + window).
+void markActiveDays(const std::vector<double>& times, double window,
+                    long maxDay, std::vector<long>& diff) {
+  long prevHi = -1;  // last day already covered (exclusive marking)
+  for (double t : times) {
+    long lo = static_cast<long>(std::floor(t - window)) + 1;
+    long hi = static_cast<long>(std::floor(t));
+    if (lo < 0) lo = 0;
+    if (hi > maxDay) hi = maxDay;
+    if (hi < lo) continue;
+    if (lo <= prevHi) lo = prevHi + 1;
+    if (hi < lo) continue;
+    ++diff[static_cast<std::size_t>(lo)];
+    --diff[static_cast<std::size_t>(hi) + 1];
+    prevHi = hi;
+  }
+}
+
+TimeSeries diffToPercentSeries(const std::string& name,
+                               const std::vector<long>& diff, long maxDay,
+                               double groupSize) {
+  TimeSeries series(name);
+  long running = 0;
+  for (long d = 0; d <= maxDay; ++d) {
+    running += diff[static_cast<std::size_t>(d)];
+    series.add(static_cast<double>(d),
+               100.0 * static_cast<double>(running) / groupSize);
+  }
+  return series;
+}
+
+TimeSeries ratioSeries(const std::string& name,
+                       const std::vector<double>& numerator,
+                       const std::vector<double>& denominator) {
+  TimeSeries series(name);
+  for (std::size_t d = 0; d < numerator.size(); ++d) {
+    if (denominator[d] > 0.0) {
+      series.add(static_cast<double>(d), numerator[d] / denominator[d]);
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+MergeAnalysisResult analyzeMerge(const EventStream& stream,
+                                 const MergeAnalysisConfig& config) {
+  require(config.activityWindow > 0.0,
+          "analyzeMerge: activityWindow must be positive");
+  MergeAnalysisResult result;
+  if (stream.empty() || stream.lastTime() <= config.mergeDay) return result;
+
+  const double postDays = stream.lastTime() - config.mergeDay;
+  const long lastRelDay = static_cast<long>(std::floor(postDays));
+  const long maxActiveDay =
+      static_cast<long>(std::floor(postDays - config.activityWindow));
+
+  // --- Pass 1: origins, per-class daily counts, per-user activity times.
+  std::vector<Origin> origin;
+  origin.reserve(stream.nodeCount());
+  // Per pre-merge user, per class, edge times relative to the merge.
+  std::vector<std::array<std::vector<double>, 4>> userTimes;
+
+  const auto days = static_cast<std::size_t>(lastRelDay) + 1;
+  std::vector<double> dayNew(days, 0.0);
+  std::vector<double> dayInternalMain(days, 0.0);
+  std::vector<double> dayInternalSecond(days, 0.0);
+  std::vector<double> dayExternal(days, 0.0);
+  std::vector<double> dayNewMain(days, 0.0);
+  std::vector<double> dayNewSecond(days, 0.0);
+
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      origin.push_back(event.origin);
+      if (event.origin != Origin::kPostMerge) {
+        userTimes.emplace_back();
+        if (event.origin == Origin::kMain) {
+          ++result.mainUsers;
+        } else {
+          ++result.secondUsers;
+        }
+      }
+      continue;
+    }
+    const double rel = event.time - config.mergeDay;
+    // The merge day itself (rel day 0) is excluded: the real network was
+    // locked while the import ran, so every rel-day-0 edge is an import
+    // artifact, not user activity (and would otherwise make every
+    // imported account look "active").
+    if (rel < 1.0) continue;
+    auto day = static_cast<std::size_t>(std::floor(rel));
+    if (day >= days) day = days - 1;
+
+    const Origin ou = origin[event.u];
+    const Origin ov = origin[event.v];
+    const bool involvesNew =
+        ou == Origin::kPostMerge || ov == Origin::kPostMerge;
+
+    std::size_t edgeClass;
+    if (involvesNew) {
+      edgeClass = kClassNew;
+      dayNew[day] += 1.0;
+      if (ou == Origin::kMain || ov == Origin::kMain) dayNewMain[day] += 1.0;
+      if (ou == Origin::kSecond || ov == Origin::kSecond) {
+        dayNewSecond[day] += 1.0;
+      }
+    } else if (ou == ov) {
+      edgeClass = kClassInternal;
+      (ou == Origin::kMain ? dayInternalMain : dayInternalSecond)[day] += 1.0;
+    } else {
+      edgeClass = kClassExternal;
+      dayExternal[day] += 1.0;
+    }
+
+    for (const NodeId endpoint : {event.u, event.v}) {
+      if (origin[endpoint] == Origin::kPostMerge) continue;
+      auto& slots = userTimes[endpoint];  // pre-merge ids are dense & first
+      slots[kClassAll].push_back(rel);
+      slots[edgeClass].push_back(rel);
+    }
+  }
+
+  // --- Fig 8(a)/(b): active-user percentages via difference arrays.
+  if (maxActiveDay >= 0) {
+    const auto diffSize = static_cast<std::size_t>(maxActiveDay) + 2;
+    std::array<std::vector<long>, 4> diffMain, diffSecond;
+    for (auto& d : diffMain) d.assign(diffSize, 0);
+    for (auto& d : diffSecond) d.assign(diffSize, 0);
+
+    for (std::size_t user = 0; user < userTimes.size(); ++user) {
+      auto& target = origin[user] == Origin::kMain ? diffMain : diffSecond;
+      for (std::size_t c = 0; c < 4; ++c) {
+        markActiveDays(userTimes[user][c], config.activityWindow,
+                       maxActiveDay, target[c]);
+      }
+    }
+    const double mainSize = std::max<double>(1.0, result.mainUsers);
+    const double secondSize = std::max<double>(1.0, result.secondUsers);
+    result.activeMain.all = diffToPercentSeries(
+        "main_active_all_pct", diffMain[kClassAll], maxActiveDay, mainSize);
+    result.activeMain.newUsers =
+        diffToPercentSeries("main_active_new_pct", diffMain[kClassNew],
+                            maxActiveDay, mainSize);
+    result.activeMain.internal =
+        diffToPercentSeries("main_active_internal_pct",
+                            diffMain[kClassInternal], maxActiveDay, mainSize);
+    result.activeMain.external =
+        diffToPercentSeries("main_active_external_pct",
+                            diffMain[kClassExternal], maxActiveDay, mainSize);
+    result.activeSecond.all =
+        diffToPercentSeries("second_active_all_pct", diffSecond[kClassAll],
+                            maxActiveDay, secondSize);
+    result.activeSecond.newUsers =
+        diffToPercentSeries("second_active_new_pct", diffSecond[kClassNew],
+                            maxActiveDay, secondSize);
+    result.activeSecond.internal = diffToPercentSeries(
+        "second_active_internal_pct", diffSecond[kClassInternal],
+        maxActiveDay, secondSize);
+    result.activeSecond.external = diffToPercentSeries(
+        "second_active_external_pct", diffSecond[kClassExternal],
+        maxActiveDay, secondSize);
+
+    result.day0InactiveMain =
+        1.0 - result.activeMain.all.valueAt(0) / 100.0;
+    result.day0InactiveSecond =
+        1.0 - result.activeSecond.all.valueAt(0) / 100.0;
+  }
+
+  // --- Fig 8(c) and Fig 9(a)/(b): daily counts and ratios.
+  result.edgesNew = TimeSeries("edges_new_per_day");
+  result.edgesInternal = TimeSeries("edges_internal_per_day");
+  result.edgesExternal = TimeSeries("edges_external_per_day");
+  std::vector<double> dayInternalBoth(days, 0.0), dayNewBoth(days, 0.0);
+  for (std::size_t d = 0; d < days; ++d) {
+    dayInternalBoth[d] = dayInternalMain[d] + dayInternalSecond[d];
+    dayNewBoth[d] = dayNewMain[d] + dayNewSecond[d];
+    result.edgesNew.add(static_cast<double>(d), dayNew[d]);
+    result.edgesInternal.add(static_cast<double>(d), dayInternalBoth[d]);
+    result.edgesExternal.add(static_cast<double>(d), dayExternal[d]);
+  }
+  result.intExtMain = ratioSeries("int_ext_main", dayInternalMain, dayExternal);
+  result.intExtSecond =
+      ratioSeries("int_ext_second", dayInternalSecond, dayExternal);
+  result.intExtBoth = ratioSeries("int_ext_both", dayInternalBoth, dayExternal);
+  result.newExtMain = ratioSeries("new_ext_main", dayNewMain, dayExternal);
+  result.newExtSecond =
+      ratioSeries("new_ext_second", dayNewSecond, dayExternal);
+  result.newExtBoth = ratioSeries("new_ext_both", dayNewBoth, dayExternal);
+
+  // --- Fig 9(c): sampled cross-OSN hop distance, post-merge users
+  // excluded from paths and targets.
+  result.distanceSecondToMain = TimeSeries("distance_second_to_main");
+  result.distanceMainToSecond = TimeSeries("distance_main_to_second");
+  Rng rng(config.seed);
+  Replayer replayer(stream);
+  std::vector<NodeId> mainNodes, secondNodes;
+  for (NodeId node = 0; node < origin.size(); ++node) {
+    if (origin[node] == Origin::kMain) mainNodes.push_back(node);
+    if (origin[node] == Origin::kSecond) secondNodes.push_back(node);
+  }
+  if (!mainNodes.empty() && !secondNodes.empty()) {
+    for (double rel = 0.0; rel <= postDays; rel += config.distanceEvery) {
+      replayer.advanceTo(config.mergeDay + rel + 1.0);
+      const Graph& graph = replayer.graph().graph();
+      std::vector<std::uint8_t> isMain(graph.nodeCount(), 0);
+      std::vector<std::uint8_t> isSecond(graph.nodeCount(), 0);
+      std::vector<std::uint8_t> preMerge(graph.nodeCount(), 0);
+      for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+        const Origin o = origin[node];
+        if (o == Origin::kMain) isMain[node] = 1;
+        if (o == Origin::kSecond) isSecond[node] = 1;
+        if (o != Origin::kPostMerge) preMerge[node] = 1;
+      }
+      auto probe = [&](const std::vector<NodeId>& sources,
+                       const std::vector<std::uint8_t>& targets) {
+        double total = 0.0;
+        std::size_t reached = 0;
+        const auto picks =
+            rng.sampleIndices(sources.size(), config.distanceSamples);
+        for (std::size_t pick : picks) {
+          const std::uint32_t d =
+              distanceToSet(graph, sources[pick], targets, preMerge);
+          if (d != kUnreachable) {
+            total += static_cast<double>(d);
+            ++reached;
+          }
+        }
+        return reached == 0 ? -1.0 : total / static_cast<double>(reached);
+      };
+      const double secondToMain = probe(secondNodes, isMain);
+      const double mainToSecond = probe(mainNodes, isSecond);
+      if (secondToMain >= 0.0) {
+        result.distanceSecondToMain.add(rel, secondToMain);
+      }
+      if (mainToSecond >= 0.0) {
+        result.distanceMainToSecond.add(rel, mainToSecond);
+      }
+    }
+  }
+  return result;
+}
+
+double deriveActivityWindow(const EventStream& stream, double quantile) {
+  require(quantile > 0.0 && quantile <= 1.0,
+          "deriveActivityWindow: quantile must be in (0, 1]");
+  // Per-user mean gap = (last edge time - first edge time) / (edges - 1).
+  const std::size_t n = stream.nodeCount();
+  std::vector<double> firstEdge(n, -1.0), lastEdge(n, -1.0);
+  std::vector<std::uint32_t> edges(n, 0);
+  for (const Event& event : stream.events()) {
+    if (event.kind != EventKind::kEdgeAdd) continue;
+    for (const NodeId endpoint : {event.u, event.v}) {
+      if (firstEdge[endpoint] < 0.0) firstEdge[endpoint] = event.time;
+      lastEdge[endpoint] = event.time;
+      ++edges[endpoint];
+    }
+  }
+  std::vector<double> meanGaps;
+  for (std::size_t node = 0; node < n; ++node) {
+    if (edges[node] < 2) continue;
+    meanGaps.push_back((lastEdge[node] - firstEdge[node]) /
+                       static_cast<double>(edges[node] - 1));
+  }
+  if (meanGaps.empty()) return 0.0;
+  return percentile(std::move(meanGaps), quantile);
+}
+
+}  // namespace msd

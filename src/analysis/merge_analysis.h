@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/event_stream.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Parameters of the OSN-merge analysis (Sec 5).
+struct MergeAnalysisConfig {
+  double mergeDay = 386.0;      ///< day the second network was imported
+  double activityWindow = 94.0; ///< days: active = creates an edge within
+                                ///< this window (the paper derives 94)
+  double distanceEvery = 5.0;   ///< days between cross-OSN distance probes
+  std::size_t distanceSamples = 100;  ///< sampled sources per OSN per probe
+  std::uint64_t seed = 23;
+};
+
+/// Per-origin active-user percentage series (the four lines of
+/// Fig 8(a)/(b)). "Active at day d" = participates in an edge of the
+/// given class within [d, d + window) days after the merge.
+struct ActiveUserSeries {
+  TimeSeries all;       ///< any edge
+  TimeSeries newUsers;  ///< edges to post-merge users
+  TimeSeries internal;  ///< edges within the same origin
+  TimeSeries external;  ///< edges to the other pre-merge origin
+};
+
+/// Everything Figs 8-9 plot.
+struct MergeAnalysisResult {
+  ActiveUserSeries activeMain;    ///< Fig 8(a): Xiaonei-analog users
+  ActiveUserSeries activeSecond;  ///< Fig 8(b): 5Q-analog users
+  /// Fraction of each origin's accounts inactive from day 0 — the paper's
+  /// duplicate-account estimate (11% main / 28% second in Renren).
+  double day0InactiveMain = 0.0;
+  double day0InactiveSecond = 0.0;
+  /// Fig 8(c): edges per day after the merge, by class.
+  TimeSeries edgesNew;
+  TimeSeries edgesInternal;
+  TimeSeries edgesExternal;
+  /// Fig 9(a): internal/external ratio per day, per origin and combined.
+  TimeSeries intExtMain;
+  TimeSeries intExtSecond;
+  TimeSeries intExtBoth;
+  /// Fig 9(b): new/external ratio per day, per origin and combined.
+  TimeSeries newExtMain;
+  TimeSeries newExtSecond;
+  TimeSeries newExtBoth;
+  /// Fig 9(c): mean hop distance from sampled users of one OSN to the
+  /// nearest user of the other, post-merge users excluded from paths.
+  TimeSeries distanceSecondToMain;
+  TimeSeries distanceMainToSecond;
+  /// Group sizes at the merge instant.
+  std::size_t mainUsers = 0;
+  std::size_t secondUsers = 0;
+};
+
+/// Runs the Fig 8-9 analyses: per-class activity windows over pre-merge
+/// users, per-class daily edge counts and ratios, and the sampled
+/// cross-OSN distance probe.
+MergeAnalysisResult analyzeMerge(const EventStream& stream,
+                                 const MergeAnalysisConfig& config = {});
+
+/// Derives the activity-window threshold the way the paper does: "99% of
+/// Renren users create at least one edge every 94 days (on average)" —
+/// i.e. the given quantile of the per-user mean edge inter-arrival time,
+/// over users with at least two edges. Returns 0 when no user qualifies.
+double deriveActivityWindow(const EventStream& stream,
+                            double quantile = 0.99);
+
+}  // namespace msd

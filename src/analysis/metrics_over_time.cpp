@@ -1,0 +1,41 @@
+#include "analysis/metrics_over_time.h"
+
+#include "graph/snapshot.h"
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/degree.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+
+MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
+                                       const MetricsOverTimeConfig& config) {
+  MetricsOverTime result{TimeSeries("avg_degree"), TimeSeries("avg_path_length"),
+                         TimeSeries("clustering"), TimeSeries("assortativity")};
+  if (stream.empty()) return result;
+
+  Rng rng(config.seed);
+  const SnapshotSchedule schedule =
+      SnapshotSchedule::everyFor(stream, config.snapshotStep);
+  double nextPathDay = 0.0;
+  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
+    const Graph& graph = dynamic.graph();
+    if (graph.nodeCount() == 0) return;
+
+    result.averageDegree.add(day, degreeStats(graph).average);
+    result.clusteringCoefficient.add(
+        day, sampledAverageClustering(graph, config.clusteringSamples, rng));
+    if (graph.edgeCount() > 0) {
+      result.assortativity.add(day, degreeAssortativity(graph));
+    }
+    if (day >= nextPathDay && graph.edgeCount() > 0) {
+      result.averagePathLength.add(
+          day, sampledAveragePathLength(graph, config.pathSamples, rng));
+      nextPathDay = day + config.pathEvery;
+    }
+  });
+  return result;
+}
+
+}  // namespace msd

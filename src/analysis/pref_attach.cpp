@@ -1,0 +1,188 @@
+#include "analysis/pref_attach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Lazy per-degree integral of the node-count-at-degree signal: adds
+/// count[d] for every edge-event step between touches without iterating
+/// all degrees per step.
+class DegreeIntegral {
+ public:
+  explicit DegreeIntegral(std::size_t maxDegree)
+      : count_(maxDegree + 1, 0),
+        accumulated_(maxDegree + 1, 0.0),
+        lastStep_(maxDegree + 1, 0) {}
+
+  /// Settles the pending contribution of degree d up to `step`.
+  void settle(std::size_t d, std::size_t step) {
+    accumulated_[d] += static_cast<double>(count_[d]) *
+                       static_cast<double>(step - lastStep_[d]);
+    lastStep_[d] = step;
+  }
+
+  /// Moves one node from degree `from` to `from + 1` at `step`.
+  void promote(std::size_t from, std::size_t step) {
+    settle(from, step);
+    settle(from + 1, step);
+    --count_[from];
+    ++count_[from + 1];
+  }
+
+  /// Registers a brand-new node at degree 0.
+  void addNode(std::size_t step) {
+    settle(0, step);
+    ++count_[0];
+  }
+
+  /// Settles everything and returns the integral per degree since the
+  /// last reset.
+  const std::vector<double>& finalize(std::size_t step) {
+    for (std::size_t d = 0; d < count_.size(); ++d) settle(d, step);
+    return accumulated_;
+  }
+
+  /// Starts a new accumulation window at `step`.
+  void reset(std::size_t step) {
+    std::fill(accumulated_.begin(), accumulated_.end(), 0.0);
+    std::fill(lastStep_.begin(), lastStep_.end(), step);
+  }
+
+ private:
+  std::vector<std::size_t> count_;
+  std::vector<double> accumulated_;
+  std::vector<std::size_t> lastStep_;
+};
+
+struct WindowFit {
+  std::vector<PePoint> points;
+  PowerLawFit fit;
+  bool valid = false;
+};
+
+WindowFit fitWindow(const std::vector<double>& numerator,
+                    const std::vector<double>& denominator,
+                    std::size_t minSamples) {
+  WindowFit window;
+  std::vector<double> xs, ys;
+  for (std::size_t d = 1; d < numerator.size(); ++d) {
+    if (numerator[d] < static_cast<double>(minSamples)) continue;
+    if (denominator[d] <= 0.0) continue;
+    const double pe = numerator[d] / denominator[d];
+    window.points.push_back(
+        {static_cast<double>(d), pe, numerator[d]});
+    xs.push_back(static_cast<double>(d));
+    ys.push_back(pe);
+  }
+  if (xs.size() >= 4) {
+    window.fit = fitPowerLaw(xs, ys);
+    window.valid = true;
+  }
+  return window;
+}
+
+}  // namespace
+
+PrefAttachResult analyzePreferentialAttachment(const EventStream& stream,
+                                               const PrefAttachConfig& config) {
+  require(config.fitEveryEdges > 0,
+          "analyzePreferentialAttachment: fitEveryEdges must be positive");
+
+  PrefAttachResult result;
+  result.alphaHigher = TimeSeries("alpha_higher_degree_dest");
+  result.alphaRandom = TimeSeries("alpha_random_dest");
+  result.mseHigher = TimeSeries("mse_higher");
+  result.mseRandom = TimeSeries("mse_random");
+
+  const std::size_t maxDegree = config.maxDegree;
+  DegreeIntegral integral(maxDegree);
+  std::vector<std::uint32_t> degree;
+  std::vector<double> numeratorHigher(maxDegree + 1, 0.0);
+  std::vector<double> numeratorRandom(maxDegree + 1, 0.0);
+
+  Rng rng(config.seed);
+  std::size_t step = 0;  // edge-event counter
+  std::size_t windowStart = 0;
+  const auto snapshotTarget = static_cast<std::size_t>(
+      config.snapshotFraction * static_cast<double>(stream.edgeCount()));
+  bool snapshotTaken = false;
+
+  auto flush = [&](std::size_t atEdges) {
+    const std::vector<double>& denominator = integral.finalize(step);
+    const WindowFit higher =
+        fitWindow(numeratorHigher, denominator, config.minSamplesPerDegree);
+    const WindowFit random =
+        fitWindow(numeratorRandom, denominator, config.minSamplesPerDegree);
+    const double x = static_cast<double>(atEdges);
+    if (higher.valid) {
+      result.alphaHigher.add(x, higher.fit.alpha);
+      result.mseHigher.add(x, higher.fit.mseLinear);
+    }
+    if (random.valid) {
+      result.alphaRandom.add(x, random.fit.alpha);
+      result.mseRandom.add(x, random.fit.mseLinear);
+    }
+    if (!snapshotTaken && atEdges >= snapshotTarget && higher.valid &&
+        random.valid) {
+      result.snapshotHigher = {atEdges, higher.points, higher.fit};
+      result.snapshotRandom = {atEdges, random.points, random.fit};
+      snapshotTaken = true;
+    }
+    std::fill(numeratorHigher.begin(), numeratorHigher.end(), 0.0);
+    std::fill(numeratorRandom.begin(), numeratorRandom.end(), 0.0);
+    integral.reset(step);
+    windowStart = atEdges;
+  };
+
+  std::size_t edgesSeen = 0;
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      degree.push_back(0);
+      integral.addNode(step);
+      continue;
+    }
+    // Destination degrees BEFORE this edge.
+    const std::uint32_t du = degree[event.u];
+    const std::uint32_t dv = degree[event.v];
+    const std::uint32_t higherDegree = std::max(du, dv);
+    const std::uint32_t randomDegree = rng.chance(0.5) ? du : dv;
+    numeratorHigher[std::min<std::size_t>(higherDegree, maxDegree)] += 1.0;
+    numeratorRandom[std::min<std::size_t>(randomDegree, maxDegree)] += 1.0;
+
+    ++step;
+    integral.promote(std::min<std::size_t>(du, maxDegree - 1), step);
+    integral.promote(std::min<std::size_t>(dv, maxDegree - 1), step);
+    ++degree[event.u];
+    ++degree[event.v];
+
+    ++edgesSeen;
+    if (edgesSeen >= config.startEdges &&
+        edgesSeen - windowStart >= config.fitEveryEdges) {
+      flush(edgesSeen);
+    }
+  }
+  if (edgesSeen > windowStart && edgesSeen >= config.startEdges) {
+    flush(edgesSeen);
+  }
+
+  // Polynomial approximation of alpha vs edges (in millions, like the
+  // paper's legend).
+  auto fitPoly = [&](const TimeSeries& series) -> std::vector<double> {
+    if (series.size() <= static_cast<std::size_t>(config.polynomialDegree)) {
+      return {};
+    }
+    std::vector<double> xs(series.times().begin(), series.times().end());
+    for (double& x : xs) x /= 1e6;
+    return fitPolynomial(xs, series.values(), config.polynomialDegree);
+  };
+  result.polynomialHigher = fitPoly(result.alphaHigher);
+  result.polynomialRandom = fitPoly(result.alphaRandom);
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/event_stream.h"
+#include "util/fit.h"
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Parameters of the pe(d) / alpha(t) estimator (Sec 3.2).
+struct PrefAttachConfig {
+  /// Fit alpha once per this many edge events (the paper: every 5000).
+  std::size_t fitEveryEdges = 10000;
+  /// Do not fit before the network has this many edges (the paper waits
+  /// for 600K on a 199M-edge trace).
+  std::size_t startEdges = 10000;
+  /// Degrees above this are clamped into one bucket (Renren caps at 1000).
+  std::size_t maxDegree = 1200;
+  /// Degrees with fewer destination hits than this in a window are
+  /// excluded from the fit (noise suppression).
+  std::size_t minSamplesPerDegree = 3;
+  /// Fraction of the trace's total edges at which to capture the example
+  /// pe(d) scatter of Fig 3(a)-(b) (the paper shows 57M of 199M ~= 0.29).
+  double snapshotFraction = 0.29;
+  /// Degree of the alpha(n) polynomial approximation (Fig 3(c) legend).
+  int polynomialDegree = 5;
+  std::uint64_t seed = 5;
+};
+
+/// One measured pe(d) point.
+struct PePoint {
+  double degree = 0.0;
+  double probability = 0.0;
+  double samples = 0.0;  ///< number of edges that chose this degree
+};
+
+/// A captured pe(d) measurement with its power-law fit (Fig 3(a)/(b)).
+struct PeSnapshot {
+  std::size_t atEdges = 0;
+  std::vector<PePoint> points;
+  PowerLawFit fit;
+};
+
+/// Full result of the Fig 3 analysis.
+struct PrefAttachResult {
+  /// alpha(t) with time = network edge count, destination = the
+  /// higher-degree endpoint (upper bound).
+  TimeSeries alphaHigher;
+  /// alpha(t) with a uniformly random endpoint as destination (lower
+  /// bound).
+  TimeSeries alphaRandom;
+  /// Linear-space MSE of each window's fit.
+  TimeSeries mseHigher;
+  TimeSeries mseRandom;
+  /// Example pe(d) captures near snapshotFraction of the trace.
+  PeSnapshot snapshotHigher;
+  PeSnapshot snapshotRandom;
+  /// Least-squares polynomial approximations of alpha vs edge count
+  /// (coefficients lowest-order first; x = edges / 1e6 like the paper's
+  /// "n" in millions).
+  std::vector<double> polynomialHigher;
+  std::vector<double> polynomialRandom;
+};
+
+/// Measures edge probability pe(d) window by window over the trace and
+/// fits pe(d) ~ d^alpha, under both destination-selection rules the paper
+/// uses (the dataset lacks edge directionality). The denominator
+/// Sum_t |v : d_{t-1}(v) = d| is maintained with an O(1)-amortized lazy
+/// accumulator, so the full analysis is one linear pass.
+PrefAttachResult analyzePreferentialAttachment(
+    const EventStream& stream, const PrefAttachConfig& config = {});
+
+}  // namespace msd

@@ -1,0 +1,115 @@
+#include "analysis/user_activity.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+struct CohortAccumulator {
+  std::vector<double> gaps;
+  std::vector<double> lifetimes;
+  std::vector<double> inRatios;
+  std::size_t users = 0;
+};
+
+ActivityCohort finishCohort(std::string label, CohortAccumulator&& acc) {
+  ActivityCohort cohort;
+  cohort.label = std::move(label);
+  cohort.users = acc.users;
+  cohort.meanInterArrival = mean(acc.gaps);
+  cohort.meanLifetime = mean(acc.lifetimes);
+  cohort.meanInDegreeRatio = mean(acc.inRatios);
+  cohort.interArrivalCdf = empiricalCdf(std::move(acc.gaps));
+  cohort.lifetimeCdf = empiricalCdf(std::move(acc.lifetimes));
+  cohort.inDegreeRatioCdf = empiricalCdf(std::move(acc.inRatios));
+  return cohort;
+}
+
+}  // namespace
+
+UserActivityResult analyzeUserActivity(
+    const EventStream& stream, const std::vector<std::uint32_t>& membership,
+    const std::vector<std::size_t>& communitySize,
+    const UserActivityConfig& config) {
+  require(membership.size() >= stream.nodeCount(),
+          "analyzeUserActivity: membership vector too short");
+
+  // One replay pass: per-node join time, last edge time, gap list, and
+  // same-community edge count.
+  const std::size_t n = stream.nodeCount();
+  std::vector<double> joinTime(n, 0.0), lastEdge(n, -1.0);
+  std::vector<std::vector<double>> gapsOf(n);
+  std::vector<std::uint32_t> degreeOf(n, 0), internalOf(n, 0);
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      joinTime[event.u] = event.time;
+      continue;
+    }
+    for (const NodeId endpoint : {event.u, event.v}) {
+      if (lastEdge[endpoint] >= 0.0) {
+        gapsOf[endpoint].push_back(event.time - lastEdge[endpoint]);
+      }
+      lastEdge[endpoint] = event.time;
+      ++degreeOf[endpoint];
+    }
+    if (membership[event.u] != kNone &&
+        membership[event.u] == membership[event.v]) {
+      ++internalOf[event.u];
+      ++internalOf[event.v];
+    }
+  }
+
+  // Route each node's statistics into its cohort(s).
+  CohortAccumulator nonCommunity, allCommunity;
+  std::vector<CohortAccumulator> bands(config.bands.size());
+  auto bandOf = [&](std::size_t size) -> long {
+    for (std::size_t i = 0; i < config.bands.size(); ++i) {
+      const SizeBand& band = config.bands[i];
+      if (size >= band.lo && (band.hi == 0 || size < band.hi)) {
+        return static_cast<long>(i);
+      }
+    }
+    return -1;
+  };
+
+  for (std::size_t node = 0; node < n; ++node) {
+    if (degreeOf[node] == 0) continue;  // never active at all
+    const double lifetime = lastEdge[node] - joinTime[node];
+    const double inRatio =
+        static_cast<double>(internalOf[node]) /
+        static_cast<double>(degreeOf[node]);
+
+    auto feed = [&](CohortAccumulator& acc, bool withRatio) {
+      ++acc.users;
+      acc.lifetimes.push_back(lifetime);
+      for (double gap : gapsOf[node]) acc.gaps.push_back(gap);
+      if (withRatio) acc.inRatios.push_back(inRatio);
+    };
+
+    if (membership[node] == kNone) {
+      feed(nonCommunity, false);
+      continue;
+    }
+    feed(allCommunity, true);
+    const std::uint32_t community = membership[node];
+    const std::size_t size =
+        community < communitySize.size() ? communitySize[community] : 0;
+    const long band = bandOf(size);
+    if (band >= 0) feed(bands[static_cast<std::size_t>(band)], true);
+  }
+
+  UserActivityResult result;
+  result.nonCommunity = finishCohort("non-community", std::move(nonCommunity));
+  result.allCommunity = finishCohort("community", std::move(allCommunity));
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    result.byBand.push_back(
+        finishCohort(config.bands[i].label, std::move(bands[i])));
+  }
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/event_stream.h"
+#include "util/stats.h"
+
+namespace msd {
+
+/// A community-size band of Fig 7 ([10,100], [100,1k], [1k,100k], 100k+
+/// in the paper; configurable here because the bands must scale with the
+/// trace).
+struct SizeBand {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  ///< exclusive; 0 means unbounded
+  std::string label;
+};
+
+/// Parameters for the Fig 7 community-vs-user activity comparison.
+struct UserActivityConfig {
+  std::vector<SizeBand> bands = {
+      {10, 100, "[10,100)"},
+      {100, 1000, "[100,1k)"},
+      {1000, 100000, "[1k,100k)"},
+      {100000, 0, "100k+"},
+  };
+};
+
+/// One cohort's activity distributions.
+struct ActivityCohort {
+  std::string label;
+  std::size_t users = 0;
+  std::vector<CdfPoint> interArrivalCdf;  ///< Fig 7(a): gap days per user edge
+  std::vector<CdfPoint> lifetimeCdf;      ///< Fig 7(b): last-edge - join, days
+  std::vector<CdfPoint> inDegreeRatioCdf; ///< Fig 7(c): in-community edge share
+  double meanInterArrival = 0.0;
+  double meanLifetime = 0.0;
+  double meanInDegreeRatio = 0.0;
+};
+
+/// Result of the Fig 7 analysis: the non-community cohort, a combined
+/// community cohort (Fig 7(a) merges all community users into one curve),
+/// and one cohort per size band.
+struct UserActivityResult {
+  ActivityCohort nonCommunity;
+  ActivityCohort allCommunity;
+  std::vector<ActivityCohort> byBand;
+};
+
+/// Compares the activity of users inside communities to stand-alone
+/// users. `membership` assigns each node its tracked-community id at the
+/// reference snapshot (0xffffffff = none); `communitySize` gives each
+/// tracked community's size at that snapshot.
+UserActivityResult analyzeUserActivity(
+    const EventStream& stream, const std::vector<std::uint32_t>& membership,
+    const std::vector<std::size_t>& communitySize,
+    const UserActivityConfig& config = {});
+
+}  // namespace msd

@@ -1,0 +1,74 @@
+#include "community/features.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace msd {
+namespace {
+
+double sign(double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); }
+
+/// Appends the four derived values for one basic metric series at index t:
+/// value, running stddev over [0, t], first-order indicator, second-order
+/// indicator.
+void appendMetricBlock(std::vector<double>& out,
+                       const std::vector<double>& series, std::size_t t) {
+  out.push_back(series[t]);
+  out.push_back(stddev(std::span<const double>(series.data(), t + 1)));
+  const double first = series[t] - series[t - 1];
+  const double previousFirst = series[t - 1] - series[t - 2];
+  out.push_back(sign(first));
+  out.push_back(sign(first - previousFirst));
+}
+
+}  // namespace
+
+const std::vector<std::string>& mergeFeatureNames() {
+  static const std::vector<std::string> names = {
+      "size",       "size_std",       "size_d1",       "size_d2",
+      "in_ratio",   "in_ratio_std",   "in_ratio_d1",   "in_ratio_d2",
+      "self_sim",   "self_sim_std",   "self_sim_d1",   "self_sim_d2",
+      "age",
+  };
+  return names;
+}
+
+std::vector<MergeSample> extractMergeSamples(const CommunityTracker& tracker,
+                                             double excludeBirthLo,
+                                             double excludeBirthHi) {
+  std::vector<MergeSample> samples;
+  for (const TrackedCommunity& community : tracker.communities()) {
+    if (community.birthDay >= excludeBirthLo &&
+        community.birthDay <= excludeBirthHi) {
+      continue;
+    }
+    const std::size_t len = community.history.size();
+    if (len < 3) continue;
+
+    std::vector<double> size(len), inRatio(len), selfSim(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      size[i] = static_cast<double>(community.history[i].size);
+      inRatio[i] = community.history[i].inDegreeRatio;
+      selfSim[i] = community.history[i].selfSimilarity;
+    }
+
+    for (std::size_t t = 2; t < len; ++t) {
+      const bool isLast = t + 1 == len;
+      if (isLast && community.deathDay < 0.0) continue;  // censored
+      MergeSample sample;
+      sample.willMerge =
+          isLast && community.endKind == LifecycleKind::kMergeDeath;
+      sample.age = community.history[t].day - community.birthDay;
+      sample.features.reserve(mergeFeatureNames().size());
+      appendMetricBlock(sample.features, size, t);
+      appendMetricBlock(sample.features, inRatio, t);
+      appendMetricBlock(sample.features, selfSim, t);
+      sample.features.push_back(sample.age);
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+}  // namespace msd

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "community/tracker.h"
+
+namespace msd {
+
+/// One training/evaluation sample for the merge predictor (Sec 4.3).
+struct MergeSample {
+  std::vector<double> features;  ///< see mergeFeatureNames()
+  bool willMerge = false;        ///< dies by merge at the next transition
+  double age = 0.0;              ///< community age (days) at sample time
+};
+
+/// Names of the features produced by extractMergeSamples, in order. The
+/// paper's feature set: the 3 basic structural metrics (size, in-degree
+/// ratio, self-similarity), each with its running standard deviation, its
+/// first-order change indicator (-1/0/+1) and its second-order change
+/// (acceleration) indicator, plus the community age — 13 features.
+const std::vector<std::string>& mergeFeatureNames();
+
+/// Builds merge-prediction samples from every tracked community history.
+///
+/// A sample is emitted for each history index t >= 2 (so both change
+/// indicators are defined) whose outcome is known: either the community
+/// has a later record (label "no merge") or it died at the next
+/// transition (label from its end kind; only kMergeDeath counts as a
+/// merge). Communities still alive at their last record are censored
+/// there and produce no sample for it.
+///
+/// Communities born inside [excludeBirthLo, excludeBirthHi] are skipped
+/// entirely — the paper excludes communities created on the network-merge
+/// day because their dynamics are driven by the external event.
+std::vector<MergeSample> extractMergeSamples(const CommunityTracker& tracker,
+                                             double excludeBirthLo = 1.0,
+                                             double excludeBirthHi = 0.0);
+
+}  // namespace msd

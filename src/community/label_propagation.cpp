@@ -1,0 +1,74 @@
+#include "community/label_propagation.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace msd {
+
+Partition labelPropagation(const Graph& graph,
+                           const LabelPropagationConfig& config,
+                           const Partition* seedPartition) {
+  require(config.maxRounds > 0,
+          "labelPropagation: maxRounds must be positive");
+  const std::size_t n = graph.nodeCount();
+  std::vector<CommunityId> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<CommunityId>(i);
+  }
+  if (seedPartition != nullptr) {
+    const std::size_t covered = std::min(n, seedPartition->nodeCount());
+    // Offset seed labels so fresh singletons (ids >= n) cannot collide.
+    for (std::size_t i = 0; i < covered; ++i) {
+      const CommunityId old = seedPartition->communityOf(static_cast<NodeId>(i));
+      if (old != kNoCommunity) labels[i] = old;
+    }
+  }
+
+  Rng rng(config.seed);
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+
+  std::unordered_map<CommunityId, std::size_t> counts;
+  std::vector<CommunityId> best;
+  for (int round = 0; round < config.maxRounds; ++round) {
+    rng.shuffle(order);
+    bool changed = false;
+    for (NodeId node : order) {
+      const auto neighbors = graph.neighbors(node);
+      if (neighbors.empty()) continue;
+      counts.clear();
+      std::size_t top = 0;
+      for (NodeId neighbor : neighbors) {
+        const std::size_t count = ++counts[labels[neighbor]];
+        if (count > top) top = count;
+      }
+      best.clear();
+      for (const auto& [label, count] : counts) {
+        if (count == top) best.push_back(label);
+      }
+      CommunityId pick =
+          best.size() == 1
+              ? best.front()
+              : best[rng.uniformInt(best.size())];
+      // Stability rule: keep the current label when it ties for the top,
+      // which guarantees termination on plateaus.
+      for (CommunityId candidate : best) {
+        if (candidate == labels[node]) {
+          pick = candidate;
+          break;
+        }
+      }
+      if (pick != labels[node]) {
+        labels[node] = pick;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Partition(std::move(labels)).renumbered();
+}
+
+}  // namespace msd

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Parameters of the label-propagation community detector.
+struct LabelPropagationConfig {
+  int maxRounds = 32;       ///< hard cap on sweeps over the node set
+  std::uint64_t seed = 21;  ///< visit-order shuffling and tie breaking
+};
+
+/// Raghavan-Albert-Kumara label propagation: every node repeatedly adopts
+/// the most frequent label among its neighbors (random tie break) until
+/// no label changes.
+///
+/// Serves as the alternative static detector behind the community
+/// tracker — near-linear per sweep and parameter-free, but noisier and
+/// prone to label avalanches on dense graphs. The tracking ablation bench
+/// contrasts it with incremental Louvain (the paper's choice).
+///
+/// When `seed` partition is provided, labels bootstrap from it (unknown /
+/// kNoCommunity entries start as singletons), mirroring louvain()'s
+/// incremental mode.
+Partition labelPropagation(const Graph& graph,
+                           const LabelPropagationConfig& config = {},
+                           const Partition* seedPartition = nullptr);
+
+}  // namespace msd

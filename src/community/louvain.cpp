@@ -1,0 +1,235 @@
+#include "community/louvain.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "metrics/modularity.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Weighted multigraph used for the aggregation levels. Self-loops carry
+/// the internal weight of collapsed communities.
+struct WeightedGraph {
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  std::vector<double> selfLoop;
+  double totalWeight = 0.0;  // m: undirected edge weight, self-loops included
+
+  std::size_t nodeCount() const { return adjacency.size(); }
+
+  double weightedDegree(std::uint32_t node) const {
+    double degree = 2.0 * selfLoop[node];
+    for (const auto& [neighbor, weight] : adjacency[node]) degree += weight;
+    return degree;
+  }
+};
+
+WeightedGraph liftInputGraph(const Graph& graph) {
+  WeightedGraph lifted;
+  lifted.adjacency.resize(graph.nodeCount());
+  lifted.selfLoop.assign(graph.nodeCount(), 0.0);
+  for (NodeId u = 0; u < graph.nodeCount(); ++u) {
+    const auto neighbors = graph.neighbors(u);
+    lifted.adjacency[u].reserve(neighbors.size());
+    for (NodeId v : neighbors) lifted.adjacency[u].emplace_back(v, 1.0);
+  }
+  lifted.totalWeight = static_cast<double>(graph.edgeCount());
+  return lifted;
+}
+
+/// One level of local moves. `labels` is the per-node community
+/// assignment, updated in place; returns the total modularity gain.
+double localMovePhase(const WeightedGraph& graph,
+                      std::vector<std::uint32_t>& labels,
+                      const LouvainConfig& config, Rng& rng, bool* anyMove) {
+  const std::size_t n = graph.nodeCount();
+  *anyMove = false;
+  if (n == 0 || graph.totalWeight <= 0.0) return 0.0;
+  const double m = graph.totalWeight;
+
+  // Total weighted degree per community.
+  std::vector<double> communityDegree(n, 0.0);
+  std::vector<double> nodeDegree(n, 0.0);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    nodeDegree[node] = graph.weightedDegree(node);
+    communityDegree[labels[node]] += nodeDegree[node];
+  }
+
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  // Scratch accumulator of edge weight towards each neighboring community.
+  std::vector<double> weightTo(n, 0.0);
+  std::vector<std::uint32_t> touched;
+
+  double totalGain = 0.0;
+  for (int pass = 0; pass < config.maxPassesPerLevel; ++pass) {
+    double passGain = 0.0;
+    for (std::uint32_t node : order) {
+      const std::uint32_t home = labels[node];
+
+      touched.clear();
+      for (const auto& [neighbor, weight] : graph.adjacency[node]) {
+        const std::uint32_t community = labels[neighbor];
+        if (weightTo[community] == 0.0) touched.push_back(community);
+        weightTo[community] += weight;
+      }
+      if (weightTo[home] == 0.0) touched.push_back(home);  // allow staying
+
+      // Evaluate moving `node` out of `home` into each candidate.
+      communityDegree[home] -= nodeDegree[node];
+      const double degreeScale = nodeDegree[node] / (2.0 * m * m);
+      double bestGain = weightTo[home] / m - degreeScale * communityDegree[home];
+      std::uint32_t bestCommunity = home;
+      const double stayGain = bestGain;
+      for (std::uint32_t community : touched) {
+        if (community == home) continue;
+        const double gain =
+            weightTo[community] / m - degreeScale * communityDegree[community];
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestCommunity = community;
+        }
+      }
+      communityDegree[bestCommunity] += nodeDegree[node];
+      if (bestCommunity != home) {
+        labels[node] = bestCommunity;
+        passGain += bestGain - stayGain;
+        *anyMove = true;
+      }
+      for (std::uint32_t community : touched) weightTo[community] = 0.0;
+    }
+    totalGain += passGain;
+    if (passGain < config.delta) break;
+  }
+  return totalGain;
+}
+
+/// Collapses each community into one node of a new weighted graph.
+/// `labels` must be dense (renumbered 0..k-1).
+WeightedGraph aggregate(const WeightedGraph& graph,
+                        const std::vector<std::uint32_t>& labels,
+                        std::size_t communities) {
+  WeightedGraph coarse;
+  coarse.adjacency.resize(communities);
+  coarse.selfLoop.assign(communities, 0.0);
+  coarse.totalWeight = graph.totalWeight;
+
+  // Accumulate inter-community weights with a scratch row per source.
+  std::vector<double> rowWeight(communities, 0.0);
+  std::vector<std::uint32_t> touched;
+
+  std::vector<std::vector<std::uint32_t>> membersOf(communities);
+  for (std::uint32_t node = 0; node < graph.nodeCount(); ++node) {
+    membersOf[labels[node]].push_back(node);
+  }
+
+  for (std::uint32_t community = 0; community < communities; ++community) {
+    touched.clear();
+    double internal = 0.0;
+    for (std::uint32_t node : membersOf[community]) {
+      internal += graph.selfLoop[node];
+      for (const auto& [neighbor, weight] : graph.adjacency[node]) {
+        const std::uint32_t neighborCommunity = labels[neighbor];
+        if (neighborCommunity == community) {
+          internal += 0.5 * weight;  // each internal edge seen twice
+        } else {
+          if (rowWeight[neighborCommunity] == 0.0) {
+            touched.push_back(neighborCommunity);
+          }
+          rowWeight[neighborCommunity] += weight;
+        }
+      }
+    }
+    coarse.selfLoop[community] = internal;
+    coarse.adjacency[community].reserve(touched.size());
+    for (std::uint32_t neighborCommunity : touched) {
+      coarse.adjacency[community].emplace_back(neighborCommunity,
+                                               rowWeight[neighborCommunity]);
+      rowWeight[neighborCommunity] = 0.0;
+    }
+  }
+  return coarse;
+}
+
+/// Renumbers `labels` densely in place; returns the number of distinct
+/// labels.
+std::size_t renumberInPlace(std::vector<std::uint32_t>& labels) {
+  std::uint32_t maxLabel = 0;
+  for (std::uint32_t label : labels) maxLabel = std::max(maxLabel, label);
+  std::vector<std::uint32_t> remap(std::size_t{maxLabel} + 1, 0xffffffffu);
+  std::uint32_t next = 0;
+  for (std::uint32_t& label : labels) {
+    if (remap[label] == 0xffffffffu) remap[label] = next++;
+    label = remap[label];
+  }
+  return next;
+}
+
+}  // namespace
+
+LouvainResult louvain(const Graph& graph, const LouvainConfig& config,
+                      const Partition* seed) {
+  require(config.delta >= 0.0, "louvain: delta must be non-negative");
+  const std::size_t n = graph.nodeCount();
+
+  // node -> community on the ORIGINAL graph, refined level by level.
+  std::vector<std::uint32_t> assignment(n);
+  if (seed != nullptr) {
+    // Incremental mode: bootstrap from the previous snapshot's partition.
+    // Unseen and unassigned nodes become singletons above the seed range.
+    std::uint32_t fresh = static_cast<std::uint32_t>(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const CommunityId old =
+          i < seed->nodeCount() ? seed->communityOf(i) : kNoCommunity;
+      // Seed labels are expected dense (< nodeCount); anything else gets a
+      // fresh singleton. `fresh` starts at n so it cannot collide.
+      assignment[i] = old == kNoCommunity ? fresh++ : old;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < n; ++i) assignment[i] = i;
+  }
+  std::size_t communities = renumberInPlace(assignment);
+
+  LouvainResult result;
+  Rng rng(config.seed);
+
+  WeightedGraph level = liftInputGraph(graph);
+  std::vector<std::uint32_t> levelLabels = assignment;
+
+  for (int levelIndex = 0; levelIndex < config.maxLevels; ++levelIndex) {
+    bool anyMove = false;
+    const double gain =
+        localMovePhase(level, levelLabels, config, rng, &anyMove);
+    if (!anyMove) break;
+    ++result.levels;
+
+    const std::size_t levelCommunities = renumberInPlace(levelLabels);
+
+    // Project the refined level labels back onto original nodes.
+    if (levelIndex == 0) {
+      assignment = levelLabels;
+    } else {
+      for (std::uint32_t node = 0; node < n; ++node) {
+        assignment[node] = levelLabels[assignment[node]];
+      }
+    }
+    communities = levelCommunities;
+
+    if (gain < config.delta) break;
+    level = aggregate(level, levelLabels, levelCommunities);
+    levelLabels.resize(levelCommunities);
+    for (std::uint32_t i = 0; i < levelCommunities; ++i) levelLabels[i] = i;
+  }
+
+  (void)communities;
+  result.partition = Partition(std::move(assignment)).renumbered();
+  result.modularity = modularity(graph, result.partition.labels());
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Parameters of the Louvain community detector.
+struct LouvainConfig {
+  /// Modularity-gain threshold δ: a local-move pass (and the level loop)
+  /// stops when its total modularity improvement falls below this value.
+  /// The paper sweeps δ in [1e-4, 0.3] and settles on 0.04 for Renren.
+  double delta = 0.04;
+
+  /// Safety cap on local-move passes per level.
+  int maxPassesPerLevel = 32;
+
+  /// Safety cap on aggregation levels.
+  int maxLevels = 24;
+
+  /// Seed for the node-visit shuffling (Louvain output is order-dependent;
+  /// a fixed seed keeps runs reproducible).
+  std::uint64_t seed = 42;
+};
+
+/// Output of one Louvain run.
+struct LouvainResult {
+  Partition partition;      ///< dense node-to-community labels
+  double modularity = 0.0;  ///< Q of `partition` on the input graph
+  int levels = 0;           ///< number of aggregation levels performed
+};
+
+/// Runs Louvain modularity optimization (Blondel et al. 2008).
+///
+/// When `seed` is non-null, the level-0 node-to-community assignment is
+/// bootstrapped from it instead of singletons — the *incremental* mode the
+/// paper uses to keep communities stable across consecutive snapshots
+/// (nodes beyond seed->nodeCount(), i.e. newly joined ones, start as
+/// singletons; kNoCommunity entries also start as singletons).
+///
+/// Isolated nodes end up in singleton communities.
+LouvainResult louvain(const Graph& graph, const LouvainConfig& config = {},
+                      const Partition* seed = nullptr);
+
+}  // namespace msd

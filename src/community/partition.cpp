@@ -1,0 +1,87 @@
+#include "community/partition.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace msd {
+
+Partition::Partition(std::size_t nodes) {
+  labels_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    labels_[i] = static_cast<CommunityId>(i);
+  }
+}
+
+CommunityId Partition::communityOf(NodeId node) const {
+  require(node < labels_.size(), "Partition::communityOf: node out of range");
+  return labels_[node];
+}
+
+void Partition::assign(NodeId node, CommunityId community) {
+  require(node < labels_.size(), "Partition::assign: node out of range");
+  labels_[node] = community;
+}
+
+std::size_t Partition::communityCount() const {
+  std::unordered_set<CommunityId> distinct;
+  for (CommunityId label : labels_) {
+    if (label != kNoCommunity) distinct.insert(label);
+  }
+  return distinct.size();
+}
+
+Partition Partition::renumbered() const {
+  std::unordered_map<CommunityId, CommunityId> remap;
+  std::vector<CommunityId> labels(labels_.size(), kNoCommunity);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == kNoCommunity) continue;
+    const auto [it, inserted] =
+        remap.emplace(labels_[i], static_cast<CommunityId>(remap.size()));
+    labels[i] = it->second;
+  }
+  return Partition(std::move(labels));
+}
+
+std::vector<std::vector<NodeId>> Partition::members() const {
+  std::vector<std::vector<NodeId>> result;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const CommunityId label = labels_[i];
+    if (label == kNoCommunity) continue;
+    ensure(label < labels_.size(),
+           "Partition::members: labels must be dense; call renumbered()");
+    if (label >= result.size()) result.resize(std::size_t{label} + 1);
+    result[label].push_back(static_cast<NodeId>(i));
+  }
+  return result;
+}
+
+std::vector<std::size_t> Partition::sizes() const {
+  std::vector<std::size_t> result;
+  for (CommunityId label : labels_) {
+    if (label == kNoCommunity) continue;
+    ensure(label < labels_.size(),
+           "Partition::sizes: labels must be dense; call renumbered()");
+    if (label >= result.size()) result.resize(std::size_t{label} + 1, 0);
+    ++result[label];
+  }
+  return result;
+}
+
+Partition Partition::filteredBySize(std::size_t minSize) const {
+  std::unordered_map<CommunityId, std::size_t> counts;
+  for (CommunityId label : labels_) {
+    if (label != kNoCommunity) ++counts[label];
+  }
+  std::vector<CommunityId> labels(labels_.size(), kNoCommunity);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const CommunityId label = labels_[i];
+    if (label != kNoCommunity && counts.at(label) >= minSize) {
+      labels[i] = label;
+    }
+  }
+  return Partition(std::move(labels)).renumbered();
+}
+
+}  // namespace msd

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace msd {
+
+/// Community label type.
+using CommunityId = std::uint32_t;
+
+/// Sentinel for "not assigned to any (tracked) community".
+inline constexpr CommunityId kNoCommunity = 0xffffffffu;
+
+/// A node-to-community assignment over nodes 0..n-1.
+///
+/// Labels may be sparse; `renumbered()` compacts them. Nodes may carry
+/// kNoCommunity, meaning they are outside every community (used after
+/// filtering by minimum community size).
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Singleton partition: node i in community i.
+  explicit Partition(std::size_t nodes);
+
+  /// Adopts an explicit label vector.
+  explicit Partition(std::vector<CommunityId> labels)
+      : labels_(std::move(labels)) {}
+
+  /// Number of nodes covered.
+  std::size_t nodeCount() const { return labels_.size(); }
+
+  /// Label of `node`. Requires node < nodeCount().
+  CommunityId communityOf(NodeId node) const;
+
+  /// Reassigns `node`.
+  void assign(NodeId node, CommunityId community);
+
+  /// Raw label vector (index = node id).
+  std::span<const CommunityId> labels() const { return labels_; }
+
+  /// Number of distinct labels (kNoCommunity excluded).
+  std::size_t communityCount() const;
+
+  /// Copy with labels renumbered densely 0..k-1 in order of first
+  /// appearance; kNoCommunity is preserved.
+  Partition renumbered() const;
+
+  /// Member lists per dense community id. Requires dense labels (call
+  /// renumbered() first when in doubt); throws otherwise.
+  std::vector<std::vector<NodeId>> members() const;
+
+  /// Size per dense community id (same precondition as members()).
+  std::vector<std::size_t> sizes() const;
+
+  /// Copy where every community smaller than minSize is dissolved: its
+  /// nodes get kNoCommunity. Result labels are dense over the survivors.
+  Partition filteredBySize(std::size_t minSize) const;
+
+ private:
+  std::vector<CommunityId> labels_;
+};
+
+}  // namespace msd

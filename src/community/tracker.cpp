@@ -1,0 +1,280 @@
+#include "community/tracker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// Per-community structure stats of one snapshot.
+struct SnapshotStats {
+  std::vector<double> internalEdges;
+  std::vector<double> totalDegree;
+  std::vector<std::uint32_t> strongestTie;  // local id with max edges to us
+};
+
+SnapshotStats computeStats(const Graph& graph,
+                           std::span<const CommunityId> labels,
+                           std::size_t communityCount) {
+  SnapshotStats stats;
+  stats.internalEdges.assign(communityCount, 0.0);
+  stats.totalDegree.assign(communityCount, 0.0);
+  stats.strongestTie.assign(communityCount, kNone);
+
+  // Inter-community edge weights, keyed (min, max) pair.
+  std::unordered_map<std::uint64_t, double> between;
+  graph.forEachEdge([&](NodeId u, NodeId v) {
+    const CommunityId cu = u < labels.size() ? labels[u] : kNoCommunity;
+    const CommunityId cv = v < labels.size() ? labels[v] : kNoCommunity;
+    if (cu == kNoCommunity || cv == kNoCommunity) return;
+    if (cu == cv) {
+      stats.internalEdges[cu] += 1.0;
+    } else {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(cu, cv)) << 32) |
+          std::max(cu, cv);
+      between[key] += 1.0;
+    }
+  });
+  for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+    const CommunityId c = node < labels.size() ? labels[node] : kNoCommunity;
+    if (c != kNoCommunity) {
+      stats.totalDegree[c] += static_cast<double>(graph.degree(node));
+    }
+  }
+
+  // Strongest tie per community = neighbor community with max edge count.
+  std::vector<double> bestWeight(communityCount, 0.0);
+  // Deterministic scan: collect and sort keys.
+  std::vector<std::pair<std::uint64_t, double>> pairs(between.begin(),
+                                                      between.end());
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [key, weight] : pairs) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    if (weight > bestWeight[a]) {
+      bestWeight[a] = weight;
+      stats.strongestTie[a] = b;
+    }
+    if (weight > bestWeight[b]) {
+      bestWeight[b] = weight;
+      stats.strongestTie[b] = a;
+    }
+  }
+  return stats;
+}
+
+double groupSizeRatio(std::vector<double> sizes) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes[1] / sizes[0];
+}
+
+}  // namespace
+
+CommunityTracker::CommunityTracker(TrackerConfig config) : config_(config) {
+  require(config_.minCommunitySize >= 1,
+          "CommunityTracker: minCommunitySize must be >= 1");
+}
+
+void CommunityTracker::addSnapshot(Day day, const Graph& graph,
+                                   const Partition& partition) {
+  require(snapshots_ == 0 || day > previousDay_,
+          "CommunityTracker::addSnapshot: days must increase");
+  require(partition.nodeCount() == graph.nodeCount(),
+          "CommunityTracker::addSnapshot: partition/graph size mismatch");
+
+  const Partition filtered = partition.filteredBySize(config_.minCommunitySize);
+  const auto newLabels = filtered.labels();
+  const std::vector<std::size_t> newSizes = filtered.sizes();
+  const std::size_t newCount = newSizes.size();
+  const SnapshotStats stats = computeStats(graph, newLabels, newCount);
+
+  std::vector<std::uint32_t> trackedOfNew(newCount, kNone);
+  std::vector<double> matchSimilarity(newCount, 0.0);
+
+  if (snapshots_ == 0) {
+    for (std::size_t c = 0; c < newCount; ++c) {
+      trackedOfNew[c] = static_cast<std::uint32_t>(communities_.size());
+      TrackedCommunity tracked;
+      tracked.id = trackedOfNew[c];
+      tracked.birthDay = day;
+      communities_.push_back(tracked);
+      events_.push_back({LifecycleKind::kBirth, day, tracked.id, 0, 0.0,
+                         false});
+    }
+  } else {
+    const std::size_t oldCount = previousSizes_.size();
+
+    // Overlap counts between old and new communities.
+    std::unordered_map<std::uint64_t, std::uint32_t> overlap;
+    const std::size_t shared =
+        std::min(previousLabels_.size(), newLabels.size());
+    for (std::size_t node = 0; node < shared; ++node) {
+      const CommunityId a = previousLabels_[node];
+      const CommunityId b = newLabels[node];
+      if (a == kNoCommunity || b == kNoCommunity) continue;
+      ++overlap[(static_cast<std::uint64_t>(a) << 32) | b];
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(
+        overlap.begin(), overlap.end());
+    std::sort(entries.begin(), entries.end());
+
+    // Best successor of each old community / best predecessor of each new
+    // community, by Jaccard similarity (ties resolved to the first in
+    // sorted order, i.e. the smallest community index — deterministic).
+    std::vector<std::uint32_t> succ(oldCount, kNone);
+    std::vector<double> succSim(oldCount, 0.0);
+    std::vector<std::uint32_t> pred(newCount, kNone);
+    std::vector<double> predSim(newCount, 0.0);
+    for (const auto& [key, inter] : entries) {
+      const auto a = static_cast<std::uint32_t>(key >> 32);
+      const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+      const double unionSize =
+          static_cast<double>(previousSizes_[a]) +
+          static_cast<double>(newSizes[b]) - static_cast<double>(inter);
+      const double sim = static_cast<double>(inter) / unionSize;
+      if (sim > succSim[a]) {
+        succSim[a] = sim;
+        succ[a] = b;
+      }
+      if (sim > predSim[b]) {
+        predSim[b] = sim;
+        pred[b] = a;
+      }
+    }
+
+    // Claimants per new community (old communities whose best successor
+    // is that new community).
+    std::vector<std::vector<std::uint32_t>> claimants(newCount);
+    for (std::uint32_t a = 0; a < oldCount; ++a) {
+      if (succ[a] != kNone) claimants[succ[a]].push_back(a);
+    }
+    // Similarity of claimant a to its claimed community succ[a] is
+    // succSim[a]; winner = claimant with max similarity.
+    double similaritySum = 0.0;
+    std::size_t similarityCount = 0;
+    for (std::uint32_t b = 0; b < newCount; ++b) {
+      if (claimants[b].empty()) {
+        trackedOfNew[b] = static_cast<std::uint32_t>(communities_.size());
+        TrackedCommunity tracked;
+        tracked.id = trackedOfNew[b];
+        tracked.birthDay = day;
+        communities_.push_back(tracked);
+        events_.push_back({LifecycleKind::kBirth, day, tracked.id, 0,
+                           predSim[b], false});
+        continue;
+      }
+      std::uint32_t winner = claimants[b][0];
+      for (std::uint32_t a : claimants[b]) {
+        if (succSim[a] > succSim[winner]) winner = a;
+      }
+      const std::uint32_t winnerTracked = previousTrackedOfLocal_[winner];
+      trackedOfNew[b] = winnerTracked;
+      matchSimilarity[b] = succSim[winner];
+      events_.push_back({LifecycleKind::kContinue, day, winnerTracked, 0,
+                         succSim[winner], false});
+      similaritySum += succSim[winner];
+      ++similarityCount;
+
+      if (claimants[b].size() >= 2) {
+        // Merge group: every non-winner claimant dies into the winner.
+        std::vector<double> sizes;
+        sizes.reserve(claimants[b].size());
+        for (std::uint32_t a : claimants[b]) {
+          sizes.push_back(static_cast<double>(previousSizes_[a]));
+        }
+        mergeRatios_.push_back({day, groupSizeRatio(std::move(sizes))});
+        for (std::uint32_t a : claimants[b]) {
+          if (a == winner) continue;
+          const std::uint32_t dyingTracked = previousTrackedOfLocal_[a];
+          TrackedCommunity& dying = communities_[dyingTracked];
+          dying.deathDay = day;
+          dying.endKind = LifecycleKind::kMergeDeath;
+          // "Merged with its strongest tie" holds when the community that
+          // had the most edges to `a` ends up in the same merged
+          // community — it may be the surviving identity or a co-merging
+          // sibling.
+          const std::uint32_t tie = previousStrongestTie_.size() > a
+                                        ? previousStrongestTie_[a]
+                                        : kNone;
+          const bool strongest =
+              tie != kNone && tie < succ.size() && succ[tie] == b;
+          events_.push_back({LifecycleKind::kMergeDeath, day, dyingTracked,
+                             winnerTracked, succSim[a], strongest});
+        }
+      }
+    }
+
+    // Dissolutions: old communities with no successor overlap at all.
+    for (std::uint32_t a = 0; a < oldCount; ++a) {
+      if (succ[a] != kNone) continue;
+      const std::uint32_t dyingTracked = previousTrackedOfLocal_[a];
+      TrackedCommunity& dying = communities_[dyingTracked];
+      dying.deathDay = day;
+      dying.endKind = LifecycleKind::kDissolve;
+      events_.push_back(
+          {LifecycleKind::kDissolve, day, dyingTracked, 0, 0.0, false});
+    }
+
+    // Splits: old communities that are the best predecessor of >= 2 new
+    // communities.
+    std::vector<std::vector<std::uint32_t>> children(oldCount);
+    for (std::uint32_t b = 0; b < newCount; ++b) {
+      if (pred[b] != kNone) children[pred[b]].push_back(b);
+    }
+    for (std::uint32_t a = 0; a < oldCount; ++a) {
+      if (children[a].size() < 2) continue;
+      std::vector<double> sizes;
+      sizes.reserve(children[a].size());
+      for (std::uint32_t b : children[a]) {
+        sizes.push_back(static_cast<double>(newSizes[b]));
+      }
+      splitRatios_.push_back({day, groupSizeRatio(std::move(sizes))});
+      events_.push_back({LifecycleKind::kSplit, day,
+                         previousTrackedOfLocal_[a],
+                         static_cast<std::uint32_t>(children[a].size()),
+                         succSim[a], false});
+    }
+
+    similarities_.push_back(
+        {day, similarityCount == 0 ? 0.0
+                                   : similaritySum /
+                                         static_cast<double>(similarityCount)});
+  }
+
+  // Append this snapshot's record to every live tracked community.
+  for (std::size_t c = 0; c < newCount; ++c) {
+    TrackedCommunity& tracked = communities_[trackedOfNew[c]];
+    TrackedRecord record;
+    record.day = day;
+    record.size = static_cast<std::uint32_t>(newSizes[c]);
+    record.inDegreeRatio =
+        stats.totalDegree[c] == 0.0
+            ? 0.0
+            : stats.internalEdges[c] / stats.totalDegree[c];
+    record.selfSimilarity = matchSimilarity[c];
+    tracked.history.push_back(record);
+  }
+
+  // Roll the snapshot state forward.
+  previousLabels_.assign(newLabels.begin(), newLabels.end());
+  previousTrackedOfLocal_ = trackedOfNew;
+  previousSizes_ = newSizes;
+  previousStrongestTie_ = stats.strongestTie;
+  previousTracked_.assign(newLabels.size(), kNone);
+  for (std::size_t node = 0; node < newLabels.size(); ++node) {
+    if (newLabels[node] != kNoCommunity) {
+      previousTracked_[node] = trackedOfNew[newLabels[node]];
+    }
+  }
+  previousDay_ = day;
+  ++snapshots_;
+}
+
+}  // namespace msd

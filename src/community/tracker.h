@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace msd {
+
+/// What happened to a tracked community at a snapshot transition.
+enum class LifecycleKind : std::uint8_t {
+  kBirth,     ///< appeared with no dominant predecessor
+  kContinue,  ///< mutual best match with its previous incarnation
+  kMergeDeath,///< absorbed into another tracked community
+  kDissolve,  ///< fell apart (no successor overlap at all)
+  kSplit,     ///< spawned >= 2 successor communities (subject continues)
+};
+
+/// One lifecycle event, in snapshot-transition order.
+struct LifecycleEvent {
+  LifecycleKind kind = LifecycleKind::kBirth;
+  Day day = 0.0;            ///< day of the *new* snapshot
+  std::uint32_t tracked = 0;///< tracked id of the subject community
+  std::uint32_t other = 0;  ///< kMergeDeath: absorber id; kSplit: child count
+  double similarity = 0.0;  ///< Jaccard to the matched incarnation (if any)
+  bool strongestTie = false;///< kMergeDeath: absorber had max edges to subject
+};
+
+/// Size ratio (second largest / largest) of one merge or split group,
+/// the quantity Fig 6(a) plots.
+struct GroupSizeRatio {
+  Day day = 0.0;
+  double ratio = 0.0;
+};
+
+/// State of one community at one snapshot.
+struct TrackedRecord {
+  Day day = 0.0;
+  std::uint32_t size = 0;
+  double inDegreeRatio = 0.0;   ///< internal edges / total member degree
+  double selfSimilarity = 0.0;  ///< Jaccard vs previous incarnation (0 at birth)
+};
+
+/// A community identity followed across snapshots.
+struct TrackedCommunity {
+  std::uint32_t id = 0;
+  Day birthDay = 0.0;
+  Day deathDay = -1.0;  ///< <0 while alive at the last snapshot seen
+  LifecycleKind endKind = LifecycleKind::kContinue;  ///< how it ended
+  std::vector<TrackedRecord> history;
+
+  /// Lifetime in days (up to the last snapshot it was seen in).
+  double lifetime() const {
+    const Day end = deathDay >= 0.0 ? deathDay : history.back().day;
+    return end - birthDay;
+  }
+};
+
+/// Average cross-snapshot similarity at one transition (Fig 4(b)).
+struct TransitionSimilarity {
+  Day day = 0.0;         ///< day of the new snapshot
+  double average = 0.0;  ///< mean Jaccard over matched community pairs
+};
+
+/// Configuration of the tracker.
+struct TrackerConfig {
+  /// Communities smaller than this are ignored entirely (the paper uses
+  /// 10 to avoid counting tiny cliques).
+  std::size_t minCommunitySize = 10;
+};
+
+/// Tracks community identities across a sequence of snapshots, following
+/// the paper's method (Sec 4.1): communities are matched between
+/// consecutive snapshots by Jaccard similarity; a mutual best match
+/// continues an identity; >= 2 old communities whose best successor is the
+/// same new community constitute a merge (the most similar one keeps the
+/// identity, the others die); >= 2 new communities whose best predecessor
+/// is the same old community constitute a split (the most similar child
+/// keeps the identity, the others are born).
+///
+/// Feed snapshots in chronological order via addSnapshot(). The tracker
+/// only retains the previous snapshot's membership, so memory stays
+/// proportional to one snapshot, not the whole history.
+class CommunityTracker {
+ public:
+  explicit CommunityTracker(TrackerConfig config = {});
+
+  /// Ingests the partition of the snapshot taken on `day`. `graph` is the
+  /// snapshot's graph (used for in-degree ratios and strongest-tie
+  /// checks); `partition` may have sparse labels; communities below the
+  /// size threshold are dropped.
+  void addSnapshot(Day day, const Graph& graph, const Partition& partition);
+
+  /// All tracked communities, by tracked id.
+  const std::vector<TrackedCommunity>& communities() const {
+    return communities_;
+  }
+
+  /// All lifecycle events in transition order.
+  const std::vector<LifecycleEvent>& events() const { return events_; }
+
+  /// Merge-group size ratios (one entry per merge group), Fig 6(a).
+  const std::vector<GroupSizeRatio>& mergeSizeRatios() const {
+    return mergeRatios_;
+  }
+
+  /// Split-group size ratios (one entry per split group), Fig 6(a).
+  const std::vector<GroupSizeRatio>& splitSizeRatios() const {
+    return splitRatios_;
+  }
+
+  /// Per-transition average similarity of matched communities, Fig 4(b).
+  const std::vector<TransitionSimilarity>& transitionSimilarities() const {
+    return similarities_;
+  }
+
+  /// Tracked id carried by each node in the most recent snapshot
+  /// (kNoCommunity for nodes outside all tracked communities).
+  const std::vector<std::uint32_t>& currentMembership() const {
+    return previousTracked_;
+  }
+
+  /// Number of snapshots ingested.
+  std::size_t snapshotCount() const { return snapshots_; }
+
+ private:
+  TrackerConfig config_;
+  std::vector<TrackedCommunity> communities_;
+  std::vector<LifecycleEvent> events_;
+  std::vector<GroupSizeRatio> mergeRatios_;
+  std::vector<GroupSizeRatio> splitRatios_;
+  std::vector<TransitionSimilarity> similarities_;
+
+  // Previous snapshot state: per node, dense local community id and the
+  // tracked id of each local community.
+  std::vector<CommunityId> previousLabels_;
+  std::vector<std::uint32_t> previousTracked_;  // per NODE: tracked id
+  std::vector<std::uint32_t> previousTrackedOfLocal_;  // per local comm id
+  std::vector<std::size_t> previousSizes_;
+  std::vector<std::uint32_t> previousStrongestTie_;  // per local comm id
+  Day previousDay_ = 0.0;
+  std::size_t snapshots_ = 0;
+};
+
+}  // namespace msd

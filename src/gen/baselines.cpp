@@ -1,0 +1,155 @@
+#include "gen/baselines.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+/// Shared helper: appends a seed triangle at t=0 and returns the first
+/// free timestamp slot.
+void appendSeedTriangle(EventStream& stream,
+                        std::vector<NodeId>& endpoints) {
+  for (int i = 0; i < 3; ++i) stream.appendNodeJoin(0.0);
+  const NodeId pairs[3][2] = {{0, 1}, {1, 2}, {0, 2}};
+  for (const auto& pair : pairs) {
+    stream.appendEdgeAdd(0.0, pair[0], pair[1]);
+    endpoints.push_back(pair[0]);
+    endpoints.push_back(pair[1]);
+  }
+}
+
+}  // namespace
+
+EventStream generateBarabasiAlbert(const BarabasiAlbertConfig& config) {
+  require(config.nodes >= 4, "generateBarabasiAlbert: need >= 4 nodes");
+  require(config.edgesPerNode >= 1,
+          "generateBarabasiAlbert: need >= 1 edge per node");
+  require(config.nodesPerDay > 0.0,
+          "generateBarabasiAlbert: nodesPerDay must be positive");
+
+  Rng rng(config.seed);
+  EventStream stream;
+  std::vector<NodeId> endpoints;  // degree-proportional sampling array
+  appendSeedTriangle(stream, endpoints);
+
+  std::unordered_set<NodeId> chosen;
+  for (std::size_t i = 3; i < config.nodes; ++i) {
+    const double t = static_cast<double>(i) / config.nodesPerDay;
+    const NodeId node = stream.appendNodeJoin(t);
+    chosen.clear();
+    const std::size_t wanted = std::min(config.edgesPerNode, i);
+    int guard = 0;
+    while (chosen.size() < wanted && ++guard < 1000) {
+      const NodeId target = endpoints[rng.uniformInt(endpoints.size())];
+      if (target == node || chosen.count(target)) continue;
+      chosen.insert(target);
+      stream.appendEdgeAdd(t, node, target);
+      endpoints.push_back(node);
+      endpoints.push_back(target);
+    }
+  }
+  return stream;
+}
+
+EventStream generateForestFire(const ForestFireConfig& config) {
+  require(config.nodes >= 4, "generateForestFire: need >= 4 nodes");
+  require(config.burnProbability > 0.0 && config.burnProbability < 1.0,
+          "generateForestFire: burnProbability must be in (0, 1)");
+
+  Rng rng(config.seed);
+  EventStream stream;
+  Graph graph;
+  std::vector<NodeId> dummyEndpoints;
+  appendSeedTriangle(stream, dummyEndpoints);
+  graph.ensureNode(2);
+  graph.addEdge(0, 1);
+  graph.addEdge(1, 2);
+  graph.addEdge(0, 2);
+
+  // Geometric number of neighbors to burn from one node.
+  auto burnCount = [&]() {
+    std::size_t count = 0;
+    while (rng.chance(config.burnProbability)) ++count;
+    return count;
+  };
+
+  std::vector<NodeId> frontier;
+  std::unordered_set<NodeId> visited;
+  for (std::size_t i = 3; i < config.nodes; ++i) {
+    const double t = static_cast<double>(i) / config.nodesPerDay;
+    const NodeId node = stream.appendNodeJoin(t);
+    graph.addNode();
+
+    const auto ambassador = static_cast<NodeId>(rng.uniformInt(node));
+    frontier.clear();
+    visited.clear();
+    frontier.push_back(ambassador);
+    visited.insert(ambassador);
+    visited.insert(node);
+    std::size_t burned = 0;
+    while (!frontier.empty() && burned < config.maxBurn) {
+      const NodeId current = frontier.back();
+      frontier.pop_back();
+      stream.appendEdgeAdd(t, node, current);
+      graph.addEdge(node, current);
+      ++burned;
+      // Burn a geometric number of current's neighbors.
+      const auto neighbors = graph.neighbors(current);
+      std::size_t toBurn = burnCount();
+      for (std::size_t attempt = 0;
+           attempt < 4 * toBurn + 4 && toBurn > 0 && !neighbors.empty();
+           ++attempt) {
+        const NodeId next = neighbors[rng.uniformInt(neighbors.size())];
+        if (visited.count(next)) continue;
+        visited.insert(next);
+        frontier.push_back(next);
+        --toBurn;
+      }
+    }
+  }
+  return stream;
+}
+
+EventStream generateHybridPa(const HybridPaConfig& config) {
+  require(config.nodes >= 4, "generateHybridPa: need >= 4 nodes");
+  require(config.edgesPerNode >= 1,
+          "generateHybridPa: need >= 1 edge per node");
+  require(config.halfLifeEdges > 0.0,
+          "generateHybridPa: halfLifeEdges must be positive");
+
+  Rng rng(config.seed);
+  EventStream stream;
+  std::vector<NodeId> endpoints;
+  appendSeedTriangle(stream, endpoints);
+
+  std::unordered_set<NodeId> chosen;
+  for (std::size_t i = 3; i < config.nodes; ++i) {
+    const double t = static_cast<double>(i) / config.nodesPerDay;
+    const NodeId node = stream.appendNodeJoin(t);
+    chosen.clear();
+    const std::size_t wanted = std::min(config.edgesPerNode, i);
+    int guard = 0;
+    while (chosen.size() < wanted && ++guard < 1000) {
+      const double edges = static_cast<double>(stream.edgeCount());
+      const double paShare =
+          config.paEnd + (config.paStart - config.paEnd) /
+                             (1.0 + edges / config.halfLifeEdges);
+      const NodeId target =
+          rng.chance(paShare)
+              ? endpoints[rng.uniformInt(endpoints.size())]
+              : static_cast<NodeId>(rng.uniformInt(node));
+      if (target == node || chosen.count(target)) continue;
+      chosen.insert(target);
+      stream.appendEdgeAdd(t, node, target);
+      endpoints.push_back(node);
+      endpoints.push_back(target);
+    }
+  }
+  return stream;
+}
+
+}  // namespace msd

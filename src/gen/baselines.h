@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/event_stream.h"
+#include "util/rng.h"
+
+namespace msd {
+
+/// Baseline generative models from the paper's discussion (Sec 3, Sec 6):
+/// classic preferential attachment [Barabási-Albert], the Forest Fire
+/// model [Leskovec et al.], and the hybrid model the paper itself
+/// proposes in Sec 3.3 — preferential attachment mixed with a randomized
+/// component whose share grows as the network matures.
+///
+/// All three emit the same timestamped EventStream as TraceGenerator, so
+/// every analysis in src/analysis/ runs on them unchanged. The
+/// baseline_models bench compares which observations each model can and
+/// cannot reproduce.
+
+/// Barabási-Albert: each arriving node attaches `edgesPerNode` edges to
+/// existing nodes chosen proportionally to degree.
+struct BarabasiAlbertConfig {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 20000;
+  std::size_t edgesPerNode = 5;
+  double nodesPerDay = 50.0;  ///< arrival pacing (event timestamps only)
+};
+
+/// Generates a BA trace. Node 0..2 form a seed triangle.
+EventStream generateBarabasiAlbert(const BarabasiAlbertConfig& config);
+
+/// Forest Fire (simplified, undirected): each arriving node picks a
+/// random ambassador, links to it, then "burns" outward — from each newly
+/// linked node it links to a geometrically-distributed number of that
+/// node's neighbors, recursively. Produces densification and shrinking
+/// diameter.
+struct ForestFireConfig {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 20000;
+  double burnProbability = 0.35;  ///< geometric mean burn = p/(1-p)
+  std::size_t maxBurn = 200;      ///< safety cap per arrival
+  double nodesPerDay = 50.0;
+};
+
+/// Generates a Forest Fire trace.
+EventStream generateForestFire(const ForestFireConfig& config);
+
+/// The paper's Sec 3.3 hypothesis: "an accurate model ... should combine
+/// a preferential attachment component with a randomized attachment
+/// component [whose share captures] the gradual deviation from
+/// preferential attachment." Each new edge chooses its destination
+/// preferentially with probability p(E) and uniformly otherwise, where
+/// p(E) decays with the current edge count E:
+///   p(E) = paEnd + (paStart - paEnd) / (1 + E / halfLifeEdges).
+struct HybridPaConfig {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 20000;
+  std::size_t edgesPerNode = 5;
+  double paStart = 1.0;
+  double paEnd = 0.15;
+  double halfLifeEdges = 25e3;
+  double nodesPerDay = 50.0;
+};
+
+/// Generates a hybrid-PA trace.
+EventStream generateHybridPa(const HybridPaConfig& config);
+
+}  // namespace msd

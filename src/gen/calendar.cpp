@@ -1,0 +1,26 @@
+#include "gen/calendar.h"
+
+#include "util/error.h"
+
+namespace msd {
+
+Calendar::Calendar(std::vector<Holiday> holidays)
+    : holidays_(std::move(holidays)) {
+  for (const Holiday& holiday : holidays_) {
+    require(holiday.length >= 0.0, "Calendar: holiday length must be >= 0");
+    require(holiday.factor > 0.0 && holiday.factor <= 1.0,
+            "Calendar: holiday factor must be in (0, 1]");
+  }
+}
+
+double Calendar::factor(double t) const {
+  double value = 1.0;
+  for (const Holiday& holiday : holidays_) {
+    if (t >= holiday.startDay && t < holiday.startDay + holiday.length) {
+      value *= holiday.factor;
+    }
+  }
+  return value;
+}
+
+}  // namespace msd

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "gen/config.h"
+
+namespace msd {
+
+/// Maps a trace day to the activity/arrival multiplier implied by the
+/// configured holidays (1.0 outside all holidays). Overlapping holidays
+/// multiply.
+class Calendar {
+ public:
+  explicit Calendar(std::vector<Holiday> holidays);
+
+  /// Multiplier in effect at time t (days).
+  double factor(double t) const;
+
+ private:
+  std::vector<Holiday> holidays_;
+};
+
+}  // namespace msd

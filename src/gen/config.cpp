@@ -1,0 +1,37 @@
+#include "gen/config.h"
+
+namespace msd {
+
+GeneratorConfig GeneratorConfig::renren(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  return config;  // the defaults ARE the bench-scale Renren analog
+}
+
+GeneratorConfig GeneratorConfig::communityScale(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.arrival = {1.5, 0.012, 60.0};
+  config.merge.secondArrival = {0.9, 0.020, 70.0};
+  return config;
+}
+
+GeneratorConfig GeneratorConfig::tiny(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.days = 100.0;
+  config.arrival = {2.0, 0.03, 30.0};
+  config.merge.mergeDay = 60.0;
+  config.merge.secondDurationDays = 40.0;
+  config.merge.secondArrival = {1.5, 0.04, 30.0};
+  // Keep the tiny second network clearly sparser than the main one so
+  // the merge-day average-degree dip is visible even at toy scale.
+  config.merge.secondActivity.budgetMin = 1.2;
+  config.merge.secondActivity.budgetAlpha = 2.2;
+  config.attachment.paHalfLifeEdges = 2e3;
+  config.attachment.bestOfHalfLifeEdges = 1e3;
+  config.holidays = {{20.0, 5.0, 0.4}};
+  return config;
+}
+
+}  // namespace msd

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace msd {
+
+/// One calendar dip: during [startDay, startDay + length), arrivals and
+/// activity are multiplied by `factor` (< 1). Models the Lunar New Year
+/// and summer-vacation dips visible in the paper's Fig 1(a).
+struct Holiday {
+  double startDay = 0.0;
+  double length = 0.0;
+  double factor = 1.0;
+};
+
+/// Node arrival process of one network: expected arrivals on day t are
+/// min(base * exp(growth * t), cap), modulated by the calendar.
+struct ArrivalConfig {
+  double base = 2.0;    ///< expected arrivals on day 0
+  double growth = 0.012; ///< exponential day rate
+  double cap = 200.0;   ///< upper bound on expected arrivals per day
+};
+
+/// Per-node activity model. A node draws an edge budget (the number of
+/// friendships it will initiate) from a capped Pareto, then fires edge
+/// creations separated by Pareto gaps whose minimum grows with the number
+/// of edges already created — yielding the paper's power-law inter-arrival
+/// PDF (Fig 2(a)) and front-loaded lifetime activity (Fig 2(b)).
+struct ActivityConfig {
+  double budgetMin = 2.2;    ///< Pareto minimum of the edge budget
+  double budgetAlpha = 1.45;  ///< Pareto shape of the edge budget
+  double budgetCap = 500.0;  ///< hard cap on initiations per node
+  double gapMin = 0.05;      ///< minimum inter-edge gap (days)
+  double gapAlpha = 1.4;     ///< Pareto shape of gaps (PDF slope ~ 1+alpha)
+  double frontLoad = 1.1;    ///< gap minimum grows as (1+created)^frontLoad
+  double gapCap = 250.0;     ///< never schedule further out than this (days)
+  /// Community reinforcement: members of a group of size s get their edge
+  /// budget multiplied and their gaps divided by
+  /// (1 + groupSizeBoost * log10(1 + s)). This produces the paper's
+  /// Fig 7 finding that community users create edges more frequently,
+  /// stay active longer, and do so more the larger their community.
+  double groupSizeBoost = 0.2;
+};
+
+/// Edge destination kernel. Order of choice: triadic closure, same-group,
+/// then a preferential/random mix whose preferential share and supernode
+/// bias decay with network edge count — producing the alpha(t) decay of
+/// Fig 3(c).
+struct AttachmentConfig {
+  double triadicProb = 0.36;   ///< friend-of-friend closure probability
+  double groupProb = 0.42;     ///< same-homophily-group probability
+  double paStart = 0.95;       ///< preferential share when the network is tiny
+  double paEnd = 0.08;         ///< preferential share in the mature network
+  double paHalfLifeEdges = 50e3; ///< edge count where the share is halfway
+  int bestOfStart = 4;         ///< early supernode bias: best-degree of k picks
+  double bestOfHalfLifeEdges = 20e3; ///< decay scale of the supernode bias
+  double maxDegree = 1000.0;   ///< Renren's friend cap
+};
+
+/// Homophily-group assignment for joining nodes (the seed of community
+/// structure). Groups are chosen size-proportionally ("rich school gets
+/// richer"), with a chance of founding a new group.
+struct GroupConfig {
+  /// Baseline chance a joining node founds a new group once the network
+  /// holds `referenceNodes` users. The effective probability scales as
+  /// sqrt(referenceNodes / nodes), capped at `maxNewGroupProb`: early
+  /// joiners come from many different schools (the paper observes many
+  /// small near-cliques in the first 60 days), while late joiners mostly
+  /// land in established ones.
+  double newGroupProb = 0.05;
+  double referenceNodes = 5000.0;
+  double maxNewGroupProb = 0.4;
+  /// Group fission: each day, every group larger than `fissionMinSize`
+  /// splits with probability `fissionDailyProb` into two comparable
+  /// halves (a new school year, a campus split, an interest forking).
+  /// This is what makes detected communities occasionally split into
+  /// *balanced* parts, the paper's Fig 6(a) observation.
+  double fissionDailyProb = 0.004;
+  std::size_t fissionMinSize = 60;
+};
+
+/// Background re-engagement: every day a small fraction of active users
+/// returns to the site and initiates a few more friendships. This is the
+/// mechanism behind the paper's Fig 2(c) observation that edge creation
+/// in the mature network is increasingly driven by OLD nodes — without
+/// revival, front-loaded budgets would leave young nodes dominating
+/// forever.
+struct RevivalConfig {
+  double dailyFraction = 0.0035; ///< expected revived share of active users/day
+  double budgetMin = 1.0;        ///< Pareto minimum of the revival budget
+  double budgetAlpha = 1.5;      ///< Pareto shape of the revival budget
+};
+
+/// The OSN-merge script (Sec 5). The second network is generated
+/// independently (its own arrival/activity scale), imported wholesale on
+/// `mergeDay`, duplicates go silent, and surviving pre-merge users get a
+/// re-energized edge budget with decaying internal/external preferences.
+struct MergeConfig {
+  bool enabled = true;
+  double mergeDay = 386.0;
+  double secondDurationDays = 246.0;  ///< how long the second network grew
+  ArrivalConfig secondArrival{1.2, 0.022, 250.0};
+  ActivityConfig secondActivity{2.0, 1.9, 300.0, 0.05, 1.4, 1.1, 250.0};
+  double duplicateFractionMain = 0.11;   ///< main accounts silent at merge
+  double duplicateFractionSecond = 0.28; ///< second accounts silent at merge
+  /// Post-merge re-energization: fraction of surviving pre-merge users
+  /// that receive a fresh burst budget, per origin.
+  double burstParticipationMain = 0.70;
+  double burstParticipationSecond = 0.80;
+  double burstBudgetMin = 2.0;
+  double burstBudgetAlpha = 1.3;
+  /// Post-merge destination-class biases (multiplied by the target class's
+  /// active population). Internal bias decays from start to end with the
+  /// given time constant; external likewise. New (post-merge) users always
+  /// have bias 1, so they dominate as their population grows.
+  double internalBiasStartMain = 9.0;
+  double internalBiasEndMain = 1.6;
+  double internalBiasStartSecond = 4.0;
+  double internalBiasEndSecond = 0.7;
+  double externalBiasStartMain = 2.5;
+  double externalBiasEndMain = 0.8;
+  double externalBiasStartSecond = 4.5;
+  double externalBiasEndSecond = 1.2;
+  double biasDecayDays = 60.0;  ///< time constant of both decays
+  /// Post-merge activity scale of second-origin users relative to main
+  /// (the paper finds 5Q users markedly less engaged).
+  double secondActivityScale = 0.55;
+  /// Permanent daily churn of pre-merge users after the merge ("users
+  /// lose interest and stop generating new friend relationships"). The
+  /// paper observes 5Q accounts going quiet at roughly twice the Xiaonei
+  /// rate (Fig 8(a)/(b)).
+  double churnDailyMain = 0.0004;
+  double churnDailySecond = 0.0008;
+};
+
+/// Full generator configuration.
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  double days = 770.0;  ///< trace length in days (paper: 771 snapshots)
+  ArrivalConfig arrival{2.0, 0.012, 200.0};
+  ActivityConfig activity{};
+  AttachmentConfig attachment{};
+  GroupConfig groups{};
+  RevivalConfig revival{};
+  MergeConfig merge{};
+  std::vector<Holiday> holidays = defaultHolidays();
+
+  /// The paper's real-world calendar dips mapped onto trace days:
+  /// Lunar New Year around day 56 (2 weeks), summer break from day 222
+  /// (2 months), and their next-year repetitions at days 432 and 587.
+  static std::vector<Holiday> defaultHolidays() {
+    return {
+        {56.0, 14.0, 0.35},
+        {222.0, 60.0, 0.55},
+        {432.0, 14.0, 0.45},
+        {587.0, 60.0, 0.65},
+    };
+  }
+
+  /// Bench-scale Renren analog: ~10^5 nodes, ~10^6 edges, full 770-day
+  /// span with the merge on day 386. All figure benches default to this.
+  static GeneratorConfig renren(std::uint64_t seed = 1);
+
+  /// Smaller variant for the community-tracking benches (Louvain runs on
+  /// every 3-day snapshot, so the trace is kept to ~3*10^4 nodes).
+  static GeneratorConfig communityScale(std::uint64_t seed = 1);
+
+  /// Tiny trace for unit tests (~10^3 nodes, ~100 days), merge on day 60.
+  static GeneratorConfig tiny(std::uint64_t seed = 1);
+};
+
+}  // namespace msd

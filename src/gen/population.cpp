@@ -1,0 +1,159 @@
+#include "gen/population.h"
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+constexpr int kSampleRetries = 16;
+}
+
+void PopulationIndex::addNode(NodeId node, Origin origin, GroupId group) {
+  require(node == active_.size(),
+          "PopulationIndex::addNode: ids must arrive densely");
+  active_.push_back(1);
+  origin_.push_back(origin);
+  group_.push_back(group);
+  members_[classIndex(origin)].push_back(node);
+  ++activeCount_[classIndex(origin)];
+  if (group != kNoGroup) {
+    require(group < groupMembers_.size(),
+            "PopulationIndex::addNode: unknown group");
+    groupMembers_[group].push_back(node);
+    groupPickArray_.push_back(group);
+  }
+}
+
+void PopulationIndex::deactivate(NodeId node) {
+  require(node < active_.size(), "PopulationIndex::deactivate: bad node");
+  if (active_[node]) {
+    active_[node] = 0;
+    --activeCount_[classIndex(origin_[node])];
+  }
+}
+
+bool PopulationIndex::isActive(NodeId node) const {
+  require(node < active_.size(), "PopulationIndex::isActive: bad node");
+  return active_[node] != 0;
+}
+
+void PopulationIndex::recordEdge(NodeId u, NodeId v) {
+  require(u < active_.size() && v < active_.size(),
+          "PopulationIndex::recordEdge: bad node");
+  endpoints_[classIndex(origin_[u])].push_back(u);
+  endpoints_[classIndex(origin_[v])].push_back(v);
+}
+
+std::size_t PopulationIndex::activeCount(Origin origin) const {
+  return activeCount_[classIndex(origin)];
+}
+
+std::size_t PopulationIndex::classSize(Origin origin) const {
+  return members_[classIndex(origin)].size();
+}
+
+std::size_t PopulationIndex::endpointCount(Origin origin) const {
+  return endpoints_[classIndex(origin)].size();
+}
+
+NodeId PopulationIndex::sampleUniform(Origin origin, Rng& rng) const {
+  const auto& pool = members_[classIndex(origin)];
+  if (pool.empty() || activeCount_[classIndex(origin)] == 0) {
+    return kInvalidNode;
+  }
+  for (int attempt = 0; attempt < kSampleRetries; ++attempt) {
+    const NodeId candidate = pool[rng.uniformInt(pool.size())];
+    if (active_[candidate]) return candidate;
+  }
+  return kInvalidNode;
+}
+
+NodeId PopulationIndex::sampleByDegree(
+    Origin origin, Rng& rng, int bestOf,
+    const std::vector<std::uint32_t>& degree) const {
+  const auto& pool = endpoints_[classIndex(origin)];
+  if (pool.empty()) return kInvalidNode;
+  if (bestOf < 1) bestOf = 1;
+
+  NodeId best = kInvalidNode;
+  std::uint32_t bestDegree = 0;
+  int found = 0;
+  for (int attempt = 0; attempt < kSampleRetries && found < bestOf;
+       ++attempt) {
+    const NodeId candidate = pool[rng.uniformInt(pool.size())];
+    if (!active_[candidate]) continue;
+    ++found;
+    const std::uint32_t d =
+        candidate < degree.size() ? degree[candidate] : 0;
+    if (best == kInvalidNode || d > bestDegree) {
+      best = candidate;
+      bestDegree = d;
+    }
+  }
+  return best;
+}
+
+NodeId PopulationIndex::sampleGroupMember(GroupId group, Rng& rng) const {
+  if (group == kNoGroup || group >= groupMembers_.size()) return kInvalidNode;
+  const auto& pool = groupMembers_[group];
+  if (pool.empty()) return kInvalidNode;
+  for (int attempt = 0; attempt < kSampleRetries; ++attempt) {
+    const NodeId candidate = pool[rng.uniformInt(pool.size())];
+    if (active_[candidate]) return candidate;
+  }
+  return kInvalidNode;
+}
+
+std::size_t PopulationIndex::groupSize(GroupId group) const {
+  if (group == kNoGroup || group >= groupMembers_.size()) return 0;
+  return groupMembers_[group].size();
+}
+
+GroupId PopulationIndex::createGroup() {
+  groupMembers_.emplace_back();
+  return static_cast<GroupId>(groupMembers_.size() - 1);
+}
+
+GroupId PopulationIndex::sampleGroupBySize(Rng& rng) const {
+  if (groupPickArray_.empty()) return kNoGroup;
+  return groupPickArray_[rng.uniformInt(groupPickArray_.size())];
+}
+
+void PopulationIndex::reassignGroup(NodeId node, GroupId newGroup) {
+  require(node < group_.size(), "PopulationIndex::reassignGroup: bad node");
+  require(newGroup < groupMembers_.size(),
+          "PopulationIndex::reassignGroup: unknown group");
+  const GroupId old = group_[node];
+  if (old == newGroup) return;
+  if (old != kNoGroup) {
+    auto& members = groupMembers_[old];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == node) {
+        members[i] = members.back();
+        members.pop_back();
+        break;
+      }
+    }
+  }
+  group_[node] = newGroup;
+  groupMembers_[newGroup].push_back(node);
+  groupPickArray_.push_back(newGroup);
+}
+
+const std::vector<NodeId>& PopulationIndex::groupMembers(
+    GroupId group) const {
+  require(group < groupMembers_.size(),
+          "PopulationIndex::groupMembers: unknown group");
+  return groupMembers_[group];
+}
+
+Origin PopulationIndex::originOf(NodeId node) const {
+  require(node < origin_.size(), "PopulationIndex::originOf: bad node");
+  return origin_[node];
+}
+
+GroupId PopulationIndex::groupOf(NodeId node) const {
+  require(node < group_.size(), "PopulationIndex::groupOf: bad node");
+  return group_[node];
+}
+
+}  // namespace msd

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace msd {
+
+/// Sampling pools over the simulated population, maintained incrementally
+/// by the trace generator.
+///
+/// Nodes are bucketed by origin class (main / second / post-merge). Each
+/// class keeps a member list (uniform sampling) and an endpoint array with
+/// one entry per incident edge (degree-proportional sampling — the classic
+/// preferential-attachment trick). Homophily groups keep their own member
+/// lists. Deactivated nodes (discarded duplicate accounts) stay in the
+/// arrays but samplers reject them, so deactivation is O(1).
+class PopulationIndex {
+ public:
+  PopulationIndex() = default;
+
+  /// Registers a node. Ids must arrive densely (0, 1, 2, ...).
+  void addNode(NodeId node, Origin origin, GroupId group);
+
+  /// Marks a node as inactive (never returned by samplers again).
+  void deactivate(NodeId node);
+
+  /// True unless the node was deactivated.
+  bool isActive(NodeId node) const;
+
+  /// Records an undirected edge for degree-proportional sampling.
+  void recordEdge(NodeId u, NodeId v);
+
+  /// Number of active nodes in a class.
+  std::size_t activeCount(Origin origin) const;
+
+  /// Number of registered nodes in a class (active or not).
+  std::size_t classSize(Origin origin) const;
+
+  /// Total degree mass of a class (2x its recorded edge endpoints in that
+  /// class) — the attractiveness weight for cross-class attachment.
+  std::size_t endpointCount(Origin origin) const;
+
+  /// Uniform active node from a class; kInvalidNode when none can be
+  /// found within the retry budget.
+  NodeId sampleUniform(Origin origin, Rng& rng) const;
+
+  /// Degree-proportional active node from a class; with bestOf > 1, draws
+  /// `bestOf` candidates and keeps the highest-degree one (a supernode
+  /// bias yielding superlinear preferential attachment). kInvalidNode on
+  /// failure.
+  NodeId sampleByDegree(Origin origin, Rng& rng, int bestOf,
+                        const std::vector<std::uint32_t>& degree) const;
+
+  /// Uniform active member of a group; kInvalidNode on failure.
+  NodeId sampleGroupMember(GroupId group, Rng& rng) const;
+
+  /// Number of groups created so far.
+  std::size_t groupCount() const { return groupMembers_.size(); }
+
+  /// Current member count of a group (0 for kNoGroup/unknown).
+  std::size_t groupSize(GroupId group) const;
+
+  /// Creates a new empty group and returns its id.
+  GroupId createGroup();
+
+  /// Size-proportional pick of an existing group (kNoGroup when there are
+  /// none yet).
+  GroupId sampleGroupBySize(Rng& rng) const;
+
+  /// Moves a node into another (existing) group. O(size of the old
+  /// group). Used by the fission mechanism; the size-proportional pick
+  /// array keeps one stale entry per move (acceptable bias).
+  void reassignGroup(NodeId node, GroupId newGroup);
+
+  /// Members of a group (snapshot reference; invalidated by reassigns).
+  const std::vector<NodeId>& groupMembers(GroupId group) const;
+
+  /// Origin class of a node.
+  Origin originOf(NodeId node) const;
+
+  /// Group of a node.
+  GroupId groupOf(NodeId node) const;
+
+ private:
+  static std::size_t classIndex(Origin origin) {
+    return static_cast<std::size_t>(origin);
+  }
+
+  std::array<std::vector<NodeId>, 3> members_;
+  std::array<std::vector<NodeId>, 3> endpoints_;
+  std::array<std::size_t, 3> activeCount_{0, 0, 0};
+  std::vector<std::uint8_t> active_;
+  std::vector<Origin> origin_;
+  std::vector<GroupId> group_;
+  std::vector<std::vector<NodeId>> groupMembers_;
+  std::vector<GroupId> groupPickArray_;  // one entry per group membership
+};
+
+}  // namespace msd

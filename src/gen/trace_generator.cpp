@@ -1,0 +1,463 @@
+#include "gen/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+constexpr int kDestinationAttempts = 10;
+
+double clampBudget(double value, double cap) {
+  if (value > cap) return cap;
+  if (value < 1.0) return 1.0;
+  return value;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(GeneratorConfig config)
+    : config_(std::move(config)),
+      calendar_(config_.holidays),
+      rng_(config_.seed) {
+  require(config_.days > 0.0, "TraceGenerator: days must be positive");
+  require(!config_.merge.enabled || config_.merge.mergeDay < config_.days,
+          "TraceGenerator: merge day must fall inside the trace");
+}
+
+double TraceGenerator::arrivalRate(double day) const {
+  const ArrivalConfig& arrival = config_.arrival;
+  const double rate = arrival.base * std::exp(arrival.growth * day);
+  return std::min(rate, arrival.cap);
+}
+
+GroupId TraceGenerator::chooseGroup() {
+  const GroupConfig& groups = config_.groups;
+  const double nodes = static_cast<double>(graph_.nodeCount()) + 1.0;
+  const double probability =
+      std::min(groups.maxNewGroupProb,
+               groups.newGroupProb * std::sqrt(groups.referenceNodes / nodes));
+  if (population_.groupCount() == 0 || rng_.chance(probability)) {
+    return population_.createGroup();
+  }
+  const GroupId group = population_.sampleGroupBySize(rng_);
+  return group == kNoGroup ? population_.createGroup() : group;
+}
+
+NodeId TraceGenerator::spawnNode(double t, Origin origin) {
+  const GroupId group = chooseGroup();
+  const NodeId id = stream_.appendNodeJoin(t, origin, group);
+  graph_.addNode();
+  degree_.push_back(0);
+  population_.addNode(id, origin, group);
+
+  NodeSim sim;
+  const ActivityConfig& activity = config_.activity;
+  // Community reinforcement: larger groups energize their members.
+  const double boost =
+      1.0 + activity.groupSizeBoost *
+                std::log10(1.0 + static_cast<double>(
+                                     population_.groupSize(group)));
+  sim.budget = static_cast<std::uint32_t>(clampBudget(
+      boost * rng_.pareto(activity.budgetMin, activity.budgetAlpha),
+      activity.budgetCap));
+  sim.gapScale = static_cast<float>(1.0 / boost);
+  sims_.push_back(sim);
+
+  Action action;
+  action.time = t + std::min(drawGap(sim), config_.activity.gapCap);
+  action.node = id;
+  heap_.push(action);
+  return id;
+}
+
+double TraceGenerator::drawGap(const NodeSim& sim) {
+  const ActivityConfig& activity = config_.activity;
+  const double minimum =
+      activity.gapMin * static_cast<double>(sim.gapScale) *
+      std::pow(1.0 + static_cast<double>(sim.created), activity.frontLoad);
+  const double gap = rng_.pareto(minimum, activity.gapAlpha);
+  return std::min(gap, activity.gapCap);
+}
+
+void TraceGenerator::scheduleNext(NodeId node, double t) {
+  Action action;
+  action.time = t + drawGap(sims_[node]);
+  action.node = node;
+  heap_.push(action);
+}
+
+double TraceGenerator::paProbability() const {
+  const AttachmentConfig& attachment = config_.attachment;
+  const double edges = static_cast<double>(graph_.edgeCount());
+  return attachment.paEnd +
+         (attachment.paStart - attachment.paEnd) /
+             (1.0 + edges / attachment.paHalfLifeEdges);
+}
+
+int TraceGenerator::bestOf() const {
+  const AttachmentConfig& attachment = config_.attachment;
+  const double edges = static_cast<double>(graph_.edgeCount());
+  const double extra = (attachment.bestOfStart - 1) /
+                       (1.0 + edges / attachment.bestOfHalfLifeEdges);
+  return 1 + static_cast<int>(std::lround(extra));
+}
+
+bool TraceGenerator::acceptable(NodeId from, NodeId candidate) const {
+  return candidate != kInvalidNode && candidate != from &&
+         population_.isActive(candidate) &&
+         degree_[candidate] <
+             static_cast<std::uint32_t>(config_.attachment.maxDegree) &&
+         !graph_.hasEdge(from, candidate);
+}
+
+NodeId TraceGenerator::triadicPick(NodeId node, Origin targetClass) {
+  const auto neighbors = graph_.neighbors(node);
+  if (neighbors.empty()) return kInvalidNode;
+  const NodeId middle = neighbors[rng_.uniformInt(neighbors.size())];
+  const auto second = graph_.neighbors(middle);
+  if (second.empty()) return kInvalidNode;
+  const NodeId candidate = second[rng_.uniformInt(second.size())];
+  if (population_.originOf(candidate) != targetClass) return kInvalidNode;
+  return candidate;
+}
+
+Origin TraceGenerator::chooseTargetClass(NodeId node, double t) {
+  if (!merged_) return population_.originOf(node);
+
+  const Origin origin = population_.originOf(node);
+  const MergeConfig& merge = config_.merge;
+  const double sinceMerge = std::max(0.0, t - merge.mergeDay);
+  const double decay = std::exp(-sinceMerge / merge.biasDecayDays);
+
+  double weightMain = 0.0, weightSecond = 0.0, weightNew = 0.0;
+  const double activeMain =
+      static_cast<double>(population_.activeCount(Origin::kMain));
+  const double activeSecond =
+      static_cast<double>(population_.activeCount(Origin::kSecond));
+  const double activeNew =
+      static_cast<double>(population_.activeCount(Origin::kPostMerge));
+
+  if (origin == Origin::kPostMerge) {
+    // New users attach by class attractiveness, measured as degree mass:
+    // the dense main network draws far more of their edges than the
+    // sparse second one — which is why the paper's 5Q new/external
+    // crossover (Fig 9(b)) lags Xiaonei's by weeks.
+    weightMain = static_cast<double>(population_.endpointCount(Origin::kMain));
+    weightSecond =
+        static_cast<double>(population_.endpointCount(Origin::kSecond));
+    weightNew =
+        static_cast<double>(population_.endpointCount(Origin::kPostMerge)) +
+        activeNew;
+  } else {
+    const bool isMain = origin == Origin::kMain;
+    const double internalBias =
+        (isMain ? merge.internalBiasEndMain : merge.internalBiasEndSecond) +
+        ((isMain ? merge.internalBiasStartMain : merge.internalBiasStartSecond) -
+         (isMain ? merge.internalBiasEndMain : merge.internalBiasEndSecond)) *
+            decay;
+    const double externalBias =
+        (isMain ? merge.externalBiasEndMain : merge.externalBiasEndSecond) +
+        ((isMain ? merge.externalBiasStartMain : merge.externalBiasStartSecond) -
+         (isMain ? merge.externalBiasEndMain : merge.externalBiasEndSecond)) *
+            decay;
+    const double internalWeight =
+        internalBias * (isMain ? activeMain : activeSecond);
+    const double externalWeight =
+        externalBias * (isMain ? activeSecond : activeMain);
+    weightMain = isMain ? internalWeight : externalWeight;
+    weightSecond = isMain ? externalWeight : internalWeight;
+    weightNew = activeNew;
+  }
+
+  const double total = weightMain + weightSecond + weightNew;
+  if (total <= 0.0) return population_.originOf(node);
+  const double draw = rng_.uniform() * total;
+  if (draw < weightMain) return Origin::kMain;
+  if (draw < weightMain + weightSecond) return Origin::kSecond;
+  return Origin::kPostMerge;
+}
+
+NodeId TraceGenerator::chooseDestination(NodeId node, double t) {
+  const AttachmentConfig& attachment = config_.attachment;
+  for (int attempt = 0; attempt < kDestinationAttempts; ++attempt) {
+    const Origin targetClass = chooseTargetClass(node, t);
+    const double draw = rng_.uniform();
+    NodeId candidate = kInvalidNode;
+    if (draw < attachment.triadicProb) {
+      candidate = triadicPick(node, targetClass);
+    } else if (draw < attachment.triadicProb + attachment.groupProb) {
+      candidate = population_.sampleGroupMember(population_.groupOf(node), rng_);
+      // For users who lived through the merge, the internal/external
+      // class preference still gates even schoolmate picks (their groups
+      // are nearly class-pure anyway); users who joined afterwards
+      // befriend schoolmates from either side freely.
+      const bool classGated =
+          merged_ && population_.originOf(node) != Origin::kPostMerge;
+      if (classGated && candidate != kInvalidNode &&
+          population_.originOf(candidate) != targetClass) {
+        candidate = kInvalidNode;
+      }
+    } else if (rng_.chance(paProbability())) {
+      candidate = population_.sampleByDegree(targetClass, rng_, bestOf(),
+                                             degree_);
+    } else {
+      candidate = population_.sampleUniform(targetClass, rng_);
+    }
+    if (acceptable(node, candidate)) return candidate;
+  }
+  return kInvalidNode;
+}
+
+void TraceGenerator::processAction(const Action& action) {
+  const NodeId node = action.node;
+  if (!population_.isActive(node)) return;
+  NodeSim& sim = sims_[node];
+  if (sim.created >= sim.budget ||
+      degree_[node] >=
+          static_cast<std::uint32_t>(config_.attachment.maxDegree)) {
+    return;
+  }
+  // Calendar slowdown: during holidays most actions defer.
+  if (!rng_.chance(calendar_.factor(action.time))) {
+    Action deferred;
+    deferred.time = action.time + rng_.exponential(0.7);
+    deferred.node = node;
+    heap_.push(deferred);
+    return;
+  }
+  const NodeId destination = chooseDestination(node, action.time);
+  if (destination != kInvalidNode) {
+    stream_.appendEdgeAdd(action.time, node, destination);
+    graph_.addEdge(node, destination);
+    ++degree_[node];
+    ++degree_[destination];
+    population_.recordEdge(node, destination);
+    ++sim.created;
+  }
+  if (sim.created < sim.budget) scheduleNext(node, action.time);
+}
+
+void TraceGenerator::importSecondNetwork(double t) {
+  const MergeConfig& merge = config_.merge;
+
+  GeneratorConfig secondConfig;
+  secondConfig.seed = rng_.next();
+  secondConfig.days = merge.secondDurationDays;
+  secondConfig.arrival = merge.secondArrival;
+  secondConfig.activity = merge.secondActivity;
+  secondConfig.attachment = config_.attachment;
+  secondConfig.groups = config_.groups;
+  secondConfig.merge.enabled = false;
+  secondConfig.holidays.clear();
+
+  TraceGenerator secondGenerator(std::move(secondConfig));
+  const EventStream secondStream = secondGenerator.generate();
+
+  // Re-emit the second network at the merge instant, exactly as the
+  // real dataset records the imported 5Q history on the merge day.
+  std::vector<NodeId> idMap(secondStream.nodeCount(), kInvalidNode);
+  std::unordered_map<GroupId, GroupId> groupMap;
+  for (const Event& event : secondStream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      GroupId group = kNoGroup;
+      if (event.group != kNoGroup) {
+        const auto it = groupMap.find(event.group);
+        if (it == groupMap.end()) {
+          group = population_.createGroup();
+          groupMap.emplace(event.group, group);
+        } else {
+          group = it->second;
+        }
+      }
+      const NodeId id = stream_.appendNodeJoin(t, Origin::kSecond, group);
+      graph_.addNode();
+      degree_.push_back(0);
+      population_.addNode(id, Origin::kSecond, group);
+      sims_.push_back(NodeSim{});  // budget refilled by the burst below
+      idMap[event.u] = id;
+    } else {
+      const NodeId u = idMap[event.u];
+      const NodeId v = idMap[event.v];
+      stream_.appendEdgeAdd(t, u, v);
+      graph_.addEdge(u, v);
+      ++degree_[u];
+      ++degree_[v];
+      population_.recordEdge(u, v);
+    }
+  }
+}
+
+void TraceGenerator::performMerge(double t) {
+  const MergeConfig& merge = config_.merge;
+  const std::size_t mainNodes = graph_.nodeCount();
+
+  importSecondNetwork(t);
+
+  // Duplicate accounts fall permanently silent.
+  duplicateFlags_.assign(graph_.nodeCount(), 0);
+  for (NodeId node = 0; node < graph_.nodeCount(); ++node) {
+    const bool isImported = node >= mainNodes;
+    const double dropProbability = isImported
+                                       ? merge.duplicateFractionSecond
+                                       : merge.duplicateFractionMain;
+    if (rng_.chance(dropProbability)) {
+      population_.deactivate(node);
+      duplicateFlags_[node] = 1;
+    }
+  }
+
+  // Survivors are re-energized: a fresh burst budget and a near-term
+  // action. Second-origin users get a scaled-down burst (the paper finds
+  // them markedly less engaged).
+  for (NodeId node = 0; node < graph_.nodeCount(); ++node) {
+    if (!population_.isActive(node)) continue;
+    const bool isImported = node >= mainNodes;
+    const double participation = isImported ? merge.burstParticipationSecond
+                                            : merge.burstParticipationMain;
+    if (!rng_.chance(participation)) continue;
+    double bonus = rng_.pareto(merge.burstBudgetMin, merge.burstBudgetAlpha);
+    if (isImported) bonus *= merge.secondActivityScale;
+    NodeSim& sim = sims_[node];
+    sim.budget = sim.created + static_cast<std::uint32_t>(clampBudget(
+                                   bonus, config_.activity.budgetCap));
+    // The network was locked on the merge day itself (the paper: users
+    // could log in again "starting the next day"), so the burst begins
+    // one day after the import.
+    Action action;
+    action.time = t + 1.0 + rng_.pareto(config_.activity.gapMin, 0.9);
+    action.time = std::min(action.time, t + 40.0);
+    action.node = node;
+    heap_.push(action);
+  }
+  merged_ = true;
+}
+
+EventStream TraceGenerator::generate() {
+  require(!generated_, "TraceGenerator::generate: call at most once");
+  generated_ = true;
+
+  const double mergeDay =
+      config_.merge.enabled ? config_.merge.mergeDay : -1.0;
+  const auto totalDays = static_cast<long>(std::ceil(config_.days));
+
+  for (long day = 0; day < totalDays; ++day) {
+    const double dayStart = static_cast<double>(day);
+    if (config_.merge.enabled && !merged_ && dayStart >= mergeDay) {
+      performMerge(dayStart);
+    }
+    // Spawn today's arrivals as join actions at random intra-day times.
+    const double rate = arrivalRate(dayStart) * calendar_.factor(dayStart);
+    const std::uint64_t count = rng_.poisson(rate);
+    const Origin origin = merged_ ? Origin::kPostMerge : Origin::kMain;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Action join;
+      join.time = dayStart + rng_.uniform();
+      join.isJoin = true;
+      join.joinOrigin = origin;
+      heap_.push(join);
+    }
+    // Post-merge churn: pre-merge users permanently go quiet at a small
+    // per-origin daily rate (the second network's users churn faster).
+    if (merged_) {
+      for (const auto& [origin, rate] :
+           {std::pair{Origin::kMain, config_.merge.churnDailyMain},
+            std::pair{Origin::kSecond, config_.merge.churnDailySecond}}) {
+        const double expected =
+            rate * static_cast<double>(population_.activeCount(origin));
+        const std::uint64_t quits = rng_.poisson(expected);
+        for (std::uint64_t i = 0; i < quits; ++i) {
+          const NodeId node = population_.sampleUniform(origin, rng_);
+          if (node != kInvalidNode) population_.deactivate(node);
+        }
+      }
+    }
+
+    // Group fission: large homophily groups occasionally split into two
+    // comparable halves, so future attachment (and hence community
+    // structure) diverges along the cut.
+    if (config_.groups.fissionDailyProb > 0.0) {
+      const std::size_t groupCount = population_.groupCount();
+      for (GroupId group = 0; group < groupCount; ++group) {
+        if (population_.groupSize(group) < config_.groups.fissionMinSize) {
+          continue;
+        }
+        if (!rng_.chance(config_.groups.fissionDailyProb)) continue;
+        const GroupId offshoot = population_.createGroup();
+        // Copy the member list: reassignGroup mutates it while we walk.
+        const std::vector<NodeId> members = population_.groupMembers(group);
+        for (NodeId member : members) {
+          if (rng_.chance(0.5)) population_.reassignGroup(member, offshoot);
+        }
+      }
+    }
+
+    // Background re-engagement: a small share of existing users returns
+    // and initiates a few more friendships (keeps mature nodes creating
+    // edges, per Fig 2(c)).
+    const double activeTotal =
+        static_cast<double>(population_.activeCount(Origin::kMain) +
+                            population_.activeCount(Origin::kSecond) +
+                            population_.activeCount(Origin::kPostMerge));
+    const double revivalRate = config_.revival.dailyFraction * activeTotal *
+                               calendar_.factor(dayStart);
+    const std::uint64_t revivals = rng_.poisson(revivalRate);
+    for (std::uint64_t i = 0; i < revivals; ++i) {
+      const double weights[3] = {
+          static_cast<double>(population_.activeCount(Origin::kMain)),
+          static_cast<double>(population_.activeCount(Origin::kSecond)),
+          static_cast<double>(population_.activeCount(Origin::kPostMerge))};
+      const double total = weights[0] + weights[1] + weights[2];
+      if (total <= 0.0) break;
+      double draw = rng_.uniform() * total;
+      Origin origin = Origin::kMain;
+      if (draw >= weights[0] && draw < weights[0] + weights[1]) {
+        origin = Origin::kSecond;
+      } else if (draw >= weights[0] + weights[1]) {
+        origin = Origin::kPostMerge;
+      }
+      // Lapsed users with small friend lists are the ones with catching
+      // up to do: bias revival toward low-degree actives (also keeps the
+      // measured pe(d) tail honest — returning supernodes would read as
+      // spurious preferential attachment).
+      NodeId node = kInvalidNode;
+      for (int pick = 0; pick < 3; ++pick) {
+        const NodeId candidate = population_.sampleUniform(origin, rng_);
+        if (candidate == kInvalidNode) continue;
+        if (node == kInvalidNode || degree_[candidate] < degree_[node]) {
+          node = candidate;
+        }
+      }
+      if (node == kInvalidNode) continue;
+      NodeSim& sim = sims_[node];
+      const double bonus = rng_.pareto(config_.revival.budgetMin,
+                                       config_.revival.budgetAlpha);
+      sim.budget = std::max(
+          sim.budget,
+          sim.created + static_cast<std::uint32_t>(
+                            clampBudget(bonus, config_.activity.budgetCap)));
+      Action action;
+      action.time = dayStart + rng_.uniform();
+      action.node = node;
+      heap_.push(action);
+    }
+
+    // Drain all actions of this day in time order.
+    const double dayEnd = dayStart + 1.0;
+    while (!heap_.empty() && heap_.top().time < dayEnd) {
+      const Action action = heap_.top();
+      heap_.pop();
+      if (action.isJoin) {
+        spawnNode(action.time, action.joinOrigin);
+      } else {
+        processAction(action);
+      }
+    }
+  }
+  return std::move(stream_);
+}
+
+}  // namespace msd

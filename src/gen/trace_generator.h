@@ -1,0 +1,95 @@
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "gen/calendar.h"
+#include "gen/config.h"
+#include "gen/population.h"
+#include "graph/event_stream.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace msd {
+
+/// Synthetic Renren-analog trace generator (the substitution for the
+/// paper's proprietary dataset — see DESIGN.md Sec 2).
+///
+/// The generator runs an event-driven simulation over continuous days:
+///  * nodes arrive following an exponential-with-cap daily rate modulated
+///    by calendar dips;
+///  * each node draws a Pareto edge budget and fires edge creations with
+///    Pareto-distributed, front-loaded gaps;
+///  * destinations come from a mixed kernel — triadic closure, group
+///    homophily, and a preferential/random mix whose preferential share
+///    and supernode bias decay with network size (driving the alpha(t)
+///    decay of Fig 3(c));
+///  * on the merge day, an independently generated second network is
+///    imported wholesale (all its events stamped at the merge time, as in
+///    the real dataset), duplicate accounts fall silent, survivors are
+///    re-energized, and destination-class preferences (internal /
+///    external / new) decay toward population-proportional choice.
+///
+/// Everything is deterministic given the config seed.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(GeneratorConfig config);
+
+  /// Runs the simulation and returns the full event stream.
+  /// Call at most once per generator instance.
+  EventStream generate();
+
+  /// Ground truth after generate(): per node id, whether it was marked a
+  /// discarded duplicate account at the merge (such accounts neither
+  /// initiate nor receive edges afterwards). Empty when the merge is
+  /// disabled. Lets tests validate the paper's duplicate-detection
+  /// methodology against the planted truth.
+  const std::vector<std::uint8_t>& duplicateFlags() const {
+    return duplicateFlags_;
+  }
+
+ private:
+  struct NodeSim {
+    std::uint32_t budget = 0;   // edges this node will initiate
+    std::uint32_t created = 0;  // edges initiated so far
+    float gapScale = 1.0f;      // community reinforcement (< 1 = faster)
+  };
+
+  struct Action {
+    double time = 0.0;
+    NodeId node = kInvalidNode;
+    bool isJoin = false;
+    Origin joinOrigin = Origin::kMain;
+    bool operator>(const Action& other) const { return time > other.time; }
+  };
+
+  double arrivalRate(double day) const;
+  GroupId chooseGroup();
+  NodeId spawnNode(double t, Origin origin);
+  void scheduleNext(NodeId node, double t);
+  double drawGap(const NodeSim& sim);
+  void processAction(const Action& action);
+  NodeId chooseDestination(NodeId node, double t);
+  Origin chooseTargetClass(NodeId node, double t);
+  NodeId triadicPick(NodeId node, Origin targetClass);
+  double paProbability() const;
+  int bestOf() const;
+  bool acceptable(NodeId from, NodeId candidate) const;
+  void performMerge(double t);
+  void importSecondNetwork(double t);
+
+  GeneratorConfig config_;
+  Calendar calendar_;
+  Rng rng_;
+  EventStream stream_;
+  Graph graph_;
+  std::vector<std::uint32_t> degree_;
+  PopulationIndex population_;
+  std::vector<NodeSim> sims_;
+  std::priority_queue<Action, std::vector<Action>, std::greater<>> heap_;
+  std::vector<std::uint8_t> duplicateFlags_;
+  bool merged_ = false;
+  bool generated_ = false;
+};
+
+}  // namespace msd

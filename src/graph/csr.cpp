@@ -1,0 +1,59 @@
+#include "graph/csr.h"
+
+#include <queue>
+
+#include "graph/types.h"
+#include "util/error.h"
+
+namespace msd {
+
+CsrGraph CsrGraph::fromGraph(const Graph& graph) {
+  CsrGraph csr;
+  const std::size_t n = graph.nodeCount();
+  csr.offsets_.assign(n + 1, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    csr.offsets_[node + 1] = csr.offsets_[node] + graph.degree(node);
+  }
+  csr.neighbors_.resize(csr.offsets_[n]);
+  for (NodeId node = 0; node < n; ++node) {
+    std::uint64_t cursor = csr.offsets_[node];
+    for (NodeId neighbor : graph.neighbors(node)) {
+      csr.neighbors_[cursor++] = neighbor;
+    }
+  }
+  return csr;
+}
+
+std::span<const NodeId> CsrGraph::neighbors(NodeId node) const {
+  require(node < nodeCount(), "CsrGraph::neighbors: node out of range");
+  return {neighbors_.data() + offsets_[node],
+          static_cast<std::size_t>(offsets_[node + 1] - offsets_[node])};
+}
+
+std::size_t CsrGraph::degree(NodeId node) const {
+  require(node < nodeCount(), "CsrGraph::degree: node out of range");
+  return static_cast<std::size_t>(offsets_[node + 1] - offsets_[node]);
+}
+
+std::vector<std::uint32_t> bfsDistances(const CsrGraph& graph,
+                                        NodeId source) {
+  require(source < graph.nodeCount(), "bfsDistances: source out of range");
+  std::vector<std::uint32_t> dist(graph.nodeCount(), kUnreachable);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    const std::uint32_t next = dist[node] + 1;
+    for (NodeId neighbor : graph.neighbors(node)) {
+      if (dist[neighbor] == kUnreachable) {
+        dist[neighbor] = next;
+        frontier.push(neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace msd

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Immutable compressed-sparse-row snapshot of a Graph: one contiguous
+/// neighbor array plus per-node offsets. Roughly halves memory versus the
+/// growable adjacency vectors and makes traversals cache-friendly —
+/// the representation to use for heavy read-only passes (BFS sweeps, ANF)
+/// over a frozen snapshot. Build cost is O(V + E).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Freezes the given graph. Neighbor lists are copied in adjacency
+  /// order.
+  static CsrGraph fromGraph(const Graph& graph);
+
+  /// Number of nodes.
+  std::size_t nodeCount() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  std::size_t edgeCount() const { return neighbors_.size() / 2; }
+
+  /// Neighbors of `node`.
+  std::span<const NodeId> neighbors(NodeId node) const;
+
+  /// Degree of `node`.
+  std::size_t degree(NodeId node) const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size nodeCount()+1
+  std::vector<NodeId> neighbors_;
+};
+
+/// BFS hop distances on a CSR snapshot (same semantics as
+/// bfsDistances(Graph&, ...): kUnreachable where no path exists).
+std::vector<std::uint32_t> bfsDistances(const CsrGraph& graph, NodeId source);
+
+}  // namespace msd

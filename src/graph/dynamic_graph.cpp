@@ -1,0 +1,61 @@
+#include "graph/dynamic_graph.h"
+
+#include "util/error.h"
+
+namespace msd {
+
+bool DynamicGraph::apply(const Event& event) {
+  require(event.time >= now_,
+          "DynamicGraph::apply: events must arrive chronologically");
+  now_ = event.time;
+  if (event.kind == EventKind::kNodeJoin) {
+    require(event.u == graph_.nodeCount(),
+            "DynamicGraph::apply: node ids must be dense and in join order");
+    graph_.addNode();
+    NodeState state;
+    state.joinTime = event.time;
+    state.origin = event.origin;
+    state.group = event.group;
+    states_.push_back(state);
+    return true;
+  }
+  require(event.u < graph_.nodeCount() && event.v < graph_.nodeCount(),
+          "DynamicGraph::apply: edge references unknown node");
+  const bool added = graph_.addEdge(event.u, event.v);
+  if (added) {
+    for (NodeId endpoint : {event.u, event.v}) {
+      NodeState& state = states_[endpoint];
+      if (state.firstEdgeTime < 0.0) state.firstEdgeTime = event.time;
+      state.lastEdgeTime = event.time;
+      ++state.edgeEvents;
+    }
+  }
+  return added;
+}
+
+const NodeState& DynamicGraph::state(NodeId node) const {
+  require(node < states_.size(), "DynamicGraph::state: node id out of range");
+  return states_[node];
+}
+
+double DynamicGraph::ageAt(NodeId node, Day t) const {
+  const double age = t - state(node).joinTime;
+  return age < 0.0 ? 0.0 : age;
+}
+
+std::size_t Replayer::advanceTo(Day t) {
+  return advanceTo(t, [](const Event&, bool) {});
+}
+
+std::size_t Replayer::advanceToEnd() {
+  std::size_t applied = 0;
+  const auto events = stream_->events();
+  while (cursor_ < events.size()) {
+    graph_.apply(events[cursor_]);
+    ++cursor_;
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace msd

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/event.h"
+#include "graph/event_stream.h"
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Per-node metadata accumulated while replaying a trace.
+struct NodeState {
+  Day joinTime = 0.0;          ///< time of the node-join event
+  Day lastEdgeTime = -1.0;     ///< time of the node's most recent edge (<0: none)
+  Day firstEdgeTime = -1.0;    ///< time of the node's first edge (<0: none)
+  std::uint32_t edgeEvents = 0;  ///< number of edges this node participated in
+  Origin origin = Origin::kMain;
+  GroupId group = kNoGroup;
+};
+
+/// A Graph plus the per-node temporal metadata every analysis needs
+/// (join time, activity times, origin network, homophily group), built by
+/// applying trace events in order.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Applies one event. Events must arrive in the same order as in the
+  /// stream (node joins introduce dense ids; edges reference known nodes).
+  /// Returns true when the event changed the structure (a duplicate edge
+  /// returns false).
+  bool apply(const Event& event);
+
+  /// The structural graph.
+  const Graph& graph() const { return graph_; }
+
+  /// Metadata of `node`. Requires a valid id.
+  const NodeState& state(NodeId node) const;
+
+  /// All node states, indexed by node id.
+  const std::vector<NodeState>& states() const { return states_; }
+
+  /// Number of nodes applied so far.
+  std::size_t nodeCount() const { return graph_.nodeCount(); }
+
+  /// Number of distinct edges applied so far.
+  std::size_t edgeCount() const { return graph_.edgeCount(); }
+
+  /// Time of the last applied event (0 when nothing applied yet).
+  Day now() const { return now_; }
+
+  /// Age of `node` at time t (t - joinTime), never negative.
+  double ageAt(NodeId node, Day t) const;
+
+ private:
+  Graph graph_;
+  std::vector<NodeState> states_;
+  Day now_ = 0.0;
+};
+
+/// Cursor over an EventStream that incrementally materializes a
+/// DynamicGraph. Analyses advance it snapshot by snapshot; the underlying
+/// graph is shared and only ever grows, so a full replay of D daily
+/// snapshots costs O(events), not O(D * events).
+class Replayer {
+ public:
+  /// Binds to a stream (not owned; must outlive the replayer).
+  explicit Replayer(const EventStream& stream) : stream_(&stream) {}
+
+  /// Applies all events with time < t. Returns the number of events
+  /// applied by this call.
+  std::size_t advanceTo(Day t);
+
+  /// Applies all events with time < t, invoking onEvent(event, applied)
+  /// for each, where `applied` is false for duplicate edges.
+  template <typename OnEvent>
+  std::size_t advanceTo(Day t, OnEvent&& onEvent) {
+    std::size_t applied = 0;
+    const auto events = stream_->events();
+    while (cursor_ < events.size() && events[cursor_].time < t) {
+      const bool changed = graph_.apply(events[cursor_]);
+      onEvent(events[cursor_], changed);
+      ++cursor_;
+      ++applied;
+    }
+    return applied;
+  }
+
+  /// Applies every remaining event.
+  std::size_t advanceToEnd();
+
+  /// The materialized graph-so-far.
+  const DynamicGraph& graph() const { return graph_; }
+
+  /// Index of the next unapplied event.
+  std::size_t cursor() const { return cursor_; }
+
+  /// True when every event has been applied.
+  bool done() const { return cursor_ >= stream_->size(); }
+
+ private:
+  const EventStream* stream_;
+  DynamicGraph graph_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace msd

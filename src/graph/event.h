@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace msd {
+
+/// Kind of a timestamped trace event. The paper's dataset consists of
+/// exactly these two event types: user (node) creation and friendship
+/// (edge) creation.
+enum class EventKind : std::uint8_t {
+  kNodeJoin = 0,
+  kEdgeAdd = 1,
+};
+
+/// One timestamped event of the dynamic graph.
+///
+/// For kNodeJoin: `u` is the new node's id (ids are dense and assigned in
+/// join order), `group` is its generator-assigned homophily group, and
+/// `origin` records which network it belongs to. `v` is unused
+/// (kInvalidNode).
+///
+/// For kEdgeAdd: `u` and `v` are the endpoints of the new undirected
+/// friendship edge; `origin`/`group` are unused.
+struct Event {
+  Day time = 0.0;
+  EventKind kind = EventKind::kNodeJoin;
+  Origin origin = Origin::kMain;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  GroupId group = kNoGroup;
+
+  /// Convenience factory for a node-join event.
+  static Event nodeJoin(Day time, NodeId node, Origin origin = Origin::kMain,
+                        GroupId group = kNoGroup) {
+    Event e;
+    e.time = time;
+    e.kind = EventKind::kNodeJoin;
+    e.origin = origin;
+    e.u = node;
+    e.group = group;
+    return e;
+  }
+
+  /// Convenience factory for an edge-add event.
+  static Event edgeAdd(Day time, NodeId u, NodeId v) {
+    Event e;
+    e.time = time;
+    e.kind = EventKind::kEdgeAdd;
+    e.u = u;
+    e.v = v;
+    return e;
+  }
+};
+
+}  // namespace msd

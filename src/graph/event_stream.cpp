@@ -1,0 +1,86 @@
+#include "graph/event_stream.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.h"
+
+namespace msd {
+
+const char* originName(Origin origin) {
+  switch (origin) {
+    case Origin::kMain:
+      return "main";
+    case Origin::kSecond:
+      return "second";
+    case Origin::kPostMerge:
+      return "post-merge";
+  }
+  return "unknown";
+}
+
+void EventStream::append(const Event& event) {
+  require(events_.empty() || event.time >= events_.back().time,
+          "EventStream::append: timestamps must be non-decreasing");
+  if (event.kind == EventKind::kNodeJoin) {
+    require(event.u == nodeCount_,
+            "EventStream::append: node ids must be dense and in join order");
+    ++nodeCount_;
+  } else {
+    require(event.u < nodeCount_ && event.v < nodeCount_,
+            "EventStream::append: edge endpoints must already exist");
+    require(event.u != event.v, "EventStream::append: self-loops not allowed");
+    ++edgeCount_;
+  }
+  events_.push_back(event);
+}
+
+NodeId EventStream::appendNodeJoin(Day time, Origin origin, GroupId group) {
+  const auto id = static_cast<NodeId>(nodeCount_);
+  append(Event::nodeJoin(time, id, origin, group));
+  return id;
+}
+
+void EventStream::appendEdgeAdd(Day time, NodeId u, NodeId v) {
+  append(Event::edgeAdd(time, u, v));
+}
+
+const Event& EventStream::at(std::size_t i) const {
+  require(i < events_.size(), "EventStream::at: index out of range");
+  return events_[i];
+}
+
+void EventStream::validate() const {
+  std::size_t nodesSeen = 0;
+  Day lastTime = -1e308;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    ensure(e.time >= lastTime,
+           "EventStream::validate: timestamp regression at event " +
+               std::to_string(i));
+    lastTime = e.time;
+    if (e.kind == EventKind::kNodeJoin) {
+      ensure(e.u == nodesSeen,
+             "EventStream::validate: non-dense node id at event " +
+                 std::to_string(i));
+      ++nodesSeen;
+    } else {
+      ensure(e.u < nodesSeen && e.v < nodesSeen,
+             "EventStream::validate: edge references unseen node at event " +
+                 std::to_string(i));
+      ensure(e.u != e.v, "EventStream::validate: self-loop at event " +
+                             std::to_string(i));
+    }
+  }
+  ensure(nodesSeen == nodeCount_,
+         "EventStream::validate: node counter out of sync");
+}
+
+std::size_t EventStream::firstIndexAtOrAfter(Day t) const {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const Event& e, Day value) { return e.time < value; });
+  return static_cast<std::size_t>(it - events_.begin());
+}
+
+}  // namespace msd

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/event.h"
+
+namespace msd {
+
+/// Chronologically ordered sequence of trace events.
+///
+/// Invariants: timestamps are non-decreasing; every node id referenced by
+/// an edge event has appeared in an earlier node-join event; node ids are
+/// dense (the i-th join event introduces node i). `append` enforces the
+/// first invariant; `validate()` checks all of them.
+class EventStream {
+ public:
+  EventStream() = default;
+
+  /// Appends one event. Requires event.time >= the last appended time.
+  void append(const Event& event);
+
+  /// Appends a node-join event and returns the id it introduced (the next
+  /// dense id). Keeps the dense-id invariant by construction.
+  NodeId appendNodeJoin(Day time, Origin origin = Origin::kMain,
+                        GroupId group = kNoGroup);
+
+  /// Appends an edge-add event between two already-introduced nodes.
+  void appendEdgeAdd(Day time, NodeId u, NodeId v);
+
+  /// All events in chronological order.
+  std::span<const Event> events() const { return events_; }
+
+  /// Event at position i.
+  const Event& at(std::size_t i) const;
+
+  /// Total number of events.
+  std::size_t size() const { return events_.size(); }
+
+  /// True when the stream holds no events.
+  bool empty() const { return events_.empty(); }
+
+  /// Number of node-join events seen so far (== number of distinct nodes).
+  std::size_t nodeCount() const { return nodeCount_; }
+
+  /// Number of edge-add events seen so far.
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Timestamp of the last event (0 when empty).
+  Day lastTime() const { return events_.empty() ? 0.0 : events_.back().time; }
+
+  /// Full consistency check of every invariant; throws std::runtime_error
+  /// with a description of the first violation. Used after I/O.
+  void validate() const;
+
+  /// Index of the first event with time >= t (binary search).
+  std::size_t firstIndexAtOrAfter(Day t) const;
+
+  /// Reserves capacity for the given number of events.
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t nodeCount_ = 0;
+  std::size_t edgeCount_ = 0;
+};
+
+}  // namespace msd

@@ -1,0 +1,56 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace msd {
+
+NodeId Graph::addNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::ensureNode(NodeId node) {
+  if (node == kInvalidNode) return;
+  if (node >= adjacency_.size()) adjacency_.resize(std::size_t{node} + 1);
+}
+
+void Graph::checkNode(NodeId node) const {
+  require(node < adjacency_.size(), "Graph: node id out of range");
+}
+
+bool Graph::addEdge(NodeId u, NodeId v) {
+  checkNode(u);
+  checkNode(v);
+  require(u != v, "Graph::addEdge: self-loops are not allowed");
+  if (hasEdge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edgeCount_;
+  return true;
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  checkNode(u);
+  checkNode(v);
+  // Scan the smaller adjacency list.
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const NodeId target =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId node) const {
+  checkNode(node);
+  return adjacency_[node];
+}
+
+std::size_t Graph::degree(NodeId node) const {
+  checkNode(node);
+  return adjacency_[node].size();
+}
+
+}  // namespace msd

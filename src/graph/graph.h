@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace msd {
+
+/// Growable, undirected, simple graph (no self-loops, no multi-edges)
+/// with dense uint32 node ids.
+///
+/// Adjacency lists are unsorted append-only vectors; duplicate detection
+/// scans the smaller endpoint's list, which is fast for social graphs
+/// whose degrees are capped (Renren caps friends at 1000). The structure
+/// only grows — matching the paper's dataset, which contains no deletion
+/// events.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `nodes` isolated nodes.
+  explicit Graph(std::size_t nodes) : adjacency_(nodes) {}
+
+  /// Appends one isolated node and returns its id.
+  NodeId addNode();
+
+  /// Grows the node set so that `node` is a valid id (no-op if it already
+  /// is). New nodes are isolated.
+  void ensureNode(NodeId node);
+
+  /// Adds the undirected edge {u, v}. Returns false (and changes nothing)
+  /// if the edge already exists. Requires u != v and both ids valid.
+  bool addEdge(NodeId u, NodeId v);
+
+  /// True when {u, v} is an edge. Requires both ids valid.
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Neighbors of `node` in insertion order.
+  std::span<const NodeId> neighbors(NodeId node) const;
+
+  /// Degree of `node`.
+  std::size_t degree(NodeId node) const;
+
+  /// Number of nodes (isolated nodes included).
+  std::size_t nodeCount() const { return adjacency_.size(); }
+
+  /// Number of undirected edges.
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Sum of all degrees (== 2 * edgeCount()).
+  std::size_t totalDegree() const { return 2 * edgeCount_; }
+
+  /// Calls visitor(u, v) once per edge with u < v.
+  template <typename Visitor>
+  void forEachEdge(Visitor&& visitor) const {
+    for (NodeId u = 0; u < adjacency_.size(); ++u) {
+      for (NodeId v : adjacency_[u]) {
+        if (u < v) visitor(u, v);
+      }
+    }
+  }
+
+ private:
+  void checkNode(NodeId node) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edgeCount_ = 0;
+};
+
+}  // namespace msd

@@ -1,0 +1,35 @@
+#include "graph/snapshot.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+
+SnapshotSchedule::SnapshotSchedule(Day firstDay, Day lastDay, Day step) {
+  require(step > 0.0, "SnapshotSchedule: step must be positive");
+  require(firstDay <= lastDay,
+          "SnapshotSchedule: firstDay must be <= lastDay");
+  for (Day day = firstDay; day < lastDay + step; day += step) {
+    days_.push_back(day);
+    if (day >= lastDay) break;
+  }
+}
+
+Day SnapshotSchedule::dayAt(std::size_t i) const {
+  require(i < days_.size(), "SnapshotSchedule::dayAt: index out of range");
+  return days_[i];
+}
+
+SnapshotSchedule SnapshotSchedule::dailyFor(const EventStream& stream) {
+  const Day last = stream.empty() ? 0.0 : std::floor(stream.lastTime());
+  return SnapshotSchedule(0.0, last, 1.0);
+}
+
+SnapshotSchedule SnapshotSchedule::everyFor(const EventStream& stream,
+                                            Day step, Day firstDay) {
+  const Day last = stream.empty() ? firstDay : std::floor(stream.lastTime());
+  return SnapshotSchedule(firstDay, last < firstDay ? firstDay : last, step);
+}
+
+}  // namespace msd

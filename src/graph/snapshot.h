@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/event_stream.h"
+#include "graph/types.h"
+
+namespace msd {
+
+/// Evenly spaced snapshot days over a trace: firstDay, firstDay + step, ...
+/// up to and including the first point >= lastDay. Mirrors the paper's
+/// daily snapshots (step 1) and the 3-day community snapshots (step 3).
+class SnapshotSchedule {
+ public:
+  /// Requires step > 0 and firstDay <= lastDay.
+  SnapshotSchedule(Day firstDay, Day lastDay, Day step);
+
+  /// Snapshot days in ascending order.
+  const std::vector<Day>& days() const { return days_; }
+
+  /// Number of snapshots.
+  std::size_t size() const { return days_.size(); }
+
+  /// Day of snapshot i.
+  Day dayAt(std::size_t i) const;
+
+  /// Convenience: a daily schedule covering a whole stream (day 0 through
+  /// the last event's day, step 1).
+  static SnapshotSchedule dailyFor(const EventStream& stream);
+
+  /// Convenience: an every-k-days schedule covering a whole stream.
+  static SnapshotSchedule everyFor(const EventStream& stream, Day step,
+                                   Day firstDay = 0.0);
+
+ private:
+  std::vector<Day> days_;
+};
+
+/// Replays `stream` and calls visitor(day, graph) once per scheduled day,
+/// where `graph` contains every event strictly before the *end* of that
+/// day (i.e. time < day + 1, matching the paper's "snapshot at end of day
+/// d" convention). The graph reference is only valid during the call.
+template <typename Visitor>
+void forEachSnapshot(const EventStream& stream,
+                     const SnapshotSchedule& schedule, Visitor&& visitor) {
+  Replayer replayer(stream);
+  for (Day day : schedule.days()) {
+    replayer.advanceTo(day + 1.0);
+    visitor(day, replayer.graph());
+  }
+}
+
+}  // namespace msd

@@ -1,0 +1,110 @@
+#include "graph/stream_ops.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace msd::stream_ops {
+namespace {
+
+constexpr NodeId kDropped = kInvalidNode;
+
+/// Builds the output stream given a keep-flag per node: joins of kept
+/// nodes are emitted (optionally re-stamped), edges between kept nodes
+/// follow.
+EventStream rebuild(const EventStream& stream,
+                    const std::vector<std::uint8_t>& keepNode,
+                    const std::vector<Day>* joinOverride) {
+  EventStream result;
+  std::vector<NodeId> remap(stream.nodeCount(), kDropped);
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      if (!keepNode[event.u]) continue;
+      const Day when =
+          joinOverride == nullptr ? event.time : (*joinOverride)[event.u];
+      remap[event.u] =
+          result.appendNodeJoin(when, event.origin, event.group);
+    } else {
+      const NodeId u = remap[event.u];
+      const NodeId v = remap[event.v];
+      if (u == kDropped || v == kDropped) continue;
+      result.appendEdgeAdd(event.time, u, v);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+EventStream sliceByTime(const EventStream& stream, Day fromDay, Day toDay) {
+  require(fromDay <= toDay, "sliceByTime: fromDay must be <= toDay");
+  // Keep nodes that join inside the window, plus endpoints of in-window
+  // edges that joined earlier (re-stamped at the window start).
+  std::vector<std::uint8_t> keep(stream.nodeCount(), 0);
+  std::vector<Day> joinTime(stream.nodeCount(), fromDay);
+  for (const Event& event : stream.events()) {
+    if (event.time >= toDay) break;
+    if (event.kind == EventKind::kNodeJoin) {
+      if (event.time >= fromDay) {
+        keep[event.u] = 1;
+        joinTime[event.u] = event.time;
+      }
+    } else if (event.time >= fromDay) {
+      keep[event.u] = 1;
+      keep[event.v] = 1;
+    }
+  }
+  // Drop the slice's trailing events (>= toDay) by rebuilding from a
+  // truncated copy of the stream.
+  EventStream truncated;
+  truncated.reserve(stream.size());
+  for (const Event& event : stream.events()) {
+    if (event.time >= toDay) break;
+    if (event.kind == EventKind::kEdgeAdd && event.time < fromDay) continue;
+    if (event.kind == EventKind::kNodeJoin) {
+      truncated.append(event);
+    } else {
+      truncated.append(event);
+    }
+  }
+  // `truncated` preserved all joins (< toDay) so ids still line up.
+  std::vector<std::uint8_t> keepTruncated(truncated.nodeCount(), 0);
+  std::vector<Day> joinTruncated(truncated.nodeCount(), fromDay);
+  for (NodeId node = 0; node < truncated.nodeCount(); ++node) {
+    keepTruncated[node] = keep[node];
+    joinTruncated[node] = joinTime[node];
+  }
+  return rebuild(truncated, keepTruncated, &joinTruncated);
+}
+
+EventStream filterNodes(const EventStream& stream,
+                        const std::function<bool(const Event&)>& keepJoin) {
+  std::vector<std::uint8_t> keep(stream.nodeCount(), 0);
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      keep[event.u] = keepJoin(event) ? 1 : 0;
+    }
+  }
+  return rebuild(stream, keep, nullptr);
+}
+
+EventStream filterByOrigin(const EventStream& stream, Origin origin) {
+  return filterNodes(stream, [origin](const Event& event) {
+    return event.origin == origin;
+  });
+}
+
+EventStream rebaseTime(const EventStream& stream) {
+  EventStream result;
+  if (stream.empty()) return result;
+  result.reserve(stream.size());
+  const Day base = stream.at(0).time;
+  for (const Event& event : stream.events()) {
+    Event shifted = event;
+    shifted.time = event.time - base;
+    result.append(shifted);
+  }
+  return result;
+}
+
+}  // namespace msd::stream_ops

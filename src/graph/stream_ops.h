@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "graph/event_stream.h"
+
+namespace msd {
+
+/// Transformations over event streams. All of them renumber node ids
+/// densely in the output (the EventStream invariant), preserve event
+/// order, and drop edges whose endpoints are filtered out.
+namespace stream_ops {
+
+/// Events with time in [fromDay, toDay); node joins outside the window
+/// are kept only when a surviving edge needs them — i.e. the result is
+/// the subgraph *created* during the window plus its endpoints (endpoint
+/// join events are re-stamped at the window start).
+///
+/// Typical use: isolate the post-merge regime for separate analysis.
+EventStream sliceByTime(const EventStream& stream, Day fromDay, Day toDay);
+
+/// Keeps only the nodes selected by the predicate and the edges between
+/// two kept nodes. Timestamps are preserved.
+EventStream filterNodes(const EventStream& stream,
+                        const std::function<bool(const Event&)>& keepJoin);
+
+/// Convenience: the sub-stream of one origin class (e.g. extract the
+/// imported second network).
+EventStream filterByOrigin(const EventStream& stream, Origin origin);
+
+/// Re-bases all timestamps so the first event lands at day 0.
+EventStream rebaseTime(const EventStream& stream);
+
+}  // namespace stream_ops
+}  // namespace msd

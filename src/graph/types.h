@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace msd {
+
+/// Compact node identifier. Nodes are numbered densely from 0 in the order
+/// they join, matching the anonymized id scheme of the paper's dataset.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Hop-distance value meaning "unreachable" (shared by every BFS-style
+/// traversal in the library).
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// Group identifier used by the generator to model school/interest
+/// homophily (the seed of community structure).
+using GroupId = std::uint32_t;
+
+/// Sentinel for "no group".
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
+
+/// Continuous timestamp measured in days since the first event of the
+/// trace (day 0 = the network's first day, like the paper's Nov 21 2005).
+using Day = double;
+
+/// Which network a node originally belonged to. The paper's dataset covers
+/// the merge of Xiaonei (the main network) and 5Q (the second network);
+/// nodes created after the merge form their own class.
+enum class Origin : std::uint8_t {
+  kMain = 0,       ///< Xiaonei-analog: present from day 0
+  kSecond = 1,     ///< 5Q-analog: imported in bulk on the merge day
+  kPostMerge = 2,  ///< joined the combined network after the merge
+};
+
+/// Human-readable name of an Origin value.
+const char* originName(Origin origin);
+
+}  // namespace msd

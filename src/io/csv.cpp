@@ -1,0 +1,72 @@
+#include "io/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <set>
+
+#include "util/error.h"
+
+namespace msd {
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+  if (!impl_->out.good()) {
+    delete impl_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  impl_->out.precision(12);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::header(std::span<const std::string> columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) impl_->out << ',';
+    impl_->out << columns[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) impl_->out << ',';
+    impl_->out << values[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::row(const std::string& label, std::span<const double> values) {
+  impl_->out << label;
+  for (double v : values) impl_->out << ',' << v;
+  impl_->out << '\n';
+}
+
+void writeSeriesCsv(const std::string& path,
+                    std::span<const TimeSeries> series) {
+  CsvWriter writer(path);
+  std::vector<std::string> columns;
+  columns.push_back("time");
+  for (const TimeSeries& s : series) columns.push_back(s.name());
+  writer.header(columns);
+
+  std::set<double> axis;
+  for (const TimeSeries& s : series) {
+    for (double t : s.times()) axis.insert(t);
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double t : axis) {
+    std::vector<double> row;
+    row.push_back(t);
+    for (const TimeSeries& s : series) {
+      row.push_back(s.valueAtOrBefore(t, nan));
+    }
+    writer.row(row);
+  }
+}
+
+}  // namespace msd

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace msd {
+
+/// Minimal CSV writer used by the figure benches and examples to export
+/// series that plotting tools can consume directly.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes a header row.
+  void header(std::span<const std::string> columns);
+
+  /// Writes one data row.
+  void row(std::span<const double> values);
+
+  /// Writes one data row with a leading string cell (e.g. a label).
+  void row(const std::string& label, std::span<const double> values);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Writes several time series sharing a time axis to one CSV file:
+/// `time,<name1>,<name2>,...`. Series are sampled at the union of all
+/// their time points; a series without a point at some time reports its
+/// most recent earlier value (or NaN if it has none yet).
+void writeSeriesCsv(const std::string& path,
+                    std::span<const TimeSeries> series);
+
+}  // namespace msd

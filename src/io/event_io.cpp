@@ -1,0 +1,241 @@
+#include "io/event_io.h"
+
+#include <cstdint>
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+
+namespace msd::event_io {
+namespace {
+
+constexpr char kTextMagic[] = "msdt";
+constexpr std::uint32_t kBinaryMagic = 0x4244534d;  // "MSDB" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+
+// Packed binary record. Fixed layout, little-endian host assumed (the
+// loader checks the magic, which would mismatch on a big-endian reader).
+struct BinaryRecord {
+  double time;
+  std::uint32_t u;
+  std::uint32_t v;
+  std::uint32_t group;
+  std::uint8_t kind;
+  std::uint8_t origin;
+  std::uint8_t pad[2];
+};
+static_assert(sizeof(BinaryRecord) == 24);
+
+std::ofstream openOut(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  ensure(out.good(), "event_io: cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream openIn(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  ensure(in.good(), "event_io: cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+void saveText(const EventStream& stream, std::ostream& out) {
+  out << kTextMagic << ' ' << kFormatVersion << ' ' << stream.nodeCount()
+      << ' ' << stream.edgeCount() << '\n';
+  out.precision(17);
+  for (const Event& e : stream.events()) {
+    if (e.kind == EventKind::kNodeJoin) {
+      out << "N " << e.time << ' ' << e.u << ' '
+          << static_cast<unsigned>(e.origin) << ' ' << e.group << '\n';
+    } else {
+      out << "E " << e.time << ' ' << e.u << ' ' << e.v << '\n';
+    }
+  }
+  ensure(out.good(), "event_io::saveText: write failure");
+}
+
+void saveTextFile(const EventStream& stream, const std::string& path) {
+  auto out = openOut(path, std::ios::out);
+  saveText(stream, out);
+}
+
+EventStream loadText(std::istream& in) {
+  std::string magic;
+  std::uint32_t version = 0;
+  std::size_t nodes = 0, edges = 0;
+  in >> magic >> version >> nodes >> edges;
+  ensure(in.good() && magic == kTextMagic,
+         "event_io::loadText: bad header magic");
+  ensure(version == kFormatVersion,
+         "event_io::loadText: unsupported version " + std::to_string(version));
+
+  EventStream stream;
+  stream.reserve(nodes + edges);
+  std::string tag;
+  while (in >> tag) {
+    if (tag == "N") {
+      double time = 0.0;
+      NodeId id = 0;
+      unsigned origin = 0;
+      GroupId group = 0;
+      in >> time >> id >> origin >> group;
+      ensure(in.good() || in.eof(), "event_io::loadText: truncated node line");
+      ensure(origin <= 2, "event_io::loadText: bad origin value");
+      stream.append(Event::nodeJoin(time, id, static_cast<Origin>(origin),
+                                    group));
+    } else if (tag == "E") {
+      double time = 0.0;
+      NodeId u = 0, v = 0;
+      in >> time >> u >> v;
+      ensure(in.good() || in.eof(), "event_io::loadText: truncated edge line");
+      stream.append(Event::edgeAdd(time, u, v));
+    } else {
+      ensure(false, "event_io::loadText: unknown record tag '" + tag + "'");
+    }
+  }
+  ensure(stream.nodeCount() == nodes,
+         "event_io::loadText: node count mismatch with header");
+  ensure(stream.edgeCount() == edges,
+         "event_io::loadText: edge count mismatch with header");
+  stream.validate();
+  return stream;
+}
+
+EventStream loadTextFile(const std::string& path) {
+  auto in = openIn(path, std::ios::in);
+  return loadText(in);
+}
+
+void saveBinary(const EventStream& stream, std::ostream& out) {
+  const std::uint32_t magic = kBinaryMagic;
+  const std::uint32_t version = kFormatVersion;
+  const std::uint64_t count = stream.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Event& e : stream.events()) {
+    BinaryRecord record{};
+    record.time = e.time;
+    record.u = e.u;
+    record.v = e.v;
+    record.group = e.group;
+    record.kind = static_cast<std::uint8_t>(e.kind);
+    record.origin = static_cast<std::uint8_t>(e.origin);
+    out.write(reinterpret_cast<const char*>(&record), sizeof(record));
+  }
+  ensure(out.good(), "event_io::saveBinary: write failure");
+}
+
+void saveBinaryFile(const EventStream& stream, const std::string& path) {
+  auto out = openOut(path, std::ios::out | std::ios::binary);
+  saveBinary(stream, out);
+}
+
+EventStream loadBinary(std::istream& in) {
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  ensure(in.good(), "event_io::loadBinary: truncated header");
+  ensure(magic == kBinaryMagic, "event_io::loadBinary: bad magic");
+  ensure(version == kFormatVersion, "event_io::loadBinary: unsupported version");
+
+  EventStream stream;
+  stream.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BinaryRecord record{};
+    in.read(reinterpret_cast<char*>(&record), sizeof(record));
+    ensure(in.good(), "event_io::loadBinary: truncated record");
+    ensure(record.kind <= 1, "event_io::loadBinary: bad event kind");
+    ensure(record.origin <= 2, "event_io::loadBinary: bad origin");
+    Event e;
+    e.time = record.time;
+    e.kind = static_cast<EventKind>(record.kind);
+    e.origin = static_cast<Origin>(record.origin);
+    e.u = record.u;
+    e.v = record.v;
+    e.group = record.group;
+    stream.append(e);
+  }
+  stream.validate();
+  return stream;
+}
+
+EventStream loadBinaryFile(const std::string& path) {
+  auto in = openIn(path, std::ios::in | std::ios::binary);
+  return loadBinary(in);
+}
+
+void saveTemporalEdgeList(const EventStream& stream, std::ostream& out) {
+  out << "# temporal edge list: u v t  (t in days)\n";
+  out << "# edges=" << stream.edgeCount() << '\n';
+  out.precision(17);
+  for (const Event& e : stream.events()) {
+    if (e.kind != EventKind::kEdgeAdd) continue;
+    out << e.u << ' ' << e.v << ' ' << e.time << '\n';
+  }
+  ensure(out.good(), "event_io::saveTemporalEdgeList: write failure");
+}
+
+void saveTemporalEdgeListFile(const EventStream& stream,
+                              const std::string& path) {
+  auto out = openOut(path, std::ios::out);
+  saveTemporalEdgeList(stream, out);
+}
+
+EventStream loadTemporalEdgeList(std::istream& in) {
+  struct TemporalEdge {
+    double time;
+    std::uint64_t u;
+    std::uint64_t v;
+  };
+  std::vector<TemporalEdge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    TemporalEdge edge{};
+    ensure(static_cast<bool>(fields >> edge.u >> edge.v >> edge.time),
+           "event_io::loadTemporalEdgeList: malformed line: " + line);
+    ensure(edge.u != edge.v,
+           "event_io::loadTemporalEdgeList: self-loop: " + line);
+    edges.push_back(edge);
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.time < b.time;
+                   });
+
+  EventStream stream;
+  stream.reserve(edges.size() * 2);
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  auto intern = [&](std::uint64_t raw, double t) {
+    const auto it = remap.find(raw);
+    if (it != remap.end()) return it->second;
+    const NodeId id = stream.appendNodeJoin(t);
+    remap.emplace(raw, id);
+    return id;
+  };
+  for (const TemporalEdge& edge : edges) {
+    const NodeId u = intern(edge.u, edge.time);
+    const NodeId v = intern(edge.v, edge.time);
+    stream.appendEdgeAdd(edge.time, u, v);
+  }
+  stream.validate();
+  return stream;
+}
+
+EventStream loadTemporalEdgeListFile(const std::string& path) {
+  auto in = openIn(path, std::ios::in);
+  return loadTemporalEdgeList(in);
+}
+
+}  // namespace msd::event_io

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/event_stream.h"
+
+namespace msd {
+
+/// Serialization of event streams.
+///
+/// Two formats are provided:
+///  * a line-oriented text format ("msdt"), human-inspectable:
+///      header line: `msdt 1 <node-count> <edge-count>`
+///      node join:   `N <time> <id> <origin> <group>`
+///      edge add:    `E <time> <u> <v>`
+///  * a binary format ("MSDB") with a versioned fixed-size header and
+///    packed little-endian records, ~3x smaller and much faster.
+///
+/// Both loaders run EventStream::validate() before returning and throw
+/// std::runtime_error on any malformed input.
+namespace event_io {
+
+/// Writes the text format to a stream.
+void saveText(const EventStream& stream, std::ostream& out);
+
+/// Writes the text format to a file. Throws on I/O failure.
+void saveTextFile(const EventStream& stream, const std::string& path);
+
+/// Reads the text format from a stream.
+EventStream loadText(std::istream& in);
+
+/// Reads the text format from a file. Throws on I/O failure.
+EventStream loadTextFile(const std::string& path);
+
+/// Writes the binary format to a stream.
+void saveBinary(const EventStream& stream, std::ostream& out);
+
+/// Writes the binary format to a file. Throws on I/O failure.
+void saveBinaryFile(const EventStream& stream, const std::string& path);
+
+/// Reads the binary format from a stream.
+EventStream loadBinary(std::istream& in);
+
+/// Reads the binary format from a file. Throws on I/O failure.
+EventStream loadBinaryFile(const std::string& path);
+
+/// Writes the SNAP-style temporal edge list ("u v t" per line, one line
+/// per edge, '#' comments) — the de-facto interchange format of public
+/// temporal-graph datasets. Node-join times, origins, and groups are NOT
+/// representable in this format and are lost.
+void saveTemporalEdgeList(const EventStream& stream, std::ostream& out);
+
+/// File variant. Throws on I/O failure.
+void saveTemporalEdgeListFile(const EventStream& stream,
+                              const std::string& path);
+
+/// Reads a SNAP-style temporal edge list. Edges are sorted by timestamp;
+/// node ids may be sparse and are compacted densely in first-appearance
+/// order; each node's join event is synthesized at its first edge's
+/// timestamp (the usual convention when only edges are recorded).
+EventStream loadTemporalEdgeList(std::istream& in);
+
+/// File variant. Throws on I/O failure.
+EventStream loadTemporalEdgeListFile(const std::string& path);
+
+}  // namespace event_io
+}  // namespace msd

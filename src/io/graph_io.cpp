@@ -1,0 +1,58 @@
+#include "io/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+
+namespace msd::graph_io {
+
+void saveEdgeList(const Graph& graph, std::ostream& out) {
+  out << "# msd-edgelist nodes=" << graph.nodeCount()
+      << " edges=" << graph.edgeCount() << '\n';
+  graph.forEachEdge([&](NodeId u, NodeId v) { out << u << ' ' << v << '\n'; });
+  ensure(out.good(), "graph_io::saveEdgeList: write failure");
+}
+
+void saveEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  ensure(out.good(), "graph_io: cannot open for writing: " + path);
+  saveEdgeList(graph, out);
+}
+
+Graph loadEdgeList(std::istream& in) {
+  Graph graph;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      // Recover the node count from our own header when present, so
+      // trailing isolated nodes round-trip.
+      const auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        std::istringstream header(line.substr(pos + 6));
+        std::size_t nodes = 0;
+        if (header >> nodes && nodes > 0) {
+          graph.ensureNode(static_cast<NodeId>(nodes - 1));
+        }
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    NodeId u = 0, v = 0;
+    ensure(static_cast<bool>(fields >> u >> v),
+           "graph_io::loadEdgeList: malformed line: " + line);
+    graph.ensureNode(u > v ? u : v);
+    graph.addEdge(u, v);
+  }
+  return graph;
+}
+
+Graph loadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  ensure(in.good(), "graph_io: cannot open for reading: " + path);
+  return loadEdgeList(in);
+}
+
+}  // namespace msd::graph_io

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace msd {
+namespace graph_io {
+
+/// Writes a graph as a whitespace-separated edge list ("u v" per line,
+/// u < v), preceded by a comment line with node/edge counts. Isolated
+/// trailing nodes are preserved via the header count.
+void saveEdgeList(const Graph& graph, std::ostream& out);
+
+/// File variant; throws std::runtime_error on I/O failure.
+void saveEdgeListFile(const Graph& graph, const std::string& path);
+
+/// Reads the format written by saveEdgeList. Also accepts plain edge
+/// lists without the header (node count inferred from the max id).
+/// Lines starting with '#' or '%' are ignored except for the size header.
+Graph loadEdgeList(std::istream& in);
+
+/// File variant; throws std::runtime_error on I/O failure.
+Graph loadEdgeListFile(const std::string& path);
+
+}  // namespace graph_io
+}  // namespace msd

@@ -1,0 +1,29 @@
+#include "metrics/assortativity.h"
+
+#include <cmath>
+
+namespace msd {
+
+double degreeAssortativity(const Graph& graph) {
+  // Newman's formulation over edge endpoint degree pairs, accumulated
+  // symmetrically (each edge contributes both (du,dv) and (dv,du)):
+  //   r = [M^-1 sum ji*ki - (M^-1 sum (ji+ki)/2)^2] /
+  //       [M^-1 sum (ji^2+ki^2)/2 - (M^-1 sum (ji+ki)/2)^2]
+  if (graph.edgeCount() == 0) return 0.0;
+  double sumProduct = 0.0, sumMean = 0.0, sumSquare = 0.0;
+  graph.forEachEdge([&](NodeId u, NodeId v) {
+    const double du = static_cast<double>(graph.degree(u));
+    const double dv = static_cast<double>(graph.degree(v));
+    sumProduct += du * dv;
+    sumMean += 0.5 * (du + dv);
+    sumSquare += 0.5 * (du * du + dv * dv);
+  });
+  const double m = static_cast<double>(graph.edgeCount());
+  const double meanTerm = sumMean / m;
+  const double numerator = sumProduct / m - meanTerm * meanTerm;
+  const double denominator = sumSquare / m - meanTerm * meanTerm;
+  if (denominator == 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace msd

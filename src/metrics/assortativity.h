@@ -1,0 +1,13 @@
+#pragma once
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Degree assortativity: the Pearson correlation of the degrees at the two
+/// ends of every edge (Newman's r, symmetric form). Positive values mean
+/// similar-degree nodes attach to each other; 0 means no preference.
+/// Returns 0 for graphs with no edges or with uniform degree.
+double degreeAssortativity(const Graph& graph);
+
+}  // namespace msd

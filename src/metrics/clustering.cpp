@@ -1,0 +1,48 @@
+#include "metrics/clustering.h"
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace msd {
+
+double localClustering(const Graph& graph, NodeId node) {
+  const auto neighbors = graph.neighbors(node);
+  const std::size_t d = neighbors.size();
+  if (d < 2) return 0.0;
+
+  // Hash the neighborhood once, then count closed wedges.
+  std::unordered_set<NodeId> hood(neighbors.begin(), neighbors.end());
+  std::size_t closed = 0;
+  for (NodeId neighbor : neighbors) {
+    for (NodeId second : graph.neighbors(neighbor)) {
+      if (second != node && hood.count(second) > 0) ++closed;
+    }
+  }
+  // Each neighbor-neighbor edge is seen twice in the double loop.
+  const double possible = static_cast<double>(d) * static_cast<double>(d - 1);
+  return static_cast<double>(closed) / possible;
+}
+
+double averageClustering(const Graph& graph) {
+  const std::size_t n = graph.nodeCount();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId node = 0; node < n; ++node) total += localClustering(graph, node);
+  return total / static_cast<double>(n);
+}
+
+double sampledAverageClustering(const Graph& graph, std::size_t samples,
+                                Rng& rng) {
+  const std::size_t n = graph.nodeCount();
+  if (n == 0) return 0.0;
+  if (samples >= n) return averageClustering(graph);
+  const std::vector<std::size_t> picks = rng.sampleIndices(n, samples);
+  double total = 0.0;
+  for (std::size_t pick : picks) {
+    total += localClustering(graph, static_cast<NodeId>(pick));
+  }
+  return total / static_cast<double>(picks.size());
+}
+
+}  // namespace msd

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace msd {
+
+/// Local clustering coefficient of one node: existing edges among its
+/// neighbors divided by the maximum possible. Nodes with degree < 2 have
+/// coefficient 0 (the paper averages them in as zeros).
+double localClustering(const Graph& graph, NodeId node);
+
+/// Exact average clustering coefficient over all nodes. O(sum of d^2);
+/// fine up to mid-size graphs.
+double averageClustering(const Graph& graph);
+
+/// Average clustering estimated from `samples` uniformly sampled nodes,
+/// for the per-day time series on large snapshots. Exact when samples >=
+/// node count. Returns 0 for an empty graph.
+double sampledAverageClustering(const Graph& graph, std::size_t samples,
+                                Rng& rng);
+
+}  // namespace msd

@@ -1,0 +1,55 @@
+#include "metrics/components.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace msd {
+
+std::uint32_t Components::largest() const {
+  require(!size.empty(), "Components::largest: empty graph");
+  const auto it = std::max_element(size.begin(), size.end());
+  return static_cast<std::uint32_t>(it - size.begin());
+}
+
+std::vector<NodeId> Components::members(std::uint32_t component) const {
+  require(component < count, "Components::members: bad component id");
+  std::vector<NodeId> nodes;
+  nodes.reserve(size[component]);
+  for (NodeId node = 0; node < label.size(); ++node) {
+    if (label[node] == component) nodes.push_back(node);
+  }
+  return nodes;
+}
+
+Components connectedComponents(const Graph& graph) {
+  constexpr std::uint32_t kUnlabelled = 0xffffffffu;
+  Components result;
+  result.label.assign(graph.nodeCount(), kUnlabelled);
+
+  std::vector<NodeId> frontier;
+  for (NodeId start = 0; start < graph.nodeCount(); ++start) {
+    if (result.label[start] != kUnlabelled) continue;
+    const auto component = static_cast<std::uint32_t>(result.count++);
+    result.label[start] = component;
+    std::size_t members = 1;
+    frontier.clear();
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const NodeId node = frontier.back();
+      frontier.pop_back();
+      for (NodeId next : graph.neighbors(node)) {
+        if (result.label[next] == kUnlabelled) {
+          result.label[next] = component;
+          ++members;
+          frontier.push_back(next);
+        }
+      }
+    }
+    result.size.push_back(members);
+  }
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Connected-component labelling of an undirected graph.
+struct Components {
+  std::vector<std::uint32_t> label;  ///< component id per node (dense from 0)
+  std::vector<std::size_t> size;     ///< size per component id
+  std::size_t count = 0;             ///< number of components
+
+  /// Id of the largest component (requires a non-empty graph).
+  std::uint32_t largest() const;
+
+  /// All node ids belonging to the given component.
+  std::vector<NodeId> members(std::uint32_t component) const;
+};
+
+/// Computes connected components with an iterative BFS (no recursion, safe
+/// on multi-million-node graphs).
+Components connectedComponents(const Graph& graph);
+
+}  // namespace msd

@@ -1,0 +1,29 @@
+#include "metrics/degree.h"
+
+namespace msd {
+
+DegreeStats degreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const std::size_t n = graph.nodeCount();
+  if (n == 0) return stats;
+  for (NodeId node = 0; node < n; ++node) {
+    const std::size_t d = graph.degree(node);
+    if (d > stats.max) stats.max = d;
+    if (d == 0) ++stats.isolated;
+  }
+  stats.average =
+      static_cast<double>(graph.totalDegree()) / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::size_t> degreeDistribution(const Graph& graph) {
+  std::vector<std::size_t> counts(1, 0);
+  for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+    const std::size_t d = graph.degree(node);
+    if (d >= counts.size()) counts.resize(d + 1, 0);
+    ++counts[d];
+  }
+  return counts;
+}
+
+}  // namespace msd

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Summary of a graph's degree structure.
+struct DegreeStats {
+  double average = 0.0;     ///< mean degree (2E / N); 0 for an empty graph
+  std::size_t max = 0;      ///< largest degree
+  std::size_t isolated = 0; ///< nodes with degree 0
+};
+
+/// Computes average/max/isolated-count over all nodes.
+DegreeStats degreeStats(const Graph& graph);
+
+/// Degree histogram: result[d] = number of nodes with degree d.
+/// Size is maxDegree + 1 (empty graph -> single zero entry).
+std::vector<std::size_t> degreeDistribution(const Graph& graph);
+
+}  // namespace msd

@@ -1,0 +1,34 @@
+#include "metrics/modularity.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace msd {
+
+double modularity(const Graph& graph, std::span<const std::uint32_t> labels) {
+  require(labels.size() >= graph.nodeCount(),
+          "modularity: labels vector too short");
+  if (graph.edgeCount() == 0) return 0.0;
+
+  std::unordered_map<std::uint32_t, double> internalEdges;
+  std::unordered_map<std::uint32_t, double> totalDegree;
+  graph.forEachEdge([&](NodeId u, NodeId v) {
+    if (labels[u] == labels[v]) internalEdges[labels[u]] += 1.0;
+  });
+  for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+    totalDegree[labels[node]] += static_cast<double>(graph.degree(node));
+  }
+
+  const double m = static_cast<double>(graph.edgeCount());
+  double q = 0.0;
+  for (const auto& [community, degree] : totalDegree) {
+    const auto it = internalEdges.find(community);
+    const double internal = it == internalEdges.end() ? 0.0 : it->second;
+    const double degreeShare = degree / (2.0 * m);
+    q += internal / m - degreeShare * degreeShare;
+  }
+  return q;
+}
+
+}  // namespace msd

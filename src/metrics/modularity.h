@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Newman modularity Q of a node-to-community assignment:
+///   Q = sum_c [ e_c / M  -  (a_c / 2M)^2 ]
+/// where e_c is the number of intra-community edges of community c, a_c
+/// the total degree of its members, and M the edge count. Labels need not
+/// be dense. Returns 0 for a graph with no edges.
+double modularity(const Graph& graph, std::span<const std::uint32_t> labels);
+
+}  // namespace msd

@@ -1,0 +1,173 @@
+#include "metrics/neighborhood.h"
+
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Flat array of HyperLogLog sketches, one per node, registers stored as
+/// 8-bit rank values.
+class SketchArray {
+ public:
+  SketchArray(std::size_t nodes, int registersLog2)
+      : registers_(static_cast<std::size_t>(1) << registersLog2),
+        mask_(registers_ - 1),
+        data_(nodes * registers_, 0) {}
+
+  void addItem(std::size_t node, std::uint64_t hash) {
+    const std::size_t reg = hash & mask_;
+    const std::uint64_t rest = hash >> 6 | (1ULL << 58);  // avoid rank 0 of 0
+    const auto rank = static_cast<std::uint8_t>(
+        1 + __builtin_ctzll(rest));
+    std::uint8_t& slot = data_[node * registers_ + reg];
+    if (rank > slot) slot = rank;
+  }
+
+  /// Unions `other`'s sketch of node `from` into this array's sketch of
+  /// node `into`; returns true if anything changed. Reading from a
+  /// separate array keeps each round a strict one-hop expansion.
+  bool unionFrom(std::size_t into, const SketchArray& other,
+                 std::size_t from) {
+    bool changed = false;
+    std::uint8_t* dst = &data_[into * registers_];
+    const std::uint8_t* src = &other.data_[from * registers_];
+    for (std::size_t r = 0; r < registers_; ++r) {
+      if (src[r] > dst[r]) {
+        dst[r] = src[r];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// HyperLogLog cardinality estimate with small-range correction.
+  double estimate(std::size_t node) const {
+    const std::uint8_t* regs = &data_[node * registers_];
+    const double m = static_cast<double>(registers_);
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    for (std::size_t r = 0; r < registers_; ++r) {
+      sum += std::pow(2.0, -static_cast<double>(regs[r]));
+      if (regs[r] == 0) ++zeros;
+    }
+    const double alpha =
+        registers_ >= 128 ? 0.7213 / (1.0 + 1.079 / m)
+                          : (registers_ == 64 ? 0.709
+                                              : (registers_ == 32 ? 0.697
+                                                                  : 0.673));
+    double estimate = alpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+      estimate = m * std::log(m / static_cast<double>(zeros));
+    }
+    return estimate;
+  }
+
+  std::vector<std::uint8_t>& raw() { return data_; }
+
+ private:
+  std::size_t registers_;
+  std::size_t mask_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace
+
+double NeighborhoodFunction::effectiveDiameter(double fraction) const {
+  require(!pairs.empty(), "effectiveDiameter: empty function");
+  require(fraction > 0.0 && fraction <= 1.0,
+          "effectiveDiameter: fraction must be in (0, 1]");
+  const double target = fraction * pairs.back();
+  for (std::size_t h = 0; h < pairs.size(); ++h) {
+    if (pairs[h] >= target) {
+      if (h == 0) return 0.0;
+      // Linear interpolation between h-1 and h.
+      const double below = pairs[h - 1];
+      const double span = pairs[h] - below;
+      if (span <= 0.0) return static_cast<double>(h);
+      return static_cast<double>(h - 1) + (target - below) / span;
+    }
+  }
+  return static_cast<double>(pairs.size() - 1);
+}
+
+double NeighborhoodFunction::averageDistance() const {
+  require(pairs.size() >= 2, "averageDistance: need at least two hops");
+  double weighted = 0.0;
+  for (std::size_t h = 1; h < pairs.size(); ++h) {
+    weighted += static_cast<double>(h) * (pairs[h] - pairs[h - 1]);
+  }
+  const double reachable = pairs.back() - pairs.front();
+  return reachable <= 0.0 ? 0.0 : weighted / reachable;
+}
+
+namespace {
+
+/// Shared implementation over any graph type exposing nodeCount() and
+/// neighbors(NodeId).
+template <typename AnyGraph>
+NeighborhoodFunction neighborhoodFunctionImpl(const AnyGraph& graph,
+                                              const AnfConfig& config) {
+  require(config.registersLog2 >= 4 && config.registersLog2 <= 12,
+          "neighborhoodFunction: registersLog2 must be in [4, 12]");
+  require(config.maxHops >= 1, "neighborhoodFunction: maxHops must be >= 1");
+
+  const std::size_t n = graph.nodeCount();
+  NeighborhoodFunction result;
+  if (n == 0) return result;
+
+  SketchArray current(n, config.registersLog2);
+  for (std::size_t node = 0; node < n; ++node) {
+    current.addItem(node, splitmix64(config.seed ^ node));
+  }
+
+  auto total = [&]() {
+    double sum = 0.0;
+    for (std::size_t node = 0; node < n; ++node) {
+      sum += current.estimate(node);
+    }
+    return sum;
+  };
+  result.pairs.push_back(total());
+
+  SketchArray next = current;
+  for (int hop = 1; hop <= config.maxHops; ++hop) {
+    bool changed = false;
+    // next = current unioned with all neighbors' current sketches.
+    next.raw() = current.raw();
+    for (NodeId node = 0; node < n; ++node) {
+      for (NodeId neighbor : graph.neighbors(node)) {
+        changed |= next.unionFrom(node, current, neighbor);
+      }
+    }
+    std::swap(current.raw(), next.raw());
+    result.pairs.push_back(total());
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+NeighborhoodFunction neighborhoodFunction(const Graph& graph,
+                                          const AnfConfig& config) {
+  return neighborhoodFunctionImpl(graph, config);
+}
+
+NeighborhoodFunction neighborhoodFunction(const CsrGraph& graph,
+                                          const AnfConfig& config) {
+  return neighborhoodFunctionImpl(graph, config);
+}
+
+}  // namespace msd

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msd {
+
+/// Parameters of the probabilistic neighborhood-function estimator.
+struct AnfConfig {
+  int registersLog2 = 6;   ///< HyperLogLog registers per node = 2^k (k>=4)
+  int maxHops = 48;        ///< stop after this many expansion rounds
+  std::uint64_t seed = 31; ///< hash seed
+};
+
+/// Approximate neighborhood function N(h) — the number of node pairs
+/// within h hops — computed with HyperANF (one HyperLogLog counter per
+/// node, unioned along edges per round). O((V + E) * maxHops) time and
+/// O(V * 2^registersLog2) memory, no sampling bias.
+///
+/// Used for effective-diameter estimates (the "radius plot" analyses the
+/// paper cites) where BFS sampling would be too coarse.
+struct NeighborhoodFunction {
+  /// pairs[h] ~= number of ordered reachable pairs within h hops
+  /// (h = 0 counts each node reaching itself).
+  std::vector<double> pairs;
+
+  /// Smallest h with pairs[h] >= fraction * pairs.back(), linearly
+  /// interpolated between integer hops (the standard "effective
+  /// diameter"). Requires a computed, non-empty function.
+  double effectiveDiameter(double fraction = 0.9) const;
+
+  /// Mean pairwise distance implied by the function (over reachable
+  /// pairs, excluding self-pairs).
+  double averageDistance() const;
+};
+
+/// Runs HyperANF over the whole graph.
+NeighborhoodFunction neighborhoodFunction(const Graph& graph,
+                                          const AnfConfig& config = {});
+
+class CsrGraph;
+
+/// CSR overload — identical semantics on a frozen snapshot, with the
+/// cache-friendly traversal the repeated per-hop sweeps want.
+NeighborhoodFunction neighborhoodFunction(const CsrGraph& graph,
+                                          const AnfConfig& config = {});
+
+}  // namespace msd

@@ -1,0 +1,87 @@
+#include "metrics/paths.h"
+
+#include <queue>
+
+#include "metrics/components.h"
+#include "util/error.h"
+
+namespace msd {
+
+std::vector<std::uint32_t> bfsDistances(const Graph& graph, NodeId source) {
+  require(source < graph.nodeCount(), "bfsDistances: source out of range");
+  std::vector<std::uint32_t> dist(graph.nodeCount(), kUnreachable);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    const std::uint32_t next = dist[node] + 1;
+    for (NodeId neighbor : graph.neighbors(node)) {
+      if (dist[neighbor] == kUnreachable) {
+        dist[neighbor] = next;
+        frontier.push(neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+double sampledAveragePathLength(const Graph& graph, std::size_t samples,
+                                Rng& rng) {
+  if (graph.edgeCount() == 0) return 0.0;
+  const Components components = connectedComponents(graph);
+  const auto core = components.largest();
+  const std::vector<NodeId> coreNodes = components.members(core);
+  if (coreNodes.size() < 2) return 0.0;
+
+  const std::vector<std::size_t> picks =
+      rng.sampleIndices(coreNodes.size(), samples);
+
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t pick : picks) {
+    const std::vector<std::uint32_t> dist =
+        bfsDistances(graph, coreNodes[pick]);
+    for (NodeId node : coreNodes) {
+      if (node == coreNodes[pick]) continue;
+      // Every same-component node is reachable by construction.
+      total += static_cast<double>(dist[node]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::uint32_t distanceToSet(const Graph& graph, NodeId source,
+                            std::span<const std::uint8_t> targets,
+                            std::span<const std::uint8_t> allowed) {
+  require(source < graph.nodeCount(), "distanceToSet: source out of range");
+  require(targets.size() >= graph.nodeCount(),
+          "distanceToSet: targets flag vector too short");
+  require(allowed.empty() || allowed.size() >= graph.nodeCount(),
+          "distanceToSet: allowed flag vector too short");
+
+  if (targets[source]) return 0;
+  std::vector<std::uint32_t> dist(graph.nodeCount(), kUnreachable);
+  dist[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    const std::uint32_t next = dist[node] + 1;
+    for (NodeId neighbor : graph.neighbors(node)) {
+      if (dist[neighbor] != kUnreachable) continue;
+      // A target terminates the search even if it is not itself allowed
+      // as an intermediate hop.
+      if (targets[neighbor]) return next;
+      if (!allowed.empty() && !allowed[neighbor]) continue;
+      dist[neighbor] = next;
+      frontier.push(neighbor);
+    }
+  }
+  return kUnreachable;
+}
+
+}  // namespace msd

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace msd {
+
+/// BFS hop distances from `source` to every node (kUnreachable where no
+/// path exists). O(V + E).
+std::vector<std::uint32_t> bfsDistances(const Graph& graph, NodeId source);
+
+/// Average shortest-path length estimated the way the paper does
+/// (Fig 1(d)): sample `samples` source nodes uniformly from the largest
+/// connected component and average BFS distances to all nodes reachable
+/// from each. Returns 0 for graphs with no edges.
+double sampledAveragePathLength(const Graph& graph, std::size_t samples,
+                                Rng& rng);
+
+/// BFS distance from `source` to the nearest node satisfying `targets`
+/// (a per-node flag vector), traversing only nodes allowed by `allowed`
+/// (empty = all allowed). Returns kUnreachable when no target can be
+/// reached. Used for the Fig 9(c) cross-OSN distance experiment, where
+/// post-merge users must be excluded from paths.
+std::uint32_t distanceToSet(const Graph& graph, NodeId source,
+                            std::span<const std::uint8_t> targets,
+                            std::span<const std::uint8_t> allowed = {});
+
+}  // namespace msd

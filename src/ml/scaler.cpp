@@ -1,0 +1,49 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+
+void FeatureScaler::fit(std::span<const std::vector<double>> rows) {
+  require(!rows.empty(), "FeatureScaler::fit: empty training set");
+  const std::size_t width = rows.front().size();
+  mean_.assign(width, 0.0);
+  stddev_.assign(width, 0.0);
+
+  for (const auto& row : rows) {
+    require(row.size() == width, "FeatureScaler::fit: ragged rows");
+    for (std::size_t j = 0; j < width; ++j) mean_[j] += row[j];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (double& m : mean_) m /= n;
+
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = row[j] - mean_[j];
+      stddev_[j] += d * d;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through
+  }
+}
+
+void FeatureScaler::apply(std::vector<double>& row) const {
+  require(!mean_.empty(), "FeatureScaler::apply: fit() not called");
+  require(row.size() == mean_.size(), "FeatureScaler::apply: width mismatch");
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    row[j] = (row[j] - mean_[j]) / stddev_[j];
+  }
+}
+
+std::vector<double> FeatureScaler::transformed(
+    const std::vector<double>& row) const {
+  std::vector<double> copy = row;
+  apply(copy);
+  return copy;
+}
+
+}  // namespace msd

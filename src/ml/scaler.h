@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace msd {
+
+/// Per-feature standardization (zero mean, unit variance), fitted on a
+/// training set and applied to any sample. Constant features are passed
+/// through unscaled (variance clamped to 1).
+class FeatureScaler {
+ public:
+  FeatureScaler() = default;
+
+  /// Learns mean and standard deviation per column from `rows` (each row a
+  /// feature vector; all rows must share one width). Requires a non-empty
+  /// training set.
+  void fit(std::span<const std::vector<double>> rows);
+
+  /// Standardizes one sample in place. Requires fit() first and a
+  /// matching width.
+  void apply(std::vector<double>& row) const;
+
+  /// Standardizes a copy.
+  std::vector<double> transformed(const std::vector<double>& row) const;
+
+  /// Number of features this scaler was fitted on (0 before fit()).
+  std::size_t width() const { return mean_.size(); }
+
+  /// Fitted means.
+  std::span<const double> means() const { return mean_; }
+
+  /// Fitted standard deviations (constant columns report 1).
+  std::span<const double> stddevs() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace msd

@@ -1,0 +1,153 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace msd {
+
+void LinearSvm::train(std::span<const std::vector<double>> rows,
+                      std::span<const std::uint8_t> labels, const SvmConfig& config) {
+  require(!rows.empty(), "LinearSvm::train: empty training set");
+  require(rows.size() == labels.size(),
+          "LinearSvm::train: rows/labels length mismatch");
+  require(config.lambda > 0.0, "LinearSvm::train: lambda must be positive");
+  require(config.epochs > 0, "LinearSvm::train: epochs must be positive");
+
+  const std::size_t width = rows.front().size();
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require(rows[i].size() == width, "LinearSvm::train: ragged rows");
+    if (labels[i]) ++positives;
+  }
+  const std::size_t negatives = rows.size() - positives;
+  require(positives > 0 && negatives > 0,
+          "LinearSvm::train: need both classes present");
+
+  // Per-class hinge weights; balancing keeps the rare "will merge" class
+  // from being ignored.
+  const double n = static_cast<double>(rows.size());
+  const double positiveWeight =
+      config.balanceClasses ? n / (2.0 * static_cast<double>(positives)) : 1.0;
+  const double negativeWeight =
+      config.balanceClasses ? n / (2.0 * static_cast<double>(negatives)) : 1.0;
+
+  weights_.assign(width, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Averaged Pegasos: the returned model is the average of the iterates
+  // over the second half of training, which converges much more stably
+  // than the last iterate.
+  std::vector<double> averagedWeights(width, 0.0);
+  double averagedBias = 0.0;
+  std::size_t averagedCount = 0;
+  const std::size_t totalSteps =
+      static_cast<std::size_t>(config.epochs) * rows.size();
+  const std::size_t averageFrom = totalSteps / 2;
+
+  std::size_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t index : order) {
+      ++step;
+      const double eta = 1.0 / (config.lambda * static_cast<double>(step));
+      const double y = labels[index] ? 1.0 : -1.0;
+      const double classWeight = labels[index] ? positiveWeight
+                                               : negativeWeight;
+      const auto& x = rows[index];
+
+      double margin = bias_;
+      for (std::size_t j = 0; j < width; ++j) margin += weights_[j] * x[j];
+      margin *= y;
+
+      // Subgradient step: shrink by regularization, push on hinge
+      // violation.
+      const double shrink = 1.0 - eta * config.lambda;
+      for (double& w : weights_) w *= shrink;
+      if (margin < 1.0) {
+        const double push = eta * classWeight * y;
+        for (std::size_t j = 0; j < width; ++j) weights_[j] += push * x[j];
+        bias_ += push;
+      }
+
+      // Pegasos projection: keep w inside the ball of radius 1/sqrt(λ),
+      // which bounds the early large-step iterates and speeds
+      // convergence.
+      double normSquared = 0.0;
+      for (double w : weights_) normSquared += w * w;
+      const double radiusSquared = 1.0 / config.lambda;
+      if (normSquared > radiusSquared) {
+        const double scale = std::sqrt(radiusSquared / normSquared);
+        for (double& w : weights_) w *= scale;
+        bias_ *= scale;
+      }
+
+      if (step > averageFrom) {
+        for (std::size_t j = 0; j < width; ++j) {
+          averagedWeights[j] += weights_[j];
+        }
+        averagedBias += bias_;
+        ++averagedCount;
+      }
+    }
+  }
+  if (averagedCount > 0) {
+    const double scale = 1.0 / static_cast<double>(averagedCount);
+    for (std::size_t j = 0; j < width; ++j) {
+      weights_[j] = averagedWeights[j] * scale;
+    }
+    bias_ = averagedBias * scale;
+  }
+}
+
+double LinearSvm::decision(std::span<const double> features) const {
+  require(!weights_.empty(), "LinearSvm::decision: model not trained");
+  require(features.size() == weights_.size(),
+          "LinearSvm::decision: feature width mismatch");
+  double value = bias_;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    value += weights_[j] * features[j];
+  }
+  return value;
+}
+
+bool LinearSvm::predict(std::span<const double> features) const {
+  return decision(features) > 0.0;
+}
+
+ClassAccuracy evaluate(const LinearSvm& model,
+                       std::span<const std::vector<double>> rows,
+                       std::span<const std::uint8_t> labels) {
+  require(rows.size() == labels.size(), "evaluate: rows/labels mismatch");
+  ClassAccuracy result;
+  std::size_t positiveHits = 0, negativeHits = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const bool predicted = model.predict(rows[i]);
+    if (labels[i]) {
+      ++result.positives;
+      if (predicted) ++positiveHits;
+    } else {
+      ++result.negatives;
+      if (!predicted) ++negativeHits;
+    }
+  }
+  result.positiveAccuracy =
+      result.positives == 0
+          ? 0.0
+          : static_cast<double>(positiveHits) /
+                static_cast<double>(result.positives);
+  result.negativeAccuracy =
+      result.negatives == 0
+          ? 0.0
+          : static_cast<double>(negativeHits) /
+                static_cast<double>(result.negatives);
+  return result;
+}
+
+}  // namespace msd

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace msd {
+
+/// Training parameters for the linear SVM.
+struct SvmConfig {
+  double lambda = 1e-4;     ///< L2 regularization strength
+  int epochs = 60;          ///< passes over the training set
+  std::uint64_t seed = 7;   ///< shuffling seed (training is stochastic)
+  bool balanceClasses = true;  ///< weight hinge loss inversely to class size
+};
+
+/// Linear soft-margin SVM trained with Pegasos-style stochastic
+/// subgradient descent on the hinge loss. Labels are {false, true},
+/// mapped internally to {-1, +1}.
+///
+/// This replaces the off-the-shelf SVM the paper cites for its community
+/// merge predictor (Sec 4.3); the feature space is 13-dimensional and the
+/// paper reports ~75% accuracy, well within a linear model's reach.
+class LinearSvm {
+ public:
+  /// Trains on `rows` (feature vectors of one common width) with boolean
+  /// labels. Requires a non-empty set containing both classes and equal
+  /// rows/labels lengths.
+  void train(std::span<const std::vector<double>> rows,
+             std::span<const std::uint8_t> labels, const SvmConfig& config = {});
+
+  /// Signed decision value w.x + b. Requires train() first and matching
+  /// width.
+  double decision(std::span<const double> features) const;
+
+  /// Predicted label (decision > 0).
+  bool predict(std::span<const double> features) const;
+
+  /// Learned weights (empty before training).
+  std::span<const double> weights() const { return weights_; }
+
+  /// Learned bias.
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Per-class accuracy of a binary predictor, the two curves of Fig 6(b).
+struct ClassAccuracy {
+  double positiveAccuracy = 0.0;  ///< recall on "will merge"
+  double negativeAccuracy = 0.0;  ///< recall on "will not merge"
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+};
+
+/// Evaluates per-class accuracy of an SVM over a labelled set.
+ClassAccuracy evaluate(const LinearSvm& model,
+                       std::span<const std::vector<double>> rows,
+                       std::span<const std::uint8_t> labels);
+
+}  // namespace msd

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace msd {
+
+/// Throws std::invalid_argument when a caller-supplied precondition fails.
+///
+/// Used at public API boundaries where the failure is a contract violation
+/// by the caller (bad parameter, out-of-range id), per the Core Guidelines
+/// distinction between programming errors and runtime faults.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+
+/// Throws std::runtime_error when an internal invariant or an environment
+/// expectation (file readable, format valid) fails at run time.
+inline void ensure(bool condition, const std::string& what) {
+  if (!condition) throw std::runtime_error(what);
+}
+
+}  // namespace msd

@@ -1,0 +1,161 @@
+#include "util/fit.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace msd {
+
+LineFit fitLine(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "fitLine: series must have equal length");
+  require(xs.size() >= 2, "fitLine: need at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  require(denom != 0.0, "fitLine: x values must not be identical");
+
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double meanY = sy / n;
+  double ssRes = 0.0, ssTot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = fit.slope * xs[i] + fit.intercept;
+    ssRes += (ys[i] - predicted) * (ys[i] - predicted);
+    ssTot += (ys[i] - meanY) * (ys[i] - meanY);
+  }
+  fit.mse = ssRes / n;
+  fit.r2 = ssTot == 0.0 ? 1.0 : 1.0 - ssRes / ssTot;
+  return fit;
+}
+
+PowerLawFit fitPowerLaw(std::span<const double> xs, std::span<const double> ys,
+                        std::span<const double> weights) {
+  require(xs.size() == ys.size(), "fitPowerLaw: series length mismatch");
+  require(weights.empty() || weights.size() == xs.size(),
+          "fitPowerLaw: weights length mismatch");
+
+  // Weighted least squares on (log x, log y); points outside the positive
+  // quadrant carry no information about a power law and are skipped.
+  double sw = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t usable = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!(xs[i] > 0.0) || !(ys[i] > 0.0)) continue;
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (!(w > 0.0)) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sw += w;
+    sx += w * lx;
+    sy += w * ly;
+    sxx += w * lx * lx;
+    sxy += w * lx * ly;
+    ++usable;
+  }
+  require(usable >= 2, "fitPowerLaw: need at least two positive points");
+  const double denom = sw * sxx - sx * sx;
+  require(denom != 0.0, "fitPowerLaw: x values must not be identical");
+
+  PowerLawFit fit;
+  fit.alpha = (sw * sxy - sx * sy) / denom;
+  fit.prefactor = std::exp((sy - fit.alpha * sx) / sw);
+
+  double seLog = 0.0, seLinear = 0.0, wTotal = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!(xs[i] > 0.0) || !(ys[i] > 0.0)) continue;
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (!(w > 0.0)) continue;
+    const double predicted = fit.prefactor * std::pow(xs[i], fit.alpha);
+    const double logResidual = std::log(ys[i]) - std::log(predicted);
+    seLog += w * logResidual * logResidual;
+    seLinear += w * (ys[i] - predicted) * (ys[i] - predicted);
+    wTotal += w;
+  }
+  fit.mseLog = seLog / wTotal;
+  fit.mseLinear = seLinear / wTotal;
+  return fit;
+}
+
+std::vector<double> solveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b) {
+  const std::size_t n = b.size();
+  require(a.size() == n * n, "solveLinearSystem: matrix/vector size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a[row * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    ensure(best > 1e-300, "solveLinearSystem: singular matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k)
+        a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+std::vector<double> fitPolynomial(std::span<const double> xs,
+                                  std::span<const double> ys, int degree) {
+  require(degree >= 0, "fitPolynomial: degree must be non-negative");
+  require(xs.size() == ys.size(), "fitPolynomial: series length mismatch");
+  const auto terms = static_cast<std::size_t>(degree) + 1;
+  require(xs.size() >= terms, "fitPolynomial: need more points than degree");
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(terms * terms, 0.0);
+  std::vector<double> aty(terms, 0.0);
+  std::vector<double> powers(2 * terms - 1, 0.0);
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    double xpow = 1.0;
+    std::vector<double> row(terms);
+    for (std::size_t t = 0; t < terms; ++t) {
+      row[t] = xpow;
+      xpow *= xs[p];
+    }
+    for (std::size_t i = 0; i < terms; ++i) {
+      aty[i] += row[i] * ys[p];
+      for (std::size_t j = 0; j < terms; ++j) ata[i * terms + j] += row[i] * row[j];
+    }
+  }
+  (void)powers;
+  return solveLinearSystem(std::move(ata), std::move(aty));
+}
+
+double evalPolynomial(std::span<const double> coeffs, double x) {
+  double value = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) value = value * x + coeffs[i];
+  return value;
+}
+
+}  // namespace msd

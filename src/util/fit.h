@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace msd {
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double mse = 0.0;  ///< mean squared residual in the fitted space
+  double r2 = 0.0;   ///< coefficient of determination
+};
+
+/// Fits a straight line by ordinary least squares.
+/// Requires at least two points with non-identical x values.
+LineFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of fitting y = c * x^alpha (the paper's pe(d) ~ d^alpha form).
+struct PowerLawFit {
+  double alpha = 0.0;      ///< exponent
+  double prefactor = 0.0;  ///< c
+  double mseLinear = 0.0;  ///< mean squared error in linear space (paper's MSE)
+  double mseLog = 0.0;     ///< mean squared error of the log-log line fit
+};
+
+/// Fits a power law by linear regression on (log x, log y), optionally
+/// weighting each point. Points with non-positive x or y are skipped.
+/// Requires at least two usable points.
+PowerLawFit fitPowerLaw(std::span<const double> xs, std::span<const double> ys,
+                        std::span<const double> weights = {});
+
+/// Fits a polynomial of the given degree by least squares (normal
+/// equations + Gaussian elimination with partial pivoting). Returns the
+/// coefficients lowest-order first: y = c0 + c1 x + ... + cd x^d.
+/// Requires degree >= 0 and more points than the degree.
+std::vector<double> fitPolynomial(std::span<const double> xs,
+                                  std::span<const double> ys, int degree);
+
+/// Evaluates a polynomial given coefficients lowest-order first.
+double evalPolynomial(std::span<const double> coeffs, double x);
+
+/// Solves the dense linear system A x = b in place (Gaussian elimination
+/// with partial pivoting). `a` is row-major n*n. Throws on singular input.
+std::vector<double> solveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b);
+
+}  // namespace msd

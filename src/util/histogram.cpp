@@ -1,0 +1,106 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(bins >= 1, "Histogram: need at least one bin");
+  require(lo < hi, "Histogram: lo must be < hi");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((value - lo_) / width_);
+  if (index >= counts_.size()) index = counts_.size() - 1;  // fp edge case
+  ++counts_[index];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::count: bin index out of range");
+  return counts_[i];
+}
+
+std::vector<DensityBin> Histogram::densities() const {
+  std::vector<DensityBin> result;
+  result.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    DensityBin bin;
+    bin.lo = lo_ + width_ * static_cast<double>(i);
+    bin.hi = bin.lo + width_;
+    bin.center = 0.5 * (bin.lo + bin.hi);
+    bin.count = counts_[i];
+    bin.density = total_ == 0 ? 0.0
+                              : static_cast<double>(counts_[i]) /
+                                    (static_cast<double>(total_) * width_);
+    result.push_back(bin);
+  }
+  return result;
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> result(counts_.size(), 0.0);
+  if (total_ == 0) return result;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    result[i] =
+        static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return result;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t binsPerDecade) {
+  require(lo > 0.0 && lo < hi, "LogHistogram: need 0 < lo < hi");
+  require(binsPerDecade >= 1, "LogHistogram: need binsPerDecade >= 1");
+  logLo_ = std::log10(lo);
+  logHi_ = std::log10(hi);
+  logWidth_ = 1.0 / static_cast<double>(binsPerDecade);
+  const auto bins = static_cast<std::size_t>(
+      std::ceil((logHi_ - logLo_) / logWidth_));
+  counts_.assign(bins > 0 ? bins : 1, 0);
+}
+
+void LogHistogram::add(double value) {
+  if (!(value > 0.0) || std::log10(value) < logLo_) {
+    ++underflow_;
+    return;
+  }
+  const double logValue = std::log10(value);
+  if (logValue >= logHi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((logValue - logLo_) / logWidth_);
+  if (index >= counts_.size()) index = counts_.size() - 1;
+  ++counts_[index];
+  ++total_;
+}
+
+std::vector<DensityBin> LogHistogram::densities() const {
+  std::vector<DensityBin> result;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    DensityBin bin;
+    bin.lo = std::pow(10.0, logLo_ + logWidth_ * static_cast<double>(i));
+    bin.hi = std::pow(10.0, logLo_ + logWidth_ * static_cast<double>(i + 1));
+    bin.center = std::sqrt(bin.lo * bin.hi);
+    bin.count = counts_[i];
+    bin.density = static_cast<double>(counts_[i]) /
+                  (static_cast<double>(total_) * (bin.hi - bin.lo));
+    result.push_back(bin);
+  }
+  return result;
+}
+
+}  // namespace msd

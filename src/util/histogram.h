@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msd {
+
+/// One bin of a (possibly log-spaced) histogram, already normalized to a
+/// probability density so figures can plot it directly.
+struct DensityBin {
+  double center = 0.0;   ///< geometric/arithmetic bin center (x axis)
+  double lo = 0.0;       ///< inclusive lower edge
+  double hi = 0.0;       ///< exclusive upper edge
+  double density = 0.0;  ///< count / (total * width)   (y axis of a PDF)
+  std::size_t count = 0; ///< raw number of samples in the bin
+};
+
+/// Fixed-width linear histogram over [lo, hi) with overflow/underflow
+/// counted separately. Value type is double throughout.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi).
+  /// Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample; out-of-range samples land in the under/overflow
+  /// counters and do not contribute to densities.
+  void add(double value);
+
+  /// Number of in-range samples.
+  std::size_t total() const { return total_; }
+
+  /// Samples below the range.
+  std::size_t underflow() const { return underflow_; }
+
+  /// Samples at or above the upper edge.
+  std::size_t overflow() const { return overflow_; }
+
+  /// Raw count of bin i.
+  std::size_t count(std::size_t i) const;
+
+  /// Number of bins.
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Normalized density view (PDF over the covered range).
+  std::vector<DensityBin> densities() const;
+
+  /// Per-bin fraction of the in-range total (histogram normalized to sum 1).
+  std::vector<double> fractions() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Logarithmically binned histogram for heavy-tailed positive samples
+/// (edge inter-arrival times, community sizes, degrees). Produces the
+/// straight-line-on-log-log PDFs the paper plots.
+class LogHistogram {
+ public:
+  /// Covers [lo, hi) with `binsPerDecade` geometric bins per factor of 10.
+  /// Requires 0 < lo < hi and binsPerDecade >= 1.
+  LogHistogram(double lo, double hi, std::size_t binsPerDecade);
+
+  /// Adds one positive sample; non-positive or out-of-range samples are
+  /// tallied as under/overflow.
+  void add(double value);
+
+  /// Number of in-range samples.
+  std::size_t total() const { return total_; }
+
+  /// Samples below the range (including non-positive values).
+  std::size_t underflow() const { return underflow_; }
+
+  /// Samples at or above the upper edge.
+  std::size_t overflow() const { return overflow_; }
+
+  /// Normalized density view; empty bins are omitted.
+  std::vector<DensityBin> densities() const;
+
+ private:
+  double logLo_;
+  double logHi_;
+  double logWidth_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace msd

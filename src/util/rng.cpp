@@ -1,0 +1,159 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  require(n > 0, "Rng::uniformInt: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % n;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "Rng::exponential: rate must be positive");
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) is -inf, so nudge away.
+  if (u == 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  require(xm > 0.0, "Rng::pareto: xm must be positive");
+  require(alpha > 0.0, "Rng::pareto: alpha must be positive");
+  double u = uniform();
+  if (u == 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  if (u1 == 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  require(mean >= 0.0, "Rng::poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // arrival-count use case where mean is large.
+  const double value = normal(mean, std::sqrt(mean));
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "Rng::weightedIndex: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "Rng::weightedIndex: total weight must be positive");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last item.
+}
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> picked;
+  if (k >= n) {
+    picked.resize(n);
+    for (std::size_t i = 0; i < n; ++i) picked[i] = i;
+    return picked;
+  }
+  picked.reserve(k);
+  if (k > n / 3) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(uniformInt(n - i));
+      std::swap(all[i], all[j]);
+      picked.push_back(all[i]);
+    }
+    return picked;
+  }
+  // Sparse case: rejection with a hash set.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (picked.size() < k) {
+    const auto candidate = static_cast<std::size_t>(uniformInt(n));
+    if (seen.insert(candidate).second) picked.push_back(candidate);
+  }
+  return picked;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace msd

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace msd {
+
+/// Deterministic pseudo-random generator (xoshiro256**) with the sampling
+/// helpers the trace generator and the sampled metrics need.
+///
+/// All randomness in the library flows through explicitly seeded Rng
+/// instances; there is no global random state, so every experiment is
+/// reproducible from its seed.
+class Rng {
+ public:
+  /// Seeds the four-word xoshiro state from a single 64-bit seed via
+  /// splitmix64, so nearby seeds still give independent streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Pareto (power-law tail) variate with minimum xm > 0 and shape
+  /// alpha > 0: density ~ x^-(alpha+1) for x >= xm.
+  double pareto(double xm, double alpha);
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Poisson variate with the given mean; uses inversion for small means
+  /// and a normal approximation for large ones. Requires mean >= 0.
+  std::uint64_t poisson(double mean);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight. O(n).
+  std::size_t weightedIndex(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniformInt(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly without replacement.
+  /// If k >= n, returns all indices 0..n-1. Order is unspecified.
+  std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; useful to give each subsystem
+  /// its own stream while keeping one master seed.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace msd

@@ -1,0 +1,91 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace msd {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson: series must have equal length");
+  if (xs.empty()) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double percentile(std::vector<double> values, double q) {
+  require(!values.empty(), "percentile: sample must be non-empty");
+  require(q >= 0.0 && q <= 1.0, "percentile: q must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= values.size()) return values.back();
+  const double weight = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - weight) + values[lower + 1] * weight;
+}
+
+std::vector<CdfPoint> empiricalCdf(std::vector<double> values) {
+  std::vector<CdfPoint> points;
+  if (values.empty()) return points;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse runs of equal values into one point at the run's end.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    points.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return points;
+}
+
+double fractionAtOrBelow(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (double v : values) {
+    if (v <= threshold) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+void RunningStats::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace msd

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace msd {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; returns 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series has zero variance or the series are empty.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Linear-interpolated percentile (q in [0, 1]) of an unsorted sample.
+/// Requires a non-empty sample.
+double percentile(std::vector<double> values, double q);
+
+/// One point of an empirical distribution function.
+struct CdfPoint {
+  double value = 0.0;     ///< sample value (x axis)
+  double fraction = 0.0;  ///< P(X <= value)    (y axis)
+};
+
+/// Empirical CDF of a sample: sorted unique values with cumulative
+/// fractions. Returns an empty vector for an empty sample.
+std::vector<CdfPoint> empiricalCdf(std::vector<double> values);
+
+/// Fraction of the sample that is <= threshold (empty sample -> 0).
+double fractionAtOrBelow(std::span<const double> values, double threshold);
+
+/// Incremental mean/variance accumulator (Welford), used where samples are
+/// streamed and storing them all would be wasteful.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double value);
+
+  /// Number of observations so far.
+  std::size_t count() const { return count_; }
+
+  /// Mean of the observations (0 when empty).
+  double mean() const { return mean_; }
+
+  /// Population variance (0 with fewer than two observations).
+  double variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e308;
+  double max_ = -1e308;
+};
+
+}  // namespace msd

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+namespace msd {
+
+/// Wall-clock stopwatch for coarse progress reporting in benches and
+/// examples. Not a benchmarking primitive; the bench binaries use
+/// google-benchmark for kernel timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace msd

@@ -1,0 +1,47 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace msd {
+
+void TimeSeries::add(double time, double value) {
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double TimeSeries::timeAt(std::size_t i) const {
+  require(i < times_.size(), "TimeSeries::timeAt: index out of range");
+  return times_[i];
+}
+
+double TimeSeries::valueAt(std::size_t i) const {
+  require(i < values_.size(), "TimeSeries::valueAt: index out of range");
+  return values_[i];
+}
+
+double TimeSeries::valueAtOrBefore(double t, double fallback) const {
+  // upper_bound works because analyses insert chronologically.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return fallback;
+  const auto index = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return values_[index];
+}
+
+double TimeSeries::maxValue() const {
+  require(!values_.empty(), "TimeSeries::maxValue: empty series");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::minValue() const {
+  require(!values_.empty(), "TimeSeries::minValue: empty series");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::lastValue() const {
+  require(!values_.empty(), "TimeSeries::lastValue: empty series");
+  return values_.back();
+}
+
+}  // namespace msd

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace msd {
+
+/// A named sequence of (time, value) points, the common currency between
+/// the analysis layer and the figure benches. Points are kept in the order
+/// they were appended; analyses append chronologically.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Creates an empty series with a display name (used as a CSV column
+  /// header and a console label).
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  /// Appends one observation.
+  void add(double time, double value);
+
+  /// Series label.
+  const std::string& name() const { return name_; }
+
+  /// Number of points.
+  std::size_t size() const { return times_.size(); }
+
+  /// True when no points have been added.
+  bool empty() const { return times_.empty(); }
+
+  /// Time of point i.
+  double timeAt(std::size_t i) const;
+
+  /// Value of point i.
+  double valueAt(std::size_t i) const;
+
+  /// All times, in insertion order.
+  std::span<const double> times() const { return times_; }
+
+  /// All values, in insertion order.
+  std::span<const double> values() const { return values_; }
+
+  /// Value at the latest point whose time is <= t; `fallback` when the
+  /// series is empty or starts after t. Assumes chronological insertion.
+  double valueAtOrBefore(double t, double fallback = 0.0) const;
+
+  /// Largest value in the series (requires non-empty).
+  double maxValue() const;
+
+  /// Smallest value in the series (requires non-empty).
+  double minValue() const;
+
+  /// Last value (requires non-empty).
+  double lastValue() const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace msd

@@ -1,0 +1,105 @@
+#include "analysis/growth.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics_over_time.h"
+#include "gen/trace_generator.h"
+
+namespace msd {
+namespace {
+
+EventStream handStream() {
+  EventStream stream;
+  // Day 0: 2 nodes. Day 1: 1 node, 1 edge. Day 2: 1 node, 2 edges.
+  stream.appendNodeJoin(0.1);
+  stream.appendNodeJoin(0.6);
+  stream.appendNodeJoin(1.2);
+  stream.appendEdgeAdd(1.5, 0, 1);
+  stream.appendNodeJoin(2.1);
+  stream.appendEdgeAdd(2.3, 1, 2);
+  stream.appendEdgeAdd(2.8, 0, 3);
+  return stream;
+}
+
+TEST(GrowthTest, DailyCountsExact) {
+  const GrowthSeries series = analyzeGrowth(handStream());
+  ASSERT_EQ(series.newNodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.newNodes.valueAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(series.newNodes.valueAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.newNodes.valueAt(2), 1.0);
+  EXPECT_DOUBLE_EQ(series.newEdges.valueAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(series.newEdges.valueAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.newEdges.valueAt(2), 2.0);
+}
+
+TEST(GrowthTest, CumulativeTotalsExact) {
+  const GrowthSeries series = analyzeGrowth(handStream());
+  EXPECT_DOUBLE_EQ(series.totalNodes.valueAt(2), 4.0);
+  EXPECT_DOUBLE_EQ(series.totalEdges.valueAt(2), 3.0);
+}
+
+TEST(GrowthTest, RelativeGrowthSkipsZeroBase) {
+  const GrowthSeries series = analyzeGrowth(handStream());
+  // Node growth defined from day 1 (previous total 2): 1/2 = 50%.
+  ASSERT_EQ(series.nodeGrowthRate.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.nodeGrowthRate.valueAt(0), 50.0);
+  // Edge growth defined only on day 2 (previous total 1): 200%.
+  ASSERT_EQ(series.edgeGrowthRate.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.edgeGrowthRate.valueAt(0), 200.0);
+}
+
+TEST(GrowthTest, EmptyStream) {
+  const GrowthSeries series = analyzeGrowth(EventStream{});
+  EXPECT_TRUE(series.newNodes.empty());
+}
+
+TEST(GrowthTest, GeneratedTraceGrowsMonotonically) {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const GrowthSeries series = analyzeGrowth(generator.generate());
+  for (std::size_t i = 1; i < series.totalNodes.size(); ++i) {
+    EXPECT_GE(series.totalNodes.valueAt(i), series.totalNodes.valueAt(i - 1));
+    EXPECT_GE(series.totalEdges.valueAt(i), series.totalEdges.valueAt(i - 1));
+  }
+}
+
+TEST(MetricsOverTimeTest, HandStreamValues) {
+  MetricsOverTimeConfig config;
+  config.pathSamples = 10;
+  config.clusteringSamples = 100;
+  const MetricsOverTime metrics =
+      analyzeMetricsOverTime(handStream(), config);
+  // Day 2 snapshot: 4 nodes, 3 edges -> average degree 1.5.
+  EXPECT_DOUBLE_EQ(metrics.averageDegree.valueAtOrBefore(2.0), 1.5);
+  // The graph is a path 2-1-0-3: no triangles.
+  EXPECT_DOUBLE_EQ(metrics.clusteringCoefficient.valueAtOrBefore(2.0), 0.0);
+}
+
+TEST(MetricsOverTimeTest, SeriesAlignToSchedule) {
+  TraceGenerator generator(GeneratorConfig::tiny(2));
+  const EventStream stream = generator.generate();
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 10.0;
+  config.pathEvery = 20.0;
+  config.pathSamples = 8;
+  config.clusteringSamples = 50;
+  const MetricsOverTime metrics = analyzeMetricsOverTime(stream, config);
+  EXPECT_GT(metrics.averageDegree.size(), 5u);
+  EXPECT_GT(metrics.averagePathLength.size(), 2u);
+  EXPECT_LT(metrics.averagePathLength.size(), metrics.averageDegree.size());
+  for (std::size_t i = 0; i < metrics.assortativity.size(); ++i) {
+    EXPECT_GE(metrics.assortativity.valueAt(i), -1.0);
+    EXPECT_LE(metrics.assortativity.valueAt(i), 1.0);
+  }
+  for (std::size_t i = 0; i < metrics.clusteringCoefficient.size(); ++i) {
+    EXPECT_GE(metrics.clusteringCoefficient.valueAt(i), 0.0);
+    EXPECT_LE(metrics.clusteringCoefficient.valueAt(i), 1.0);
+  }
+}
+
+TEST(MetricsOverTimeTest, EmptyStreamYieldsEmptySeries) {
+  const MetricsOverTime metrics = analyzeMetricsOverTime(EventStream{});
+  EXPECT_TRUE(metrics.averageDegree.empty());
+}
+
+}  // namespace
+}  // namespace msd

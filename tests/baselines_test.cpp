@@ -1,0 +1,181 @@
+#include "gen/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/pref_attach.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/clustering.h"
+#include "metrics/components.h"
+#include "metrics/degree.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+Graph materialize(const EventStream& stream) {
+  Replayer replayer(stream);
+  replayer.advanceToEnd();
+  return replayer.graph().graph();
+}
+
+TEST(BarabasiAlbertTest, ProducesValidConnectedStream) {
+  BarabasiAlbertConfig config;
+  config.nodes = 3000;
+  config.edgesPerNode = 4;
+  const EventStream stream = generateBarabasiAlbert(config);
+  EXPECT_NO_THROW(stream.validate());
+  EXPECT_EQ(stream.nodeCount(), 3000u);
+  // Each node adds up to 4 edges (duplicates skipped).
+  EXPECT_LE(stream.edgeCount(), 3u + 4u * 2997u);
+  EXPECT_GE(stream.edgeCount(), 3u + 3u * 2997u);
+  const Graph graph = materialize(stream);
+  EXPECT_EQ(connectedComponents(graph).count, 1u);
+}
+
+TEST(BarabasiAlbertTest, HeavyTailedDegrees) {
+  BarabasiAlbertConfig config;
+  config.nodes = 8000;
+  const EventStream stream = generateBarabasiAlbert(config);
+  const Graph graph = materialize(stream);
+  const DegreeStats stats = degreeStats(graph);
+  // PA hubs grow far beyond the mean.
+  EXPECT_GT(static_cast<double>(stats.max), 12.0 * stats.average);
+}
+
+TEST(BarabasiAlbertTest, AlphaNearOne) {
+  BarabasiAlbertConfig config;
+  config.nodes = 15000;
+  config.edgesPerNode = 5;
+  const EventStream stream = generateBarabasiAlbert(config);
+  PrefAttachConfig pa;
+  pa.fitEveryEdges = 20000;
+  pa.startEdges = 10000;
+  const PrefAttachResult result = analyzePreferentialAttachment(stream, pa);
+  ASSERT_FALSE(result.alphaHigher.empty());
+  EXPECT_NEAR(result.alphaHigher.lastValue(), 1.0, 0.25);
+}
+
+TEST(BarabasiAlbertTest, DeterministicPerSeed) {
+  BarabasiAlbertConfig config;
+  config.nodes = 500;
+  const EventStream a = generateBarabasiAlbert(config);
+  const EventStream b = generateBarabasiAlbert(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a.at(i).u, b.at(i).u);
+    EXPECT_EQ(a.at(i).v, b.at(i).v);
+  }
+}
+
+TEST(BarabasiAlbertTest, RejectsBadConfig) {
+  BarabasiAlbertConfig config;
+  config.nodes = 2;
+  EXPECT_THROW((void)generateBarabasiAlbert(config), std::invalid_argument);
+  config.nodes = 100;
+  config.edgesPerNode = 0;
+  EXPECT_THROW((void)generateBarabasiAlbert(config), std::invalid_argument);
+}
+
+TEST(ForestFireTest, ProducesValidStream) {
+  ForestFireConfig config;
+  config.nodes = 3000;
+  const EventStream stream = generateForestFire(config);
+  EXPECT_NO_THROW(stream.validate());
+  EXPECT_EQ(stream.nodeCount(), 3000u);
+  EXPECT_GE(stream.edgeCount(), 2997u);  // every arrival links >= 1 edge
+  const Graph graph = materialize(stream);
+  EXPECT_EQ(connectedComponents(graph).count, 1u);
+}
+
+TEST(ForestFireTest, BurnProbabilityControlsDensity) {
+  ForestFireConfig sparse;
+  sparse.nodes = 3000;
+  sparse.burnProbability = 0.15;
+  ForestFireConfig dense = sparse;
+  dense.burnProbability = 0.5;
+  const EventStream sparseStream = generateForestFire(sparse);
+  const EventStream denseStream = generateForestFire(dense);
+  EXPECT_GT(denseStream.edgeCount(), sparseStream.edgeCount() * 3 / 2);
+}
+
+TEST(ForestFireTest, ProducesClustering) {
+  // Burning neighbors of neighbors closes triangles.
+  ForestFireConfig config;
+  config.nodes = 3000;
+  config.burnProbability = 0.4;
+  const Graph graph = materialize(generateForestFire(config));
+  Rng rng(1);
+  EXPECT_GT(sampledAverageClustering(graph, 500, rng), 0.05);
+}
+
+TEST(ForestFireTest, RejectsBadBurnProbability) {
+  ForestFireConfig config;
+  config.burnProbability = 1.0;
+  EXPECT_THROW((void)generateForestFire(config), std::invalid_argument);
+}
+
+TEST(HybridPaTest, AlphaDecaysByDesign) {
+  HybridPaConfig config;
+  config.nodes = 20000;
+  config.edgesPerNode = 5;
+  config.paStart = 1.0;
+  config.paEnd = 0.1;
+  config.halfLifeEdges = 15e3;
+  const EventStream stream = generateHybridPa(config);
+  PrefAttachConfig pa;
+  pa.fitEveryEdges = 15000;
+  pa.startEdges = 8000;
+  const PrefAttachResult result = analyzePreferentialAttachment(stream, pa);
+  ASSERT_GE(result.alphaHigher.size(), 3u);
+  // This is the paper's Sec 3.3 proposal: the mix must produce a
+  // measurable alpha decay.
+  EXPECT_GT(result.alphaHigher.valueAt(0),
+            result.alphaHigher.lastValue() + 0.1);
+}
+
+TEST(HybridPaTest, PureSettingsMatchEndpoints) {
+  // paStart == paEnd == 1 behaves like BA; == 0 behaves like random.
+  HybridPaConfig pure;
+  pure.nodes = 10000;
+  pure.paStart = 1.0;
+  pure.paEnd = 1.0;
+  HybridPaConfig random = pure;
+  random.paStart = 0.0;
+  random.paEnd = 0.0;
+  PrefAttachConfig pa;
+  pa.fitEveryEdges = 20000;
+  pa.startEdges = 10000;
+  const PrefAttachResult paResult =
+      analyzePreferentialAttachment(generateHybridPa(pure), pa);
+  const PrefAttachResult randomResult =
+      analyzePreferentialAttachment(generateHybridPa(random), pa);
+  ASSERT_FALSE(paResult.alphaHigher.empty());
+  ASSERT_FALSE(randomResult.alphaHigher.empty());
+  EXPECT_GT(paResult.alphaHigher.lastValue(),
+            randomResult.alphaHigher.lastValue() + 0.3);
+}
+
+TEST(HybridPaTest, RejectsBadConfig) {
+  HybridPaConfig config;
+  config.halfLifeEdges = 0.0;
+  EXPECT_THROW((void)generateHybridPa(config), std::invalid_argument);
+}
+
+class BaselineTimestampTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaselineTimestampTest, ArrivalPacingSetsTraceLength) {
+  BarabasiAlbertConfig config;
+  config.nodes = 1000;
+  config.nodesPerDay = GetParam();
+  const EventStream stream = generateBarabasiAlbert(config);
+  EXPECT_NEAR(stream.lastTime(), 999.0 / GetParam(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pacing, BaselineTimestampTest,
+                         ::testing::Values(10.0, 50.0, 200.0));
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,84 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "gen/trace_generator.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph csr = CsrGraph::fromGraph(Graph{});
+  EXPECT_EQ(csr.nodeCount(), 0u);
+  EXPECT_EQ(csr.edgeCount(), 0u);
+}
+
+TEST(CsrGraphTest, PreservesAdjacency) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(0, 3);
+  g.addEdge(2, 4);
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  EXPECT_EQ(csr.nodeCount(), 5u);
+  EXPECT_EQ(csr.edgeCount(), 3u);
+  for (NodeId node = 0; node < 5; ++node) {
+    ASSERT_EQ(csr.degree(node), g.degree(node));
+    const auto expected = g.neighbors(node);
+    const auto actual = csr.neighbors(node);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i]);
+    }
+  }
+}
+
+TEST(CsrGraphTest, BoundsChecked) {
+  const CsrGraph csr = CsrGraph::fromGraph(Graph(3));
+  EXPECT_THROW((void)csr.neighbors(3), std::invalid_argument);
+  EXPECT_THROW((void)csr.degree(5), std::invalid_argument);
+  EXPECT_THROW((void)bfsDistances(csr, 3), std::invalid_argument);
+}
+
+class CsrEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrEquivalenceTest, BfsMatchesAdjacencyListBfs) {
+  Rng rng(GetParam());
+  Graph g(400);
+  for (int i = 0; i < 1600; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(400));
+    const auto v = static_cast<NodeId>(rng.uniformInt(400));
+    if (u != v) g.addEdge(u, v);
+  }
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  for (int probe = 0; probe < 10; ++probe) {
+    const auto source = static_cast<NodeId>(rng.uniformInt(400));
+    const auto fromList = bfsDistances(g, source);
+    const auto fromCsr = bfsDistances(csr, source);
+    ASSERT_EQ(fromList.size(), fromCsr.size());
+    for (std::size_t i = 0; i < fromList.size(); ++i) {
+      EXPECT_EQ(fromList[i], fromCsr[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(CsrGraphTest, FreezesGeneratedTrace) {
+  TraceGenerator generator(GeneratorConfig::tiny(4));
+  const EventStream trace = generator.generate();
+  Replayer replayer(trace);
+  replayer.advanceToEnd();
+  const Graph& g = replayer.graph().graph();
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  EXPECT_EQ(csr.nodeCount(), g.nodeCount());
+  EXPECT_EQ(csr.edgeCount(), g.edgeCount());
+}
+
+}  // namespace
+}  // namespace msd

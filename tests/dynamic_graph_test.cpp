@@ -1,0 +1,122 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/snapshot.h"
+
+namespace msd {
+namespace {
+
+EventStream demoStream() {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain, 1);
+  stream.appendNodeJoin(0.5, Origin::kMain, 1);
+  stream.appendNodeJoin(1.5, Origin::kSecond, 2);
+  stream.appendEdgeAdd(2.0, 0, 1);
+  stream.appendEdgeAdd(3.5, 1, 2);
+  stream.appendEdgeAdd(4.0, 0, 2);
+  return stream;
+}
+
+TEST(DynamicGraphTest, ApplyBuildsGraphAndStates) {
+  DynamicGraph dynamic;
+  const EventStream stream = demoStream();
+  for (const Event& e : stream.events()) dynamic.apply(e);
+  EXPECT_EQ(dynamic.nodeCount(), 3u);
+  EXPECT_EQ(dynamic.edgeCount(), 3u);
+  EXPECT_DOUBLE_EQ(dynamic.now(), 4.0);
+
+  const NodeState& s1 = dynamic.state(1);
+  EXPECT_DOUBLE_EQ(s1.joinTime, 0.5);
+  EXPECT_DOUBLE_EQ(s1.firstEdgeTime, 2.0);
+  EXPECT_DOUBLE_EQ(s1.lastEdgeTime, 3.5);
+  EXPECT_EQ(s1.edgeEvents, 2u);
+  EXPECT_EQ(dynamic.state(2).origin, Origin::kSecond);
+  EXPECT_EQ(dynamic.state(2).group, 2u);
+}
+
+TEST(DynamicGraphTest, DuplicateEdgeDoesNotChangeState) {
+  DynamicGraph dynamic;
+  dynamic.apply(Event::nodeJoin(0.0, 0));
+  dynamic.apply(Event::nodeJoin(0.0, 1));
+  EXPECT_TRUE(dynamic.apply(Event::edgeAdd(1.0, 0, 1)));
+  EXPECT_FALSE(dynamic.apply(Event::edgeAdd(2.0, 0, 1)));
+  EXPECT_EQ(dynamic.state(0).edgeEvents, 1u);
+  EXPECT_DOUBLE_EQ(dynamic.state(0).lastEdgeTime, 1.0);
+}
+
+TEST(DynamicGraphTest, RejectsOutOfOrderEvents) {
+  DynamicGraph dynamic;
+  dynamic.apply(Event::nodeJoin(5.0, 0));
+  EXPECT_THROW(dynamic.apply(Event::nodeJoin(4.0, 1)), std::invalid_argument);
+}
+
+TEST(DynamicGraphTest, AgeAtClampsToZero) {
+  DynamicGraph dynamic;
+  dynamic.apply(Event::nodeJoin(3.0, 0));
+  EXPECT_DOUBLE_EQ(dynamic.ageAt(0, 10.0), 7.0);
+  EXPECT_DOUBLE_EQ(dynamic.ageAt(0, 1.0), 0.0);
+}
+
+TEST(ReplayerTest, AdvanceToAppliesStrictlyEarlierEvents) {
+  const EventStream stream = demoStream();
+  Replayer replayer(stream);
+  replayer.advanceTo(2.0);  // events with time < 2.0
+  EXPECT_EQ(replayer.graph().nodeCount(), 3u);
+  EXPECT_EQ(replayer.graph().edgeCount(), 0u);
+  replayer.advanceTo(3.6);
+  EXPECT_EQ(replayer.graph().edgeCount(), 2u);
+  EXPECT_FALSE(replayer.done());
+  replayer.advanceToEnd();
+  EXPECT_TRUE(replayer.done());
+  EXPECT_EQ(replayer.graph().edgeCount(), 3u);
+}
+
+TEST(ReplayerTest, CallbackSeesEveryEvent) {
+  const EventStream stream = demoStream();
+  Replayer replayer(stream);
+  std::size_t count = 0;
+  replayer.advanceTo(100.0, [&](const Event&, bool) { ++count; });
+  EXPECT_EQ(count, stream.size());
+}
+
+TEST(SnapshotScheduleTest, CoversRangeInclusive) {
+  const SnapshotSchedule schedule(0.0, 10.0, 3.0);
+  const auto& days = schedule.days();
+  ASSERT_EQ(days.size(), 5u);  // 0,3,6,9,12
+  EXPECT_DOUBLE_EQ(days.front(), 0.0);
+  EXPECT_GE(days.back(), 10.0);
+}
+
+TEST(SnapshotScheduleTest, RejectsBadParameters) {
+  EXPECT_THROW(SnapshotSchedule(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SnapshotSchedule(2.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SnapshotScheduleTest, DailyForStream) {
+  const EventStream stream = demoStream();
+  const SnapshotSchedule schedule = SnapshotSchedule::dailyFor(stream);
+  EXPECT_DOUBLE_EQ(schedule.days().front(), 0.0);
+  EXPECT_GE(schedule.days().back(), 4.0);
+}
+
+TEST(ForEachSnapshotTest, GraphGrowsMonotonically) {
+  const EventStream stream = demoStream();
+  const SnapshotSchedule schedule(0.0, 4.0, 1.0);
+  std::vector<std::size_t> edges;
+  forEachSnapshot(stream, schedule, [&](Day, const DynamicGraph& dynamic) {
+    edges.push_back(dynamic.edgeCount());
+  });
+  ASSERT_EQ(edges.size(), 5u);
+  // End-of-day convention: day 2 snapshot includes the t=2.0 edge.
+  EXPECT_EQ(edges[1], 0u);
+  EXPECT_EQ(edges[2], 1u);
+  EXPECT_EQ(edges[3], 2u);
+  EXPECT_EQ(edges[4], 3u);
+}
+
+}  // namespace
+}  // namespace msd

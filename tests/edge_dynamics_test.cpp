@@ -1,0 +1,119 @@
+#include "analysis/edge_dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/trace_generator.h"
+
+namespace msd {
+namespace {
+
+TEST(EdgeDynamicsTest, MinAgeSharesExactOnHandStream) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);   // node 0
+  stream.appendNodeJoin(0.0);   // node 1
+  stream.appendNodeJoin(21.0);  // node 2
+  stream.appendNodeJoin(50.0);  // node 3
+  // Day 50: edge 0-1 (min age 50), edge 2-3 (min age 0), edge 1-2 (min 30).
+  stream.appendEdgeAdd(50.0, 0, 1);
+  stream.appendEdgeAdd(50.2, 2, 3);
+  stream.appendEdgeAdd(50.4, 1, 2);
+  const EdgeDynamics result = analyzeEdgeDynamics(stream);
+  // Of 3 edges on day 50: 1 has min age <= 1, 1 has min age <= 10, and
+  // 2 have min age <= 30 (0 and 30).
+  EXPECT_NEAR(result.minAge1.valueAtOrBefore(50.0), 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.minAge10.valueAtOrBefore(50.0), 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.minAge30.valueAtOrBefore(50.0), 200.0 / 3.0, 1e-9);
+}
+
+TEST(EdgeDynamicsTest, InterArrivalGapsBucketedByAge) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.0);
+  // Node 0 creates edges at t=1, 2, 3: two gaps of 1 day at ages 1-3 days.
+  stream.appendEdgeAdd(1.0, 0, 1);
+  stream.appendEdgeAdd(2.0, 0, 2);
+  stream.appendEdgeAdd(3.0, 1, 2);
+  EdgeDynamicsConfig config;
+  config.ageBucketEnds = {30.0};
+  const EdgeDynamics result = analyzeEdgeDynamics(stream, config);
+  ASSERT_EQ(result.interArrival.size(), 1u);
+  // Gaps: node0 (2-1), node1 (3-1), node2 (3-2) -> 3 gaps.
+  EXPECT_EQ(result.interArrival[0].samples, 3u);
+}
+
+TEST(EdgeDynamicsTest, LifetimeFractionsSumToOne) {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  EdgeDynamicsConfig config;
+  config.minDegree = 5;  // tiny trace has modest degrees
+  const EdgeDynamics result =
+      analyzeEdgeDynamics(generator.generate(), config);
+  const double total = std::accumulate(result.lifetimeFractions.begin(),
+                                       result.lifetimeFractions.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EdgeDynamicsTest, GeneratedTraceIsFrontLoaded) {
+  TraceGenerator generator(GeneratorConfig::tiny(2));
+  EdgeDynamicsConfig config;
+  config.minDegree = 5;
+  const EdgeDynamics result =
+      analyzeEdgeDynamics(generator.generate(), config);
+  ASSERT_EQ(result.lifetimeFractions.size(), 10u);
+  // First fifth of a user's lifetime should hold more edges than the
+  // middle fifth (paper Fig 2(b): activity concentrates early).
+  const double early =
+      result.lifetimeFractions[0] + result.lifetimeFractions[1];
+  const double middle =
+      result.lifetimeFractions[4] + result.lifetimeFractions[5];
+  EXPECT_GT(early, middle);
+}
+
+TEST(EdgeDynamicsTest, GapPdfHasPowerLawShape) {
+  TraceGenerator generator(GeneratorConfig::tiny(3));
+  const EdgeDynamics result = analyzeEdgeDynamics(generator.generate());
+  // At least one bucket must have enough samples for a meaningful fit;
+  // its log-log slope should be negative and steeper than -1.
+  bool checked = false;
+  for (const InterArrivalBucket& bucket : result.interArrival) {
+    if (bucket.samples < 2000) continue;
+    checked = true;
+    EXPECT_LT(bucket.fit.alpha, -1.0) << bucket.name;
+    EXPECT_GT(bucket.fit.alpha, -4.0) << bucket.name;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(EdgeDynamicsTest, MinAgeSharesAreMonotoneInThreshold) {
+  TraceGenerator generator(GeneratorConfig::tiny(4));
+  const EdgeDynamics result = analyzeEdgeDynamics(generator.generate());
+  ASSERT_EQ(result.minAge1.size(), result.minAge10.size());
+  ASSERT_EQ(result.minAge10.size(), result.minAge30.size());
+  for (std::size_t i = 0; i < result.minAge1.size(); ++i) {
+    EXPECT_LE(result.minAge1.valueAt(i), result.minAge10.valueAt(i) + 1e-9);
+    EXPECT_LE(result.minAge10.valueAt(i), result.minAge30.valueAt(i) + 1e-9);
+    EXPECT_LE(result.minAge30.valueAt(i), 100.0 + 1e-9);
+    EXPECT_GE(result.minAge1.valueAt(i), 0.0);
+  }
+}
+
+TEST(EdgeDynamicsTest, RejectsUnsortedBuckets) {
+  EdgeDynamicsConfig config;
+  config.ageBucketEnds = {60.0, 30.0};
+  EXPECT_THROW((void)analyzeEdgeDynamics(EventStream{}, config),
+               std::invalid_argument);
+}
+
+TEST(EdgeDynamicsTest, EmptyStreamIsSafe) {
+  const EdgeDynamics result = analyzeEdgeDynamics(EventStream{});
+  EXPECT_TRUE(result.minAge1.empty());
+  for (const InterArrivalBucket& bucket : result.interArrival) {
+    EXPECT_EQ(bucket.samples, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,87 @@
+#include "graph/event_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace msd {
+namespace {
+
+TEST(EventStreamTest, AppendNodeJoinAssignsDenseIds) {
+  EventStream stream;
+  EXPECT_EQ(stream.appendNodeJoin(0.0), 0u);
+  EXPECT_EQ(stream.appendNodeJoin(0.5), 1u);
+  EXPECT_EQ(stream.appendNodeJoin(1.0, Origin::kSecond, 7), 2u);
+  EXPECT_EQ(stream.nodeCount(), 3u);
+  EXPECT_EQ(stream.edgeCount(), 0u);
+  EXPECT_EQ(stream.at(2).origin, Origin::kSecond);
+  EXPECT_EQ(stream.at(2).group, 7u);
+}
+
+TEST(EventStreamTest, EdgeRequiresExistingNodes) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  EXPECT_THROW(stream.appendEdgeAdd(1.0, 0, 1), std::invalid_argument);
+  stream.appendNodeJoin(0.5);
+  stream.appendEdgeAdd(1.0, 0, 1);
+  EXPECT_EQ(stream.edgeCount(), 1u);
+}
+
+TEST(EventStreamTest, RejectsTimeRegression) {
+  EventStream stream;
+  stream.appendNodeJoin(5.0);
+  EXPECT_THROW(stream.appendNodeJoin(4.0), std::invalid_argument);
+}
+
+TEST(EventStreamTest, AllowsEqualTimestamps) {
+  EventStream stream;
+  stream.appendNodeJoin(1.0);
+  stream.appendNodeJoin(1.0);
+  stream.appendEdgeAdd(1.0, 0, 1);
+  EXPECT_EQ(stream.size(), 3u);
+}
+
+TEST(EventStreamTest, RejectsSelfLoop) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  EXPECT_THROW(stream.appendEdgeAdd(1.0, 0, 0), std::invalid_argument);
+}
+
+TEST(EventStreamTest, RejectsNonDenseNodeIds) {
+  EventStream stream;
+  EXPECT_THROW(stream.append(Event::nodeJoin(0.0, 5)), std::invalid_argument);
+}
+
+TEST(EventStreamTest, LastTimeTracksAppends) {
+  EventStream stream;
+  EXPECT_DOUBLE_EQ(stream.lastTime(), 0.0);
+  stream.appendNodeJoin(2.5);
+  EXPECT_DOUBLE_EQ(stream.lastTime(), 2.5);
+}
+
+TEST(EventStreamTest, ValidatePassesOnWellFormedStream) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.1);
+  stream.appendEdgeAdd(0.2, 0, 1);
+  EXPECT_NO_THROW(stream.validate());
+}
+
+TEST(EventStreamTest, FirstIndexAtOrAfter) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(1.0);
+  stream.appendEdgeAdd(2.0, 0, 1);
+  EXPECT_EQ(stream.firstIndexAtOrAfter(-1.0), 0u);
+  EXPECT_EQ(stream.firstIndexAtOrAfter(0.5), 1u);
+  EXPECT_EQ(stream.firstIndexAtOrAfter(2.0), 2u);
+  EXPECT_EQ(stream.firstIndexAtOrAfter(2.5), 3u);
+}
+
+TEST(EventStreamTest, AtRejectsOutOfRange) {
+  EventStream stream;
+  EXPECT_THROW((void)stream.at(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

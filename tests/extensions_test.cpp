@@ -1,0 +1,222 @@
+// Tests for the extension modules: temporal edge-list interop, the
+// effective-diameter time series, the paper's activity-window derivation,
+// and a scripted multi-snapshot tracker lifecycle chain.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/diameter_over_time.h"
+#include "analysis/merge_analysis.h"
+#include "community/tracker.h"
+#include "gen/trace_generator.h"
+#include "io/event_io.h"
+
+namespace msd {
+namespace {
+
+// --- Temporal edge list -------------------------------------------------
+
+TEST(TemporalEdgeListTest, RoundTripPreservesEdges) {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const EventStream original = generator.generate();
+  std::stringstream buffer;
+  event_io::saveTemporalEdgeList(original, buffer);
+  const EventStream loaded = event_io::loadTemporalEdgeList(buffer);
+  EXPECT_EQ(loaded.edgeCount(), original.edgeCount());
+  // Joins are synthesized only for nodes with edges.
+  EXPECT_LE(loaded.nodeCount(), original.nodeCount());
+  EXPECT_NO_THROW(loaded.validate());
+}
+
+TEST(TemporalEdgeListTest, SparseIdsAreCompacted) {
+  std::stringstream input("# comment\n1000 2000 5.0\n2000 30 1.0\n");
+  const EventStream stream = event_io::loadTemporalEdgeList(input);
+  EXPECT_EQ(stream.nodeCount(), 3u);
+  EXPECT_EQ(stream.edgeCount(), 2u);
+  // Edges were re-sorted chronologically.
+  double last = -1.0;
+  for (const Event& e : stream.events()) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+TEST(TemporalEdgeListTest, JoinSynthesizedAtFirstEdge) {
+  std::stringstream input("7 8 3.5\n7 9 6.0\n");
+  const EventStream stream = event_io::loadTemporalEdgeList(input);
+  // Node "7" appears first at t=3.5.
+  EXPECT_DOUBLE_EQ(stream.at(0).time, 3.5);
+  EXPECT_EQ(stream.at(0).kind, EventKind::kNodeJoin);
+}
+
+TEST(TemporalEdgeListTest, RejectsMalformedAndSelfLoops) {
+  std::stringstream bad("1 x 2\n");
+  EXPECT_THROW((void)event_io::loadTemporalEdgeList(bad), std::runtime_error);
+  std::stringstream loop("3 3 1.0\n");
+  EXPECT_THROW((void)event_io::loadTemporalEdgeList(loop),
+               std::runtime_error);
+}
+
+// --- Diameter over time -------------------------------------------------
+
+TEST(DiameterOverTimeTest, ProducesSeriesOnGeneratedTrace) {
+  TraceGenerator generator(GeneratorConfig::tiny(2));
+  const EventStream stream = generator.generate();
+  DiameterOverTimeConfig config;
+  config.firstDay = 20.0;
+  config.every = 20.0;
+  const DiameterOverTime result = analyzeDiameterOverTime(stream, config);
+  ASSERT_GE(result.effectiveDiameter.size(), 3u);
+  for (std::size_t i = 0; i < result.effectiveDiameter.size(); ++i) {
+    EXPECT_GT(result.effectiveDiameter.valueAt(i), 0.5);
+    EXPECT_LT(result.effectiveDiameter.valueAt(i), 30.0);
+  }
+  // ANF mean distance should roughly track the BFS-sampled path length
+  // scale of the same trace (2.5-4.5 at toy scale).
+  EXPECT_GT(result.meanDistance.lastValue(), 1.5);
+  EXPECT_LT(result.meanDistance.lastValue(), 6.0);
+}
+
+TEST(DiameterOverTimeTest, EmptyStreamIsSafe) {
+  const DiameterOverTime result = analyzeDiameterOverTime(EventStream{});
+  EXPECT_TRUE(result.effectiveDiameter.empty());
+}
+
+TEST(DiameterOverTimeTest, RejectsBadConfig) {
+  DiameterOverTimeConfig config;
+  config.every = 0.0;
+  EXPECT_THROW((void)analyzeDiameterOverTime(EventStream{}, config),
+               std::invalid_argument);
+}
+
+// --- Activity-window derivation ------------------------------------------
+
+TEST(ActivityWindowTest, ExactOnHandStream) {
+  EventStream stream;
+  for (int i = 0; i < 4; ++i) stream.appendNodeJoin(0.0);
+  // Node 0 and 1: edges at 0, 10 -> mean gap 10. Node 2 and 3: edges at
+  // 0, 40 -> mean gap 40.
+  stream.appendEdgeAdd(0.0, 0, 1);
+  stream.appendEdgeAdd(0.0, 2, 3);
+  stream.appendEdgeAdd(10.0, 0, 1);  // duplicate edge still an event
+  stream.appendEdgeAdd(40.0, 2, 3);
+  EXPECT_DOUBLE_EQ(deriveActivityWindow(stream, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(deriveActivityWindow(stream, 0.5), 25.0);
+}
+
+TEST(ActivityWindowTest, NoQualifyingUsersReturnsZero) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.0);
+  stream.appendEdgeAdd(1.0, 0, 1);  // single edge per user
+  EXPECT_DOUBLE_EQ(deriveActivityWindow(stream), 0.0);
+}
+
+TEST(ActivityWindowTest, RejectsBadQuantile) {
+  EXPECT_THROW((void)deriveActivityWindow(EventStream{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)deriveActivityWindow(EventStream{}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ActivityWindowTest, GeneratedTraceGivesFiniteWindow) {
+  TraceGenerator generator(GeneratorConfig::tiny(3));
+  const EventStream stream = generator.generate();
+  const double window = deriveActivityWindow(stream, 0.99);
+  EXPECT_GT(window, 1.0);
+  EXPECT_LT(window, stream.lastTime());
+}
+
+// --- Tracker lifecycle chain ---------------------------------------------
+
+/// Scripted five-snapshot story on 40 fixed nodes:
+///   s0: A={0..9}, B={10..19}, C={20..29}
+///   s1: same (continue x3)
+///   s2: A absorbs B (merge death of B)
+///   s3: C splits into C1={20..24}, C2={25..29} (birth of one child)
+///   s4: everything persists
+TEST(TrackerChainTest, FullLifecycleBookkeeping) {
+  Graph g(40);
+  // Cliques for A, B and C's two future halves, loosely connected.
+  auto clique = [&](NodeId lo, NodeId hi) {
+    for (NodeId i = lo; i < hi; ++i) {
+      for (NodeId j = i + 1; j <= hi; ++j) g.addEdge(i, j);
+    }
+  };
+  clique(0, 9);
+  clique(10, 19);
+  clique(20, 24);
+  clique(25, 29);
+  g.addEdge(0, 10);   // A-B tie
+  g.addEdge(20, 25);  // C1-C2 tie
+
+  auto labels = [&](std::vector<std::pair<std::pair<int, int>, CommunityId>>
+                        ranges) {
+    std::vector<CommunityId> out(40, kNoCommunity);
+    for (const auto& [range, label] : ranges) {
+      for (int i = range.first; i <= range.second; ++i) {
+        out[static_cast<std::size_t>(i)] = label;
+      }
+    }
+    return Partition(std::move(out));
+  };
+
+  CommunityTracker tracker({.minCommunitySize = 4});
+  const Partition three =
+      labels({{{0, 9}, 0}, {{10, 19}, 1}, {{20, 29}, 2}});
+  tracker.addSnapshot(0.0, g, three);
+  tracker.addSnapshot(3.0, g, three);
+  tracker.addSnapshot(6.0, g,
+                      labels({{{0, 19}, 0}, {{20, 29}, 2}}));  // A absorbs B
+  tracker.addSnapshot(9.0, g,
+                      labels({{{0, 19}, 0}, {{20, 24}, 2}, {{25, 29}, 3}}));
+  tracker.addSnapshot(12.0, g,
+                      labels({{{0, 19}, 0}, {{20, 24}, 2}, {{25, 29}, 3}}));
+
+  // Tracked: A, B, C at day 0; C2 born at day 9 -> 4 identities.
+  ASSERT_EQ(tracker.communities().size(), 4u);
+  const TrackedCommunity& a = tracker.communities()[0];
+  const TrackedCommunity& b = tracker.communities()[1];
+  const TrackedCommunity& c = tracker.communities()[2];
+  const TrackedCommunity& c2 = tracker.communities()[3];
+
+  EXPECT_LT(a.deathDay, 0.0);  // alive
+  EXPECT_EQ(a.history.size(), 5u);
+  EXPECT_EQ(a.history.back().size, 20u);
+
+  EXPECT_DOUBLE_EQ(b.deathDay, 6.0);
+  EXPECT_EQ(b.endKind, LifecycleKind::kMergeDeath);
+  EXPECT_DOUBLE_EQ(b.lifetime(), 6.0);
+
+  EXPECT_LT(c.deathDay, 0.0);
+  EXPECT_EQ(c.history.size(), 5u);
+  EXPECT_EQ(c.history.back().size, 5u);  // kept the larger-overlap half
+
+  EXPECT_DOUBLE_EQ(c2.birthDay, 9.0);
+  EXPECT_EQ(c2.history.size(), 2u);
+
+  // Events: one merge death (B), one split (C), at the right days.
+  std::size_t merges = 0, splits = 0;
+  for (const LifecycleEvent& event : tracker.events()) {
+    if (event.kind == LifecycleKind::kMergeDeath) {
+      ++merges;
+      EXPECT_DOUBLE_EQ(event.day, 6.0);
+      EXPECT_TRUE(event.strongestTie);  // A was B's only neighbor
+    }
+    if (event.kind == LifecycleKind::kSplit) {
+      ++splits;
+      EXPECT_DOUBLE_EQ(event.day, 9.0);
+    }
+  }
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(splits, 1u);
+  ASSERT_EQ(tracker.mergeSizeRatios().size(), 1u);
+  EXPECT_NEAR(tracker.mergeSizeRatios()[0].ratio, 1.0, 1e-12);  // 10 vs 10
+  ASSERT_EQ(tracker.splitSizeRatios().size(), 1u);
+  EXPECT_NEAR(tracker.splitSizeRatios()[0].ratio, 1.0, 1e-12);  // 5 vs 5
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "community/features.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+TEST(ScalerTest, StandardizesColumns) {
+  std::vector<std::vector<double>> rows = {{1.0, 10.0}, {3.0, 30.0},
+                                           {5.0, 50.0}};
+  FeatureScaler scaler;
+  scaler.fit(rows);
+  EXPECT_NEAR(scaler.means()[0], 3.0, 1e-12);
+  EXPECT_NEAR(scaler.means()[1], 30.0, 1e-12);
+  auto transformed = scaler.transformed({3.0, 30.0});
+  EXPECT_NEAR(transformed[0], 0.0, 1e-12);
+  EXPECT_NEAR(transformed[1], 0.0, 1e-12);
+  transformed = scaler.transformed({5.0, 10.0});
+  EXPECT_GT(transformed[0], 0.0);
+  EXPECT_LT(transformed[1], 0.0);
+}
+
+TEST(ScalerTest, ConstantColumnPassesThrough) {
+  std::vector<std::vector<double>> rows = {{7.0}, {7.0}, {7.0}};
+  FeatureScaler scaler;
+  scaler.fit(rows);
+  const auto t = scaler.transformed({7.0});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);  // (7-7)/1
+}
+
+TEST(ScalerTest, RejectsEmptyAndRagged) {
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.fit({}), std::invalid_argument);
+  std::vector<std::vector<double>> ragged = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(scaler.fit(ragged), std::invalid_argument);
+}
+
+TEST(ScalerTest, ApplyBeforeFitThrows) {
+  FeatureScaler scaler;
+  std::vector<double> row = {1.0};
+  EXPECT_THROW(scaler.apply(row), std::invalid_argument);
+}
+
+TEST(SvmTest, SeparatesLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool positive = i % 2 == 0;
+    const double cx = positive ? 2.0 : -2.0;
+    rows.push_back({cx + rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    labels.push_back(positive);
+  }
+  LinearSvm model;
+  model.train(rows, labels);
+  const ClassAccuracy accuracy = evaluate(model, rows, labels);
+  EXPECT_GT(accuracy.positiveAccuracy, 0.97);
+  EXPECT_GT(accuracy.negativeAccuracy, 0.97);
+}
+
+TEST(SvmTest, DecisionSignMatchesPrediction) {
+  std::vector<std::vector<double>> rows = {{1.0}, {-1.0}, {2.0}, {-2.0}};
+  std::vector<std::uint8_t> labels = {1, 0, 1, 0};
+  LinearSvm model;
+  model.train(rows, labels);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(model.predict(rows[i]), model.decision(rows[i]) > 0.0);
+  }
+}
+
+TEST(SvmTest, BalancedTrainingHandlesSkewedClasses) {
+  // 95/5 imbalance; without balancing the rare class would be ignored.
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const bool positive = i % 20 == 0;
+    const double cx = positive ? 1.5 : -1.5;
+    rows.push_back({cx + rng.normal(0.0, 0.6)});
+    labels.push_back(positive);
+  }
+  LinearSvm model;
+  model.train(rows, labels, {.balanceClasses = true});
+  const ClassAccuracy accuracy = evaluate(model, rows, labels);
+  EXPECT_GT(accuracy.positiveAccuracy, 0.9);
+  EXPECT_GT(accuracy.negativeAccuracy, 0.9);
+}
+
+TEST(SvmTest, RejectsDegenerateTrainingSets) {
+  LinearSvm model;
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}};
+  std::vector<std::uint8_t> oneClass = {1, 1};
+  EXPECT_THROW(model.train(rows, oneClass), std::invalid_argument);
+  std::vector<std::uint8_t> mismatched = {1};
+  EXPECT_THROW(model.train(rows, mismatched), std::invalid_argument);
+  EXPECT_THROW(model.train({}, {}), std::invalid_argument);
+}
+
+TEST(SvmTest, PredictBeforeTrainThrows) {
+  LinearSvm model;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW((void)model.predict(x), std::invalid_argument);
+}
+
+TEST(SvmTest, DeterministicForFixedSeed) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)});
+    labels.push_back(rows.back()[0] + rows.back()[1] > 0.0);
+  }
+  LinearSvm a, b;
+  a.train(rows, labels, {.seed = 9});
+  b.train(rows, labels, {.seed = 9});
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (std::size_t i = 0; i < a.weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights()[i], b.weights()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+// --- Merge-sample extraction -------------------------------------------
+
+/// Builds a tracker whose single community lives `snapshots` snapshots
+/// (3-day spacing) and then optionally merges into a bigger one.
+CommunityTracker trackedLifetime(int snapshots, bool endsInMerge) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  const std::size_t n = 20;
+  Graph g(n);
+  // Community X: nodes 0..5 (clique); community Y: nodes 6..15 (clique).
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = i + 1; j < 6; ++j) g.addEdge(i, j);
+  }
+  for (NodeId i = 6; i < 16; ++i) {
+    for (NodeId j = i + 1; j < 16; ++j) g.addEdge(i, j);
+  }
+  g.addEdge(0, 6);
+  std::vector<CommunityId> separate(n, kNoCommunity);
+  for (NodeId i = 0; i < 6; ++i) separate[i] = 0;
+  for (NodeId i = 6; i < 16; ++i) separate[i] = 1;
+  for (int s = 0; s < snapshots; ++s) {
+    tracker.addSnapshot(3.0 * s, g, Partition(separate));
+  }
+  if (endsInMerge) {
+    std::vector<CommunityId> together(n, kNoCommunity);
+    for (NodeId i = 0; i < 16; ++i) together[i] = 0;
+    tracker.addSnapshot(3.0 * snapshots, g, Partition(std::move(together)));
+  }
+  return tracker;
+}
+
+TEST(MergeSamplesTest, FeatureNamesMatchWidth) {
+  const CommunityTracker tracker = trackedLifetime(5, true);
+  const auto samples = extractMergeSamples(tracker);
+  ASSERT_FALSE(samples.empty());
+  for (const MergeSample& sample : samples) {
+    EXPECT_EQ(sample.features.size(), mergeFeatureNames().size());
+  }
+}
+
+TEST(MergeSamplesTest, LabelsMarkTheMergeTransition) {
+  const CommunityTracker tracker = trackedLifetime(5, true);
+  const auto samples = extractMergeSamples(tracker);
+  // The community that dies produces one positive sample (its last
+  // pre-merge record) and negatives before.
+  int positives = 0;
+  for (const MergeSample& sample : samples) {
+    if (sample.willMerge) ++positives;
+  }
+  EXPECT_EQ(positives, 1);
+}
+
+TEST(MergeSamplesTest, CensoredTailsProduceNoSample) {
+  const CommunityTracker tracker = trackedLifetime(5, false);
+  const auto samples = extractMergeSamples(tracker);
+  for (const MergeSample& sample : samples) {
+    EXPECT_FALSE(sample.willMerge);  // nothing merged
+  }
+  // Two communities, 5 snapshots each, indices 2..3 usable (last record
+  // censored): 2 samples per community.
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(MergeSamplesTest, ShortHistoriesSkipped) {
+  const CommunityTracker tracker = trackedLifetime(2, false);
+  EXPECT_TRUE(extractMergeSamples(tracker).empty());
+}
+
+TEST(MergeSamplesTest, BirthWindowExclusionWorks) {
+  const CommunityTracker tracker = trackedLifetime(5, true);
+  // Every community is born on day 0; excluding day 0 births drops all.
+  const auto samples = extractMergeSamples(tracker, -0.5, 0.5);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(MergeSamplesTest, AgeIsRelativeToBirth) {
+  const CommunityTracker tracker = trackedLifetime(5, true);
+  for (const MergeSample& sample : extractMergeSamples(tracker)) {
+    EXPECT_GE(sample.age, 6.0);  // at least 2 transitions after birth
+    EXPECT_NEAR(std::fmod(sample.age, 3.0), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,251 @@
+#include "gen/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/calendar.h"
+#include "gen/population.h"
+
+namespace msd {
+namespace {
+
+EventStream tinyTrace(std::uint64_t seed = 1) {
+  TraceGenerator generator(GeneratorConfig::tiny(seed));
+  return generator.generate();
+}
+
+TEST(CalendarTest, FactorInsideAndOutsideHolidays) {
+  Calendar calendar({{10.0, 5.0, 0.4}, {12.0, 2.0, 0.5}});
+  EXPECT_DOUBLE_EQ(calendar.factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(calendar.factor(10.0), 0.4);
+  EXPECT_DOUBLE_EQ(calendar.factor(13.0), 0.2);  // overlap multiplies
+  EXPECT_DOUBLE_EQ(calendar.factor(15.0), 1.0);  // end exclusive
+}
+
+TEST(CalendarTest, RejectsBadHoliday) {
+  EXPECT_THROW(Calendar({{0.0, -1.0, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(Calendar({{0.0, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Calendar({{0.0, 1.0, 1.5}}), std::invalid_argument);
+}
+
+TEST(PopulationIndexTest, ClassBookkeeping) {
+  PopulationIndex population;
+  const GroupId group = population.createGroup();
+  population.addNode(0, Origin::kMain, group);
+  population.addNode(1, Origin::kMain, kNoGroup);
+  population.addNode(2, Origin::kSecond, kNoGroup);
+  EXPECT_EQ(population.classSize(Origin::kMain), 2u);
+  EXPECT_EQ(population.activeCount(Origin::kMain), 2u);
+  population.deactivate(1);
+  EXPECT_EQ(population.activeCount(Origin::kMain), 1u);
+  EXPECT_EQ(population.classSize(Origin::kMain), 2u);
+  EXPECT_FALSE(population.isActive(1));
+  EXPECT_TRUE(population.isActive(0));
+  EXPECT_EQ(population.originOf(2), Origin::kSecond);
+  EXPECT_EQ(population.groupOf(0), group);
+}
+
+TEST(PopulationIndexTest, SamplersRejectInactive) {
+  PopulationIndex population;
+  Rng rng(1);
+  population.addNode(0, Origin::kMain, kNoGroup);
+  population.addNode(1, Origin::kMain, kNoGroup);
+  population.deactivate(0);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId pick = population.sampleUniform(Origin::kMain, rng);
+    EXPECT_EQ(pick, 1u);
+  }
+  // Degree-proportional sampling over recorded edges.
+  population.addNode(2, Origin::kMain, kNoGroup);
+  population.recordEdge(1, 2);
+  std::vector<std::uint32_t> degree = {0, 1, 1};
+  for (int i = 0; i < 50; ++i) {
+    const NodeId pick =
+        population.sampleByDegree(Origin::kMain, rng, 1, degree);
+    EXPECT_NE(pick, 0u);
+  }
+}
+
+TEST(PopulationIndexTest, GroupSamplingBySizePrefersBigGroups) {
+  PopulationIndex population;
+  Rng rng(2);
+  const GroupId big = population.createGroup();
+  const GroupId small = population.createGroup();
+  for (NodeId i = 0; i < 9; ++i) population.addNode(i, Origin::kMain, big);
+  population.addNode(9, Origin::kMain, small);
+  int bigHits = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (population.sampleGroupBySize(rng) == big) ++bigHits;
+  }
+  EXPECT_NEAR(static_cast<double>(bigHits) / n, 0.9, 0.03);
+}
+
+TEST(PopulationIndexTest, EmptySamplersReturnInvalid) {
+  PopulationIndex population;
+  Rng rng(3);
+  EXPECT_EQ(population.sampleUniform(Origin::kMain, rng), kInvalidNode);
+  std::vector<std::uint32_t> degree;
+  EXPECT_EQ(population.sampleByDegree(Origin::kMain, rng, 1, degree),
+            kInvalidNode);
+  EXPECT_EQ(population.sampleGroupMember(kNoGroup, rng), kInvalidNode);
+  EXPECT_EQ(population.sampleGroupBySize(rng), kNoGroup);
+}
+
+TEST(GeneratorTest, ProducesValidStream) {
+  const EventStream stream = tinyTrace();
+  EXPECT_NO_THROW(stream.validate());
+  EXPECT_GT(stream.nodeCount(), 200u);
+  EXPECT_GT(stream.edgeCount(), stream.nodeCount());
+  EXPECT_LE(stream.lastTime(), 100.0);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const EventStream a = tinyTrace(7);
+  const EventStream b = tinyTrace(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.at(i).time, b.at(i).time);
+    EXPECT_EQ(a.at(i).u, b.at(i).u);
+    EXPECT_EQ(a.at(i).v, b.at(i).v);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const EventStream a = tinyTrace(1);
+  const EventStream b = tinyTrace(2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(GeneratorTest, OriginsFollowMergeTimeline) {
+  const GeneratorConfig config = GeneratorConfig::tiny(4);
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  std::size_t main = 0, second = 0, post = 0;
+  for (const Event& e : stream.events()) {
+    if (e.kind != EventKind::kNodeJoin) continue;
+    switch (e.origin) {
+      case Origin::kMain:
+        ++main;
+        EXPECT_LT(e.time, config.merge.mergeDay);
+        break;
+      case Origin::kSecond:
+        ++second;
+        EXPECT_DOUBLE_EQ(e.time, config.merge.mergeDay);
+        break;
+      case Origin::kPostMerge:
+        ++post;
+        EXPECT_GE(e.time, config.merge.mergeDay);
+        break;
+    }
+  }
+  EXPECT_GT(main, 0u);
+  EXPECT_GT(second, 0u);
+  EXPECT_GT(post, 0u);
+}
+
+TEST(GeneratorTest, MergeDayImportsBulkEvents) {
+  const GeneratorConfig config = GeneratorConfig::tiny(5);
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  // Count node joins on the merge day vs the day before.
+  std::size_t mergeDayJoins = 0, dayBeforeJoins = 0;
+  for (const Event& e : stream.events()) {
+    if (e.kind != EventKind::kNodeJoin) continue;
+    const double day = std::floor(e.time);
+    if (day == config.merge.mergeDay) ++mergeDayJoins;
+    if (day == config.merge.mergeDay - 1.0) ++dayBeforeJoins;
+  }
+  EXPECT_GT(mergeDayJoins, 5 * std::max<std::size_t>(dayBeforeJoins, 1));
+}
+
+TEST(GeneratorTest, NoMergeWhenDisabled) {
+  GeneratorConfig config = GeneratorConfig::tiny(6);
+  config.merge.enabled = false;
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  for (const Event& e : stream.events()) {
+    if (e.kind == EventKind::kNodeJoin) {
+      EXPECT_EQ(e.origin, Origin::kMain);
+    }
+  }
+}
+
+TEST(GeneratorTest, HolidayDipsArrivals) {
+  GeneratorConfig config = GeneratorConfig::tiny(8);
+  config.days = 60.0;
+  config.merge.enabled = false;
+  config.arrival = {30.0, 0.0, 100.0};  // flat expected arrivals
+  config.holidays = {{20.0, 10.0, 0.3}};
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  double normalJoins = 0, holidayJoins = 0;
+  for (const Event& e : stream.events()) {
+    if (e.kind != EventKind::kNodeJoin) continue;
+    if (e.time >= 20.0 && e.time < 30.0) {
+      holidayJoins += 1.0;
+    } else if (e.time >= 5.0 && e.time < 15.0) {
+      normalJoins += 1.0;
+    }
+  }
+  EXPECT_LT(holidayJoins, 0.6 * normalJoins);
+}
+
+TEST(GeneratorTest, RespectsDegreeCap) {
+  GeneratorConfig config = GeneratorConfig::tiny(9);
+  config.attachment.maxDegree = 25.0;
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  std::vector<std::size_t> degree(stream.nodeCount(), 0);
+  for (const Event& e : stream.events()) {
+    if (e.kind == EventKind::kEdgeAdd) {
+      ++degree[e.u];
+      ++degree[e.v];
+    }
+  }
+  for (std::size_t d : degree) EXPECT_LE(d, 26u);  // cap + in-flight slack
+}
+
+TEST(GeneratorTest, GenerateTwiceThrows) {
+  TraceGenerator generator(GeneratorConfig::tiny(10));
+  (void)generator.generate();
+  EXPECT_THROW((void)generator.generate(), std::invalid_argument);
+}
+
+TEST(GeneratorTest, RejectsMergeOutsideTrace) {
+  GeneratorConfig config = GeneratorConfig::tiny(11);
+  config.merge.mergeDay = 200.0;  // beyond 100-day trace
+  EXPECT_THROW(TraceGenerator{config}, std::invalid_argument);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, StreamInvariantsHoldAcrossSeeds) {
+  TraceGenerator generator(GeneratorConfig::tiny(GetParam()));
+  const EventStream stream = generator.generate();
+  EXPECT_NO_THROW(stream.validate());
+  // Front-loaded activity: a clear majority of edges should involve at
+  // least one node younger than 30 days.
+  std::vector<double> joinTime;
+  std::size_t young = 0, total = 0;
+  for (const Event& e : stream.events()) {
+    if (e.kind == EventKind::kNodeJoin) {
+      joinTime.push_back(e.time);
+    } else {
+      ++total;
+      const double minAge = std::min(e.time - joinTime[e.u],
+                                     e.time - joinTime[e.v]);
+      if (minAge <= 30.0) ++young;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(young) / static_cast<double>(total), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,161 @@
+// Model-based property tests: random operation sequences applied both to
+// Graph/EventStream/Replayer and to trivially-correct reference models
+// (std::set of edges, counters) must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "graph/snapshot.h"
+#include "metrics/degree.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+using EdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+std::pair<NodeId, NodeId> canonical(NodeId u, NodeId v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+class RandomOpsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomOpsTest, GraphAgreesWithSetModel) {
+  Rng rng(GetParam());
+  Graph graph;
+  EdgeSet model;
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.25 || graph.nodeCount() < 2) {
+      graph.addNode();
+      continue;
+    }
+    const auto u = static_cast<NodeId>(rng.uniformInt(graph.nodeCount()));
+    const auto v = static_cast<NodeId>(rng.uniformInt(graph.nodeCount()));
+    if (u == v) continue;
+    const bool inserted = model.insert(canonical(u, v)).second;
+    EXPECT_EQ(graph.addEdge(u, v), inserted) << "step " << step;
+  }
+  EXPECT_EQ(graph.edgeCount(), model.size());
+
+  // hasEdge agrees on a sample of pairs.
+  for (int probe = 0; probe < 2000; ++probe) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(graph.nodeCount()));
+    const auto v = static_cast<NodeId>(rng.uniformInt(graph.nodeCount()));
+    if (u == v) continue;
+    EXPECT_EQ(graph.hasEdge(u, v), model.count(canonical(u, v)) > 0);
+  }
+
+  // Degrees agree with per-node incidence counts.
+  std::vector<std::size_t> degree(graph.nodeCount(), 0);
+  for (const auto& [u, v] : model) {
+    ++degree[u];
+    ++degree[v];
+  }
+  for (NodeId node = 0; node < graph.nodeCount(); ++node) {
+    EXPECT_EQ(graph.degree(node), degree[node]);
+  }
+
+  // forEachEdge enumerates exactly the model.
+  EdgeSet seen;
+  graph.forEachEdge([&](NodeId u, NodeId v) { seen.insert(canonical(u, v)); });
+  EXPECT_EQ(seen, model);
+}
+
+TEST_P(RandomOpsTest, ReplayerMatchesDirectApplication) {
+  // Build a random valid stream, then check that advancing a Replayer in
+  // random increments matches a freshly-built DynamicGraph at each stop.
+  Rng rng(GetParam() * 77 + 1);
+  EventStream stream;
+  double t = 0.0;
+  for (int step = 0; step < 3000; ++step) {
+    t += rng.exponential(10.0);
+    if (rng.chance(0.3) || stream.nodeCount() < 2) {
+      stream.appendNodeJoin(t);
+    } else {
+      const auto u = static_cast<NodeId>(rng.uniformInt(stream.nodeCount()));
+      const auto v = static_cast<NodeId>(rng.uniformInt(stream.nodeCount()));
+      if (u == v) continue;
+      stream.appendEdgeAdd(t, u, v);
+    }
+  }
+  stream.validate();
+
+  Replayer replayer(stream);
+  double stop = 0.0;
+  while (stop < stream.lastTime() + 1.0) {
+    stop += rng.uniform(0.0, stream.lastTime() / 5.0);
+    replayer.advanceTo(stop);
+    // Reference: apply all events with time < stop directly.
+    DynamicGraph reference;
+    for (const Event& event : stream.events()) {
+      if (event.time >= stop) break;
+      reference.apply(event);
+    }
+    ASSERT_EQ(replayer.graph().nodeCount(), reference.nodeCount());
+    ASSERT_EQ(replayer.graph().edgeCount(), reference.edgeCount());
+  }
+  replayer.advanceToEnd();
+  EXPECT_EQ(replayer.graph().nodeCount(), stream.nodeCount());
+}
+
+TEST_P(RandomOpsTest, SnapshotVisitorSeesMonotoneGrowth) {
+  Rng rng(GetParam() * 13 + 5);
+  EventStream stream;
+  double t = 0.0;
+  for (int step = 0; step < 1500; ++step) {
+    t += rng.exponential(8.0);
+    if (rng.chance(0.4) || stream.nodeCount() < 2) {
+      stream.appendNodeJoin(t);
+    } else {
+      const auto u = static_cast<NodeId>(rng.uniformInt(stream.nodeCount()));
+      const auto v = static_cast<NodeId>(rng.uniformInt(stream.nodeCount()));
+      if (u != v) stream.appendEdgeAdd(t, u, v);
+    }
+  }
+  const SnapshotSchedule schedule = SnapshotSchedule::everyFor(stream, 7.0);
+  std::size_t lastNodes = 0;
+  std::size_t snapshots = 0;
+  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& g) {
+    EXPECT_GE(g.nodeCount(), lastNodes);
+    lastNodes = g.nodeCount();
+    // Every node present must have joined before the snapshot boundary.
+    if (g.nodeCount() > 0) {
+      EXPECT_LT(g.state(static_cast<NodeId>(g.nodeCount() - 1)).joinTime,
+                day + 1.0);
+    }
+    ++snapshots;
+  });
+  EXPECT_EQ(snapshots, schedule.size());
+  EXPECT_EQ(lastNodes, stream.nodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(DegreeDistributionPropertyTest, SumsMatchGraph) {
+  Rng rng(4);
+  Graph g(500);
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(500));
+    const auto v = static_cast<NodeId>(rng.uniformInt(500));
+    if (u != v) g.addEdge(u, v);
+  }
+  const auto distribution = degreeDistribution(g);
+  std::size_t nodes = 0, degreeMass = 0;
+  for (std::size_t d = 0; d < distribution.size(); ++d) {
+    nodes += distribution[d];
+    degreeMass += d * distribution[d];
+  }
+  EXPECT_EQ(nodes, g.nodeCount());
+  EXPECT_EQ(degreeMass, g.totalDegree());
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace msd {
+namespace {
+
+TEST(GraphTest, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.nodeCount(), 0u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(GraphTest, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.addNode(), 0u);
+  EXPECT_EQ(g.addNode(), 1u);
+  EXPECT_EQ(g.addNode(), 2u);
+  EXPECT_EQ(g.nodeCount(), 3u);
+}
+
+TEST(GraphTest, ConstructWithNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.nodeCount(), 5u);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(g.degree(n), 0u);
+}
+
+TEST(GraphTest, EnsureNodeGrows) {
+  Graph g;
+  g.ensureNode(9);
+  EXPECT_EQ(g.nodeCount(), 10u);
+  g.ensureNode(3);  // no shrink
+  EXPECT_EQ(g.nodeCount(), 10u);
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  EXPECT_TRUE(g.addEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(2, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g(2);
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(1, 0));
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopThrows) {
+  Graph g(2);
+  EXPECT_THROW((void)g.addEdge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW((void)g.addEdge(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)g.hasEdge(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(2), std::invalid_argument);
+  EXPECT_THROW((void)g.neighbors(2), std::invalid_argument);
+}
+
+TEST(GraphTest, NeighborsReflectInsertionOrder) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 3);
+  g.addEdge(0, 2);
+  const auto neighbors = g.neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0], 1u);
+  EXPECT_EQ(neighbors[1], 3u);
+  EXPECT_EQ(neighbors[2], 2u);
+}
+
+TEST(GraphTest, ForEachEdgeVisitsEachOnce) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(0, 3);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  g.forEachEdge([&](NodeId u, NodeId v) {
+    EXPECT_LT(u, v);
+    seen.emplace(u, v);
+  });
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count({0, 1}));
+  EXPECT_TRUE(seen.count({0, 3}));
+}
+
+TEST(GraphTest, TotalDegreeIsTwiceEdges) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  EXPECT_EQ(g.totalDegree(), 6u);
+}
+
+TEST(GraphTest, LargeStarDegrees) {
+  Graph g(1001);
+  for (NodeId leaf = 1; leaf <= 1000; ++leaf) g.addEdge(0, leaf);
+  EXPECT_EQ(g.degree(0), 1000u);
+  EXPECT_EQ(g.edgeCount(), 1000u);
+  EXPECT_TRUE(g.hasEdge(0, 500));
+  EXPECT_FALSE(g.hasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,166 @@
+// End-to-end pipeline test: generate a trace, round-trip it through the
+// binary format, then run every analysis stage the figure benches use and
+// check cross-stage consistency.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/community_analysis.h"
+#include "analysis/edge_dynamics.h"
+#include "analysis/growth.h"
+#include "analysis/merge_analysis.h"
+#include "analysis/metrics_over_time.h"
+#include "analysis/pref_attach.h"
+#include "analysis/user_activity.h"
+#include "gen/trace_generator.h"
+#include "io/event_io.h"
+
+namespace msd {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceGenerator generator(GeneratorConfig::tiny(42));
+    EventStream generated = generator.generate();
+    // Round-trip through the binary codec so the whole pipeline consumes
+    // deserialized data, as a downstream user would.
+    std::stringstream buffer;
+    event_io::saveBinary(generated, buffer);
+    stream_ = new EventStream(event_io::loadBinary(buffer));
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    stream_ = nullptr;
+  }
+  static EventStream* stream_;
+};
+
+EventStream* PipelineTest::stream_ = nullptr;
+
+TEST_F(PipelineTest, GrowthTotalsMatchStreamCounts) {
+  const GrowthSeries growth = analyzeGrowth(*stream_);
+  EXPECT_DOUBLE_EQ(growth.totalNodes.lastValue(),
+                   static_cast<double>(stream_->nodeCount()));
+  EXPECT_DOUBLE_EQ(growth.totalEdges.lastValue(),
+                   static_cast<double>(stream_->edgeCount()));
+}
+
+TEST_F(PipelineTest, GrowthShowsMergeSpike) {
+  const GrowthSeries growth = analyzeGrowth(*stream_);
+  const double mergeDay = 60.0;
+  const double atMerge = growth.newNodes.valueAtOrBefore(mergeDay);
+  const double before = growth.newNodes.valueAtOrBefore(mergeDay - 2.0);
+  EXPECT_GT(atMerge, 3.0 * std::max(before, 1.0));
+}
+
+TEST_F(PipelineTest, MetricsReactToMerge) {
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 2.0;
+  config.pathEvery = 6.0;
+  config.pathSamples = 16;
+  config.clusteringSamples = 200;
+  const MetricsOverTime metrics = analyzeMetricsOverTime(*stream_, config);
+  // The sparse second network drags average degree down on the merge day
+  // itself (the day-60 snapshot includes the import but not the
+  // day-61+ re-engagement burst).
+  const double degreeBefore = metrics.averageDegree.valueAtOrBefore(58.5);
+  const double degreeAtMerge = metrics.averageDegree.valueAtOrBefore(60.5);
+  EXPECT_LT(degreeAtMerge, degreeBefore);
+  // And the network densifies again by the end.
+  EXPECT_GT(metrics.averageDegree.lastValue(), degreeAtMerge);
+}
+
+TEST_F(PipelineTest, EdgeDynamicsNewNodeShareDeclines) {
+  const EdgeDynamics dynamics = analyzeEdgeDynamics(*stream_);
+  ASSERT_GT(dynamics.minAge30.size(), 20u);
+  // Average share over the first quarter vs the last quarter of the
+  // trace: the contribution of young nodes must decline (Fig 2(c)).
+  const std::size_t n = dynamics.minAge30.size();
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < n / 4; ++i) early += dynamics.minAge30.valueAt(i);
+  for (std::size_t i = 3 * n / 4; i < n; ++i) {
+    late += dynamics.minAge30.valueAt(i);
+  }
+  early /= static_cast<double>(n / 4);
+  late /= static_cast<double>(n - 3 * n / 4);
+  EXPECT_LT(late, early);
+}
+
+TEST_F(PipelineTest, AlphaSeriesWithinPlausibleRange) {
+  PrefAttachConfig config;
+  config.fitEveryEdges = 3000;
+  config.startEdges = 2000;
+  const PrefAttachResult pa = analyzePreferentialAttachment(*stream_, config);
+  ASSERT_GE(pa.alphaHigher.size(), 2u);
+  for (std::size_t i = 0; i < pa.alphaHigher.size(); ++i) {
+    EXPECT_GT(pa.alphaHigher.valueAt(i), 0.0);
+    EXPECT_LT(pa.alphaHigher.valueAt(i), 2.0);
+  }
+}
+
+TEST_F(PipelineTest, CommunityMembershipFeedsUserActivity) {
+  CommunityAnalysisConfig config;
+  config.startDay = 20.0;
+  config.snapshotStep = 5.0;
+  config.tracker.minCommunitySize = 5;
+  const CommunityAnalysisResult communities =
+      analyzeCommunities(*stream_, config);
+  ASSERT_EQ(communities.finalMembership.size(), stream_->nodeCount());
+
+  UserActivityConfig activityConfig;
+  activityConfig.bands = {{5, 50, "[5,50)"}, {50, 0, "50+"}};
+  const UserActivityResult activity =
+      analyzeUserActivity(*stream_, communities.finalMembership,
+                          communities.finalCommunitySize, activityConfig);
+  std::size_t bandTotal = 0;
+  for (const ActivityCohort& cohort : activity.byBand) bandTotal += cohort.users;
+  EXPECT_LE(bandTotal, activity.allCommunity.users);
+  // CDFs end at 1.
+  if (!activity.allCommunity.lifetimeCdf.empty()) {
+    EXPECT_DOUBLE_EQ(activity.allCommunity.lifetimeCdf.back().fraction, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, MergeAnalysisConsistentWithStream) {
+  MergeAnalysisConfig config;
+  config.mergeDay = 60.0;
+  config.activityWindow = 15.0;
+  config.distanceEvery = 5.0;
+  config.distanceSamples = 40;
+  const MergeAnalysisResult merge = analyzeMerge(*stream_, config);
+  // Group sizes must match the stream's origin tags.
+  std::size_t main = 0, second = 0;
+  for (const Event& e : stream_->events()) {
+    if (e.kind == EventKind::kNodeJoin) {
+      if (e.origin == Origin::kMain) ++main;
+      if (e.origin == Origin::kSecond) ++second;
+    }
+  }
+  EXPECT_EQ(merge.mainUsers, main);
+  EXPECT_EQ(merge.secondUsers, second);
+  // Total classified edges equal post-merge edge count.
+  double classified = 0.0;
+  for (std::size_t i = 0; i < merge.edgesNew.size(); ++i) {
+    classified += merge.edgesNew.valueAt(i);
+  }
+  for (std::size_t i = 0; i < merge.edgesInternal.size(); ++i) {
+    classified += merge.edgesInternal.valueAt(i);
+  }
+  for (std::size_t i = 0; i < merge.edgesExternal.size(); ++i) {
+    classified += merge.edgesExternal.valueAt(i);
+  }
+  // The merge day itself is excluded by the analysis (locked network).
+  std::size_t postMergeEdges = 0;
+  for (const Event& e : stream_->events()) {
+    if (e.kind == EventKind::kEdgeAdd && e.time >= config.mergeDay + 1.0) {
+      ++postMergeEdges;
+    }
+  }
+  EXPECT_DOUBLE_EQ(classified, static_cast<double>(postMergeEdges));
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,141 @@
+// Robustness fuzzing of the loaders: random corruptions of valid inputs
+// must either load an equivalent-prefix stream or throw — never crash or
+// return an invalid stream. (Deterministic seeds; each case flips bytes,
+// truncates, or splices.)
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gen/trace_generator.h"
+#include "io/event_io.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+std::string validBinaryBytes() {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const EventStream stream = generator.generate();
+  std::stringstream buffer;
+  event_io::saveBinary(stream, buffer);
+  return buffer.str();
+}
+
+std::string validTextBytes() {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const EventStream stream = generator.generate();
+  std::stringstream buffer;
+  event_io::saveText(stream, buffer);
+  return buffer.str();
+}
+
+/// Loads corrupted bytes; success requires the result to pass validate()
+/// (which loadBinary/loadText run internally — so success means the
+/// corruption was semantically harmless).
+template <typename Loader>
+void expectNoCrash(const std::string& bytes, Loader&& load) {
+  std::stringstream input(bytes);
+  try {
+    const EventStream stream = load(input);
+    EXPECT_NO_THROW(stream.validate());
+  } catch (const std::exception&) {
+    // Rejection is the expected common outcome.
+  }
+}
+
+class BinaryFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryFuzzTest, ByteFlipsNeverCrash) {
+  const std::string original = validBinaryBytes();
+  Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    std::string corrupted = original;
+    const int flips = 1 + static_cast<int>(rng.uniformInt(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto position =
+          static_cast<std::size_t>(rng.uniformInt(corrupted.size()));
+      corrupted[position] =
+          static_cast<char>(rng.uniformInt(256));
+    }
+    expectNoCrash(corrupted,
+                  [](std::istream& in) { return event_io::loadBinary(in); });
+  }
+}
+
+TEST_P(BinaryFuzzTest, TruncationsNeverCrash) {
+  const std::string original = validBinaryBytes();
+  Rng rng(GetParam() + 100);
+  for (int round = 0; round < 40; ++round) {
+    const auto keep =
+        static_cast<std::size_t>(rng.uniformInt(original.size()));
+    expectNoCrash(original.substr(0, keep),
+                  [](std::istream& in) { return event_io::loadBinary(in); });
+  }
+}
+
+TEST_P(BinaryFuzzTest, SplicedSegmentsNeverCrash) {
+  const std::string original = validBinaryBytes();
+  Rng rng(GetParam() + 200);
+  for (int round = 0; round < 30; ++round) {
+    const auto cutFrom =
+        static_cast<std::size_t>(rng.uniformInt(original.size()));
+    const auto cutLength = static_cast<std::size_t>(
+        rng.uniformInt(original.size() - cutFrom) + 1);
+    std::string spliced = original;
+    spliced.erase(cutFrom, cutLength);
+    expectNoCrash(spliced,
+                  [](std::istream& in) { return event_io::loadBinary(in); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryFuzzTest, ::testing::Values(1, 2, 3));
+
+class TextFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TextFuzzTest, CharacterNoiseNeverCrashes) {
+  const std::string original = validTextBytes();
+  Rng rng(GetParam());
+  const std::string alphabet = "NE 0123456789.-x\n";
+  for (int round = 0; round < 60; ++round) {
+    std::string corrupted = original;
+    const int edits = 1 + static_cast<int>(rng.uniformInt(6));
+    for (int e = 0; e < edits; ++e) {
+      const auto position =
+          static_cast<std::size_t>(rng.uniformInt(corrupted.size()));
+      corrupted[position] = alphabet[rng.uniformInt(alphabet.size())];
+    }
+    expectNoCrash(corrupted,
+                  [](std::istream& in) { return event_io::loadText(in); });
+  }
+}
+
+TEST_P(TextFuzzTest, LineShufflesNeverCrash) {
+  // Swapping two random lines usually breaks chronology or density and
+  // must be rejected, never crash.
+  const std::string original = validTextBytes();
+  Rng rng(GetParam() + 50);
+  std::vector<std::string> lines;
+  std::stringstream splitter(original);
+  std::string line;
+  while (std::getline(splitter, line)) lines.push_back(line);
+  for (int round = 0; round < 30; ++round) {
+    auto shuffled = lines;
+    const auto a = 1 + rng.uniformInt(shuffled.size() - 1);
+    const auto b = 1 + rng.uniformInt(shuffled.size() - 1);
+    std::swap(shuffled[a], shuffled[b]);
+    std::string joined;
+    for (const std::string& each : shuffled) {
+      joined += each;
+      joined += '\n';
+    }
+    expectNoCrash(joined,
+                  [](std::istream& in) { return event_io::loadText(in); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace msd

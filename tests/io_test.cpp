@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/trace_generator.h"
+#include "io/csv.h"
+#include "io/event_io.h"
+#include "io/graph_io.h"
+
+namespace msd {
+namespace {
+
+EventStream sampleStream() {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain, 3);
+  stream.appendNodeJoin(0.25, Origin::kSecond, kNoGroup);
+  stream.appendNodeJoin(1.125, Origin::kPostMerge, 0);
+  stream.appendEdgeAdd(1.5, 0, 1);
+  stream.appendEdgeAdd(2.75, 1, 2);
+  return stream;
+}
+
+void expectStreamsEqual(const EventStream& a, const EventStream& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Event& x = a.at(i);
+    const Event& y = b.at(i);
+    EXPECT_DOUBLE_EQ(x.time, y.time) << "event " << i;
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.origin, y.origin) << "event " << i;
+    EXPECT_EQ(x.u, y.u) << "event " << i;
+    if (x.kind == EventKind::kEdgeAdd) {
+      EXPECT_EQ(x.v, y.v) << "event " << i;
+    }
+    if (x.kind == EventKind::kNodeJoin) {
+      EXPECT_EQ(x.group, y.group) << "event " << i;
+    }
+  }
+}
+
+TEST(EventIoTest, TextRoundTrip) {
+  const EventStream original = sampleStream();
+  std::stringstream buffer;
+  event_io::saveText(original, buffer);
+  const EventStream loaded = event_io::loadText(buffer);
+  expectStreamsEqual(original, loaded);
+}
+
+TEST(EventIoTest, BinaryRoundTrip) {
+  const EventStream original = sampleStream();
+  std::stringstream buffer;
+  event_io::saveBinary(original, buffer);
+  const EventStream loaded = event_io::loadBinary(buffer);
+  expectStreamsEqual(original, loaded);
+}
+
+TEST(EventIoTest, GeneratedTraceRoundTripsBinary) {
+  TraceGenerator generator(GeneratorConfig::tiny(3));
+  const EventStream original = generator.generate();
+  std::stringstream buffer;
+  event_io::saveBinary(original, buffer);
+  const EventStream loaded = event_io::loadBinary(buffer);
+  expectStreamsEqual(original, loaded);
+}
+
+TEST(EventIoTest, TextRejectsBadMagic) {
+  std::stringstream buffer("nope 1 0 0\n");
+  EXPECT_THROW((void)event_io::loadText(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, TextRejectsBadVersion) {
+  std::stringstream buffer("msdt 99 0 0\n");
+  EXPECT_THROW((void)event_io::loadText(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, TextRejectsCountMismatch) {
+  std::stringstream buffer("msdt 1 2 0\nN 0 0 0 0\n");
+  EXPECT_THROW((void)event_io::loadText(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, TextRejectsUnknownTag) {
+  std::stringstream buffer("msdt 1 1 0\nX 0 0 0 0\n");
+  EXPECT_THROW((void)event_io::loadText(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, BinaryRejectsTruncation) {
+  const EventStream original = sampleStream();
+  std::stringstream buffer;
+  event_io::saveBinary(original, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)event_io::loadBinary(truncated), std::runtime_error);
+}
+
+TEST(EventIoTest, BinaryRejectsBadMagic) {
+  std::stringstream buffer("garbage-garbage-garbage");
+  EXPECT_THROW((void)event_io::loadBinary(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "msd_io_test.events";
+  const EventStream original = sampleStream();
+  event_io::saveBinaryFile(original, path.string());
+  const EventStream loaded = event_io::loadBinaryFile(path.string());
+  expectStreamsEqual(original, loaded);
+  fs::remove(path);
+}
+
+TEST(EventIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)event_io::loadBinaryFile("/nonexistent/path.bin"),
+               std::runtime_error);
+  EXPECT_THROW((void)event_io::loadTextFile("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIoTest, EdgeListRoundTripPreservesIsolatedNodes) {
+  Graph graph(6);
+  graph.addEdge(0, 1);
+  graph.addEdge(1, 2);
+  graph.addEdge(4, 2);
+  std::stringstream buffer;
+  graph_io::saveEdgeList(graph, buffer);
+  const Graph loaded = graph_io::loadEdgeList(buffer);
+  EXPECT_EQ(loaded.nodeCount(), 6u);  // node 5 isolated, kept via header
+  EXPECT_EQ(loaded.edgeCount(), 3u);
+  EXPECT_TRUE(loaded.hasEdge(0, 1));
+  EXPECT_TRUE(loaded.hasEdge(2, 4));
+}
+
+TEST(GraphIoTest, PlainEdgeListWithoutHeader) {
+  std::stringstream buffer("0 1\n1 2\n% a comment\n2 3\n");
+  const Graph loaded = graph_io::loadEdgeList(buffer);
+  EXPECT_EQ(loaded.nodeCount(), 4u);
+  EXPECT_EQ(loaded.edgeCount(), 3u);
+}
+
+TEST(GraphIoTest, MalformedLineThrows) {
+  std::stringstream buffer("0 x\n");
+  EXPECT_THROW((void)graph_io::loadEdgeList(buffer), std::runtime_error);
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "msd_csv_test.csv";
+  {
+    CsvWriter writer(path.string());
+    const std::vector<std::string> columns = {"a", "b"};
+    writer.header(columns);
+    const std::vector<double> row = {1.5, 2.5};
+    writer.row(row);
+    writer.row("label", row);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "label,1.5,2.5");
+  fs::remove(path);
+}
+
+TEST(CsvTest, SeriesCsvAlignsTimeAxes) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "msd_series_test.csv";
+  TimeSeries a("a"), b("b");
+  a.add(0.0, 1.0);
+  a.add(2.0, 3.0);
+  b.add(1.0, 10.0);
+  const std::vector<TimeSeries> series = {a, b};
+  writeSeriesCsv(path.string(), series);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time,a,b");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);  // union of {0,1,2}
+  fs::remove(path);
+}
+
+TEST(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,80 @@
+#include "community/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "community/tracker.h"
+#include "metrics/modularity.h"
+
+namespace msd {
+namespace {
+
+Graph twoCliquesWithBridge(std::size_t n) {
+  Graph g(2 * n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.addEdge(i, j);
+      g.addEdge(static_cast<NodeId>(n) + i, static_cast<NodeId>(n) + j);
+    }
+  }
+  g.addEdge(static_cast<NodeId>(n - 1), static_cast<NodeId>(n));
+  return g;
+}
+
+TEST(LabelPropagationTest, SeparatesTwoCliques) {
+  const Graph g = twoCliquesWithBridge(8);
+  const Partition p = labelPropagation(g);
+  EXPECT_EQ(p.communityOf(0), p.communityOf(7));
+  EXPECT_EQ(p.communityOf(8), p.communityOf(15));
+  EXPECT_NE(p.communityOf(0), p.communityOf(8));
+  EXPECT_GT(modularity(g, p.labels()), 0.3);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesKeepSingletons) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  const Partition p = labelPropagation(g);
+  EXPECT_EQ(p.communityOf(0), p.communityOf(1));
+  // Isolated nodes never adopt a neighbor label.
+  EXPECT_NE(p.communityOf(2), p.communityOf(3));
+}
+
+TEST(LabelPropagationTest, DeterministicPerSeed) {
+  const Graph g = twoCliquesWithBridge(10);
+  const Partition a = labelPropagation(g, {.seed = 3});
+  const Partition b = labelPropagation(g, {.seed = 3});
+  for (NodeId i = 0; i < g.nodeCount(); ++i) {
+    EXPECT_EQ(a.communityOf(i), b.communityOf(i));
+  }
+}
+
+TEST(LabelPropagationTest, SeedPartitionBootstraps) {
+  const Graph g = twoCliquesWithBridge(8);
+  std::vector<CommunityId> labels(16, kNoCommunity);
+  for (NodeId i = 0; i < 8; ++i) labels[i] = 0;
+  const Partition seed(std::move(labels));
+  const Partition p = labelPropagation(g, {}, &seed);
+  EXPECT_EQ(p.communityOf(0), p.communityOf(7));
+  EXPECT_NE(p.communityOf(0), p.communityOf(8));
+}
+
+TEST(LabelPropagationTest, RejectsBadConfig) {
+  EXPECT_THROW((void)labelPropagation(Graph(2), {.maxRounds = 0}),
+               std::invalid_argument);
+}
+
+TEST(LabelPropagationTest, FeedsTheTracker) {
+  // The tracker is detector-agnostic: LPA partitions work directly.
+  const Graph g = twoCliquesWithBridge(8);
+  const Partition p = labelPropagation(g);
+  CommunityTracker tracker({.minCommunitySize = 4});
+  tracker.addSnapshot(0.0, g, p);
+  tracker.addSnapshot(3.0, g, p);
+  EXPECT_EQ(tracker.communities().size(), 2u);
+  ASSERT_EQ(tracker.transitionSimilarities().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.transitionSimilarities()[0].average, 1.0);
+}
+
+}  // namespace
+}  // namespace msd

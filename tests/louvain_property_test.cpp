@@ -1,0 +1,154 @@
+// Property tests for Louvain on parameterized planted structures: rings
+// of cliques (ground truth known exactly) across sizes, counts, and
+// seeds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "community/louvain.h"
+#include "metrics/modularity.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// A ring of `k` cliques with `n` nodes each, adjacent cliques joined by
+/// one bridge edge — the classic planted-partition benchmark where the
+/// optimal partition is one community per clique (for n >= 3, moderate k).
+Graph ringOfCliques(std::size_t k, std::size_t n) {
+  Graph g(k * n);
+  for (std::size_t c = 0; c < k; ++c) {
+    const NodeId base = static_cast<NodeId>(c * n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) g.addEdge(base + i, base + j);
+    }
+    const NodeId nextBase = static_cast<NodeId>(((c + 1) % k) * n);
+    g.addEdge(base + static_cast<NodeId>(n - 1), nextBase);
+  }
+  return g;
+}
+
+/// Ground-truth labels for the ring of cliques.
+std::vector<std::uint32_t> ringTruth(std::size_t k, std::size_t n) {
+  std::vector<std::uint32_t> labels(k * n);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      labels[c * n + i] = static_cast<std::uint32_t>(c);
+    }
+  }
+  return labels;
+}
+
+using RingParam = std::tuple<int, int, std::uint64_t>;  // k, n, seed
+
+class RingOfCliquesTest : public ::testing::TestWithParam<RingParam> {};
+
+TEST_P(RingOfCliquesTest, RecoversPlantedPartition) {
+  const auto [k, n, seed] = GetParam();
+  const Graph g = ringOfCliques(static_cast<std::size_t>(k),
+                                static_cast<std::size_t>(n));
+  LouvainConfig config;
+  config.delta = 0.0001;
+  config.seed = seed;
+  const LouvainResult result = louvain(g, config);
+
+  // Louvain may occasionally merge adjacent cliques at small n, but must
+  // never do worse than the planted structure by much, and members of
+  // one clique must always stay together.
+  const std::vector<std::uint32_t> truth =
+      ringTruth(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  const double plantedQ = modularity(g, truth);
+  EXPECT_GE(result.modularity, plantedQ - 0.02);
+
+  for (int c = 0; c < k; ++c) {
+    const NodeId base = static_cast<NodeId>(c * n);
+    const CommunityId label = result.partition.communityOf(base);
+    for (int i = 1; i < n; ++i) {
+      EXPECT_EQ(result.partition.communityOf(base + static_cast<NodeId>(i)),
+                label)
+          << "clique " << c << " torn apart";
+    }
+  }
+  // Number of communities close to k.
+  const std::size_t found = result.partition.communityCount();
+  EXPECT_GE(found, static_cast<std::size_t>(k) / 2);
+  EXPECT_LE(found, static_cast<std::size_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingOfCliquesTest,
+    ::testing::Combine(::testing::Values(4, 8, 16),
+                       ::testing::Values(5, 8, 12),
+                       ::testing::Values(1u, 9u)));
+
+class IncrementalStabilityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalStabilityTest, SeededRerunKeepsPartitionOnStaticGraph) {
+  // On an unchanged graph, rerunning Louvain seeded with its own output
+  // must not lose modularity.
+  const Graph g = ringOfCliques(10, 6);
+  LouvainConfig config;
+  config.delta = 0.001;
+  config.seed = GetParam();
+  const LouvainResult first = louvain(g, config);
+  const LouvainResult second = louvain(g, config, &first.partition);
+  EXPECT_GE(second.modularity, first.modularity - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalStabilityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LouvainGrowthTest, IncrementalTracksManySnapshots) {
+  // Grow a ring of cliques one clique at a time, reusing the previous
+  // partition; the recovered community count must track the clique count.
+  Rng rng(3);
+  Graph g;
+  Partition previous;
+  bool seeded = false;
+  const std::size_t cliqueSize = 6;
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const NodeId base = static_cast<NodeId>(g.nodeCount());
+    for (std::size_t i = 0; i < cliqueSize; ++i) g.addNode();
+    for (NodeId i = 0; i < cliqueSize; ++i) {
+      for (NodeId j = i + 1; j < cliqueSize; ++j) {
+        g.addEdge(base + i, base + j);
+      }
+    }
+    if (base > 0) {
+      g.addEdge(base, static_cast<NodeId>(rng.uniformInt(base)));
+    }
+    LouvainConfig config;
+    config.delta = 0.001;
+    const LouvainResult result =
+        louvain(g, config, seeded ? &previous : nullptr);
+    previous = result.partition;
+    seeded = true;
+    if (k >= 3) {
+      EXPECT_GE(result.partition.communityCount(), k - 1);
+      EXPECT_LE(result.partition.communityCount(), k);
+    }
+  }
+}
+
+TEST(LouvainEdgeCaseTest, TwoNodesOneEdge) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  const LouvainResult result = louvain(g);
+  // A single edge: both nodes end in one community (Q = 0) or stay
+  // separate (Q = -0.5); Louvain must pick the former.
+  EXPECT_EQ(result.partition.communityCount(), 1u);
+}
+
+TEST(LouvainEdgeCaseTest, SelfConsistentAcrossDeltaExtremes) {
+  const Graph g = ringOfCliques(6, 6);
+  const LouvainResult tight = louvain(g, {.delta = 1e-9});
+  const LouvainResult loose = louvain(g, {.delta = 0.3});
+  // The tight threshold can only do at least as well.
+  EXPECT_GE(tight.modularity, loose.modularity - 1e-9);
+}
+
+}  // namespace
+}  // namespace msd

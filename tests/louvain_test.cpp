@@ -1,0 +1,197 @@
+#include "community/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "metrics/modularity.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Zachary's karate club (34 nodes), the classic community benchmark the
+/// paper's own references use.
+Graph karateClub() {
+  static const int edges[][2] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  Graph g(34);
+  for (const auto& e : edges) g.addEdge(e[0], e[1]);
+  return g;
+}
+
+Graph twoCliquesWithBridge() {
+  Graph g(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) g.addEdge(i, j);
+  }
+  for (NodeId i = 5; i < 10; ++i) {
+    for (NodeId j = i + 1; j < 10; ++j) g.addEdge(i, j);
+  }
+  g.addEdge(4, 5);
+  return g;
+}
+
+TEST(LouvainTest, TwoCliquesSplitPerfectly) {
+  const Graph g = twoCliquesWithBridge();
+  const LouvainResult result = louvain(g, {.delta = 0.0001});
+  EXPECT_EQ(result.partition.communityCount(), 2u);
+  // Every node of one clique shares a label; the two cliques differ.
+  const auto labels = result.partition.labels();
+  for (NodeId i = 1; i < 5; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (NodeId i = 6; i < 10; ++i) EXPECT_EQ(labels[i], labels[5]);
+  EXPECT_NE(labels[0], labels[5]);
+  EXPECT_GT(result.modularity, 0.35);
+}
+
+TEST(LouvainTest, KarateClubModularityIsStrong) {
+  const LouvainResult result = louvain(karateClub(), {.delta = 0.0001});
+  // Known optimum is ~0.42; Louvain typically reaches >= 0.40.
+  EXPECT_GT(result.modularity, 0.38);
+  const std::size_t communities = result.partition.communityCount();
+  EXPECT_GE(communities, 2u);
+  EXPECT_LE(communities, 6u);
+}
+
+TEST(LouvainTest, ReportedModularityMatchesMetric) {
+  const Graph g = karateClub();
+  const LouvainResult result = louvain(g);
+  EXPECT_NEAR(result.modularity, modularity(g, result.partition.labels()),
+              1e-12);
+}
+
+TEST(LouvainTest, DeterministicForFixedSeed) {
+  const Graph g = karateClub();
+  const LouvainResult a = louvain(g, {.delta = 0.01, .seed = 5});
+  const LouvainResult b = louvain(g, {.delta = 0.01, .seed = 5});
+  ASSERT_EQ(a.partition.nodeCount(), b.partition.nodeCount());
+  for (NodeId i = 0; i < a.partition.nodeCount(); ++i) {
+    EXPECT_EQ(a.partition.communityOf(i), b.partition.communityOf(i));
+  }
+}
+
+TEST(LouvainTest, EmptyAndEdgelessGraphs) {
+  const LouvainResult empty = louvain(Graph{});
+  EXPECT_EQ(empty.partition.nodeCount(), 0u);
+  const LouvainResult isolated = louvain(Graph(5));
+  EXPECT_EQ(isolated.partition.nodeCount(), 5u);
+  // Isolated nodes stay in singleton communities.
+  EXPECT_EQ(isolated.partition.communityCount(), 5u);
+}
+
+TEST(LouvainTest, SeededRunRespectsGoodSeed) {
+  const Graph g = twoCliquesWithBridge();
+  // Seed with the perfect partition; Louvain should keep it.
+  std::vector<CommunityId> labels = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  const Partition seed(std::move(labels));
+  const LouvainResult result = louvain(g, {.delta = 0.0001}, &seed);
+  EXPECT_EQ(result.partition.communityCount(), 2u);
+  EXPECT_GT(result.modularity, 0.35);
+}
+
+TEST(LouvainTest, SeedShorterThanGraphIsExtended) {
+  const Graph g = twoCliquesWithBridge();
+  // Seed covers only the first clique; the rest become singletons first.
+  std::vector<CommunityId> labels = {0, 0, 0, 0, 0};
+  const Partition seed(std::move(labels));
+  const LouvainResult result = louvain(g, {.delta = 0.0001}, &seed);
+  EXPECT_EQ(result.partition.communityCount(), 2u);
+}
+
+TEST(LouvainTest, SeedWithNoCommunityEntries) {
+  const Graph g = twoCliquesWithBridge();
+  std::vector<CommunityId> labels(10, kNoCommunity);
+  labels[0] = 0;
+  labels[1] = 0;
+  const Partition seed(std::move(labels));
+  const LouvainResult result = louvain(g, {.delta = 0.0001}, &seed);
+  EXPECT_EQ(result.partition.communityCount(), 2u);
+}
+
+TEST(LouvainTest, IncrementalTracksGrowingGraph) {
+  // Grow the two-clique graph by one node per step; incremental seeding
+  // should keep detecting 2 (then 3) communities without churn.
+  Graph g = twoCliquesWithBridge();
+  LouvainResult previous = louvain(g, {.delta = 0.001});
+  // Add a third clique gradually.
+  const NodeId base = static_cast<NodeId>(g.nodeCount());
+  for (int k = 0; k < 5; ++k) g.addNode();
+  for (NodeId i = base; i < base + 5; ++i) {
+    for (NodeId j = i + 1; j < base + 5; ++j) g.addEdge(i, j);
+  }
+  g.addEdge(0, base);  // weak link to the rest
+  const LouvainResult next =
+      louvain(g, {.delta = 0.001}, &previous.partition);
+  EXPECT_EQ(next.partition.communityCount(), 3u);
+  EXPECT_GT(next.modularity, 0.4);
+}
+
+class LouvainDeltaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LouvainDeltaTest, QualityAcrossDeltas) {
+  // The paper sweeps delta in [1e-4, 0.3]; on a strongly modular graph
+  // every delta in that range should find the structure.
+  const Graph g = twoCliquesWithBridge();
+  const LouvainResult result = louvain(g, {.delta = GetParam()});
+  EXPECT_GT(result.modularity, 0.3) << "delta=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, LouvainDeltaTest,
+                         ::testing::Values(0.0001, 0.001, 0.01, 0.04, 0.1,
+                                           0.3));
+
+TEST(LouvainTest, RejectsNegativeDelta) {
+  EXPECT_THROW((void)louvain(Graph(2), {.delta = -0.1}),
+               std::invalid_argument);
+}
+
+TEST(PartitionTest, FilteredBySizeDropsSmallCommunities) {
+  std::vector<CommunityId> labels = {0, 0, 0, 1, 1, 2};
+  const Partition p(std::move(labels));
+  const Partition filtered = p.filteredBySize(2);
+  EXPECT_EQ(filtered.communityCount(), 2u);
+  EXPECT_EQ(filtered.communityOf(5), kNoCommunity);
+  EXPECT_NE(filtered.communityOf(0), kNoCommunity);
+}
+
+TEST(PartitionTest, RenumberedIsDense) {
+  std::vector<CommunityId> labels = {7, 7, 42, 9, 42};
+  const Partition p(std::move(labels));
+  const Partition dense = p.renumbered();
+  EXPECT_EQ(dense.communityOf(0), 0u);
+  EXPECT_EQ(dense.communityOf(2), 1u);
+  EXPECT_EQ(dense.communityOf(3), 2u);
+  EXPECT_EQ(dense.communityOf(4), 1u);
+}
+
+TEST(PartitionTest, MembersAndSizes) {
+  std::vector<CommunityId> labels = {0, 1, 0, kNoCommunity, 1};
+  const Partition p(std::move(labels));
+  const auto members = p.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].size(), 2u);
+  EXPECT_EQ(members[1].size(), 2u);
+  const auto sizes = p.sizes();
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(PartitionTest, SingletonConstructor) {
+  const Partition p(4);
+  EXPECT_EQ(p.communityCount(), 4u);
+  EXPECT_EQ(p.communityOf(3), 3u);
+}
+
+}  // namespace
+}  // namespace msd

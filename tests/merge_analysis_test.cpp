@@ -1,0 +1,190 @@
+#include "analysis/merge_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/trace_generator.h"
+
+namespace msd {
+namespace {
+
+/// Hand-built merge scenario. Merge at day 10. Main users 0-2, second
+/// users 3-5 (imported at day 10), post-merge user 6 (day 12).
+EventStream handMergeStream() {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain);   // 0
+  stream.appendNodeJoin(0.0, Origin::kMain);   // 1
+  stream.appendNodeJoin(1.0, Origin::kMain);   // 2
+  stream.appendEdgeAdd(2.0, 0, 1);             // pre-merge main edge
+  stream.appendNodeJoin(10.0, Origin::kSecond);  // 3
+  stream.appendNodeJoin(10.0, Origin::kSecond);  // 4
+  stream.appendNodeJoin(10.0, Origin::kSecond);  // 5
+  stream.appendEdgeAdd(10.0, 3, 4);            // imported second edge
+  stream.appendEdgeAdd(11.2, 0, 3);            // external
+  stream.appendEdgeAdd(11.8, 1, 2);            // internal main
+  stream.appendNodeJoin(12.0, Origin::kPostMerge);  // 6
+  stream.appendEdgeAdd(12.5, 6, 4);            // new-user edge (second side)
+  stream.appendEdgeAdd(13.5, 4, 5);            // internal second
+  stream.appendNodeJoin(20.0, Origin::kPostMerge);  // 7 (keeps trace long)
+  stream.appendEdgeAdd(24.0, 6, 7);
+  return stream;
+}
+
+MergeAnalysisConfig handConfig() {
+  MergeAnalysisConfig config;
+  config.mergeDay = 10.0;
+  config.activityWindow = 4.0;
+  config.distanceEvery = 2.0;
+  config.distanceSamples = 10;
+  return config;
+}
+
+TEST(MergeAnalysisTest, GroupSizesCounted) {
+  const MergeAnalysisResult result =
+      analyzeMerge(handMergeStream(), handConfig());
+  EXPECT_EQ(result.mainUsers, 3u);
+  EXPECT_EQ(result.secondUsers, 3u);
+}
+
+TEST(MergeAnalysisTest, EdgeClassesCountedPerDay) {
+  const MergeAnalysisResult result =
+      analyzeMerge(handMergeStream(), handConfig());
+  // Relative day 0 (= absolute day 10): the imported internal edge is an
+  // import artifact and must be excluded from activity accounting.
+  EXPECT_DOUBLE_EQ(result.edgesInternal.valueAtOrBefore(0.0), 0.0);
+  // Relative day 1: one external (0-3) and one internal (1-2).
+  EXPECT_DOUBLE_EQ(result.edgesExternal.valueAtOrBefore(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(result.edgesInternal.valueAtOrBefore(1.0), 1.0);
+  // Relative day 2: one new-user edge (6-4).
+  EXPECT_DOUBLE_EQ(result.edgesNew.valueAtOrBefore(2.0), 1.0);
+  // Relative day 3: internal second edge (4-5).
+  EXPECT_DOUBLE_EQ(result.edgesInternal.valueAtOrBefore(3.0), 1.0);
+}
+
+TEST(MergeAnalysisTest, RatiosComputedOnlyWhereDefined) {
+  const MergeAnalysisResult result =
+      analyzeMerge(handMergeStream(), handConfig());
+  // External edges only on relative day 1 -> exactly one ratio point.
+  ASSERT_EQ(result.intExtMain.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.intExtMain.timeAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(result.intExtMain.valueAt(0), 1.0);  // 1 internal main / 1 ext
+  ASSERT_EQ(result.intExtSecond.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.intExtSecond.valueAt(0), 0.0);  // none that day
+}
+
+TEST(MergeAnalysisTest, ActivityWindowSemantics) {
+  const MergeAnalysisResult result =
+      analyzeMerge(handMergeStream(), handConfig());
+  // Window = 4 days. At rel day 0, active main users: 0 (ext edge d1),
+  // 1 and 2 (internal d1) -> 100%; second: 3,4 (internal d0), 5 (d3.5)
+  // -> 100%.
+  EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(result.activeSecond.all.valueAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(result.day0InactiveMain, 0.0);
+  // Class-specific: only user 0 created an external edge.
+  EXPECT_NEAR(result.activeMain.external.valueAt(0), 100.0 / 3.0, 1e-9);
+  // New-user edges: only second user 4 within [0, 4).
+  EXPECT_NEAR(result.activeSecond.newUsers.valueAt(0), 100.0 / 3.0, 1e-9);
+}
+
+TEST(MergeAnalysisTest, DistanceSeriesReflectsConnectivity) {
+  const MergeAnalysisResult result =
+      analyzeMerge(handMergeStream(), handConfig());
+  ASSERT_FALSE(result.distanceSecondToMain.empty());
+  // After the external edge lands (day 1+), distances must be finite and
+  // small; node 3 is 1 hop from main, 4 is 2 hops (via 3).
+  const double late = result.distanceSecondToMain.lastValue();
+  EXPECT_GE(late, 1.0);
+  EXPECT_LE(late, 3.0);
+}
+
+TEST(MergeAnalysisTest, EmptyOrPreMergeOnlyStreamIsSafe) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  const MergeAnalysisResult result = analyzeMerge(stream, handConfig());
+  EXPECT_EQ(result.mainUsers, 0u);
+  EXPECT_TRUE(result.edgesNew.empty());
+}
+
+// --- Generated-trace shape checks (the paper's Sec 5 claims) ------------
+
+class GeneratedMergeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceGenerator generator(GeneratorConfig::tiny(2));
+    stream_ = new EventStream(generator.generate());
+    MergeAnalysisConfig config;
+    config.mergeDay = 60.0;  // tiny preset merges at day 60
+    config.activityWindow = 15.0;
+    config.distanceEvery = 2.0;
+    config.distanceSamples = 60;
+    result_ = new MergeAnalysisResult(analyzeMerge(*stream_, config));
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    delete result_;
+    stream_ = nullptr;
+    result_ = nullptr;
+  }
+  static EventStream* stream_;
+  static MergeAnalysisResult* result_;
+};
+
+EventStream* GeneratedMergeTest::stream_ = nullptr;
+MergeAnalysisResult* GeneratedMergeTest::result_ = nullptr;
+
+TEST_F(GeneratedMergeTest, DuplicateFractionsDetected) {
+  // tiny config: 11% main / 28% second duplicates. Day-0 inactive share
+  // should reflect that ordering with slack for sampling noise.
+  EXPECT_GT(result_->day0InactiveSecond, result_->day0InactiveMain);
+  EXPECT_GT(result_->day0InactiveMain, 0.02);
+  EXPECT_LT(result_->day0InactiveSecond, 0.65);
+}
+
+TEST_F(GeneratedMergeTest, ActivityDeclinesOverTime) {
+  const TimeSeries& all = result_->activeMain.all;
+  ASSERT_GT(all.size(), 5u);
+  EXPECT_GT(all.valueAt(0), all.lastValue());
+}
+
+TEST_F(GeneratedMergeTest, NewEdgesEventuallyDominate) {
+  // The paper: edges to new users overtake internal and external within
+  // days. Compare totals in the last third of the post-merge window.
+  double lateNew = 0.0, lateInternal = 0.0, lateExternal = 0.0;
+  const double start = 2.0 * result_->edgesNew.lastValue();  // unused guard
+  (void)start;
+  const std::size_t n = result_->edgesNew.size();
+  for (std::size_t i = 2 * n / 3; i < n; ++i) {
+    lateNew += result_->edgesNew.valueAt(i);
+    lateInternal += result_->edgesInternal.valueAtOrBefore(
+        result_->edgesNew.timeAt(i));
+    lateExternal += result_->edgesExternal.valueAtOrBefore(
+        result_->edgesNew.timeAt(i));
+  }
+  EXPECT_GT(lateNew, lateInternal);
+  EXPECT_GT(lateNew, lateExternal);
+}
+
+TEST_F(GeneratedMergeTest, CrossOsnDistanceShrinks) {
+  const TimeSeries& distance = result_->distanceSecondToMain;
+  ASSERT_GE(distance.size(), 4u);
+  const double early = distance.valueAt(0);
+  const double late = distance.lastValue();
+  EXPECT_LT(late, early);
+  EXPECT_LT(late, 2.5);  // well-connected whole, paper Fig 9(c)
+}
+
+TEST_F(GeneratedMergeTest, PercentagesWithinBounds) {
+  for (const TimeSeries* series :
+       {&result_->activeMain.all, &result_->activeMain.newUsers,
+        &result_->activeMain.internal, &result_->activeMain.external,
+        &result_->activeSecond.all, &result_->activeSecond.newUsers,
+        &result_->activeSecond.internal, &result_->activeSecond.external}) {
+    for (std::size_t i = 0; i < series->size(); ++i) {
+      EXPECT_GE(series->valueAt(i), 0.0);
+      EXPECT_LE(series->valueAt(i), 100.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,108 @@
+// Boundary semantics of the merge-analysis activity windows: "active at
+// integer day d" means the user participates in a post-merge edge with
+// relative time in [d, d + window). Verified through analyzeMerge on
+// hand-built streams.
+
+#include <gtest/gtest.h>
+
+#include "analysis/merge_analysis.h"
+
+namespace msd {
+namespace {
+
+/// One main user pair and one second user pair; a single post-merge edge
+/// at a configurable relative time drives the main users' activity.
+EventStream streamWithEdgeAt(double relTime, double traceEnd = 40.0) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain);
+  stream.appendNodeJoin(0.0, Origin::kMain);
+  stream.appendNodeJoin(10.0, Origin::kSecond);
+  stream.appendNodeJoin(10.0, Origin::kSecond);
+  stream.appendEdgeAdd(10.0 + relTime, 0, 1);
+  // A trailing joiner keeps the trace long enough to measure.
+  stream.appendNodeJoin(10.0 + traceEnd, Origin::kPostMerge);
+  return stream;
+}
+
+MergeAnalysisConfig config(double window) {
+  MergeAnalysisConfig c;
+  c.mergeDay = 10.0;
+  c.activityWindow = window;
+  c.distanceSamples = 0;
+  c.distanceEvery = 1e9;
+  return c;
+}
+
+TEST(MergeWindowTest, EdgeInsideWindowCountsFromItsDayBackwards) {
+  // Edge at rel 7.5 with window 5: active for integer days d with
+  // d <= 7.5 < d+5, i.e. d in {3,4,5,6,7}.
+  const MergeAnalysisResult result =
+      analyzeMerge(streamWithEdgeAt(7.5), config(5.0));
+  const TimeSeries& active = result.activeMain.all;
+  ASSERT_GE(active.size(), 9u);
+  EXPECT_DOUBLE_EQ(active.valueAt(2), 0.0);
+  for (std::size_t d = 3; d <= 7; ++d) {
+    EXPECT_DOUBLE_EQ(active.valueAt(d), 100.0) << "day " << d;
+  }
+  EXPECT_DOUBLE_EQ(active.valueAt(8), 0.0);
+}
+
+TEST(MergeWindowTest, MergeDayEdgeIsExcluded) {
+  // Edge at rel 0.5 is an import-day artifact and must not register.
+  const MergeAnalysisResult result =
+      analyzeMerge(streamWithEdgeAt(0.5), config(5.0));
+  for (std::size_t i = 0; i < result.activeMain.all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.day0InactiveMain, 1.0);
+}
+
+TEST(MergeWindowTest, Day1EdgeMakesDay0And1Active) {
+  // Edge at rel 1.25 with window 5: active for d in {0,1} (and only
+  // within the measurable range).
+  const MergeAnalysisResult result =
+      analyzeMerge(streamWithEdgeAt(1.25), config(5.0));
+  EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(1), 100.0);
+  EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(2), 0.0);
+  EXPECT_DOUBLE_EQ(result.day0InactiveMain, 0.0);
+}
+
+TEST(MergeWindowTest, OverlappingEdgesCountUserOnce) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain);
+  stream.appendNodeJoin(0.0, Origin::kMain);
+  stream.appendNodeJoin(5.0, Origin::kSecond);
+  stream.appendNodeJoin(5.0, Origin::kSecond);
+  // Two close edges by the same pair: windows overlap heavily.
+  stream.appendEdgeAdd(7.0, 0, 1);
+  stream.appendEdgeAdd(8.0, 0, 1);
+  stream.appendNodeJoin(45.0, Origin::kPostMerge);
+  MergeAnalysisConfig c = config(10.0);
+  c.mergeDay = 5.0;
+  const MergeAnalysisResult result = analyzeMerge(stream, c);
+  // Percentages must never exceed 100 even with overlapping intervals.
+  for (std::size_t i = 0; i < result.activeMain.all.size(); ++i) {
+    EXPECT_LE(result.activeMain.all.valueAt(i), 100.0);
+  }
+  EXPECT_DOUBLE_EQ(result.activeMain.all.valueAt(0), 100.0);
+}
+
+TEST(MergeWindowTest, WindowLargerThanTailLimitsMeasurableDays) {
+  // 40 post-merge days, window 30: measurable active days 0..10.
+  const MergeAnalysisResult result =
+      analyzeMerge(streamWithEdgeAt(2.0, 40.0), config(30.0));
+  ASSERT_FALSE(result.activeMain.all.empty());
+  EXPECT_LE(result.activeMain.all.timeAt(result.activeMain.all.size() - 1),
+            10.0 + 1e-9);
+}
+
+TEST(MergeWindowTest, PostMergeOnlyUsersDoNotAppearInGroups) {
+  const MergeAnalysisResult result =
+      analyzeMerge(streamWithEdgeAt(3.0), config(5.0));
+  EXPECT_EQ(result.mainUsers, 2u);
+  EXPECT_EQ(result.secondUsers, 2u);
+}
+
+}  // namespace
+}  // namespace msd

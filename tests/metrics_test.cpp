@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/components.h"
+#include "metrics/degree.h"
+#include "metrics/modularity.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+Graph pathGraph(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+Graph completeGraph(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) g.addEdge(i, j);
+  }
+  return g;
+}
+
+Graph starGraph(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) g.addEdge(0, leaf);
+  return g;
+}
+
+/// Two K4 cliques joined by a single bridge edge (0-3 and 4-7).
+Graph twoCliques() {
+  Graph g(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) g.addEdge(i, j);
+  }
+  for (NodeId i = 4; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) g.addEdge(i, j);
+  }
+  g.addEdge(3, 4);
+  return g;
+}
+
+TEST(DegreeTest, StatsOnStar) {
+  const Graph g = starGraph(6);
+  const DegreeStats stats = degreeStats(g);
+  EXPECT_EQ(stats.max, 6u);
+  EXPECT_EQ(stats.isolated, 0u);
+  EXPECT_NEAR(stats.average, 12.0 / 7.0, 1e-12);
+}
+
+TEST(DegreeTest, EmptyGraph) {
+  const DegreeStats stats = degreeStats(Graph{});
+  EXPECT_DOUBLE_EQ(stats.average, 0.0);
+  EXPECT_EQ(stats.max, 0u);
+}
+
+TEST(DegreeTest, DistributionOnStar) {
+  const auto dist = degreeDistribution(starGraph(5));
+  ASSERT_EQ(dist.size(), 6u);
+  EXPECT_EQ(dist[1], 5u);
+  EXPECT_EQ(dist[5], 1u);
+  EXPECT_EQ(dist[0], 0u);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const Components c = connectedComponents(pathGraph(5));
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.size[0], 5u);
+}
+
+TEST(ComponentsTest, IsolatedNodesAreOwnComponents) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  const Components c = connectedComponents(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.size[c.label[0]], 2u);
+  EXPECT_EQ(c.size[c.label[2]], 1u);
+}
+
+TEST(ComponentsTest, LargestAndMembers) {
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  g.addEdge(3, 4);
+  const Components c = connectedComponents(g);
+  const auto largest = c.largest();
+  EXPECT_EQ(c.size[largest], 3u);
+  const auto members = c.members(largest);
+  EXPECT_EQ(members.size(), 3u);
+}
+
+TEST(ComponentsTest, MembersRejectsBadId) {
+  const Components c = connectedComponents(pathGraph(3));
+  EXPECT_THROW((void)c.members(5), std::invalid_argument);
+}
+
+TEST(PathsTest, BfsDistancesOnPath) {
+  const Graph g = pathGraph(5);
+  const auto dist = bfsDistances(g, 0);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(PathsTest, BfsUnreachableIsSentinel) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(PathsTest, SampledAplExactOnCompleteGraph) {
+  const Graph g = completeGraph(6);
+  Rng rng(1);
+  EXPECT_NEAR(sampledAveragePathLength(g, 100, rng), 1.0, 1e-12);
+}
+
+TEST(PathsTest, SampledAplOnPathGraph) {
+  // Exact APL of P5 = 2.0; full sampling makes the estimate exact.
+  const Graph g = pathGraph(5);
+  Rng rng(2);
+  EXPECT_NEAR(sampledAveragePathLength(g, 5, rng), 2.0, 1e-12);
+}
+
+TEST(PathsTest, SampledAplUsesLargestComponent) {
+  Graph g(7);
+  g.addEdge(0, 1);  // small component
+  for (NodeId i = 2; i < 6; ++i) g.addEdge(i, i + 1);  // P5 component
+  Rng rng(3);
+  EXPECT_NEAR(sampledAveragePathLength(g, 10, rng), 2.0, 1e-12);
+}
+
+TEST(PathsTest, EdgelessGraphHasZeroApl) {
+  Graph g(10);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(sampledAveragePathLength(g, 5, rng), 0.0);
+}
+
+TEST(PathsTest, DistanceToSetDirect) {
+  const Graph g = pathGraph(6);
+  std::vector<std::uint8_t> targets(6, 0);
+  targets[5] = 1;
+  EXPECT_EQ(distanceToSet(g, 0, targets), 5u);
+  EXPECT_EQ(distanceToSet(g, 5, targets), 0u);
+}
+
+TEST(PathsTest, DistanceToSetRespectsAllowedMask) {
+  // 0-1-2 and 0-3-4-2: blocking node 1 forces the long way.
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 3);
+  g.addEdge(3, 4);
+  g.addEdge(4, 2);
+  std::vector<std::uint8_t> targets(5, 0);
+  targets[2] = 1;
+  std::vector<std::uint8_t> allowed(5, 1);
+  EXPECT_EQ(distanceToSet(g, 0, targets, allowed), 2u);
+  allowed[1] = 0;
+  EXPECT_EQ(distanceToSet(g, 0, targets, allowed), 3u);
+}
+
+TEST(PathsTest, DistanceToSetUnreachable) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  std::vector<std::uint8_t> targets(4, 0);
+  targets[3] = 1;
+  EXPECT_EQ(distanceToSet(g, 0, targets), kUnreachable);
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  const Graph g = completeGraph(3);
+  EXPECT_DOUBLE_EQ(localClustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(averageClustering(g), 1.0);
+}
+
+TEST(ClusteringTest, PathHasNoTriangles) {
+  const Graph g = pathGraph(5);
+  EXPECT_DOUBLE_EQ(averageClustering(g), 0.0);
+}
+
+TEST(ClusteringTest, KnownMixedValue) {
+  // Triangle 0-1-2 plus pendant 3 attached to 2.
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  g.addEdge(2, 3);
+  EXPECT_DOUBLE_EQ(localClustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(localClustering(g, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(localClustering(g, 3), 0.0);
+  EXPECT_NEAR(averageClustering(g), (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0,
+              1e-12);
+}
+
+TEST(ClusteringTest, SampledMatchesExactWhenSamplingAll) {
+  const Graph g = twoCliques();
+  Rng rng(5);
+  EXPECT_NEAR(sampledAverageClustering(g, 100, rng), averageClustering(g),
+              1e-12);
+}
+
+TEST(ClusteringTest, SampledApproximatesExact) {
+  // Build a moderately sized random graph and compare.
+  Graph g(300);
+  Rng build(6);
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(300));
+    const auto v = static_cast<NodeId>(build.uniformInt(300));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+  Rng rng(7);
+  const double exact = averageClustering(g);
+  const double sampled = sampledAverageClustering(g, 150, rng);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(degreeAssortativity(starGraph(8)), -1.0, 1e-12);
+}
+
+TEST(AssortativityTest, CompleteGraphIsDegenerate) {
+  // Uniform degrees: zero variance -> defined as 0.
+  EXPECT_DOUBLE_EQ(degreeAssortativity(completeGraph(5)), 0.0);
+}
+
+TEST(AssortativityTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(degreeAssortativity(Graph(3)), 0.0);
+}
+
+TEST(AssortativityTest, InRangeOnRandomGraph) {
+  Graph g(200);
+  Rng build(8);
+  for (int i = 0; i < 800; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(200));
+    const auto v = static_cast<NodeId>(build.uniformInt(200));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+  const double r = degreeAssortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(ModularityTest, TwoCliquesWellSeparated) {
+  const Graph g = twoCliques();
+  std::vector<std::uint32_t> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  // Q = sum_c [e_c/m - (a_c/2m)^2]; m=13, e_c=6, a_c=13 each.
+  const double expected = 2.0 * (6.0 / 13.0 - 0.25);
+  EXPECT_NEAR(modularity(g, labels), expected, 1e-12);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  const Graph g = twoCliques();
+  std::vector<std::uint32_t> labels(8, 0);
+  EXPECT_NEAR(modularity(g, labels), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, GoodSplitBeatsBadSplit) {
+  const Graph g = twoCliques();
+  const std::vector<std::uint32_t> good = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::uint32_t> bad = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_GT(modularity(g, good), modularity(g, bad));
+}
+
+TEST(ModularityTest, RejectsShortLabelVector) {
+  const Graph g = twoCliques();
+  std::vector<std::uint32_t> labels(3, 0);
+  EXPECT_THROW((void)modularity(g, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

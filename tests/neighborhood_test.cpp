@@ -1,0 +1,114 @@
+#include "metrics/neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+Graph pathGraph(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+TEST(NeighborhoodTest, EmptyGraph) {
+  const NeighborhoodFunction f = neighborhoodFunction(Graph{});
+  EXPECT_TRUE(f.pairs.empty());
+}
+
+TEST(NeighborhoodTest, CompleteGraphSaturatesAtOneHop) {
+  Graph g(20);
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = i + 1; j < 20; ++j) g.addEdge(i, j);
+  }
+  AnfConfig config;
+  config.registersLog2 = 8;
+  const NeighborhoodFunction f = neighborhoodFunction(g, config);
+  ASSERT_GE(f.pairs.size(), 2u);
+  // pairs(0) ~ 20 (self), pairs(1) ~ 400, then flat.
+  EXPECT_NEAR(f.pairs[0], 20.0, 5.0);
+  EXPECT_NEAR(f.pairs[1], 400.0, 60.0);
+  EXPECT_NEAR(f.pairs.back(), f.pairs[1], 1e-9);
+  EXPECT_LT(f.effectiveDiameter(0.9), 1.5);
+}
+
+TEST(NeighborhoodTest, PathGraphAverageDistance) {
+  // Exact mean distance of P_n is (n+1)/3.
+  const std::size_t n = 64;
+  const Graph g = pathGraph(n);
+  AnfConfig config;
+  config.registersLog2 = 8;
+  config.maxHops = 70;
+  const NeighborhoodFunction f = neighborhoodFunction(g, config);
+  const double expected = static_cast<double>(n + 1) / 3.0;
+  EXPECT_NEAR(f.averageDistance(), expected, expected * 0.15);
+}
+
+TEST(NeighborhoodTest, AgreesWithExactBfsOnRandomGraph) {
+  Rng build(5);
+  Graph g(300);
+  for (int i = 0; i < 900; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(300));
+    const auto v = static_cast<NodeId>(build.uniformInt(300));
+    if (u != v) g.addEdge(u, v);
+  }
+  // Exact mean distance over reachable pairs via all-pairs BFS.
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId source = 0; source < g.nodeCount(); ++source) {
+    const auto dist = bfsDistances(g, source);
+    for (NodeId other = 0; other < g.nodeCount(); ++other) {
+      if (other == source || dist[other] == kUnreachable) continue;
+      total += static_cast<double>(dist[other]);
+      ++pairs;
+    }
+  }
+  const double exact = total / static_cast<double>(pairs);
+
+  AnfConfig config;
+  config.registersLog2 = 9;
+  const NeighborhoodFunction f = neighborhoodFunction(g, config);
+  EXPECT_NEAR(f.averageDistance(), exact, 0.25);
+}
+
+TEST(NeighborhoodTest, MonotoneNonDecreasing) {
+  Rng build(9);
+  Graph g(500);
+  for (int i = 0; i < 1200; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(500));
+    const auto v = static_cast<NodeId>(build.uniformInt(500));
+    if (u != v) g.addEdge(u, v);
+  }
+  const NeighborhoodFunction f = neighborhoodFunction(g);
+  for (std::size_t h = 1; h < f.pairs.size(); ++h) {
+    EXPECT_GE(f.pairs[h], f.pairs[h - 1] - 1e-9);
+  }
+}
+
+TEST(NeighborhoodTest, EffectiveDiameterChecksArguments) {
+  NeighborhoodFunction f;
+  EXPECT_THROW((void)f.effectiveDiameter(), std::invalid_argument);
+  f.pairs = {10.0, 50.0, 60.0};
+  EXPECT_THROW((void)f.effectiveDiameter(0.0), std::invalid_argument);
+  EXPECT_THROW((void)f.effectiveDiameter(1.5), std::invalid_argument);
+  EXPECT_GT(f.effectiveDiameter(0.9), 0.0);
+}
+
+TEST(NeighborhoodTest, RejectsBadConfig) {
+  AnfConfig config;
+  config.registersLog2 = 2;
+  EXPECT_THROW((void)neighborhoodFunction(Graph(2), config),
+               std::invalid_argument);
+  config.registersLog2 = 6;
+  config.maxHops = 0;
+  EXPECT_THROW((void)neighborhoodFunction(Graph(2), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

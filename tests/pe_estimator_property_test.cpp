@@ -1,0 +1,132 @@
+// Property test for the pe(d) estimator: the O(1)-amortized lazy
+// degree-count integral must agree exactly with a brute-force
+// recomputation of the paper's formula
+//   pe(d) = sum_t [dest degree == d] / sum_t |{v : d_{t-1}(v) = d}|
+// on small random streams.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/pref_attach.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Brute-force numerator/denominator of pe(d) over one window of edge
+/// events [fromEdge, toEdge), destination = higher-degree endpoint.
+struct BruteWindow {
+  std::vector<double> numerator;
+  std::vector<double> denominator;
+};
+
+BruteWindow brutePe(const EventStream& stream, std::size_t fromEdge,
+                    std::size_t toEdge, std::size_t maxDegree) {
+  BruteWindow window;
+  window.numerator.assign(maxDegree + 1, 0.0);
+  window.denominator.assign(maxDegree + 1, 0.0);
+
+  std::vector<std::uint32_t> degree;
+  std::size_t edgeIndex = 0;
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      degree.push_back(0);
+      continue;
+    }
+    if (edgeIndex >= fromEdge && edgeIndex < toEdge) {
+      // Denominator: count of nodes at each degree BEFORE this event.
+      std::vector<std::size_t> counts(maxDegree + 1, 0);
+      for (std::uint32_t d : degree) {
+        ++counts[std::min<std::size_t>(d, maxDegree)];
+      }
+      for (std::size_t d = 0; d <= maxDegree; ++d) {
+        window.denominator[d] += static_cast<double>(counts[d]);
+      }
+      const std::uint32_t destinationDegree =
+          std::max(degree[event.u], degree[event.v]);
+      window.numerator[std::min<std::size_t>(destinationDegree, maxDegree)] +=
+          1.0;
+    }
+    ++degree[event.u];
+    ++degree[event.v];
+    ++edgeIndex;
+  }
+  return window;
+}
+
+EventStream randomStream(std::uint64_t seed, std::size_t nodes,
+                         std::size_t edges) {
+  Rng rng(seed);
+  EventStream stream;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    stream.appendNodeJoin(static_cast<double>(i) * 0.01);
+  }
+  const double base = static_cast<double>(nodes) * 0.01;
+  std::size_t added = 0;
+  while (added < edges) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(nodes));
+    const auto v = static_cast<NodeId>(rng.uniformInt(nodes));
+    if (u == v) continue;
+    stream.appendEdgeAdd(base + static_cast<double>(added) * 0.01, u, v);
+    ++added;
+  }
+  return stream;
+}
+
+class PeBruteForceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeBruteForceTest, WindowFitsMatchBruteForce) {
+  const EventStream stream = randomStream(GetParam(), 60, 600);
+  PrefAttachConfig config;
+  config.fitEveryEdges = 200;
+  config.startEdges = 200;
+  config.minSamplesPerDegree = 1;
+  config.maxDegree = 128;
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, config);
+
+  // The analyzer produces fit windows at edges 200, 400, 600. Verify the
+  // pe(d) points of the captured snapshot window against brute force.
+  ASSERT_FALSE(result.snapshotHigher.points.empty());
+  const std::size_t windowEnd = result.snapshotHigher.atEdges;
+  const std::size_t windowStart = windowEnd - config.fitEveryEdges;
+  const BruteWindow brute =
+      brutePe(stream, windowStart, windowEnd, config.maxDegree);
+
+  for (const PePoint& point : result.snapshotHigher.points) {
+    const auto d = static_cast<std::size_t>(point.degree);
+    ASSERT_GT(brute.denominator[d], 0.0) << "degree " << d;
+    const double expected = brute.numerator[d] / brute.denominator[d];
+    EXPECT_NEAR(point.probability, expected, 1e-12) << "degree " << d;
+    EXPECT_DOUBLE_EQ(point.samples, brute.numerator[d]) << "degree " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeBruteForceTest,
+                         ::testing::Values(1, 2, 3, 10, 77));
+
+TEST(PeBruteForceTest, PurePaStreamNumeratorConcentratesHigh) {
+  // Sanity on the brute-force helper itself: with a hub receiving every
+  // edge, the numerator must live at the hub's degrees only.
+  EventStream stream;
+  for (int i = 0; i < 6; ++i) {
+    stream.appendNodeJoin(0.0);
+  }
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    stream.appendEdgeAdd(1.0 + leaf, 0, leaf);
+  }
+  const BruteWindow brute = brutePe(stream, 0, 5, 16);
+  // First edge: both endpoints degree 0 -> numerator[0]; then hub degree
+  // grows 1,2,3,4.
+  EXPECT_DOUBLE_EQ(brute.numerator[0], 1.0);
+  EXPECT_DOUBLE_EQ(brute.numerator[1], 1.0);
+  EXPECT_DOUBLE_EQ(brute.numerator[4], 1.0);
+  // Denominator at degree 0: before edge 1 all 6 nodes, before edge 2
+  // four nodes, ... = 6+4+3+2+1.
+  EXPECT_DOUBLE_EQ(brute.denominator[0], 16.0);
+}
+
+}  // namespace
+}  // namespace msd

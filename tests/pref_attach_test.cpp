@@ -1,0 +1,202 @@
+#include "analysis/pref_attach.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/trace_generator.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Synthetic growth process: each new node creates `m` edges. With
+/// probability `paShare` the destination is degree-proportional (classic
+/// preferential attachment); otherwise uniform.
+EventStream syntheticAttachmentStream(double paShare, std::size_t nodes,
+                                      std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  std::vector<NodeId> endpoints;  // one entry per edge endpoint
+  std::vector<std::uint32_t> degree;
+
+  // Seed triangle.
+  for (int i = 0; i < 3; ++i) {
+    stream.appendNodeJoin(0.0);
+    degree.push_back(0);
+  }
+  auto addEdge = [&](double t, NodeId u, NodeId v) {
+    stream.appendEdgeAdd(t, u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    ++degree[u];
+    ++degree[v];
+  };
+  addEdge(0.0, 0, 1);
+  addEdge(0.0, 1, 2);
+  addEdge(0.0, 0, 2);
+
+  for (std::size_t i = 3; i < nodes; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    const NodeId node = stream.appendNodeJoin(t);
+    degree.push_back(0);
+    for (std::size_t e = 0; e < m; ++e) {
+      NodeId destination;
+      int guard = 0;
+      do {
+        destination =
+            rng.chance(paShare)
+                ? endpoints[rng.uniformInt(endpoints.size())]
+                : static_cast<NodeId>(rng.uniformInt(node));
+      } while (destination == node && ++guard < 50);
+      if (destination == node) continue;
+      addEdge(t, node, destination);
+    }
+  }
+  return stream;
+}
+
+PrefAttachConfig testConfig() {
+  PrefAttachConfig config;
+  config.fitEveryEdges = 20000;
+  config.startEdges = 5000;
+  config.minSamplesPerDegree = 3;
+  return config;
+}
+
+TEST(PrefAttachTest, PureParecoversAlphaNearOne) {
+  const EventStream stream = syntheticAttachmentStream(1.0, 20000, 4, 1);
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, testConfig());
+  ASSERT_GE(result.alphaHigher.size(), 2u);
+  // Under pure PA the higher-degree destination rule recovers alpha ~ 1.
+  const double alpha = result.alphaHigher.lastValue();
+  EXPECT_GT(alpha, 0.8);
+  EXPECT_LT(alpha, 1.3);
+}
+
+TEST(PrefAttachTest, UniformAttachmentGivesWeakAlpha) {
+  const EventStream stream = syntheticAttachmentStream(0.0, 20000, 4, 2);
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, testConfig());
+  ASSERT_GE(result.alphaRandom.size(), 1u);
+  // Uniform destination choice: pe(d) is nearly flat.
+  EXPECT_LT(result.alphaRandom.lastValue(), 0.45);
+}
+
+TEST(PrefAttachTest, PaShareOrdersAlpha) {
+  const EventStream strong = syntheticAttachmentStream(0.9, 15000, 4, 3);
+  const EventStream weak = syntheticAttachmentStream(0.2, 15000, 4, 3);
+  const PrefAttachResult strongResult =
+      analyzePreferentialAttachment(strong, testConfig());
+  const PrefAttachResult weakResult =
+      analyzePreferentialAttachment(weak, testConfig());
+  EXPECT_GT(strongResult.alphaHigher.lastValue(),
+            weakResult.alphaHigher.lastValue() + 0.15);
+}
+
+TEST(PrefAttachTest, HigherRuleDominatesRandomRule) {
+  const EventStream stream = syntheticAttachmentStream(0.7, 15000, 4, 4);
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, testConfig());
+  ASSERT_EQ(result.alphaHigher.size(), result.alphaRandom.size());
+  for (std::size_t i = 0; i < result.alphaHigher.size(); ++i) {
+    EXPECT_GE(result.alphaHigher.valueAt(i),
+              result.alphaRandom.valueAt(i) - 1e-9);
+  }
+}
+
+TEST(PrefAttachTest, FitQualityIsTight) {
+  const EventStream stream = syntheticAttachmentStream(1.0, 20000, 4, 5);
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, testConfig());
+  // The paper reports very small linear-space MSE; ours should be tiny
+  // too (pe values are small, so squared errors are smaller still).
+  ASSERT_FALSE(result.mseHigher.empty());
+  EXPECT_LT(result.mseHigher.lastValue(), 1e-4);
+}
+
+TEST(PrefAttachTest, SnapshotCapturedNearRequestedFraction) {
+  const EventStream stream = syntheticAttachmentStream(1.0, 20000, 4, 6);
+  PrefAttachConfig config = testConfig();
+  config.snapshotFraction = 0.5;
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, config);
+  ASSERT_FALSE(result.snapshotHigher.points.empty());
+  const double fraction = static_cast<double>(result.snapshotHigher.atEdges) /
+                          static_cast<double>(stream.edgeCount());
+  EXPECT_GT(fraction, 0.4);
+  EXPECT_LT(fraction, 0.9);
+  // pe(d) points must be positive probabilities.
+  for (const PePoint& point : result.snapshotHigher.points) {
+    EXPECT_GT(point.probability, 0.0);
+    EXPECT_LT(point.probability, 1.0);
+    EXPECT_GE(point.degree, 1.0);
+  }
+}
+
+TEST(PrefAttachTest, PolynomialApproximationProduced) {
+  const EventStream stream = syntheticAttachmentStream(0.8, 20000, 4, 7);
+  PrefAttachConfig config = testConfig();
+  config.fitEveryEdges = 5000;
+  config.polynomialDegree = 3;
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(stream, config);
+  ASSERT_EQ(result.polynomialHigher.size(), 4u);
+  // The polynomial should pass near the measured series.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < result.alphaHigher.size(); ++i) {
+    const double x = result.alphaHigher.timeAt(i) / 1e6;
+    const double predicted = evalPolynomial(result.polynomialHigher, x);
+    worst = std::max(worst,
+                     std::abs(predicted - result.alphaHigher.valueAt(i)));
+  }
+  EXPECT_LT(worst, 0.5);
+}
+
+TEST(PrefAttachTest, GeneratedTraceAlphaDecays) {
+  // The library's own generator must reproduce the paper's headline
+  // alpha(t) decay on a small trace.
+  GeneratorConfig config = GeneratorConfig::tiny(8);
+  config.days = 160.0;
+  config.merge.enabled = false;
+  config.arrival = {4.0, 0.035, 120.0};
+  // Put the PA-share decay inside the measured edge range (roughly
+  // 1.5K..60K edges at this scale).
+  config.attachment.paHalfLifeEdges = 15e3;
+  config.attachment.bestOfHalfLifeEdges = 8e3;
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  PrefAttachConfig pa;
+  pa.fitEveryEdges = 3000;
+  pa.startEdges = 1500;
+  const PrefAttachResult result = analyzePreferentialAttachment(stream, pa);
+  ASSERT_GE(result.alphaHigher.size(), 6u);
+  // Individual windows are noisy at toy scale: compare the mean of the
+  // first third against the mean of the last third.
+  const std::size_t n = result.alphaHigher.size();
+  double early = 0.0, late = 0.0;
+  const std::size_t third = n / 3;
+  for (std::size_t i = 0; i < third; ++i) {
+    early += result.alphaHigher.valueAt(i);
+    late += result.alphaHigher.valueAt(n - 1 - i);
+  }
+  EXPECT_GT(early, late);
+}
+
+TEST(PrefAttachTest, RejectsZeroWindow) {
+  PrefAttachConfig config;
+  config.fitEveryEdges = 0;
+  EXPECT_THROW((void)analyzePreferentialAttachment(EventStream{}, config),
+               std::invalid_argument);
+}
+
+TEST(PrefAttachTest, EmptyStreamIsSafe) {
+  const PrefAttachResult result =
+      analyzePreferentialAttachment(EventStream{}, testConfig());
+  EXPECT_TRUE(result.alphaHigher.empty());
+  EXPECT_TRUE(result.polynomialHigher.empty());
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,120 @@
+#include "graph/stream_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/trace_generator.h"
+
+namespace msd {
+namespace {
+
+EventStream demo() {
+  EventStream stream;
+  stream.appendNodeJoin(0.0, Origin::kMain, 1);    // 0
+  stream.appendNodeJoin(1.0, Origin::kMain, 1);    // 1
+  stream.appendEdgeAdd(2.0, 0, 1);
+  stream.appendNodeJoin(5.0, Origin::kSecond, 2);  // 2
+  stream.appendEdgeAdd(6.0, 1, 2);
+  stream.appendNodeJoin(8.0, Origin::kPostMerge, 1);  // 3
+  stream.appendEdgeAdd(9.0, 2, 3);
+  stream.appendEdgeAdd(10.0, 0, 3);
+  return stream;
+}
+
+TEST(StreamOpsTest, FilterByOriginKeepsInternalEdgesOnly) {
+  const EventStream filtered =
+      stream_ops::filterByOrigin(demo(), Origin::kMain);
+  EXPECT_NO_THROW(filtered.validate());
+  EXPECT_EQ(filtered.nodeCount(), 2u);
+  EXPECT_EQ(filtered.edgeCount(), 1u);  // only 0-1 survives
+  EXPECT_DOUBLE_EQ(filtered.at(2).time, 2.0);
+}
+
+TEST(StreamOpsTest, FilterNodesByPredicate) {
+  const EventStream filtered = stream_ops::filterNodes(
+      demo(), [](const Event& e) { return e.group == 1; });
+  // Nodes 0, 1, 3 kept; edges 0-1 and 0-3 survive; 1-2 and 2-3 dropped.
+  EXPECT_EQ(filtered.nodeCount(), 3u);
+  EXPECT_EQ(filtered.edgeCount(), 2u);
+}
+
+TEST(StreamOpsTest, SliceByTimeKeepsWindowEdgesAndEndpoints) {
+  // Window [5, 9.5): contains join of nodes 2,3 and edges at 6.0, 9.0.
+  const EventStream slice = stream_ops::sliceByTime(demo(), 5.0, 9.5);
+  EXPECT_NO_THROW(slice.validate());
+  // Node 1 (pre-window) kept as endpoint of edge 1-2; node 0 is not an
+  // endpoint of any in-window edge and is dropped.
+  EXPECT_EQ(slice.nodeCount(), 3u);
+  EXPECT_EQ(slice.edgeCount(), 2u);
+  // Pre-window endpoints are re-stamped at the window start.
+  EXPECT_DOUBLE_EQ(slice.at(0).time, 5.0);
+}
+
+TEST(StreamOpsTest, SliceDropsPreWindowEdges) {
+  const EventStream slice = stream_ops::sliceByTime(demo(), 5.0, 100.0);
+  // Edge 0-1 at t=2 is outside the window even though both endpoints
+  // survive (node 0 via edge 0-3, node 1 via edge 1-2).
+  EXPECT_EQ(slice.edgeCount(), 3u);
+}
+
+TEST(StreamOpsTest, SliceRejectsInvertedWindow) {
+  EXPECT_THROW((void)stream_ops::sliceByTime(demo(), 5.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(StreamOpsTest, RebaseShiftsToZero) {
+  EventStream stream;
+  stream.appendNodeJoin(10.0);
+  stream.appendNodeJoin(12.0);
+  stream.appendEdgeAdd(15.0, 0, 1);
+  const EventStream rebased = stream_ops::rebaseTime(stream);
+  EXPECT_DOUBLE_EQ(rebased.at(0).time, 0.0);
+  EXPECT_DOUBLE_EQ(rebased.at(2).time, 5.0);
+  EXPECT_NO_THROW(rebased.validate());
+}
+
+TEST(StreamOpsTest, RebaseEmptyIsEmpty) {
+  EXPECT_TRUE(stream_ops::rebaseTime(EventStream{}).empty());
+}
+
+TEST(StreamOpsTest, GeneratedTraceOriginSplitRoundTrips) {
+  TraceGenerator generator(GeneratorConfig::tiny(6));
+  const EventStream trace = generator.generate();
+  std::size_t mainNodes = 0, secondNodes = 0, postNodes = 0;
+  for (const Event& e : trace.events()) {
+    if (e.kind != EventKind::kNodeJoin) continue;
+    if (e.origin == Origin::kMain) ++mainNodes;
+    if (e.origin == Origin::kSecond) ++secondNodes;
+    if (e.origin == Origin::kPostMerge) ++postNodes;
+  }
+  const EventStream main = stream_ops::filterByOrigin(trace, Origin::kMain);
+  const EventStream second =
+      stream_ops::filterByOrigin(trace, Origin::kSecond);
+  const EventStream post =
+      stream_ops::filterByOrigin(trace, Origin::kPostMerge);
+  EXPECT_EQ(main.nodeCount(), mainNodes);
+  EXPECT_EQ(second.nodeCount(), secondNodes);
+  EXPECT_EQ(post.nodeCount(), postNodes);
+  EXPECT_NO_THROW(main.validate());
+  EXPECT_NO_THROW(second.validate());
+  EXPECT_NO_THROW(post.validate());
+  // The three internal edge sets cannot exceed the whole.
+  EXPECT_LE(main.edgeCount() + second.edgeCount() + post.edgeCount(),
+            trace.edgeCount());
+}
+
+TEST(StreamOpsTest, SliceOfGeneratedTraceIsValid) {
+  TraceGenerator generator(GeneratorConfig::tiny(7));
+  const EventStream trace = generator.generate();
+  const EventStream slice = stream_ops::sliceByTime(trace, 30.0, 70.0);
+  EXPECT_NO_THROW(slice.validate());
+  EXPECT_GT(slice.nodeCount(), 0u);
+  for (const Event& e : slice.events()) {
+    EXPECT_GE(e.time, 30.0 - 1e-9);
+    EXPECT_LT(e.time, 70.0);
+  }
+}
+
+}  // namespace
+}  // namespace msd

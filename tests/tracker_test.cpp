@@ -1,0 +1,235 @@
+#include "community/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace msd {
+namespace {
+
+/// Builds a graph of `cliques` disjoint cliques of the given sizes, with
+/// nodes numbered consecutively, and the matching partition.
+struct CliqueWorld {
+  Graph graph;
+  Partition partition;
+};
+
+CliqueWorld makeCliques(const std::vector<std::size_t>& sizes,
+                        std::size_t totalNodes = 0) {
+  std::size_t needed = 0;
+  for (std::size_t s : sizes) needed += s;
+  const std::size_t n = std::max(needed, totalNodes);
+  Graph g(n);
+  std::vector<CommunityId> labels(n, kNoCommunity);
+  NodeId next = 0;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    const NodeId start = next;
+    for (std::size_t i = 0; i < sizes[c]; ++i, ++next) {
+      labels[next] = static_cast<CommunityId>(c);
+      for (NodeId other = start; other < next; ++other) {
+        g.addEdge(other, next);
+      }
+    }
+  }
+  return {std::move(g), Partition(std::move(labels))};
+}
+
+TEST(TrackerTest, FirstSnapshotBirthsEverything) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  const CliqueWorld world = makeCliques({4, 5});
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+  EXPECT_EQ(tracker.communities().size(), 2u);
+  EXPECT_EQ(tracker.events().size(), 2u);
+  for (const LifecycleEvent& e : tracker.events()) {
+    EXPECT_EQ(e.kind, LifecycleKind::kBirth);
+  }
+}
+
+TEST(TrackerTest, SmallCommunitiesIgnored) {
+  CommunityTracker tracker({.minCommunitySize = 5});
+  const CliqueWorld world = makeCliques({4, 6});
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+  EXPECT_EQ(tracker.communities().size(), 1u);
+}
+
+TEST(TrackerTest, StableCommunityContinues) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  const CliqueWorld world = makeCliques({5});
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+  tracker.addSnapshot(3.0, world.graph, world.partition);
+  ASSERT_EQ(tracker.communities().size(), 1u);
+  const TrackedCommunity& community = tracker.communities()[0];
+  EXPECT_EQ(community.history.size(), 2u);
+  EXPECT_LT(community.deathDay, 0.0);
+  EXPECT_DOUBLE_EQ(community.history[1].selfSimilarity, 1.0);
+  // Transition similarity is perfect.
+  ASSERT_EQ(tracker.transitionSimilarities().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.transitionSimilarities()[0].average, 1.0);
+}
+
+TEST(TrackerTest, MergeDetectedWithStrongestTie) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  // Snapshot 0: two cliques A(6) and B(4), with 2 cross edges (strong tie).
+  CliqueWorld before = makeCliques({6, 4});
+  before.graph.addEdge(0, 6);
+  before.graph.addEdge(1, 7);
+  tracker.addSnapshot(0.0, before.graph, before.partition);
+
+  // Snapshot 1: same nodes, one community.
+  std::vector<CommunityId> mergedLabels(10, 0);
+  tracker.addSnapshot(3.0, before.graph, Partition(std::move(mergedLabels)));
+
+  // B (smaller) merged into A; A continues.
+  bool sawMerge = false;
+  for (const LifecycleEvent& e : tracker.events()) {
+    if (e.kind == LifecycleKind::kMergeDeath) {
+      sawMerge = true;
+      EXPECT_TRUE(e.strongestTie);  // A was B's only neighbor community
+      EXPECT_DOUBLE_EQ(e.day, 3.0);
+    }
+  }
+  EXPECT_TRUE(sawMerge);
+  ASSERT_EQ(tracker.mergeSizeRatios().size(), 1u);
+  EXPECT_NEAR(tracker.mergeSizeRatios()[0].ratio, 4.0 / 6.0, 1e-12);
+  // The dead community records its lifetime.
+  int dead = 0;
+  for (const TrackedCommunity& c : tracker.communities()) {
+    if (c.deathDay >= 0.0) {
+      ++dead;
+      EXPECT_EQ(c.endKind, LifecycleKind::kMergeDeath);
+      EXPECT_DOUBLE_EQ(c.lifetime(), 3.0);
+    }
+  }
+  EXPECT_EQ(dead, 1);
+}
+
+TEST(TrackerTest, StrongestTieFalseWhenMergingWithWeakNeighbor) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  // Three cliques A(6) B(4) C(5); B has 3 edges to C but only 1 to A.
+  CliqueWorld before = makeCliques({6, 4, 5});
+  before.graph.addEdge(0, 6);   // A-B weak
+  before.graph.addEdge(6, 10);  // B-C strong
+  before.graph.addEdge(7, 11);
+  before.graph.addEdge(8, 12);
+  tracker.addSnapshot(0.0, before.graph, before.partition);
+
+  // B merges into A (against the strongest tie, which was C).
+  std::vector<CommunityId> labels(15, kNoCommunity);
+  for (NodeId i = 0; i < 10; ++i) labels[i] = 0;   // A+B together
+  for (NodeId i = 10; i < 15; ++i) labels[i] = 1;  // C unchanged
+  tracker.addSnapshot(3.0, before.graph, Partition(std::move(labels)));
+
+  bool sawMerge = false;
+  for (const LifecycleEvent& e : tracker.events()) {
+    if (e.kind == LifecycleKind::kMergeDeath) {
+      sawMerge = true;
+      EXPECT_FALSE(e.strongestTie);
+    }
+  }
+  EXPECT_TRUE(sawMerge);
+}
+
+TEST(TrackerTest, SplitDetectedWithBalancedRatio) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  // Snapshot 0: one 10-clique.
+  CliqueWorld before = makeCliques({10});
+  tracker.addSnapshot(0.0, before.graph, before.partition);
+
+  // Snapshot 1: splits into 6 + 4.
+  std::vector<CommunityId> labels(10, 0);
+  for (NodeId i = 6; i < 10; ++i) labels[i] = 1;
+  tracker.addSnapshot(3.0, before.graph, Partition(std::move(labels)));
+
+  ASSERT_EQ(tracker.splitSizeRatios().size(), 1u);
+  EXPECT_NEAR(tracker.splitSizeRatios()[0].ratio, 4.0 / 6.0, 1e-12);
+  bool sawSplit = false, sawBirth = false;
+  for (const LifecycleEvent& e : tracker.events()) {
+    if (e.kind == LifecycleKind::kSplit) {
+      sawSplit = true;
+      EXPECT_EQ(e.other, 2u);  // two children
+    }
+    if (e.kind == LifecycleKind::kBirth && e.day == 3.0) sawBirth = true;
+  }
+  EXPECT_TRUE(sawSplit);
+  EXPECT_TRUE(sawBirth);  // the smaller half is a birth
+  EXPECT_EQ(tracker.communities().size(), 2u);
+}
+
+TEST(TrackerTest, DissolveWhenCommunityFallsBelowThreshold) {
+  CommunityTracker tracker({.minCommunitySize = 5});
+  CliqueWorld before = makeCliques({6, 6});
+  tracker.addSnapshot(0.0, before.graph, before.partition);
+
+  // Second snapshot: first community fragments below the size threshold.
+  std::vector<CommunityId> labels(12, kNoCommunity);
+  for (NodeId i = 0; i < 3; ++i) labels[i] = 10;
+  for (NodeId i = 3; i < 6; ++i) labels[i] = 11;
+  for (NodeId i = 6; i < 12; ++i) labels[i] = 12;
+  tracker.addSnapshot(3.0, before.graph, Partition(std::move(labels)));
+
+  bool sawDissolve = false;
+  for (const LifecycleEvent& e : tracker.events()) {
+    if (e.kind == LifecycleKind::kDissolve) sawDissolve = true;
+  }
+  EXPECT_TRUE(sawDissolve);
+}
+
+TEST(TrackerTest, MembershipReflectsLatestSnapshot) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  const CliqueWorld world = makeCliques({4, 4}, 10);
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+  const auto& membership = tracker.currentMembership();
+  ASSERT_EQ(membership.size(), 10u);
+  EXPECT_EQ(membership[0], membership[1]);
+  EXPECT_NE(membership[0], membership[4]);
+  EXPECT_EQ(membership[8], 0xffffffffu);  // outside all communities
+  EXPECT_EQ(membership[9], 0xffffffffu);
+}
+
+TEST(TrackerTest, InDegreeRatioRecorded) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  // One 4-clique with a pendant edge to an outside node.
+  CliqueWorld world = makeCliques({4}, 5);
+  world.graph.addEdge(0, 4);
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+  const TrackedCommunity& c = tracker.communities()[0];
+  ASSERT_EQ(c.history.size(), 1u);
+  // 6 internal edges; total member degree = 6*2 + 1 = 13.
+  EXPECT_NEAR(c.history[0].inDegreeRatio, 6.0 / 13.0, 1e-12);
+  EXPECT_EQ(c.history[0].size, 4u);
+}
+
+TEST(TrackerTest, RejectsNonIncreasingDays) {
+  CommunityTracker tracker;
+  const CliqueWorld world = makeCliques({12});
+  tracker.addSnapshot(1.0, world.graph, world.partition);
+  EXPECT_THROW(tracker.addSnapshot(1.0, world.graph, world.partition),
+               std::invalid_argument);
+}
+
+TEST(TrackerTest, RejectsSizeMismatch) {
+  CommunityTracker tracker;
+  const CliqueWorld world = makeCliques({12});
+  Graph bigger = world.graph;
+  bigger.addNode();
+  EXPECT_THROW(tracker.addSnapshot(0.0, bigger, world.partition),
+               std::invalid_argument);
+}
+
+TEST(TrackerTest, GrowingCommunityKeepsIdentity) {
+  CommunityTracker tracker({.minCommunitySize = 3});
+  CliqueWorld world = makeCliques({5}, 8);
+  tracker.addSnapshot(0.0, world.graph, world.partition);
+
+  // Community absorbs three more nodes.
+  std::vector<CommunityId> labels(8, 0);
+  tracker.addSnapshot(3.0, world.graph, Partition(std::move(labels)));
+  ASSERT_EQ(tracker.communities().size(), 1u);
+  const TrackedCommunity& c = tracker.communities()[0];
+  ASSERT_EQ(c.history.size(), 2u);
+  EXPECT_EQ(c.history[1].size, 8u);
+  EXPECT_NEAR(c.history[1].selfSimilarity, 5.0 / 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace msd

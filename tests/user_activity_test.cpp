@@ -1,0 +1,118 @@
+#include "analysis/user_activity.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace msd {
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// Hand-built scenario: nodes 0-2 in community 0 (size 3 -> band A),
+/// nodes 3-6 in community 1 (size 4 -> band B), nodes 7-8 outside.
+EventStream handStream() {
+  EventStream stream;
+  for (int i = 0; i < 9; ++i) stream.appendNodeJoin(0.0);
+  // Community 0: internal edges at t=1,2 plus an external edge.
+  stream.appendEdgeAdd(1.0, 0, 1);
+  stream.appendEdgeAdd(2.0, 1, 2);
+  stream.appendEdgeAdd(3.0, 0, 7);  // external for node 0
+  // Community 1: fully internal clique over t=4..9.
+  stream.appendEdgeAdd(4.0, 3, 4);
+  stream.appendEdgeAdd(5.0, 3, 5);
+  stream.appendEdgeAdd(6.0, 3, 6);
+  stream.appendEdgeAdd(7.0, 4, 5);
+  stream.appendEdgeAdd(8.0, 4, 6);
+  stream.appendEdgeAdd(9.0, 5, 6);
+  // Outsiders 7-8 link to each other late.
+  stream.appendEdgeAdd(20.0, 7, 8);
+  return stream;
+}
+
+UserActivityResult run() {
+  std::vector<std::uint32_t> membership = {0, 0, 0, 1, 1, 1, 1, kNone, kNone};
+  std::vector<std::size_t> sizes = {3, 4};
+  UserActivityConfig config;
+  config.bands = {{3, 4, "three"}, {4, 0, "four-plus"}};
+  return analyzeUserActivity(handStream(), membership, sizes, config);
+}
+
+TEST(UserActivityTest, CohortSizes) {
+  const UserActivityResult result = run();
+  EXPECT_EQ(result.allCommunity.users, 7u);
+  EXPECT_EQ(result.nonCommunity.users, 2u);
+  ASSERT_EQ(result.byBand.size(), 2u);
+  EXPECT_EQ(result.byBand[0].users, 3u);  // community 0 members
+  EXPECT_EQ(result.byBand[1].users, 4u);  // community 1 members
+}
+
+TEST(UserActivityTest, InDegreeRatioExact) {
+  const UserActivityResult result = run();
+  // Node 0: 1 of 2 edges internal; nodes 1,2: all internal; community 1:
+  // all internal. Mean for band "three" = (1/2 + 1 + 1) / 3.
+  EXPECT_NEAR(result.byBand[0].meanInDegreeRatio, (0.5 + 2.0) / 3.0, 1e-12);
+  EXPECT_NEAR(result.byBand[1].meanInDegreeRatio, 1.0, 1e-12);
+}
+
+TEST(UserActivityTest, LifetimeExact) {
+  const UserActivityResult result = run();
+  // Node 7 lifetime: 20 - 0; node 8: 20 - 0. Non-community mean = 20.
+  EXPECT_NEAR(result.nonCommunity.meanLifetime, 20.0, 1e-12);
+  // Community 1 members: last edges at t=7..9 -> lifetimes 7..9.
+  EXPECT_GT(result.byBand[1].meanLifetime, 6.9);
+  EXPECT_LT(result.byBand[1].meanLifetime, 9.1);
+}
+
+TEST(UserActivityTest, InterArrivalGapsCollected) {
+  const UserActivityResult result = run();
+  // Node 3 gaps: 1,1; node 4 gaps: 3,1; node 5: 2,2; node 6: 2,1.
+  // All community-1 gap values are in [1,3].
+  for (const CdfPoint& point : result.byBand[1].interArrivalCdf) {
+    EXPECT_GE(point.value, 1.0);
+    EXPECT_LE(point.value, 3.0);
+  }
+  // Non-community gaps: node 7 has edges at t=3 and t=20 -> one gap of
+  // 17 days; node 8 has a single edge -> none.
+  ASSERT_EQ(result.nonCommunity.interArrivalCdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.nonCommunity.interArrivalCdf[0].value, 17.0);
+}
+
+TEST(UserActivityTest, UsersWithNoEdgesExcluded) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.0);
+  stream.appendEdgeAdd(1.0, 0, 1);
+  stream.appendNodeJoin(5.0);  // never connects
+  std::vector<std::uint32_t> membership = {kNone, kNone, kNone};
+  const UserActivityResult result =
+      analyzeUserActivity(stream, membership, {});
+  EXPECT_EQ(result.nonCommunity.users, 2u);
+}
+
+TEST(UserActivityTest, MembershipTooShortThrows) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  std::vector<std::uint32_t> membership;  // too short
+  EXPECT_THROW((void)analyzeUserActivity(stream, membership, {}),
+               std::invalid_argument);
+}
+
+TEST(UserActivityTest, UnknownCommunitySizeFallsOutsideBands) {
+  EventStream stream;
+  stream.appendNodeJoin(0.0);
+  stream.appendNodeJoin(0.0);
+  stream.appendEdgeAdd(1.0, 0, 1);
+  // Membership points at community 5 but the size table is empty ->
+  // size 0 -> no band matches, still counted in allCommunity.
+  std::vector<std::uint32_t> membership = {5, 5};
+  UserActivityConfig config;
+  config.bands = {{10, 0, "10+"}};
+  const UserActivityResult result =
+      analyzeUserActivity(stream, membership, {}, config);
+  EXPECT_EQ(result.allCommunity.users, 2u);
+  EXPECT_EQ(result.byBand[0].users, 0u);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,155 @@
+#include "util/fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+TEST(FitLineTest, RecoversExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 2.0);
+  const LineFit fit = fitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.mse, 0.0, 1e-18);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasPositiveMse) {
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + rng.normal(0.0, 1.0));
+  }
+  const LineFit fit = fitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.mse, 0.0);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(FitLineTest, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fitLine(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fitLine(std::vector<double>{1.0, 1.0},
+                             std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+class PowerLawRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawRecoveryTest, RecoversExponent) {
+  const double alpha = GetParam();
+  std::vector<double> xs, ys;
+  for (int d = 1; d <= 200; ++d) {
+    xs.push_back(d);
+    ys.push_back(2.5 * std::pow(d, alpha));
+  }
+  const PowerLawFit fit = fitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.prefactor, 2.5, 1e-6);
+  EXPECT_NEAR(fit.mseLog, 0.0, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawRecoveryTest,
+                         ::testing::Values(-2.3, -1.0, 0.4, 0.65, 1.0, 1.25));
+
+TEST(PowerLawFitTest, SkipsNonPositivePoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 4.0, -1.0};
+  const std::vector<double> ys = {5.0, 1.0, 2.0, 4.0, 3.0};
+  const PowerLawFit fit = fitPowerLaw(xs, ys);  // only (1,1),(2,2),(4,4) used
+  EXPECT_NEAR(fit.alpha, 1.0, 1e-12);
+}
+
+TEST(PowerLawFitTest, WeightsChangeTheFit) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> ys = {1.0, 2.1, 3.7, 9.0};
+  const std::vector<double> uniform = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> headHeavy = {100.0, 100.0, 1.0, 1.0};
+  const PowerLawFit a = fitPowerLaw(xs, ys, uniform);
+  const PowerLawFit b = fitPowerLaw(xs, ys, headHeavy);
+  EXPECT_NE(a.alpha, b.alpha);
+}
+
+TEST(PowerLawFitTest, RejectsTooFewPoints) {
+  EXPECT_THROW((void)fitPowerLaw(std::vector<double>{1.0},
+                                 std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+class PolynomialRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialRecoveryTest, RecoversCoefficients) {
+  const int degree = GetParam();
+  std::vector<double> truth;
+  for (int i = 0; i <= degree; ++i) {
+    truth.push_back(0.5 * (i + 1) * (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 40; ++i) {
+    const double x = -2.0 + 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(evalPolynomial(truth, x));
+  }
+  const std::vector<double> fitted = fitPolynomial(xs, ys, degree);
+  ASSERT_EQ(fitted.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(fitted[i], truth[i], 1e-6) << "coefficient " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialRecoveryTest,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(PolynomialFitTest, RejectsUnderdeterminedSystem) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW((void)fitPolynomial(xs, ys, 3), std::invalid_argument);
+}
+
+TEST(EvalPolynomialTest, HornerOrder) {
+  const std::vector<double> coeffs = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(evalPolynomial(coeffs, 2.0), 17.0);
+  EXPECT_DOUBLE_EQ(evalPolynomial(coeffs, 0.0), 1.0);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+  const std::vector<double> a = {2.0, 1.0, 1.0, -1.0};
+  const std::vector<double> b = {5.0, 1.0};
+  const auto x = solveLinearSystem(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const std::vector<double> a = {0.0, 1.0, 1.0, 0.0};
+  const std::vector<double> b = {3.0, 7.0};
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, ThrowsOnSingularMatrix) {
+  const std::vector<double> a = {1.0, 2.0, 2.0, 4.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)solveLinearSystem(a, b), std::runtime_error);
+}
+
+TEST(SolveLinearSystemTest, RejectsSizeMismatch) {
+  EXPECT_THROW((void)solveLinearSystem({1.0, 2.0, 3.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,131 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // upper edge is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, DensitiesIntegrateToOne) {
+  Histogram h(0.0, 2.0, 8);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0.0, 2.0));
+  double integral = 0.0;
+  for (const DensityBin& bin : h.densities()) {
+    integral += bin.density * (bin.hi - bin.lo);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  double total = 0.0;
+  for (double f : h.fractions()) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountRejectsBadIndex) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, GeometricBinning) {
+  LogHistogram h(1.0, 1000.0, 1);  // one bin per decade
+  h.add(2.0);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  const auto bins = h.densities();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 1u);
+}
+
+TEST(LogHistogramTest, NonPositiveSamplesAreUnderflow) {
+  LogHistogram h(0.1, 10.0, 2);
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(0.05);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(LogHistogramTest, DensitiesIntegrateToOne) {
+  LogHistogram h(0.01, 100.0, 8);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.pareto(0.02, 1.3);
+    h.add(v);
+  }
+  double integral = 0.0;
+  for (const DensityBin& bin : h.densities()) {
+    integral += bin.density * (bin.hi - bin.lo);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(LogHistogramTest, ParetoSamplesGiveStraightLogLogLine) {
+  // Density of Pareto(xm=0.1, alpha) ~ x^-(alpha+1): the log-binned PDF
+  // should have slope close to -(alpha+1).
+  LogHistogram h(0.1, 1000.0, 5);
+  Rng rng(3);
+  for (int i = 0; i < 300000; ++i) h.add(rng.pareto(0.1, 1.0));
+  const auto bins = h.densities();
+  ASSERT_GE(bins.size(), 6u);
+  // Regress log density on log center over well-populated bins.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const DensityBin& bin : bins) {
+    if (bin.count < 50) continue;
+    const double lx = std::log(bin.center);
+    const double ly = std::log(bin.density);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  ASSERT_GE(n, 4);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -2.0, 0.15);
+}
+
+TEST(LogHistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(2.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

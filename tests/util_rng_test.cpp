@@ -1,0 +1,212 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace msd {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-4.0, 9.0);
+    EXPECT_GE(v, -4.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRejectsInverted) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniformInt(0), std::invalid_argument);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, ParetoRespectsMinimum) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.5, 1.1), 2.5);
+}
+
+TEST(RngTest, ParetoRejectsBadParameters) {
+  Rng rng(19);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(23);
+  const int n = 200000;
+  double total = 0.0, squares = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    total += v;
+    squares += v * v;
+  }
+  const double mean = total / n;
+  const double variance = squares / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, WeightedIndexPrefersHeavyWeight) {
+  Rng rng(31);
+  const std::vector<double> weights = {0.1, 0.1, 9.8};
+  int heavy = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weightedIndex(weights) == 2) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.98, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRejectsAllZero) {
+  Rng rng(31);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW((void)rng.weightedIndex(weights), std::invalid_argument);
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(37);
+  const auto picks = rng.sampleIndices(100, 30);
+  ASSERT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(RngTest, SampleIndicesKGreaterThanNReturnsAll) {
+  Rng rng(37);
+  const auto picks = rng.sampleIndices(5, 10);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child should not replay the parent's stream.
+  Rng reference(41);
+  reference.next();  // fork consumed one value
+  bool allEqual = true;
+  for (int i = 0; i < 16; ++i) {
+    if (child.next() != reference.next()) allEqual = false;
+  }
+  EXPECT_FALSE(allEqual);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanMatches) {
+  const double mean = GetParam();
+  Rng rng(43);
+  const int n = 50000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.poisson(mean));
+  }
+  EXPECT_NEAR(total / n, mean, std::max(0.05, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         ::testing::Values(0.3, 1.0, 5.0, 25.0, 80.0, 400.0));
+
+class ParetoTailTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoTailTest, SurvivalFollowsPowerLaw) {
+  // P(X > x) = (xm/x)^alpha; check at x = 2*xm.
+  const double alpha = GetParam();
+  Rng rng(47);
+  const int n = 200000;
+  int above = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.0, alpha) > 2.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, std::pow(0.5, alpha), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParetoTailTest,
+                         ::testing::Values(0.8, 1.1, 1.6, 2.5));
+
+}  // namespace
+}  // namespace msd

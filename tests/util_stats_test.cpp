@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace msd {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, StddevOfConstantIsZero) {
+  const std::vector<double> values = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(values), 0.0);
+}
+
+TEST(StatsTest, StddevOfKnownValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(values), 2.0, 1e-12);  // classic textbook sample
+}
+
+TEST(StatsTest, StddevOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, PearsonRejectsLengthMismatch) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> values = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.5);
+}
+
+TEST(StatsTest, PercentileRejectsEmpty) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(StatsTest, EmpiricalCdfCollapsesDuplicates) {
+  const auto cdf = empiricalCdf({1.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(StatsTest, EmpiricalCdfIsMonotone) {
+  const auto cdf = empiricalCdf({4.0, -1.0, 2.5, 2.5, 0.0, 9.0});
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(StatsTest, FractionAtOrBelow) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fractionAtOrBelow(values, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fractionAtOrBelow(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fractionAtOrBelow(values, 10.0), 1.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean(values), 1e-12);
+  EXPECT_NEAR(stats.stddev(), stddev(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace msd

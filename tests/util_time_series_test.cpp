@@ -1,0 +1,60 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace msd {
+namespace {
+
+TEST(TimeSeriesTest, StoresPointsInOrder) {
+  TimeSeries series("demo");
+  series.add(0.0, 1.0);
+  series.add(1.0, 2.0);
+  series.add(2.0, 4.0);
+  EXPECT_EQ(series.name(), "demo");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.timeAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.valueAt(2), 4.0);
+}
+
+TEST(TimeSeriesTest, EmptyBehaviour) {
+  TimeSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(10.0, -1.0), -1.0);
+  EXPECT_THROW((void)series.maxValue(), std::invalid_argument);
+  EXPECT_THROW((void)series.lastValue(), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ValueAtOrBeforeInterpolatesStepwise) {
+  TimeSeries series("s");
+  series.add(0.0, 10.0);
+  series.add(5.0, 20.0);
+  series.add(10.0, 30.0);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(-1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(4.9), 10.0);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(series.valueAtOrBefore(100.0), 30.0);
+}
+
+TEST(TimeSeriesTest, MinMaxLast) {
+  TimeSeries series("s");
+  series.add(0.0, 3.0);
+  series.add(1.0, -2.0);
+  series.add(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(series.maxValue(), 7.0);
+  EXPECT_DOUBLE_EQ(series.minValue(), -2.0);
+  EXPECT_DOUBLE_EQ(series.lastValue(), 7.0);
+}
+
+TEST(TimeSeriesTest, IndexBoundsChecked) {
+  TimeSeries series("s");
+  series.add(0.0, 1.0);
+  EXPECT_THROW((void)series.timeAt(1), std::invalid_argument);
+  EXPECT_THROW((void)series.valueAt(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,322 @@
+// msdyn — command-line front end for the library.
+//
+//   msdyn generate  --scale=renren --seed=1 --out=trace.msdb
+//   msdyn info      trace.msdb
+//   msdyn convert   trace.msdb trace.msdt
+//   msdyn metrics   trace.msdb [--day=386] [--samples=24]
+//   msdyn growth    trace.msdb --csv=growth.csv
+//   msdyn communities trace.msdb [--delta=0.04] [--step=3]
+//   msdyn merge     trace.msdb [--merge-day=386]
+//   msdyn slice     IN OUT --from=D --to=D
+//   msdyn export-temporal IN OUT.txt
+//
+// Files ending in .msdt are the text format; anything else is binary
+// (the temporal edge list is always plain "u v t" text).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/community_analysis.h"
+#include "analysis/growth.h"
+#include "analysis/merge_analysis.h"
+#include "gen/trace_generator.h"
+#include "graph/dynamic_graph.h"
+#include "graph/stream_ops.h"
+#include "io/csv.h"
+#include "io/event_io.h"
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/components.h"
+#include "metrics/degree.h"
+#include "metrics/neighborhood.h"
+#include "metrics/paths.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  const char* get(const std::string& name, const char* fallback) const {
+    for (const auto& [key, value] : options) {
+      if (key == name) return value.c_str();
+    }
+    return fallback;
+  }
+  double getDouble(const std::string& name, double fallback) const {
+    const char* raw = get(name, nullptr);
+    return raw == nullptr ? fallback : std::strtod(raw, nullptr);
+  }
+  std::uint64_t getU64(const std::string& name, std::uint64_t fallback) const {
+    const char* raw = get(name, nullptr);
+    return raw == nullptr ? fallback : std::strtoull(raw, nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.options.emplace_back(arg.substr(2), "1");
+      } else {
+        args.options.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+bool isTextPath(const std::string& path) {
+  return path.size() >= 5 && path.substr(path.size() - 5) == ".msdt";
+}
+
+EventStream loadAny(const std::string& path) {
+  return isTextPath(path) ? event_io::loadTextFile(path)
+                          : event_io::loadBinaryFile(path);
+}
+
+void saveAny(const EventStream& stream, const std::string& path) {
+  if (isTextPath(path)) {
+    event_io::saveTextFile(stream, path);
+  } else {
+    event_io::saveBinaryFile(stream, path);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: msdyn <command> [args]\n"
+               "  generate        --scale=renren|community|tiny --seed=N "
+               "--out=FILE\n"
+               "  info            FILE\n"
+               "  convert         IN OUT\n"
+               "  metrics         FILE [--day=D] [--samples=N] [--anf]\n"
+               "  growth          FILE [--csv=OUT.csv]\n"
+               "  communities     FILE [--delta=0.04] [--step=3] "
+               "[--min-size=10]\n"
+               "  merge           FILE [--merge-day=386] [--window=94]\n"
+               "  slice           IN OUT --from=D --to=D\n"
+               "  export-temporal IN OUT.txt\n");
+  return 2;
+}
+
+int cmdGenerate(const Args& args) {
+  const std::string scale = args.get("scale", "renren");
+  const std::uint64_t seed = args.getU64("seed", 1);
+  const std::string out = args.get("out", "trace.msdb");
+  GeneratorConfig config =
+      scale == "tiny"
+          ? GeneratorConfig::tiny(seed)
+          : (scale == "community" ? GeneratorConfig::communityScale(seed)
+                                  : GeneratorConfig::renren(seed));
+  Stopwatch watch;
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  saveAny(stream, out);
+  std::printf("generated %zu nodes / %zu edges over %.0f days in %.1fs -> "
+              "%s\n",
+              stream.nodeCount(), stream.edgeCount(), stream.lastTime(),
+              watch.seconds(), out.c_str());
+  return 0;
+}
+
+int cmdInfo(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  std::size_t byOrigin[3] = {0, 0, 0};
+  for (const Event& event : stream.events()) {
+    if (event.kind == EventKind::kNodeJoin) {
+      ++byOrigin[static_cast<std::size_t>(event.origin)];
+    }
+  }
+  std::printf("events:  %zu (%zu nodes, %zu edges)\n", stream.size(),
+              stream.nodeCount(), stream.edgeCount());
+  std::printf("span:    %.2f days\n", stream.lastTime());
+  std::printf("origins: %zu main, %zu second, %zu post-merge\n", byOrigin[0],
+              byOrigin[1], byOrigin[2]);
+  return 0;
+}
+
+int cmdConvert(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  saveAny(stream, args.positional[1]);
+  std::printf("wrote %zu events to %s\n", stream.size(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int cmdMetrics(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  const double day = args.getDouble("day", stream.lastTime());
+  const auto samples =
+      static_cast<std::size_t>(args.getU64("samples", 24));
+
+  Replayer replayer(stream);
+  replayer.advanceTo(day + 1.0);
+  const Graph& graph = replayer.graph().graph();
+  Rng rng(7);
+  const DegreeStats degrees = degreeStats(graph);
+  const Components components = connectedComponents(graph);
+  std::printf("snapshot at end of day %.0f\n", day);
+  std::printf("  nodes / edges:   %zu / %zu\n", graph.nodeCount(),
+              graph.edgeCount());
+  std::printf("  average degree:  %.2f (max %zu, %zu isolated)\n",
+              degrees.average, degrees.max, degrees.isolated);
+  std::printf("  components:      %zu (largest %zu)\n", components.count,
+              components.size[components.largest()]);
+  std::printf("  clustering:      %.4f\n",
+              sampledAverageClustering(graph, 500, rng));
+  std::printf("  path length:     %.3f (sampled, %zu sources)\n",
+              sampledAveragePathLength(graph, samples, rng), samples);
+  std::printf("  assortativity:   %.4f\n", degreeAssortativity(graph));
+  if (args.get("anf", nullptr) != nullptr) {
+    const NeighborhoodFunction anf = neighborhoodFunction(graph);
+    std::printf("  eff. diameter:   %.2f (ANF, 90%%)\n",
+                anf.effectiveDiameter());
+    std::printf("  mean distance:   %.3f (ANF)\n", anf.averageDistance());
+  }
+  return 0;
+}
+
+int cmdGrowth(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  const GrowthSeries growth = analyzeGrowth(stream);
+  const char* csv = args.get("csv", nullptr);
+  if (csv != nullptr) {
+    const std::vector<TimeSeries> series = {
+        growth.newNodes, growth.newEdges, growth.totalNodes,
+        growth.totalEdges, growth.nodeGrowthRate, growth.edgeGrowthRate};
+    writeSeriesCsv(csv, series);
+    std::printf("wrote %s\n", csv);
+  } else {
+    for (std::size_t i = 0; i < growth.totalNodes.size();
+         i += std::max<std::size_t>(1, growth.totalNodes.size() / 20)) {
+      std::printf("day %4.0f: %8.0f nodes %9.0f edges\n",
+                  growth.totalNodes.timeAt(i), growth.totalNodes.valueAt(i),
+                  growth.totalEdges.valueAtOrBefore(
+                      growth.totalNodes.timeAt(i)));
+    }
+  }
+  return 0;
+}
+
+int cmdCommunities(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  CommunityAnalysisConfig config;
+  config.louvain.delta = args.getDouble("delta", 0.04);
+  config.snapshotStep = args.getDouble("step", 3.0);
+  config.tracker.minCommunitySize =
+      static_cast<std::size_t>(args.getU64("min-size", 10));
+  Stopwatch watch;
+  const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+  std::printf("pipeline: %zu snapshots in %.1fs\n", result.modularity.size(),
+              watch.seconds());
+  if (!result.modularity.empty()) {
+    std::printf("modularity: first %.3f, last %.3f (min %.3f, max %.3f)\n",
+                result.modularity.valueAt(0), result.modularity.lastValue(),
+                result.modularity.minValue(), result.modularity.maxValue());
+  }
+  std::printf("tracked communities: %zu (%zu merge groups, %zu split "
+              "groups)\n",
+              result.lifetimes.size(), result.mergeRatios.size(),
+              result.splitRatios.size());
+  const MergePredictionResult prediction =
+      evaluateMergePrediction(result.mergeSamples);
+  if (prediction.testSize > 0) {
+    std::printf("merge predictor: %.0f%% merge / %.0f%% no-merge accuracy "
+                "on %zu samples\n",
+                100.0 * prediction.mergeAccuracy,
+                100.0 * prediction.noMergeAccuracy,
+                result.mergeSamples.size());
+  }
+  return 0;
+}
+
+int cmdMerge(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  MergeAnalysisConfig config;
+  config.mergeDay = args.getDouble("merge-day", 386.0);
+  config.activityWindow = args.getDouble("window", 94.0);
+  const MergeAnalysisResult result = analyzeMerge(stream, config);
+  std::printf("pre-merge users: %zu main, %zu second\n", result.mainUsers,
+              result.secondUsers);
+  std::printf("duplicates (inactive from day 0): %.1f%% main, %.1f%% "
+              "second\n",
+              100.0 * result.day0InactiveMain,
+              100.0 * result.day0InactiveSecond);
+  if (!result.activeMain.all.empty()) {
+    std::printf("active main:   %.1f%% -> %.1f%%\n",
+                result.activeMain.all.valueAt(0),
+                result.activeMain.all.lastValue());
+    std::printf("active second: %.1f%% -> %.1f%%\n",
+                result.activeSecond.all.valueAt(0),
+                result.activeSecond.all.lastValue());
+  }
+  if (!result.distanceSecondToMain.empty()) {
+    std::printf("cross-OSN distance: %.2f -> %.2f hops\n",
+                result.distanceSecondToMain.valueAt(0),
+                result.distanceSecondToMain.lastValue());
+  }
+  return 0;
+}
+
+int cmdSlice(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  const double from = args.getDouble("from", 0.0);
+  const double to = args.getDouble("to", stream.lastTime() + 1.0);
+  const EventStream slice = stream_ops::sliceByTime(stream, from, to);
+  saveAny(slice, args.positional[1]);
+  std::printf("slice [%.1f, %.1f): %zu nodes, %zu edges -> %s\n", from, to,
+              slice.nodeCount(), slice.edgeCount(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int cmdExportTemporal(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const EventStream stream = loadAny(args.positional[0]);
+  event_io::saveTemporalEdgeListFile(stream, args.positional[1]);
+  std::printf("wrote %zu temporal edges to %s\n", stream.edgeCount(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "info") return cmdInfo(args);
+    if (command == "convert") return cmdConvert(args);
+    if (command == "metrics") return cmdMetrics(args);
+    if (command == "growth") return cmdGrowth(args);
+    if (command == "communities") return cmdCommunities(args);
+    if (command == "merge") return cmdMerge(args);
+    if (command == "slice") return cmdSlice(args);
+    if (command == "export-temporal") return cmdExportTemporal(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "msdyn %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}
