@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_models.dir/baseline_models.cpp.o"
+  "CMakeFiles/baseline_models.dir/baseline_models.cpp.o.d"
+  "baseline_models"
+  "baseline_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_edge_dynamics.dir/fig2_edge_dynamics.cpp.o"
+  "CMakeFiles/fig2_edge_dynamics.dir/fig2_edge_dynamics.cpp.o.d"
+  "fig2_edge_dynamics"
+  "fig2_edge_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_edge_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pref_attach.dir/fig3_pref_attach.cpp.o"
+  "CMakeFiles/fig3_pref_attach.dir/fig3_pref_attach.cpp.o.d"
+  "fig3_pref_attach"
+  "fig3_pref_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pref_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

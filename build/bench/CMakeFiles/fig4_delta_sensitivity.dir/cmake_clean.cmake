@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_delta_sensitivity.dir/fig4_delta_sensitivity.cpp.o"
+  "CMakeFiles/fig4_delta_sensitivity.dir/fig4_delta_sensitivity.cpp.o.d"
+  "fig4_delta_sensitivity"
+  "fig4_delta_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_delta_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_community_stats.dir/fig5_community_stats.cpp.o"
+  "CMakeFiles/fig5_community_stats.dir/fig5_community_stats.cpp.o.d"
+  "fig5_community_stats"
+  "fig5_community_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_community_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

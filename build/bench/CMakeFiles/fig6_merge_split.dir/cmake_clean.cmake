@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_merge_split.dir/fig6_merge_split.cpp.o"
+  "CMakeFiles/fig6_merge_split.dir/fig6_merge_split.cpp.o.d"
+  "fig6_merge_split"
+  "fig6_merge_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_merge_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_merge_activity.dir/fig8_merge_activity.cpp.o"
+  "CMakeFiles/fig8_merge_activity.dir/fig8_merge_activity.cpp.o.d"
+  "fig8_merge_activity"
+  "fig8_merge_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_merge_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hybrid_model_fit.cpp" "examples/CMakeFiles/hybrid_model_fit.dir/hybrid_model_fit.cpp.o" "gcc" "examples/CMakeFiles/hybrid_model_fit.dir/hybrid_model_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/msd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/msd_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/msd_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/msd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/msd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_model_fit.dir/hybrid_model_fit.cpp.o"
+  "CMakeFiles/hybrid_model_fit.dir/hybrid_model_fit.cpp.o.d"
+  "hybrid_model_fit"
+  "hybrid_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

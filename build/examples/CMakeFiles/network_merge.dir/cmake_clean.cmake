@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_merge.dir/network_merge.cpp.o"
+  "CMakeFiles/network_merge.dir/network_merge.cpp.o.d"
+  "network_merge"
+  "network_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/community_analysis.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/community_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/community_analysis.cpp.o.d"
+  "/root/repo/src/analysis/diameter_over_time.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/diameter_over_time.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/diameter_over_time.cpp.o.d"
+  "/root/repo/src/analysis/edge_dynamics.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/edge_dynamics.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/edge_dynamics.cpp.o.d"
+  "/root/repo/src/analysis/growth.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/growth.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/growth.cpp.o.d"
+  "/root/repo/src/analysis/merge_analysis.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/merge_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/merge_analysis.cpp.o.d"
+  "/root/repo/src/analysis/metrics_over_time.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/metrics_over_time.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/metrics_over_time.cpp.o.d"
+  "/root/repo/src/analysis/pref_attach.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/pref_attach.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/pref_attach.cpp.o.d"
+  "/root/repo/src/analysis/user_activity.cpp" "src/analysis/CMakeFiles/msd_analysis.dir/user_activity.cpp.o" "gcc" "src/analysis/CMakeFiles/msd_analysis.dir/user_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/msd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/msd_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_analysis.dir/community_analysis.cpp.o"
+  "CMakeFiles/msd_analysis.dir/community_analysis.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/diameter_over_time.cpp.o"
+  "CMakeFiles/msd_analysis.dir/diameter_over_time.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/edge_dynamics.cpp.o"
+  "CMakeFiles/msd_analysis.dir/edge_dynamics.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/growth.cpp.o"
+  "CMakeFiles/msd_analysis.dir/growth.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/merge_analysis.cpp.o"
+  "CMakeFiles/msd_analysis.dir/merge_analysis.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/metrics_over_time.cpp.o"
+  "CMakeFiles/msd_analysis.dir/metrics_over_time.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/pref_attach.cpp.o"
+  "CMakeFiles/msd_analysis.dir/pref_attach.cpp.o.d"
+  "CMakeFiles/msd_analysis.dir/user_activity.cpp.o"
+  "CMakeFiles/msd_analysis.dir/user_activity.cpp.o.d"
+  "libmsd_analysis.a"
+  "libmsd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

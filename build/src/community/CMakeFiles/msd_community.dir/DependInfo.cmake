@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/features.cpp" "src/community/CMakeFiles/msd_community.dir/features.cpp.o" "gcc" "src/community/CMakeFiles/msd_community.dir/features.cpp.o.d"
+  "/root/repo/src/community/label_propagation.cpp" "src/community/CMakeFiles/msd_community.dir/label_propagation.cpp.o" "gcc" "src/community/CMakeFiles/msd_community.dir/label_propagation.cpp.o.d"
+  "/root/repo/src/community/louvain.cpp" "src/community/CMakeFiles/msd_community.dir/louvain.cpp.o" "gcc" "src/community/CMakeFiles/msd_community.dir/louvain.cpp.o.d"
+  "/root/repo/src/community/partition.cpp" "src/community/CMakeFiles/msd_community.dir/partition.cpp.o" "gcc" "src/community/CMakeFiles/msd_community.dir/partition.cpp.o.d"
+  "/root/repo/src/community/tracker.cpp" "src/community/CMakeFiles/msd_community.dir/tracker.cpp.o" "gcc" "src/community/CMakeFiles/msd_community.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/msd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_community.dir/features.cpp.o"
+  "CMakeFiles/msd_community.dir/features.cpp.o.d"
+  "CMakeFiles/msd_community.dir/label_propagation.cpp.o"
+  "CMakeFiles/msd_community.dir/label_propagation.cpp.o.d"
+  "CMakeFiles/msd_community.dir/louvain.cpp.o"
+  "CMakeFiles/msd_community.dir/louvain.cpp.o.d"
+  "CMakeFiles/msd_community.dir/partition.cpp.o"
+  "CMakeFiles/msd_community.dir/partition.cpp.o.d"
+  "CMakeFiles/msd_community.dir/tracker.cpp.o"
+  "CMakeFiles/msd_community.dir/tracker.cpp.o.d"
+  "libmsd_community.a"
+  "libmsd_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

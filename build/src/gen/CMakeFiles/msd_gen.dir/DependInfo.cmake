@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/baselines.cpp" "src/gen/CMakeFiles/msd_gen.dir/baselines.cpp.o" "gcc" "src/gen/CMakeFiles/msd_gen.dir/baselines.cpp.o.d"
+  "/root/repo/src/gen/calendar.cpp" "src/gen/CMakeFiles/msd_gen.dir/calendar.cpp.o" "gcc" "src/gen/CMakeFiles/msd_gen.dir/calendar.cpp.o.d"
+  "/root/repo/src/gen/config.cpp" "src/gen/CMakeFiles/msd_gen.dir/config.cpp.o" "gcc" "src/gen/CMakeFiles/msd_gen.dir/config.cpp.o.d"
+  "/root/repo/src/gen/population.cpp" "src/gen/CMakeFiles/msd_gen.dir/population.cpp.o" "gcc" "src/gen/CMakeFiles/msd_gen.dir/population.cpp.o.d"
+  "/root/repo/src/gen/trace_generator.cpp" "src/gen/CMakeFiles/msd_gen.dir/trace_generator.cpp.o" "gcc" "src/gen/CMakeFiles/msd_gen.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_gen.dir/baselines.cpp.o"
+  "CMakeFiles/msd_gen.dir/baselines.cpp.o.d"
+  "CMakeFiles/msd_gen.dir/calendar.cpp.o"
+  "CMakeFiles/msd_gen.dir/calendar.cpp.o.d"
+  "CMakeFiles/msd_gen.dir/config.cpp.o"
+  "CMakeFiles/msd_gen.dir/config.cpp.o.d"
+  "CMakeFiles/msd_gen.dir/population.cpp.o"
+  "CMakeFiles/msd_gen.dir/population.cpp.o.d"
+  "CMakeFiles/msd_gen.dir/trace_generator.cpp.o"
+  "CMakeFiles/msd_gen.dir/trace_generator.cpp.o.d"
+  "libmsd_gen.a"
+  "libmsd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/msd_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/graph/CMakeFiles/msd_graph.dir/dynamic_graph.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/event_stream.cpp" "src/graph/CMakeFiles/msd_graph.dir/event_stream.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/event_stream.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/msd_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/snapshot.cpp" "src/graph/CMakeFiles/msd_graph.dir/snapshot.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/snapshot.cpp.o.d"
+  "/root/repo/src/graph/stream_ops.cpp" "src/graph/CMakeFiles/msd_graph.dir/stream_ops.cpp.o" "gcc" "src/graph/CMakeFiles/msd_graph.dir/stream_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

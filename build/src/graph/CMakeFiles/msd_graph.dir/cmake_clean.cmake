@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_graph.dir/csr.cpp.o"
+  "CMakeFiles/msd_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/msd_graph.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/msd_graph.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/msd_graph.dir/event_stream.cpp.o"
+  "CMakeFiles/msd_graph.dir/event_stream.cpp.o.d"
+  "CMakeFiles/msd_graph.dir/graph.cpp.o"
+  "CMakeFiles/msd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/msd_graph.dir/snapshot.cpp.o"
+  "CMakeFiles/msd_graph.dir/snapshot.cpp.o.d"
+  "CMakeFiles/msd_graph.dir/stream_ops.cpp.o"
+  "CMakeFiles/msd_graph.dir/stream_ops.cpp.o.d"
+  "libmsd_graph.a"
+  "libmsd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

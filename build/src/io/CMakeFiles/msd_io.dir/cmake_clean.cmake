@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_io.dir/csv.cpp.o"
+  "CMakeFiles/msd_io.dir/csv.cpp.o.d"
+  "CMakeFiles/msd_io.dir/event_io.cpp.o"
+  "CMakeFiles/msd_io.dir/event_io.cpp.o.d"
+  "CMakeFiles/msd_io.dir/graph_io.cpp.o"
+  "CMakeFiles/msd_io.dir/graph_io.cpp.o.d"
+  "libmsd_io.a"
+  "libmsd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/assortativity.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/assortativity.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/assortativity.cpp.o.d"
+  "/root/repo/src/metrics/clustering.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/clustering.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/clustering.cpp.o.d"
+  "/root/repo/src/metrics/components.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/components.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/components.cpp.o.d"
+  "/root/repo/src/metrics/degree.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/degree.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/degree.cpp.o.d"
+  "/root/repo/src/metrics/modularity.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/modularity.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/modularity.cpp.o.d"
+  "/root/repo/src/metrics/neighborhood.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/neighborhood.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/metrics/paths.cpp" "src/metrics/CMakeFiles/msd_metrics.dir/paths.cpp.o" "gcc" "src/metrics/CMakeFiles/msd_metrics.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

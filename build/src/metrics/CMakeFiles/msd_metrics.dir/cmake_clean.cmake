@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_metrics.dir/assortativity.cpp.o"
+  "CMakeFiles/msd_metrics.dir/assortativity.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/clustering.cpp.o"
+  "CMakeFiles/msd_metrics.dir/clustering.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/components.cpp.o"
+  "CMakeFiles/msd_metrics.dir/components.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/degree.cpp.o"
+  "CMakeFiles/msd_metrics.dir/degree.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/modularity.cpp.o"
+  "CMakeFiles/msd_metrics.dir/modularity.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/neighborhood.cpp.o"
+  "CMakeFiles/msd_metrics.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/msd_metrics.dir/paths.cpp.o"
+  "CMakeFiles/msd_metrics.dir/paths.cpp.o.d"
+  "libmsd_metrics.a"
+  "libmsd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

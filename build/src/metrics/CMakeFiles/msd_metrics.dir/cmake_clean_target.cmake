@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsd_metrics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_ml.dir/scaler.cpp.o"
+  "CMakeFiles/msd_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/msd_ml.dir/svm.cpp.o"
+  "CMakeFiles/msd_ml.dir/svm.cpp.o.d"
+  "libmsd_ml.a"
+  "libmsd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

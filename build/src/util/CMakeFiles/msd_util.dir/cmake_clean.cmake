@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_util.dir/fit.cpp.o"
+  "CMakeFiles/msd_util.dir/fit.cpp.o.d"
+  "CMakeFiles/msd_util.dir/histogram.cpp.o"
+  "CMakeFiles/msd_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/msd_util.dir/rng.cpp.o"
+  "CMakeFiles/msd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/msd_util.dir/stats.cpp.o"
+  "CMakeFiles/msd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/msd_util.dir/time_series.cpp.o"
+  "CMakeFiles/msd_util.dir/time_series.cpp.o.d"
+  "libmsd_util.a"
+  "libmsd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

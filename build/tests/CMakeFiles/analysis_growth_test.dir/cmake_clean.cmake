@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_growth_test.dir/analysis_growth_test.cpp.o"
+  "CMakeFiles/analysis_growth_test.dir/analysis_growth_test.cpp.o.d"
+  "analysis_growth_test"
+  "analysis_growth_test.pdb"
+  "analysis_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_analysis_test.dir/community_analysis_test.cpp.o"
+  "CMakeFiles/community_analysis_test.dir/community_analysis_test.cpp.o.d"
+  "community_analysis_test"
+  "community_analysis_test.pdb"
+  "community_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_detection_test.dir/duplicate_detection_test.cpp.o"
+  "CMakeFiles/duplicate_detection_test.dir/duplicate_detection_test.cpp.o.d"
+  "duplicate_detection_test"
+  "duplicate_detection_test.pdb"
+  "duplicate_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_graph_test.dir/dynamic_graph_test.cpp.o"
+  "CMakeFiles/dynamic_graph_test.dir/dynamic_graph_test.cpp.o.d"
+  "dynamic_graph_test"
+  "dynamic_graph_test.pdb"
+  "dynamic_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

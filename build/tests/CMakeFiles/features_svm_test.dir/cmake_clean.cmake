@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_svm_test.dir/features_svm_test.cpp.o"
+  "CMakeFiles/features_svm_test.dir/features_svm_test.cpp.o.d"
+  "features_svm_test"
+  "features_svm_test.pdb"
+  "features_svm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_svm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_propagation_test.dir/label_propagation_test.cpp.o"
+  "CMakeFiles/label_propagation_test.dir/label_propagation_test.cpp.o.d"
+  "label_propagation_test"
+  "label_propagation_test.pdb"
+  "label_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/louvain_property_test.dir/louvain_property_test.cpp.o"
+  "CMakeFiles/louvain_property_test.dir/louvain_property_test.cpp.o.d"
+  "louvain_property_test"
+  "louvain_property_test.pdb"
+  "louvain_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/louvain_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

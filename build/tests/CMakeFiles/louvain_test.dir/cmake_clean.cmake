@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/louvain_test.dir/louvain_test.cpp.o"
+  "CMakeFiles/louvain_test.dir/louvain_test.cpp.o.d"
+  "louvain_test"
+  "louvain_test.pdb"
+  "louvain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/louvain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

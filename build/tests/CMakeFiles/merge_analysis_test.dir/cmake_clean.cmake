@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_analysis_test.dir/merge_analysis_test.cpp.o"
+  "CMakeFiles/merge_analysis_test.dir/merge_analysis_test.cpp.o.d"
+  "merge_analysis_test"
+  "merge_analysis_test.pdb"
+  "merge_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_estimator_property_test.dir/pe_estimator_property_test.cpp.o"
+  "CMakeFiles/pe_estimator_property_test.dir/pe_estimator_property_test.cpp.o.d"
+  "pe_estimator_property_test"
+  "pe_estimator_property_test.pdb"
+  "pe_estimator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_estimator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

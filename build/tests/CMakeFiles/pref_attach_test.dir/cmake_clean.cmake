@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pref_attach_test.dir/pref_attach_test.cpp.o"
+  "CMakeFiles/pref_attach_test.dir/pref_attach_test.cpp.o.d"
+  "pref_attach_test"
+  "pref_attach_test.pdb"
+  "pref_attach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pref_attach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_activity_test.dir/user_activity_test.cpp.o"
+  "CMakeFiles/user_activity_test.dir/user_activity_test.cpp.o.d"
+  "user_activity_test"
+  "user_activity_test.pdb"
+  "user_activity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_activity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fit_test.dir/util_fit_test.cpp.o"
+  "CMakeFiles/util_fit_test.dir/util_fit_test.cpp.o.d"
+  "util_fit_test"
+  "util_fit_test.pdb"
+  "util_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msdyn.dir/msdyn_cli.cpp.o"
+  "CMakeFiles/msdyn.dir/msdyn_cli.cpp.o.d"
+  "msdyn"
+  "msdyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msdyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
