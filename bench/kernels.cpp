@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <unordered_set>
+
+#include "analysis/metrics_over_time.h"
 #include "analysis/pref_attach.h"
 #include "community/louvain.h"
 #include "community/tracker.h"
@@ -15,6 +19,7 @@
 #include "metrics/assortativity.h"
 #include "metrics/clustering.h"
 #include "metrics/paths.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace msd {
@@ -105,6 +110,121 @@ void BM_SampledClustering(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampledClustering)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// The pre-rewrite localClustering: hash the neighborhood, then probe it
+// for every two-hop endpoint. Kept here as the baseline the CSR
+// merge-intersection kernel is measured against.
+double localClusteringHashBaseline(const Graph& graph, NodeId node) {
+  const auto neighbors = graph.neighbors(node);
+  const std::size_t d = neighbors.size();
+  if (d < 2) return 0.0;
+  std::unordered_set<NodeId> hood(neighbors.begin(), neighbors.end());
+  std::size_t closed = 0;
+  for (NodeId neighbor : neighbors) {
+    for (NodeId second : graph.neighbors(neighbor)) {
+      if (second != node && hood.count(second) > 0) ++closed;
+    }
+  }
+  const double possible = static_cast<double>(d) * static_cast<double>(d - 1);
+  return static_cast<double>(closed) / possible;
+}
+
+void BM_ClusteringHashBaseline(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  Rng rng(4);
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto picks = rng.sampleIndices(graph.nodeCount(), samples);
+    double total = 0.0;
+    for (std::size_t pick : picks) {
+      total += localClusteringHashBaseline(graph, static_cast<NodeId>(pick));
+    }
+    benchmark::DoNotOptimize(total / static_cast<double>(picks.size()));
+  }
+}
+BENCHMARK(BM_ClusteringHashBaseline)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ClusteringSortedCsr(benchmark::State& state) {
+  // The rewrite at one thread: isolates the algorithmic win (sorted
+  // merge-intersection, no hashing) from the parallel speedup.
+  const Graph& graph = sharedGraph();
+  setThreadCount(1);
+  static const CsrGraph csr = CsrGraph::sortedFromGraph(sharedGraph());
+  Rng rng(4);
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampledAverageClustering(csr, samples, rng));
+  }
+  (void)graph;
+  setThreadCount(0);
+}
+BENCHMARK(BM_ClusteringSortedCsr)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// --- Thread-count sweeps -------------------------------------------------
+// Each sweep runs the same kernel at 1/2/4/hardware threads so the
+// BENCH_*.json speedup trajectory is captured in one run. The thread
+// count is restored to the MSD_THREADS / hardware default afterwards.
+
+void BM_SampledPathLengthThreads(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampledAveragePathLength(graph, 16, rng));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_SampledPathLengthThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SampledClusteringThreads(benchmark::State& state) {
+  const Graph& graph = sharedGraph();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  static const CsrGraph csr = CsrGraph::sortedFromGraph(sharedGraph());
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampledAverageClustering(csr, 1000, rng));
+  }
+  (void)graph;
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_SampledClusteringThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_MetricsOverTimeThreads(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 25.0;
+  config.pathEvery = 75.0;
+  config.pathSamples = 8;
+  config.clusteringSamples = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzeMetricsOverTime(stream, config).averageDegree.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_MetricsOverTimeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Assortativity(benchmark::State& state) {
   const Graph& graph = sharedGraph();

@@ -5,9 +5,23 @@
 #include "metrics/clustering.h"
 #include "metrics/degree.h"
 #include "metrics/paths.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace msd {
+namespace {
+
+// Stream indices of the per-snapshot sampling RNGs. Each sampled metric
+// of each snapshot derives its generator as
+// Rng::stream(seed, snapshotIndex * kStreamsPerSnapshot + offset), a pure
+// function of (seed, snapshot, metric) — so the four metrics can run
+// concurrently without sharing generator state, and the series are
+// identical at any thread count.
+constexpr std::uint64_t kStreamsPerSnapshot = 2;
+constexpr std::uint64_t kClusteringStream = 0;
+constexpr std::uint64_t kPathStream = 1;
+
+}  // namespace
 
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config) {
@@ -15,25 +29,58 @@ MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                          TimeSeries("clustering"), TimeSeries("assortativity")};
   if (stream.empty()) return result;
 
-  Rng rng(config.seed);
   const SnapshotSchedule schedule =
       SnapshotSchedule::everyFor(stream, config.snapshotStep);
   double nextPathDay = 0.0;
+  std::uint64_t snapshotIndex = 0;
   forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
     const Graph& graph = dynamic.graph();
+    const std::uint64_t index = snapshotIndex++;
     if (graph.nodeCount() == 0) return;
 
-    result.averageDegree.add(day, degreeStats(graph).average);
-    result.clusteringCoefficient.add(
-        day, sampledAverageClustering(graph, config.clusteringSamples, rng));
-    if (graph.edgeCount() > 0) {
-      result.assortativity.add(day, degreeAssortativity(graph));
-    }
-    if (day >= nextPathDay && graph.edgeCount() > 0) {
-      result.averagePathLength.add(
-          day, sampledAveragePathLength(graph, config.pathSamples, rng));
-      nextPathDay = day + config.pathEvery;
-    }
+    const bool hasEdges = graph.edgeCount() > 0;
+    const bool doPath = hasEdges && day >= nextPathDay;
+    if (doPath) nextPathDay = day + config.pathEvery;
+
+    // The four Fig 1(c)-(f) metrics of one snapshot are independent given
+    // their pre-derived RNG streams; compute them concurrently and append
+    // to the series afterwards, in a fixed order.
+    double averageDegree = 0.0;
+    double clustering = 0.0;
+    double assortativity = 0.0;
+    double pathLength = 0.0;
+    parallelFor(0, 4, 1, [&](std::size_t metric) {
+      switch (metric) {
+        case 0:
+          averageDegree = degreeStats(graph).average;
+          break;
+        case 1: {
+          Rng rng = Rng::stream(config.seed,
+                                index * kStreamsPerSnapshot + kClusteringStream);
+          clustering =
+              sampledAverageClustering(graph, config.clusteringSamples, rng);
+          break;
+        }
+        case 2:
+          if (hasEdges) assortativity = degreeAssortativity(graph);
+          break;
+        case 3:
+          if (doPath) {
+            Rng rng = Rng::stream(config.seed,
+                                  index * kStreamsPerSnapshot + kPathStream);
+            pathLength =
+                sampledAveragePathLength(graph, config.pathSamples, rng);
+          }
+          break;
+        default:
+          break;
+      }
+    });
+
+    result.averageDegree.add(day, averageDegree);
+    result.clusteringCoefficient.add(day, clustering);
+    if (hasEdges) result.assortativity.add(day, assortativity);
+    if (doPath) result.averagePathLength.add(day, pathLength);
   });
   return result;
 }

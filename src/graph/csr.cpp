@@ -1,9 +1,11 @@
 #include "graph/csr.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "graph/types.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace msd {
 
@@ -22,6 +24,28 @@ CsrGraph CsrGraph::fromGraph(const Graph& graph) {
     }
   }
   return csr;
+}
+
+CsrGraph CsrGraph::sortedFromGraph(const Graph& graph) {
+  CsrGraph csr = fromGraph(graph);
+  const std::size_t n = csr.nodeCount();
+  parallelFor(0, n, 256, [&csr](std::size_t node) {
+    std::sort(csr.neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets_[node]),
+              csr.neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets_[node + 1]));
+  });
+  csr.sorted_ = true;
+  return csr;
+}
+
+bool CsrGraph::hasEdge(NodeId u, NodeId v) const {
+  require(u < nodeCount() && v < nodeCount(),
+          "CsrGraph::hasEdge: node out of range");
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const auto hood = neighbors(u);
+  if (sorted_) return std::binary_search(hood.begin(), hood.end(), v);
+  return std::find(hood.begin(), hood.end(), v) != hood.end();
 }
 
 std::span<const NodeId> CsrGraph::neighbors(NodeId node) const {

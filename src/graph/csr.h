@@ -21,6 +21,20 @@ class CsrGraph {
   /// order.
   static CsrGraph fromGraph(const Graph& graph);
 
+  /// Freezes the given graph with every neighbor list sorted ascending —
+  /// the representation the merge-intersection kernels (clustering) and
+  /// binary-search hasEdge() require. Row sorting runs on the shared
+  /// thread pool.
+  static CsrGraph sortedFromGraph(const Graph& graph);
+
+  /// True when every neighbor list is sorted ascending (always the case
+  /// for sortedFromGraph snapshots).
+  bool neighborsSorted() const { return sorted_; }
+
+  /// True when {u, v} is an edge: binary search on sorted snapshots,
+  /// linear scan of the smaller endpoint's list otherwise.
+  bool hasEdge(NodeId u, NodeId v) const;
+
   /// Number of nodes.
   std::size_t nodeCount() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
 
@@ -36,6 +50,7 @@ class CsrGraph {
  private:
   std::vector<std::uint64_t> offsets_;  // size nodeCount()+1
   std::vector<NodeId> neighbors_;
+  bool sorted_ = false;
 };
 
 /// BFS hop distances on a CSR snapshot (same semantics as

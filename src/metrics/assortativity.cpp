@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace msd {
 
 double degreeAssortativity(const Graph& graph) {
@@ -10,18 +12,40 @@ double degreeAssortativity(const Graph& graph) {
   //   r = [M^-1 sum ji*ki - (M^-1 sum (ji+ki)/2)^2] /
   //       [M^-1 sum (ji^2+ki^2)/2 - (M^-1 sum (ji+ki)/2)^2]
   if (graph.edgeCount() == 0) return 0.0;
-  double sumProduct = 0.0, sumMean = 0.0, sumSquare = 0.0;
-  graph.forEachEdge([&](NodeId u, NodeId v) {
-    const double du = static_cast<double>(graph.degree(u));
-    const double dv = static_cast<double>(graph.degree(v));
-    sumProduct += du * dv;
-    sumMean += 0.5 * (du + dv);
-    sumSquare += 0.5 * (du * du + dv * dv);
-  });
+  struct Sums {
+    double product = 0.0;
+    double mean = 0.0;
+    double square = 0.0;
+  };
+  // Node ranges in fixed chunks; each chunk owns the edges (u, v) with
+  // u < v and u in its range, so every edge is accumulated exactly once
+  // and the chunk-ordered combine is thread-count invariant.
+  const Sums sums = parallelReduce(
+      std::size_t{0}, graph.nodeCount(), std::size_t{1024}, Sums{},
+      [&graph](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        Sums partial;
+        for (NodeId u = static_cast<NodeId>(chunkBegin); u < chunkEnd; ++u) {
+          const double du = static_cast<double>(graph.degree(u));
+          for (NodeId v : graph.neighbors(u)) {
+            if (v <= u) continue;
+            const double dv = static_cast<double>(graph.degree(v));
+            partial.product += du * dv;
+            partial.mean += 0.5 * (du + dv);
+            partial.square += 0.5 * (du * du + dv * dv);
+          }
+        }
+        return partial;
+      },
+      [](Sums accumulator, Sums partial) {
+        accumulator.product += partial.product;
+        accumulator.mean += partial.mean;
+        accumulator.square += partial.square;
+        return accumulator;
+      });
   const double m = static_cast<double>(graph.edgeCount());
-  const double meanTerm = sumMean / m;
-  const double numerator = sumProduct / m - meanTerm * meanTerm;
-  const double denominator = sumSquare / m - meanTerm * meanTerm;
+  const double meanTerm = sums.mean / m;
+  const double numerator = sums.product / m - meanTerm * meanTerm;
+  const double denominator = sums.square / m - meanTerm * meanTerm;
   if (denominator == 0.0) return 0.0;
   return numerator / denominator;
 }

@@ -1,22 +1,92 @@
 #include "metrics/clustering.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace msd {
+namespace {
+
+// Chunk sizes of the deterministic reductions. Fixed constants (never
+// derived from the thread count) so the chunk decomposition — and with it
+// the floating-point combine order — is identical at any pool size.
+constexpr std::size_t kNodeSweepGrain = 256;
+constexpr std::size_t kSampleGrain = 4;
+
+/// Closed wedges at `node` on a sorted CSR snapshot: for each neighbor a,
+/// |N(node) ∩ N(a)| by linear merge of the two sorted lists. Every
+/// neighbor-neighbor edge is counted twice (see the header's wedge-count
+/// convention). `node` itself never appears in N(node), so no self-skip
+/// is needed on the intersection.
+std::size_t closedWedges(const CsrGraph& csr, NodeId node) {
+  const auto hood = csr.neighbors(node);
+  std::size_t closed = 0;
+  for (NodeId neighbor : hood) {
+    const auto other = csr.neighbors(neighbor);
+    std::size_t i = 0, j = 0;
+    while (i < hood.size() && j < other.size()) {
+      if (hood[i] < other[j]) {
+        ++i;
+      } else if (other[j] < hood[i]) {
+        ++j;
+      } else {
+        ++closed;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return closed;
+}
+
+/// Sum of local coefficients over nodes[begin..end) (or over the id range
+/// itself when nodes is null).
+double coefficientSum(const CsrGraph& csr, const std::size_t* nodes,
+                      std::size_t begin, std::size_t end) {
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto node =
+        static_cast<NodeId>(nodes == nullptr ? i : nodes[i]);
+    total += localClustering(csr, node);
+  }
+  return total;
+}
+
+/// Deterministic parallel mean of local coefficients over `count` nodes
+/// (ids taken from `nodes`, or 0..count-1 when null).
+double meanClustering(const CsrGraph& csr, const std::size_t* nodes,
+                      std::size_t count, std::size_t grain) {
+  if (count == 0) return 0.0;
+  const double total = parallelReduce(
+      std::size_t{0}, count, grain, 0.0,
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        return coefficientSum(csr, nodes, chunkBegin, chunkEnd);
+      },
+      [](double accumulator, double partial) { return accumulator + partial; });
+  return total / static_cast<double>(count);
+}
+
+}  // namespace
 
 double localClustering(const Graph& graph, NodeId node) {
   const auto neighbors = graph.neighbors(node);
   const std::size_t d = neighbors.size();
   if (d < 2) return 0.0;
 
-  // Hash the neighborhood once, then count closed wedges.
-  std::unordered_set<NodeId> hood(neighbors.begin(), neighbors.end());
+  // Sort the neighborhood once, then count closed wedges by binary search
+  // — same counts as the CSR merge-intersection kernel, without freezing
+  // the whole graph for a single node.
+  std::vector<NodeId> hood(neighbors.begin(), neighbors.end());
+  std::sort(hood.begin(), hood.end());
   std::size_t closed = 0;
   for (NodeId neighbor : neighbors) {
     for (NodeId second : graph.neighbors(neighbor)) {
-      if (second != node && hood.count(second) > 0) ++closed;
+      if (second != node &&
+          std::binary_search(hood.begin(), hood.end(), second)) {
+        ++closed;
+      }
     }
   }
   // Each neighbor-neighbor edge is seen twice in the double loop.
@@ -24,25 +94,40 @@ double localClustering(const Graph& graph, NodeId node) {
   return static_cast<double>(closed) / possible;
 }
 
+double localClustering(const CsrGraph& csr, NodeId node) {
+  require(csr.neighborsSorted(),
+          "localClustering: CSR snapshot must have sorted neighbors");
+  const std::size_t d = csr.degree(node);
+  if (d < 2) return 0.0;
+  const double possible = static_cast<double>(d) * static_cast<double>(d - 1);
+  return static_cast<double>(closedWedges(csr, node)) / possible;
+}
+
 double averageClustering(const Graph& graph) {
-  const std::size_t n = graph.nodeCount();
-  if (n == 0) return 0.0;
-  double total = 0.0;
-  for (NodeId node = 0; node < n; ++node) total += localClustering(graph, node);
-  return total / static_cast<double>(n);
+  if (graph.nodeCount() == 0) return 0.0;
+  return averageClustering(CsrGraph::sortedFromGraph(graph));
+}
+
+double averageClustering(const CsrGraph& csr) {
+  return meanClustering(csr, nullptr, csr.nodeCount(), kNodeSweepGrain);
 }
 
 double sampledAverageClustering(const Graph& graph, std::size_t samples,
                                 Rng& rng) {
-  const std::size_t n = graph.nodeCount();
+  if (graph.nodeCount() == 0) return 0.0;
+  return sampledAverageClustering(CsrGraph::sortedFromGraph(graph), samples,
+                                  rng);
+}
+
+double sampledAverageClustering(const CsrGraph& csr, std::size_t samples,
+                                Rng& rng) {
+  const std::size_t n = csr.nodeCount();
   if (n == 0) return 0.0;
-  if (samples >= n) return averageClustering(graph);
+  // Full coverage: average every node directly — no sampler round-trip,
+  // no random draws consumed.
+  if (samples >= n) return averageClustering(csr);
   const std::vector<std::size_t> picks = rng.sampleIndices(n, samples);
-  double total = 0.0;
-  for (std::size_t pick : picks) {
-    total += localClustering(graph, static_cast<NodeId>(pick));
-  }
-  return total / static_cast<double>(picks.size());
+  return meanClustering(csr, picks.data(), picks.size(), kSampleGrain);
 }
 
 }  // namespace msd

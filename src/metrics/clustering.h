@@ -2,6 +2,7 @@
 
 #include <cstddef>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -10,16 +11,38 @@ namespace msd {
 /// Local clustering coefficient of one node: existing edges among its
 /// neighbors divided by the maximum possible. Nodes with degree < 2 have
 /// coefficient 0 (the paper averages them in as zeros).
+///
+/// Wedge-count convention: the implementations count every closed wedge
+/// at the node, so each neighbor-neighbor edge contributes *twice* (once
+/// per orientation), and the denominator is correspondingly d*(d-1) =
+/// 2*C(d,2). Numerator and denominator are both doubled, leaving the
+/// coefficient itself unchanged; keep the two in sync when touching
+/// either side.
 double localClustering(const Graph& graph, NodeId node);
 
-/// Exact average clustering coefficient over all nodes. O(sum of d^2);
-/// fine up to mid-size graphs.
+/// Local clustering on a sorted CSR snapshot via merge-intersection of
+/// sorted adjacency lists — no hashing in the inner loop. Requires
+/// csr.neighborsSorted().
+double localClustering(const CsrGraph& csr, NodeId node);
+
+/// Exact average clustering coefficient over all nodes. Freezes the graph
+/// into a sorted CSR snapshot once and fans the per-node coefficients out
+/// across the shared thread pool; the reduction is deterministic (chunked
+/// in index order), so results are identical at any thread count.
 double averageClustering(const Graph& graph);
+
+/// Exact average clustering over an already-frozen sorted CSR snapshot.
+double averageClustering(const CsrGraph& csr);
 
 /// Average clustering estimated from `samples` uniformly sampled nodes,
 /// for the per-day time series on large snapshots. Exact when samples >=
-/// node count. Returns 0 for an empty graph.
+/// node count (the sampler is bypassed and no random draws are consumed).
+/// Returns 0 for an empty graph.
 double sampledAverageClustering(const Graph& graph, std::size_t samples,
+                                Rng& rng);
+
+/// Same estimate over an already-frozen sorted CSR snapshot.
+double sampledAverageClustering(const CsrGraph& csr, std::size_t samples,
                                 Rng& rng);
 
 }  // namespace msd

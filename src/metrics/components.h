@@ -20,8 +20,12 @@ struct Components {
   std::vector<NodeId> members(std::uint32_t component) const;
 };
 
-/// Computes connected components with an iterative BFS (no recursion, safe
-/// on multi-million-node graphs).
+/// Computes connected components: an iterative BFS sweep on small graphs
+/// or a single-threaded pool, and deterministic double-buffered min-label
+/// propagation on the shared thread pool for large ones. Both paths
+/// produce identical labels (components numbered by ascending minimum
+/// node id), so results never depend on the thread count. No recursion —
+/// safe on multi-million-node graphs.
 Components connectedComponents(const Graph& graph);
 
 }  // namespace msd

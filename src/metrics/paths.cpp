@@ -1,11 +1,47 @@
 #include "metrics/paths.h"
 
+#include <algorithm>
 #include <queue>
 
+#include "graph/csr.h"
 #include "metrics/components.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace msd {
+namespace {
+
+/// Reusable per-worker BFS state: a distance array plus a flat FIFO
+/// frontier. Reusing the buffers across sources removes the
+/// allocate-and-zero cost from every BFS of a sampling sweep.
+struct BfsScratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> frontier;
+
+  void reset(std::size_t nodes) {
+    dist.assign(nodes, kUnreachable);
+    frontier.clear();
+  }
+};
+
+/// BFS over a CSR snapshot into the scratch's distance array.
+void bfsInto(const CsrGraph& graph, NodeId source, BfsScratch& scratch) {
+  scratch.reset(graph.nodeCount());
+  scratch.dist[source] = 0;
+  scratch.frontier.push_back(source);
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const NodeId node = scratch.frontier[head];
+    const std::uint32_t next = scratch.dist[node] + 1;
+    for (NodeId neighbor : graph.neighbors(node)) {
+      if (scratch.dist[neighbor] == kUnreachable) {
+        scratch.dist[neighbor] = next;
+        scratch.frontier.push_back(neighbor);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<std::uint32_t> bfsDistances(const Graph& graph, NodeId source) {
   require(source < graph.nodeCount(), "bfsDistances: source out of range");
@@ -35,22 +71,46 @@ double sampledAveragePathLength(const Graph& graph, std::size_t samples,
   const std::vector<NodeId> coreNodes = components.members(core);
   if (coreNodes.size() < 2) return 0.0;
 
+  // Sources are drawn up front from the caller's generator (same draws as
+  // the sequential code); the parallel sweep below is then pure.
   const std::vector<std::size_t> picks =
       rng.sampleIndices(coreNodes.size(), samples);
 
-  double total = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t pick : picks) {
-    const std::vector<std::uint32_t> dist =
-        bfsDistances(graph, coreNodes[pick]);
-    for (NodeId node : coreNodes) {
-      if (node == coreNodes[pick]) continue;
-      // Every same-component node is reachable by construction.
-      total += static_cast<double>(dist[node]);
-      ++pairs;
-    }
-  }
-  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+  const CsrGraph csr = CsrGraph::fromGraph(graph);
+  std::vector<BfsScratch> scratch(ThreadPool::shared().workerCount());
+
+  // One BFS source per chunk; partial (sum, pairs) combined in pick order.
+  // Distances are integers, so the double accumulation is exact and the
+  // result is bit-identical at any thread count.
+  struct Partial {
+    double total = 0.0;
+    std::size_t pairs = 0;
+  };
+  const Partial result = parallelReduce(
+      std::size_t{0}, picks.size(), std::size_t{1}, Partial{},
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t worker) {
+        Partial partial;
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          const NodeId source = coreNodes[picks[i]];
+          bfsInto(csr, source, scratch[worker]);
+          const auto& dist = scratch[worker].dist;
+          for (NodeId node : coreNodes) {
+            if (node == source) continue;
+            // Every same-component node is reachable by construction.
+            partial.total += static_cast<double>(dist[node]);
+            ++partial.pairs;
+          }
+        }
+        return partial;
+      },
+      [](Partial accumulator, Partial partial) {
+        accumulator.total += partial.total;
+        accumulator.pairs += partial.pairs;
+        return accumulator;
+      });
+  return result.pairs == 0
+             ? 0.0
+             : result.total / static_cast<double>(result.pairs);
 }
 
 std::uint32_t distanceToSet(const Graph& graph, NodeId source,

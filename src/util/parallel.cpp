@@ -1,0 +1,184 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace msd {
+namespace {
+
+// Set while a thread is executing chunks of some batch; re-entrant
+// parallel calls from such a thread must run inline or they would
+// deadlock waiting for workers that are busy with the outer batch.
+thread_local bool tlsInsideParallel = false;
+
+std::size_t defaultThreadCount() {
+  if (const char* env = std::getenv("MSD_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+std::mutex gSharedMutex;
+std::size_t gConfiguredThreads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> gSharedPool;
+
+std::size_t configuredThreadsLocked() {
+  if (gConfiguredThreads == 0) gConfiguredThreads = defaultThreadCount();
+  return gConfiguredThreads;
+}
+
+}  // namespace
+
+std::size_t threadCount() {
+  std::lock_guard<std::mutex> lock(gSharedMutex);
+  return configuredThreadsLocked();
+}
+
+void setThreadCount(std::size_t count) {
+  std::lock_guard<std::mutex> lock(gSharedMutex);
+  gConfiguredThreads = count == 0 ? defaultThreadCount() : count;
+  if (gSharedPool && gSharedPool->workerCount() != gConfiguredThreads) {
+    gSharedPool.reset();  // rebuilt at the new size on next use
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  std::lock_guard<std::mutex> lock(gSharedMutex);
+  const std::size_t workers = configuredThreadsLocked();
+  if (!gSharedPool || gSharedPool->workerCount() != workers) {
+    gSharedPool = std::make_unique<ThreadPool>(workers);
+  }
+  return *gSharedPool;
+}
+
+struct ThreadPool::Batch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunkCount = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+      nullptr;
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> doneChunks{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex errorMutex;
+  std::exception_ptr error;
+  std::size_t errorChunk = 0;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers < 1) workers = 1;
+  spawned_.reserve(workers - 1);
+  for (std::size_t i = 1; i < workers; ++i) {
+    spawned_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : spawned_) thread.join();
+}
+
+void ThreadPool::runInline(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  for (std::size_t chunkBegin = begin; chunkBegin < end; chunkBegin += grain) {
+    fn(chunkBegin, std::min(end, chunkBegin + grain), 0);
+  }
+}
+
+void ThreadPool::run(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::size_t chunkCount = (end - begin + grain - 1) / grain;
+  if (tlsInsideParallel || workerCount() == 1 || chunkCount == 1) {
+    runInline(begin, end, grain, fn);
+    return;
+  }
+
+  std::lock_guard<std::mutex> runLock(runMutex_);
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->chunkCount = chunkCount;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    currentBatch_ = batch;
+    ++batchVersion_;
+  }
+  wake_.notify_all();
+
+  tlsInsideParallel = true;
+  processChunks(*batch, 0);
+  tlsInsideParallel = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [&] {
+      return batch->doneChunks.load(std::memory_order_acquire) ==
+             batch->chunkCount;
+    });
+    currentBatch_.reset();
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::workerLoop(std::size_t workerIndex) {
+  tlsInsideParallel = true;
+  std::uint64_t seenVersion = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (currentBatch_ && batchVersion_ != seenVersion);
+      });
+      if (stop_) return;
+      seenVersion = batchVersion_;
+      batch = currentBatch_;
+    }
+    processChunks(*batch, workerIndex);
+  }
+}
+
+void ThreadPool::processChunks(Batch& batch, std::size_t workerIndex) {
+  for (;;) {
+    const std::size_t chunk =
+        batch.nextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch.chunkCount) return;
+    if (!batch.cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t chunkBegin = batch.begin + chunk * batch.grain;
+      const std::size_t chunkEnd =
+          std::min(batch.end, chunkBegin + batch.grain);
+      try {
+        (*batch.fn)(chunkBegin, chunkEnd, workerIndex);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.errorMutex);
+        if (!batch.error || chunk < batch.errorChunk) {
+          batch.error = std::current_exception();
+          batch.errorChunk = chunk;
+        }
+        batch.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.doneChunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.chunkCount) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batchDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace msd

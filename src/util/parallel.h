@@ -1,0 +1,129 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace msd {
+
+/// Number of workers the shared pool runs with: the last setThreadCount()
+/// override, else the MSD_THREADS environment variable, else
+/// hardware_concurrency(). Always >= 1.
+std::size_t threadCount();
+
+/// Overrides the shared pool size (0 restores the MSD_THREADS / hardware
+/// default). The pool is rebuilt lazily on next use. Must not be called
+/// while parallel work is running.
+void setThreadCount(std::size_t count);
+
+/// A lazily-initialized pool of `workerCount() - 1` spawned threads; the
+/// calling thread participates as worker 0, so a pool of size 1 spawns
+/// nothing and runs everything inline.
+///
+/// Determinism contract: work is split into fixed chunks of `grain`
+/// consecutive indices. Chunk boundaries depend only on (begin, end,
+/// grain) — never on the worker count — so any chunk-indexed computation
+/// (see parallelReduce) produces bit-identical results at every thread
+/// count, including the inline single-threaded path.
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` threads (the caller is the remaining worker).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, spawned threads plus the calling thread.
+  std::size_t workerCount() const { return spawned_.size() + 1; }
+
+  /// The process-wide pool, sized to threadCount(). Rebuilt when the
+  /// configured size changes.
+  static ThreadPool& shared();
+
+  /// Calls fn(chunkBegin, chunkEnd, workerIndex) once per grain-sized
+  /// chunk of [begin, end). Chunks are claimed dynamically; workerIndex
+  /// is in [0, workerCount()). Blocks until every chunk completed. If a
+  /// chunk throws, remaining unclaimed chunks are skipped and the
+  /// exception from the lowest-indexed throwing chunk is rethrown here.
+  /// Re-entrant calls from inside a chunk run inline on the caller.
+  void run(std::size_t begin, std::size_t end, std::size_t grain,
+           const std::function<void(std::size_t, std::size_t, std::size_t)>&
+               fn);
+
+ private:
+  struct Batch;
+
+  void workerLoop(std::size_t workerIndex);
+  void processChunks(Batch& batch, std::size_t workerIndex);
+  static void runInline(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  std::vector<std::thread> spawned_;
+  std::mutex mutex_;                  // guards currentBatch_ / stop_
+  std::condition_variable wake_;      // workers: a new batch is available
+  std::condition_variable batchDone_; // submitter: all chunks completed
+  std::shared_ptr<Batch> currentBatch_;
+  std::uint64_t batchVersion_ = 0;
+  bool stop_ = false;
+  std::mutex runMutex_;  // serializes external run() calls
+};
+
+/// Chunked parallel loop: fn(chunkBegin, chunkEnd, workerIndex) per chunk.
+/// Use when the body wants per-worker scratch buffers or to amortize
+/// per-chunk setup.
+inline void parallelForChunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  ThreadPool::shared().run(begin, end, grain < 1 ? 1 : grain, fn);
+}
+
+/// Element-wise parallel loop: fn(i) for every i in [begin, end), in
+/// grain-sized chunks.
+template <typename Fn>
+void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 Fn&& fn) {
+  parallelForChunks(begin, end, grain,
+                    [&fn](std::size_t chunkBegin, std::size_t chunkEnd,
+                          std::size_t /*worker*/) {
+                      for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+                        fn(i);
+                      }
+                    });
+}
+
+/// Deterministic ordered reduction. chunkFn(chunkBegin, chunkEnd,
+/// workerIndex) computes one partial per grain-sized chunk; the partials
+/// are then combined *sequentially in chunk index order* via
+/// combine(accumulator, partial). Because the chunk decomposition is
+/// independent of the worker count, the result is bit-identical at any
+/// thread count (floating-point reductions included).
+template <typename T, typename ChunkFn, typename Combine>
+T parallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                 T init, ChunkFn&& chunkFn, Combine&& combine) {
+  if (end <= begin) return init;
+  if (grain < 1) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partials(chunks);
+  parallelForChunks(begin, end, grain,
+                    [&](std::size_t chunkBegin, std::size_t chunkEnd,
+                        std::size_t worker) {
+                      partials[(chunkBegin - begin) / grain] =
+                          chunkFn(chunkBegin, chunkEnd, worker);
+                    });
+  T accumulator = std::move(init);
+  for (T& partial : partials) {
+    accumulator = combine(std::move(accumulator), std::move(partial));
+  }
+  return accumulator;
+}
+
+}  // namespace msd

@@ -156,4 +156,12 @@ std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
 
 Rng Rng::fork() { return Rng(next()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Scramble the index through splitmix64 before xoring so that
+  // consecutive indices land in unrelated regions of the seed space (the
+  // Rng constructor then splitmixes the combined value again).
+  std::uint64_t x = index;
+  return Rng(seed ^ splitmix64(x));
+}
+
 }  // namespace msd

@@ -69,6 +69,13 @@ class Rng {
   /// its own stream while keeping one master seed.
   Rng fork();
 
+  /// Derives the `index`-th child stream of `seed` without touching any
+  /// generator state: seed ^ scrambled-index splitting, the idiom for
+  /// per-worker RNGs in parallel kernels. Unlike fork(), stream(s, i) is a
+  /// pure function, so concurrent workers can derive their streams in any
+  /// order and still reproduce the run exactly.
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t state_[4];
 };

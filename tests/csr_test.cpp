@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -68,6 +69,47 @@ TEST_P(CsrEquivalenceTest, BfsMatchesAdjacencyListBfs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest,
                          ::testing::Values(1, 2, 3));
+
+TEST(CsrGraphTest, SortedFromGraphSortsEveryRow) {
+  Graph g(6);
+  g.addEdge(3, 5);
+  g.addEdge(3, 1);
+  g.addEdge(3, 4);
+  g.addEdge(3, 0);
+  g.addEdge(0, 5);
+  const CsrGraph unsorted = CsrGraph::fromGraph(g);
+  EXPECT_FALSE(unsorted.neighborsSorted());
+  const CsrGraph csr = CsrGraph::sortedFromGraph(g);
+  EXPECT_TRUE(csr.neighborsSorted());
+  EXPECT_EQ(csr.edgeCount(), g.edgeCount());
+  for (NodeId node = 0; node < 6; ++node) {
+    const auto hood = csr.neighbors(node);
+    EXPECT_TRUE(std::is_sorted(hood.begin(), hood.end()));
+    ASSERT_EQ(hood.size(), g.degree(node));
+    const std::set<NodeId> expected(g.neighbors(node).begin(),
+                                    g.neighbors(node).end());
+    EXPECT_EQ(std::set<NodeId>(hood.begin(), hood.end()), expected);
+  }
+}
+
+TEST(CsrGraphTest, HasEdgeMatchesGraphOnBothOrders) {
+  Rng rng(9);
+  Graph g(100);
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(100));
+    const auto v = static_cast<NodeId>(rng.uniformInt(100));
+    if (u != v) g.addEdge(u, v);
+  }
+  const CsrGraph unsorted = CsrGraph::fromGraph(g);
+  const CsrGraph sorted = CsrGraph::sortedFromGraph(g);
+  for (NodeId u = 0; u < 100; ++u) {
+    for (NodeId v = 0; v < 100; ++v) {
+      EXPECT_EQ(unsorted.hasEdge(u, v), g.hasEdge(u, v));
+      EXPECT_EQ(sorted.hasEdge(u, v), g.hasEdge(u, v));
+    }
+  }
+  EXPECT_THROW((void)sorted.hasEdge(0, 200), std::invalid_argument);
+}
 
 TEST(CsrGraphTest, FreezesGeneratedTrace) {
   TraceGenerator generator(GeneratorConfig::tiny(4));

@@ -1,0 +1,277 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/metrics_over_time.h"
+#include "gen/trace_generator.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/clustering.h"
+#include "metrics/components.h"
+#include "metrics/paths.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(ParallelForTest, CoversEveryIndexOnceUnderOddGrains) {
+  ThreadCountGuard guard;
+  setThreadCount(4);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                            std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1237);
+    parallelFor(5, hits.size(), grain,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i < 5 ? 0 : 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  std::atomic<int> calls{0};
+  parallelFor(3, 3, 1, [&](std::size_t) { calls.fetch_add(1); });
+  parallelFor(7, 3, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  setThreadCount(4);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  parallelFor(0, 64, 1, [&](std::size_t outer) {
+    parallelFor(0, 16, 4, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadCountGuard guard;
+  setThreadCount(4);
+  EXPECT_THROW(parallelFor(0, 1000, 3,
+                           [](std::size_t i) {
+                             if (i == 501) {
+                               throw std::runtime_error("boom");
+                             }
+                           }),
+               std::runtime_error);
+  // The pool must stay usable after an exception unwound a batch.
+  std::atomic<int> calls{0};
+  parallelFor(0, 100, 7, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelReduceTest, SumsMatchSequentialUnderOddGrains) {
+  ThreadCountGuard guard;
+  setThreadCount(4);
+  const std::size_t n = 1000;
+  const std::size_t expected = n * (n - 1) / 2;
+  for (std::size_t grain : {std::size_t{1}, std::size_t{9}, std::size_t{128},
+                            std::size_t{4096}}) {
+    const std::size_t total = parallelReduce(
+        std::size_t{0}, n, grain, std::size_t{0},
+        [](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+          std::size_t partial = 0;
+          for (std::size_t i = chunkBegin; i < chunkEnd; ++i) partial += i;
+          return partial;
+        },
+        [](std::size_t accumulator, std::size_t partial) {
+          return accumulator + partial;
+        });
+    EXPECT_EQ(total, expected) << "grain " << grain;
+  }
+}
+
+TEST(ParallelReduceTest, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // A sum whose rounding depends on combine order: the fixed chunk
+  // decomposition must make it identical at every thread count.
+  std::vector<double> values(10007);
+  Rng rng(11);
+  for (double& value : values) value = rng.uniform(0.0, 1e6);
+  auto sum = [&] {
+    return parallelReduce(
+        std::size_t{0}, values.size(), std::size_t{64}, 0.0,
+        [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+          double partial = 0.0;
+          for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+            partial += values[i];
+          }
+          return partial;
+        },
+        [](double accumulator, double partial) {
+          return accumulator + partial;
+        });
+  };
+  setThreadCount(1);
+  const double sequential = sum();
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    EXPECT_EQ(sum(), sequential) << "threads " << threads;
+  }
+}
+
+TEST(ParallelReduceTest, ExceptionInChunkPropagates) {
+  ThreadCountGuard guard;
+  setThreadCount(2);
+  EXPECT_THROW(
+      parallelReduce(
+          std::size_t{0}, std::size_t{100}, std::size_t{5}, 0,
+          [](std::size_t chunkBegin, std::size_t, std::size_t) -> int {
+            if (chunkBegin == 50) throw std::invalid_argument("chunk");
+            return 1;
+          },
+          [](int accumulator, int partial) { return accumulator + partial; }),
+      std::invalid_argument);
+}
+
+TEST(RngStreamTest, PureAndIndexSeparated) {
+  Rng a = Rng::stream(42, 3);
+  Rng b = Rng::stream(42, 3);
+  Rng c = Rng::stream(42, 4);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ThreadCountTest, SetAndRestore) {
+  ThreadCountGuard guard;
+  setThreadCount(3);
+  EXPECT_EQ(threadCount(), 3u);
+  EXPECT_EQ(ThreadPool::shared().workerCount(), 3u);
+  setThreadCount(0);  // back to the MSD_THREADS / hardware default
+  EXPECT_GE(threadCount(), 1u);
+}
+
+TEST(ParallelKernelsTest, ConnectedComponentsMatchSequentialOnLargeGraph) {
+  ThreadCountGuard guard;
+  // 5000 nodes > the parallel threshold; sprinkle edges so several
+  // components of varying size exist.
+  Graph g(5000);
+  Rng rng(21);
+  for (int i = 0; i < 6000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniformInt(5000));
+    const auto v = static_cast<NodeId>(rng.uniformInt(5000));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+  setThreadCount(1);
+  const Components sequential = connectedComponents(g);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const Components parallel = connectedComponents(g);
+    ASSERT_EQ(parallel.count, sequential.count) << "threads " << threads;
+    EXPECT_EQ(parallel.label, sequential.label);
+    EXPECT_EQ(parallel.size, sequential.size);
+  }
+}
+
+TEST(ParallelKernelsTest, ClusteringIdenticalAcrossThreadCountsAndOverloads) {
+  ThreadCountGuard guard;
+  Graph g(600);
+  Rng build(31);
+  for (int i = 0; i < 4000; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(600));
+    const auto v = static_cast<NodeId>(build.uniformInt(600));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+  setThreadCount(1);
+  const double sequential = averageClustering(g);
+  const CsrGraph csr = CsrGraph::sortedFromGraph(g);
+  for (NodeId node = 0; node < 50; ++node) {
+    EXPECT_DOUBLE_EQ(localClustering(csr, node), localClustering(g, node));
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    EXPECT_EQ(averageClustering(g), sequential) << "threads " << threads;
+    Rng rng(5);
+    Rng rngSeq(5);
+    setThreadCount(1);
+    const double sampledSeq = sampledAverageClustering(g, 200, rngSeq);
+    setThreadCount(threads);
+    EXPECT_EQ(sampledAverageClustering(g, 200, rng), sampledSeq);
+  }
+}
+
+TEST(ParallelKernelsTest, SampledPathLengthIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Graph g(800);
+  Rng build(41);
+  for (int i = 0; i < 2400; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(800));
+    const auto v = static_cast<NodeId>(build.uniformInt(800));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+  setThreadCount(1);
+  Rng rngSeq(6);
+  const double sequential = sampledAveragePathLength(g, 24, rngSeq);
+  EXPECT_GT(sequential, 0.0);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    Rng rng(6);
+    EXPECT_EQ(sampledAveragePathLength(g, 24, rng), sequential)
+        << "threads " << threads;
+  }
+}
+
+void expectSeriesIdentical(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size()) << a.name();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.timeAt(i), b.timeAt(i)) << a.name() << " point " << i;
+    // Bitwise equality: EXPECT_EQ on doubles, no tolerance.
+    EXPECT_EQ(a.valueAt(i), b.valueAt(i)) << a.name() << " point " << i;
+  }
+}
+
+TEST(ParallelKernelsTest, MetricsOverTimeBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // A shortened communityScale trace keeps the test fast while exercising
+  // the exact per-snapshot pipeline of the Fig 1 bench.
+  GeneratorConfig generatorConfig = GeneratorConfig::communityScale(7);
+  generatorConfig.days = 80.0;
+  generatorConfig.merge.mergeDay = 50.0;
+  generatorConfig.merge.secondDurationDays = 40.0;
+  TraceGenerator generator(generatorConfig);
+  const EventStream stream = generator.generate();
+
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 4.0;
+  config.pathEvery = 8.0;
+  config.pathSamples = 6;
+  config.clusteringSamples = 80;
+
+  setThreadCount(1);
+  const MetricsOverTime sequential = analyzeMetricsOverTime(stream, config);
+  EXPECT_GT(sequential.averageDegree.size(), 3u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const MetricsOverTime parallel = analyzeMetricsOverTime(stream, config);
+    expectSeriesIdentical(parallel.averageDegree, sequential.averageDegree);
+    expectSeriesIdentical(parallel.averagePathLength,
+                          sequential.averagePathLength);
+    expectSeriesIdentical(parallel.clusteringCoefficient,
+                          sequential.clusteringCoefficient);
+    expectSeriesIdentical(parallel.assortativity, sequential.assortativity);
+  }
+}
+
+}  // namespace
+}  // namespace msd
