@@ -1,0 +1,169 @@
+// Thread-count sweeps of the §4 community-evolution pipeline
+// (google-benchmark): Louvain detection (cold and incremental), the
+// tracker's snapshot ingestion, the full analyzeCommunities replay, and
+// the selectDelta sweep. Each kernel runs at 1/2/4/hardware threads so
+// one run captures the whole speedup trajectory; outputs are
+// bit-identical across the sweep (community_determinism_test.cpp
+// asserts it), so every variant is doing exactly the same work.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/community_analysis.h"
+#include "community/louvain.h"
+#include "community/tracker.h"
+#include "gen/trace_generator.h"
+#include "graph/dynamic_graph.h"
+#include "graph/snapshot.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+int hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// 200-day community-scale trace shared by every sweep: long enough for
+/// tracked communities to merge and split, short enough for a bench run.
+const EventStream& sharedTrace() {
+  static const EventStream stream = [] {
+    GeneratorConfig config = GeneratorConfig::communityScale(7);
+    config.days = 200.0;
+    config.merge.mergeDay = 120.0;
+    config.merge.secondDurationDays = 100.0;
+    TraceGenerator generator(config);
+    return generator.generate();
+  }();
+  return stream;
+}
+
+/// The final graph of the shared trace (the heaviest single snapshot).
+const Graph& finalGraph() {
+  static const Graph graph = [] {
+    Replayer replayer(sharedTrace());
+    replayer.advanceToEnd();
+    return replayer.graph().graph();
+  }();
+  return graph;
+}
+
+void BM_LouvainColdThreads(benchmark::State& state) {
+  const Graph& graph = finalGraph();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  LouvainConfig config;
+  config.delta = 0.04;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvain(graph, config).modularity);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_LouvainColdThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardwareThreads())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_LouvainIncrementalThreads(benchmark::State& state) {
+  const Graph& graph = finalGraph();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  LouvainConfig config;
+  config.delta = 0.04;
+  static const LouvainResult seedResult = louvain(finalGraph(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        louvain(graph, config, &seedResult.partition).modularity);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_LouvainIncrementalThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardwareThreads())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_TrackerAddSnapshotThreads(benchmark::State& state) {
+  const Graph& graph = finalGraph();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  LouvainConfig config;
+  config.delta = 0.04;
+  static const LouvainResult detection = louvain(finalGraph(), config);
+  for (auto _ : state) {
+    CommunityTracker tracker;
+    tracker.addSnapshot(1.0, graph, detection.partition);
+    tracker.addSnapshot(2.0, graph, detection.partition);
+    benchmark::DoNotOptimize(tracker.communities().size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_TrackerAddSnapshotThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardwareThreads())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_AnalyzeCommunitiesThreads(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  CommunityAnalysisConfig config;
+  config.startDay = 30.0;
+  config.snapshotStep = 6.0;
+  config.sizeDistributionDays = {100.0, 180.0};
+  config.excludeBirthLo = 119.0;
+  config.excludeBirthHi = 123.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzeCommunities(stream, config).modularity.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_AnalyzeCommunitiesThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardwareThreads())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SelectDeltaThreads(benchmark::State& state) {
+  // The acceptance kernel: the sweep re-runs the whole pipeline once per
+  // candidate, so candidate-level concurrency should approach
+  // min(candidates, threads) x wall-clock speedup.
+  const EventStream& stream = sharedTrace();
+  setThreadCount(static_cast<std::size_t>(state.range(0)));
+  CommunityAnalysisConfig config;
+  config.startDay = 30.0;
+  config.snapshotStep = 12.0;
+  config.sizeDistributionDays = {};
+  const std::vector<double> candidates = {0.0001, 0.01, 0.04, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selectDelta(stream, candidates, config).best);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  setThreadCount(0);
+}
+BENCHMARK(BM_SelectDeltaThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardwareThreads())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace msd
+
+BENCHMARK_MAIN();

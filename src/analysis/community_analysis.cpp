@@ -2,16 +2,113 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "graph/snapshot.h"
 #include "metrics/modularity.h"
 #include "ml/scaler.h"
 #include "ml/svm.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/rng.h"
 
 namespace msd {
+namespace {
+
+/// Two-stage snapshot pipeline: a producer thread replays the stream and
+/// materializes each scheduled snapshot's Graph copy into a single
+/// bounded slot while the consumer runs Louvain + tracking on the
+/// previous snapshot. The consumer sees exactly the graphs the plain
+/// sequential replay would produce, in the same order — the pipeline
+/// changes wall-clock overlap, never results.
+class SnapshotPipeline {
+ public:
+  SnapshotPipeline(const EventStream& stream, const SnapshotSchedule& schedule)
+      : schedule_(schedule),
+        producer_([this, &stream] { produce(stream); }) {}
+
+  ~SnapshotPipeline() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      abort_ = true;
+    }
+    slotFreed_.notify_all();
+    producer_.join();
+  }
+
+  /// Pops the next materialized snapshot. Returns false when the
+  /// schedule is exhausted.
+  bool next(Day* day, Graph* graph) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slotFilled_.wait(lock, [&] { return full_ || finished_; });
+    if (!full_) return false;
+    *day = slotDay_;
+    *graph = std::move(slotGraph_);
+    slotGraph_ = Graph();
+    full_ = false;
+    slotFreed_.notify_all();
+    return true;
+  }
+
+ private:
+  void produce(const EventStream& stream) {
+    Replayer replayer(stream);
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+      const Day day = schedule_.dayAt(i);
+      replayer.advanceTo(day + 1.0);
+      Graph copy = replayer.graph().graph();
+      std::unique_lock<std::mutex> lock(mutex_);
+      slotFreed_.wait(lock, [&] { return !full_ || abort_; });
+      if (abort_) return;
+      slotDay_ = day;
+      slotGraph_ = std::move(copy);
+      full_ = true;
+      slotFilled_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished_ = true;
+    slotFilled_.notify_all();
+  }
+
+  SnapshotSchedule schedule_;
+  std::mutex mutex_;
+  std::condition_variable slotFilled_;  // consumer: a snapshot is ready
+  std::condition_variable slotFreed_;   // producer: the slot was drained
+  Day slotDay_ = 0.0;
+  Graph slotGraph_;
+  bool full_ = false;
+  bool finished_ = false;
+  bool abort_ = false;
+  std::thread producer_;  // last member: starts after the state above
+};
+
+/// Drives `visit(day, graph)` over every scheduled snapshot. With more
+/// than one configured thread the graphs are materialized by the
+/// pipeline's producer thread, overlapping replay + copy with the
+/// consumer's detection work; single-threaded runs keep the zero-copy
+/// sequential replay. Both paths feed identical graphs in identical
+/// order.
+template <typename Visitor>
+void forEachSnapshotPipelined(const EventStream& stream,
+                              const SnapshotSchedule& schedule,
+                              Visitor&& visit) {
+  if (threadCount() <= 1) {
+    forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
+      visit(day, dynamic.graph());
+    });
+    return;
+  }
+  SnapshotPipeline pipeline(stream, schedule);
+  Day day = 0.0;
+  Graph graph;
+  while (pipeline.next(&day, &graph)) visit(day, graph);
+}
+
+}  // namespace
 
 CommunityAnalysisResult analyzeCommunities(
     const EventStream& stream, const CommunityAnalysisConfig& config) {
@@ -37,8 +134,7 @@ CommunityAnalysisResult analyzeCommunities(
 
   const SnapshotSchedule schedule(config.startDay, lastDay,
                                   config.snapshotStep);
-  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
-    const Graph& graph = dynamic.graph();
+  forEachSnapshotPipelined(stream, schedule, [&](Day day, const Graph& graph) {
     if (graph.edgeCount() == 0) return;
 
     const LouvainResult detection =
@@ -193,15 +289,26 @@ DeltaSelection selectDelta(const EventStream& stream,
                            CommunityAnalysisConfig config) {
   require(!candidates.empty(), "selectDelta: need at least one candidate");
   DeltaSelection selection;
-  for (double delta : candidates) {
-    config.louvain.delta = delta;
-    const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+  selection.scores.resize(candidates.size());
+  // Each candidate re-runs the full pipeline independently; run them
+  // concurrently on the shared pool, one candidate per chunk. Candidate i
+  // derives its Louvain seed as the i-th child stream of the configured
+  // seed — a pure function of (seed, i), so the sweep is reproducible at
+  // any thread count and in any execution order. Nested parallel calls
+  // inside each candidate run inline on its worker.
+  parallelFor(0, candidates.size(), 1, [&](std::size_t i) {
+    CommunityAnalysisConfig candidateConfig = config;
+    candidateConfig.louvain.delta = candidates[i];
+    candidateConfig.louvain.seed =
+        Rng::stream(config.louvain.seed, static_cast<std::uint64_t>(i)).next();
+    const CommunityAnalysisResult result =
+        analyzeCommunities(stream, candidateConfig);
     DeltaScore score;
-    score.delta = delta;
+    score.delta = candidates[i];
     score.meanModularity = mean(result.modularity.values());
     score.meanSimilarity = mean(result.avgSimilarity.values());
-    selection.scores.push_back(score);
-  }
+    selection.scores[i] = score;
+  });
   // Min-max normalize each metric over the candidate set, then balance.
   auto normalize = [&](auto accessor) {
     double lo = 1e300, hi = -1e300;

@@ -58,6 +58,13 @@ struct CommunityAnalysisResult {
 /// Runs the full community pipeline: incremental Louvain on every
 /// snapshot, similarity-based tracking, lifecycle statistics, and
 /// merge-prediction sample extraction.
+///
+/// Threading: with more than one configured thread (util/parallel.h) the
+/// per-snapshot graphs are materialized by a producer thread that runs
+/// ahead of the detection/tracking consumer, and the Louvain + tracker
+/// kernels themselves run on the shared pool. Every reduction is
+/// chunk-ordered, so the result is bit-identical at any thread count,
+/// including 1 (asserted by community_determinism_test.cpp).
 CommunityAnalysisResult analyzeCommunities(
     const EventStream& stream, const CommunityAnalysisConfig& config = {});
 
@@ -108,6 +115,11 @@ struct DeltaSelection {
 /// (robustness), and pick the candidate with the best balance — here the
 /// sum of both metrics min-max-normalized over the candidate set.
 /// `config.louvain.delta` is overridden per candidate.
+///
+/// Candidates run concurrently on the shared pool, each replaying its
+/// own pipeline with `config.louvain.seed` replaced by the candidate's
+/// Rng::stream(seed, index) child stream — a pure per-candidate seed, so
+/// scores and the selected delta are bit-identical at any thread count.
 DeltaSelection selectDelta(const EventStream& stream,
                            const std::vector<double>& candidates,
                            CommunityAnalysisConfig config = {});

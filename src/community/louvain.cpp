@@ -6,10 +6,21 @@
 
 #include "metrics/modularity.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace msd {
 namespace {
+
+/// Grain of the embarrassingly parallel per-node loops (degree
+/// computation, input lifting). Each index writes only its own slot, so
+/// the grain affects scheduling, never results.
+constexpr std::size_t kNodeGrain = 4096;
+
+/// Grain of the per-community aggregation loop. Every community's coarse
+/// row is computed independently from read-only inputs, so the output is
+/// identical to the sequential scan at any thread count.
+constexpr std::size_t kCommunityGrain = 256;
 
 /// Weighted multigraph used for the aggregation levels. Self-loops carry
 /// the internal weight of collapsed communities.
@@ -31,17 +42,87 @@ WeightedGraph liftInputGraph(const Graph& graph) {
   WeightedGraph lifted;
   lifted.adjacency.resize(graph.nodeCount());
   lifted.selfLoop.assign(graph.nodeCount(), 0.0);
-  for (NodeId u = 0; u < graph.nodeCount(); ++u) {
+  parallelFor(0, graph.nodeCount(), kNodeGrain, [&](std::size_t node) {
+    const auto u = static_cast<NodeId>(node);
     const auto neighbors = graph.neighbors(u);
     lifted.adjacency[u].reserve(neighbors.size());
     for (NodeId v : neighbors) lifted.adjacency[u].emplace_back(v, 1.0);
-  }
+  });
   lifted.totalWeight = static_cast<double>(graph.edgeCount());
   return lifted;
 }
 
+/// Scratch of one worker's neighbor-weight accumulation: a dense weight
+/// row plus the list of touched communities (for O(touched) reset).
+struct ScanScratch {
+  std::vector<double> weight;
+  std::vector<std::uint32_t> touched;
+
+  void ensureSize(std::size_t n) {
+    if (weight.size() < n) weight.assign(n, 0.0);
+  }
+};
+
+/// Accumulates the edge weight from `node` towards each neighboring
+/// community into (weightTo, touched), in first-encounter order.
+///
+/// Hub nodes (degree >= config.parallelScanThreshold) are scanned as
+/// grain-sized adjacency chunks in parallel: each chunk produces its
+/// local (community, weight) pairs, and the partials are folded in chunk
+/// index order — a fixed decomposition, so the accumulated floats (and
+/// hence the move decisions) are bit-identical at any thread count.
+void accumulateNeighborWeights(
+    const WeightedGraph& graph, std::uint32_t node,
+    const std::vector<std::uint32_t>& labels, const LouvainConfig& config,
+    WorkerScratch<ScanScratch>& scratch, std::vector<double>& weightTo,
+    std::vector<std::uint32_t>& touched) {
+  const auto& adjacency = graph.adjacency[node];
+  if (adjacency.size() < config.parallelScanThreshold) {
+    for (const auto& [neighbor, weight] : adjacency) {
+      const std::uint32_t community = labels[neighbor];
+      if (weightTo[community] == 0.0) touched.push_back(community);
+      weightTo[community] += weight;
+    }
+    return;
+  }
+
+  const std::size_t grain = config.parallelScanThreshold;
+  const std::size_t chunks = (adjacency.size() + grain - 1) / grain;
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> partials(chunks);
+  parallelForChunks(
+      0, adjacency.size(), grain,
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t worker) {
+        ScanScratch& local = scratch.at(worker);
+        local.ensureSize(graph.nodeCount());
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          const std::uint32_t community = labels[adjacency[i].first];
+          if (local.weight[community] == 0.0) {
+            local.touched.push_back(community);
+          }
+          local.weight[community] += adjacency[i].second;
+        }
+        auto& out = partials[chunkBegin / grain];
+        out.reserve(local.touched.size());
+        for (std::uint32_t community : local.touched) {
+          out.emplace_back(community, local.weight[community]);
+          local.weight[community] = 0.0;
+        }
+        local.touched.clear();
+      });
+  for (const auto& partial : partials) {
+    for (const auto& [community, weight] : partial) {
+      if (weightTo[community] == 0.0) touched.push_back(community);
+      weightTo[community] += weight;
+    }
+  }
+}
+
 /// One level of local moves. `labels` is the per-node community
 /// assignment, updated in place; returns the total modularity gain.
+///
+/// The node visit order (and therefore the partition) is identical to
+/// the sequential algorithm: moves are applied one node at a time in
+/// shuffled order. Only the per-node accumulations run concurrently.
 double localMovePhase(const WeightedGraph& graph,
                       std::vector<std::uint32_t>& labels,
                       const LouvainConfig& config, Rng& rng, bool* anyMove) {
@@ -50,11 +131,15 @@ double localMovePhase(const WeightedGraph& graph,
   if (n == 0 || graph.totalWeight <= 0.0) return 0.0;
   const double m = graph.totalWeight;
 
-  // Total weighted degree per community.
+  // Total weighted degree per node, then per community. The per-node pass
+  // is independent per slot; the community accumulation keeps the
+  // sequential node order so its float sums are exactly reproducible.
   std::vector<double> communityDegree(n, 0.0);
   std::vector<double> nodeDegree(n, 0.0);
+  parallelFor(0, n, kNodeGrain, [&](std::size_t node) {
+    nodeDegree[node] = graph.weightedDegree(static_cast<std::uint32_t>(node));
+  });
   for (std::uint32_t node = 0; node < n; ++node) {
-    nodeDegree[node] = graph.weightedDegree(node);
     communityDegree[labels[node]] += nodeDegree[node];
   }
 
@@ -65,6 +150,7 @@ double localMovePhase(const WeightedGraph& graph,
   // Scratch accumulator of edge weight towards each neighboring community.
   std::vector<double> weightTo(n, 0.0);
   std::vector<std::uint32_t> touched;
+  WorkerScratch<ScanScratch> scanScratch;
 
   double totalGain = 0.0;
   for (int pass = 0; pass < config.maxPassesPerLevel; ++pass) {
@@ -73,26 +159,63 @@ double localMovePhase(const WeightedGraph& graph,
       const std::uint32_t home = labels[node];
 
       touched.clear();
-      for (const auto& [neighbor, weight] : graph.adjacency[node]) {
-        const std::uint32_t community = labels[neighbor];
-        if (weightTo[community] == 0.0) touched.push_back(community);
-        weightTo[community] += weight;
-      }
+      accumulateNeighborWeights(graph, node, labels, config, scanScratch,
+                                weightTo, touched);
       if (weightTo[home] == 0.0) touched.push_back(home);  // allow staying
 
-      // Evaluate moving `node` out of `home` into each candidate.
+      // Evaluate moving `node` out of `home` into each candidate. The
+      // scan over candidates is a max-reduction; for hub nodes it runs
+      // chunked with first-encounter tie-breaking preserved by combining
+      // chunk maxima in index order under strict `>`.
       communityDegree[home] -= nodeDegree[node];
       const double degreeScale = nodeDegree[node] / (2.0 * m * m);
       double bestGain = weightTo[home] / m - degreeScale * communityDegree[home];
       std::uint32_t bestCommunity = home;
       const double stayGain = bestGain;
-      for (std::uint32_t community : touched) {
-        if (community == home) continue;
-        const double gain =
-            weightTo[community] / m - degreeScale * communityDegree[community];
-        if (gain > bestGain) {
-          bestGain = gain;
-          bestCommunity = community;
+      if (touched.size() < config.parallelScanThreshold) {
+        for (std::uint32_t community : touched) {
+          if (community == home) continue;
+          const double gain =
+              weightTo[community] / m - degreeScale * communityDegree[community];
+          if (gain > bestGain) {
+            bestGain = gain;
+            bestCommunity = community;
+          }
+        }
+      } else {
+        const std::size_t grain = config.parallelScanThreshold;
+        struct Best {
+          double gain = -1e300;
+          std::uint32_t community = 0;
+          bool any = false;
+        };
+        const Best best = parallelReduce(
+            std::size_t{0}, touched.size(), grain, Best{},
+            [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+              Best local;
+              for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+                const std::uint32_t community = touched[i];
+                if (community == home) continue;
+                const double gain = weightTo[community] / m -
+                                    degreeScale * communityDegree[community];
+                if (!local.any || gain > local.gain) {
+                  local.gain = gain;
+                  local.community = community;
+                  local.any = true;
+                }
+              }
+              return local;
+            },
+            [](Best accumulator, Best partial) {
+              if (partial.any &&
+                  (!accumulator.any || partial.gain > accumulator.gain)) {
+                return partial;
+              }
+              return accumulator;
+            });
+        if (best.any && best.gain > bestGain) {
+          bestGain = best.gain;
+          bestCommunity = best.community;
         }
       }
       communityDegree[bestCommunity] += nodeDegree[node];
@@ -111,6 +234,10 @@ double localMovePhase(const WeightedGraph& graph,
 
 /// Collapses each community into one node of a new weighted graph.
 /// `labels` must be dense (renumbered 0..k-1).
+///
+/// Communities are processed concurrently — each one's coarse row
+/// depends only on read-only inputs and member order, so the output is
+/// the same as the sequential scan at every thread count.
 WeightedGraph aggregate(const WeightedGraph& graph,
                         const std::vector<std::uint32_t>& labels,
                         std::size_t communities) {
@@ -119,40 +246,45 @@ WeightedGraph aggregate(const WeightedGraph& graph,
   coarse.selfLoop.assign(communities, 0.0);
   coarse.totalWeight = graph.totalWeight;
 
-  // Accumulate inter-community weights with a scratch row per source.
-  std::vector<double> rowWeight(communities, 0.0);
-  std::vector<std::uint32_t> touched;
-
   std::vector<std::vector<std::uint32_t>> membersOf(communities);
   for (std::uint32_t node = 0; node < graph.nodeCount(); ++node) {
     membersOf[labels[node]].push_back(node);
   }
 
-  for (std::uint32_t community = 0; community < communities; ++community) {
-    touched.clear();
-    double internal = 0.0;
-    for (std::uint32_t node : membersOf[community]) {
-      internal += graph.selfLoop[node];
-      for (const auto& [neighbor, weight] : graph.adjacency[node]) {
-        const std::uint32_t neighborCommunity = labels[neighbor];
-        if (neighborCommunity == community) {
-          internal += 0.5 * weight;  // each internal edge seen twice
-        } else {
-          if (rowWeight[neighborCommunity] == 0.0) {
-            touched.push_back(neighborCommunity);
+  // Per-worker scratch row of inter-community weights.
+  WorkerScratch<ScanScratch> scratch;
+  parallelForChunks(
+      0, communities, kCommunityGrain,
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t worker) {
+        ScanScratch& local = scratch.at(worker);
+        local.ensureSize(communities);
+        for (std::size_t c = chunkBegin; c < chunkEnd; ++c) {
+          const auto community = static_cast<std::uint32_t>(c);
+          double internal = 0.0;
+          for (std::uint32_t node : membersOf[community]) {
+            internal += graph.selfLoop[node];
+            for (const auto& [neighbor, weight] : graph.adjacency[node]) {
+              const std::uint32_t neighborCommunity = labels[neighbor];
+              if (neighborCommunity == community) {
+                internal += 0.5 * weight;  // each internal edge seen twice
+              } else {
+                if (local.weight[neighborCommunity] == 0.0) {
+                  local.touched.push_back(neighborCommunity);
+                }
+                local.weight[neighborCommunity] += weight;
+              }
+            }
           }
-          rowWeight[neighborCommunity] += weight;
+          coarse.selfLoop[community] = internal;
+          coarse.adjacency[community].reserve(local.touched.size());
+          for (std::uint32_t neighborCommunity : local.touched) {
+            coarse.adjacency[community].emplace_back(
+                neighborCommunity, local.weight[neighborCommunity]);
+            local.weight[neighborCommunity] = 0.0;
+          }
+          local.touched.clear();
         }
-      }
-    }
-    coarse.selfLoop[community] = internal;
-    coarse.adjacency[community].reserve(touched.size());
-    for (std::uint32_t neighborCommunity : touched) {
-      coarse.adjacency[community].emplace_back(neighborCommunity,
-                                               rowWeight[neighborCommunity]);
-      rowWeight[neighborCommunity] = 0.0;
-    }
-  }
+      });
   return coarse;
 }
 
@@ -175,6 +307,8 @@ std::size_t renumberInPlace(std::vector<std::uint32_t>& labels) {
 LouvainResult louvain(const Graph& graph, const LouvainConfig& config,
                       const Partition* seed) {
   require(config.delta >= 0.0, "louvain: delta must be non-negative");
+  require(config.parallelScanThreshold >= 1,
+          "louvain: parallelScanThreshold must be >= 1");
   const std::size_t n = graph.nodeCount();
 
   // node -> community on the ORIGINAL graph, refined level by level.

@@ -23,6 +23,17 @@ struct LouvainConfig {
   /// Seed for the node-visit shuffling (Louvain output is order-dependent;
   /// a fixed seed keeps runs reproducible).
   std::uint64_t seed = 42;
+
+  /// Nodes whose (current-level) degree reaches this threshold have their
+  /// neighbor-weight accumulation and modularity-gain scan run as
+  /// chunk-ordered parallel reductions (chunk size = the threshold
+  /// itself); lighter nodes keep the plain sequential scan. The chunk
+  /// decomposition depends only on this value — never on the worker
+  /// count — so results are bit-identical at any thread count. Changing
+  /// the threshold may change float summation order and thus the
+  /// partition, so it is part of the reproducibility contract along with
+  /// `seed`.
+  std::size_t parallelScanThreshold = 4096;
 };
 
 /// Output of one Louvain run.
@@ -41,6 +52,13 @@ struct LouvainResult {
 /// singletons; kNoCommunity entries also start as singletons).
 ///
 /// Isolated nodes end up in singleton communities.
+///
+/// Threading: the heavy inner loops (input lifting, per-node weighted
+/// degrees, per-community aggregation, hub-node neighbor scans, and the
+/// final modularity evaluation) run on the shared pool (util/parallel.h)
+/// while the local-move order stays strictly sequential, so the returned
+/// partition is a pure function of (graph, config, seed) and is
+/// bit-identical at any thread count.
 LouvainResult louvain(const Graph& graph, const LouvainConfig& config = {},
                       const Partition* seed = nullptr);
 

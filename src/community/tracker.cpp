@@ -6,17 +6,31 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace msd {
 namespace {
 
 constexpr std::uint32_t kNone = 0xffffffffu;
 
+/// Node-chunk grain of the parallel snapshot scans. The decomposition is
+/// fixed (independent of the worker count) and every merged quantity is
+/// an integer-valued count, so the merged totals equal the sequential
+/// ones exactly.
+constexpr std::size_t kNodeGrain = 8192;
+
 /// Per-community structure stats of one snapshot.
 struct SnapshotStats {
   std::vector<double> internalEdges;
   std::vector<double> totalDegree;
   std::vector<std::uint32_t> strongestTie;  // local id with max edges to us
+};
+
+/// One chunk's contribution to the snapshot stats.
+struct StatsPartial {
+  std::vector<double> internalEdges;
+  std::vector<double> totalDegree;
+  std::unordered_map<std::uint64_t, double> between;
 };
 
 SnapshotStats computeStats(const Graph& graph,
@@ -27,33 +41,60 @@ SnapshotStats computeStats(const Graph& graph,
   stats.totalDegree.assign(communityCount, 0.0);
   stats.strongestTie.assign(communityCount, kNone);
 
-  // Inter-community edge weights, keyed (min, max) pair.
-  std::unordered_map<std::uint64_t, double> between;
-  graph.forEachEdge([&](NodeId u, NodeId v) {
-    const CommunityId cu = u < labels.size() ? labels[u] : kNoCommunity;
-    const CommunityId cv = v < labels.size() ? labels[v] : kNoCommunity;
-    if (cu == kNoCommunity || cv == kNoCommunity) return;
-    if (cu == cv) {
-      stats.internalEdges[cu] += 1.0;
-    } else {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(std::min(cu, cv)) << 32) |
-          std::max(cu, cv);
-      between[key] += 1.0;
-    }
-  });
-  for (NodeId node = 0; node < graph.nodeCount(); ++node) {
-    const CommunityId c = node < labels.size() ? labels[node] : kNoCommunity;
-    if (c != kNoCommunity) {
-      stats.totalDegree[c] += static_cast<double>(graph.degree(node));
-    }
-  }
+  // Internal edges, member degrees, and inter-community edge weights
+  // (keyed (min, max) pair), accumulated per node chunk and merged in
+  // chunk index order.
+  StatsPartial totals = parallelReduce(
+      std::size_t{0}, graph.nodeCount(), kNodeGrain,
+      StatsPartial{std::vector<double>(communityCount, 0.0),
+                   std::vector<double>(communityCount, 0.0),
+                   {}},
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        StatsPartial partial{std::vector<double>(communityCount, 0.0),
+                             std::vector<double>(communityCount, 0.0),
+                             {}};
+        for (std::size_t node = chunkBegin; node < chunkEnd; ++node) {
+          const auto u = static_cast<NodeId>(node);
+          const CommunityId cu =
+              u < labels.size() ? labels[u] : kNoCommunity;
+          if (cu != kNoCommunity) {
+            partial.totalDegree[cu] += static_cast<double>(graph.degree(u));
+          }
+          for (NodeId v : graph.neighbors(u)) {
+            if (u >= v) continue;  // visit each edge once, from its min end
+            const CommunityId cv =
+                v < labels.size() ? labels[v] : kNoCommunity;
+            if (cu == kNoCommunity || cv == kNoCommunity) continue;
+            if (cu == cv) {
+              partial.internalEdges[cu] += 1.0;
+            } else {
+              const std::uint64_t key =
+                  (static_cast<std::uint64_t>(std::min(cu, cv)) << 32) |
+                  std::max(cu, cv);
+              partial.between[key] += 1.0;
+            }
+          }
+        }
+        return partial;
+      },
+      [](StatsPartial accumulator, StatsPartial partial) {
+        for (std::size_t c = 0; c < accumulator.internalEdges.size(); ++c) {
+          accumulator.internalEdges[c] += partial.internalEdges[c];
+          accumulator.totalDegree[c] += partial.totalDegree[c];
+        }
+        for (const auto& [key, weight] : partial.between) {
+          accumulator.between[key] += weight;
+        }
+        return accumulator;
+      });
+  stats.internalEdges = std::move(totals.internalEdges);
+  stats.totalDegree = std::move(totals.totalDegree);
 
   // Strongest tie per community = neighbor community with max edge count.
   std::vector<double> bestWeight(communityCount, 0.0);
   // Deterministic scan: collect and sort keys.
-  std::vector<std::pair<std::uint64_t, double>> pairs(between.begin(),
-                                                      between.end());
+  std::vector<std::pair<std::uint64_t, double>> pairs(totals.between.begin(),
+                                                      totals.between.end());
   std::sort(pairs.begin(), pairs.end());
   for (const auto& [key, weight] : pairs) {
     const auto a = static_cast<std::uint32_t>(key >> 32);
@@ -111,16 +152,29 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
   } else {
     const std::size_t oldCount = previousSizes_.size();
 
-    // Overlap counts between old and new communities.
-    std::unordered_map<std::uint64_t, std::uint32_t> overlap;
+    // Overlap counts between old and new communities: per node chunk,
+    // merged in chunk index order (counts are exact integers, so the
+    // totals match the sequential scan bit-for-bit).
     const std::size_t shared =
         std::min(previousLabels_.size(), newLabels.size());
-    for (std::size_t node = 0; node < shared; ++node) {
-      const CommunityId a = previousLabels_[node];
-      const CommunityId b = newLabels[node];
-      if (a == kNoCommunity || b == kNoCommunity) continue;
-      ++overlap[(static_cast<std::uint64_t>(a) << 32) | b];
-    }
+    std::unordered_map<std::uint64_t, std::uint32_t> overlap = parallelReduce(
+        std::size_t{0}, shared, kNodeGrain,
+        std::unordered_map<std::uint64_t, std::uint32_t>{},
+        [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+          std::unordered_map<std::uint64_t, std::uint32_t> partial;
+          for (std::size_t node = chunkBegin; node < chunkEnd; ++node) {
+            const CommunityId a = previousLabels_[node];
+            const CommunityId b = newLabels[node];
+            if (a == kNoCommunity || b == kNoCommunity) continue;
+            ++partial[(static_cast<std::uint64_t>(a) << 32) | b];
+          }
+          return partial;
+        },
+        [](std::unordered_map<std::uint64_t, std::uint32_t> accumulator,
+           std::unordered_map<std::uint64_t, std::uint32_t> partial) {
+          for (const auto& [key, count] : partial) accumulator[key] += count;
+          return accumulator;
+        });
     std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(
         overlap.begin(), overlap.end());
     std::sort(entries.begin(), entries.end());
@@ -262,17 +316,18 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
     tracked.history.push_back(record);
   }
 
-  // Roll the snapshot state forward.
+  // Roll the snapshot state forward. Each node's tracked id depends only
+  // on its own slot, so the rollover is an independent parallel map.
   previousLabels_.assign(newLabels.begin(), newLabels.end());
   previousTrackedOfLocal_ = trackedOfNew;
   previousSizes_ = newSizes;
   previousStrongestTie_ = stats.strongestTie;
   previousTracked_.assign(newLabels.size(), kNone);
-  for (std::size_t node = 0; node < newLabels.size(); ++node) {
+  parallelFor(0, newLabels.size(), kNodeGrain, [&](std::size_t node) {
     if (newLabels[node] != kNoCommunity) {
-      previousTracked_[node] = trackedOfNew[newLabels[node]];
+      previousTracked_[node] = previousTrackedOfLocal_[newLabels[node]];
     }
-  }
+  });
   previousDay_ = day;
   ++snapshots_;
 }

@@ -51,9 +51,13 @@ struct TrackedCommunity {
   LifecycleKind endKind = LifecycleKind::kContinue;  ///< how it ended
   std::vector<TrackedRecord> history;
 
-  /// Lifetime in days (up to the last snapshot it was seen in).
+  /// Lifetime in days (up to the last snapshot it was seen in). A
+  /// community constructed but never recorded (empty history, still
+  /// alive) has lifetime 0.
   double lifetime() const {
-    const Day end = deathDay >= 0.0 ? deathDay : history.back().day;
+    const Day end = deathDay >= 0.0   ? deathDay
+                    : history.empty() ? birthDay
+                                      : history.back().day;
     return end - birthDay;
   }
 };
@@ -83,6 +87,13 @@ struct TrackerConfig {
 /// Feed snapshots in chronological order via addSnapshot(). The tracker
 /// only retains the previous snapshot's membership, so memory stays
 /// proportional to one snapshot, not the whole history.
+///
+/// Threading: the per-snapshot scans (community structure stats,
+/// previous/current membership overlap counting, and the membership
+/// rollover) run as chunk-ordered reductions on the shared pool
+/// (util/parallel.h). All merged partials are integer-valued counts, so
+/// the combined totals — and every downstream lifecycle decision — are
+/// bit-identical to the sequential scan at any thread count.
 class CommunityTracker {
  public:
   explicit CommunityTracker(TrackerConfig config = {});

@@ -1,15 +1,81 @@
 #include "metrics/modularity.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace msd {
+namespace {
+
+constexpr std::size_t kNodeGrain = 8192;
+
+/// Per-chunk partial of the dense path: internal-edge count and total
+/// degree per community. Both are integer-valued, so merging partials is
+/// exact and the result matches the sequential scan bit-for-bit.
+struct DensePartial {
+  std::vector<double> internal;
+  std::vector<double> degree;
+};
+
+double modularityDense(const Graph& graph,
+                       std::span<const std::uint32_t> labels,
+                       std::size_t communities) {
+  const DensePartial totals = parallelReduce(
+      std::size_t{0}, graph.nodeCount(), kNodeGrain,
+      DensePartial{std::vector<double>(communities, 0.0),
+                   std::vector<double>(communities, 0.0)},
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        DensePartial partial{std::vector<double>(communities, 0.0),
+                             std::vector<double>(communities, 0.0)};
+        for (std::size_t node = chunkBegin; node < chunkEnd; ++node) {
+          const auto u = static_cast<NodeId>(node);
+          partial.degree[labels[u]] += static_cast<double>(graph.degree(u));
+          for (NodeId v : graph.neighbors(u)) {
+            if (u < v && labels[u] == labels[v]) {
+              partial.internal[labels[u]] += 1.0;
+            }
+          }
+        }
+        return partial;
+      },
+      [](DensePartial accumulator, DensePartial partial) {
+        for (std::size_t c = 0; c < accumulator.internal.size(); ++c) {
+          accumulator.internal[c] += partial.internal[c];
+          accumulator.degree[c] += partial.degree[c];
+        }
+        return accumulator;
+      });
+
+  const double m = static_cast<double>(graph.edgeCount());
+  double q = 0.0;
+  for (std::size_t c = 0; c < communities; ++c) {
+    const double degreeShare = totals.degree[c] / (2.0 * m);
+    q += totals.internal[c] / m - degreeShare * degreeShare;
+  }
+  return q;
+}
+
+}  // namespace
 
 double modularity(const Graph& graph, std::span<const std::uint32_t> labels) {
   require(labels.size() >= graph.nodeCount(),
           "modularity: labels vector too short");
   if (graph.edgeCount() == 0) return 0.0;
+
+  // Dense labels (the common case: Louvain partitions are renumbered
+  // 0..k-1) take the parallel path, summing the per-community terms in
+  // community index order — deterministic at any thread count. Sparse or
+  // sentinel-bearing labels keep the hash-map fallback.
+  std::uint32_t maxLabel = 0;
+  for (std::size_t node = 0; node < graph.nodeCount(); ++node) {
+    maxLabel = std::max(maxLabel, labels[node]);
+  }
+  if (graph.nodeCount() > 0 && maxLabel < graph.nodeCount()) {
+    return modularityDense(graph, labels, std::size_t{maxLabel} + 1);
+  }
 
   std::unordered_map<std::uint32_t, double> internalEdges;
   std::unordered_map<std::uint32_t, double> totalDegree;

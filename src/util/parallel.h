@@ -100,6 +100,25 @@ void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                     });
 }
 
+/// Per-worker scratch storage for parallelForChunks bodies: one
+/// default-constructed T per worker of the shared pool, so a chunk can
+/// reuse large buffers (accumulator rows, visit stacks) without sharing
+/// them across workers. Index with the workerIndex the chunk callback
+/// receives. Determinism note: scratch contents must be reset between
+/// chunks by the body itself — a chunk may observe leftovers from any
+/// earlier chunk that ran on the same worker, so correct bodies never
+/// read stale state.
+template <typename T>
+class WorkerScratch {
+ public:
+  WorkerScratch() : slots_(ThreadPool::shared().workerCount()) {}
+  T& at(std::size_t worker) { return slots_[worker]; }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+};
+
 /// Deterministic ordered reduction. chunkFn(chunkBegin, chunkEnd,
 /// workerIndex) computes one partial per grain-sized chunk; the partials
 /// are then combined *sequentially in chunk index order* via

@@ -1,0 +1,202 @@
+// Determinism lock for the parallel community-evolution pipeline: the
+// full analyzeCommunities replay and the selectDelta sweep must produce
+// byte-identical results at 1, 2, and 8 threads (mirroring
+// parallel_test.cpp's MetricsOverTime lock for the Fig 1 pipeline).
+// Every comparison below is exact — EXPECT_EQ on doubles, no tolerance.
+
+#include "analysis/community_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "community/louvain.h"
+#include "gen/trace_generator.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+void expectSeriesIdentical(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size()) << a.name();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.timeAt(i), b.timeAt(i)) << a.name() << " point " << i;
+    EXPECT_EQ(a.valueAt(i), b.valueAt(i)) << a.name() << " point " << i;
+  }
+}
+
+void expectRatiosIdentical(const std::vector<GroupSizeRatio>& a,
+                           const std::vector<GroupSizeRatio>& b,
+                           const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].day, b[i].day) << what << " entry " << i;
+    EXPECT_EQ(a[i].ratio, b[i].ratio) << what << " entry " << i;
+  }
+}
+
+void expectResultsIdentical(const CommunityAnalysisResult& a,
+                            const CommunityAnalysisResult& b) {
+  expectSeriesIdentical(a.modularity, b.modularity);
+  expectSeriesIdentical(a.communityCount, b.communityCount);
+  expectSeriesIdentical(a.avgSimilarity, b.avgSimilarity);
+  expectSeriesIdentical(a.topCoverage, b.topCoverage);
+
+  ASSERT_EQ(a.sizeDistributions.size(), b.sizeDistributions.size());
+  for (std::size_t i = 0; i < a.sizeDistributions.size(); ++i) {
+    EXPECT_EQ(a.sizeDistributions[i].day, b.sizeDistributions[i].day);
+    EXPECT_EQ(a.sizeDistributions[i].sizes, b.sizeDistributions[i].sizes);
+  }
+
+  ASSERT_EQ(a.lifetimes.size(), b.lifetimes.size());
+  for (std::size_t i = 0; i < a.lifetimes.size(); ++i) {
+    EXPECT_EQ(a.lifetimes[i], b.lifetimes[i]) << "lifetime " << i;
+  }
+
+  expectRatiosIdentical(a.mergeRatios, b.mergeRatios, "mergeRatios");
+  expectRatiosIdentical(a.splitRatios, b.splitRatios, "splitRatios");
+
+  ASSERT_EQ(a.strongestTieOutcomes.size(), b.strongestTieOutcomes.size());
+  for (std::size_t i = 0; i < a.strongestTieOutcomes.size(); ++i) {
+    EXPECT_EQ(a.strongestTieOutcomes[i], b.strongestTieOutcomes[i])
+        << "strongest-tie outcome " << i;
+  }
+
+  ASSERT_EQ(a.mergeSamples.size(), b.mergeSamples.size());
+  for (std::size_t i = 0; i < a.mergeSamples.size(); ++i) {
+    EXPECT_EQ(a.mergeSamples[i].willMerge, b.mergeSamples[i].willMerge)
+        << "sample " << i;
+    EXPECT_EQ(a.mergeSamples[i].age, b.mergeSamples[i].age) << "sample " << i;
+    ASSERT_EQ(a.mergeSamples[i].features.size(),
+              b.mergeSamples[i].features.size());
+    for (std::size_t f = 0; f < a.mergeSamples[i].features.size(); ++f) {
+      EXPECT_EQ(a.mergeSamples[i].features[f], b.mergeSamples[i].features[f])
+          << "sample " << i << " feature " << f;
+    }
+  }
+
+  EXPECT_EQ(a.finalMembership, b.finalMembership);
+  EXPECT_EQ(a.finalCommunitySize, b.finalCommunitySize);
+}
+
+const EventStream& lockTrace() {
+  static const EventStream stream = [] {
+    TraceGenerator generator(GeneratorConfig::tiny(1));
+    return generator.generate();
+  }();
+  return stream;
+}
+
+CommunityAnalysisConfig lockConfig() {
+  CommunityAnalysisConfig config;
+  config.startDay = 15.0;
+  config.snapshotStep = 3.0;
+  config.tracker.minCommunitySize = 5;
+  config.sizeDistributionDays = {50.0, 99.0};
+  config.excludeBirthLo = 59.0;
+  config.excludeBirthHi = 62.0;
+  return config;
+}
+
+TEST(CommunityDeterminismTest, AnalyzeCommunitiesBitIdenticalAcrossThreads) {
+  ThreadCountGuard guard;
+  const EventStream& stream = lockTrace();
+  const CommunityAnalysisConfig config = lockConfig();
+
+  setThreadCount(1);
+  const CommunityAnalysisResult sequential =
+      analyzeCommunities(stream, config);
+  ASSERT_GT(sequential.modularity.size(), 10u);
+  ASSERT_FALSE(sequential.finalMembership.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const CommunityAnalysisResult parallel = analyzeCommunities(stream, config);
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    expectResultsIdentical(parallel, sequential);
+  }
+}
+
+TEST(CommunityDeterminismTest, SelectDeltaBitIdenticalAcrossThreads) {
+  ThreadCountGuard guard;
+  const EventStream& stream = lockTrace();
+  CommunityAnalysisConfig config = lockConfig();
+  config.snapshotStep = 6.0;  // halve the per-candidate replay cost
+  config.sizeDistributionDays = {};
+  const std::vector<double> candidates = {0.01, 0.04, 0.2};
+
+  setThreadCount(1);
+  const DeltaSelection sequential = selectDelta(stream, candidates, config);
+  ASSERT_EQ(sequential.scores.size(), candidates.size());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const DeltaSelection parallel = selectDelta(stream, candidates, config);
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    EXPECT_EQ(parallel.best, sequential.best);
+    ASSERT_EQ(parallel.scores.size(), sequential.scores.size());
+    for (std::size_t i = 0; i < parallel.scores.size(); ++i) {
+      EXPECT_EQ(parallel.scores[i].delta, sequential.scores[i].delta);
+      EXPECT_EQ(parallel.scores[i].meanModularity,
+                sequential.scores[i].meanModularity);
+      EXPECT_EQ(parallel.scores[i].meanSimilarity,
+                sequential.scores[i].meanSimilarity);
+      EXPECT_EQ(parallel.scores[i].balance, sequential.scores[i].balance);
+    }
+  }
+}
+
+TEST(CommunityDeterminismTest, LouvainHubScanIdenticalAcrossThreads) {
+  ThreadCountGuard guard;
+  // A graph with hubs well above the (lowered) parallel-scan threshold,
+  // so the chunk-ordered neighbor accumulation and gain scan actually
+  // split into multiple chunks. Identical partitions required at every
+  // thread count.
+  Graph g(1200);
+  Rng build(93);
+  for (NodeId hub = 0; hub < 3; ++hub) {
+    for (NodeId v = 3; v < 1200; ++v) {
+      if (build.chance(0.55)) {
+        if (!g.hasEdge(hub, v)) g.addEdge(hub, v);
+      }
+    }
+  }
+  for (int i = 0; i < 6000; ++i) {
+    const auto u = static_cast<NodeId>(build.uniformInt(1200));
+    const auto v = static_cast<NodeId>(build.uniformInt(1200));
+    if (u != v && !g.hasEdge(u, v)) g.addEdge(u, v);
+  }
+
+  LouvainConfig config;
+  config.delta = 0.01;
+  config.parallelScanThreshold = 64;  // force the chunked hub path
+
+  setThreadCount(1);
+  const LouvainResult sequential = louvain(g, config);
+  ASSERT_GT(sequential.partition.communityCount(), 0u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const LouvainResult parallel = louvain(g, config);
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    EXPECT_EQ(parallel.modularity, sequential.modularity);
+    EXPECT_EQ(parallel.levels, sequential.levels);
+    ASSERT_EQ(parallel.partition.nodeCount(), sequential.partition.nodeCount());
+    for (NodeId node = 0; node < parallel.partition.nodeCount(); ++node) {
+      ASSERT_EQ(parallel.partition.communityOf(node),
+                sequential.partition.communityOf(node))
+          << "node " << node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msd

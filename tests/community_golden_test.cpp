@@ -1,0 +1,157 @@
+// Golden-file regression lock for the Fig 4-6 community numbers: a
+// fixed-seed tiny trace's community summary — modularity series,
+// lifecycle event counts, and the delta-sweep scores — is checked in at
+// tests/golden/community_summary.golden and compared exactly (doubles
+// serialized as hexfloats), so future refactors of Louvain or the
+// tracker cannot silently drift the paper-figure outputs.
+//
+// To regenerate after an *intentional* behavior change:
+//   MSD_UPDATE_GOLDEN=1 ./community_golden_test
+// then review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/community_analysis.h"
+#include "gen/trace_generator.h"
+
+#ifndef MSD_GOLDEN_FILE
+#error "MSD_GOLDEN_FILE must point at the checked-in golden summary"
+#endif
+
+namespace msd {
+namespace {
+
+std::string hexDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+void appendSeries(std::ostringstream& out, const TimeSeries& series) {
+  out << "series " << series.name() << " " << series.size() << "\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << "  " << hexDouble(series.timeAt(i)) << " "
+        << hexDouble(series.valueAt(i)) << "\n";
+  }
+}
+
+/// Renders the full community summary of the fixed-seed trace. Every
+/// number that feeds Fig 4-6 appears either directly or as a count.
+std::string buildSummary() {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const EventStream stream = generator.generate();
+
+  CommunityAnalysisConfig config;
+  config.startDay = 15.0;
+  config.snapshotStep = 3.0;
+  config.tracker.minCommunitySize = 5;
+  config.sizeDistributionDays = {50.0, 99.0};
+  config.excludeBirthLo = 59.0;
+  config.excludeBirthHi = 62.0;
+  const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+
+  std::ostringstream out;
+  out << "community-summary v1 trace=tiny(1)\n";
+  appendSeries(out, result.modularity);
+  appendSeries(out, result.communityCount);
+  appendSeries(out, result.avgSimilarity);
+  appendSeries(out, result.topCoverage);
+
+  out << "size-distributions " << result.sizeDistributions.size() << "\n";
+  for (const SizeDistribution& distribution : result.sizeDistributions) {
+    out << "  day " << hexDouble(distribution.day);
+    for (std::size_t size : distribution.sizes) out << " " << size;
+    out << "\n";
+  }
+
+  out << "lifetimes " << result.lifetimes.size() << "\n";
+  for (double lifetime : result.lifetimes) {
+    out << "  " << hexDouble(lifetime) << "\n";
+  }
+
+  out << "merge-ratios " << result.mergeRatios.size() << "\n";
+  for (const GroupSizeRatio& entry : result.mergeRatios) {
+    out << "  " << hexDouble(entry.day) << " " << hexDouble(entry.ratio)
+        << "\n";
+  }
+  out << "split-ratios " << result.splitRatios.size() << "\n";
+  for (const GroupSizeRatio& entry : result.splitRatios) {
+    out << "  " << hexDouble(entry.day) << " " << hexDouble(entry.ratio)
+        << "\n";
+  }
+
+  std::size_t strongestTrue = 0;
+  for (const auto& [day, strongest] : result.strongestTieOutcomes) {
+    if (strongest) ++strongestTrue;
+  }
+  out << "strongest-tie " << result.strongestTieOutcomes.size() << " "
+      << strongestTrue << "\n";
+
+  std::size_t willMerge = 0;
+  for (const MergeSample& sample : result.mergeSamples) {
+    if (sample.willMerge) ++willMerge;
+  }
+  out << "merge-samples " << result.mergeSamples.size() << " " << willMerge
+      << "\n";
+  out << "final-communities " << result.finalCommunitySize.size() << "\n";
+
+  // The paper's Sec 4.1 threshold sweep over a spread of candidates.
+  CommunityAnalysisConfig sweepConfig = config;
+  sweepConfig.snapshotStep = 6.0;
+  sweepConfig.sizeDistributionDays = {};
+  const DeltaSelection sweep =
+      selectDelta(stream, {0.01, 0.04, 0.2}, sweepConfig);
+  out << "delta-sweep " << sweep.scores.size() << " best "
+      << hexDouble(sweep.best) << "\n";
+  for (const DeltaScore& score : sweep.scores) {
+    out << "  " << hexDouble(score.delta) << " "
+        << hexDouble(score.meanModularity) << " "
+        << hexDouble(score.meanSimilarity) << " " << hexDouble(score.balance)
+        << "\n";
+  }
+  return out.str();
+}
+
+TEST(CommunityGoldenTest, SummaryMatchesCheckedInGolden) {
+  const std::string summary = buildSummary();
+
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(MSD_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << MSD_GOLDEN_FILE;
+    out << summary;
+    GTEST_SKIP() << "golden file regenerated at " << MSD_GOLDEN_FILE;
+  }
+
+  std::ifstream in(MSD_GOLDEN_FILE);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << MSD_GOLDEN_FILE
+      << " — regenerate with MSD_UPDATE_GOLDEN=1 ./community_golden_test";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  // Compare line by line for a readable first-divergence message, then
+  // whole-string to catch length differences.
+  std::istringstream actualLines(summary);
+  std::istringstream goldenLines(golden.str());
+  std::string actualLine, goldenLine;
+  std::size_t lineNumber = 0;
+  while (std::getline(goldenLines, goldenLine)) {
+    ++lineNumber;
+    ASSERT_TRUE(std::getline(actualLines, actualLine))
+        << "summary ends early at golden line " << lineNumber;
+    ASSERT_EQ(actualLine, goldenLine) << "first divergence at line "
+                                      << lineNumber;
+  }
+  EXPECT_FALSE(std::getline(actualLines, actualLine))
+      << "summary has extra lines beyond the golden file";
+}
+
+}  // namespace
+}  // namespace msd

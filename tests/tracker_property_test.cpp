@@ -1,0 +1,190 @@
+// Property tests for CommunityTracker lifecycle invariants, checked over
+// a generated trace driven through the real incremental-Louvain pipeline
+// (not hand-picked partitions): every tracked identity ends in exactly
+// one of {alive, merge-death, dissolve}, lifetimes are non-negative,
+// merge/split group-size ratios live in (0, 1], event days never
+// decrease, and split children are accounted for by that day's
+// birth/continue events. Also unit-covers the lifetime() guard for a
+// community constructed but never recorded.
+
+#include "community/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "community/louvain.h"
+#include "gen/trace_generator.h"
+#include "graph/snapshot.h"
+
+namespace msd {
+namespace {
+
+/// One tracker fed from the tiny trace via incremental Louvain, shared
+/// by every property below.
+class TrackerPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceGenerator generator(GeneratorConfig::tiny(1));
+    const EventStream stream = generator.generate();
+    tracker_ = new CommunityTracker(TrackerConfig{.minCommunitySize = 5});
+
+    LouvainConfig louvainConfig;
+    Partition previous;
+    bool havePrevious = false;
+    const SnapshotSchedule schedule(15.0, 99.0, 3.0);
+    forEachSnapshot(stream, schedule,
+                    [&](Day day, const DynamicGraph& dynamic) {
+                      const Graph& graph = dynamic.graph();
+                      if (graph.edgeCount() == 0) return;
+                      const LouvainResult detection =
+                          louvain(graph, louvainConfig,
+                                  havePrevious ? &previous : nullptr);
+                      previous = detection.partition;
+                      havePrevious = true;
+                      tracker_->addSnapshot(day, graph, detection.partition);
+                    });
+  }
+  static void TearDownTestSuite() {
+    delete tracker_;
+    tracker_ = nullptr;
+  }
+  static CommunityTracker* tracker_;
+};
+
+CommunityTracker* TrackerPropertyTest::tracker_ = nullptr;
+
+TEST_F(TrackerPropertyTest, TraceProducesEnoughHistoryToBeMeaningful) {
+  ASSERT_GT(tracker_->snapshotCount(), 20u);
+  ASSERT_GT(tracker_->communities().size(), 10u);
+  ASSERT_FALSE(tracker_->events().empty());
+}
+
+TEST_F(TrackerPropertyTest, EveryIdentityEndsInExactlyOneState) {
+  // Death events per tracked id, by kind.
+  std::map<std::uint32_t, std::size_t> mergeDeaths;
+  std::map<std::uint32_t, std::size_t> dissolves;
+  for (const LifecycleEvent& event : tracker_->events()) {
+    if (event.kind == LifecycleKind::kMergeDeath) ++mergeDeaths[event.tracked];
+    if (event.kind == LifecycleKind::kDissolve) ++dissolves[event.tracked];
+  }
+  for (const TrackedCommunity& community : tracker_->communities()) {
+    const bool alive = community.deathDay < 0.0;
+    const std::size_t merged = mergeDeaths.count(community.id)
+                                   ? mergeDeaths.at(community.id)
+                                   : 0;
+    const std::size_t dissolved =
+        dissolves.count(community.id) ? dissolves.at(community.id) : 0;
+    // Exactly one of: alive with no death events, one merge-death event,
+    // one dissolve event.
+    EXPECT_EQ((alive ? 1 : 0) + merged + dissolved, 1u)
+        << "community " << community.id << " alive=" << alive
+        << " merges=" << merged << " dissolves=" << dissolved;
+    if (!alive) {
+      EXPECT_TRUE(community.endKind == LifecycleKind::kMergeDeath ||
+                  community.endKind == LifecycleKind::kDissolve)
+          << "community " << community.id;
+      EXPECT_EQ(community.endKind == LifecycleKind::kMergeDeath, merged == 1)
+          << "community " << community.id;
+    }
+  }
+}
+
+TEST_F(TrackerPropertyTest, LifetimesAreNonNegativeAndBoundedByObservation) {
+  for (const TrackedCommunity& community : tracker_->communities()) {
+    EXPECT_GE(community.lifetime(), 0.0) << "community " << community.id;
+    if (community.deathDay >= 0.0) {
+      EXPECT_GT(community.deathDay, community.birthDay)
+          << "community " << community.id;
+    }
+  }
+}
+
+TEST_F(TrackerPropertyTest, HistoriesAreChronologicalWithPositiveSizes) {
+  for (const TrackedCommunity& community : tracker_->communities()) {
+    ASSERT_FALSE(community.history.empty()) << "community " << community.id;
+    Day previous = -1.0;
+    for (const TrackedRecord& record : community.history) {
+      EXPECT_GT(record.day, previous) << "community " << community.id;
+      EXPECT_GE(record.size, 5u) << "community " << community.id;
+      EXPECT_GE(record.inDegreeRatio, 0.0);
+      EXPECT_LE(record.inDegreeRatio, 1.0);
+      EXPECT_GE(record.selfSimilarity, 0.0);
+      EXPECT_LE(record.selfSimilarity, 1.0);
+      previous = record.day;
+    }
+    EXPECT_EQ(community.history.front().day, community.birthDay)
+        << "community " << community.id;
+  }
+}
+
+TEST_F(TrackerPropertyTest, GroupSizeRatiosAreInUnitInterval) {
+  ASSERT_FALSE(tracker_->mergeSizeRatios().empty());
+  for (const GroupSizeRatio& entry : tracker_->mergeSizeRatios()) {
+    EXPECT_GT(entry.ratio, 0.0) << "merge at day " << entry.day;
+    EXPECT_LE(entry.ratio, 1.0) << "merge at day " << entry.day;
+  }
+  for (const GroupSizeRatio& entry : tracker_->splitSizeRatios()) {
+    EXPECT_GT(entry.ratio, 0.0) << "split at day " << entry.day;
+    EXPECT_LE(entry.ratio, 1.0) << "split at day " << entry.day;
+  }
+}
+
+TEST_F(TrackerPropertyTest, EventDaysAreNonDecreasing) {
+  Day previous = -1.0;
+  for (const LifecycleEvent& event : tracker_->events()) {
+    EXPECT_GE(event.day, previous);
+    previous = event.day;
+  }
+}
+
+TEST_F(TrackerPropertyTest, SplitChildrenAreCoveredByBirthsAndContinues) {
+  // Every split child is a new community of that transition, and every
+  // new community produces exactly one birth-or-continue event — so per
+  // day, the split children cannot outnumber births + continues. Split
+  // events must also report at least 2 children.
+  std::map<Day, std::size_t> splitChildren;
+  std::map<Day, std::size_t> newCommunityEvents;
+  for (const LifecycleEvent& event : tracker_->events()) {
+    if (event.kind == LifecycleKind::kSplit) {
+      EXPECT_GE(event.other, 2u) << "split at day " << event.day;
+      splitChildren[event.day] += event.other;
+    }
+    if (event.kind == LifecycleKind::kBirth ||
+        event.kind == LifecycleKind::kContinue) {
+      ++newCommunityEvents[event.day];
+    }
+  }
+  for (const auto& [day, children] : splitChildren) {
+    EXPECT_LE(children, newCommunityEvents[day]) << "day " << day;
+  }
+}
+
+TEST_F(TrackerPropertyTest, EventSubjectsReferenceTrackedIds) {
+  const std::size_t count = tracker_->communities().size();
+  for (const LifecycleEvent& event : tracker_->events()) {
+    EXPECT_LT(event.tracked, count);
+    if (event.kind == LifecycleKind::kMergeDeath) {
+      EXPECT_LT(event.other, count);
+      EXPECT_NE(event.other, event.tracked);
+    }
+  }
+}
+
+TEST(TrackedCommunityTest, LifetimeOfUnrecordedCommunityIsZero) {
+  // A community constructed but never recorded used to read
+  // history.back() on an empty vector (UB); it must report lifetime 0.
+  TrackedCommunity community;
+  community.id = 7;
+  community.birthDay = 42.0;
+  EXPECT_TRUE(community.history.empty());
+  EXPECT_EQ(community.lifetime(), 0.0);
+
+  // Once it dies, deathDay wins regardless of history.
+  community.deathDay = 45.0;
+  EXPECT_EQ(community.lifetime(), 3.0);
+}
+
+}  // namespace
+}  // namespace msd
