@@ -5,10 +5,12 @@
 // binary regenerates one figure of the paper (see DESIGN.md for the
 // experiment index) and prints a paper-vs-measured summary.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,10 @@
 #include "graph/event_stream.h"
 #include "io/csv.h"
 #include "io/event_io.h"
+#include "obs/bench_compare.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/time_series.h"
 
@@ -28,6 +34,7 @@ struct Options {
   std::string scale = "renren";  ///< renren | community | tiny
   std::string outDir = "bench_out";
   bool exportCsv = true;
+  std::size_t reps = 1;  ///< timed repetitions per measured phase
 };
 
 inline Options parseOptions(int argc, char** argv) {
@@ -46,12 +53,14 @@ inline Options parseOptions(int argc, char** argv) {
       options.scale = v;
     } else if (const char* v = value("--out")) {
       options.outDir = v;
+    } else if (const char* v = value("--reps")) {
+      options.reps = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
     } else if (arg == "--no-csv") {
       options.exportCsv = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--seed=N] [--scale=renren|community|tiny] "
-          "[--out=DIR] [--no-csv]\n",
+          "[--out=DIR] [--reps=N] [--no-csv]\n",
           argv[0]);
       std::exit(0);
     }
@@ -106,6 +115,95 @@ inline EventStream makeTrace(const Options& options) {
   }
   return stream;
 }
+
+/// Percentile of a sample set by nearest-rank on the sorted copy.
+inline double percentileMs(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = fraction * static_cast<double>(samples.size() - 1);
+  const auto index = static_cast<std::size_t>(rank + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+/// Structured wall-time report of one bench run. Each measured phase runs
+/// `options.reps` times; write() serializes the msd-bench-v1 document
+/// (benchmark id, scale, seed, threads, per-phase median/p10/p90 wall ms,
+/// and the full observability counter snapshot) to
+/// <outDir>/BENCH_<benchmark>.json.
+class BenchReport {
+ public:
+  BenchReport(const Options& options, std::string benchmark)
+      : options_(options), benchmark_(std::move(benchmark)) {}
+
+  /// Runs `fn` options_.reps times, recording each repetition's wall
+  /// time under `name`. `fn` must be idempotent — repetitions overwrite
+  /// the same captured results.
+  template <typename Fn>
+  void timed(const std::string& name, Fn&& fn) {
+    std::vector<double> samples;
+    samples.reserve(options_.reps);
+    for (std::size_t rep = 0; rep < options_.reps; ++rep) {
+      Stopwatch watch;
+      fn();
+      samples.push_back(watch.seconds() * 1e3);
+    }
+    record(name, std::move(samples));
+  }
+
+  /// Records pre-measured wall-time samples (milliseconds) under `name`.
+  void record(std::string name, std::vector<double> samplesMs) {
+    measurements_.push_back({std::move(name), std::move(samplesMs)});
+  }
+
+  /// Writes BENCH_<benchmark>.json; best-effort (a failed write warns on
+  /// stdout but never fails the bench).
+  void write() const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", obs::kBenchSchema);
+    doc.set("benchmark", benchmark_);
+    doc.set("scale", options_.scale);
+    doc.set("seed", options_.seed);
+    doc.set("threads", threadCount());
+    obs::Json list = obs::Json::array();
+    for (const auto& [name, samples] : measurements_) {
+      obs::Json entry = obs::Json::object();
+      entry.set("name", name);
+      entry.set("samples", samples.size());
+      obs::Json wall = obs::Json::object();
+      wall.set("median", percentileMs(samples, 0.5));
+      wall.set("p10", percentileMs(samples, 0.1));
+      wall.set("p90", percentileMs(samples, 0.9));
+      entry.set("wall_ms", std::move(wall));
+      list.push(std::move(entry));
+    }
+    doc.set("measurements", std::move(list));
+    obs::Json counters = obs::Json::object();
+    for (const auto& [name, value] : obs::counterSnapshot()) {
+      counters.set(name, value);
+    }
+    doc.set("counters", std::move(counters));
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options_.outDir, ec);
+    const std::string path =
+        options_.outDir + "/BENCH_" + benchmark_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::printf("[bench] failed to write %s\n", path.c_str());
+      return;
+    }
+    const std::string text = doc.dump(2) + "\n";
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("[bench] wrote %s\n", path.c_str());
+  }
+
+ private:
+  Options options_;
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::vector<double>>> measurements_;
+};
 
 /// Prints a horizontal rule + section title.
 inline void section(const std::string& title) {

@@ -1,0 +1,117 @@
+#pragma once
+
+// google-benchmark reporter that mirrors the console output and, on top,
+// captures every non-aggregate run so the binary can emit the same
+// BENCH_<name>.json document (schema "msd-bench-v1") the figure benches
+// write — one shared format for tools/bench_compare.
+//
+// Usage (replaces BENCHMARK_MAIN):
+//   int main(int argc, char** argv) {
+//     return msd::bench::runBenchmarksWithJson("kernels", argc, argv);
+//   }
+// The wrapper understands --out=DIR (default bench_out) and forwards
+// every other flag to google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "util/parallel.h"
+
+namespace msd::bench {
+
+class JsonBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      captured_.push_back({run.benchmark_name(), seconds * 1e3});
+    }
+  }
+
+  /// Writes the captured runs as <outDir>/BENCH_<benchmark>.json.
+  /// Best-effort: a failed write warns and returns.
+  void writeJson(const std::string& benchmark,
+                 const std::string& outDir) const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "msd-bench-v1");
+    doc.set("benchmark", benchmark);
+    doc.set("scale", "builtin");
+    doc.set("seed", std::uint64_t{0});
+    doc.set("threads", threadCount());
+    obs::Json list = obs::Json::array();
+    for (const auto& [name, wallMs] : captured_) {
+      obs::Json entry = obs::Json::object();
+      entry.set("name", name);
+      entry.set("samples", std::uint64_t{1});
+      obs::Json wall = obs::Json::object();
+      wall.set("median", wallMs);
+      wall.set("p10", wallMs);
+      wall.set("p90", wallMs);
+      entry.set("wall_ms", std::move(wall));
+      list.push(std::move(entry));
+    }
+    doc.set("measurements", std::move(list));
+    obs::Json counters = obs::Json::object();
+    for (const auto& [name, value] : obs::counterSnapshot()) {
+      counters.set(name, value);
+    }
+    doc.set("counters", std::move(counters));
+
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    const std::string path = outDir + "/BENCH_" + benchmark + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+      return;
+    }
+    const std::string text = doc.dump(2) + "\n";
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("[bench] wrote %s\n", path.c_str());
+  }
+
+  bool empty() const { return captured_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> captured_;
+};
+
+inline int runBenchmarksWithJson(const std::string& benchmark, int argc,
+                                 char** argv) {
+  std::string outDir = "bench_out";
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      outDir = argv[i] + 6;
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  int forwardedArgc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwardedArgc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwardedArgc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  JsonBenchReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.empty()) reporter.writeJson(benchmark, outDir);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace msd::bench

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_reporter.h"
+
 #include <thread>
 #include <vector>
 
@@ -166,4 +168,6 @@ BENCHMARK(BM_SelectDeltaThreads)
 }  // namespace
 }  // namespace msd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return msd::bench::runBenchmarksWithJson("community", argc, argv);
+}

@@ -31,15 +31,21 @@ int main(int argc, char** argv) {
   const EventStream stream = makeTrace(options);
   const double mergeDay = configFor(options).merge.mergeDay;
   Stopwatch watch;
+  BenchReport report(options, "fig1_network_metrics");
 
-  const GrowthSeries growth = analyzeGrowth(stream);
+  std::optional<GrowthSeries> growthOpt;
+  report.timed("growth", [&] { growthOpt = analyzeGrowth(stream); });
+  const GrowthSeries& growth = *growthOpt;
   MetricsOverTimeConfig config;
   config.snapshotStep = 2.0;
   config.pathEvery = 6.0;
   config.pathSamples = 24;
   config.clusteringSamples = 400;
   config.seed = options.seed;
-  const MetricsOverTime metrics = analyzeMetricsOverTime(stream, config);
+  std::optional<MetricsOverTime> metricsOpt;
+  report.timed("metrics_over_time",
+               [&] { metricsOpt = analyzeMetricsOverTime(stream, config); });
+  const MetricsOverTime& metrics = *metricsOpt;
   std::printf("[fig1] analyses done in %.1fs\n", watch.seconds());
 
   section("Fig 1(a) absolute growth (nodes/edges per day, sampled)");
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
   exportSeries(options, "fig1_metrics",
                {metrics.averageDegree, metrics.averagePathLength,
                 metrics.clusteringCoefficient, metrics.assortativity});
+  report.write();
   std::printf("\n[fig1] total %.1fs\n", watch.seconds());
   return 0;
 }

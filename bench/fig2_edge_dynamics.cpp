@@ -16,8 +16,11 @@ int main(int argc, char** argv) {
   const Options options = parseOptions(argc, argv);
   const EventStream stream = makeTrace(options);
   Stopwatch watch;
+  BenchReport report(options, "fig2_edge_dynamics");
 
-  const EdgeDynamics dynamics = analyzeEdgeDynamics(stream);
+  std::optional<EdgeDynamics> dynamicsOpt;
+  report.timed("analyze", [&] { dynamicsOpt = analyzeEdgeDynamics(stream); });
+  const EdgeDynamics& dynamics = *dynamicsOpt;
   std::printf("[fig2] analysis done in %.1fs\n", watch.seconds());
 
   section("Fig 2(a) edge inter-arrival PDF per age bucket");
@@ -70,6 +73,7 @@ int main(int argc, char** argv) {
 
   exportSeries(options, "fig2_min_age",
                {dynamics.minAge1, dynamics.minAge10, dynamics.minAge30});
+  report.write();
   std::printf("\n[fig2] total %.1fs\n", watch.seconds());
   return 0;
 }

@@ -18,14 +18,17 @@ int main(int argc, char** argv) {
   const Options options = parseOptions(argc, argv);
   const EventStream stream = makeTrace(options);
   Stopwatch watch;
+  BenchReport report(options, "fig3_pref_attach");
 
   PrefAttachConfig config;
   config.fitEveryEdges = stream.edgeCount() / 80 + 1000;
   config.startEdges = 3000;
   config.snapshotFraction = 0.29;  // the paper captures 57M of 199M
   config.seed = options.seed;
-  const PrefAttachResult result =
-      analyzePreferentialAttachment(stream, config);
+  std::optional<PrefAttachResult> resultOpt;
+  report.timed("analyze",
+               [&] { resultOpt = analyzePreferentialAttachment(stream, config); });
+  const PrefAttachResult& result = *resultOpt;
   std::printf("[fig3] analysis done in %.1fs (%zu fit windows)\n",
               watch.seconds(), result.alphaHigher.size());
 
@@ -123,6 +126,7 @@ int main(int argc, char** argv) {
   exportSeries(options, "fig3_alpha",
                {result.alphaHigher, result.alphaRandom, result.mseHigher,
                 result.mseRandom});
+  report.write();
   std::printf("\n[fig3] total %.1fs\n", watch.seconds());
   return 0;
 }

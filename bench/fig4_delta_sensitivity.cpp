@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   if (options.scale == "renren") options.scale = "community";
   const EventStream stream = makeTrace(options);
   Stopwatch watch;
+  BenchReport report(options, "fig4_delta_sensitivity");
 
   const std::vector<double> deltas = {0.0001, 0.001, 0.01, 0.04, 0.1, 0.3};
   const double referenceDay = std::min(602.0, stream.lastTime() - 10.0);
@@ -26,33 +27,39 @@ int main(int argc, char** argv) {
   std::vector<TimeSeries> similaritySeries;
   std::vector<std::pair<double, std::vector<std::size_t>>> sizeDists;
 
-  for (double delta : deltas) {
-    CommunityAnalysisConfig config;
-    config.snapshotStep = 3.0;
-    config.louvain.delta = delta;
-    config.sizeDistributionDays = {referenceDay};
-    Stopwatch run;
-    const CommunityAnalysisResult result = analyzeCommunities(stream, config);
-    std::printf("[fig4] delta=%-7g done in %.1fs (%zu snapshots, %zu tracked "
-                "communities)\n",
-                delta, run.seconds(), result.modularity.size(),
-                result.lifetimes.size());
+  report.timed("delta_sweep", [&] {
+    modularitySeries.clear();
+    similaritySeries.clear();
+    sizeDists.clear();
+    for (double delta : deltas) {
+      CommunityAnalysisConfig config;
+      config.snapshotStep = 3.0;
+      config.louvain.delta = delta;
+      config.sizeDistributionDays = {referenceDay};
+      Stopwatch run;
+      const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+      std::printf("[fig4] delta=%-7g done in %.1fs (%zu snapshots, %zu tracked "
+                  "communities)\n",
+                  delta, run.seconds(), result.modularity.size(),
+                  result.lifetimes.size());
 
-    TimeSeries modularity("modularity_delta_" + std::to_string(delta));
-    for (std::size_t i = 0; i < result.modularity.size(); ++i) {
-      modularity.add(result.modularity.timeAt(i), result.modularity.valueAt(i));
+      TimeSeries modularity("modularity_delta_" + std::to_string(delta));
+      for (std::size_t i = 0; i < result.modularity.size(); ++i) {
+        modularity.add(result.modularity.timeAt(i),
+                       result.modularity.valueAt(i));
+      }
+      modularitySeries.push_back(modularity);
+      TimeSeries similarity("similarity_delta_" + std::to_string(delta));
+      for (std::size_t i = 0; i < result.avgSimilarity.size(); ++i) {
+        similarity.add(result.avgSimilarity.timeAt(i),
+                       result.avgSimilarity.valueAt(i));
+      }
+      similaritySeries.push_back(similarity);
+      if (!result.sizeDistributions.empty()) {
+        sizeDists.emplace_back(delta, result.sizeDistributions.front().sizes);
+      }
     }
-    modularitySeries.push_back(modularity);
-    TimeSeries similarity("similarity_delta_" + std::to_string(delta));
-    for (std::size_t i = 0; i < result.avgSimilarity.size(); ++i) {
-      similarity.add(result.avgSimilarity.timeAt(i),
-                     result.avgSimilarity.valueAt(i));
-    }
-    similaritySeries.push_back(similarity);
-    if (!result.sizeDistributions.empty()) {
-      sizeDists.emplace_back(delta, result.sizeDistributions.front().sizes);
-    }
-  }
+  });
 
   section("Fig 4(a) modularity over time per delta (sampled)");
   std::printf("  %-8s %12s %12s %12s %12s\n", "delta", "day~100", "day~250",
@@ -112,8 +119,11 @@ int main(int argc, char** argv) {
   {
     CommunityAnalysisConfig config;
     config.snapshotStep = 6.0;  // coarser snapshots keep the sweep cheap
-    const DeltaSelection selection =
-        selectDelta(stream, {0.01, 0.04, 0.1, 0.2}, config);
+    std::optional<DeltaSelection> selectionOpt;
+    report.timed("select_delta", [&] {
+      selectionOpt = selectDelta(stream, {0.01, 0.04, 0.1, 0.2}, config);
+    });
+    const DeltaSelection& selection = *selectionOpt;
     std::printf("  %-8s %14s %14s %10s\n", "delta", "mean Q", "mean sim",
                 "balance");
     for (const DeltaScore& score : selection.scores) {
@@ -128,6 +138,7 @@ int main(int argc, char** argv) {
 
   exportSeries(options, "fig4_modularity", modularitySeries);
   exportSeries(options, "fig4_similarity", similaritySeries);
+  report.write();
   std::printf("\n[fig4] total %.1fs\n", watch.seconds());
   return 0;
 }

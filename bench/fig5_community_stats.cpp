@@ -31,7 +31,11 @@ int main(int argc, char** argv) {
   config.louvain.delta = 0.1;
   const double last = stream.lastTime();
   config.sizeDistributionDays = {0.52 * last, 0.78 * last, 0.99 * last};
-  const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+  BenchReport report(options, "fig5_community_stats");
+  std::optional<CommunityAnalysisResult> resultOpt;
+  report.timed("analyze",
+               [&] { resultOpt = analyzeCommunities(stream, config); });
+  const CommunityAnalysisResult& result = *resultOpt;
   std::printf("[fig5] pipeline done in %.1fs (%zu tracked communities)\n",
               watch.seconds(), result.lifetimes.size());
 
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   }
 
   exportSeries(options, "fig5_top_coverage", {result.topCoverage});
+  report.write();
   std::printf("\n[fig5] total %.1fs\n", watch.seconds());
   return 0;
 }

@@ -28,7 +28,11 @@ int main(int argc, char** argv) {
   // (see fig4_delta_sensitivity) while restoring paper-like community
   // granularity and lifecycle dynamics.
   config.louvain.delta = 0.1;
-  const CommunityAnalysisResult result = analyzeCommunities(stream, config);
+  BenchReport report(options, "fig6_merge_split");
+  std::optional<CommunityAnalysisResult> resultOpt;
+  report.timed("analyze",
+               [&] { resultOpt = analyzeCommunities(stream, config); });
+  const CommunityAnalysisResult& result = *resultOpt;
   std::printf("[fig6] pipeline done in %.1fs: %zu merge groups, %zu split "
               "groups, %zu merge deaths, %zu SVM samples\n",
               watch.seconds(), result.mergeRatios.size(),
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
     compare("merge destination is the strongest tie", "99%", line);
   }
 
+  report.write();
   std::printf("\n[fig6] total %.1fs\n", watch.seconds());
   return 0;
 }

@@ -37,10 +37,13 @@ int main(int argc, char** argv) {
   const EventStream stream = makeTrace(options);
   Stopwatch watch;
 
+  BenchReport report(options, "fig7_user_activity");
   CommunityAnalysisConfig communityConfig;
   communityConfig.snapshotStep = 3.0;
-  const CommunityAnalysisResult communities =
-      analyzeCommunities(stream, communityConfig);
+  std::optional<CommunityAnalysisResult> communitiesOpt;
+  report.timed("communities",
+               [&] { communitiesOpt = analyzeCommunities(stream, communityConfig); });
+  const CommunityAnalysisResult& communities = *communitiesOpt;
 
   // Size bands scaled to the trace (the paper's 100k+ band needs 19M
   // users; at bench scale the same ordering appears one decade lower).
@@ -51,9 +54,13 @@ int main(int argc, char** argv) {
       {1000, 10000, "[1k,10k)"},
       {10000, 0, "10k+"},
   };
-  const UserActivityResult activity = analyzeUserActivity(
-      stream, communities.finalMembership, communities.finalCommunitySize,
-      activityConfig);
+  std::optional<UserActivityResult> activityOpt;
+  report.timed("user_activity", [&] {
+    activityOpt = analyzeUserActivity(stream, communities.finalMembership,
+                                      communities.finalCommunitySize,
+                                      activityConfig);
+  });
+  const UserActivityResult& activity = *activityOpt;
   std::printf("[fig7] pipeline done in %.1fs\n", watch.seconds());
 
   section("Fig 7(a) edge inter-arrival times: community vs non-community");
@@ -115,6 +122,7 @@ int main(int argc, char** argv) {
             "18-30% of users fully internal", line);
   }
 
+  report.write();
   std::printf("\n[fig7] total %.1fs\n", watch.seconds());
   return 0;
 }

@@ -29,7 +29,10 @@ int main(int argc, char** argv) {
   config.mergeDay = generatorConfig.merge.mergeDay;
   config.activityWindow = 94.0;  // keep the paper's exact threshold
   config.seed = options.seed;
-  const MergeAnalysisResult result = analyzeMerge(stream, config);
+  BenchReport report(options, "fig8_merge_activity");
+  std::optional<MergeAnalysisResult> resultOpt;
+  report.timed("analyze", [&] { resultOpt = analyzeMerge(stream, config); });
+  const MergeAnalysisResult& result = *resultOpt;
   std::printf("[fig8] analysis done in %.1fs (main=%zu, second=%zu users)\n",
               watch.seconds(), result.mainUsers, result.secondUsers);
 
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
                 result.activeSecond.internal, result.activeSecond.external});
   exportSeries(options, "fig8_edges",
                {result.edgesNew, result.edgesInternal, result.edgesExternal});
+  report.write();
   std::printf("\n[fig8] total %.1fs\n", watch.seconds());
   return 0;
 }

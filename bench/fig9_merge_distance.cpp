@@ -37,7 +37,10 @@ int main(int argc, char** argv) {
   config.distanceEvery = 4.0;
   config.distanceSamples = 200;
   config.seed = options.seed;
-  const MergeAnalysisResult result = analyzeMerge(stream, config);
+  BenchReport report(options, "fig9_merge_distance");
+  std::optional<MergeAnalysisResult> resultOpt;
+  report.timed("analyze", [&] { resultOpt = analyzeMerge(stream, config); });
+  const MergeAnalysisResult& result = *resultOpt;
   std::printf("[fig9] analysis done in %.1fs\n", watch.seconds());
 
   section("Fig 9(a) internal/external edge ratio per day");
@@ -122,6 +125,7 @@ int main(int argc, char** argv) {
                 result.newExtMain, result.newExtSecond, result.newExtBoth});
   exportSeries(options, "fig9_distance",
                {result.distanceSecondToMain, result.distanceMainToSecond});
+  report.write();
   std::printf("\n[fig9] total %.1fs\n", watch.seconds());
   return 0;
 }

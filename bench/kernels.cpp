@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_reporter.h"
+
 #include <thread>
 #include <unordered_set>
 
@@ -292,4 +294,6 @@ BENCHMARK(BM_PrefAttachEstimator)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace msd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return msd::bench::runBenchmarksWithJson("kernels", argc, argv);
+}

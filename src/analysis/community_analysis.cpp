@@ -11,6 +11,8 @@
 #include "metrics/modularity.h"
 #include "ml/scaler.h"
 #include "ml/svm.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -29,6 +31,7 @@ class SnapshotPipeline {
  public:
   SnapshotPipeline(const EventStream& stream, const SnapshotSchedule& schedule)
       : schedule_(schedule),
+        creationScope_(obs::scopeForWorkers()),
         producer_([this, &stream] { produce(stream); }) {}
 
   ~SnapshotPipeline() {
@@ -56,11 +59,16 @@ class SnapshotPipeline {
 
  private:
   void produce(const EventStream& stream) {
+    // Nest the producer's scopes under the scope that created the
+    // pipeline rather than this thread's own root.
+    obs::ScopeAdoption adoptScope(creationScope_);
+    MSD_TRACE_SCOPE("community.snapshot_producer");
     Replayer replayer(stream);
     for (std::size_t i = 0; i < schedule_.size(); ++i) {
       const Day day = schedule_.dayAt(i);
       replayer.advanceTo(day + 1.0);
       Graph copy = replayer.graph().graph();
+      MSD_COUNTER_ADD("community.snapshots_materialized", 1);
       std::unique_lock<std::mutex> lock(mutex_);
       slotFreed_.wait(lock, [&] { return !full_ || abort_; });
       if (abort_) return;
@@ -75,6 +83,7 @@ class SnapshotPipeline {
   }
 
   SnapshotSchedule schedule_;
+  obs::ScopeNode* creationScope_ = nullptr;
   std::mutex mutex_;
   std::condition_variable slotFilled_;  // consumer: a snapshot is ready
   std::condition_variable slotFreed_;   // producer: the slot was drained
@@ -112,6 +121,7 @@ void forEachSnapshotPipelined(const EventStream& stream,
 
 CommunityAnalysisResult analyzeCommunities(
     const EventStream& stream, const CommunityAnalysisConfig& config) {
+  MSD_TRACE_SCOPE("community.analyze");
   require(config.snapshotStep > 0.0,
           "analyzeCommunities: snapshotStep must be positive");
 
@@ -288,6 +298,8 @@ DeltaSelection selectDelta(const EventStream& stream,
                            const std::vector<double>& candidates,
                            CommunityAnalysisConfig config) {
   require(!candidates.empty(), "selectDelta: need at least one candidate");
+  MSD_TRACE_SCOPE("community.select_delta");
+  MSD_COUNTER_ADD("community.delta_candidates", candidates.size());
   DeltaSelection selection;
   selection.scores.resize(candidates.size());
   // Each candidate re-runs the full pipeline independently; run them

@@ -5,6 +5,8 @@
 #include "metrics/clustering.h"
 #include "metrics/degree.h"
 #include "metrics/paths.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -25,6 +27,7 @@ constexpr std::uint64_t kPathStream = 1;
 
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config) {
+  MSD_TRACE_SCOPE("fig1.metrics_over_time");
   MetricsOverTime result{TimeSeries("avg_degree"), TimeSeries("avg_path_length"),
                          TimeSeries("clustering"), TimeSeries("assortativity")};
   if (stream.empty()) return result;
@@ -49,12 +52,16 @@ MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
     double clustering = 0.0;
     double assortativity = 0.0;
     double pathLength = 0.0;
+    MSD_COUNTER_ADD("fig1.snapshots", 1);
     parallelFor(0, 4, 1, [&](std::size_t metric) {
       switch (metric) {
-        case 0:
+        case 0: {
+          MSD_TRACE_SCOPE("metric.degree");
           averageDegree = degreeStats(graph).average;
           break;
+        }
         case 1: {
+          MSD_TRACE_SCOPE("metric.clustering");
           Rng rng = Rng::stream(config.seed,
                                 index * kStreamsPerSnapshot + kClusteringStream);
           clustering =
@@ -62,10 +69,14 @@ MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
           break;
         }
         case 2:
-          if (hasEdges) assortativity = degreeAssortativity(graph);
+          if (hasEdges) {
+            MSD_TRACE_SCOPE("metric.assortativity");
+            assortativity = degreeAssortativity(graph);
+          }
           break;
         case 3:
           if (doPath) {
+            MSD_TRACE_SCOPE("metric.path_length");
             Rng rng = Rng::stream(config.seed,
                                   index * kStreamsPerSnapshot + kPathStream);
             pathLength =

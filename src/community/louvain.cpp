@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "metrics/modularity.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -153,6 +155,7 @@ double localMovePhase(const WeightedGraph& graph,
   WorkerScratch<ScanScratch> scanScratch;
 
   double totalGain = 0.0;
+  std::uint64_t moves = 0;
   for (int pass = 0; pass < config.maxPassesPerLevel; ++pass) {
     double passGain = 0.0;
     for (std::uint32_t node : order) {
@@ -223,12 +226,14 @@ double localMovePhase(const WeightedGraph& graph,
         labels[node] = bestCommunity;
         passGain += bestGain - stayGain;
         *anyMove = true;
+        ++moves;
       }
       for (std::uint32_t community : touched) weightTo[community] = 0.0;
     }
     totalGain += passGain;
     if (passGain < config.delta) break;
   }
+  MSD_COUNTER_ADD("louvain.moves", moves);
   return totalGain;
 }
 
@@ -306,6 +311,8 @@ std::size_t renumberInPlace(std::vector<std::uint32_t>& labels) {
 
 LouvainResult louvain(const Graph& graph, const LouvainConfig& config,
                       const Partition* seed) {
+  MSD_TRACE_SCOPE("community.louvain");
+  MSD_COUNTER_ADD("louvain.runs", 1);
   require(config.delta >= 0.0, "louvain: delta must be non-negative");
   require(config.parallelScanThreshold >= 1,
           "louvain: parallelScanThreshold must be >= 1");
@@ -341,6 +348,7 @@ LouvainResult louvain(const Graph& graph, const LouvainConfig& config,
         localMovePhase(level, levelLabels, config, rng, &anyMove);
     if (!anyMove) break;
     ++result.levels;
+    MSD_COUNTER_ADD("louvain.levels", 1);
 
     const std::size_t levelCommunities = renumberInPlace(levelLabels);
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -125,6 +127,8 @@ CommunityTracker::CommunityTracker(TrackerConfig config) : config_(config) {
 
 void CommunityTracker::addSnapshot(Day day, const Graph& graph,
                                    const Partition& partition) {
+  MSD_TRACE_SCOPE("community.tracker.add_snapshot");
+  MSD_COUNTER_ADD("tracker.snapshots", 1);
   require(snapshots_ == 0 || day > previousDay_,
           "CommunityTracker::addSnapshot: days must increase");
   require(partition.nodeCount() == graph.nodeCount(),
@@ -149,6 +153,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
       events_.push_back({LifecycleKind::kBirth, day, tracked.id, 0, 0.0,
                          false});
     }
+    MSD_COUNTER_ADD("tracker.births", newCount);
   } else {
     const std::size_t oldCount = previousSizes_.size();
 
@@ -222,6 +227,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
         communities_.push_back(tracked);
         events_.push_back({LifecycleKind::kBirth, day, tracked.id, 0,
                            predSim[b], false});
+        MSD_COUNTER_ADD("tracker.births", 1);
         continue;
       }
       std::uint32_t winner = claimants[b][0];
@@ -261,6 +267,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
               tie != kNone && tie < succ.size() && succ[tie] == b;
           events_.push_back({LifecycleKind::kMergeDeath, day, dyingTracked,
                              winnerTracked, succSim[a], strongest});
+          MSD_COUNTER_ADD("tracker.merge_deaths", 1);
         }
       }
     }
@@ -274,6 +281,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
       dying.endKind = LifecycleKind::kDissolve;
       events_.push_back(
           {LifecycleKind::kDissolve, day, dyingTracked, 0, 0.0, false});
+      MSD_COUNTER_ADD("tracker.dissolves", 1);
     }
 
     // Splits: old communities that are the best predecessor of >= 2 new
@@ -294,6 +302,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
                          previousTrackedOfLocal_[a],
                          static_cast<std::uint32_t>(children[a].size()),
                          succSim[a], false});
+      MSD_COUNTER_ADD("tracker.splits", 1);
     }
 
     similarities_.push_back(

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace msd {
@@ -48,6 +50,7 @@ GroupId TraceGenerator::chooseGroup() {
 }
 
 NodeId TraceGenerator::spawnNode(double t, Origin origin) {
+  MSD_COUNTER_ADD("gen.nodes", 1);
   const GroupId group = chooseGroup();
   const NodeId id = stream_.appendNodeJoin(t, origin, group);
   graph_.addNode();
@@ -231,6 +234,7 @@ void TraceGenerator::processAction(const Action& action) {
   }
   const NodeId destination = chooseDestination(node, action.time);
   if (destination != kInvalidNode) {
+    MSD_COUNTER_ADD("gen.edges", 1);
     stream_.appendEdgeAdd(action.time, node, destination);
     graph_.addEdge(node, destination);
     ++degree_[node];
@@ -292,6 +296,8 @@ void TraceGenerator::importSecondNetwork(double t) {
 }
 
 void TraceGenerator::performMerge(double t) {
+  MSD_TRACE_SCOPE("gen.merge");
+  MSD_COUNTER_ADD("gen.merges", 1);
   const MergeConfig& merge = config_.merge;
   const std::size_t mainNodes = graph_.nodeCount();
 
@@ -337,6 +343,7 @@ void TraceGenerator::performMerge(double t) {
 }
 
 EventStream TraceGenerator::generate() {
+  MSD_TRACE_SCOPE("gen.generate");
   require(!generated_, "TraceGenerator::generate: call at most once");
   generated_ = true;
 

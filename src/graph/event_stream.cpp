@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/counters.h"
 #include "util/error.h"
 
 namespace msd {
@@ -26,11 +27,13 @@ void EventStream::append(const Event& event) {
     require(event.u == nodeCount_,
             "EventStream::append: node ids must be dense and in join order");
     ++nodeCount_;
+    MSD_COUNTER_ADD("stream.nodes_ingested", 1);
   } else {
     require(event.u < nodeCount_ && event.v < nodeCount_,
             "EventStream::append: edge endpoints must already exist");
     require(event.u != event.v, "EventStream::append: self-loops not allowed");
     ++edgeCount_;
+    MSD_COUNTER_ADD("stream.edges_ingested", 1);
   }
   events_.push_back(event);
 }

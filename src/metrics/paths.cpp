@@ -5,6 +5,8 @@
 
 #include "graph/csr.h"
 #include "metrics/components.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -65,6 +67,7 @@ std::vector<std::uint32_t> bfsDistances(const Graph& graph, NodeId source) {
 
 double sampledAveragePathLength(const Graph& graph, std::size_t samples,
                                 Rng& rng) {
+  MSD_TRACE_SCOPE("paths.sampled_average");
   if (graph.edgeCount() == 0) return 0.0;
   const Components components = connectedComponents(graph);
   const auto core = components.largest();
@@ -90,9 +93,12 @@ double sampledAveragePathLength(const Graph& graph, std::size_t samples,
       std::size_t{0}, picks.size(), std::size_t{1}, Partial{},
       [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t worker) {
         Partial partial;
+        std::uint64_t expansions = 0;
         for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
           const NodeId source = coreNodes[picks[i]];
           bfsInto(csr, source, scratch[worker]);
+          // Every node the BFS settled sits in the frontier buffer.
+          expansions += scratch[worker].frontier.size();
           const auto& dist = scratch[worker].dist;
           for (NodeId node : coreNodes) {
             if (node == source) continue;
@@ -101,6 +107,8 @@ double sampledAveragePathLength(const Graph& graph, std::size_t samples,
             ++partial.pairs;
           }
         }
+        MSD_COUNTER_ADD("bfs.sources", chunkEnd - chunkBegin);
+        MSD_COUNTER_ADD("bfs.expansions", expansions);
         return partial;
       },
       [](Partial accumulator, Partial partial) {

@@ -1,0 +1,258 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msd::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool isFiniteNumber(const Json* value) {
+  return value != nullptr && value->isNumber();
+}
+
+void checkWallMs(const Json& wall, std::size_t index,
+                 std::vector<std::string>& problems) {
+  for (const char* field : {"median", "p10", "p90"}) {
+    const Json* value = wall.find(field);
+    if (!isFiniteNumber(value)) {
+      problems.push_back("measurements[" + std::to_string(index) +
+                         "].wall_ms." + field + " must be a number");
+    } else if (value->numberValue() < 0.0) {
+      problems.push_back("measurements[" + std::to_string(index) +
+                         "].wall_ms." + field + " must be non-negative");
+    }
+  }
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("bench_compare: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("bench_compare: failed reading " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<std::string> validateBenchJson(const Json& json) {
+  std::vector<std::string> problems;
+  if (!json.isObject()) {
+    problems.push_back("document must be a JSON object");
+    return problems;
+  }
+  const Json* schema = json.find("schema");
+  if (schema == nullptr || !schema->isString()) {
+    problems.push_back("missing string field \"schema\"");
+  } else if (schema->stringValue() != kBenchSchema) {
+    problems.push_back("unsupported schema \"" + schema->stringValue() +
+                       "\" (expected \"" + kBenchSchema + "\")");
+  }
+  const Json* benchmark = json.find("benchmark");
+  if (benchmark == nullptr || !benchmark->isString() ||
+      benchmark->stringValue().empty()) {
+    problems.push_back("missing non-empty string field \"benchmark\"");
+  }
+  const Json* scale = json.find("scale");
+  if (scale == nullptr || !scale->isString()) {
+    problems.push_back("missing string field \"scale\"");
+  }
+  for (const char* field : {"seed", "threads"}) {
+    const Json* value = json.find(field);
+    if (value == nullptr || !value->isInt()) {
+      problems.push_back(std::string("missing integer field \"") + field +
+                         "\"");
+    }
+  }
+  const Json* measurements = json.find("measurements");
+  if (measurements == nullptr || !measurements->isArray()) {
+    problems.push_back("missing array field \"measurements\"");
+  } else if (measurements->size() == 0) {
+    problems.push_back("\"measurements\" must not be empty");
+  } else {
+    for (std::size_t i = 0; i < measurements->size(); ++i) {
+      const Json& entry = measurements->at(i);
+      if (!entry.isObject()) {
+        problems.push_back("measurements[" + std::to_string(i) +
+                           "] must be an object");
+        continue;
+      }
+      const Json* name = entry.find("name");
+      if (name == nullptr || !name->isString() ||
+          name->stringValue().empty()) {
+        problems.push_back("measurements[" + std::to_string(i) +
+                           "].name must be a non-empty string");
+      }
+      const Json* wall = entry.find("wall_ms");
+      if (wall == nullptr || !wall->isObject()) {
+        problems.push_back("measurements[" + std::to_string(i) +
+                           "].wall_ms must be an object");
+      } else {
+        checkWallMs(*wall, i, problems);
+      }
+      const Json* samples = entry.find("samples");
+      if (samples != nullptr && !samples->isInt()) {
+        problems.push_back("measurements[" + std::to_string(i) +
+                           "].samples must be an integer");
+      }
+    }
+  }
+  const Json* counters = json.find("counters");
+  if (counters != nullptr) {
+    if (!counters->isObject()) {
+      problems.push_back("\"counters\" must be an object");
+    } else {
+      for (const auto& [name, value] : counters->members()) {
+        if (!value.isInt()) {
+          problems.push_back("counters[\"" + name + "\"] must be an integer");
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+BenchRun parseBenchRun(const Json& json) {
+  const std::vector<std::string> problems = validateBenchJson(json);
+  if (!problems.empty()) {
+    throw std::runtime_error("bench_compare: invalid report: " + problems[0]);
+  }
+  BenchRun run;
+  run.benchmark = json.find("benchmark")->stringValue();
+  run.scale = json.find("scale")->stringValue();
+  run.seed = static_cast<std::uint64_t>(json.find("seed")->intValue());
+  run.threads = static_cast<std::size_t>(json.find("threads")->intValue());
+  const Json& measurements = *json.find("measurements");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Json& entry = measurements.at(i);
+    BenchMeasurement m;
+    m.name = entry.find("name")->stringValue();
+    if (const Json* samples = entry.find("samples")) {
+      m.samples = static_cast<std::size_t>(samples->intValue());
+    }
+    const Json& wall = *entry.find("wall_ms");
+    m.medianMs = wall.find("median")->numberValue();
+    m.p10Ms = wall.find("p10")->numberValue();
+    m.p90Ms = wall.find("p90")->numberValue();
+    run.measurements.push_back(std::move(m));
+  }
+  if (const Json* counters = json.find("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      run.counters[name] = static_cast<std::uint64_t>(value.intValue());
+    }
+  }
+  return run;
+}
+
+BenchRun loadBenchFile(const std::string& path) {
+  const std::string text = readFile(path);
+  Json json;
+  try {
+    json = Json::parse(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("bench_compare: " + path + ": " + e.what());
+  }
+  try {
+    return parseBenchRun(json);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<std::string> collectBenchFiles(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("bench_compare: not a directory: " + dir);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<BenchRun> loadBenchSet(const std::string& path) {
+  std::vector<std::string> files;
+  if (fs::is_directory(path)) {
+    files = collectBenchFiles(path);
+    if (files.empty()) {
+      throw std::runtime_error("bench_compare: no BENCH_*.json files in " +
+                               path);
+    }
+  } else {
+    files.push_back(path);
+  }
+  std::vector<BenchRun> runs;
+  runs.reserve(files.size());
+  for (const std::string& file : files) {
+    runs.push_back(loadBenchFile(file));
+  }
+  return runs;
+}
+
+CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
+                               const std::vector<BenchRun>& newRuns,
+                               double threshold) {
+  // Key every measurement by "benchmark/measurement"; later duplicates of
+  // the same key overwrite earlier ones (last run wins).
+  std::map<std::string, std::pair<const BenchRun*, const BenchMeasurement*>>
+      oldByKey;
+  std::map<std::string, std::pair<const BenchRun*, const BenchMeasurement*>>
+      newByKey;
+  for (const BenchRun& run : oldRuns) {
+    for (const BenchMeasurement& m : run.measurements) {
+      oldByKey[run.benchmark + "/" + m.name] = {&run, &m};
+    }
+  }
+  for (const BenchRun& run : newRuns) {
+    for (const BenchMeasurement& m : run.measurements) {
+      newByKey[run.benchmark + "/" + m.name] = {&run, &m};
+    }
+  }
+
+  CompareReport report;
+  for (const auto& [key, oldEntry] : oldByKey) {
+    const auto it = newByKey.find(key);
+    if (it == newByKey.end()) {
+      report.missing.push_back(key);
+      continue;
+    }
+    CompareEntry entry;
+    entry.benchmark = oldEntry.first->benchmark;
+    entry.measurement = oldEntry.second->name;
+    entry.oldMedianMs = oldEntry.second->medianMs;
+    entry.newMedianMs = it->second.second->medianMs;
+    if (entry.oldMedianMs > 0.0) {
+      entry.relChange =
+          (entry.newMedianMs - entry.oldMedianMs) / entry.oldMedianMs;
+    } else {
+      entry.relChange = entry.newMedianMs > 0.0 ? 1.0 : 0.0;
+    }
+    entry.regression = entry.relChange > threshold;
+    report.anyRegression = report.anyRegression || entry.regression;
+    report.entries.push_back(std::move(entry));
+  }
+  for (const auto& [key, value] : newByKey) {
+    (void)value;
+    if (oldByKey.find(key) == oldByKey.end()) {
+      report.added.push_back(key);
+    }
+  }
+  return report;
+}
+
+}  // namespace msd::obs

@@ -1,0 +1,100 @@
+#pragma once
+
+// Parsing, validation, and regression comparison of the BENCH_*.json
+// reports the bench binaries emit (schema "msd-bench-v1"):
+//
+//   {
+//     "schema":    "msd-bench-v1",
+//     "benchmark": "fig1_network_metrics",
+//     "scale":     "tiny",
+//     "seed":      1,
+//     "threads":   8,
+//     "measurements": [
+//       { "name": "total", "samples": 3,
+//         "wall_ms": { "median": 41.2, "p10": 40.8, "p90": 44.0 } }
+//     ],
+//     "counters": { "gen.edges": 12345, ... }       // optional
+//   }
+//
+// The tools/bench_compare binary is a thin front end over these
+// functions; bench_compare_test.cpp exercises them directly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace msd::obs {
+
+inline constexpr const char* kBenchSchema = "msd-bench-v1";
+
+struct BenchMeasurement {
+  std::string name;
+  std::size_t samples = 0;
+  double medianMs = 0.0;
+  double p10Ms = 0.0;
+  double p90Ms = 0.0;
+};
+
+/// One parsed BENCH_*.json document.
+struct BenchRun {
+  std::string benchmark;
+  std::string scale;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::vector<BenchMeasurement> measurements;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Schema check: returns a list of human-readable problems (empty when
+/// the document is a valid msd-bench-v1 report). Never throws.
+std::vector<std::string> validateBenchJson(const Json& json);
+
+/// Parses a validated document into a BenchRun. Throws
+/// std::runtime_error listing the first schema problem when invalid.
+BenchRun parseBenchRun(const Json& json);
+
+/// Reads and parses one BENCH_*.json file. Throws std::runtime_error
+/// with a path-qualified message on I/O errors, malformed JSON, or
+/// schema violations.
+BenchRun loadBenchFile(const std::string& path);
+
+/// All BENCH_*.json files directly inside `dir`, name-sorted. Throws
+/// when `dir` is not a directory.
+std::vector<std::string> collectBenchFiles(const std::string& dir);
+
+/// `path` may be a BENCH_*.json file or a directory of them.
+std::vector<BenchRun> loadBenchSet(const std::string& path);
+
+/// One (benchmark, measurement) pair present in both sets.
+struct CompareEntry {
+  std::string benchmark;
+  std::string measurement;
+  double oldMedianMs = 0.0;
+  double newMedianMs = 0.0;
+  /// (new - old) / old; positive = slower.
+  double relChange = 0.0;
+  bool regression = false;
+};
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;
+  /// "benchmark/measurement" keys present in the old set but absent from
+  /// the new one — treated as an error by the CLI (a silently dropped
+  /// benchmark must not read as a pass).
+  std::vector<std::string> missing;
+  /// Keys new in the new set (informational).
+  std::vector<std::string> added;
+  bool anyRegression = false;
+};
+
+/// Compares two report sets measurement by measurement. A measurement
+/// regresses when its median wall time grows by more than `threshold`
+/// (relative, e.g. 0.10 = 10%). Improvements of any size pass.
+CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
+                               const std::vector<BenchRun>& newRuns,
+                               double threshold);
+
+}  // namespace msd::obs

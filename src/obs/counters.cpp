@@ -1,0 +1,101 @@
+#include "obs/counters.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace msd::obs {
+namespace {
+
+// Registration is mutex-guarded (it happens once per call site thanks to
+// the macro's static caching); the hot path is the atomic inside the
+// returned object. std::map keeps snapshots name-sorted for free.
+struct MetricStore {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+MetricStore& store() {
+  static MetricStore* instance = new MetricStore();  // never destroyed
+  return *instance;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  auto it = metrics.counters.find(name);
+  if (it == metrics.counters.end()) {
+    it = metrics.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  auto it = metrics.gauges.find(name);
+  if (it == metrics.gauges.end()) {
+    it = metrics.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t counterValue(std::string_view name) {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  const auto it = metrics.counters.find(name);
+  return it == metrics.counters.end() ? 0 : it->second->value();
+}
+
+std::int64_t gaugeValue(std::string_view name) {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  const auto it = metrics.gauges.find(name);
+  return it == metrics.gauges.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counterSnapshot() {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot;
+  snapshot.reserve(metrics.counters.size());
+  for (const auto& [name, counter] : metrics.counters) {
+    snapshot.emplace_back(name, counter->value());
+  }
+  return snapshot;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> gaugeSnapshot() {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> snapshot;
+  snapshot.reserve(metrics.gauges.size());
+  for (const auto& [name, gauge] : metrics.gauges) {
+    snapshot.emplace_back(name, gauge->value());
+  }
+  return snapshot;
+}
+
+namespace detail {
+
+// Shared by registry.cpp's resetAll(): zero every metric, keep every
+// registration (cached references must stay valid).
+void resetMetrics() {
+  MetricStore& metrics = store();
+  std::lock_guard<std::mutex> lock(metrics.mutex);
+  for (auto& [name, counter] : metrics.counters) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : metrics.gauges) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+}  // namespace msd::obs

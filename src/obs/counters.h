@@ -1,0 +1,109 @@
+#pragma once
+
+// Named monotonic counters and gauges for the observability layer.
+//
+// Instrumentation sites use the MSD_COUNTER_ADD / MSD_GAUGE_SET /
+// MSD_GAUGE_ADD macros, which cache the registry lookup in a
+// function-local static — after the first hit, one relaxed atomic op per
+// call. Counters never affect computation (no RNG draws, no branches on
+// their values), so instrumented pipelines stay bit-identical to
+// uninstrumented ones.
+//
+// Compiling with MSD_OBS_DISABLED (the MSD_OBS=OFF CMake build) turns
+// every macro into a no-op expression: nothing registers, nothing
+// allocates, and the registry snapshot of such call sites stays empty.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msd::obs {
+
+namespace detail {
+void resetMetrics();
+}  // namespace detail
+
+/// A process-lifetime monotonic counter. add() is wait-free; value()
+/// reads are racy-but-atomic (a concurrent reader sees some value that
+/// was current at some instant, and successive reads never decrease).
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend void detail::resetMetrics();
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A process-lifetime gauge: a settable signed level (thread counts,
+/// queue depths). Unlike Counter it may move in both directions.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend void detail::resetMetrics();
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Returns the process-wide counter registered under `name`, creating it
+/// on first use. The reference stays valid for the process lifetime:
+/// resetAll() zeroes values but never destroys registrations, so cached
+/// references (the macros below) survive resets.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+
+/// Current value of the named counter/gauge, or 0 when it was never
+/// registered.
+std::uint64_t counterValue(std::string_view name);
+std::int64_t gaugeValue(std::string_view name);
+
+/// Name-sorted snapshots of every registered counter/gauge.
+std::vector<std::pair<std::string, std::uint64_t>> counterSnapshot();
+std::vector<std::pair<std::string, std::int64_t>> gaugeSnapshot();
+
+}  // namespace msd::obs
+
+#if defined(MSD_OBS_DISABLED)
+
+#define MSD_COUNTER_ADD(name, delta) ((void)0)
+#define MSD_GAUGE_SET(name, value) ((void)0)
+#define MSD_GAUGE_ADD(name, delta) ((void)0)
+
+#else
+
+#define MSD_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    static ::msd::obs::Counter& msdObsCachedCounter =                       \
+        ::msd::obs::counter(name);                                          \
+    msdObsCachedCounter.add(static_cast<std::uint64_t>(delta));             \
+  } while (0)
+
+#define MSD_GAUGE_SET(name, value)                                          \
+  do {                                                                      \
+    static ::msd::obs::Gauge& msdObsCachedGauge = ::msd::obs::gauge(name);  \
+    msdObsCachedGauge.set(static_cast<std::int64_t>(value));                \
+  } while (0)
+
+#define MSD_GAUGE_ADD(name, delta)                                          \
+  do {                                                                      \
+    static ::msd::obs::Gauge& msdObsCachedGauge = ::msd::obs::gauge(name);  \
+    msdObsCachedGauge.add(static_cast<std::int64_t>(delta));                \
+  } while (0)
+
+#endif  // MSD_OBS_DISABLED

@@ -1,0 +1,362 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace msd::obs {
+namespace {
+
+void appendEscaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendNewline(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+/// Recursive-descent JSON parser over a string_view, tracking the byte
+/// offset for error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parseDocument() {
+    Json value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parseValue() {
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return Json(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json object = Json::object();
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skipWhitespace();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      object.set(std::move(key), parseValue());
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json array = Json::array();
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push(parseValue());
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // Reports only ever contain ASCII; encode the BMP code point
+          // as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool isInt = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isInt = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    if (isInt) {
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        pos_ = start;
+        fail("invalid number");
+      }
+      return Json(static_cast<std::int64_t>(value));
+    }
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";
+        break;
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", double_);
+      out += buffer;
+      break;
+    }
+    case Kind::kString:
+      appendEscaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        appendNewline(out, indent, depth + 1);
+        elements_[i].dumpTo(out, indent, depth + 1);
+      }
+      appendNewline(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        appendNewline(out, indent, depth + 1);
+        appendEscaped(out, members_[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        members_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      appendNewline(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace msd::obs

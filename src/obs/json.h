@@ -1,0 +1,106 @@
+#pragma once
+
+// Minimal JSON document model for the observability layer: the registry
+// snapshot, the BENCH_*.json reporter, and bench_compare all speak this
+// one dialect. Objects preserve insertion order so serialized reports
+// are byte-stable across runs, which the golden tests rely on.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace msd::obs {
+
+/// One JSON value: null, bool, number (integer or double), string,
+/// array, or object. Numbers remember whether they were integral so
+/// 64-bit counters round-trip without precision loss.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  Json(std::uint64_t value)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  static Json array() {
+    Json json;
+    json.kind_ = Kind::kArray;
+    return json;
+  }
+  static Json object() {
+    Json json;
+    json.kind_ = Kind::kObject;
+    return json;
+  }
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isBool() const { return kind_ == Kind::kBool; }
+  bool isNumber() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool isInt() const { return kind_ == Kind::kInt; }
+  bool isString() const { return kind_ == Kind::kString; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+
+  bool boolValue() const { return bool_; }
+  /// Numeric value as double (works for both number kinds).
+  double numberValue() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  std::int64_t intValue() const {
+    return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  const std::string& stringValue() const { return string_; }
+
+  // Array access.
+  std::size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : elements_.size();
+  }
+  const Json& at(std::size_t index) const { return elements_[index]; }
+  void push(Json value) { elements_.push_back(std::move(value)); }
+
+  // Object access (insertion-ordered).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  /// Pointer to the member named `key`, or nullptr when absent.
+  const Json* find(std::string_view key) const;
+  /// Sets (or replaces) a member, preserving first-insertion order.
+  void set(std::string key, Json value);
+
+  /// Serializes the document. indent < 0 produces one compact line;
+  /// indent >= 0 pretty-prints with that many spaces per level. Doubles
+  /// are printed with %.17g (shortest round-trip-safe fixed choice),
+  /// non-finite doubles as null.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an
+  /// error. Throws std::runtime_error with a byte-offset-qualified
+  /// message on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace msd::obs

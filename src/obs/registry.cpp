@@ -1,0 +1,78 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace msd::obs {
+namespace detail {
+void resetMetrics();  // counters.cpp
+}  // namespace detail
+
+namespace {
+
+Json traceNodeJson(const ScopeNode& node, const ReportOptions& options) {
+  Json out = Json::object();
+  out.set("name", node.name());
+  out.set("calls", node.calls());
+  if (options.includeTimings) {
+    out.set("total_ms", static_cast<double>(node.totalNanos()) / 1e6);
+  }
+  std::vector<const ScopeNode*> children = node.children();
+  std::sort(children.begin(), children.end(),
+            [](const ScopeNode* a, const ScopeNode* b) {
+              return a->name() < b->name();
+            });
+  if (!children.empty()) {
+    Json list = Json::array();
+    for (const ScopeNode* child : children) {
+      list.push(traceNodeJson(*child, options));
+    }
+    out.set("children", std::move(list));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json snapshotJson(const ReportOptions& options) {
+  Json out = Json::object();
+  out.set("schema", "msd-obs-v1");
+  Json counters = Json::object();
+  for (const auto& [name, value] : counterSnapshot()) {
+    counters.set(name, value);
+  }
+  out.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : gaugeSnapshot()) {
+    gauges.set(name, value);
+  }
+  out.set("gauges", std::move(gauges));
+  out.set("trace", traceNodeJson(traceRoot(), options));
+  return out;
+}
+
+std::string snapshotString(const ReportOptions& options) {
+  return snapshotJson(options).dump(2) + "\n";
+}
+
+void writeSnapshotFile(const std::string& path, const ReportOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("obs: cannot write trace report to " + path);
+  }
+  out << snapshotString(options);
+  if (!out.good()) {
+    throw std::runtime_error("obs: failed writing trace report to " + path);
+  }
+}
+
+void resetAll() {
+  detail::resetMetrics();
+  traceRoot().resetStats();
+}
+
+}  // namespace msd::obs

@@ -1,0 +1,51 @@
+#pragma once
+
+// One-stop snapshot of the observability state: every counter, gauge,
+// and the aggregated scope-timer tree, serialized as a single JSON
+// document.
+//
+// Schema ("msd-obs-v1"):
+//   {
+//     "schema":   "msd-obs-v1",
+//     "counters": { "<name>": <uint>, ... },       // name-sorted
+//     "gauges":   { "<name>": <int>, ... },        // name-sorted
+//     "trace": {
+//       "name": "root", "calls": N, ["total_ms": x,] "children": [...]
+//     }
+//   }
+// Trace children are serialized name-sorted (creation order depends on
+// thread interleaving). With includeTimings=false every total_ms field
+// is omitted, leaving only deterministic structure and counts — the
+// form the golden test locks.
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace msd::obs {
+
+struct ReportOptions {
+  /// Include wall-clock fields (total_ms). Golden tests disable this to
+  /// get a byte-stable report.
+  bool includeTimings = true;
+};
+
+/// Builds the full snapshot document.
+Json snapshotJson(const ReportOptions& options = {});
+
+/// snapshotJson() pretty-printed with 2-space indent plus a trailing
+/// newline.
+std::string snapshotString(const ReportOptions& options = {});
+
+/// Writes snapshotString() to `path`; throws std::runtime_error when the
+/// file cannot be written.
+void writeSnapshotFile(const std::string& path,
+                       const ReportOptions& options = {});
+
+/// Zeroes every counter, gauge, and scope-tree statistic while keeping
+/// all registrations and nodes alive (cached references in the
+/// instrumentation macros stay valid). Must not be called while scopes
+/// are open or instrumented work is running.
+void resetAll();
+
+}  // namespace msd::obs

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace msd::obs {
+namespace {
+
+thread_local ScopeNode* tlsCurrentScope = nullptr;
+
+}  // namespace
+
+ScopeNode* ScopeNode::childNamed(const char* name) {
+  std::lock_guard<std::mutex> lock(childMutex_);
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  children_.push_back(std::make_unique<ScopeNode>(name, this));
+  return children_.back().get();
+}
+
+std::vector<const ScopeNode*> ScopeNode::children() const {
+  std::lock_guard<std::mutex> lock(childMutex_);
+  std::vector<const ScopeNode*> snapshot;
+  snapshot.reserve(children_.size());
+  for (const auto& child : children_) snapshot.push_back(child.get());
+  return snapshot;
+}
+
+void ScopeNode::resetStats() {
+  calls_.store(0, std::memory_order_relaxed);
+  totalNs_.store(0, std::memory_order_relaxed);
+  open_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(childMutex_);
+  for (const auto& child : children_) child->resetStats();
+}
+
+ScopeNode& traceRoot() {
+  static ScopeNode* root = new ScopeNode("root", nullptr);  // never destroyed
+  return *root;
+}
+
+ScopeNode* currentScope() {
+  if (tlsCurrentScope == nullptr) tlsCurrentScope = &traceRoot();
+  return tlsCurrentScope;
+}
+
+ScopeTimer::ScopeTimer(const char* name)
+    : node_(currentScope()->childNamed(name)),
+      start_(std::chrono::steady_clock::now()) {
+  node_->noteEnter();
+  tlsCurrentScope = node_;
+}
+
+ScopeTimer::~ScopeTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->noteExit(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  tlsCurrentScope = node_->parent();
+}
+
+ScopeNode* scopeForWorkers() {
+#if defined(MSD_OBS_DISABLED)
+  return nullptr;
+#else
+  return currentScope();
+#endif
+}
+
+ScopeAdoption::ScopeAdoption(ScopeNode* scope) {
+  if (scope == nullptr) return;
+  saved_ = currentScope();
+  tlsCurrentScope = scope;
+  active_ = true;
+}
+
+ScopeAdoption::~ScopeAdoption() {
+  if (active_) tlsCurrentScope = saved_;
+}
+
+}  // namespace msd::obs

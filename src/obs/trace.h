@@ -1,0 +1,143 @@
+#pragma once
+
+// Scoped hierarchical wall-clock timers.
+//
+//   void analyze() {
+//     MSD_TRACE_SCOPE("fig1.analyze");
+//     ...
+//   }
+//
+// Each thread carries a current-scope pointer; entering a scope creates
+// (or finds) a child node of the current one and accumulates elapsed
+// nanoseconds + a call count into it on exit. The shared thread pool
+// propagates the submitting thread's scope to its workers (see
+// scopeForWorkers / ScopeAdoption), so timers inside parallelFor bodies
+// attach under the scope that spawned the work instead of dangling off
+// each worker's root.
+//
+// Node statistics are atomics and child creation is mutex-guarded, so
+// concurrent scopes on the same node are race-free. Timers observe time
+// only — they never branch on it — so instrumented pipelines remain
+// bit-identical to uninstrumented ones.
+//
+// With MSD_OBS_DISABLED the MSD_TRACE_SCOPE macro expands to a no-op
+// expression and scopeForWorkers() returns nullptr, so the pool skips
+// adoption and no thread-local state is ever touched.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msd::obs {
+
+/// One node of the aggregated scope tree: a name, accumulated stats, and
+/// the (lazily created) children. Nodes live for the process lifetime;
+/// resetStats() zeroes numbers but keeps the structure.
+class ScopeNode {
+ public:
+  ScopeNode(std::string name, ScopeNode* parent)
+      : name_(std::move(name)), parent_(parent) {}
+  ScopeNode(const ScopeNode&) = delete;
+  ScopeNode& operator=(const ScopeNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  ScopeNode* parent() const { return parent_; }
+
+  /// Completed enter/exit pairs.
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  /// Total nanoseconds across completed calls.
+  std::uint64_t totalNanos() const {
+    return totalNs_.load(std::memory_order_relaxed);
+  }
+  /// Enters minus exits; 0 whenever the node is quiescent. A well-formed
+  /// instrumentation run ends with every node's openCount() at 0.
+  std::int64_t openCount() const {
+    return open_.load(std::memory_order_relaxed);
+  }
+
+  /// Looks up the child named `name`, creating it on first use.
+  /// Thread-safe; all callers racing on the same name get one node.
+  ScopeNode* childNamed(const char* name);
+
+  /// Stable snapshot of the current children (the pointers stay valid
+  /// for the process lifetime).
+  std::vector<const ScopeNode*> children() const;
+
+  void noteEnter() { open_.fetch_add(1, std::memory_order_relaxed); }
+  void noteExit(std::uint64_t nanos) {
+    totalNs_.fetch_add(nanos, std::memory_order_relaxed);
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Recursively zeroes stats, keeping every node alive. Must not run
+  /// while scopes are open.
+  void resetStats();
+
+ private:
+  const std::string name_;
+  ScopeNode* const parent_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> totalNs_{0};
+  std::atomic<std::int64_t> open_{0};
+  mutable std::mutex childMutex_;
+  std::vector<std::unique_ptr<ScopeNode>> children_;
+};
+
+/// The process-wide root of the scope tree.
+ScopeNode& traceRoot();
+
+/// The calling thread's current scope (the root until a scope is
+/// entered or adopted).
+ScopeNode* currentScope();
+
+/// RAII scope timer; prefer the MSD_TRACE_SCOPE macro.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name);
+  ~ScopeTimer();
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  ScopeNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The scope a work submitter hands to its workers: the submitting
+/// thread's current scope, or nullptr when tracing is compiled out (the
+/// pool then skips adoption entirely, touching no TLS).
+ScopeNode* scopeForWorkers();
+
+/// RAII adoption of a foreign scope as this thread's current scope.
+/// Used by the thread pool around chunk processing so worker-side scopes
+/// nest under the submitting scope. A null scope is a no-op.
+class ScopeAdoption {
+ public:
+  explicit ScopeAdoption(ScopeNode* scope);
+  ~ScopeAdoption();
+  ScopeAdoption(const ScopeAdoption&) = delete;
+  ScopeAdoption& operator=(const ScopeAdoption&) = delete;
+
+ private:
+  ScopeNode* saved_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace msd::obs
+
+#define MSD_OBS_CONCAT_INNER(a, b) a##b
+#define MSD_OBS_CONCAT(a, b) MSD_OBS_CONCAT_INNER(a, b)
+
+#if defined(MSD_OBS_DISABLED)
+#define MSD_TRACE_SCOPE(name) ((void)0)
+#else
+#define MSD_TRACE_SCOPE(name) \
+  ::msd::obs::ScopeTimer MSD_OBS_CONCAT(msdObsScope_, __LINE__)(name)
+#endif

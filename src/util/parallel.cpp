@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace msd {
 namespace {
 
@@ -62,6 +65,9 @@ struct ThreadPool::Batch {
   std::size_t chunkCount = 0;
   const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
       nullptr;
+  // Submitting thread's trace scope; workers adopt it so scopes opened
+  // inside chunk bodies nest under the scope that spawned the batch.
+  obs::ScopeNode* scope = nullptr;
   std::atomic<std::size_t> nextChunk{0};
   std::atomic<std::size_t> doneChunks{0};
   std::atomic<bool> cancelled{false};
@@ -72,6 +78,7 @@ struct ThreadPool::Batch {
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers < 1) workers = 1;
+  MSD_GAUGE_SET("pool.threads", workers);
   spawned_.reserve(workers - 1);
   for (std::size_t i = 1; i < workers; ++i) {
     spawned_.emplace_back([this, i] { workerLoop(i); });
@@ -91,6 +98,7 @@ void ThreadPool::runInline(
     std::size_t begin, std::size_t end, std::size_t grain,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   for (std::size_t chunkBegin = begin; chunkBegin < end; chunkBegin += grain) {
+    MSD_COUNTER_ADD("pool.chunks_inline", 1);
     fn(chunkBegin, std::min(end, chunkBegin + grain), 0);
   }
 }
@@ -107,12 +115,14 @@ void ThreadPool::run(
   }
 
   std::lock_guard<std::mutex> runLock(runMutex_);
+  MSD_COUNTER_ADD("pool.batches", 1);
   auto batch = std::make_shared<Batch>();
   batch->begin = begin;
   batch->end = end;
   batch->grain = grain;
   batch->chunkCount = chunkCount;
   batch->fn = &fn;
+  batch->scope = obs::scopeForWorkers();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     currentBatch_ = batch;
@@ -149,15 +159,21 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
       seenVersion = batchVersion_;
       batch = currentBatch_;
     }
+    MSD_COUNTER_ADD("pool.wakeups", 1);
     processChunks(*batch, workerIndex);
   }
 }
 
 void ThreadPool::processChunks(Batch& batch, std::size_t workerIndex) {
+  // Adopt the submitter's scope for the whole claim loop; scopes opened
+  // inside chunk bodies then attach under the spawning scope instead of
+  // this worker's root. Null (obs disabled) makes this a no-op.
+  obs::ScopeAdoption adoptScope(batch.scope);
   for (;;) {
     const std::size_t chunk =
         batch.nextChunk.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= batch.chunkCount) return;
+    MSD_COUNTER_ADD("pool.chunks", 1);
     if (!batch.cancelled.load(std::memory_order_relaxed)) {
       const std::size_t chunkBegin = batch.begin + chunk * batch.grain;
       const std::size_t chunkEnd =

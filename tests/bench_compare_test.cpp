@@ -1,0 +1,241 @@
+// Unit tests for the bench-report toolchain behind tools/bench_compare:
+// schema validation of msd-bench-v1 documents, file/directory loading
+// with path-qualified errors, and the regression comparison (regressions
+// past the threshold fail, improvements of any size pass, benchmarks
+// dropped from the new set are reported rather than silently passing).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+#include "obs/json.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::Json validDoc(const std::string& benchmark, const std::string& name,
+                   double medianMs) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", obs::kBenchSchema);
+  doc.set("benchmark", benchmark);
+  doc.set("scale", "tiny");
+  doc.set("seed", std::uint64_t{1});
+  doc.set("threads", std::uint64_t{2});
+  obs::Json measurement = obs::Json::object();
+  measurement.set("name", name);
+  measurement.set("samples", std::uint64_t{3});
+  obs::Json wall = obs::Json::object();
+  wall.set("median", medianMs);
+  wall.set("p10", medianMs * 0.9);
+  wall.set("p90", medianMs * 1.1);
+  measurement.set("wall_ms", std::move(wall));
+  obs::Json measurements = obs::Json::array();
+  measurements.push(std::move(measurement));
+  doc.set("measurements", std::move(measurements));
+  obs::Json counters = obs::Json::object();
+  counters.set("gen.edges", std::uint64_t{7785});
+  doc.set("counters", std::move(counters));
+  return doc;
+}
+
+obs::BenchRun makeRun(const std::string& benchmark, const std::string& name,
+                      double medianMs) {
+  return obs::parseBenchRun(validDoc(benchmark, name, medianMs));
+}
+
+/// Fresh scratch directory per test.
+fs::path scratchDir(const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("bench_cmp_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void writeFile(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << text;
+}
+
+TEST(BenchCompareTest, ValidDocumentPassesValidationAndParses) {
+  const obs::Json doc = validDoc("fig1", "total", 41.5);
+  EXPECT_TRUE(obs::validateBenchJson(doc).empty());
+
+  const obs::BenchRun run = obs::parseBenchRun(doc);
+  EXPECT_EQ(run.benchmark, "fig1");
+  EXPECT_EQ(run.scale, "tiny");
+  EXPECT_EQ(run.seed, 1u);
+  EXPECT_EQ(run.threads, 2u);
+  ASSERT_EQ(run.measurements.size(), 1u);
+  EXPECT_EQ(run.measurements[0].name, "total");
+  EXPECT_EQ(run.measurements[0].samples, 3u);
+  EXPECT_DOUBLE_EQ(run.measurements[0].medianMs, 41.5);
+  ASSERT_EQ(run.counters.size(), 1u);
+  EXPECT_EQ(run.counters.at("gen.edges"), 7785u);
+}
+
+TEST(BenchCompareTest, ValidationFlagsEachSchemaViolation) {
+  struct Case {
+    const char* label;
+    void (*mutate)(obs::Json&);
+    const char* expectedMention;
+  };
+  const Case cases[] = {
+      {"wrong schema", [](obs::Json& d) { d.set("schema", "nope"); },
+       "schema"},
+      {"missing benchmark",
+       [](obs::Json& d) { d.set("benchmark", nullptr); }, "benchmark"},
+      {"string seed", [](obs::Json& d) { d.set("seed", "one"); }, "seed"},
+      {"float threads", [](obs::Json& d) { d.set("threads", 2.5); },
+       "threads"},
+      {"empty measurements",
+       [](obs::Json& d) { d.set("measurements", obs::Json::array()); },
+       "measurements"},
+      {"counters not an object",
+       [](obs::Json& d) { d.set("counters", obs::Json::array()); },
+       "counters"},
+  };
+  for (const Case& testCase : cases) {
+    obs::Json doc = validDoc("fig1", "total", 10.0);
+    testCase.mutate(doc);
+    const std::vector<std::string> problems = obs::validateBenchJson(doc);
+    ASSERT_FALSE(problems.empty()) << testCase.label;
+    bool mentioned = false;
+    for (const std::string& problem : problems) {
+      if (problem.find(testCase.expectedMention) != std::string::npos) {
+        mentioned = true;
+      }
+    }
+    EXPECT_TRUE(mentioned) << testCase.label << ": problems do not mention '"
+                           << testCase.expectedMention << "'";
+    EXPECT_THROW(obs::parseBenchRun(doc), std::runtime_error)
+        << testCase.label;
+  }
+}
+
+TEST(BenchCompareTest, RegressionBeyondThresholdIsDetected) {
+  const std::vector<obs::BenchRun> oldRuns = {makeRun("fig1", "total", 100.0)};
+  const std::vector<obs::BenchRun> newRuns = {makeRun("fig1", "total", 115.0)};
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, 0.10);
+  EXPECT_TRUE(report.anyRegression);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.entries[0].regression);
+  EXPECT_NEAR(report.entries[0].relChange, 0.15, 1e-12);
+  EXPECT_EQ(report.entries[0].benchmark, "fig1");
+  EXPECT_EQ(report.entries[0].measurement, "total");
+}
+
+TEST(BenchCompareTest, ImprovementAndSubThresholdGrowthPass) {
+  const std::vector<obs::BenchRun> oldRuns = {
+      makeRun("fig1", "total", 100.0), makeRun("fig2", "analyze", 50.0)};
+  // fig1 got 40% faster; fig2 grew 6% — both within a 10% threshold.
+  const std::vector<obs::BenchRun> newRuns = {
+      makeRun("fig1", "total", 60.0), makeRun("fig2", "analyze", 53.0)};
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, 0.10);
+  EXPECT_FALSE(report.anyRegression);
+  ASSERT_EQ(report.entries.size(), 2u);
+  for (const obs::CompareEntry& entry : report.entries) {
+    EXPECT_FALSE(entry.regression) << entry.benchmark;
+  }
+  EXPECT_TRUE(report.missing.empty());
+}
+
+TEST(BenchCompareTest, ThresholdIsStrictBoundary) {
+  const std::vector<obs::BenchRun> oldRuns = {makeRun("fig1", "total", 100.0)};
+  // Exactly +10% is NOT a regression at threshold 0.10 (strictly greater).
+  const obs::CompareReport atThreshold = obs::compareBenchRuns(
+      oldRuns, {makeRun("fig1", "total", 110.0)}, 0.10);
+  EXPECT_FALSE(atThreshold.anyRegression);
+  const obs::CompareReport justOver = obs::compareBenchRuns(
+      oldRuns, {makeRun("fig1", "total", 110.5)}, 0.10);
+  EXPECT_TRUE(justOver.anyRegression);
+}
+
+TEST(BenchCompareTest, MissingAndAddedBenchmarksAreReported) {
+  const std::vector<obs::BenchRun> oldRuns = {
+      makeRun("fig1", "total", 10.0), makeRun("fig2", "analyze", 10.0)};
+  const std::vector<obs::BenchRun> newRuns = {
+      makeRun("fig2", "analyze", 10.0), makeRun("fig3", "analyze", 10.0)};
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, 0.10);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "fig1/total");
+  ASSERT_EQ(report.added.size(), 1u);
+  EXPECT_EQ(report.added[0], "fig3/analyze");
+  EXPECT_FALSE(report.anyRegression);
+}
+
+TEST(BenchCompareTest, LoadErrorsArePathQualifiedAndClear) {
+  const fs::path dir = scratchDir("errors");
+
+  EXPECT_THROW(obs::loadBenchFile((dir / "absent.json").string()),
+               std::runtime_error);
+
+  const fs::path malformed = dir / "BENCH_broken.json";
+  writeFile(malformed, "{\"schema\": \"msd-bench-v1\",");
+  try {
+    obs::loadBenchFile(malformed.string());
+    FAIL() << "malformed JSON did not throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("BENCH_broken.json"), std::string::npos)
+        << "error lacks the file path: " << what;
+  }
+
+  const fs::path invalid = dir / "BENCH_invalid.json";
+  writeFile(invalid, "{\"schema\": \"other\"}");
+  try {
+    obs::loadBenchFile(invalid.string());
+    FAIL() << "schema violation did not throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("BENCH_invalid.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("schema"), std::string::npos) << what;
+  }
+}
+
+TEST(BenchCompareTest, DirectoryLoadingCollectsOnlyBenchReportsSorted) {
+  const fs::path dir = scratchDir("collect");
+  writeFile(dir / "BENCH_zz.json", validDoc("zz", "total", 1.0).dump(2));
+  writeFile(dir / "BENCH_aa.json", validDoc("aa", "total", 1.0).dump(2));
+  writeFile(dir / "notes.txt", "ignore me");
+  writeFile(dir / "BENCH_partial.txt", "not json, wrong suffix");
+  writeFile(dir / "trace.csv", "1,2\n");
+
+  const std::vector<std::string> files =
+      obs::collectBenchFiles(dir.string());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("BENCH_aa.json"), std::string::npos);
+  EXPECT_NE(files[1].find("BENCH_zz.json"), std::string::npos);
+
+  const std::vector<obs::BenchRun> runs = obs::loadBenchSet(dir.string());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].benchmark, "aa");
+  EXPECT_EQ(runs[1].benchmark, "zz");
+}
+
+TEST(BenchCompareTest, EmptyDirectoryIsAnError) {
+  const fs::path dir = scratchDir("empty");
+  EXPECT_THROW(obs::loadBenchSet(dir.string()), std::runtime_error);
+}
+
+TEST(BenchCompareTest, SingleFilePathLoadsDirectly) {
+  const fs::path dir = scratchDir("single");
+  const fs::path file = dir / "BENCH_one.json";
+  writeFile(file, validDoc("one", "total", 2.5).dump(2));
+  const std::vector<obs::BenchRun> runs = obs::loadBenchSet(file.string());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].benchmark, "one");
+}
+
+}  // namespace
+}  // namespace msd

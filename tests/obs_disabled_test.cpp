@@ -1,0 +1,67 @@
+// Verifies the MSD_OBS_DISABLED contract at the call-site level: this
+// translation unit is compiled with MSD_OBS_DISABLED (see
+// tests/CMakeLists.txt), so every instrumentation macro below must
+// expand to a no-op — registering nothing, allocating nothing, and
+// leaving the registry exactly as it was. The full-build variant of the
+// same contract (-DMSD_OBS=OFF) is exercised by the CI recipe in
+// README.md; this test locks the macro layer it relies on.
+
+#ifndef MSD_OBS_DISABLED
+#error "obs_disabled_test must be compiled with MSD_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace msd {
+namespace {
+
+bool registryMentions(const std::string& needle) {
+  return obs::snapshotString().find(needle) != std::string::npos;
+}
+
+TEST(ObsDisabledTest, CounterMacrosCompileToNothing) {
+  MSD_COUNTER_ADD("obs_disabled.counter", 7);
+  MSD_COUNTER_ADD("obs_disabled.counter", 7);
+  EXPECT_EQ(obs::counterValue("obs_disabled.counter"), 0u);
+  for (const auto& [name, value] : obs::counterSnapshot()) {
+    EXPECT_NE(name, "obs_disabled.counter")
+        << "disabled macro registered a counter";
+  }
+  EXPECT_FALSE(registryMentions("obs_disabled.counter"));
+}
+
+TEST(ObsDisabledTest, GaugeMacrosCompileToNothing) {
+  MSD_GAUGE_SET("obs_disabled.gauge", 42);
+  MSD_GAUGE_ADD("obs_disabled.gauge", 1);
+  EXPECT_EQ(obs::gaugeValue("obs_disabled.gauge"), 0);
+  EXPECT_FALSE(registryMentions("obs_disabled.gauge"));
+}
+
+TEST(ObsDisabledTest, TraceScopesCompileToNothing) {
+  {
+    MSD_TRACE_SCOPE("obs_disabled.scope");
+    MSD_TRACE_SCOPE("obs_disabled.scope_inner");
+  }
+  for (const obs::ScopeNode* child : obs::traceRoot().children()) {
+    EXPECT_NE(child->name(), "obs_disabled.scope");
+    EXPECT_NE(child->name(), "obs_disabled.scope_inner");
+  }
+  EXPECT_FALSE(registryMentions("obs_disabled.scope"));
+}
+
+TEST(ObsDisabledTest, MacrosAreExpressionsInSingleStatementContexts) {
+  // The no-op expansion must stay usable where an unbraced statement is
+  // required; a macro expanding to a declaration would not compile here.
+  if (true) MSD_COUNTER_ADD("obs_disabled.branch", 1);
+  for (int i = 0; i < 2; ++i) MSD_GAUGE_ADD("obs_disabled.branch", 1);
+  EXPECT_EQ(obs::counterValue("obs_disabled.branch"), 0u);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,90 @@
+// Golden lock for the observability JSON report (schema "msd-obs-v1"):
+// a fixed-seed tiny pipeline runs single-threaded, and the timing-free
+// snapshot — every counter value, gauge, and the scope-tree structure
+// with call counts — must match tests/golden/obs_report.golden byte for
+// byte. This pins the report schema AND the instrumentation-site
+// placement: silently dropping a counter or re-parenting a scope is a
+// diff, not a surprise.
+//
+// To regenerate after an *intentional* change:
+//   MSD_UPDATE_GOLDEN=1 ./obs_json_golden_test
+// then review the diff like any other code change.
+//
+// This test runs alone in its own binary: the registry is process-wide,
+// so sharing a binary with other tests would leak their counters into
+// the snapshot.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/community_analysis.h"
+#include "analysis/edge_dynamics.h"
+#include "gen/trace_generator.h"
+#include "obs/registry.h"
+#include "util/parallel.h"
+
+#ifndef MSD_OBS_GOLDEN_FILE
+#error "MSD_OBS_GOLDEN_FILE must point at the checked-in golden report"
+#endif
+
+namespace msd {
+namespace {
+
+/// Runs a deterministic slice of the pipeline — generation, the Fig 2
+/// edge-dynamics replay, and a coarse community analysis — at one
+/// thread, then snapshots the registry without timings.
+std::string buildReport() {
+  setThreadCount(1);
+  obs::resetAll();
+
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  const EventStream stream = generator.generate();
+  analyzeEdgeDynamics(stream);
+
+  CommunityAnalysisConfig config;
+  config.startDay = 15.0;
+  config.snapshotStep = 10.0;
+  config.tracker.minCommunitySize = 5;
+  analyzeCommunities(stream, config);
+
+  return obs::snapshotString({.includeTimings = false});
+}
+
+TEST(ObsJsonGoldenTest, ReportMatchesCheckedInGolden) {
+  const std::string report = buildReport();
+
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(MSD_OBS_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << MSD_OBS_GOLDEN_FILE;
+    out << report;
+    GTEST_SKIP() << "golden file regenerated at " << MSD_OBS_GOLDEN_FILE;
+  }
+
+  std::ifstream in(MSD_OBS_GOLDEN_FILE);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << MSD_OBS_GOLDEN_FILE
+      << " — regenerate with MSD_UPDATE_GOLDEN=1 ./obs_json_golden_test";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  std::istringstream actualLines(report);
+  std::istringstream goldenLines(golden.str());
+  std::string actualLine, goldenLine;
+  std::size_t lineNumber = 0;
+  while (std::getline(goldenLines, goldenLine)) {
+    ++lineNumber;
+    ASSERT_TRUE(std::getline(actualLines, actualLine))
+        << "report ends early at golden line " << lineNumber;
+    ASSERT_EQ(actualLine, goldenLine)
+        << "first divergence at line " << lineNumber;
+  }
+  EXPECT_FALSE(std::getline(actualLines, actualLine))
+      << "report has extra lines beyond the golden file";
+}
+
+}  // namespace
+}  // namespace msd

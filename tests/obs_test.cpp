@@ -1,0 +1,276 @@
+// Property tests for the observability layer (src/obs): counters stay
+// exact and monotone under concurrent writers, scope trees remain
+// well-formed (every enter matched by an exit), worker-side scopes
+// attach under the scope that spawned the parallel work, resets keep
+// cached registrations valid, and the JSON model round-trips. Runs
+// under the ThreadSanitizer preset via `ctest -L tsan`.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+const obs::ScopeNode* findChild(const obs::ScopeNode& parent,
+                                const std::string& name) {
+  for (const obs::ScopeNode* child : parent.children()) {
+    if (child->name() == name) return child;
+  }
+  return nullptr;
+}
+
+void expectAllClosed(const obs::ScopeNode& node) {
+  EXPECT_EQ(node.openCount(), 0) << "scope still open: " << node.name();
+  for (const obs::ScopeNode* child : node.children()) {
+    expectAllClosed(*child);
+  }
+}
+
+/// Restores the pool size on scope exit so tests that resize the pool
+/// do not leak their setting into later tests.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(ObsCounterTest, ConcurrentAddsAreExact) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAddsPerThread = 20000;
+  obs::Counter& counter = obs::counter("obs_test.concurrent_adds");
+  const std::uint64_t before = counter.value();
+
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kAddsPerThread; ++i) counter.add(3);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(counter.value(), before + kThreads * kAddsPerThread * 3);
+}
+
+TEST(ObsCounterTest, ReadsAreMonotoneUnderConcurrentWriters) {
+  obs::Counter& counter = obs::counter("obs_test.monotone");
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> observed;
+  observed.reserve(1 << 16);
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      observed.push_back(counter.value());
+    }
+    observed.push_back(counter.value());
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&counter] {
+      for (std::size_t i = 0; i < 50000; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    ASSERT_GE(observed[i], observed[i - 1])
+        << "counter reads went backwards at sample " << i;
+  }
+  EXPECT_EQ(observed.back(), counter.value());
+}
+
+TEST(ObsCounterTest, MacroCachedReferenceSurvivesReset) {
+  MSD_COUNTER_ADD("obs_test.cached", 2);
+  MSD_COUNTER_ADD("obs_test.cached", 2);
+  EXPECT_EQ(obs::counterValue("obs_test.cached"), 4u);
+
+  obs::resetAll();
+  EXPECT_EQ(obs::counterValue("obs_test.cached"), 0u);
+
+  // The function-local static inside the macro still points at the live
+  // registration; adding after the reset must work and re-count from 0.
+  MSD_COUNTER_ADD("obs_test.cached", 5);
+  EXPECT_EQ(obs::counterValue("obs_test.cached"), 5u);
+
+  bool found = false;
+  for (const auto& [name, value] : obs::counterSnapshot()) {
+    if (name == "obs_test.cached") found = true;
+  }
+  EXPECT_TRUE(found) << "resetAll dropped the registration";
+}
+
+TEST(ObsGaugeTest, SetAndAddInBothDirections) {
+  MSD_GAUGE_SET("obs_test.gauge", 10);
+  EXPECT_EQ(obs::gaugeValue("obs_test.gauge"), 10);
+  MSD_GAUGE_ADD("obs_test.gauge", -4);
+  EXPECT_EQ(obs::gaugeValue("obs_test.gauge"), 6);
+  MSD_GAUGE_SET("obs_test.gauge", -1);
+  EXPECT_EQ(obs::gaugeValue("obs_test.gauge"), -1);
+}
+
+TEST(ObsTraceTest, NestedScopesAreWellFormed) {
+  {
+    MSD_TRACE_SCOPE("obs_test.outer_nested");
+    for (int i = 0; i < 3; ++i) {
+      MSD_TRACE_SCOPE("obs_test.inner_nested");
+    }
+  }
+  const obs::ScopeNode* outer =
+      findChild(obs::traceRoot(), "obs_test.outer_nested");
+  ASSERT_NE(outer, nullptr);
+  const obs::ScopeNode* inner = findChild(*outer, "obs_test.inner_nested");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls(), 1u);
+  EXPECT_EQ(inner->calls(), 3u);
+  EXPECT_EQ(inner->parent(), outer);
+  // The inner scope nested under the outer one, so it must not also
+  // appear as a direct child of the root.
+  EXPECT_EQ(findChild(obs::traceRoot(), "obs_test.inner_nested"), nullptr);
+  expectAllClosed(obs::traceRoot());
+}
+
+TEST(ObsTraceTest, WorkerScopesAttachUnderSpawningScope) {
+  ThreadCountGuard guard;
+  setThreadCount(4);
+  constexpr std::size_t kItems = 400;
+  {
+    MSD_TRACE_SCOPE("obs_test.spawning");
+    parallelFor(0, kItems, 1, [](std::size_t) {
+      MSD_TRACE_SCOPE("obs_test.worker_body");
+    });
+  }
+  const obs::ScopeNode* spawning =
+      findChild(obs::traceRoot(), "obs_test.spawning");
+  ASSERT_NE(spawning, nullptr);
+  const obs::ScopeNode* body = findChild(*spawning, "obs_test.worker_body");
+  ASSERT_NE(body, nullptr)
+      << "worker-side scope did not adopt the submitting scope";
+  EXPECT_EQ(body->calls(), kItems);
+  EXPECT_EQ(findChild(obs::traceRoot(), "obs_test.worker_body"), nullptr)
+      << "worker-side scope dangled off a worker root";
+  expectAllClosed(obs::traceRoot());
+}
+
+TEST(ObsTraceTest, ConcurrentScopesOnOneNodeAreRaceFree) {
+  ThreadCountGuard guard;
+  setThreadCount(8);
+  constexpr std::size_t kItems = 5000;
+  const obs::ScopeNode* shared = nullptr;
+  {
+    MSD_TRACE_SCOPE("obs_test.race_parent");
+    parallelFor(0, kItems, 16, [](std::size_t) {
+      MSD_TRACE_SCOPE("obs_test.race_child");
+      MSD_COUNTER_ADD("obs_test.race_counter", 1);
+    });
+    const obs::ScopeNode* parent = obs::currentScope();
+    shared = findChild(*parent, "obs_test.race_child");
+  }
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->calls(), kItems);
+  EXPECT_EQ(shared->openCount(), 0);
+  expectAllClosed(obs::traceRoot());
+}
+
+TEST(ObsTraceTest, ResetStatsKeepsNodesAlive) {
+  {
+    MSD_TRACE_SCOPE("obs_test.reset_me");
+  }
+  const obs::ScopeNode* node = findChild(obs::traceRoot(), "obs_test.reset_me");
+  ASSERT_NE(node, nullptr);
+  EXPECT_GE(node->calls(), 1u);
+  obs::resetAll();
+  EXPECT_EQ(node->calls(), 0u);
+  EXPECT_EQ(node->totalNanos(), 0u);
+  // Same pointer, still registered under the root.
+  EXPECT_EQ(findChild(obs::traceRoot(), "obs_test.reset_me"), node);
+}
+
+TEST(ObsRegistryTest, SnapshotHasSchemaAndSortedSections) {
+  MSD_COUNTER_ADD("obs_test.zz_snapshot", 1);
+  MSD_COUNTER_ADD("obs_test.aa_snapshot", 1);
+  const obs::Json doc = obs::snapshotJson();
+  ASSERT_TRUE(doc.isObject());
+  const obs::Json* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->stringValue(), "msd-obs-v1");
+
+  const obs::Json* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->isObject());
+  std::string previous;
+  for (const auto& [name, value] : counters->members()) {
+    EXPECT_LE(previous, name) << "counters not name-sorted";
+    previous = name;
+  }
+  ASSERT_NE(doc.find("gauges"), nullptr);
+  const obs::Json* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  const obs::Json* rootName = trace->find("name");
+  ASSERT_NE(rootName, nullptr);
+  EXPECT_EQ(rootName->stringValue(), "root");
+}
+
+TEST(ObsRegistryTest, TimingsCanBeOmittedForStableReports) {
+  {
+    MSD_TRACE_SCOPE("obs_test.timed_scope");
+  }
+  const std::string with = obs::snapshotString({.includeTimings = true});
+  const std::string without = obs::snapshotString({.includeTimings = false});
+  EXPECT_NE(with.find("total_ms"), std::string::npos);
+  EXPECT_EQ(without.find("total_ms"), std::string::npos);
+}
+
+TEST(ObsJsonTest, DumpParseRoundTrip) {
+  obs::Json doc = obs::Json::object();
+  doc.set("int", std::uint64_t{9007199254740993ull});  // > 2^53: int-exact
+  doc.set("negative", std::int64_t{-42});
+  doc.set("double", 1.5);
+  doc.set("string", "line\nbreak \"quoted\" \\ tab\t");
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  obs::Json list = obs::Json::array();
+  list.push(1);
+  list.push("two");
+  list.push(3.25);
+  doc.set("list", std::move(list));
+
+  for (int indent : {-1, 2}) {
+    const std::string text = doc.dump(indent);
+    const obs::Json parsed = obs::Json::parse(text);
+    EXPECT_EQ(parsed.dump(), doc.dump()) << "indent=" << indent;
+    const obs::Json* big = parsed.find("int");
+    ASSERT_NE(big, nullptr);
+    ASSERT_TRUE(big->isInt()) << "64-bit integer decayed to double";
+    EXPECT_EQ(big->intValue(), 9007199254740993ll);
+  }
+}
+
+TEST(ObsJsonTest, ParseErrorsCarryByteOffsets) {
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{} trailing", "{\"a\":1 \"b\":2}"}) {
+    EXPECT_THROW(obs::Json::parse(bad), std::runtime_error) << bad;
+    try {
+      obs::Json::parse(bad);
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos)
+          << "error lacks a byte offset: " << error.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,200 @@
+// Thread-count determinism lock for the three analysis pipelines the
+// figure benches record: edge dynamics (Fig 2), preferential attachment
+// (Fig 3), and the merge analysis (Figs 8-9). Each result is serialized
+// to hexfloat text and must be byte-identical at 1, 2, and 8 threads —
+// the repo's deterministic-parallelism contract (fixed grain-based
+// chunking, reductions combined in chunk order) made observable.
+// Runs under the ThreadSanitizer preset via `ctest -L tsan`.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/edge_dynamics.h"
+#include "analysis/merge_analysis.h"
+#include "analysis/pref_attach.h"
+#include "gen/trace_generator.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+std::string hexDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+void appendSeries(std::ostringstream& out, const TimeSeries& series) {
+  out << "series " << series.name() << " " << series.size() << "\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << "  " << hexDouble(series.timeAt(i)) << " "
+        << hexDouble(series.valueAt(i)) << "\n";
+  }
+}
+
+void appendFit(std::ostringstream& out, const PowerLawFit& fit) {
+  out << "fit " << hexDouble(fit.alpha) << " " << hexDouble(fit.prefactor)
+      << " " << hexDouble(fit.mseLinear) << " " << hexDouble(fit.mseLog)
+      << "\n";
+}
+
+std::string serialize(const EdgeDynamics& result) {
+  std::ostringstream out;
+  out << "edge-dynamics buckets " << result.interArrival.size() << "\n";
+  for (const InterArrivalBucket& bucket : result.interArrival) {
+    out << "bucket " << bucket.name << " " << hexDouble(bucket.maxAgeDays)
+        << " samples " << bucket.samples << "\n";
+    appendFit(out, bucket.fit);
+    for (const DensityBin& bin : bucket.pdf) {
+      out << "  " << hexDouble(bin.center) << " " << hexDouble(bin.density)
+          << " " << bin.count << "\n";
+    }
+  }
+  out << "lifetime-fractions " << result.lifetimeFractions.size() << "\n";
+  for (double fraction : result.lifetimeFractions) {
+    out << "  " << hexDouble(fraction) << "\n";
+  }
+  appendSeries(out, result.minAge1);
+  appendSeries(out, result.minAge10);
+  appendSeries(out, result.minAge30);
+  return out.str();
+}
+
+void appendSnapshot(std::ostringstream& out, const PeSnapshot& snapshot) {
+  out << "snapshot at " << snapshot.atEdges << " points "
+      << snapshot.points.size() << "\n";
+  appendFit(out, snapshot.fit);
+  for (const PePoint& point : snapshot.points) {
+    out << "  " << hexDouble(point.degree) << " "
+        << hexDouble(point.probability) << " " << hexDouble(point.samples)
+        << "\n";
+  }
+}
+
+std::string serialize(const PrefAttachResult& result) {
+  std::ostringstream out;
+  out << "pref-attach\n";
+  appendSeries(out, result.alphaHigher);
+  appendSeries(out, result.alphaRandom);
+  appendSeries(out, result.mseHigher);
+  appendSeries(out, result.mseRandom);
+  appendSnapshot(out, result.snapshotHigher);
+  appendSnapshot(out, result.snapshotRandom);
+  out << "poly-higher";
+  for (double c : result.polynomialHigher) out << " " << hexDouble(c);
+  out << "\npoly-random";
+  for (double c : result.polynomialRandom) out << " " << hexDouble(c);
+  out << "\n";
+  return out.str();
+}
+
+void appendActive(std::ostringstream& out, const ActiveUserSeries& series) {
+  appendSeries(out, series.all);
+  appendSeries(out, series.newUsers);
+  appendSeries(out, series.internal);
+  appendSeries(out, series.external);
+}
+
+std::string serialize(const MergeAnalysisResult& result) {
+  std::ostringstream out;
+  out << "merge-analysis main " << result.mainUsers << " second "
+      << result.secondUsers << "\n";
+  out << "day0-inactive " << hexDouble(result.day0InactiveMain) << " "
+      << hexDouble(result.day0InactiveSecond) << "\n";
+  appendActive(out, result.activeMain);
+  appendActive(out, result.activeSecond);
+  appendSeries(out, result.edgesNew);
+  appendSeries(out, result.edgesInternal);
+  appendSeries(out, result.edgesExternal);
+  appendSeries(out, result.intExtMain);
+  appendSeries(out, result.intExtSecond);
+  appendSeries(out, result.intExtBoth);
+  appendSeries(out, result.newExtMain);
+  appendSeries(out, result.newExtSecond);
+  appendSeries(out, result.newExtBoth);
+  appendSeries(out, result.distanceSecondToMain);
+  appendSeries(out, result.distanceMainToSecond);
+  return out.str();
+}
+
+/// Runs `analysis` at 1, 2, and 8 threads and checks the serialized
+/// results are byte-identical, reporting the first divergent line.
+template <typename Analysis>
+void expectThreadCountInvariant(const EventStream& stream,
+                                Analysis&& analysis, const char* label) {
+  const std::size_t saved = threadCount();
+  std::vector<std::pair<std::size_t, std::string>> runs;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    setThreadCount(threads);
+    runs.emplace_back(threads, analysis(stream));
+  }
+  setThreadCount(saved);
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].second == runs[0].second) continue;
+    std::istringstream baseline(runs[0].second);
+    std::istringstream other(runs[i].second);
+    std::string baselineLine, otherLine;
+    std::size_t lineNumber = 0;
+    while (std::getline(baseline, baselineLine)) {
+      ++lineNumber;
+      ASSERT_TRUE(std::getline(other, otherLine))
+          << label << ": " << runs[i].first
+          << "-thread output ends early at line " << lineNumber;
+      ASSERT_EQ(otherLine, baselineLine)
+          << label << ": first divergence between 1 and " << runs[i].first
+          << " threads at line " << lineNumber;
+    }
+    FAIL() << label << ": " << runs[i].first
+           << "-thread output has extra lines";
+  }
+}
+
+EventStream tinyTrace() {
+  TraceGenerator generator(GeneratorConfig::tiny(1));
+  return generator.generate();
+}
+
+TEST(PipelineDeterminismTest, EdgeDynamicsIsThreadCountInvariant) {
+  const EventStream stream = tinyTrace();
+  expectThreadCountInvariant(
+      stream,
+      [](const EventStream& trace) {
+        return serialize(analyzeEdgeDynamics(trace));
+      },
+      "edge_dynamics");
+}
+
+TEST(PipelineDeterminismTest, PrefAttachIsThreadCountInvariant) {
+  const EventStream stream = tinyTrace();
+  PrefAttachConfig config;
+  config.fitEveryEdges = 2000;
+  config.startEdges = 1000;
+  expectThreadCountInvariant(
+      stream,
+      [&config](const EventStream& trace) {
+        return serialize(analyzePreferentialAttachment(trace, config));
+      },
+      "pref_attach");
+}
+
+TEST(PipelineDeterminismTest, MergeAnalysisIsThreadCountInvariant) {
+  const EventStream stream = tinyTrace();
+  MergeAnalysisConfig config;
+  config.mergeDay = 60.0;  // GeneratorConfig::tiny merges at day 60
+  config.distanceEvery = 8.0;
+  config.distanceSamples = 64;
+  expectThreadCountInvariant(
+      stream,
+      [&config](const EventStream& trace) {
+        return serialize(analyzeMerge(trace, config));
+      },
+      "merge_analysis");
+}
+
+}  // namespace
+}  // namespace msd

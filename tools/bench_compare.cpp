@@ -1,0 +1,129 @@
+// bench_compare: diff two sets of BENCH_*.json reports and fail on
+// wall-time regressions.
+//
+//   bench_compare --validate <file-or-dir>
+//       Schema-check one report set; exit 0 when every file is valid.
+//   bench_compare [--threshold=0.10] <old-file-or-dir> <new-file-or-dir>
+//       Compare medians measurement by measurement. Exit 0 when no
+//       measurement's median wall time grew by more than the threshold,
+//       1 on regression (or when a baseline measurement disappeared),
+//       2 on usage / I/O / schema errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--threshold=FRACTION] OLD NEW\n"
+               "       bench_compare --validate PATH\n"
+               "OLD/NEW/PATH: a BENCH_*.json file or a directory of them.\n"
+               "Default threshold: 0.10 (10%% median wall-time growth).\n");
+}
+
+int runValidate(const std::string& path) {
+  std::vector<msd::obs::BenchRun> runs;
+  try {
+    runs = msd::obs::loadBenchSet(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+  std::printf("bench_compare: %zu valid report(s) in %s\n", runs.size(),
+              path.c_str());
+  for (const msd::obs::BenchRun& run : runs) {
+    std::printf("  %-32s scale=%s seed=%llu threads=%zu measurements=%zu\n",
+                run.benchmark.c_str(), run.scale.c_str(),
+                static_cast<unsigned long long>(run.seed), run.threads,
+                run.measurements.size());
+  }
+  return 0;
+}
+
+int runCompare(const std::string& oldPath, const std::string& newPath,
+               double threshold) {
+  msd::obs::CompareReport report;
+  try {
+    const auto oldRuns = msd::obs::loadBenchSet(oldPath);
+    const auto newRuns = msd::obs::loadBenchSet(newPath);
+    report = msd::obs::compareBenchRuns(oldRuns, newRuns, threshold);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  for (const msd::obs::CompareEntry& entry : report.entries) {
+    std::printf("%s %s/%s: %.3f ms -> %.3f ms (%+.1f%%)\n",
+                entry.regression ? "REGRESSION" : "ok", entry.benchmark.c_str(),
+                entry.measurement.c_str(), entry.oldMedianMs, entry.newMedianMs,
+                entry.relChange * 100.0);
+  }
+  for (const std::string& key : report.added) {
+    std::printf("new %s (no baseline)\n", key.c_str());
+  }
+  for (const std::string& key : report.missing) {
+    std::fprintf(stderr, "bench_compare: missing from new set: %s\n",
+                 key.c_str());
+  }
+  if (!report.missing.empty()) return 1;
+  if (report.anyRegression) {
+    std::fprintf(stderr,
+                 "bench_compare: median wall-time regression above %.1f%%\n",
+                 threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: no regression above %.1f%% across %zu "
+              "measurement(s)\n",
+              threshold * 100.0, report.entries.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  bool validate = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      const std::string value = arg.substr(12);
+      threshold = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty() || threshold < 0.0) {
+        std::fprintf(stderr, "bench_compare: bad threshold '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (validate) {
+    if (paths.size() != 1) {
+      usage();
+      return 2;
+    }
+    return runValidate(paths[0]);
+  }
+  if (paths.size() != 2) {
+    usage();
+    return 2;
+  }
+  return runCompare(paths[0], paths[1], threshold);
+}

@@ -1,0 +1,51 @@
+# Runs every figure bench at --scale=tiny into one shared output
+# directory, then schema-validates the emitted BENCH_*.json set with
+# bench_compare --validate. Driven by the `bench_smoke` ctest entry and
+# custom target (see bench/CMakeLists.txt).
+#
+# Required -D variables:
+#   BENCH_DIR   directory holding the fig*_ bench binaries
+#   COMPARE     path to the bench_compare binary
+#   OUT_DIR     scratch directory for traces + BENCH_*.json
+
+foreach(var BENCH_DIR COMPARE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(benches
+  fig1_network_metrics
+  fig2_edge_dynamics
+  fig3_pref_attach
+  fig4_delta_sensitivity
+  fig5_community_stats
+  fig6_merge_split
+  fig7_user_activity
+  fig8_merge_activity
+  fig9_merge_distance
+)
+
+foreach(bench ${benches})
+  message(STATUS "bench_smoke: ${bench} --scale=tiny")
+  execute_process(
+    COMMAND "${BENCH_DIR}/${bench}" --scale=tiny --seed=1 "--out=${OUT_DIR}"
+    RESULT_VARIABLE status
+    OUTPUT_QUIET
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${bench} failed (exit ${status})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${COMPARE}" --validate "${OUT_DIR}"
+  RESULT_VARIABLE status
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: bench_compare --validate failed "
+                      "(exit ${status})")
+endif()
+message(STATUS "bench_smoke: all reports valid")

@@ -33,6 +33,7 @@
 #include "metrics/degree.h"
 #include "metrics/neighborhood.h"
 #include "metrics/paths.h"
+#include "obs/registry.h"
 #include "util/stopwatch.h"
 
 using namespace msd;
@@ -107,7 +108,10 @@ int usage() {
                "[--min-size=10]\n"
                "  merge           FILE [--merge-day=386] [--window=94]\n"
                "  slice           IN OUT --from=D --to=D\n"
-               "  export-temporal IN OUT.txt\n");
+               "  export-temporal IN OUT.txt\n"
+               "global options:\n"
+               "  --trace-json=FILE  write counters + scope timings as JSON "
+               "after the command\n");
   return 2;
 }
 
@@ -300,23 +304,39 @@ int cmdExportTemporal(const Args& args) {
 
 }  // namespace
 
+int runCommand(const std::string& command, const Args& args) {
+  if (command == "generate") return cmdGenerate(args);
+  if (command == "info") return cmdInfo(args);
+  if (command == "convert") return cmdConvert(args);
+  if (command == "metrics") return cmdMetrics(args);
+  if (command == "growth") return cmdGrowth(args);
+  if (command == "communities") return cmdCommunities(args);
+  if (command == "merge") return cmdMerge(args);
+  if (command == "slice") return cmdSlice(args);
+  if (command == "export-temporal") return cmdExportTemporal(args);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
+  const char* traceJson = args.get("trace-json", nullptr);
+  int status = 0;
   try {
-    if (command == "generate") return cmdGenerate(args);
-    if (command == "info") return cmdInfo(args);
-    if (command == "convert") return cmdConvert(args);
-    if (command == "metrics") return cmdMetrics(args);
-    if (command == "growth") return cmdGrowth(args);
-    if (command == "communities") return cmdCommunities(args);
-    if (command == "merge") return cmdMerge(args);
-    if (command == "slice") return cmdSlice(args);
-    if (command == "export-temporal") return cmdExportTemporal(args);
+    status = runCommand(command, args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "msdyn %s: %s\n", command.c_str(), error.what());
-    return 1;
+    status = 1;
   }
-  return usage();
+  if (traceJson != nullptr) {
+    try {
+      obs::writeSnapshotFile(traceJson);
+      std::fprintf(stderr, "trace report -> %s\n", traceJson);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "msdyn: %s\n", error.what());
+      if (status == 0) status = 1;
+    }
+  }
+  return status;
 }
