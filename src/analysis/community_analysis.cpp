@@ -92,6 +92,7 @@ class SnapshotPipeline {
   bool full_ = false;
   bool finished_ = false;
   bool abort_ = false;
+  // msd-lint: allow(H5: single producer thread that only materializes snapshots; it joins before results are observed, so scheduling cannot reach output)
   std::thread producer_;  // last member: starts after the state above
 };
 

@@ -158,8 +158,10 @@ MergeAnalysisResult analyzeMerge(const EventStream& stream,
                        maxActiveDay, target[c]);
       }
     }
-    const double mainSize = std::max<double>(1.0, result.mainUsers);
-    const double secondSize = std::max<double>(1.0, result.secondUsers);
+    const double mainSize =
+        std::max(1.0, static_cast<double>(result.mainUsers));
+    const double secondSize =
+        std::max(1.0, static_cast<double>(result.secondUsers));
     result.activeMain.all = diffToPercentSeries(
         "main_active_all_pct", diffMain[kClassAll], maxActiveDay, mainSize);
     result.activeMain.newUsers =

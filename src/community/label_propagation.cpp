@@ -46,6 +46,7 @@ Partition labelPropagation(const Graph& graph,
         if (count > top) top = count;
       }
       best.clear();
+      // msd-lint: ordered-ok(hash order only affects which equal-count label the seeded rng picks; the stability rule below and downstream renumbering keep runs reproducible)
       for (const auto& [label, count] : counts) {
         if (count == top) best.push_back(label);
       }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace msd {
@@ -41,7 +42,9 @@ Partition Partition::renumbered() const {
         remap.emplace(labels_[i], static_cast<CommunityId>(remap.size()));
     labels[i] = it->second;
   }
-  return Partition(std::move(labels));
+  Partition result(std::move(labels));
+  MSD_CHECK(result.checkInvariants());
+  return result;
 }
 
 std::vector<std::vector<NodeId>> Partition::members() const {
@@ -82,6 +85,38 @@ Partition Partition::filteredBySize(std::size_t minSize) const {
     }
   }
   return Partition(std::move(labels)).renumbered();
+}
+
+bool Partition::checkInvariants() const {
+  // Dense ids in first-appearance order: walking labels in node order,
+  // every label is either kNoCommunity, already seen, or exactly the next
+  // unseen id.
+  CommunityId next = 0;
+  for (CommunityId label : labels_) {
+    if (label == kNoCommunity) continue;
+    MSD_CHECK_ALWAYS_MSG(label <= next,
+                         "Partition: labels not dense in appearance order");
+    if (label == next) ++next;
+  }
+  const std::vector<std::size_t> bySize = sizes();
+  const std::vector<std::vector<NodeId>> byMembers = members();
+  MSD_CHECK_ALWAYS_MSG(bySize.size() == static_cast<std::size_t>(next) &&
+                           byMembers.size() == bySize.size(),
+                       "Partition: community count mismatch");
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < bySize.size(); ++c) {
+    MSD_CHECK_ALWAYS_MSG(bySize[c] == byMembers[c].size(),
+                         "Partition: sizes() disagrees with members()");
+    MSD_CHECK_ALWAYS_MSG(bySize[c] > 0, "Partition: empty community id");
+    assigned += bySize[c];
+  }
+  std::size_t nonSentinel = 0;
+  for (CommunityId label : labels_) {
+    if (label != kNoCommunity) ++nonSentinel;
+  }
+  MSD_CHECK_ALWAYS_MSG(assigned == nonSentinel,
+                       "Partition: membership does not cover labels");
+  return true;
 }
 
 }  // namespace msd

@@ -60,6 +60,13 @@ class Partition {
   /// nodes get kNoCommunity. Result labels are dense over the survivors.
   Partition filteredBySize(std::size_t minSize) const;
 
+  /// Validates the dense-partition invariants: every non-sentinel label is
+  /// in [0, k) with all k ids used (first appearance in node order), and
+  /// sizes() agrees with members() entry by entry. Only meaningful for
+  /// partitions produced by renumbered()/filteredBySize(). Throws
+  /// ContractViolation on the first violation, returns true otherwise.
+  bool checkInvariants() const;
+
  private:
   std::vector<CommunityId> labels_;
 };

@@ -7,6 +7,7 @@
 
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "util/contracts.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -84,6 +85,7 @@ SnapshotStats computeStats(const Graph& graph,
           accumulator.internalEdges[c] += partial.internalEdges[c];
           accumulator.totalDegree[c] += partial.totalDegree[c];
         }
+        // msd-lint: ordered-ok(merge into a keyed accumulator; each key is touched once per partial so visit order cannot change the sums)
         for (const auto& [key, weight] : partial.between) {
           accumulator.between[key] += weight;
         }
@@ -119,6 +121,94 @@ double groupSizeRatio(std::vector<double> sizes) {
 }
 
 }  // namespace
+
+bool checkLifecycleInvariants(std::span<const TrackedCommunity> communities,
+                              std::span<const LifecycleEvent> events) {
+  std::size_t mergeDeaths = 0;
+  std::size_t dissolves = 0;
+  for (std::size_t i = 0; i < communities.size(); ++i) {
+    const TrackedCommunity& tracked = communities[i];
+    MSD_CHECK_ALWAYS_MSG(tracked.id == i, "tracker: non-dense tracked id");
+    const bool dead = tracked.deathDay >= 0.0;
+    if (dead) {
+      MSD_CHECK_ALWAYS_MSG(tracked.deathDay >= tracked.birthDay,
+                           "tracker: death before birth");
+      MSD_CHECK_ALWAYS_MSG(tracked.endKind == LifecycleKind::kMergeDeath ||
+                               tracked.endKind == LifecycleKind::kDissolve,
+                           "tracker: dead community with live end kind");
+      if (tracked.endKind == LifecycleKind::kMergeDeath) ++mergeDeaths;
+      if (tracked.endKind == LifecycleKind::kDissolve) ++dissolves;
+    } else {
+      MSD_CHECK_ALWAYS_MSG(tracked.endKind == LifecycleKind::kContinue,
+                           "tracker: live community with terminal end kind");
+    }
+    Day last = tracked.birthDay;
+    for (std::size_t r = 0; r < tracked.history.size(); ++r) {
+      const TrackedRecord& record = tracked.history[r];
+      MSD_CHECK_ALWAYS_MSG(r == 0 ? record.day >= last : record.day > last,
+                           "tracker: history days not increasing");
+      MSD_CHECK_ALWAYS_MSG(!dead || record.day <= tracked.deathDay,
+                           "tracker: post-death history record");
+      last = record.day;
+    }
+  }
+
+  std::size_t mergeDeathEvents = 0;
+  std::size_t dissolveEvents = 0;
+  Day lastDay = -1.0;
+  for (const LifecycleEvent& event : events) {
+    MSD_CHECK_ALWAYS_MSG(event.day >= lastDay,
+                         "tracker: events out of transition order");
+    lastDay = event.day;
+    MSD_CHECK_ALWAYS_MSG(event.tracked < communities.size(),
+                         "tracker: event references unknown community");
+    const TrackedCommunity& subject = communities[event.tracked];
+    MSD_CHECK_ALWAYS_MSG(event.day >= subject.birthDay,
+                         "tracker: event before subject's birth");
+    MSD_CHECK_ALWAYS_MSG(subject.deathDay < 0.0 ||
+                             event.day <= subject.deathDay,
+                         "tracker: post-death event");
+    switch (event.kind) {
+      case LifecycleKind::kBirth:
+        MSD_CHECK_ALWAYS_MSG(event.day == subject.birthDay,
+                             "tracker: birth event off the birth day");
+        break;
+      case LifecycleKind::kMergeDeath: {
+        ++mergeDeathEvents;
+        MSD_CHECK_ALWAYS_MSG(subject.deathDay == event.day &&
+                                 subject.endKind == LifecycleKind::kMergeDeath,
+                             "tracker: merge-death event without a matching "
+                             "death");
+        MSD_CHECK_ALWAYS_MSG(event.other < communities.size(),
+                             "tracker: merge absorber unknown");
+        const TrackedCommunity& absorber = communities[event.other];
+        MSD_CHECK_ALWAYS_MSG(absorber.id != subject.id,
+                             "tracker: community absorbed itself");
+        MSD_CHECK_ALWAYS_MSG(absorber.birthDay <= event.day,
+                             "tracker: absorber born after the merge");
+        break;
+      }
+      case LifecycleKind::kDissolve:
+        ++dissolveEvents;
+        MSD_CHECK_ALWAYS_MSG(subject.deathDay == event.day &&
+                                 subject.endKind == LifecycleKind::kDissolve,
+                             "tracker: dissolve event without a matching "
+                             "death");
+        break;
+      case LifecycleKind::kSplit:
+        MSD_CHECK_ALWAYS_MSG(event.other >= 2,
+                             "tracker: split with fewer than 2 children");
+        break;
+      case LifecycleKind::kContinue:
+        break;
+    }
+  }
+  MSD_CHECK_ALWAYS_MSG(mergeDeathEvents == mergeDeaths,
+                       "tracker: merge-death events do not match deaths");
+  MSD_CHECK_ALWAYS_MSG(dissolveEvents == dissolves,
+                       "tracker: dissolve events do not match deaths");
+  return true;
+}
 
 CommunityTracker::CommunityTracker(TrackerConfig config) : config_(config) {
   require(config_.minCommunitySize >= 1,
@@ -177,6 +267,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
         },
         [](std::unordered_map<std::uint64_t, std::uint32_t> accumulator,
            std::unordered_map<std::uint64_t, std::uint32_t> partial) {
+          // msd-lint: ordered-ok(integer counts merged per key; consumers sort the entries before use)
           for (const auto& [key, count] : partial) accumulator[key] += count;
           return accumulator;
         });
@@ -339,6 +430,60 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
   });
   previousDay_ = day;
   ++snapshots_;
+  MSD_CHECK(checkInvariants());
+}
+
+bool CommunityTracker::checkInvariants() const {
+  checkLifecycleInvariants(communities_, events_);
+  MSD_CHECK_ALWAYS_MSG(previousLabels_.size() == previousTracked_.size(),
+                       "tracker: membership arrays out of sync");
+  MSD_CHECK_ALWAYS_MSG(previousTrackedOfLocal_.size() ==
+                               previousSizes_.size() &&
+                           previousStrongestTie_.size() ==
+                               previousSizes_.size(),
+                       "tracker: per-community arrays out of sync");
+  for (std::size_t c = 0; c < previousTrackedOfLocal_.size(); ++c) {
+    const std::uint32_t tracked = previousTrackedOfLocal_[c];
+    MSD_CHECK_ALWAYS_MSG(tracked < communities_.size(),
+                         "tracker: local community maps to unknown id");
+    MSD_CHECK_ALWAYS_MSG(communities_[tracked].deathDay < 0.0,
+                         "tracker: current snapshot community is dead");
+    MSD_CHECK_ALWAYS_MSG(previousSizes_[c] >= config_.minCommunitySize,
+                         "tracker: community below the size floor");
+  }
+  for (std::size_t node = 0; node < previousLabels_.size(); ++node) {
+    const CommunityId label = previousLabels_[node];
+    if (label == kNoCommunity) {
+      MSD_CHECK_ALWAYS_MSG(previousTracked_[node] == kNone,
+                           "tracker: untracked node carries a tracked id");
+    } else {
+      MSD_CHECK_ALWAYS_MSG(label < previousTrackedOfLocal_.size() &&
+                               previousTracked_[node] ==
+                                   previousTrackedOfLocal_[label],
+                           "tracker: node/community membership mismatch");
+    }
+  }
+  for (const auto& series :
+       {std::span<const GroupSizeRatio>(mergeRatios_),
+        std::span<const GroupSizeRatio>(splitRatios_)}) {
+    Day last = -1.0;
+    for (const GroupSizeRatio& entry : series) {
+      MSD_CHECK_ALWAYS_MSG(entry.day >= last,
+                           "tracker: ratio series out of order");
+      MSD_CHECK_ALWAYS_MSG(entry.ratio > 0.0 && entry.ratio <= 1.0,
+                           "tracker: group size ratio outside (0, 1]");
+      last = entry.day;
+    }
+  }
+  Day last = -1.0;
+  for (const TransitionSimilarity& entry : similarities_) {
+    MSD_CHECK_ALWAYS_MSG(entry.day > last,
+                         "tracker: similarity series out of order");
+    MSD_CHECK_ALWAYS_MSG(entry.average >= 0.0 && entry.average <= 1.0,
+                         "tracker: transition similarity outside [0, 1]");
+    last = entry.day;
+  }
+  return true;
 }
 
 }  // namespace msd

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "community/partition.h"
@@ -67,6 +68,17 @@ struct TransitionSimilarity {
   Day day = 0.0;         ///< day of the new snapshot
   double average = 0.0;  ///< mean Jaccard over matched community pairs
 };
+
+/// Validates lifecycle legality of a tracked-community set against its
+/// event log: tracked ids are dense and self-consistent, history records
+/// are day-monotone and never post-death, every death is matched by
+/// exactly one merge-death/dissolve event on the death day, merge
+/// absorbers exist and were already born, and split events carry >= 2
+/// children. Standalone so tests can run it on deliberately corrupted
+/// copies of a tracker's public state. Throws ContractViolation on the
+/// first violation, returns true otherwise.
+bool checkLifecycleInvariants(std::span<const TrackedCommunity> communities,
+                              std::span<const LifecycleEvent> events);
 
 /// Configuration of the tracker.
 struct TrackerConfig {
@@ -135,6 +147,13 @@ class CommunityTracker {
 
   /// Number of snapshots ingested.
   std::size_t snapshotCount() const { return snapshots_; }
+
+  /// Validates the full tracker state: checkLifecycleInvariants() over the
+  /// communities/events plus membership-rollover consistency, size-floor
+  /// compliance, and monotone ratio/similarity series. Runs automatically
+  /// at the end of every addSnapshot() in contract-enabled builds. Throws
+  /// ContractViolation on the first violation, returns true otherwise.
+  bool checkInvariants() const;
 
  private:
   TrackerConfig config_;

@@ -370,14 +370,15 @@ EventStream TraceGenerator::generate() {
     // Post-merge churn: pre-merge users permanently go quiet at a small
     // per-origin daily rate (the second network's users churn faster).
     if (merged_) {
-      for (const auto& [origin, rate] :
+      for (const auto& [churnOrigin, churnRate] :
            {std::pair{Origin::kMain, config_.merge.churnDailyMain},
             std::pair{Origin::kSecond, config_.merge.churnDailySecond}}) {
         const double expected =
-            rate * static_cast<double>(population_.activeCount(origin));
+            churnRate *
+            static_cast<double>(population_.activeCount(churnOrigin));
         const std::uint64_t quits = rng_.poisson(expected);
         for (std::uint64_t i = 0; i < quits; ++i) {
-          const NodeId node = population_.sampleUniform(origin, rng_);
+          const NodeId node = population_.sampleUniform(churnOrigin, rng_);
           if (node != kInvalidNode) population_.deactivate(node);
         }
       }
@@ -420,11 +421,11 @@ EventStream TraceGenerator::generate() {
       const double total = weights[0] + weights[1] + weights[2];
       if (total <= 0.0) break;
       double draw = rng_.uniform() * total;
-      Origin origin = Origin::kMain;
+      Origin revivalOrigin = Origin::kMain;
       if (draw >= weights[0] && draw < weights[0] + weights[1]) {
-        origin = Origin::kSecond;
+        revivalOrigin = Origin::kSecond;
       } else if (draw >= weights[0] + weights[1]) {
-        origin = Origin::kPostMerge;
+        revivalOrigin = Origin::kPostMerge;
       }
       // Lapsed users with small friend lists are the ones with catching
       // up to do: bias revival toward low-degree actives (also keeps the
@@ -432,7 +433,7 @@ EventStream TraceGenerator::generate() {
       // spurious preferential attachment).
       NodeId node = kInvalidNode;
       for (int pick = 0; pick < 3; ++pick) {
-        const NodeId candidate = population_.sampleUniform(origin, rng_);
+        const NodeId candidate = population_.sampleUniform(revivalOrigin, rng_);
         if (candidate == kInvalidNode) continue;
         if (node == kInvalidNode || degree_[candidate] < degree_[node]) {
           node = candidate;

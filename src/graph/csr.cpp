@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "graph/types.h"
+#include "util/contracts.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -23,6 +24,16 @@ CsrGraph CsrGraph::fromGraph(const Graph& graph) {
       csr.neighbors_[cursor++] = neighbor;
     }
   }
+  MSD_CHECK(csr.checkInvariants());
+  return csr;
+}
+
+CsrGraph CsrGraph::fromRawParts(std::vector<std::uint64_t> offsets,
+                                std::vector<NodeId> neighbors, bool sorted) {
+  CsrGraph csr;
+  csr.offsets_ = std::move(offsets);
+  csr.neighbors_ = std::move(neighbors);
+  csr.sorted_ = sorted;
   return csr;
 }
 
@@ -36,7 +47,35 @@ CsrGraph CsrGraph::sortedFromGraph(const Graph& graph) {
                   static_cast<std::ptrdiff_t>(csr.offsets_[node + 1]));
   });
   csr.sorted_ = true;
+  MSD_CHECK(csr.checkInvariants());
   return csr;
+}
+
+bool CsrGraph::checkInvariants() const {
+  if (offsets_.empty()) {
+    MSD_CHECK_ALWAYS_MSG(neighbors_.empty(),
+                         "CsrGraph: neighbors without offsets");
+    return true;
+  }
+  MSD_CHECK_ALWAYS_MSG(offsets_.front() == 0,
+                       "CsrGraph: offsets must start at 0");
+  MSD_CHECK_ALWAYS_MSG(offsets_.back() == neighbors_.size(),
+                       "CsrGraph: offsets must end at neighbors size");
+  const std::size_t n = nodeCount();
+  for (std::size_t node = 0; node < n; ++node) {
+    MSD_CHECK_ALWAYS_MSG(offsets_[node] <= offsets_[node + 1],
+                         "CsrGraph: offsets must be monotone");
+    for (std::uint64_t i = offsets_[node]; i < offsets_[node + 1]; ++i) {
+      MSD_CHECK_ALWAYS_MSG(neighbors_[i] < n,
+                           "CsrGraph: neighbor id out of range");
+      MSD_CHECK_ALWAYS_MSG(neighbors_[i] != node, "CsrGraph: self-loop");
+      if (sorted_ && i > offsets_[node]) {
+        MSD_CHECK_ALWAYS_MSG(neighbors_[i - 1] < neighbors_[i],
+                             "CsrGraph: sorted snapshot has unsorted row");
+      }
+    }
+  }
+  return true;
 }
 
 bool CsrGraph::hasEdge(NodeId u, NodeId v) const {

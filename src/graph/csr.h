@@ -27,6 +27,12 @@ class CsrGraph {
   /// thread pool.
   static CsrGraph sortedFromGraph(const Graph& graph);
 
+  /// Adopts raw CSR arrays without validation — the deserialization and
+  /// test entry point. Callers are responsible for the structural
+  /// invariants; run checkInvariants() on untrusted input.
+  static CsrGraph fromRawParts(std::vector<std::uint64_t> offsets,
+                               std::vector<NodeId> neighbors, bool sorted);
+
   /// True when every neighbor list is sorted ascending (always the case
   /// for sortedFromGraph snapshots).
   bool neighborsSorted() const { return sorted_; }
@@ -46,6 +52,14 @@ class CsrGraph {
 
   /// Degree of `node`.
   std::size_t degree(NodeId node) const;
+
+  /// Validates the structural invariants: offsets has nodeCount()+1
+  /// monotone entries ending at neighbors_.size(), every neighbor id is in
+  /// range, no self-loops, and — when neighborsSorted() — every row is
+  /// strictly ascending. Throws ContractViolation on the first violation,
+  /// returns true otherwise (so call sites can write
+  /// `MSD_CHECK(csr.checkInvariants())`). O(V + E).
+  bool checkInvariants() const;
 
  private:
   std::vector<std::uint64_t> offsets_;  // size nodeCount()+1

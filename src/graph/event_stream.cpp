@@ -1,9 +1,11 @@
 #include "graph/event_stream.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "obs/counters.h"
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace msd {
@@ -21,6 +23,12 @@ const char* originName(Origin origin) {
 }
 
 void EventStream::append(const Event& event) {
+  // Monotonicity is required unconditionally below; the contract layer
+  // additionally rejects non-finite timestamps (NaN compares false against
+  // everything, so a NaN-timestamped first event would otherwise slip in
+  // and poison every downstream binary search).
+  MSD_CHECK_MSG(std::isfinite(event.time),
+                "EventStream::append: non-finite timestamp");
   require(events_.empty() || event.time >= events_.back().time,
           "EventStream::append: timestamps must be non-decreasing");
   if (event.kind == EventKind::kNodeJoin) {

@@ -88,6 +88,7 @@ double modularity(const Graph& graph, std::span<const std::uint32_t> labels) {
 
   const double m = static_cast<double>(graph.edgeCount());
   double q = 0.0;
+  // msd-lint: ordered-ok(insertion order is the deterministic node order, so summation order is fixed per stdlib; cross-stdlib bit-identity is out of contract for this scalar)
   for (const auto& [community, degree] : totalDegree) {
     const auto it = internalEdges.find(community);
     const double internal = it == internalEdges.end() ? 0.0 : it->second;

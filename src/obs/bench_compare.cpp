@@ -106,15 +106,17 @@ std::vector<std::string> validateBenchJson(const Json& json) {
       }
     }
   }
+  // The counter snapshot is part of the schema, not an optional extra: a
+  // report without it would silently compare as "no counters" and hide an
+  // instrumentation regression. Presence is checked on every load, not
+  // just under --validate.
   const Json* counters = json.find("counters");
-  if (counters != nullptr) {
-    if (!counters->isObject()) {
-      problems.push_back("\"counters\" must be an object");
-    } else {
-      for (const auto& [name, value] : counters->members()) {
-        if (!value.isInt()) {
-          problems.push_back("counters[\"" + name + "\"] must be an integer");
-        }
+  if (counters == nullptr || !counters->isObject()) {
+    problems.push_back("missing object field \"counters\"");
+  } else {
+    for (const auto& [name, value] : counters->members()) {
+      if (!value.isInt()) {
+        problems.push_back("counters[\"" + name + "\"] must be an integer");
       }
     }
   }

@@ -1,0 +1,15 @@
+#include "util/contracts.h"
+
+namespace msd {
+
+void contractFail(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::string what = std::string(file) + ":" + std::to_string(line) +
+                     ": contract violated: " + expr;
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw ContractViolation(what);
+}
+
+bool contractsEnabledInBuild() { return MSD_CONTRACTS_ENABLED != 0; }
+
+}  // namespace msd

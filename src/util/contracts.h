@@ -1,0 +1,87 @@
+#pragma once
+
+// Debug-contract layer: structural invariant checks that are active in
+// Debug and sanitizer builds and compile to nothing in Release.
+//
+// Two tiers:
+//
+//   MSD_CHECK(cond)            — gated: evaluated only when
+//   MSD_CHECK_MSG(cond, msg)     MSD_CONTRACTS_ENABLED is nonzero; the
+//                                condition is *not evaluated at all*
+//                                otherwise (side effects included), so a
+//                                check may call an O(n) validator without
+//                                taxing Release hot paths.
+//
+//   MSD_CHECK_ALWAYS(cond)     — unconditional: used inside the
+//   MSD_CHECK_ALWAYS_MSG(...)    `checkInvariants()` validators the data
+//                                structures expose, so a caller (or test)
+//                                that invokes a validator explicitly gets
+//                                full checking in every build type.
+//
+// MSD_CONTRACTS_ENABLED resolution order: an explicit -DMSD_CONTRACTS=0/1
+// compile definition wins (the asan/ubsan presets set it to 1 via the
+// MSD_CONTRACTS CMake option); otherwise contracts follow assert() — on
+// without NDEBUG, off with it.
+//
+// A violated contract throws msd::ContractViolation (a std::logic_error)
+// carrying file:line, the failed expression, and the optional message —
+// error-return style consistent with util/error.h rather than abort(), so
+// tests can assert on specific violations.
+
+#include <stdexcept>
+#include <string>
+
+#if !defined(MSD_CONTRACTS_ENABLED)
+#if defined(MSD_CONTRACTS)
+#define MSD_CONTRACTS_ENABLED MSD_CONTRACTS
+#elif !defined(NDEBUG)
+#define MSD_CONTRACTS_ENABLED 1
+#else
+#define MSD_CONTRACTS_ENABLED 0
+#endif
+#endif
+
+namespace msd {
+
+/// Thrown when a structural invariant check fails. Distinct from the
+/// std::invalid_argument of require() (caller error) and the
+/// std::runtime_error of ensure() (environment fault): a ContractViolation
+/// always means internal state is corrupt — a bug in this library.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Formats and throws a ContractViolation. `msg` may be nullptr.
+[[noreturn]] void contractFail(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+/// Whether the *library* was compiled with gated MSD_CHECK call sites
+/// active. The macro is per-translation-unit, so a test TU that pins its
+/// own MSD_CONTRACTS_ENABLED cannot see the library's setting; this
+/// function (compiled into msd_util with the same flags as the rest of
+/// src/) can.
+bool contractsEnabledInBuild();
+
+}  // namespace msd
+
+#define MSD_CHECK_ALWAYS(cond)                                \
+  ((cond) ? static_cast<void>(0)                              \
+          : ::msd::contractFail(#cond, __FILE__, __LINE__, {}))
+
+#define MSD_CHECK_ALWAYS_MSG(cond, msg)                         \
+  ((cond) ? static_cast<void>(0)                                \
+          : ::msd::contractFail(#cond, __FILE__, __LINE__, msg))
+
+#if MSD_CONTRACTS_ENABLED
+#define MSD_CHECK(cond) MSD_CHECK_ALWAYS(cond)
+#define MSD_CHECK_MSG(cond, msg) MSD_CHECK_ALWAYS_MSG(cond, msg)
+#else
+// sizeof of an unevaluated conditional: the operands stay syntactically
+// checked and their variables count as used (no -Wunused-but-set noise),
+// but nothing runs.
+#define MSD_CHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define MSD_CHECK_MSG(cond, msg) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif

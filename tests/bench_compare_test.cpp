@@ -120,6 +120,53 @@ TEST(BenchCompareTest, ValidationFlagsEachSchemaViolation) {
   }
 }
 
+TEST(BenchCompareTest, AbsentCountersSectionIsRejectedOnEveryLoad) {
+  // Regression test: the counter snapshot is mandatory. A report missing
+  // it must fail schema validation AND fail plain (non --validate)
+  // loading — previously only an explicit --validate caught this shape.
+  obs::Json doc = validDoc("fig1", "total", 10.0);
+  doc.set("counters", nullptr);  // null is not an object
+  const std::vector<std::string> nullProblems = obs::validateBenchJson(doc);
+  ASSERT_FALSE(nullProblems.empty());
+  EXPECT_NE(nullProblems[0].find("counters"), std::string::npos);
+
+  // Rebuild the document without the key at all.
+  obs::Json bare = obs::Json::object();
+  bare.set("schema", obs::kBenchSchema);
+  bare.set("benchmark", "fig1");
+  bare.set("scale", "tiny");
+  bare.set("seed", std::uint64_t{1});
+  bare.set("threads", std::uint64_t{2});
+  obs::Json measurement = obs::Json::object();
+  measurement.set("name", "total");
+  obs::Json wall = obs::Json::object();
+  wall.set("median", 1.0);
+  wall.set("p10", 1.0);
+  wall.set("p90", 1.0);
+  measurement.set("wall_ms", std::move(wall));
+  obs::Json measurements = obs::Json::array();
+  measurements.push(std::move(measurement));
+  bare.set("measurements", std::move(measurements));
+  ASSERT_EQ(bare.find("counters"), nullptr);
+
+  const std::vector<std::string> problems = obs::validateBenchJson(bare);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("counters"), std::string::npos);
+  EXPECT_THROW(obs::parseBenchRun(bare), std::runtime_error);
+
+  const fs::path dir = scratchDir("no_counters");
+  const fs::path file = dir / "BENCH_no_counters.json";
+  writeFile(file, bare.dump(2));
+  EXPECT_THROW(obs::loadBenchFile(file.string()), std::runtime_error);
+  EXPECT_THROW(obs::loadBenchSet(dir.string()), std::runtime_error);
+
+  // An empty counters object is still fine — mandatory presence, not
+  // mandatory content.
+  obs::Json empty = validDoc("fig1", "total", 10.0);
+  empty.set("counters", obs::Json::object());
+  EXPECT_TRUE(obs::validateBenchJson(empty).empty());
+}
+
 TEST(BenchCompareTest, RegressionBeyondThresholdIsDetected) {
   const std::vector<obs::BenchRun> oldRuns = {makeRun("fig1", "total", 100.0)};
   const std::vector<obs::BenchRun> newRuns = {makeRun("fig1", "total", 115.0)};

@@ -1,0 +1,56 @@
+// Verifies the compiled-out side of the contract layer: this TU pins
+// MSD_CONTRACTS_ENABLED=0 (via CMake), so the gated MSD_CHECK macros must
+// not evaluate their conditions at all, while the always-on validators
+// and MSD_CHECK_ALWAYS keep working — they are what tests and explicit
+// callers rely on in Release builds.
+
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "community/partition.h"
+#include "graph/csr.h"
+
+static_assert(MSD_CONTRACTS_ENABLED == 0,
+              "contracts_disabled_test must build with contracts off");
+
+namespace msd {
+namespace {
+
+TEST(ContractsDisabledTest, FailingCheckIsANoOp) {
+  EXPECT_NO_THROW(MSD_CHECK(false));
+  EXPECT_NO_THROW(MSD_CHECK_MSG(false, "never thrown"));
+}
+
+TEST(ContractsDisabledTest, ConditionIsNotEvaluated) {
+  int calls = 0;
+  MSD_CHECK([&] {
+    ++calls;
+    return false;
+  }());
+  MSD_CHECK_MSG([&] {
+    ++calls;
+    return false;
+  }(),
+                "side effects must not run");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractsDisabledTest, AlwaysVariantStillFires) {
+  EXPECT_THROW(MSD_CHECK_ALWAYS(false), ContractViolation);
+  EXPECT_THROW(MSD_CHECK_ALWAYS_MSG(false, "msg"), ContractViolation);
+}
+
+TEST(ContractsDisabledTest, ExplicitValidatorsStillFire) {
+  // checkInvariants() uses MSD_CHECK_ALWAYS internally, so corrupted
+  // structures are still caught when a caller asks for validation.
+  const CsrGraph badCsr = CsrGraph::fromRawParts({0, 1, 2}, {0, 0}, false);
+  EXPECT_THROW(badCsr.checkInvariants(), ContractViolation);
+  const Partition badPartition(std::vector<CommunityId>{1, 0});
+  EXPECT_THROW(badPartition.checkInvariants(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,338 @@
+// Tests for the debug-contract layer (util/contracts.h) and the
+// checkInvariants() validators wired into the hot data structures. This
+// TU pins MSD_CONTRACTS_ENABLED=1 (via CMake) so the gated MSD_CHECK
+// macros are active here regardless of the build configuration; the
+// validators themselves use MSD_CHECK_ALWAYS and fire in every build.
+// The compiled-out behavior is covered by contracts_disabled_test.cpp.
+
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "community/partition.h"
+#include "community/tracker.h"
+#include "graph/csr.h"
+#include "graph/event_stream.h"
+#include "graph/graph.h"
+
+static_assert(MSD_CONTRACTS_ENABLED == 1,
+              "contracts_test must build with contracts force-enabled");
+
+namespace msd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Macro semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ContractsTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(MSD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MSD_CHECK_MSG(true, "never seen"));
+}
+
+TEST(ContractsTest, CheckThrowsContractViolation) {
+  EXPECT_THROW(MSD_CHECK(false), ContractViolation);
+  EXPECT_THROW(MSD_CHECK_MSG(false, "boom"), ContractViolation);
+}
+
+TEST(ContractsTest, ViolationIsALogicError) {
+  EXPECT_THROW(MSD_CHECK(false), std::logic_error);
+}
+
+TEST(ContractsTest, ViolationMessageCarriesLocationExpressionAndMessage) {
+  try {
+    MSD_CHECK_MSG(2 < 1, "two is not less than one");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ContractsTest, EnabledCheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  MSD_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContractsTest, AlwaysVariantFiresInEveryBuild) {
+  EXPECT_THROW(MSD_CHECK_ALWAYS(false), ContractViolation);
+  EXPECT_THROW(MSD_CHECK_ALWAYS_MSG(false, "msg"), ContractViolation);
+  EXPECT_NO_THROW(MSD_CHECK_ALWAYS(true));
+}
+
+// ---------------------------------------------------------------------------
+// CSR invariants.
+// ---------------------------------------------------------------------------
+
+Graph twoTriangles() {
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  g.addEdge(3, 4);
+  g.addEdge(4, 5);
+  g.addEdge(3, 5);
+  return g;
+}
+
+TEST(CsrContractsTest, ValidSnapshotsPass) {
+  const Graph g = twoTriangles();
+  EXPECT_TRUE(CsrGraph::fromGraph(g).checkInvariants());
+  EXPECT_TRUE(CsrGraph::sortedFromGraph(g).checkInvariants());
+  EXPECT_TRUE(CsrGraph().checkInvariants());
+}
+
+TEST(CsrContractsTest, NonMonotoneOffsetsFire) {
+  const CsrGraph csr =
+      CsrGraph::fromRawParts({0, 3, 2, 4}, {1, 2, 3, 0}, false);
+  EXPECT_THROW(csr.checkInvariants(), ContractViolation);
+}
+
+TEST(CsrContractsTest, OffsetsNotStartingAtZeroFire) {
+  const CsrGraph csr = CsrGraph::fromRawParts({1, 2}, {0, 0}, false);
+  EXPECT_THROW(csr.checkInvariants(), ContractViolation);
+}
+
+TEST(CsrContractsTest, OffsetsNotEndingAtNeighborCountFire) {
+  const CsrGraph csr = CsrGraph::fromRawParts({0, 1}, {1, 0}, false);
+  EXPECT_THROW(csr.checkInvariants(), ContractViolation);
+}
+
+TEST(CsrContractsTest, OutOfRangeNeighborFires) {
+  const CsrGraph csr = CsrGraph::fromRawParts({0, 1, 2}, {9, 0}, false);
+  EXPECT_THROW(csr.checkInvariants(), ContractViolation);
+}
+
+TEST(CsrContractsTest, SelfLoopFires) {
+  const CsrGraph csr = CsrGraph::fromRawParts({0, 1, 2}, {0, 0}, false);
+  EXPECT_THROW(csr.checkInvariants(), ContractViolation);
+}
+
+TEST(CsrContractsTest, UnsortedRowInSortedSnapshotFires) {
+  // Valid as an unsorted snapshot, invalid once it claims sortedness.
+  const std::vector<std::uint64_t> offsets = {0, 2, 3, 4};
+  const std::vector<NodeId> neighbors = {2, 1, 0, 0};
+  EXPECT_TRUE(
+      CsrGraph::fromRawParts(offsets, neighbors, false).checkInvariants());
+  EXPECT_THROW(
+      CsrGraph::fromRawParts(offsets, neighbors, true).checkInvariants(),
+      ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariants.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionContractsTest, DensePartitionsPass) {
+  EXPECT_TRUE(Partition(std::vector<CommunityId>{0, 0, 1, 2}).checkInvariants());
+  EXPECT_TRUE(Partition(std::vector<CommunityId>{0, kNoCommunity, 1})
+                  .checkInvariants());
+  EXPECT_TRUE(Partition().checkInvariants());
+  EXPECT_TRUE(Partition(4).renumbered().checkInvariants());
+}
+
+TEST(PartitionContractsTest, FirstAppearanceOutOfOrderFires) {
+  const Partition p(std::vector<CommunityId>{1, 0});
+  EXPECT_THROW(p.checkInvariants(), ContractViolation);
+}
+
+TEST(PartitionContractsTest, LabelGapFires) {
+  const Partition p(std::vector<CommunityId>{0, 2});
+  EXPECT_THROW(p.checkInvariants(), ContractViolation);
+}
+
+TEST(PartitionContractsTest, RenumberedOutputAlwaysPasses) {
+  // Sparse, shuffled labels with a sentinel mixed in.
+  Partition sparse(std::vector<CommunityId>{7, 3, kNoCommunity, 7, 11});
+  const Partition dense = sparse.renumbered();
+  EXPECT_TRUE(dense.checkInvariants());
+  EXPECT_TRUE(sparse.filteredBySize(2).checkInvariants());
+}
+
+// ---------------------------------------------------------------------------
+// Tracker lifecycle invariants (standalone validator on corrupted copies).
+// ---------------------------------------------------------------------------
+
+struct LifecycleFixture {
+  std::vector<TrackedCommunity> communities;
+  std::vector<LifecycleEvent> events;
+};
+
+/// One community born at day 0, still alive at day 5.
+LifecycleFixture aliveCommunity() {
+  TrackedCommunity c;
+  c.id = 0;
+  c.birthDay = 0.0;
+  c.deathDay = -1.0;
+  c.endKind = LifecycleKind::kContinue;
+  c.history = {{0.0, 12, 0.5, 0.0}, {5.0, 13, 0.5, 0.9}};
+  LifecycleEvent birth;
+  birth.kind = LifecycleKind::kBirth;
+  birth.day = 0.0;
+  birth.tracked = 0;
+  LifecycleEvent cont;
+  cont.kind = LifecycleKind::kContinue;
+  cont.day = 5.0;
+  cont.tracked = 0;
+  cont.similarity = 0.9;
+  return {{c}, {birth, cont}};
+}
+
+/// Community 0 absorbed by community 1 at day 5.
+LifecycleFixture mergedPair() {
+  LifecycleFixture f = aliveCommunity();
+  f.communities[0].deathDay = 5.0;
+  f.communities[0].endKind = LifecycleKind::kMergeDeath;
+  TrackedCommunity absorber;
+  absorber.id = 1;
+  absorber.birthDay = 0.0;
+  absorber.history = {{0.0, 20, 0.5, 0.0}, {5.0, 30, 0.5, 0.8}};
+  f.communities.push_back(absorber);
+  f.events[1].kind = LifecycleKind::kMergeDeath;
+  f.events[1].other = 1;
+  LifecycleEvent absorberBirth;
+  absorberBirth.kind = LifecycleKind::kBirth;
+  absorberBirth.day = 0.0;
+  absorberBirth.tracked = 1;
+  f.events.insert(f.events.begin() + 1, absorberBirth);
+  return f;
+}
+
+TEST(TrackerContractsTest, WellFormedStatesPass) {
+  const LifecycleFixture alive = aliveCommunity();
+  EXPECT_TRUE(checkLifecycleInvariants(alive.communities, alive.events));
+  const LifecycleFixture merged = mergedPair();
+  EXPECT_TRUE(checkLifecycleInvariants(merged.communities, merged.events));
+}
+
+TEST(TrackerContractsTest, NonDenseIdFires) {
+  LifecycleFixture f = aliveCommunity();
+  f.communities[0].id = 3;
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, DeadCommunityWithLiveEndKindFires) {
+  LifecycleFixture f = aliveCommunity();
+  f.communities[0].deathDay = 5.0;  // endKind still kContinue
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, LiveCommunityWithTerminalEndKindFires) {
+  LifecycleFixture f = aliveCommunity();
+  f.communities[0].endKind = LifecycleKind::kDissolve;  // deathDay still < 0
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, NonMonotoneHistoryFires) {
+  LifecycleFixture f = aliveCommunity();
+  std::swap(f.communities[0].history[0], f.communities[0].history[1]);
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, PostDeathHistoryRecordFires) {
+  LifecycleFixture f = mergedPair();
+  f.communities[0].history.push_back({9.0, 4, 0.5, 0.1});
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, DeathWithoutMatchingEventFires) {
+  LifecycleFixture f = mergedPair();
+  // Drop the merge-death event: the death is now unaccounted for.
+  f.events.pop_back();
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, EventsOutOfOrderFire) {
+  LifecycleFixture f = aliveCommunity();
+  std::swap(f.events[0], f.events[1]);
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, EventBeforeBirthFires) {
+  LifecycleFixture f = aliveCommunity();
+  f.communities[0].birthDay = 1.0;  // birth event still on day 0
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, UnknownAbsorberFires) {
+  LifecycleFixture f = mergedPair();
+  f.events.back().other = 42;
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, SelfAbsorptionFires) {
+  LifecycleFixture f = mergedPair();
+  f.events.back().other = f.events.back().tracked;
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+TEST(TrackerContractsTest, UndersizedSplitFires) {
+  LifecycleFixture f = aliveCommunity();
+  f.events[1].kind = LifecycleKind::kSplit;
+  f.events[1].other = 1;  // a split must produce >= 2 children
+  EXPECT_THROW(checkLifecycleInvariants(f.communities, f.events),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Tracker end-to-end: real snapshots keep the full state valid.
+// ---------------------------------------------------------------------------
+
+TEST(TrackerContractsTest, RealTrackerStatePassesFullValidation) {
+  Graph g(8);
+  std::vector<CommunityId> labels(8, 0);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 4; ++v) g.addEdge(u, v);
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    labels[u] = 1;
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 8; ++v) g.addEdge(u, v);
+  }
+  CommunityTracker tracker({.minCommunitySize = 3});
+  tracker.addSnapshot(0.0, g, Partition(labels));
+  tracker.addSnapshot(7.0, g, Partition(labels));
+  EXPECT_TRUE(tracker.checkInvariants());
+  EXPECT_TRUE(
+      checkLifecycleInvariants(tracker.communities(), tracker.events()));
+}
+
+// ---------------------------------------------------------------------------
+// Event-stream ingestion contract (library-build dependent).
+// ---------------------------------------------------------------------------
+
+TEST(EventStreamContractsTest, NonFiniteTimestampFiresWhenLibraryChecks) {
+  EventStream stream;
+  Event bad = Event::nodeJoin(0.0, 0);
+  bad.time = std::nan("");
+  // The append-time MSD_CHECK lives in event_stream.cpp, so whether it
+  // fires follows the library's build configuration, not this TU's.
+  if (contractsEnabledInBuild()) {
+    EXPECT_THROW(stream.append(bad), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(stream.append(bad));
+  }
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,508 @@
+// Tests for the msd_lint determinism linter: fixture coverage for every
+// hazard class H1–H5, suppression behavior (inline comments and the
+// checked-in file), CLI exit codes, and a self-scan of the real tree.
+
+#include "msd_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace msd::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+SourceFile file(std::string path, std::string text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.text = std::move(text);
+  return f;
+}
+
+std::vector<Finding> active(const std::vector<Finding>& findings) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Finding> scan(std::vector<SourceFile> files) {
+  return scanFiles(files, {});
+}
+
+// ---------------------------------------------------------------------------
+// H1: unordered iteration in output-relevant files.
+// ---------------------------------------------------------------------------
+
+TEST(LintH1Test, RangeForOverUnorderedMapInOutputFileIsFlagged) {
+  const auto findings = scan({file("src/a/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "#include <unordered_map>\n"
+                                   "void f() {\n"
+                                   "  std::unordered_map<int, int> totals;\n"
+                                   "  for (const auto& [k, v] : totals) {\n"
+                                   "    printf(\"%d %d\\n\", k, v);\n"
+                                   "  }\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H1");
+  EXPECT_EQ(findings[0].file, "src/a/report.cpp");
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(LintH1Test, IteratorLoopOverUnorderedSetIsFlagged) {
+  const auto findings = scan({file(
+      "src/a/report.cpp",
+      "#include <iostream>\n"
+      "std::unordered_set<long> seen;\n"
+      "void f() {\n"
+      "  for (auto it = seen.begin(); it != seen.end(); ++it) {}\n"
+      "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H1");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintH1Test, NonOutputFileIsNotFlagged) {
+  // Same loop, but the file neither serializes nor reduces anything.
+  const auto findings = scan({file("src/a/scratch.cpp",
+                                   "#include <unordered_map>\n"
+                                   "int f() {\n"
+                                   "  std::unordered_map<int, int> m;\n"
+                                   "  int s = 0;\n"
+                                   "  for (const auto& [k, v] : m) s += v;\n"
+                                   "  return s;\n"
+                                   "}\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH1Test, ParallelReduceMakesAFileOutputRelevant) {
+  const auto findings = scan({file("src/a/reduce.cpp",
+                                   "std::unordered_map<int, double> w;\n"
+                                   "double f() {\n"
+                                   "  double total = parallelReduce(w);\n"
+                                   "  for (const auto& [k, v] : w) {}\n"
+                                   "  return total;\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H1");
+}
+
+TEST(LintH1Test, OutputRelevancePropagatesThroughIncludeGraph) {
+  // data.h never includes an output header itself, but main.cpp pulls it
+  // into a serializing translation unit.
+  const auto findings =
+      scan({file("src/core/data.h",
+                 "#pragma once\n"
+                 "#include <unordered_map>\n"
+                 "inline int sum(const std::unordered_map<int, int>& m) {\n"
+                 "  int s = 0;\n"
+                 "  for (const auto& [k, v] : m) s += v;\n"
+                 "  return s;\n"
+                 "}\n"),
+            file("src/app/main.cpp",
+                 "#include <iostream>\n"
+                 "#include \"core/data.h\"\n"
+                 "int main() { return 0; }\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/data.h");
+  EXPECT_EQ(findings[0].hazard, "H1");
+}
+
+TEST(LintH1Test, CompanionCppInheritsHeaderRelevance) {
+  // impl.cpp has no output include of its own; its header is consumed by
+  // a serializing TU, so the implementation is output-relevant too.
+  const auto findings =
+      scan({file("src/x/impl.h", "#pragma once\nint compute();\n"),
+            file("src/x/impl.cpp",
+                 "#include \"x/impl.h\"\n"
+                 "#include <unordered_map>\n"
+                 "int compute() {\n"
+                 "  std::unordered_map<int, int> m;\n"
+                 "  int s = 0;\n"
+                 "  for (const auto& [k, v] : m) s += v;\n"
+                 "  return s;\n"
+                 "}\n"),
+            file("src/app/main.cpp",
+                 "#include <cstdio>\n"
+                 "#include \"x/impl.h\"\n"
+                 "int main() { printf(\"%d\\n\", compute()); }\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/x/impl.cpp");
+}
+
+TEST(LintH1Test, OrderedContainersAreNotFlagged) {
+  const auto findings = scan({file("src/a/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "#include <map>\n"
+                                   "void f() {\n"
+                                   "  std::map<int, int> totals;\n"
+                                   "  for (const auto& [k, v] : totals) {}\n"
+                                   "}\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// H2: nondeterminism sources.
+// ---------------------------------------------------------------------------
+
+TEST(LintH2Test, BannedSourcesAreFlagged) {
+  const auto findings = scan({file("src/a/bad.cpp",
+                                   "#include <random>\n"
+                                   "void f() {\n"
+                                   "  srand(42);\n"
+                                   "  int x = rand();\n"
+                                   "  std::random_device rd;\n"
+                                   "  long t = time(nullptr);\n"
+                                   "  auto n = std::chrono::steady_clock::now();\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 5u);
+  for (const Finding& f : findings) EXPECT_EQ(f.hazard, "H2");
+  EXPECT_EQ(findings[0].line, 3u);  // srand
+  EXPECT_EQ(findings[1].line, 4u);  // rand
+  EXPECT_EQ(findings[2].line, 5u);  // random_device
+  EXPECT_EQ(findings[3].line, 6u);  // time(nullptr)
+  EXPECT_EQ(findings[4].line, 7u);  // chrono now()
+}
+
+TEST(LintH2Test, ChronoAliasNowIsFlagged) {
+  const auto findings = scan({file(
+      "src/a/clock.cpp",
+      "using Ticker = std::chrono::steady_clock;\n"
+      "double f() { return Ticker::now().time_since_epoch().count(); }\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H2");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintH2Test, ObsAndBenchAreExempt) {
+  const std::string text = "#include <chrono>\n"
+                           "auto f() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(scan({file("src/obs/timer.cpp", text)}).empty());
+  EXPECT_TRUE(scan({file("bench/kernel.cpp", text)}).empty());
+}
+
+TEST(LintH2Test, QualifiedAndMemberRandAreNotFlagged) {
+  const auto findings = scan({file("src/a/ok.cpp",
+                                   "void f(Rng& rng) {\n"
+                                   "  auto a = rng.rand();\n"
+                                   "  auto b = Rng::rand();\n"
+                                   "  double runtime = 0.0;\n"
+                                   "  (void)runtime;\n"
+                                   "}\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH2Test, PatternsInCommentsAndStringsAreIgnored) {
+  const auto findings = scan({file("src/a/doc.cpp",
+                                   "// call srand(42) to break things\n"
+                                   "const char* kMsg = \"rand() is bad\";\n"
+                                   "/* std::random_device rd; */\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// H3: by-reference FP accumulation in parallelFor bodies.
+// ---------------------------------------------------------------------------
+
+TEST(LintH3Test, ByRefDoubleAccumulationIsFlagged) {
+  const auto findings = scan({file("src/a/sum.cpp",
+                                   "void f(int n) {\n"
+                                   "  double total = 0.0;\n"
+                                   "  parallelFor(0, n, 64, [&](int i) {\n"
+                                   "    total += i * 0.5;\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H3");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintH3Test, ExplicitRefCaptureIsFlagged) {
+  const auto findings = scan({file("src/a/sum.cpp",
+                                   "void f(int n) {\n"
+                                   "  float acc = 0.f;\n"
+                                   "  parallelFor(0, n, 64, [&acc](int i) {\n"
+                                   "    acc += 1.0f;\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].hazard, "H3");
+}
+
+TEST(LintH3Test, LambdaLocalAccumulatorIsFine) {
+  const auto findings = scan({file("src/a/sum.cpp",
+                                   "void f(int n) {\n"
+                                   "  parallelFor(0, n, 64, [&](int i) {\n"
+                                   "    double local = 0.0;\n"
+                                   "    local += i * 0.5;\n"
+                                   "    use(local);\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH3Test, IntegerAccumulationIsFine) {
+  // Integer += is associative; only FP accumulation is order-sensitive.
+  const auto findings = scan({file("src/a/sum.cpp",
+                                   "void f(int n) {\n"
+                                   "  long total = 0;\n"
+                                   "  parallelFor(0, n, 64, [&](int i) {\n"
+                                   "    total += i;\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH3Test, ParallelReduceIsTheBlessedPath) {
+  const auto findings = scan({file("src/a/sum.cpp",
+                                   "double f(int n) {\n"
+                                   "  double seed = 0.0;\n"
+                                   "  return parallelReduce(0, n, 64, seed,\n"
+                                   "    [](int i) { return i * 0.5; },\n"
+                                   "    [](double a, double b) { return a + b; });\n"
+                                   "}\n")});
+  // parallelReduce makes the file output-relevant, but there is no H3 (and
+  // no unordered iteration), so the scan is clean.
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// H4/H5: thread identity and raw threads.
+// ---------------------------------------------------------------------------
+
+TEST(LintH4Test, ThreadLocalAndGetIdAreFlagged) {
+  const auto findings = scan({file("src/a/tls.cpp",
+                                   "thread_local int scratch = 0;\n"
+                                   "auto f() { return std::this_thread::get_id(); }\n")});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].hazard, "H4");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].hazard, "H4");
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(LintH4Test, PoolInternalsAreExempt) {
+  const std::string text = "thread_local int workerIndex = -1;\n";
+  EXPECT_TRUE(scan({file("src/util/parallel.cpp", text)}).empty());
+  EXPECT_TRUE(scan({file("src/util/parallel.h", text)}).empty());
+}
+
+TEST(LintH5Test, RawThreadConstructionIsFlagged) {
+  const auto findings = scan({file("src/a/spawn.cpp",
+                                   "#include <thread>\n"
+                                   "void f() {\n"
+                                   "  std::thread worker([] {});\n"
+                                   "  worker.join();\n"
+                                   "  pthread_t handle;\n"
+                                   "  pthread_create(&handle, nullptr, nullptr, nullptr);\n"
+                                   "}\n")});
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.hazard, "H5");
+  EXPECT_EQ(findings[0].line, 3u);  // std::thread
+  EXPECT_EQ(findings[1].line, 5u);  // pthread_t
+  EXPECT_EQ(findings[2].line, 6u);  // pthread_create
+}
+
+TEST(LintH5Test, ThreadStaticsAndPoolAreExempt) {
+  EXPECT_TRUE(scan({file("src/a/info.cpp",
+                         "auto f() { return std::thread::hardware_concurrency(); }\n")})
+                  .empty());
+  EXPECT_TRUE(scan({file("src/util/parallel.cpp",
+                         "void g() { std::thread t([] {}); t.join(); }\n")})
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressionTest, OrderedOkOnPreviousLineSuppressesH1) {
+  const auto findings = scan({file(
+      "src/a/report.cpp",
+      "#include <cstdio>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  // msd-lint: ordered-ok(order provably cancels out)\n"
+      "  for (const auto& [k, v] : m) {}\n"
+      "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].suppressReason, "order provably cancels out");
+  EXPECT_TRUE(active(findings).empty());
+}
+
+TEST(LintSuppressionTest, OrderedOkOnTheSameLineSuppressesH1) {
+  const auto findings = scan({file(
+      "src/a/report.cpp",
+      "#include <cstdio>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : m) {}  // msd-lint: ordered-ok(sorted downstream)\n"
+      "}\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintSuppressionTest, AllowSuppressesOnlyTheNamedClass) {
+  const auto findings = scan({file(
+      "src/a/spawn.cpp",
+      "// msd-lint: allow(H5: supervised one-shot worker)\n"
+      "std::thread worker;\n"
+      "// msd-lint: allow(H5: wrong class for this line)\n"
+      "thread_local int scratch = 0;\n")});
+  ASSERT_EQ(findings.size(), 2u);
+  // The H5 finding is suppressed; the H4 finding is not — the allow names
+  // a different class.
+  EXPECT_EQ(findings[0].hazard, "H5");
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].suppressReason, "supervised one-shot worker");
+  EXPECT_EQ(findings[1].hazard, "H4");
+  EXPECT_FALSE(findings[1].suppressed);
+}
+
+TEST(LintSuppressionTest, FileSuppressionsMatchByPathSuffix) {
+  const std::vector<Suppression> suppressions =
+      parseSuppressions("# comment\n"
+                        "\n"
+                        "H2 src/a/clock.cpp legacy timing shim\n");
+  const auto findings = scanFiles(
+      {file("src/a/clock.cpp",
+            "auto f() { return std::chrono::steady_clock::now(); }\n"),
+       file("src/b/clock2.cpp",
+            "auto g() { return std::chrono::steady_clock::now(); }\n")},
+      suppressions);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].suppressReason, "legacy timing shim");
+  EXPECT_FALSE(findings[1].suppressed);
+}
+
+TEST(LintSuppressionTest, MalformedSuppressionLinesThrow) {
+  EXPECT_THROW(parseSuppressions("H9 src/a.cpp bad hazard\n"),
+               std::runtime_error);
+  EXPECT_THROW(parseSuppressions("H2 src/a.cpp\n"), std::runtime_error);
+  EXPECT_THROW(parseSuppressions("just some words\n"), std::runtime_error);
+  EXPECT_TRUE(parseSuppressions("# only a comment\n\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stripper.
+// ---------------------------------------------------------------------------
+
+TEST(LintStripperTest, PreservesLineStructure) {
+  const std::string text = "int a; // trailing\n"
+                           "/* multi\n"
+                           "   line */ int b;\n"
+                           "const char* s = \"str\\\"ing\";\n"
+                           "auto r = R\"(raw ) text)\";\n";
+  const std::string stripped = stripCommentsAndStrings(text);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_EQ(stripped.find("multi"), std::string::npos);
+  EXPECT_EQ(stripped.find("str"), std::string::npos);
+  EXPECT_EQ(stripped.find("raw"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintFormatTest, FindingFormatsAsFileLineHazardMessage) {
+  Finding f;
+  f.file = "src/a/b.cpp";
+  f.line = 17;
+  f.hazard = "H2";
+  f.message = "some message";
+  EXPECT_EQ(formatFinding(f), "src/a/b.cpp:17: [H2] some message");
+}
+
+// ---------------------------------------------------------------------------
+// Self-scan: the real tree must be clean under the checked-in
+// suppressions.
+// ---------------------------------------------------------------------------
+
+#ifdef MSD_LINT_REPO_ROOT
+TEST(LintSelfScanTest, RealTreeHasNoUnsuppressedFindings) {
+  const std::string root = MSD_LINT_REPO_ROOT;
+  std::ifstream in(root + "/tools/msd_lint_suppressions.txt");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto suppressions = parseSuppressions(buffer.str());
+  const auto findings =
+      scanTree(root, {"src", "tools", "bench"}, suppressions);
+  for (const Finding& f : active(findings)) {
+    ADD_FAILURE() << formatFinding(f);
+  }
+  // The grandfathered sites must still be seen (a silent zero would mean
+  // the scanner broke, not that the tree got cleaner).
+  EXPECT_FALSE(findings.empty());
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// CLI exit codes (subprocess).
+// ---------------------------------------------------------------------------
+
+#ifdef MSD_LINT_BINARY
+int runLint(const std::string& args) {
+  const std::string command =
+      std::string(MSD_LINT_BINARY) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return status < 0 ? status : (status >> 8) & 0xff;
+}
+
+class LintCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "msd_lint_cli_fixture";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "src");
+    fs::create_directories(dir_ / "tools");
+    fs::create_directories(dir_ / "bench");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& relative, const std::string& text) {
+    std::ofstream out(dir_ / relative);
+    out << text;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LintCliTest, CleanTreeExitsZero) {
+  write("src/ok.cpp", "int f() { return 1; }\n");
+  EXPECT_EQ(runLint("--root=" + dir_.string()), 0);
+}
+
+TEST_F(LintCliTest, FindingsExitOne) {
+  write("src/bad.cpp", "std::random_device rd;\n");
+  EXPECT_EQ(runLint("--root=" + dir_.string()), 1);
+}
+
+TEST_F(LintCliTest, SuppressedFindingsExitZero) {
+  write("src/bad.cpp", "std::random_device rd;\n");
+  write("tools/msd_lint_suppressions.txt",
+        "H2 src/bad.cpp fixture waiver\n");
+  EXPECT_EQ(runLint("--root=" + dir_.string()), 0);
+}
+
+TEST_F(LintCliTest, MissingRootExitsTwo) {
+  EXPECT_EQ(runLint("--root=" + (dir_ / "nope").string()), 2);
+}
+
+TEST_F(LintCliTest, UnknownArgumentExitsTwo) {
+  EXPECT_EQ(runLint("--frobnicate"), 2);
+}
+#endif
+
+}  // namespace
+}  // namespace msd::lint

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# One-shot pre-PR gate: strict-warning release build, determinism lint,
+# and the tier-1 test suite. `--full` additionally runs the tsan and asan
+# preset subsets. Run from anywhere; everything is relative to the repo
+# root. Exits non-zero on the first failure.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+full=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) full=1 ;;
+    -h|--help)
+      echo "usage: tools/check.sh [--full]"
+      echo "  default: werror build + msd_lint + tier-1 ctest"
+      echo "  --full:  also tsan and asan preset test subsets"
+      exit 0
+      ;;
+    *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "werror build (release + -Wall -Wextra -Wshadow -Wconversion -Werror)"
+cmake --preset werror -S "$root"
+cmake --build --preset werror -j "$jobs"
+
+step "msd_lint (determinism hazards H1-H5)"
+"$root/build-werror/tools/msd_lint" --root="$root"
+
+step "tier-1 tests (werror build)"
+ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs"
+
+if [ "$full" -eq 1 ]; then
+  step "tsan build + concurrent-kernel subset"
+  cmake --preset tsan -S "$root"
+  cmake --build --preset tsan -j "$jobs"
+  (cd "$root" && ctest --preset tsan -j "$jobs")
+
+  step "asan build + fast-test subset"
+  cmake --preset asan -S "$root"
+  cmake --build --preset asan -j "$jobs"
+  (cd "$root" && ctest --preset asan -j "$jobs")
+fi
+
+step "all checks passed"

@@ -1,0 +1,962 @@
+#include "msd_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msd::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool isWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Collapses "." and ".." components and backslashes so resolved include
+/// paths compare equal to the scanner's root-relative paths.
+std::string normalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::string cleaned = path;
+  std::replace(cleaned.begin(), cleaned.end(), '\\', '/');
+  std::istringstream in(cleaned);
+  while (std::getline(in, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string dirName(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// True for the pool implementation files (src/util/parallel.h/.cpp),
+/// which are the one place allowed to touch raw threads and worker state.
+bool isParallelUtil(const std::string& path) {
+  return startsWith(path, "src/util/parallel.");
+}
+
+bool isObs(const std::string& path) { return startsWith(path, "src/obs/"); }
+
+bool isBench(const std::string& path) { return startsWith(path, "bench/"); }
+
+/// Finds the offset of the `close` matching the opener at `open`.
+/// Returns npos when unbalanced.
+std::size_t findMatching(const std::string& text, std::size_t open,
+                         char openCh, char closeCh) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == openCh) {
+      ++depth;
+    } else if (text[i] == closeCh) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// All offsets where `word` occurs with word boundaries on both sides.
+std::vector<std::size_t> findWord(const std::string& text,
+                                  const std::string& word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool leftOk = pos == 0 || !isWordChar(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool rightOk = end >= text.size() || !isWordChar(text[end]);
+    if (leftOk && rightOk) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+std::size_t skipSpaces(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Per-file state shared by the hazard passes.
+struct FileInfo {
+  std::string path;
+  std::string original;
+  std::string stripped;
+  std::vector<std::size_t> lineStarts;  ///< offset of each line's first byte
+  std::vector<std::string> quotedIncludes;  ///< raw `#include "..."` names
+  std::vector<std::string> systemIncludes;  ///< raw `#include <...>` names
+  /// line -> (hazard-or-"*", reason) from inline msd-lint comments; the
+  /// hazard "H1" entry is produced by ordered-ok, "*" never occurs (allow
+  /// requires a class).
+  std::map<std::size_t, std::pair<std::string, std::string>> inlineAllows;
+  std::vector<std::string> resolvedIncludes;  ///< root-relative, in-tree
+  bool outputRelevant = false;
+};
+
+std::size_t lineOf(const FileInfo& info, std::size_t offset) {
+  const auto it = std::upper_bound(info.lineStarts.begin(),
+                                   info.lineStarts.end(), offset);
+  return static_cast<std::size_t>(it - info.lineStarts.begin());
+}
+
+void parseDirectives(FileInfo& info) {
+  std::istringstream in(info.original);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string t = trim(line);
+    if (t.size() > 0 && t[0] == '#') {
+      std::size_t pos = skipSpaces(t, 1);
+      if (t.compare(pos, 7, "include") == 0) {
+        pos = skipSpaces(t, pos + 7);
+        if (pos < t.size() && (t[pos] == '"' || t[pos] == '<')) {
+          const char closeCh = t[pos] == '"' ? '"' : '>';
+          const std::size_t close = t.find(closeCh, pos + 1);
+          if (close != std::string::npos) {
+            const std::string name = t.substr(pos + 1, close - pos - 1);
+            (closeCh == '"' ? info.quotedIncludes : info.systemIncludes)
+                .push_back(name);
+          }
+        }
+      }
+    }
+    const std::size_t marker = line.find("msd-lint:");
+    if (marker != std::string::npos) {
+      const std::size_t comment = line.rfind("//", marker);
+      if (comment == std::string::npos) continue;  // not in a // comment
+      std::string rest = trim(line.substr(marker + 9));
+      if (startsWith(rest, "ordered-ok(")) {
+        const std::size_t close = rest.rfind(')');
+        if (close != std::string::npos && close > 11) {
+          info.inlineAllows[lineNo] = {"H1",
+                                       trim(rest.substr(11, close - 11))};
+        }
+      } else if (startsWith(rest, "allow(")) {
+        const std::size_t close = rest.rfind(')');
+        const std::size_t colon = rest.find(':');
+        if (close != std::string::npos && colon != std::string::npos &&
+            colon < close) {
+          const std::string hazard = trim(rest.substr(6, colon - 6));
+          const std::string reason =
+              trim(rest.substr(colon + 1, close - colon - 1));
+          if (hazard.size() == 2 && hazard[0] == 'H' && hazard[1] >= '1' &&
+              hazard[1] <= '5') {
+            info.inlineAllows[lineNo] = {hazard, reason};
+          }
+        }
+      }
+    }
+  }
+}
+
+void computeLineStarts(FileInfo& info) {
+  info.lineStarts.push_back(0);
+  for (std::size_t i = 0; i < info.original.size(); ++i) {
+    if (info.original[i] == '\n') info.lineStarts.push_back(i + 1);
+  }
+}
+
+/// System headers whose presence marks a translation unit as producing
+/// serialized output.
+bool isOutputSystemHeader(const std::string& name) {
+  static const std::set<std::string> kHeaders = {
+      "cstdio", "stdio.h", "iostream", "fstream", "ostream", "print"};
+  return kHeaders.count(name) > 0;
+}
+
+/// Repo headers that constitute the serialization layer.
+bool isRepoOutputHeader(const std::string& path) {
+  static const std::vector<std::string> kSuffixes = {
+      "io/csv.h", "io/event_io.h", "io/graph_io.h",
+      "obs/json.h", "obs/registry.h"};
+  for (const std::string& suffix : kSuffixes) {
+    if (endsWith(path, suffix)) return true;
+  }
+  return false;
+}
+
+/// A file is a direct sink when it (a) includes a serialization system
+/// header, (b) is part of the repo's io/obs serialization layer, or
+/// (c) performs ordered reductions itself (parallelReduce).
+bool isDirectSink(const FileInfo& info) {
+  for (const std::string& name : info.systemIncludes) {
+    if (isOutputSystemHeader(name)) return true;
+  }
+  if (isRepoOutputHeader(info.path)) return true;
+  return !findWord(info.stripped, "parallelReduce").empty();
+}
+
+/// Resolves a quoted include against the in-tree file set: relative to
+/// the including file's directory, then against the repo-style include
+/// roots (src/, bench/, tools/, and the tree root).
+std::vector<std::string> resolveIncludes(
+    const FileInfo& info, const std::set<std::string>& knownPaths) {
+  std::vector<std::string> resolved;
+  const std::string dir = dirName(info.path);
+  for (const std::string& name : info.quotedIncludes) {
+    const std::string candidates[] = {
+        normalizePath(dir.empty() ? name : dir + "/" + name),
+        normalizePath("src/" + name), normalizePath(name),
+        normalizePath("bench/" + name), normalizePath("tools/" + name)};
+    for (const std::string& candidate : candidates) {
+      if (knownPaths.count(candidate) > 0) {
+        resolved.push_back(candidate);
+        break;
+      }
+    }
+  }
+  return resolved;
+}
+
+/// Transitive include closure (excluding `start` itself).
+std::set<std::string> includeClosure(
+    const std::string& start,
+    const std::map<std::string, const FileInfo*>& byPath) {
+  std::set<std::string> seen;
+  std::vector<std::string> stack = {start};
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    const auto it = byPath.find(current);
+    if (it == byPath.end()) continue;
+    for (const std::string& next : it->second->resolvedIncludes) {
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  seen.erase(start);
+  return seen;
+}
+
+/// Marks every file belonging to a translation unit that serializes or
+/// reduces output. Propagates through the include graph to a fixpoint and
+/// pairs each .cpp with its companion header.
+void computeOutputRelevance(std::vector<FileInfo>& files) {
+  std::map<std::string, const FileInfo*> byPath;
+  for (FileInfo& info : files) byPath[info.path] = &info;
+
+  std::map<std::string, std::set<std::string>> closures;
+  std::set<std::string> marked;
+  for (FileInfo& info : files) {
+    closures[info.path] = includeClosure(info.path, byPath);
+    if (isDirectSink(info)) marked.insert(info.path);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FileInfo& info : files) {
+      const std::set<std::string>& closure = closures[info.path];
+      bool relevant = marked.count(info.path) > 0;
+      if (!relevant) {
+        for (const std::string& dep : closure) {
+          if (marked.count(dep) > 0) {
+            relevant = true;
+            break;
+          }
+        }
+      }
+      if (relevant) {
+        // The whole TU participates in producing that output.
+        if (marked.insert(info.path).second) changed = true;
+        for (const std::string& dep : closure) {
+          if (marked.insert(dep).second) changed = true;
+        }
+      }
+    }
+    // A .cpp inherits relevance from its companion header and vice versa:
+    // the implementation computes the values the header's consumers print.
+    for (FileInfo& info : files) {
+      std::string companion;
+      if (endsWith(info.path, ".cpp")) {
+        companion = info.path.substr(0, info.path.size() - 4) + ".h";
+      } else if (endsWith(info.path, ".h")) {
+        companion = info.path.substr(0, info.path.size() - 2) + ".cpp";
+      }
+      if (!companion.empty() && byPath.count(companion) > 0) {
+        const bool either =
+            marked.count(info.path) > 0 || marked.count(companion) > 0;
+        if (either && marked.insert(info.path).second) changed = true;
+        if (either && marked.insert(companion).second) changed = true;
+      }
+    }
+  }
+  for (FileInfo& info : files) {
+    info.outputRelevant = marked.count(info.path) > 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1: unordered-container iteration in output-relevant files.
+// ---------------------------------------------------------------------------
+
+/// Names declared in this file with an unordered container type, mapped to
+/// their declaration offsets (functions returning unordered containers
+/// count too: iterating their result is just as order-hazardous).
+std::map<std::string, std::vector<std::size_t>> collectUnorderedNames(
+    const std::string& stripped) {
+  std::map<std::string, std::vector<std::size_t>> names;
+  static const char* kTypes[] = {"unordered_map", "unordered_set",
+                                 "unordered_multimap", "unordered_multiset"};
+  for (const char* type : kTypes) {
+    for (std::size_t pos : findWord(stripped, type)) {
+      std::size_t cursor = skipSpaces(stripped, pos + std::string(type).size());
+      if (cursor >= stripped.size() || stripped[cursor] != '<') continue;
+      const std::size_t close = findMatching(stripped, cursor, '<', '>');
+      if (close == std::string::npos) continue;
+      cursor = skipSpaces(stripped, close + 1);
+      // Skip ref/pointer/const decorations between type and name.
+      while (cursor < stripped.size() &&
+             (stripped[cursor] == '&' || stripped[cursor] == '*')) {
+        cursor = skipSpaces(stripped, cursor + 1);
+      }
+      const std::size_t nameStart = cursor;
+      while (cursor < stripped.size() && isWordChar(stripped[cursor])) {
+        ++cursor;
+      }
+      if (cursor == nameStart) continue;
+      names[stripped.substr(nameStart, cursor - nameStart)].push_back(pos);
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> identifiersIn(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (isWordChar(text[i]) &&
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      const std::size_t start = i;
+      while (i < text.size() && isWordChar(text[i])) ++i;
+      out.push_back(text.substr(start, i - start));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+void scanH1(const FileInfo& info, std::vector<Finding>& findings) {
+  if (!info.outputRelevant) return;
+  const auto unorderedNames = collectUnorderedNames(info.stripped);
+  if (unorderedNames.empty()) return;
+  for (std::size_t pos : findWord(info.stripped, "for")) {
+    const std::size_t open = skipSpaces(info.stripped, pos + 3);
+    if (open >= info.stripped.size() || info.stripped[open] != '(') continue;
+    const std::size_t close = findMatching(info.stripped, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string header = info.stripped.substr(open + 1, close - open - 1);
+    // Range-for: a top-level ':' that is not part of '::'.
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] != ':') continue;
+      if (i + 1 < header.size() && header[i + 1] == ':') {
+        ++i;
+        continue;
+      }
+      if (i > 0 && header[i - 1] == ':') continue;
+      colon = i;
+      break;
+    }
+    bool hit = false;
+    std::string hitName;
+    if (colon != std::string::npos && header.find(';') == std::string::npos) {
+      for (const std::string& ident : identifiersIn(header.substr(colon + 1))) {
+        if (unorderedNames.count(ident) > 0) {
+          hit = true;
+          hitName = ident;
+          break;
+        }
+      }
+    } else {
+      // Iterator-style loop: look for `<name>.begin()` / `<name>->begin()`.
+      for (std::size_t b : findWord(header, "begin")) {
+        std::size_t j = b;
+        while (j > 0 && (header[j - 1] == '.' || header[j - 1] == '>' ||
+                         header[j - 1] == '-')) {
+          --j;
+        }
+        std::size_t nameEnd = j;
+        while (j > 0 && isWordChar(header[j - 1])) --j;
+        const std::string ident = header.substr(j, nameEnd - j);
+        if (unorderedNames.count(ident) > 0) {
+          hit = true;
+          hitName = ident;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      Finding f;
+      f.file = info.path;
+      f.line = lineOf(info, pos);
+      f.hazard = "H1";
+      f.message = "iteration over unordered container '" + hitName +
+                  "' in an output-relevant file; hash order leaks into "
+                  "serialized/reduced output (sort keys first or use "
+                  "'// msd-lint: ordered-ok(reason)')";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H2: banned nondeterminism sources.
+// ---------------------------------------------------------------------------
+
+/// `using X = std::chrono::...;` aliases so `X::now()` is caught too.
+std::set<std::string> collectChronoAliases(const std::string& stripped) {
+  std::set<std::string> aliases;
+  for (std::size_t pos : findWord(stripped, "using")) {
+    std::size_t cursor = skipSpaces(stripped, pos + 5);
+    const std::size_t nameStart = cursor;
+    while (cursor < stripped.size() && isWordChar(stripped[cursor])) ++cursor;
+    if (cursor == nameStart) continue;
+    const std::string name = stripped.substr(nameStart, cursor - nameStart);
+    cursor = skipSpaces(stripped, cursor);
+    if (cursor >= stripped.size() || stripped[cursor] != '=') continue;
+    cursor = skipSpaces(stripped, cursor + 1);
+    if (stripped.compare(cursor, 12, "std::chrono:") == 0 ||
+        stripped.compare(cursor, 8, "chrono::") == 0) {
+      aliases.insert(name);
+    }
+  }
+  return aliases;
+}
+
+void pushFinding(const FileInfo& info, std::size_t offset,
+                 const std::string& hazard, const std::string& message,
+                 std::vector<Finding>& findings) {
+  Finding f;
+  f.file = info.path;
+  f.line = lineOf(info, offset);
+  f.hazard = hazard;
+  f.message = message;
+  findings.push_back(std::move(f));
+}
+
+/// True when the word at `pos` is a bare call `word(` — not a member
+/// access (`x.rand(`), qualified name (`Rng::rand(`), or declaration.
+bool isBareCall(const std::string& text, std::size_t pos,
+                std::size_t wordLen) {
+  if (pos > 0) {
+    const char prev = text[pos - 1];
+    if (prev == '.' || prev == ':' || prev == '>') return false;
+  }
+  const std::size_t after = skipSpaces(text, pos + wordLen);
+  return after < text.size() && text[after] == '(';
+}
+
+void scanH2(const FileInfo& info, std::vector<Finding>& findings) {
+  // Timing and wall-clock randomness are the observability layer's job;
+  // benchmarks legitimately measure wall time.
+  if (isObs(info.path) || isBench(info.path)) return;
+  const std::string& text = info.stripped;
+
+  for (std::size_t pos : findWord(text, "rand")) {
+    if (isBareCall(text, pos, 4)) {
+      pushFinding(info, pos, "H2",
+                  "rand() is a global-state RNG; use Rng::stream(seed, index)",
+                  findings);
+    }
+  }
+  for (std::size_t pos : findWord(text, "srand")) {
+    if (isBareCall(text, pos, 5)) {
+      pushFinding(info, pos, "H2",
+                  "srand() seeds global state; use Rng::stream(seed, index)",
+                  findings);
+    }
+  }
+  for (std::size_t pos : findWord(text, "random_device")) {
+    pushFinding(info, pos, "H2",
+                "std::random_device is nondeterministic; derive streams from "
+                "the run seed instead",
+                findings);
+  }
+  for (std::size_t pos : findWord(text, "time")) {
+    if (!isBareCall(text, pos, 4)) continue;
+    const std::size_t open = text.find('(', pos);
+    const std::size_t close = findMatching(text, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string arg = trim(text.substr(open + 1, close - open - 1));
+    if (arg == "nullptr" || arg == "NULL" || arg == "0") {
+      pushFinding(info, pos, "H2",
+                  "time(" + arg + ") reads the wall clock; results must not "
+                  "depend on run time",
+                  findings);
+    }
+  }
+  const std::set<std::string> aliases = collectChronoAliases(text);
+  for (std::size_t pos : findWord(text, "now")) {
+    const std::size_t after = skipSpaces(text, pos + 3);
+    if (after >= text.size() || text[after] != '(') continue;
+    if (pos < 2 || text[pos - 1] != ':' || text[pos - 2] != ':') continue;
+    // Qualifier identifier before the '::'.
+    std::size_t qEnd = pos - 2;
+    std::size_t qStart = qEnd;
+    while (qStart > 0 && isWordChar(text[qStart - 1])) --qStart;
+    const std::string qualifier = text.substr(qStart, qEnd - qStart);
+    const bool chronoQualified =
+        (qStart >= 8 && text.compare(qStart - 8, 8, "chrono::") == 0);
+    if (chronoQualified || aliases.count(qualifier) > 0 ||
+        endsWith(qualifier, "_clock") || qualifier == "Clock") {
+      pushFinding(info, pos, "H2",
+                  "clock now() outside src/obs/ and bench/; timing belongs "
+                  "to the observability layer",
+                  findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H3: by-reference FP accumulation inside parallelFor bodies.
+// ---------------------------------------------------------------------------
+
+std::map<std::string, std::vector<std::size_t>> collectFpNames(
+    const std::string& stripped) {
+  std::map<std::string, std::vector<std::size_t>> names;
+  for (const char* type : {"double", "float"}) {
+    for (std::size_t pos : findWord(stripped, type)) {
+      std::size_t cursor =
+          skipSpaces(stripped, pos + std::string(type).size());
+      const std::size_t nameStart = cursor;
+      while (cursor < stripped.size() && isWordChar(stripped[cursor])) {
+        ++cursor;
+      }
+      if (cursor == nameStart) continue;
+      names[stripped.substr(nameStart, cursor - nameStart)].push_back(pos);
+    }
+  }
+  return names;
+}
+
+void scanH3(const FileInfo& info, std::vector<Finding>& findings) {
+  if (isParallelUtil(info.path) || isObs(info.path)) return;
+  const std::string& text = info.stripped;
+  const auto fpNames = collectFpNames(text);
+  if (fpNames.empty()) return;
+
+  std::vector<std::size_t> calls = findWord(text, "parallelFor");
+  for (std::size_t pos : findWord(text, "parallelForChunks")) {
+    calls.push_back(pos);
+  }
+  std::sort(calls.begin(), calls.end());
+  for (std::size_t pos : calls) {
+    const std::size_t open = text.find('(', pos);
+    if (open == std::string::npos) continue;
+    const std::size_t close = findMatching(text, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string extent = text.substr(open, close - open + 1);
+
+    // Lambda capture list: first '[' inside the call.
+    const std::size_t capOpen = extent.find('[');
+    if (capOpen == std::string::npos) continue;
+    const std::size_t capClose = findMatching(extent, capOpen, '[', ']');
+    if (capClose == std::string::npos) continue;
+    const std::string captures =
+        extent.substr(capOpen + 1, capClose - capOpen - 1);
+    const std::string capTrim = trim(captures);
+    // `[&]` or `[&, ...]` captures everything by reference; `[&name]`
+    // captures name specifically.
+    const bool captureDefaultByRef =
+        capTrim == "&" || startsWith(capTrim, "&,") ||
+        startsWith(capTrim, "& ,");
+    std::set<std::string> refCaptures;
+    std::size_t i = 0;
+    while (i < captures.size()) {
+      if (captures[i] == '&') {
+        std::size_t j = i + 1;
+        const std::size_t nameStart = j;
+        while (j < captures.size() && isWordChar(captures[j])) ++j;
+        if (j > nameStart) {
+          refCaptures.insert(captures.substr(nameStart, j - nameStart));
+        }
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+
+    // Names declared inside the lambda are thread-private and fine.
+    std::set<std::string> declaredInside;
+    for (const auto& [name, decls] : fpNames) {
+      for (std::size_t decl : decls) {
+        if (decl > open && decl < close) declaredInside.insert(name);
+      }
+    }
+
+    std::size_t cursor = capClose;
+    while (true) {
+      const std::size_t plusEq = extent.find("+=", cursor);
+      if (plusEq == std::string::npos) break;
+      cursor = plusEq + 2;
+      std::size_t e = plusEq;
+      while (e > 0 &&
+             std::isspace(static_cast<unsigned char>(extent[e - 1])) != 0) {
+        --e;
+      }
+      std::size_t s = e;
+      while (s > 0 && isWordChar(extent[s - 1])) --s;
+      if (s == e) continue;
+      const std::string name = extent.substr(s, e - s);
+      if (fpNames.count(name) == 0) continue;
+      if (declaredInside.count(name) > 0) continue;
+      const bool byRef =
+          captureDefaultByRef || refCaptures.count(name) > 0;
+      if (!byRef) continue;
+      // Declared before the call → captured from the enclosing scope.
+      bool declaredBefore = false;
+      for (std::size_t decl : fpNames.at(name)) {
+        if (decl < pos) declaredBefore = true;
+      }
+      if (!declaredBefore) continue;
+      pushFinding(info, open + plusEq, "H3",
+                  "floating-point '" + name +
+                      " +=' on a by-reference capture inside a parallelFor "
+                      "body; route cross-chunk accumulation through "
+                      "parallelReduce",
+                  findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H4/H5: thread identity and raw thread construction.
+// ---------------------------------------------------------------------------
+
+void scanH4(const FileInfo& info, std::vector<Finding>& findings) {
+  if (isParallelUtil(info.path) || isObs(info.path)) return;
+  const std::string& text = info.stripped;
+  for (std::size_t pos : findWord(text, "thread_local")) {
+    pushFinding(info, pos, "H4",
+                "thread_local state outside the pool; per-worker data makes "
+                "results depend on scheduling",
+                findings);
+  }
+  std::size_t pos = 0;
+  while ((pos = text.find("this_thread", pos)) != std::string::npos) {
+    const std::size_t getId = text.find("get_id", pos);
+    if (getId != std::string::npos && getId - pos < 16) {
+      pushFinding(info, pos, "H4",
+                  "std::this_thread::get_id outside the pool; thread identity "
+                  "must not reach results",
+                  findings);
+    }
+    pos += 11;
+  }
+}
+
+void scanH5(const FileInfo& info, std::vector<Finding>& findings) {
+  if (isParallelUtil(info.path) || isObs(info.path)) return;
+  const std::string& text = info.stripped;
+  for (const char* token : {"thread", "jthread"}) {
+    for (std::size_t pos : findWord(text, token)) {
+      // Only `std::thread` / `std::jthread`, and not `std::thread::...`
+      // statics like hardware_concurrency().
+      if (pos < 5 || text.compare(pos - 5, 5, "std::") != 0) continue;
+      const std::size_t after = skipSpaces(text, pos + std::string(token).size());
+      if (after + 1 < text.size() && text[after] == ':' &&
+          text[after + 1] == ':') {
+        continue;
+      }
+      pushFinding(info, pos - 5, "H5",
+                  std::string("raw std::") + token +
+                      " outside src/util/parallel.*; all parallelism goes "
+                      "through the shared pool",
+                  findings);
+    }
+  }
+  std::size_t pos = 0;
+  while ((pos = text.find("pthread_", pos)) != std::string::npos) {
+    if (pos == 0 || !isWordChar(text[pos - 1])) {
+      pushFinding(info, pos, "H5",
+                  "raw pthread usage outside src/util/parallel.*; all "
+                  "parallelism goes through the shared pool",
+                  findings);
+    }
+    pos += 8;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression matching.
+// ---------------------------------------------------------------------------
+
+void applySuppressions(const std::vector<FileInfo>& files,
+                       const std::vector<Suppression>& suppressions,
+                       std::vector<Finding>& findings) {
+  std::map<std::string, const FileInfo*> byPath;
+  for (const FileInfo& info : files) byPath[info.path] = &info;
+  for (Finding& f : findings) {
+    const FileInfo* info = byPath.at(f.file);
+    for (std::size_t line : {f.line, f.line > 1 ? f.line - 1 : f.line}) {
+      const auto it = info->inlineAllows.find(line);
+      if (it != info->inlineAllows.end() && it->second.first == f.hazard) {
+        f.suppressed = true;
+        f.suppressReason = it->second.second;
+        break;
+      }
+    }
+    if (f.suppressed) continue;
+    for (const Suppression& s : suppressions) {
+      if (s.hazard != f.hazard) continue;
+      if (f.file == s.pathSuffix || endsWith(f.file, "/" + s.pathSuffix) ||
+          endsWith(f.file, s.pathSuffix)) {
+        f.suppressed = true;
+        f.suppressReason = s.reason;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string stripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string rawDelim;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !isWordChar(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < text.size() && text[p] != '(') ++p;
+          rawDelim = ")" + text.substr(i + 2, p - i - 2) + "\"";
+          state = State::kRaw;
+          for (std::size_t k = i; k <= p && k < text.size(); ++k) {
+            if (out[k] != '\n') out[k] = ' ';
+          }
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+          for (std::size_t k = i; k < i + rawDelim.size(); ++k) out[k] = ' ';
+          i += rawDelim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Suppression> parseSuppressions(const std::string& text) {
+  std::vector<Suppression> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream fields(t);
+    Suppression s;
+    fields >> s.hazard >> s.pathSuffix;
+    std::getline(fields, s.reason);
+    s.reason = trim(s.reason);
+    const bool hazardOk = s.hazard.size() == 2 && s.hazard[0] == 'H' &&
+                          s.hazard[1] >= '1' && s.hazard[1] <= '5';
+    if (!hazardOk || s.pathSuffix.empty() || s.reason.empty()) {
+      throw std::runtime_error(
+          "msd_lint: suppressions line " + std::to_string(lineNo) +
+          ": expected 'H# path reason...', got: " + t);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Finding> scanFiles(const std::vector<SourceFile>& files,
+                               const std::vector<Suppression>& suppressions) {
+  std::vector<FileInfo> infos;
+  infos.reserve(files.size());
+  for (const SourceFile& file : files) {
+    FileInfo info;
+    info.path = normalizePath(file.path);
+    info.original = file.text;
+    info.stripped = stripCommentsAndStrings(file.text);
+    computeLineStarts(info);
+    parseDirectives(info);
+    infos.push_back(std::move(info));
+  }
+  std::set<std::string> knownPaths;
+  for (const FileInfo& info : infos) knownPaths.insert(info.path);
+  for (FileInfo& info : infos) {
+    info.resolvedIncludes = resolveIncludes(info, knownPaths);
+  }
+  computeOutputRelevance(infos);
+
+  std::vector<Finding> findings;
+  for (const FileInfo& info : infos) {
+    scanH1(info, findings);
+    scanH2(info, findings);
+    scanH3(info, findings);
+    scanH4(info, findings);
+    scanH5(info, findings);
+  }
+  applySuppressions(infos, suppressions, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.hazard < b.hazard;
+            });
+  return findings;
+}
+
+std::vector<Finding> scanTree(const std::string& root,
+                              const std::vector<std::string>& subdirs,
+                              const std::vector<Suppression>& suppressions) {
+  const fs::path rootPath(root);
+  if (!fs::is_directory(rootPath)) {
+    throw std::runtime_error("msd_lint: not a directory: " + root);
+  }
+  std::vector<SourceFile> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = rootPath / subdir;
+    if (!fs::is_directory(dir)) {
+      throw std::runtime_error("msd_lint: missing subdirectory: " +
+                               dir.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in.good()) {
+        throw std::runtime_error("msd_lint: cannot open " +
+                                 entry.path().string());
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      SourceFile file;
+      file.path = normalizePath(
+          fs::relative(entry.path(), rootPath).generic_string());
+      file.text = buffer.str();
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return scanFiles(files, suppressions);
+}
+
+bool hasActiveFindings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    if (!f.suppressed) return true;
+  }
+  return false;
+}
+
+std::string formatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.hazard + "] " + finding.message;
+}
+
+}  // namespace msd::lint

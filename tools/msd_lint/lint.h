@@ -1,0 +1,109 @@
+#pragma once
+
+// msd_lint: repo-specific determinism/static-hazard linter.
+//
+// A plain token/regex-level scanner (no libclang) with include-graph
+// awareness, covering the hazard classes that have bitten — or would
+// silently bite — the deterministic parallel pipeline:
+//
+//   H1  range-for / iterator loops over std::unordered_map/unordered_set
+//       in output-relevant files (files whose translation unit serializes
+//       or reduces data — see below). Hash iteration order leaking into
+//       serialized or reduced output breaks the bit-identical-results
+//       contract across standard libraries and seeds.
+//   H2  banned nondeterminism sources outside src/obs/ and bench/:
+//       rand(), srand(), std::random_device, time(nullptr), and
+//       std::chrono::*::now(). All randomness must flow through
+//       Rng::stream; all timing through the observability layer.
+//   H3  floating-point `+=` accumulation into a by-reference capture
+//       inside a parallelFor/parallelForChunks body. Cross-chunk FP
+//       accumulation must go through parallelReduce to keep combine
+//       order fixed.
+//   H4  thread_local / std::this_thread::get_id outside
+//       src/util/parallel.* and src/obs/ — worker identity leaking into
+//       results makes output depend on scheduling.
+//   H5  raw std::thread/pthread construction outside src/util/parallel.*
+//       and src/obs/ — all parallelism must go through the shared pool,
+//       which owns the determinism contract.
+//
+// Output-relevance (H1) is computed from the include graph: every
+// translation unit whose transitive include closure contains a
+// serialization header (<cstdio>, <iostream>, <fstream>, <ostream>,
+// io/csv.h, io/event_io.h, io/graph_io.h, obs/json.h, obs/registry.h) or
+// a parallelReduce call marks itself and its whole closure as
+// output-relevant; a .cpp is additionally marked when its companion
+// header is.
+//
+// Suppressions:
+//   inline, same line or the line immediately above the finding:
+//     // msd-lint: ordered-ok(reason)        — suppresses H1
+//     // msd-lint: allow(H2: reason)         — suppresses the named class
+//   checked-in file (one grandfathered site class per line):
+//     H2 src/util/stopwatch.h reason text...
+//
+// Exit codes of the CLI: 0 = clean (every finding suppressed), 1 = new
+// findings, 2 = usage or I/O error.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace msd::lint {
+
+/// One hazard hit (suppressed or not).
+struct Finding {
+  std::string file;    ///< path relative to the scan root, '/'-separated
+  std::size_t line = 0;///< 1-based
+  std::string hazard;  ///< "H1".."H5"
+  std::string message;
+  bool suppressed = false;
+  std::string suppressReason;  ///< why, when suppressed
+};
+
+/// One suppression-file entry: `hazard pathSuffix reason...`.
+struct Suppression {
+  std::string hazard;
+  std::string pathSuffix;  ///< matches a path equal to or ending with this
+  std::string reason;
+};
+
+/// Parses the suppression-file format: one `H# path reason` entry per
+/// line; blank lines and lines starting with '#' are ignored. Throws
+/// std::runtime_error on malformed entries (unknown hazard, missing
+/// fields).
+std::vector<Suppression> parseSuppressions(const std::string& text);
+
+/// In-memory source file handed to the scanner.
+struct SourceFile {
+  std::string path;  ///< root-relative, '/'-separated (e.g. "src/a/b.cpp")
+  std::string text;
+};
+
+/// Scans a set of source files as one tree. Findings are ordered by
+/// (path, line). Suppressed findings are included with suppressed=true.
+std::vector<Finding> scanFiles(const std::vector<SourceFile>& files,
+                               const std::vector<Suppression>& suppressions);
+
+/// Collects the .h/.hpp/.cpp/.cc files under root/{src,tools,bench} (or
+/// the given root-relative subdirectories), reads them, and scans them.
+/// Throws std::runtime_error when the root or a requested subdirectory
+/// does not exist.
+std::vector<Finding> scanTree(const std::string& root,
+                              const std::vector<std::string>& subdirs,
+                              const std::vector<Suppression>& suppressions);
+
+/// Strips comments and string/char literals, preserving line structure
+/// (every stripped character becomes a space, newlines survive) so byte
+/// offsets keep mapping to the same line numbers. Handles //, /*...*/,
+/// "...", '...', and R"delim(...)delim". Exposed for tests.
+std::string stripCommentsAndStrings(const std::string& text);
+
+/// True when `findings` contains at least one unsuppressed entry.
+bool hasActiveFindings(const std::vector<Finding>& findings);
+
+/// Formats one finding as `file:line: [H#] message`.
+std::string formatFinding(const Finding& finding);
+
+}  // namespace msd::lint

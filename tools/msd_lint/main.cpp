@@ -1,0 +1,119 @@
+// msd_lint CLI: scans src/, tools/ and bench/ under --root for the H1–H5
+// determinism hazards (see lint.h) and prints `file:line: [H#] message`
+// for each finding. Exit code 0 = clean, 1 = unsuppressed findings,
+// 2 = usage or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "msd_lint/lint.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: msd_lint [--root=DIR] [--suppressions=FILE] "
+               "[--subdirs=a,b,c] [--verbose]\n"
+               "  --root=DIR           tree to scan (default: .)\n"
+               "  --suppressions=FILE  suppression list (default: "
+               "ROOT/tools/msd_lint_suppressions.txt if present)\n"
+               "  --subdirs=a,b,c      root-relative dirs to scan "
+               "(default: src,tools,bench)\n"
+               "  --verbose            also print suppressed findings\n");
+}
+
+std::vector<std::string> splitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  std::istringstream in(value);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string suppressionsPath;
+  bool suppressionsExplicit = false;
+  std::vector<std::string> subdirs = {"src", "tools", "bench"};
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--suppressions=", 0) == 0) {
+      suppressionsPath = arg.substr(15);
+      suppressionsExplicit = true;
+    } else if (arg.rfind("--subdirs=", 0) == 0) {
+      subdirs = splitCommas(arg.substr(10));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "msd_lint: unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (subdirs.empty()) {
+    std::fprintf(stderr, "msd_lint: --subdirs must name at least one dir\n");
+    return 2;
+  }
+  if (!suppressionsExplicit) {
+    const std::filesystem::path candidate =
+        std::filesystem::path(root) / "tools" / "msd_lint_suppressions.txt";
+    if (std::filesystem::is_regular_file(candidate)) {
+      suppressionsPath = candidate.string();
+    }
+  }
+
+  try {
+    std::vector<msd::lint::Suppression> suppressions;
+    if (!suppressionsPath.empty()) {
+      std::ifstream in(suppressionsPath, std::ios::binary);
+      if (!in.good()) {
+        std::fprintf(stderr, "msd_lint: cannot open suppressions file: %s\n",
+                     suppressionsPath.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      suppressions = msd::lint::parseSuppressions(buffer.str());
+    }
+
+    const std::vector<msd::lint::Finding> findings =
+        msd::lint::scanTree(root, subdirs, suppressions);
+    std::size_t active = 0;
+    std::size_t suppressed = 0;
+    for (const msd::lint::Finding& f : findings) {
+      if (f.suppressed) {
+        ++suppressed;
+        if (verbose) {
+          std::printf("%s [suppressed: %s]\n",
+                      msd::lint::formatFinding(f).c_str(),
+                      f.suppressReason.c_str());
+        }
+        continue;
+      }
+      ++active;
+      std::printf("%s\n", msd::lint::formatFinding(f).c_str());
+    }
+    std::printf("msd_lint: %zu finding(s), %zu suppressed\n", active,
+                suppressed);
+    return active == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
