@@ -21,7 +21,9 @@
 #include "io/event_io.h"
 #include "obs/bench_compare.h"
 #include "obs/counters.h"
+#include "obs/events.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/time_series.h"
@@ -65,6 +67,12 @@ inline Options parseOptions(int argc, char** argv) {
       std::exit(0);
     }
   }
+  // Provenance for every artifact this bench writes (BENCH_*.json embeds
+  // the manifest; bench_compare refuses cross-provenance diffs).
+  obs::setManifestSeed(static_cast<std::int64_t>(options.seed));
+  obs::setManifestThreads(static_cast<std::int64_t>(threadCount()));
+  obs::setManifestArgs(std::vector<std::string>(argv, argv + argc));
+  obs::setThreadLabel("main");
   return options;
 }
 
@@ -164,6 +172,7 @@ class BenchReport {
     doc.set("scale", options_.scale);
     doc.set("seed", options_.seed);
     doc.set("threads", threadCount());
+    doc.set("run", obs::manifestJson(obs::currentManifest()));
     obs::Json list = obs::Json::array();
     for (const auto& [name, samples] : measurements_) {
       obs::Json entry = obs::Json::object();

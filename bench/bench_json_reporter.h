@@ -22,6 +22,7 @@
 
 #include "obs/counters.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "util/parallel.h"
 
 namespace msd::bench {
@@ -50,6 +51,7 @@ class JsonBenchReporter : public benchmark::ConsoleReporter {
     doc.set("scale", "builtin");
     doc.set("seed", std::uint64_t{0});
     doc.set("threads", threadCount());
+    doc.set("run", obs::manifestJson(obs::currentManifest()));
     obs::Json list = obs::Json::array();
     for (const auto& [name, wallMs] : captured_) {
       obs::Json entry = obs::Json::object();
@@ -101,6 +103,11 @@ inline int runBenchmarksWithJson(const std::string& benchmark, int argc,
       forwarded.push_back(argv[i]);
     }
   }
+  // google-benchmark binaries use seed 0 ("builtin" scale); record the
+  // rest of the run-side provenance before any report is written.
+  obs::setManifestSeed(0);
+  obs::setManifestThreads(static_cast<std::int64_t>(threadCount()));
+  obs::setManifestArgs(std::vector<std::string>(argv, argv + argc));
   int forwardedArgc = static_cast<int>(forwarded.size());
   benchmark::Initialize(&forwardedArgc, forwarded.data());
   if (benchmark::ReportUnrecognizedArguments(forwardedArgc,

@@ -12,6 +12,8 @@
 #include "ml/scaler.h"
 #include "ml/svm.h"
 #include "obs/counters.h"
+#include "obs/events.h"
+#include "obs/histogram_obs.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -32,6 +34,7 @@ class SnapshotPipeline {
   SnapshotPipeline(const EventStream& stream, const SnapshotSchedule& schedule)
       : schedule_(schedule),
         creationScope_(obs::scopeForWorkers()),
+        flowId_(obs::flowBegin()),
         producer_([this, &stream] { produce(stream); }) {}
 
   ~SnapshotPipeline() {
@@ -47,7 +50,10 @@ class SnapshotPipeline {
   /// schedule is exhausted.
   bool next(Day* day, Graph* graph) {
     std::unique_lock<std::mutex> lock(mutex_);
-    slotFilled_.wait(lock, [&] { return full_ || finished_; });
+    {
+      MSD_HISTOGRAM_SCOPE_NS("community.queue_wait_ns");
+      slotFilled_.wait(lock, [&] { return full_ || finished_; });
+    }
     if (!full_) return false;
     *day = slotDay_;
     *graph = std::move(slotGraph_);
@@ -60,8 +66,10 @@ class SnapshotPipeline {
  private:
   void produce(const EventStream& stream) {
     // Nest the producer's scopes under the scope that created the
-    // pipeline rather than this thread's own root.
-    obs::ScopeAdoption adoptScope(creationScope_);
+    // pipeline rather than this thread's own root; the flow id links the
+    // producer's lane back to the creation point in event traces.
+    obs::setThreadLabel("community.producer");
+    obs::ScopeAdoption adoptScope(creationScope_, flowId_);
     MSD_TRACE_SCOPE("community.snapshot_producer");
     Replayer replayer(stream);
     for (std::size_t i = 0; i < schedule_.size(); ++i) {
@@ -84,6 +92,7 @@ class SnapshotPipeline {
 
   SnapshotSchedule schedule_;
   obs::ScopeNode* creationScope_ = nullptr;
+  std::uint64_t flowId_ = 0;
   std::mutex mutex_;
   std::condition_variable slotFilled_;  // consumer: a snapshot is ready
   std::condition_variable slotFreed_;   // producer: the slot was drained

@@ -6,6 +6,7 @@
 
 #include "metrics/modularity.h"
 #include "obs/counters.h"
+#include "obs/histogram_obs.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -157,6 +158,7 @@ double localMovePhase(const WeightedGraph& graph,
   double totalGain = 0.0;
   std::uint64_t moves = 0;
   for (int pass = 0; pass < config.maxPassesPerLevel; ++pass) {
+    MSD_HISTOGRAM_SCOPE_NS("louvain.pass_ns");
     double passGain = 0.0;
     for (std::uint32_t node : order) {
       const std::uint32_t home = labels[node];

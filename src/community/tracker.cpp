@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/histogram_obs.h"
 #include "obs/trace.h"
 #include "util/contracts.h"
 #include "util/error.h"
@@ -274,6 +275,7 @@ void CommunityTracker::addSnapshot(Day day, const Graph& graph,
     std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(
         overlap.begin(), overlap.end());
     std::sort(entries.begin(), entries.end());
+    MSD_HISTOGRAM_RECORD("tracker.match_candidates", entries.size());
 
     // Best successor of each old community / best predecessor of each new
     // community, by Jaccard similarity (ties resolved to the first in

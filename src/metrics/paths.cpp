@@ -6,6 +6,7 @@
 #include "graph/csr.h"
 #include "metrics/components.h"
 #include "obs/counters.h"
+#include "obs/histogram_obs.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -96,7 +97,10 @@ double sampledAveragePathLength(const Graph& graph, std::size_t samples,
         std::uint64_t expansions = 0;
         for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
           const NodeId source = coreNodes[picks[i]];
-          bfsInto(csr, source, scratch[worker]);
+          {
+            MSD_HISTOGRAM_SCOPE_NS("bfs.source_ns");
+            bfsInto(csr, source, scratch[worker]);
+          }
           // Every node the BFS settled sits in the frontier buffer.
           expansions += scratch[worker].frontier.size();
           const auto& dist = scratch[worker].dist;

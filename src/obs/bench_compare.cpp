@@ -106,6 +106,15 @@ std::vector<std::string> validateBenchJson(const Json& json) {
       }
     }
   }
+  // The "run" manifest is optional (pre-manifest reports stay loadable)
+  // but must be a valid msd-run-v1 object when present.
+  if (const Json* run = json.find("run")) {
+    try {
+      parseManifest(*run, "run");
+    } catch (const std::exception& e) {
+      problems.push_back(e.what());
+    }
+  }
   // The counter snapshot is part of the schema, not an optional extra: a
   // report without it would silently compare as "no counters" and hide an
   // instrumentation regression. Presence is checked on every load, not
@@ -151,6 +160,9 @@ BenchRun parseBenchRun(const Json& json) {
     for (const auto& [name, value] : counters->members()) {
       run.counters[name] = static_cast<std::uint64_t>(value.intValue());
     }
+  }
+  if (const Json* manifest = json.find("run")) {
+    run.manifest = parseManifest(*manifest, "run");
   }
   return run;
 }
@@ -206,21 +218,36 @@ std::vector<BenchRun> loadBenchSet(const std::string& path) {
   return runs;
 }
 
+namespace {
+
+bool counterIgnored(const std::string& name, const CompareOptions& options) {
+  for (const std::string& prefix : options.counterIgnorePrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
                                const std::vector<BenchRun>& newRuns,
-                               double threshold) {
+                               const CompareOptions& options) {
   // Key every measurement by "benchmark/measurement"; later duplicates of
   // the same key overwrite earlier ones (last run wins).
   std::map<std::string, std::pair<const BenchRun*, const BenchMeasurement*>>
       oldByKey;
   std::map<std::string, std::pair<const BenchRun*, const BenchMeasurement*>>
       newByKey;
+  std::map<std::string, const BenchRun*> oldRunByName;
+  std::map<std::string, const BenchRun*> newRunByName;
   for (const BenchRun& run : oldRuns) {
+    oldRunByName[run.benchmark] = &run;
     for (const BenchMeasurement& m : run.measurements) {
       oldByKey[run.benchmark + "/" + m.name] = {&run, &m};
     }
   }
   for (const BenchRun& run : newRuns) {
+    newRunByName[run.benchmark] = &run;
     for (const BenchMeasurement& m : run.measurements) {
       newByKey[run.benchmark + "/" + m.name] = {&run, &m};
     }
@@ -244,7 +271,7 @@ CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
     } else {
       entry.relChange = entry.newMedianMs > 0.0 ? 1.0 : 0.0;
     }
-    entry.regression = entry.relChange > threshold;
+    entry.regression = entry.relChange > options.wallThreshold;
     report.anyRegression = report.anyRegression || entry.regression;
     report.entries.push_back(std::move(entry));
   }
@@ -254,7 +281,70 @@ CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
       report.added.push_back(key);
     }
   }
+
+  // Counter drift + provenance, per benchmark present in both sets.
+  const bool gateCounters = options.counterThreshold >= 0.0;
+  for (const auto& [name, oldRun] : oldRunByName) {
+    const auto it = newRunByName.find(name);
+    if (it == newRunByName.end()) continue;
+    const BenchRun& newRun = *it->second;
+
+    if (oldRun->manifest.has_value() != newRun.manifest.has_value()) {
+      report.manifestMismatches.push_back(
+          name + ": run manifest " +
+          (oldRun->manifest ? "present" : "absent") + " vs " +
+          (newRun.manifest ? "present" : "absent"));
+    } else if (oldRun->manifest && newRun.manifest) {
+      for (const std::string& mismatch :
+           manifestMismatches(*oldRun->manifest, *newRun.manifest)) {
+        report.manifestMismatches.push_back(name + ": " + mismatch);
+      }
+    }
+
+    for (const auto& [counter, oldValue] : oldRun->counters) {
+      if (counterIgnored(counter, options)) continue;
+      const auto counterIt = newRun.counters.find(counter);
+      if (counterIt == newRun.counters.end()) {
+        report.counterMissing.push_back(name + "/" + counter);
+        report.anyCounterDrift = report.anyCounterDrift || gateCounters;
+        continue;
+      }
+      CounterDriftEntry entry;
+      entry.benchmark = name;
+      entry.counter = counter;
+      entry.oldValue = oldValue;
+      entry.newValue = counterIt->second;
+      if (oldValue > 0) {
+        entry.relChange = (static_cast<double>(entry.newValue) -
+                           static_cast<double>(oldValue)) /
+                          static_cast<double>(oldValue);
+      } else {
+        entry.relChange = entry.newValue > 0 ? 1.0 : 0.0;
+      }
+      entry.drift = gateCounters &&
+                    (entry.relChange > options.counterThreshold ||
+                     entry.relChange < -options.counterThreshold);
+      report.anyCounterDrift = report.anyCounterDrift || entry.drift;
+      report.counters.push_back(std::move(entry));
+    }
+    for (const auto& [counter, value] : newRun.counters) {
+      (void)value;
+      if (counterIgnored(counter, options)) continue;
+      if (oldRun->counters.find(counter) == oldRun->counters.end()) {
+        report.counterAdded.push_back(name + "/" + counter);
+        report.anyCounterDrift = report.anyCounterDrift || gateCounters;
+      }
+    }
+  }
   return report;
+}
+
+CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
+                               const std::vector<BenchRun>& newRuns,
+                               double threshold) {
+  CompareOptions options;
+  options.wallThreshold = threshold;
+  return compareBenchRuns(oldRuns, newRuns, options);
 }
 
 }  // namespace msd::obs

@@ -9,11 +9,12 @@
 //     "scale":     "tiny",
 //     "seed":      1,
 //     "threads":   8,
+//     "run":       { "schema": "msd-run-v1", ... },  // optional manifest
 //     "measurements": [
 //       { "name": "total", "samples": 3,
 //         "wall_ms": { "median": 41.2, "p10": 40.8, "p90": 44.0 } }
 //     ],
-//     "counters": { "gen.edges": 12345, ... }       // optional
+//     "counters": { "gen.edges": 12345, ... }
 //   }
 //
 // The tools/bench_compare binary is a thin front end over these
@@ -21,10 +22,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/manifest.h"
 
 namespace msd::obs {
 
@@ -46,6 +49,9 @@ struct BenchRun {
   std::size_t threads = 0;
   std::vector<BenchMeasurement> measurements;
   std::map<std::string, std::uint64_t> counters;
+  /// Run-provenance manifest ("run" section); absent in pre-manifest
+  /// reports, which stay loadable and compare as legacy documents.
+  std::optional<RunManifest> manifest;
 };
 
 /// Schema check: returns a list of human-readable problems (empty when
@@ -79,6 +85,30 @@ struct CompareEntry {
   bool regression = false;
 };
 
+/// One counter present in both sets for the same benchmark.
+struct CounterDriftEntry {
+  std::string benchmark;
+  std::string counter;
+  std::uint64_t oldValue = 0;
+  std::uint64_t newValue = 0;
+  /// (new - old) / old; 0 when both are 0, ±1 when only old is 0.
+  double relChange = 0.0;
+  bool drift = false;
+};
+
+struct CompareOptions {
+  /// Relative median wall-time growth that counts as a regression
+  /// (0.10 = 10%). Improvements of any size pass.
+  double wallThreshold = 0.10;
+  /// Relative counter change (either direction) that counts as drift;
+  /// negative (the default) reports counter deltas without gating on
+  /// them. 0 demands exact equality — the committed-baseline gate.
+  double counterThreshold = -1.0;
+  /// Counter-name prefixes excluded from drift checks (e.g. "pool." —
+  /// wakeup/chunk counts depend on scheduling, not on the computation).
+  std::vector<std::string> counterIgnorePrefixes;
+};
+
 struct CompareReport {
   std::vector<CompareEntry> entries;
   /// "benchmark/measurement" keys present in the old set but absent from
@@ -87,12 +117,30 @@ struct CompareReport {
   std::vector<std::string> missing;
   /// Keys new in the new set (informational).
   std::vector<std::string> added;
+  /// Counter deltas for benchmarks present in both sets (ignored
+  /// prefixes excluded); drift flags follow CompareOptions.
+  std::vector<CounterDriftEntry> counters;
+  /// "benchmark/counter" keys on one side only (ignored prefixes
+  /// excluded); gated like drift when a counter threshold is set.
+  std::vector<std::string> counterMissing;
+  std::vector<std::string> counterAdded;
+  /// Provenance mismatches between runs of the same benchmark
+  /// ("fig1_network_metrics: threads: 2 vs 8"). A manifest present on
+  /// only one side is itself a mismatch; absent on both sides compares
+  /// as a legacy document.
+  std::vector<std::string> manifestMismatches;
   bool anyRegression = false;
+  bool anyCounterDrift = false;
 };
 
-/// Compares two report sets measurement by measurement. A measurement
-/// regresses when its median wall time grows by more than `threshold`
-/// (relative, e.g. 0.10 = 10%). Improvements of any size pass.
+/// Compares two report sets measurement by measurement and counter by
+/// counter. Provenance is always compared and reported; the CLI decides
+/// whether mismatches are fatal (--allow-mismatch).
+CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
+                               const std::vector<BenchRun>& newRuns,
+                               const CompareOptions& options);
+
+/// Back-compat shorthand: wall-time threshold only, counters report-only.
 CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
                                const std::vector<BenchRun>& newRuns,
                                double threshold);

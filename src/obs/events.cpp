@@ -1,0 +1,298 @@
+#include "obs/events.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/manifest.h"
+
+namespace msd::obs {
+
+std::uint64_t monotonicNanos() {
+  // The anchor is the first call ever made, so timestamps start near 0
+  // and stay readable in exported traces.
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - anchor;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+namespace {
+
+/// One raw ring-buffer slot. `name` stays a pointer (scope-node names and
+/// string literals live for the process); it is copied into a string only
+/// at drain time, off the hot path.
+struct RawEvent {
+  const char* name = nullptr;
+  std::uint64_t tsNanos = 0;
+  std::uint64_t flowId = 0;
+  EventKind kind = EventKind::kBegin;
+};
+
+/// Single-producer (owning thread) / single-consumer (drainer) bounded
+/// ring. head_/tail_ are free-running indices; occupancy is head - tail.
+/// The producer publishes a slot with a release store of head_; the
+/// consumer acquires head_, reads the slots, and publishes consumption
+/// with a release store of tail_ which the producer acquires in its
+/// full-buffer check. Buffers are never destroyed: drains stay valid
+/// after the owning thread exits.
+class EventBuffer {
+ public:
+  EventBuffer(std::uint32_t tid, std::string label, std::size_t capacity)
+      : tid_(tid), label_(std::move(label)), slots_(capacity) {}
+
+  std::uint32_t tid() const { return tid_; }
+  const std::string& label() const { return label_; }
+
+  void push(const char* name, EventKind kind, std::uint64_t tsNanos,
+            std::uint64_t flowId) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    RawEvent& slot = slots_[head % slots_.size()];
+    slot.name = name;
+    slot.kind = kind;
+    slot.tsNanos = tsNanos;
+    slot.flowId = flowId;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumes everything currently published into `out`.
+  void drainInto(std::vector<DrainedEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      const RawEvent& slot = slots_[tail % slots_.size()];
+      DrainedEvent event;
+      event.name = slot.name;
+      event.tsNanos = slot.tsNanos;
+      event.flowId = slot.flowId;
+      event.kind = slot.kind;
+      event.tid = tid_;
+      out.push_back(std::move(event));
+    }
+    tail_.store(tail, std::memory_order_release);
+  }
+
+  /// Discards everything published so far and zeroes the drop counter.
+  void reset() {
+    tail_.store(head_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint32_t tid_;
+  const std::string label_;
+  std::vector<RawEvent> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct EventState {
+  std::mutex mutex;                     // guards buffers registration + drains
+  std::vector<EventBuffer*> buffers;    // index == tid; never destroyed
+  std::atomic<bool> recording{false};
+  std::atomic<std::size_t> capacity{65536};
+  std::atomic<std::uint64_t> nextFlowId{1};
+};
+
+EventState& state() {
+  static EventState* instance = new EventState();  // never destroyed
+  return *instance;
+}
+
+#if !defined(MSD_OBS_DISABLED)
+
+thread_local EventBuffer* tlsBuffer = nullptr;  // msd-lint: allow(H4: per-thread event ring, obs-internal)
+thread_local std::string tlsPendingLabel;       // msd-lint: allow(H4: label staged before buffer creation)
+
+EventBuffer& bufferForThisThread() {
+  if (tlsBuffer == nullptr) {
+    EventState& global = state();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    const auto tid = static_cast<std::uint32_t>(global.buffers.size());
+    std::string label = !tlsPendingLabel.empty()
+                            ? tlsPendingLabel
+                            : "thread." + std::to_string(tid);
+    global.buffers.push_back(
+        new EventBuffer(tid, std::move(label),
+                        global.capacity.load(std::memory_order_relaxed)));
+    tlsBuffer = global.buffers.back();
+  }
+  return *tlsBuffer;
+}
+
+#endif  // !MSD_OBS_DISABLED
+
+const char* phaseFor(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kFlowStart: return "s";
+    case EventKind::kFlowStep: return "t";
+  }
+  return "B";
+}
+
+}  // namespace
+
+#if !defined(MSD_OBS_DISABLED)
+
+void setEventRecording(bool enabled) {
+  state().recording.store(enabled, std::memory_order_relaxed);
+}
+
+bool eventRecordingEnabled() {
+  return state().recording.load(std::memory_order_relaxed);
+}
+
+void setEventBufferCapacity(std::size_t capacity) {
+  state().capacity.store(capacity < 2 ? 2 : capacity,
+                         std::memory_order_relaxed);
+}
+
+void setThreadLabel(const char* label) {
+  tlsPendingLabel = label == nullptr ? "" : label;
+}
+
+std::uint64_t flowBegin() {
+  if (!eventRecordingEnabled()) return 0;
+  const std::uint64_t id =
+      state().nextFlowId.fetch_add(1, std::memory_order_relaxed);
+  detail::recordEvent("pool.batch", EventKind::kFlowStart, monotonicNanos(),
+                      id);
+  return id;
+}
+
+namespace detail {
+
+void recordEvent(const char* name, EventKind kind, std::uint64_t tsNanos,
+                 std::uint64_t flowId) {
+  bufferForThisThread().push(name, kind, tsNanos, flowId);
+}
+
+}  // namespace detail
+
+#endif  // !MSD_OBS_DISABLED
+
+std::vector<DrainedEvent> drainEvents() {
+  EventState& global = state();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  std::vector<DrainedEvent> out;
+  for (EventBuffer* buffer : global.buffers) buffer->drainInto(out);
+  return out;
+}
+
+std::uint64_t droppedEventCount() {
+  EventState& global = state();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  std::uint64_t total = 0;
+  for (const EventBuffer* buffer : global.buffers) total += buffer->dropped();
+  return total;
+}
+
+std::vector<std::string> threadLabels() {
+  EventState& global = state();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  std::vector<std::string> labels;
+  labels.reserve(global.buffers.size());
+  for (const EventBuffer* buffer : global.buffers) {
+    labels.push_back(buffer->label());
+  }
+  return labels;
+}
+
+void resetEventState() {
+  EventState& global = state();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  for (EventBuffer* buffer : global.buffers) buffer->reset();
+}
+
+Json traceEventsJson() {
+  // Drain under one registry lock so labels and events agree.
+  std::vector<DrainedEvent> events;
+  std::vector<std::string> labels;
+  std::uint64_t dropped = 0;
+  {
+    EventState& global = state();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    for (EventBuffer* buffer : global.buffers) {
+      buffer->drainInto(events);
+      labels.push_back(buffer->label());
+      dropped += buffer->dropped();
+    }
+  }
+
+  Json traceEvents = Json::array();
+  Json processMeta = Json::object();
+  processMeta.set("name", "process_name");
+  processMeta.set("ph", "M");
+  processMeta.set("pid", 0);
+  Json processArgs = Json::object();
+  processArgs.set("name", "msdyn");
+  processMeta.set("args", std::move(processArgs));
+  traceEvents.push(std::move(processMeta));
+  for (std::size_t tid = 0; tid < labels.size(); ++tid) {
+    Json threadMeta = Json::object();
+    threadMeta.set("name", "thread_name");
+    threadMeta.set("ph", "M");
+    threadMeta.set("pid", 0);
+    threadMeta.set("tid", static_cast<std::int64_t>(tid));
+    Json threadArgs = Json::object();
+    threadArgs.set("name", labels[tid]);
+    threadMeta.set("args", std::move(threadArgs));
+    traceEvents.push(std::move(threadMeta));
+  }
+
+  for (const DrainedEvent& event : events) {
+    Json out = Json::object();
+    out.set("name", event.name);
+    out.set("ph", phaseFor(event.kind));
+    // Chrome trace timestamps are microseconds; fractional values keep
+    // full nanosecond resolution.
+    out.set("ts", static_cast<double>(event.tsNanos) / 1e3);
+    out.set("pid", 0);
+    out.set("tid", static_cast<std::int64_t>(event.tid));
+    if (event.kind == EventKind::kFlowStart ||
+        event.kind == EventKind::kFlowStep) {
+      out.set("cat", "pool");
+      out.set("id", static_cast<std::int64_t>(event.flowId));
+    }
+    traceEvents.push(std::move(out));
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(traceEvents));
+  doc.set("displayTimeUnit", "ms");
+  Json otherData = Json::object();
+  otherData.set("run", manifestJson(currentManifest()));
+  otherData.set("dropped_events", dropped);
+  doc.set("otherData", std::move(otherData));
+  return doc;
+}
+
+void writeTraceEventsFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("obs: cannot write trace events to " + path);
+  }
+  out << traceEventsJson().dump(2) << "\n";
+  if (!out.good()) {
+    throw std::runtime_error("obs: failed writing trace events to " + path);
+  }
+}
+
+}  // namespace msd::obs

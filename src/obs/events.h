@@ -1,0 +1,147 @@
+#pragma once
+
+// Event-level tracing: per-thread bounded ring buffers of begin/end
+// scope events, drained on demand into Chrome trace-event / Perfetto
+// JSON.
+//
+// The aggregate scope tree (trace.h) answers "where did the time go in
+// total"; this layer answers "where did the time go in *this run*,
+// thread by thread". When recording is enabled (setEventRecording), every
+// MSD_TRACE_SCOPE entry/exit appends one event to the calling thread's
+// ring buffer; the thread pool additionally emits flow events tying each
+// worker's chunk processing back to the submitting scope (see
+// ScopeAdoption / flowBegin). Memory is bounded: a full buffer drops new
+// events and counts the drops instead of growing or overwriting.
+//
+// Buffers are single-producer (the owning thread) / single-consumer (the
+// drainer): push publishes with a release store of the head index, drain
+// acquires it, so no locks sit on the recording hot path. Drains must not
+// race each other (the registry mutex serializes them) but may race
+// recording threads safely.
+//
+// The drained document is the Chrome trace-event JSON object format
+// (https://ui.perfetto.dev opens it directly): "traceEvents" holds B/E
+// duration events plus s/t flow events on pid 0 with one tid lane per
+// recording thread, and "otherData" carries the msd-run-v1 provenance
+// manifest and the drop counter.
+//
+// With MSD_OBS_DISABLED the recording entry points collapse to inline
+// no-ops (nothing registers, no thread-local state is touched) while the
+// drain/serialization side keeps working so tools can still emit a valid
+// (empty) trace file. monotonicNanos() is always live: it is the
+// process's one monotonic time source, shared by the scope timers,
+// histogram timers, and util/Stopwatch.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace msd::obs {
+
+/// Nanoseconds since a fixed process-lifetime anchor (the first call).
+/// Monotonic, never wraps in practice (2^64 ns ≈ 584 years). The single
+/// sanctioned wall-clock source outside bench/ — everything that reads
+/// time (scope timers, histogram timers, Stopwatch) goes through here.
+std::uint64_t monotonicNanos();
+
+/// What one ring-buffer slot records.
+enum class EventKind : std::uint8_t {
+  kBegin,      ///< scope entry (Chrome ph "B")
+  kEnd,        ///< scope exit (Chrome ph "E")
+  kFlowStart,  ///< work handed to the pool (Chrome ph "s")
+  kFlowStep,   ///< a worker adopted that work's scope (Chrome ph "t")
+};
+
+/// One drained event. `name` points at process-lifetime storage (scope
+/// node names / static literals) captured into a string at drain time.
+struct DrainedEvent {
+  std::string name;
+  std::uint64_t tsNanos = 0;
+  std::uint64_t flowId = 0;  ///< nonzero for flow events only
+  EventKind kind = EventKind::kBegin;
+  std::uint32_t tid = 0;     ///< buffer index, stable per thread
+};
+
+#if defined(MSD_OBS_DISABLED)
+
+// Internal linkage on purpose: a TU compiled with MSD_OBS_DISABLED may
+// link against an obs-enabled build of this library (the disabled-
+// contract test does exactly that), and external-linkage inline shims
+// would collide with the library's real symbols.
+static inline void setEventRecording(bool) {}
+static inline bool eventRecordingEnabled() { return false; }
+static inline void setEventBufferCapacity(std::size_t) {}
+static inline void setThreadLabel(const char*) {}
+static inline std::uint64_t flowBegin() { return 0; }
+
+namespace detail {
+static inline void recordEvent(const char*, EventKind, std::uint64_t,
+                               std::uint64_t) {}
+}  // namespace detail
+
+#else
+
+/// Turns event recording on or off. Off (the default) keeps the scope
+/// timers at their aggregate-only cost: one relaxed atomic load per
+/// scope. Enabling lazily allocates one ring buffer per recording
+/// thread.
+void setEventRecording(bool enabled);
+bool eventRecordingEnabled();
+
+/// Capacity (in events) of ring buffers created *after* this call;
+/// existing buffers keep their size. Default 65536 (~2.6 MiB per
+/// thread). Clamped to >= 2 so a begin/end pair can ever be retained.
+void setEventBufferCapacity(std::size_t capacity);
+
+/// Names the calling thread's lane in the exported trace ("main",
+/// "pool.worker.3"). The label is copied; it takes effect when the
+/// thread's buffer is created, i.e. it must be set before the thread's
+/// first recorded event.
+void setThreadLabel(const char* label);
+
+/// Starts a flow on the calling thread: records a flow-start event and
+/// returns its id for the matching flow steps (ScopeAdoption records
+/// those on the adopting workers). Returns 0 when recording is off —
+/// pass that 0 around freely; it makes every downstream flow call a
+/// no-op.
+std::uint64_t flowBegin();
+
+namespace detail {
+/// Appends one event to the calling thread's buffer (creating it on
+/// first use). Drops and counts when the buffer is full. Callers check
+/// eventRecordingEnabled() first; this re-checks nothing.
+void recordEvent(const char* name, EventKind kind, std::uint64_t tsNanos,
+                 std::uint64_t flowId);
+}  // namespace detail
+
+#endif  // MSD_OBS_DISABLED
+
+/// Consumes every buffered event, ordered by (tid, record order). The
+/// next drain sees only newer events. Safe to call while other threads
+/// record (they keep appending past the drained range); must not race
+/// another drain.
+std::vector<DrainedEvent> drainEvents();
+
+/// Events dropped on full buffers since the last resetEventState(),
+/// summed across threads.
+std::uint64_t droppedEventCount();
+
+/// Labels of every registered buffer, indexed by tid.
+std::vector<std::string> threadLabels();
+
+/// Drops all buffered events and zeroes the drop counters; buffers and
+/// their lanes stay registered.
+void resetEventState();
+
+/// Drains the buffers into a complete Chrome trace-event JSON document:
+/// metadata (process/thread names), duration + flow events, and
+/// "otherData" carrying the msd-run-v1 manifest plus the drop counter.
+Json traceEventsJson();
+
+/// Writes traceEventsJson() pretty-printed to `path`; throws
+/// std::runtime_error when the file cannot be written.
+void writeTraceEventsFile(const std::string& path);
+
+}  // namespace msd::obs

@@ -1,0 +1,103 @@
+#include "obs/histogram_obs.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace msd::obs {
+namespace {
+
+// Same shape as the counter/gauge store: mutex-guarded registration
+// (once per call site via the macros' static caching), name-sorted
+// snapshots for free from std::map, never destroyed.
+struct HistogramStore {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+HistogramStore& store() {
+  static HistogramStore* instance = new HistogramStore();  // never destroyed
+  return *instance;
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th element, 1-based, rounded up (the "nearest rank"
+  // definition: p50 of 5 elements is the 3rd).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t index = 0; index < kHistogramBuckets; ++index) {
+    seen += buckets[index];
+    if (seen >= rank) return histogramBucketHi(index);
+  }
+  return histogramBucketHi(kHistogramBuckets - 1);
+}
+
+void HistogramSnapshot::mergeFrom(const HistogramSnapshot& other) {
+  for (std::size_t index = 0; index < kHistogramBuckets; ++index) {
+    buckets[index] += other.buckets[index];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t index = 0; index < kHistogramBuckets; ++index) {
+    out.buckets[index] = buckets_[index].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.unit = unit_;
+  return out;
+}
+
+Histogram& histogramMetric(std::string_view name, HistogramUnit unit) {
+  HistogramStore& histograms = store();
+  std::lock_guard<std::mutex> lock(histograms.mutex);
+  auto it = histograms.histograms.find(name);
+  if (it == histograms.histograms.end()) {
+    it = histograms.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(unit))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> histogramSnapshots() {
+  HistogramStore& histograms = store();
+  std::lock_guard<std::mutex> lock(histograms.mutex);
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshot;
+  snapshot.reserve(histograms.histograms.size());
+  for (const auto& [name, histogram] : histograms.histograms) {
+    snapshot.emplace_back(name, histogram->snapshot());
+  }
+  return snapshot;
+}
+
+namespace detail {
+
+// Shared by registry.cpp's resetAll(): zero every histogram, keep every
+// registration (cached references must stay valid).
+void resetHistograms() {
+  HistogramStore& histograms = store();
+  std::lock_guard<std::mutex> lock(histograms.mutex);
+  for (auto& [name, histogram] : histograms.histograms) {
+    for (auto& bucket : histogram->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    histogram->count_.store(0, std::memory_order_relaxed);
+    histogram->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+}  // namespace msd::obs

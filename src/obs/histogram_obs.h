@@ -1,0 +1,185 @@
+#pragma once
+
+// Obs-side latency/size histograms: log-spaced buckets, exact counts,
+// deterministic merge, registered like counters.
+//
+//   MSD_HISTOGRAM_RECORD("tracker.match_candidates", candidates.size());
+//   { MSD_HISTOGRAM_SCOPE_NS("bfs.source_ns"); bfsInto(...); }
+//
+// The bucket scheme is HDR-style: values 0..15 land in 16 exact linear
+// buckets, every later power-of-two octave splits into 4 log-spaced
+// sub-buckets (relative error <= 25%), 256 buckets total covering the
+// full uint64 range. record() is one relaxed atomic increment plus a
+// relaxed add to the running sum — integer, commutative, so bucket
+// counts are independent of thread interleaving: a histogram fed the
+// same multiset of values is bit-identical at any thread count.
+// Wall-clock *values* recorded by the _NS timers are of course machine-
+// dependent; their *count* is not, which is why the registry emits only
+// the count for nanos-unit histograms when timings are suppressed.
+//
+// With MSD_OBS_DISABLED every macro is a no-op expression and nothing
+// registers.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.h"  // monotonicNanos for the scope timer
+
+namespace msd::obs {
+
+namespace detail {
+void resetHistograms();
+}  // namespace detail
+
+/// What a histogram's values measure; controls serialization (nanos are
+/// timing data and get suppressed under includeTimings=false).
+enum class HistogramUnit : std::uint8_t { kCount, kNanos };
+
+constexpr std::size_t kHistogramBuckets = 256;
+
+/// Bucket index for a value: 0..15 map to themselves, then 4 sub-buckets
+/// per power-of-two octave. Constexpr so tests can enumerate boundaries.
+constexpr std::size_t histogramBucketIndex(std::uint64_t value) {
+  if (value < 16) return static_cast<std::size_t>(value);
+  // Octave = floor(log2(value)) >= 4; top two bits below the leading bit
+  // select the sub-bucket.
+  int octave = 63;
+  while ((value >> octave & 1) == 0) --octave;
+  const std::uint64_t sub = (value >> (octave - 2)) & 3;
+  return 16 + static_cast<std::size_t>(octave - 4) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+/// Inclusive lower bound of a bucket.
+constexpr std::uint64_t histogramBucketLo(std::size_t index) {
+  if (index < 16) return index;
+  const std::size_t octave = 4 + (index - 16) / 4;
+  const std::size_t sub = (index - 16) % 4;
+  return (std::uint64_t{1} << octave) |
+         (static_cast<std::uint64_t>(sub) << (octave - 2));
+}
+
+/// Inclusive upper bound of a bucket.
+constexpr std::uint64_t histogramBucketHi(std::size_t index) {
+  return index + 1 < kHistogramBuckets ? histogramBucketLo(index + 1) - 1
+                                       : ~std::uint64_t{0};
+}
+
+/// Immutable copy of a histogram's state, with quantile estimation and
+/// deterministic merge. Quantiles report the inclusive upper bound of
+/// the bucket holding the rank — exact for values < 16, <= 25% high
+/// above.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  HistogramUnit unit = HistogramUnit::kCount;
+
+  /// Value bound at quantile q in [0, 1] (0.5 = median); 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Element-wise sum; units must match (checked by the caller/tests).
+  void mergeFrom(const HistogramSnapshot& other);
+};
+
+/// A process-lifetime concurrent histogram. record() is wait-free; the
+/// snapshot is racy-but-atomic per bucket (sum/count/buckets may be
+/// mutually torn while writers run — quiesce before asserting exact
+/// totals).
+class Histogram {
+ public:
+  explicit Histogram(HistogramUnit unit) : unit_(unit) {}
+
+  void record(std::uint64_t value) {
+    buckets_[histogramBucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramUnit unit() const { return unit_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  friend void detail::resetHistograms();
+  const HistogramUnit unit_;
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Returns the process-wide histogram registered under `name`, creating
+/// it on first use. References stay valid forever (resetAll zeroes, never
+/// destroys). A name re-registered with a different unit keeps the first
+/// unit (call sites disagree → first wins, same as counters sharing a
+/// name).
+Histogram& histogramMetric(std::string_view name, HistogramUnit unit);
+
+/// Name-sorted snapshots of every registered histogram.
+std::vector<std::pair<std::string, HistogramSnapshot>> histogramSnapshots();
+
+/// RAII timer recording elapsed monotonic nanoseconds into a histogram on
+/// destruction; prefer the MSD_HISTOGRAM_SCOPE_NS macro.
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(Histogram& histogram)
+      : histogram_(histogram), startNanos_(monotonicNanos()) {}
+  ~HistogramTimer() { histogram_.record(monotonicNanos() - startNanos_); }
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::uint64_t startNanos_;
+};
+
+}  // namespace msd::obs
+
+// Also defined in trace.h; identical token sequence, so whichever header
+// lands first wins harmlessly.
+#ifndef MSD_OBS_CONCAT
+#define MSD_OBS_CONCAT_INNER(a, b) a##b
+#define MSD_OBS_CONCAT(a, b) MSD_OBS_CONCAT_INNER(a, b)
+#endif
+
+#if defined(MSD_OBS_DISABLED)
+
+#define MSD_HISTOGRAM_RECORD(name, value) ((void)0)
+#define MSD_HISTOGRAM_RECORD_NS(name, nanos) ((void)0)
+#define MSD_HISTOGRAM_SCOPE_NS(name) ((void)0)
+
+#else
+
+#define MSD_HISTOGRAM_RECORD(name, value)                                    \
+  do {                                                                       \
+    static ::msd::obs::Histogram& msdObsCachedHistogram =                    \
+        ::msd::obs::histogramMetric(name,                                    \
+                                    ::msd::obs::HistogramUnit::kCount);      \
+    msdObsCachedHistogram.record(static_cast<std::uint64_t>(value));         \
+  } while (0)
+
+#define MSD_HISTOGRAM_RECORD_NS(name, nanos)                                 \
+  do {                                                                       \
+    static ::msd::obs::Histogram& msdObsCachedHistogram =                    \
+        ::msd::obs::histogramMetric(name,                                    \
+                                    ::msd::obs::HistogramUnit::kNanos);      \
+    msdObsCachedHistogram.record(static_cast<std::uint64_t>(nanos));         \
+  } while (0)
+
+#define MSD_HISTOGRAM_SCOPE_NS(name)                                         \
+  static ::msd::obs::Histogram& MSD_OBS_CONCAT(                              \
+      msdObsHistogramRef_, __LINE__) =                                       \
+      ::msd::obs::histogramMetric(name, ::msd::obs::HistogramUnit::kNanos);  \
+  ::msd::obs::HistogramTimer MSD_OBS_CONCAT(msdObsHistogramTimer_,           \
+                                            __LINE__)(                       \
+      MSD_OBS_CONCAT(msdObsHistogramRef_, __LINE__))
+
+#endif  // MSD_OBS_DISABLED

@@ -1,0 +1,221 @@
+#include "obs/manifest.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+// Build-side facts arrive as compile definitions set on this one TU by
+// src/obs/CMakeLists.txt (MSD_MANIFEST_BUILD_TYPE, MSD_MANIFEST_GIT, and
+// flag markers for the sanitizer/contract configuration). Fallbacks keep
+// non-CMake compiles (e.g. tooling that grabs the sources directly)
+// working.
+#ifndef MSD_MANIFEST_BUILD_TYPE
+#define MSD_MANIFEST_BUILD_TYPE "unknown"
+#endif
+#ifndef MSD_MANIFEST_GIT
+#define MSD_MANIFEST_GIT "unknown"
+#endif
+
+namespace msd::obs {
+namespace {
+
+std::vector<std::string> buildFlagList() {
+  // Kept sorted so serialization is stable. werror is deliberately
+  // absent: compile-only flags do not affect comparability.
+  std::vector<std::string> flags;
+#if defined(MSD_MANIFEST_ASAN)
+  flags.push_back("asan");
+#endif
+  // Same resolution as util/contracts.h: explicit -DMSD_CONTRACTS wins,
+  // otherwise contracts follow assert().
+#if defined(MSD_CONTRACTS)
+#if MSD_CONTRACTS
+  flags.push_back("contracts");
+#endif
+#elif !defined(NDEBUG)
+  flags.push_back("contracts");
+#endif
+#if defined(MSD_MANIFEST_TSAN)
+  flags.push_back("tsan");
+#endif
+#if defined(MSD_MANIFEST_UBSAN)
+  flags.push_back("ubsan");
+#endif
+  return flags;
+}
+
+struct RunFacts {
+  std::mutex mutex;
+  std::int64_t seed = -1;
+  std::int64_t threads = 0;
+  std::vector<std::string> args;
+};
+
+RunFacts& runFacts() {
+  static RunFacts* instance = new RunFacts();  // never destroyed
+  return *instance;
+}
+
+const Json& requireMember(const Json& json, const char* key,
+                          const std::string& context) {
+  const Json* member = json.find(key);
+  if (member == nullptr) {
+    throw std::runtime_error(context + ": manifest missing \"" + key + "\"");
+  }
+  return *member;
+}
+
+std::vector<std::string> stringList(const Json& json, const char* key,
+                                    const std::string& context) {
+  const Json& list = requireMember(json, key, context);
+  if (!list.isArray()) {
+    throw std::runtime_error(context + ": manifest \"" + key +
+                             "\" must be an array");
+  }
+  std::vector<std::string> out;
+  out.reserve(list.size());
+  for (std::size_t index = 0; index < list.size(); ++index) {
+    if (!list.at(index).isString()) {
+      throw std::runtime_error(context + ": manifest \"" + key +
+                               "\" must hold strings");
+    }
+    out.push_back(list.at(index).stringValue());
+  }
+  return out;
+}
+
+std::string joinFlags(const std::vector<std::string>& flags) {
+  if (flags.empty()) return "(none)";
+  std::string out;
+  for (const std::string& flag : flags) {
+    if (!out.empty()) out += "+";
+    out += flag;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunManifest currentManifest() {
+  RunManifest manifest;
+  manifest.buildType = MSD_MANIFEST_BUILD_TYPE;
+  manifest.buildFlags = buildFlagList();
+#if defined(MSD_OBS_DISABLED)
+  manifest.obsEnabled = false;
+#else
+  manifest.obsEnabled = true;
+#endif
+  manifest.gitDescribe = MSD_MANIFEST_GIT;
+  RunFacts& facts = runFacts();
+  std::lock_guard<std::mutex> lock(facts.mutex);
+  manifest.seed = facts.seed;
+  manifest.threads = facts.threads;
+  manifest.args = facts.args;
+  return manifest;
+}
+
+void setManifestSeed(std::int64_t seed) {
+  RunFacts& facts = runFacts();
+  std::lock_guard<std::mutex> lock(facts.mutex);
+  facts.seed = seed;
+}
+
+void setManifestThreads(std::int64_t threads) {
+  RunFacts& facts = runFacts();
+  std::lock_guard<std::mutex> lock(facts.mutex);
+  facts.threads = threads;
+}
+
+void setManifestArgs(std::vector<std::string> args) {
+  RunFacts& facts = runFacts();
+  std::lock_guard<std::mutex> lock(facts.mutex);
+  facts.args = std::move(args);
+}
+
+Json manifestJson(const RunManifest& manifest) {
+  Json out = Json::object();
+  out.set("schema", kRunSchema);
+  out.set("build_type", manifest.buildType);
+  Json flags = Json::array();
+  for (const std::string& flag : manifest.buildFlags) flags.push(flag);
+  out.set("build_flags", std::move(flags));
+  out.set("obs", manifest.obsEnabled);
+  out.set("git", manifest.gitDescribe);
+  out.set("seed", manifest.seed);
+  out.set("threads", manifest.threads);
+  Json args = Json::array();
+  for (const std::string& arg : manifest.args) args.push(arg);
+  out.set("args", std::move(args));
+  return out;
+}
+
+RunManifest parseManifest(const Json& json, const std::string& context) {
+  if (!json.isObject()) {
+    throw std::runtime_error(context + ": manifest must be an object");
+  }
+  const Json& schema = requireMember(json, "schema", context);
+  if (!schema.isString() || schema.stringValue() != kRunSchema) {
+    throw std::runtime_error(context + ": manifest schema must be \"" +
+                             std::string(kRunSchema) + "\"");
+  }
+  RunManifest manifest;
+  const Json& buildType = requireMember(json, "build_type", context);
+  if (!buildType.isString()) {
+    throw std::runtime_error(context +
+                             ": manifest \"build_type\" must be a string");
+  }
+  manifest.buildType = buildType.stringValue();
+  manifest.buildFlags = stringList(json, "build_flags", context);
+  const Json& obs = requireMember(json, "obs", context);
+  if (!obs.isBool()) {
+    throw std::runtime_error(context + ": manifest \"obs\" must be a bool");
+  }
+  manifest.obsEnabled = obs.boolValue();
+  const Json& git = requireMember(json, "git", context);
+  if (!git.isString()) {
+    throw std::runtime_error(context + ": manifest \"git\" must be a string");
+  }
+  manifest.gitDescribe = git.stringValue();
+  const Json& seed = requireMember(json, "seed", context);
+  if (!seed.isInt()) {
+    throw std::runtime_error(context +
+                             ": manifest \"seed\" must be an integer");
+  }
+  manifest.seed = seed.intValue();
+  const Json& threads = requireMember(json, "threads", context);
+  if (!threads.isInt()) {
+    throw std::runtime_error(context +
+                             ": manifest \"threads\" must be an integer");
+  }
+  manifest.threads = threads.intValue();
+  manifest.args = stringList(json, "args", context);
+  return manifest;
+}
+
+std::vector<std::string> manifestMismatches(const RunManifest& a,
+                                            const RunManifest& b) {
+  std::vector<std::string> mismatches;
+  if (a.buildType != b.buildType) {
+    mismatches.push_back("build_type: " + a.buildType + " vs " + b.buildType);
+  }
+  if (a.buildFlags != b.buildFlags) {
+    mismatches.push_back("build_flags: " + joinFlags(a.buildFlags) + " vs " +
+                         joinFlags(b.buildFlags));
+  }
+  if (a.obsEnabled != b.obsEnabled) {
+    mismatches.push_back(std::string("obs: ") +
+                         (a.obsEnabled ? "on" : "off") + " vs " +
+                         (b.obsEnabled ? "on" : "off"));
+  }
+  if (a.threads != b.threads) {
+    mismatches.push_back("threads: " + std::to_string(a.threads) + " vs " +
+                         std::to_string(b.threads));
+  }
+  if (a.seed != b.seed) {
+    mismatches.push_back("seed: " + std::to_string(a.seed) + " vs " +
+                         std::to_string(b.seed));
+  }
+  return mismatches;
+}
+
+}  // namespace msd::obs

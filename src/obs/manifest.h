@@ -1,0 +1,82 @@
+#pragma once
+
+// Run-provenance manifests ("msd-run-v1"): the facts that decide whether
+// two artifacts — obs reports, trace-event files, BENCH_*.json — came
+// from comparable runs.
+//
+//   {
+//     "schema":     "msd-run-v1",
+//     "build_type": "Release",
+//     "build_flags": ["tsan", "contracts"],   // sorted; [] when plain
+//     "obs":        true,
+//     "git":        "546a241",                // git describe at configure
+//     "seed":       42,                       // -1 when no seed applies
+//     "threads":    8,                        // 0 when never set
+//     "args":       ["generate", "--scale=tiny"]
+//   }
+//
+// Build-side facts (build type, sanitizers, contracts, obs on/off, git
+// describe) are baked in at compile time via definitions on manifest.cpp;
+// run-side facts (seed, threads, CLI args) are set by the entry points
+// (msdyn, the bench harness) through the setters below. The obs library
+// deliberately cannot read them itself — util links *on top of* obs, so
+// obs cannot ask the thread pool anything.
+//
+// Comparability (manifestMismatches) covers build type, build flags, obs,
+// threads, and seed. `git` and `args` are recorded but NOT compared:
+// diffing a fresh run against a committed baseline from an older commit
+// is the whole point of keeping a baseline, and the args differ trivially
+// (output paths) between recording and comparing. `build_flags` excludes
+// werror — it is compile-only and cannot move a measurement.
+//
+// The manifest is observability metadata, not configuration: nothing ever
+// reads it back into the computation, so recording it cannot perturb
+// determinism. It stays live under MSD_OBS_DISABLED (artifacts written by
+// an obs-off build still say so — that is exactly the mismatch the
+// manifest exists to catch).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace msd::obs {
+
+inline constexpr const char* kRunSchema = "msd-run-v1";
+
+struct RunManifest {
+  std::string buildType;                // "Release", "RelWithDebInfo", ...
+  std::vector<std::string> buildFlags;  // sorted subset of {asan,contracts,tsan,ubsan}
+  bool obsEnabled = true;
+  std::string gitDescribe;              // "unknown" when not a git checkout
+  std::int64_t seed = -1;               // -1 = no seed applies to this run
+  std::int64_t threads = 0;             // 0 = never set
+  std::vector<std::string> args;
+};
+
+/// The process-wide manifest: build-side facts pre-filled, run-side facts
+/// whatever the setters last stored.
+RunManifest currentManifest();
+
+/// Run-side facts, set once by the entry point before artifacts are
+/// written. Safe to call from any thread (mutex-guarded), but expected
+/// during startup.
+void setManifestSeed(std::int64_t seed);
+void setManifestThreads(std::int64_t threads);
+void setManifestArgs(std::vector<std::string> args);
+
+/// Serializes a manifest as the msd-run-v1 object.
+Json manifestJson(const RunManifest& manifest);
+
+/// Parses an msd-run-v1 object back; throws std::runtime_error (message
+/// prefixed with `context`) on schema violations.
+RunManifest parseManifest(const Json& json, const std::string& context);
+
+/// Human-readable list of comparability violations between two manifests
+/// ("build_type: Release vs Debug"); empty when the runs are comparable.
+/// Ignores git/args by design (see the header comment).
+std::vector<std::string> manifestMismatches(const RunManifest& a,
+                                            const RunManifest& b);
+
+}  // namespace msd::obs

@@ -5,11 +5,15 @@
 #include <stdexcept>
 
 #include "obs/counters.h"
+#include "obs/events.h"
+#include "obs/histogram_obs.h"
+#include "obs/manifest.h"
 #include "obs/trace.h"
 
 namespace msd::obs {
 namespace detail {
-void resetMetrics();  // counters.cpp
+void resetMetrics();     // counters.cpp
+void resetHistograms();  // histogram_obs.cpp
 }  // namespace detail
 
 namespace {
@@ -36,11 +40,38 @@ Json traceNodeJson(const ScopeNode& node, const ReportOptions& options) {
   return out;
 }
 
+Json histogramJson(const HistogramSnapshot& snapshot,
+                   const ReportOptions& options) {
+  Json out = Json::object();
+  const bool isNanos = snapshot.unit == HistogramUnit::kNanos;
+  out.set("unit", isNanos ? "nanos" : "count");
+  out.set("count", snapshot.count);
+  // A nanos histogram's bucket contents are wall-clock samples; only its
+  // sample count is deterministic, so that is all a timing-free report
+  // keeps.
+  if (isNanos && !options.includeTimings) return out;
+  out.set("sum", snapshot.sum);
+  out.set("p50", snapshot.quantile(0.50));
+  out.set("p90", snapshot.quantile(0.90));
+  out.set("p99", snapshot.quantile(0.99));
+  Json buckets = Json::object();
+  for (std::size_t index = 0; index < kHistogramBuckets; ++index) {
+    if (snapshot.buckets[index] == 0) continue;
+    buckets.set(std::to_string(histogramBucketLo(index)),
+                snapshot.buckets[index]);
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
 }  // namespace
 
 Json snapshotJson(const ReportOptions& options) {
   Json out = Json::object();
   out.set("schema", "msd-obs-v1");
+  if (options.includeManifest) {
+    out.set("run", manifestJson(currentManifest()));
+  }
   Json counters = Json::object();
   for (const auto& [name, value] : counterSnapshot()) {
     counters.set(name, value);
@@ -51,6 +82,11 @@ Json snapshotJson(const ReportOptions& options) {
     gauges.set(name, value);
   }
   out.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& [name, snapshot] : histogramSnapshots()) {
+    histograms.set(name, histogramJson(snapshot, options));
+  }
+  out.set("histograms", std::move(histograms));
   out.set("trace", traceNodeJson(traceRoot(), options));
   return out;
 }
@@ -72,7 +108,9 @@ void writeSnapshotFile(const std::string& path, const ReportOptions& options) {
 
 void resetAll() {
   detail::resetMetrics();
+  detail::resetHistograms();
   traceRoot().resetStats();
+  resetEventState();
 }
 
 }  // namespace msd::obs

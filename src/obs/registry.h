@@ -1,22 +1,33 @@
 #pragma once
 
-// One-stop snapshot of the observability state: every counter, gauge,
-// and the aggregated scope-timer tree, serialized as a single JSON
-// document.
+// One-stop snapshot of the observability state: the run-provenance
+// manifest, every counter, gauge, histogram, and the aggregated
+// scope-timer tree, serialized as a single JSON document.
 //
 // Schema ("msd-obs-v1"):
 //   {
 //     "schema":   "msd-obs-v1",
-//     "counters": { "<name>": <uint>, ... },       // name-sorted
-//     "gauges":   { "<name>": <int>, ... },        // name-sorted
+//     "run":      { "schema": "msd-run-v1", ... },  // see manifest.h
+//     "counters": { "<name>": <uint>, ... },        // name-sorted
+//     "gauges":   { "<name>": <int>, ... },         // name-sorted
+//     "histograms": {                               // name-sorted
+//       "<name>": {
+//         "unit": "count"|"nanos", "count": N,
+//         ["sum": N, "p50": N, "p90": N, "p99": N,
+//          "buckets": { "<bucket_lo>": N, ... }]    // nonzero only
+//       }
+//     },
 //     "trace": {
 //       "name": "root", "calls": N, ["total_ms": x,] "children": [...]
 //     }
 //   }
 // Trace children are serialized name-sorted (creation order depends on
 // thread interleaving). With includeTimings=false every total_ms field
-// is omitted, leaving only deterministic structure and counts — the
-// form the golden test locks.
+// is omitted and nanos-unit histograms shrink to {unit, count} — their
+// bucket contents are wall-clock samples, but their sample *count* is
+// deterministic — leaving only structure and counts, the form the golden
+// test locks. includeManifest=false drops the "run" section (it carries
+// machine-varying facts: git describe, thread count, build type).
 
 #include <string>
 
@@ -25,9 +36,12 @@
 namespace msd::obs {
 
 struct ReportOptions {
-  /// Include wall-clock fields (total_ms). Golden tests disable this to
-  /// get a byte-stable report.
+  /// Include wall-clock fields (total_ms, nanos-histogram contents).
+  /// Golden tests disable this to get a byte-stable report.
   bool includeTimings = true;
+  /// Include the msd-run-v1 provenance section. Golden tests disable
+  /// this too (git describe and thread count vary by machine).
+  bool includeManifest = true;
 };
 
 /// Builds the full snapshot document.
@@ -42,10 +56,11 @@ std::string snapshotString(const ReportOptions& options = {});
 void writeSnapshotFile(const std::string& path,
                        const ReportOptions& options = {});
 
-/// Zeroes every counter, gauge, and scope-tree statistic while keeping
-/// all registrations and nodes alive (cached references in the
-/// instrumentation macros stay valid). Must not be called while scopes
-/// are open or instrumented work is running.
+/// Zeroes every counter, gauge, histogram, scope-tree statistic, and
+/// buffered trace event while keeping all registrations, nodes, and
+/// event buffers alive (cached references in the instrumentation macros
+/// stay valid). Must not be called while scopes are open or instrumented
+/// work is running.
 void resetAll();
 
 }  // namespace msd::obs

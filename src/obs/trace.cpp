@@ -45,17 +45,24 @@ ScopeNode* currentScope() {
 }
 
 ScopeTimer::ScopeTimer(const char* name)
-    : node_(currentScope()->childNamed(name)),
-      start_(std::chrono::steady_clock::now()) {
+    : node_(currentScope()->childNamed(name)), startNanos_(monotonicNanos()) {
   node_->noteEnter();
   tlsCurrentScope = node_;
+  if (eventRecordingEnabled()) {
+    // node_->name() is process-lifetime storage (nodes are never
+    // destroyed), so handing its c_str to the ring buffer is safe.
+    detail::recordEvent(node_->name().c_str(), EventKind::kBegin, startNanos_,
+                        0);
+  }
 }
 
 ScopeTimer::~ScopeTimer() {
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  node_->noteExit(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  const std::uint64_t endNanos = monotonicNanos();
+  node_->noteExit(endNanos - startNanos_);
   tlsCurrentScope = node_->parent();
+  if (eventRecordingEnabled()) {
+    detail::recordEvent(node_->name().c_str(), EventKind::kEnd, endNanos, 0);
+  }
 }
 
 ScopeNode* scopeForWorkers() {
@@ -66,11 +73,15 @@ ScopeNode* scopeForWorkers() {
 #endif
 }
 
-ScopeAdoption::ScopeAdoption(ScopeNode* scope) {
+ScopeAdoption::ScopeAdoption(ScopeNode* scope, std::uint64_t flowId) {
   if (scope == nullptr) return;
   saved_ = currentScope();
   tlsCurrentScope = scope;
   active_ = true;
+  if (flowId != 0 && eventRecordingEnabled()) {
+    detail::recordEvent("pool.batch", EventKind::kFlowStep, monotonicNanos(),
+                        flowId);
+  }
 }
 
 ScopeAdoption::~ScopeAdoption() {

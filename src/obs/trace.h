@@ -25,12 +25,13 @@
 // adoption and no thread-local state is ever touched.
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/events.h"
 
 namespace msd::obs {
 
@@ -107,7 +108,7 @@ class ScopeTimer {
 
  private:
   ScopeNode* node_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t startNanos_;
 };
 
 /// The scope a work submitter hands to its workers: the submitting
@@ -117,10 +118,13 @@ ScopeNode* scopeForWorkers();
 
 /// RAII adoption of a foreign scope as this thread's current scope.
 /// Used by the thread pool around chunk processing so worker-side scopes
-/// nest under the submitting scope. A null scope is a no-op.
+/// nest under the submitting scope. A null scope is a no-op. A nonzero
+/// `flowId` (from flowBegin() on the submitting thread) records a
+/// flow-step event on this thread, linking the worker's lane back to the
+/// submission point in exported traces.
 class ScopeAdoption {
  public:
-  explicit ScopeAdoption(ScopeNode* scope);
+  explicit ScopeAdoption(ScopeNode* scope, std::uint64_t flowId = 0);
   ~ScopeAdoption();
   ScopeAdoption(const ScopeAdoption&) = delete;
   ScopeAdoption& operator=(const ScopeAdoption&) = delete;
@@ -132,8 +136,10 @@ class ScopeAdoption {
 
 }  // namespace msd::obs
 
+#ifndef MSD_OBS_CONCAT
 #define MSD_OBS_CONCAT_INNER(a, b) a##b
 #define MSD_OBS_CONCAT(a, b) MSD_OBS_CONCAT_INNER(a, b)
+#endif
 
 #if defined(MSD_OBS_DISABLED)
 #define MSD_TRACE_SCOPE(name) ((void)0)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <string>
 
 #include "obs/counters.h"
+#include "obs/events.h"
 #include "obs/trace.h"
 
 namespace msd {
@@ -68,6 +70,9 @@ struct ThreadPool::Batch {
   // Submitting thread's trace scope; workers adopt it so scopes opened
   // inside chunk bodies nest under the scope that spawned the batch.
   obs::ScopeNode* scope = nullptr;
+  // Flow id tying worker-side chunk processing back to the submission
+  // point in exported event traces; 0 when event recording is off.
+  std::uint64_t flowId = 0;
   std::atomic<std::size_t> nextChunk{0};
   std::atomic<std::size_t> doneChunks{0};
   std::atomic<bool> cancelled{false};
@@ -123,6 +128,7 @@ void ThreadPool::run(
   batch->chunkCount = chunkCount;
   batch->fn = &fn;
   batch->scope = obs::scopeForWorkers();
+  batch->flowId = obs::flowBegin();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     currentBatch_ = batch;
@@ -147,6 +153,10 @@ void ThreadPool::run(
 
 void ThreadPool::workerLoop(std::size_t workerIndex) {
   tlsInsideParallel = true;
+#if !defined(MSD_OBS_DISABLED)
+  obs::setThreadLabel(
+      ("pool.worker." + std::to_string(workerIndex)).c_str());
+#endif
   std::uint64_t seenVersion = 0;
   for (;;) {
     std::shared_ptr<Batch> batch;
@@ -167,8 +177,9 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
 void ThreadPool::processChunks(Batch& batch, std::size_t workerIndex) {
   // Adopt the submitter's scope for the whole claim loop; scopes opened
   // inside chunk bodies then attach under the spawning scope instead of
-  // this worker's root. Null (obs disabled) makes this a no-op.
-  obs::ScopeAdoption adoptScope(batch.scope);
+  // this worker's root. Null (obs disabled) makes this a no-op. The flow
+  // id links this worker's lane to the submission in event traces.
+  obs::ScopeAdoption adoptScope(batch.scope, batch.flowId);
   for (;;) {
     const std::size_t chunk =
         batch.nextChunk.fetch_add(1, std::memory_order_relaxed);

@@ -1,30 +1,33 @@
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/events.h"
 
 namespace msd {
 
 /// Wall-clock stopwatch for coarse progress reporting in benches and
 /// examples. Not a benchmarking primitive; the bench binaries use
-/// google-benchmark for kernel timing.
+/// google-benchmark for kernel timing. Reads obs::monotonicNanos(), the
+/// process's single monotonic time source (live in every build
+/// configuration, including MSD_OBS=OFF).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : startNanos_(obs::monotonicNanos()) {}
 
   /// Restarts the stopwatch.
-  void reset() { start_ = Clock::now(); }
+  void reset() { startNanos_ = obs::monotonicNanos(); }
 
   /// Elapsed seconds since construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::monotonicNanos() - startNanos_) / 1e9;
   }
 
   /// Elapsed milliseconds since construction or the last reset().
   double millis() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t startNanos_;
 };
 
 }  // namespace msd

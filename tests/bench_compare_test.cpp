@@ -270,6 +270,163 @@ TEST(BenchCompareTest, DirectoryLoadingCollectsOnlyBenchReportsSorted) {
   EXPECT_EQ(runs[1].benchmark, "zz");
 }
 
+obs::BenchRun makeRunWithCounter(const std::string& benchmark,
+                                 const std::string& counter,
+                                 std::uint64_t value) {
+  obs::Json doc = validDoc(benchmark, "total", 10.0);
+  obs::Json counters = obs::Json::object();
+  counters.set(counter, value);
+  doc.set("counters", std::move(counters));
+  return obs::parseBenchRun(doc);
+}
+
+TEST(BenchCompareTest, CountersAreReportOnlyWithoutAThreshold) {
+  const std::vector<obs::BenchRun> oldRuns = {
+      makeRunWithCounter("fig1", "gen.edges", 1000)};
+  const std::vector<obs::BenchRun> newRuns = {
+      makeRunWithCounter("fig1", "gen.edges", 2000)};
+  obs::CompareOptions options;  // counterThreshold < 0: no gating
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, options);
+  ASSERT_EQ(report.counters.size(), 1u);
+  EXPECT_EQ(report.counters[0].counter, "gen.edges");
+  EXPECT_NEAR(report.counters[0].relChange, 1.0, 1e-12);
+  EXPECT_FALSE(report.counters[0].drift);
+  EXPECT_FALSE(report.anyCounterDrift);
+}
+
+TEST(BenchCompareTest, CounterDriftGatesOnItsOwnThreshold) {
+  const std::vector<obs::BenchRun> oldRuns = {
+      makeRunWithCounter("fig1", "gen.edges", 1000)};
+  obs::CompareOptions options;
+  options.counterThreshold = 0.05;
+
+  // +4%: within the 5% counter threshold.
+  obs::CompareReport report = obs::compareBenchRuns(
+      oldRuns, {makeRunWithCounter("fig1", "gen.edges", 1040)}, options);
+  EXPECT_FALSE(report.anyCounterDrift);
+
+  // +6% up and -6% down both gate — counter drift is two-sided, unlike
+  // wall time where improvements always pass.
+  report = obs::compareBenchRuns(
+      oldRuns, {makeRunWithCounter("fig1", "gen.edges", 1060)}, options);
+  EXPECT_TRUE(report.anyCounterDrift);
+  ASSERT_EQ(report.counters.size(), 1u);
+  EXPECT_TRUE(report.counters[0].drift);
+  report = obs::compareBenchRuns(
+      oldRuns, {makeRunWithCounter("fig1", "gen.edges", 940)}, options);
+  EXPECT_TRUE(report.anyCounterDrift);
+}
+
+TEST(BenchCompareTest, ZeroCounterThresholdDemandsExactEquality) {
+  const std::vector<obs::BenchRun> oldRuns = {
+      makeRunWithCounter("fig1", "gen.edges", 1000)};
+  obs::CompareOptions options;
+  options.counterThreshold = 0.0;
+  EXPECT_FALSE(obs::compareBenchRuns(
+                   oldRuns, {makeRunWithCounter("fig1", "gen.edges", 1000)},
+                   options)
+                   .anyCounterDrift);
+  EXPECT_TRUE(obs::compareBenchRuns(
+                  oldRuns, {makeRunWithCounter("fig1", "gen.edges", 1001)},
+                  options)
+                  .anyCounterDrift);
+}
+
+TEST(BenchCompareTest, IgnoredPrefixesAndMissingCounters) {
+  obs::Json oldDoc = validDoc("fig1", "total", 10.0);
+  obs::Json oldCounters = obs::Json::object();
+  oldCounters.set("gen.edges", std::uint64_t{100});
+  oldCounters.set("pool.wakeups", std::uint64_t{17});
+  oldCounters.set("gen.gone", std::uint64_t{5});
+  oldDoc.set("counters", std::move(oldCounters));
+
+  obs::Json newDoc = validDoc("fig1", "total", 10.0);
+  obs::Json newCounters = obs::Json::object();
+  newCounters.set("gen.edges", std::uint64_t{100});
+  newCounters.set("pool.wakeups", std::uint64_t{99});  // ignored prefix
+  newCounters.set("gen.fresh", std::uint64_t{1});      // added
+  newDoc.set("counters", std::move(newCounters));
+
+  obs::CompareOptions options;
+  options.counterThreshold = 0.0;
+  options.counterIgnorePrefixes = {"pool."};
+  const obs::CompareReport report = obs::compareBenchRuns(
+      {obs::parseBenchRun(oldDoc)}, {obs::parseBenchRun(newDoc)}, options);
+
+  // pool.wakeups diverged wildly but is excluded wholesale.
+  for (const obs::CounterDriftEntry& entry : report.counters) {
+    EXPECT_NE(entry.counter, "pool.wakeups");
+  }
+  // A disappeared or appeared counter is drift under a gate: silently
+  // losing instrumentation must not read as a pass.
+  ASSERT_EQ(report.counterMissing.size(), 1u);
+  EXPECT_EQ(report.counterMissing[0], "fig1/gen.gone");
+  ASSERT_EQ(report.counterAdded.size(), 1u);
+  EXPECT_EQ(report.counterAdded[0], "fig1/gen.fresh");
+  EXPECT_TRUE(report.anyCounterDrift);
+}
+
+TEST(BenchCompareTest, ManifestsAreComparedWhenPresent) {
+  obs::RunManifest manifest;
+  manifest.buildType = "Release";
+  manifest.gitDescribe = "aaa";
+  manifest.seed = 1;
+  manifest.threads = 2;
+
+  obs::Json oldDoc = validDoc("fig1", "total", 10.0);
+  oldDoc.set("run", obs::manifestJson(manifest));
+  obs::Json newDoc = validDoc("fig1", "total", 10.0);
+  obs::RunManifest changed = manifest;
+  changed.threads = 8;
+  changed.gitDescribe = "bbb";  // never a mismatch
+  newDoc.set("run", obs::manifestJson(changed));
+
+  const obs::CompareReport report =
+      obs::compareBenchRuns({obs::parseBenchRun(oldDoc)},
+                            {obs::parseBenchRun(newDoc)}, 0.10);
+  ASSERT_EQ(report.manifestMismatches.size(), 1u);
+  EXPECT_NE(report.manifestMismatches[0].find("threads"), std::string::npos);
+  EXPECT_NE(report.manifestMismatches[0].find("fig1"), std::string::npos);
+
+  // Manifest on one side only is itself a mismatch; absent on both sides
+  // compares as a legacy document.
+  const obs::CompareReport oneSided = obs::compareBenchRuns(
+      {obs::parseBenchRun(oldDoc)}, {makeRun("fig1", "total", 10.0)}, 0.10);
+  ASSERT_EQ(oneSided.manifestMismatches.size(), 1u);
+  const obs::CompareReport legacy =
+      obs::compareBenchRuns({makeRun("fig1", "total", 10.0)},
+                            {makeRun("fig1", "total", 10.0)}, 0.10);
+  EXPECT_TRUE(legacy.manifestMismatches.empty());
+}
+
+TEST(BenchCompareTest, ManifestRoundTripsThroughBenchFiles) {
+  obs::RunManifest manifest;
+  manifest.buildType = "Release";
+  manifest.buildFlags = {"contracts"};
+  manifest.gitDescribe = "abc";
+  manifest.seed = 9;
+  manifest.threads = 4;
+  manifest.args = {"--scale=tiny"};
+  obs::Json doc = validDoc("fig1", "total", 10.0);
+  doc.set("run", obs::manifestJson(manifest));
+
+  const fs::path dir = scratchDir("manifest_roundtrip");
+  const fs::path file = dir / "BENCH_fig1.json";
+  writeFile(file, doc.dump(2));
+  const obs::BenchRun run = obs::loadBenchFile(file.string());
+  ASSERT_TRUE(run.manifest.has_value());
+  EXPECT_EQ(run.manifest->threads, 4);
+  EXPECT_EQ(run.manifest->buildFlags,
+            std::vector<std::string>{"contracts"});
+  EXPECT_TRUE(obs::manifestMismatches(*run.manifest, manifest).empty());
+
+  // A malformed manifest is a schema violation like any other.
+  doc.set("run", "not an object");
+  writeFile(file, doc.dump(2));
+  EXPECT_THROW(obs::loadBenchFile(file.string()), std::runtime_error);
+}
+
 TEST(BenchCompareTest, EmptyDirectoryIsAnError) {
   const fs::path dir = scratchDir("empty");
   EXPECT_THROW(obs::loadBenchSet(dir.string()), std::runtime_error);

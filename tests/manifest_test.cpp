@@ -1,0 +1,205 @@
+// Run-provenance manifest contract (obs/manifest.h): msd-run-v1
+// serialization round-trips, schema violations are context-qualified
+// errors, comparability covers exactly {build type, build flags, obs,
+// threads, seed} while git/args stay recorded-but-uncompared, and the
+// tools/bench_compare CLI enforces the provenance gate end to end
+// (exit 2 on mismatched runs, overridable with --allow-mismatch).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::RunManifest sampleManifest() {
+  obs::RunManifest manifest;
+  manifest.buildType = "Release";
+  manifest.buildFlags = {"contracts", "tsan"};
+  manifest.obsEnabled = true;
+  manifest.gitDescribe = "abc1234";
+  manifest.seed = 42;
+  manifest.threads = 8;
+  manifest.args = {"generate", "--scale=tiny"};
+  return manifest;
+}
+
+TEST(ManifestTest, JsonRoundTripPreservesEveryField) {
+  const obs::RunManifest manifest = sampleManifest();
+  const obs::Json json = obs::manifestJson(manifest);
+  EXPECT_EQ(json.find("schema")->stringValue(), obs::kRunSchema);
+
+  const obs::RunManifest parsed = obs::parseManifest(json, "test");
+  EXPECT_EQ(parsed.buildType, manifest.buildType);
+  EXPECT_EQ(parsed.buildFlags, manifest.buildFlags);
+  EXPECT_EQ(parsed.obsEnabled, manifest.obsEnabled);
+  EXPECT_EQ(parsed.gitDescribe, manifest.gitDescribe);
+  EXPECT_EQ(parsed.seed, manifest.seed);
+  EXPECT_EQ(parsed.threads, manifest.threads);
+  EXPECT_EQ(parsed.args, manifest.args);
+  EXPECT_TRUE(obs::manifestMismatches(manifest, parsed).empty());
+}
+
+TEST(ManifestTest, CurrentManifestReflectsRunSideSetters) {
+  obs::setManifestSeed(1234);
+  obs::setManifestThreads(3);
+  obs::setManifestArgs({"manifest_test", "--flag"});
+  const obs::RunManifest manifest = obs::currentManifest();
+  EXPECT_EQ(manifest.seed, 1234);
+  EXPECT_EQ(manifest.threads, 3);
+  ASSERT_EQ(manifest.args.size(), 2u);
+  EXPECT_EQ(manifest.args[0], "manifest_test");
+  // Build-side facts are baked in at compile time and always present.
+  EXPECT_FALSE(manifest.buildType.empty());
+  EXPECT_FALSE(manifest.gitDescribe.empty());
+}
+
+TEST(ManifestTest, ParseRejectsSchemaViolationsWithContext) {
+  struct Case {
+    const char* label;
+    void (*mutate)(obs::Json&);
+  };
+  const Case cases[] = {
+      {"wrong schema", [](obs::Json& j) { j.set("schema", "msd-run-v2"); }},
+      {"missing build_type",
+       [](obs::Json& j) { j.set("build_type", nullptr); }},
+      {"flags not an array",
+       [](obs::Json& j) { j.set("build_flags", "tsan"); }},
+      {"non-string flag",
+       [](obs::Json& j) {
+         obs::Json flags = obs::Json::array();
+         flags.push(std::uint64_t{3});
+         j.set("build_flags", std::move(flags));
+       }},
+      {"obs not bool", [](obs::Json& j) { j.set("obs", "yes"); }},
+      {"seed not int", [](obs::Json& j) { j.set("seed", 1.5); }},
+      {"args not array", [](obs::Json& j) { j.set("args", "generate"); }},
+  };
+  for (const Case& testCase : cases) {
+    obs::Json json = obs::manifestJson(sampleManifest());
+    testCase.mutate(json);
+    try {
+      obs::parseManifest(json, "ctx_marker");
+      FAIL() << testCase.label << ": did not throw";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("ctx_marker"),
+                std::string::npos)
+          << testCase.label << ": error lacks context: " << error.what();
+    }
+  }
+  EXPECT_THROW(obs::parseManifest(obs::Json("text"), "ctx"),
+               std::runtime_error);
+}
+
+TEST(ManifestTest, MismatchesCoverComparabilityFieldsOnly) {
+  const obs::RunManifest base = sampleManifest();
+
+  // git and args differences are recorded but never a mismatch: diffing
+  // a fresh run against an older commit's baseline is the whole point.
+  obs::RunManifest drifted = base;
+  drifted.gitDescribe = "def5678-dirty";
+  drifted.args = {"totally", "different"};
+  EXPECT_TRUE(obs::manifestMismatches(base, drifted).empty());
+
+  struct Case {
+    const char* field;
+    void (*mutate)(obs::RunManifest&);
+  };
+  const Case cases[] = {
+      {"build_type", [](obs::RunManifest& m) { m.buildType = "Debug"; }},
+      {"build_flags", [](obs::RunManifest& m) { m.buildFlags = {"asan"}; }},
+      {"obs", [](obs::RunManifest& m) { m.obsEnabled = false; }},
+      {"seed", [](obs::RunManifest& m) { m.seed = 7; }},
+      {"threads", [](obs::RunManifest& m) { m.threads = 1; }},
+  };
+  for (const Case& testCase : cases) {
+    obs::RunManifest changed = base;
+    testCase.mutate(changed);
+    const std::vector<std::string> mismatches =
+        obs::manifestMismatches(base, changed);
+    ASSERT_EQ(mismatches.size(), 1u) << testCase.field;
+    EXPECT_NE(mismatches[0].find(testCase.field), std::string::npos)
+        << "mismatch message '" << mismatches[0] << "' lacks the field name";
+  }
+}
+
+#ifdef BENCH_COMPARE_BINARY
+
+void writeBenchReport(const fs::path& path, const std::string& benchmark,
+                      double medianMs, const obs::RunManifest& manifest) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", "msd-bench-v1");
+  doc.set("benchmark", benchmark);
+  doc.set("scale", "tiny");
+  doc.set("seed", std::uint64_t{1});
+  doc.set("threads", std::uint64_t{2});
+  doc.set("run", obs::manifestJson(manifest));
+  obs::Json measurement = obs::Json::object();
+  measurement.set("name", "total");
+  measurement.set("samples", std::uint64_t{1});
+  obs::Json wall = obs::Json::object();
+  wall.set("median", medianMs);
+  wall.set("p10", medianMs);
+  wall.set("p90", medianMs);
+  measurement.set("wall_ms", std::move(wall));
+  obs::Json measurements = obs::Json::array();
+  measurements.push(std::move(measurement));
+  doc.set("measurements", std::move(measurements));
+  doc.set("counters", obs::Json::object());
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << doc.dump(2) << "\n";
+}
+
+int runCli(const std::string& args) {
+  const std::string command =
+      std::string(BENCH_COMPARE_BINARY) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ManifestCliTest, BenchCompareRefusesCrossProvenanceRuns) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "manifest_cli";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "old");
+  fs::create_directories(dir / "new");
+
+  obs::RunManifest oldManifest = sampleManifest();
+  obs::RunManifest newManifest = sampleManifest();
+  newManifest.threads = 2;  // comparability violation
+  newManifest.gitDescribe = "other";  // recorded, never compared
+  writeBenchReport(dir / "old" / "BENCH_fig1.json", "fig1", 10.0,
+                   oldManifest);
+  writeBenchReport(dir / "new" / "BENCH_fig1.json", "fig1", 10.0,
+                   newManifest);
+
+  const std::string oldPath = (dir / "old").string();
+  const std::string newPath = (dir / "new").string();
+  // Mismatched provenance: operator error, exit 2.
+  EXPECT_EQ(runCli(oldPath + " " + newPath), 2);
+  // The override downgrades the gate; identical numbers then pass.
+  EXPECT_EQ(runCli("--allow-mismatch " + oldPath + " " + newPath), 0);
+
+  // Matching provenance passes without any override.
+  writeBenchReport(dir / "new" / "BENCH_fig1.json", "fig1", 10.0,
+                   oldManifest);
+  EXPECT_EQ(runCli(oldPath + " " + newPath), 0);
+}
+
+#endif  // BENCH_COMPARE_BINARY
+
+}  // namespace
+}  // namespace msd

@@ -15,6 +15,8 @@
 #include <string>
 
 #include "obs/counters.h"
+#include "obs/events.h"
+#include "obs/histogram_obs.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -60,7 +62,47 @@ TEST(ObsDisabledTest, MacrosAreExpressionsInSingleStatementContexts) {
   // required; a macro expanding to a declaration would not compile here.
   if (true) MSD_COUNTER_ADD("obs_disabled.branch", 1);
   for (int i = 0; i < 2; ++i) MSD_GAUGE_ADD("obs_disabled.branch", 1);
+  if (true) MSD_HISTOGRAM_RECORD("obs_disabled.branch_hist", 1);
   EXPECT_EQ(obs::counterValue("obs_disabled.branch"), 0u);
+}
+
+TEST(ObsDisabledTest, HistogramMacrosCompileToNothing) {
+  MSD_HISTOGRAM_RECORD("obs_disabled.hist", 5);
+  MSD_HISTOGRAM_RECORD_NS("obs_disabled.hist_ns", 500);
+  {
+    MSD_HISTOGRAM_SCOPE_NS("obs_disabled.hist_scope");
+  }
+  for (const auto& [name, snapshot] : obs::histogramSnapshots()) {
+    EXPECT_NE(name.rfind("obs_disabled.", 0), 0u)
+        << "disabled macro registered histogram " << name;
+  }
+  EXPECT_FALSE(registryMentions("obs_disabled.hist"));
+}
+
+TEST(ObsDisabledTest, EventRecordingEntryPointsAreInertNoOps) {
+  // The header-level contract this TU compiles against: recording can
+  // never be switched on, flows are the no-op id 0, and a traced scope
+  // leaves the event buffers empty.
+  obs::setEventRecording(true);
+  EXPECT_FALSE(obs::eventRecordingEnabled());
+  obs::setEventBufferCapacity(4);
+  obs::setThreadLabel("obs_disabled.thread");
+  EXPECT_EQ(obs::flowBegin(), 0u);
+  {
+    MSD_TRACE_SCOPE("obs_disabled.event_scope");
+  }
+  for (const obs::DrainedEvent& event : obs::drainEvents()) {
+    EXPECT_NE(event.name, "obs_disabled.event_scope");
+  }
+  EXPECT_EQ(obs::droppedEventCount(), 0u);
+  for (const std::string& label : obs::threadLabels()) {
+    EXPECT_NE(label, "obs_disabled.thread");
+  }
+  // The drain/serialize side stays functional so tools can still write a
+  // structurally valid (empty) trace document.
+  const obs::Json doc = obs::traceEventsJson();
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  ASSERT_NE(doc.find("otherData"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+// Event-level tracing contract (obs/events.h): ring-buffer semantics
+// (drain consumes, overflow drops and counts instead of growing), the
+// tie between event records and the aggregate scope tree (one B/E pair
+// per scope call — the cross-check that keeps the two observability
+// layers honest), flow linkage through the thread pool, and the Chrome
+// trace-event JSON shape both in-process and through the msdyn
+// --trace-events flag.
+//
+// Event state is process-global, so every test starts from
+// obs::resetAll() and owns the registry while it runs. Labeled `tsan`:
+// recording is the lock-free hot path the pool exercises concurrently.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+std::size_t countKind(const std::vector<obs::DrainedEvent>& events,
+                      const std::string& name, obs::EventKind kind) {
+  std::size_t count = 0;
+  for (const obs::DrainedEvent& event : events) {
+    if (event.name == name && event.kind == kind) ++count;
+  }
+  return count;
+}
+
+/// Total calls recorded for `name` anywhere in the aggregate scope tree.
+std::uint64_t treeCalls(const obs::ScopeNode& node, const std::string& name) {
+  std::uint64_t calls = node.name() == name ? node.calls() : 0;
+  for (const obs::ScopeNode* child : node.children()) {
+    calls += treeCalls(*child, name);
+  }
+  return calls;
+}
+
+class ObsEventsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    setThreadCount(1);
+    obs::resetAll();
+    obs::setEventRecording(true);
+  }
+  void TearDown() override {
+    obs::setEventRecording(false);
+    obs::resetAll();
+  }
+};
+
+TEST_F(ObsEventsTest, ScopesRecordBalancedBeginEndPairs) {
+  {
+    MSD_TRACE_SCOPE("ev.outer");
+    MSD_TRACE_SCOPE("ev.inner");
+  }
+  const std::vector<obs::DrainedEvent> events = obs::drainEvents();
+  EXPECT_EQ(countKind(events, "ev.outer", obs::EventKind::kBegin), 1u);
+  EXPECT_EQ(countKind(events, "ev.outer", obs::EventKind::kEnd), 1u);
+  EXPECT_EQ(countKind(events, "ev.inner", obs::EventKind::kBegin), 1u);
+  EXPECT_EQ(countKind(events, "ev.inner", obs::EventKind::kEnd), 1u);
+
+  // Per-thread record order is preserved: outer begins first, ends last,
+  // and timestamps never decrease.
+  std::vector<const obs::DrainedEvent*> mine;
+  for (const obs::DrainedEvent& event : events) {
+    if (event.name.rfind("ev.", 0) == 0) mine.push_back(&event);
+  }
+  ASSERT_EQ(mine.size(), 4u);
+  EXPECT_EQ(mine.front()->name, "ev.outer");
+  EXPECT_EQ(mine.front()->kind, obs::EventKind::kBegin);
+  EXPECT_EQ(mine.back()->name, "ev.outer");
+  EXPECT_EQ(mine.back()->kind, obs::EventKind::kEnd);
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_GE(mine[i]->tsNanos, mine[i - 1]->tsNanos);
+  }
+}
+
+TEST_F(ObsEventsTest, DrainConsumesAndLaterEventsStillArrive) {
+  { MSD_TRACE_SCOPE("ev.first"); }
+  EXPECT_EQ(countKind(obs::drainEvents(), "ev.first",
+                      obs::EventKind::kBegin),
+            1u);
+  // A second drain must not see the consumed events...
+  EXPECT_EQ(countKind(obs::drainEvents(), "ev.first",
+                      obs::EventKind::kBegin),
+            0u);
+  // ...but events recorded after the drain flow normally.
+  { MSD_TRACE_SCOPE("ev.second"); }
+  const std::vector<obs::DrainedEvent> events = obs::drainEvents();
+  EXPECT_EQ(countKind(events, "ev.first", obs::EventKind::kBegin), 0u);
+  EXPECT_EQ(countKind(events, "ev.second", obs::EventKind::kBegin), 1u);
+}
+
+TEST_F(ObsEventsTest, EventCountsMatchAggregateScopeCalls) {
+  // The acceptance cross-check: with recording on from the start, the
+  // event stream and the aggregate tree are two views of the same calls.
+  for (int i = 0; i < 7; ++i) {
+    MSD_TRACE_SCOPE("ev.repeat");
+    for (int j = 0; j < 3; ++j) {
+      MSD_TRACE_SCOPE("ev.nested");
+    }
+  }
+  const std::vector<obs::DrainedEvent> events = obs::drainEvents();
+  for (const char* name : {"ev.repeat", "ev.nested"}) {
+    const std::uint64_t calls = treeCalls(obs::traceRoot(), name);
+    EXPECT_EQ(countKind(events, name, obs::EventKind::kBegin), calls)
+        << name;
+    EXPECT_EQ(countKind(events, name, obs::EventKind::kEnd), calls) << name;
+  }
+  EXPECT_EQ(treeCalls(obs::traceRoot(), "ev.nested"), 21u);
+}
+
+TEST_F(ObsEventsTest, PoolWorkAppearsAsLinkedFlowEvents) {
+  setThreadCount(4);
+
+  // Which chunks each pool thread processes is scheduling-dependent — a
+  // fast main thread can drain a small batch before any worker wakes, in
+  // which case every flow step legitimately lands on the main lane. Keep
+  // submitting slow-chunk batches until a worker lane has participated.
+  std::set<std::uint64_t> startIds;
+  std::vector<obs::DrainedEvent> flowSteps;
+  bool workerLane = false;
+  for (int attempt = 0; attempt < 50 && !workerLane; ++attempt) {
+    {
+      MSD_TRACE_SCOPE("ev.pooled");
+      parallelFor(0, 64, 1, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      });
+    }
+    for (obs::DrainedEvent& event : obs::drainEvents()) {
+      if (event.kind == obs::EventKind::kFlowStart) {
+        EXPECT_NE(event.flowId, 0u);
+        startIds.insert(event.flowId);
+      } else if (event.kind == obs::EventKind::kFlowStep) {
+        flowSteps.push_back(std::move(event));
+      }
+    }
+    for (const std::string& label : obs::threadLabels()) {
+      workerLane = workerLane || label.rfind("pool.worker.", 0) == 0;
+    }
+  }
+
+  ASSERT_FALSE(startIds.empty()) << "pool submission recorded no flow start";
+  ASSERT_FALSE(flowSteps.empty()) << "no thread adopted a submitted flow";
+  // Every flow step must answer a recorded flow start with the same id.
+  for (const obs::DrainedEvent& step : flowSteps) {
+    EXPECT_EQ(startIds.count(step.flowId), 1u)
+        << "flow step with unmatched id " << step.flowId;
+  }
+  EXPECT_TRUE(workerLane)
+      << "no pool worker lane ever registered despite slow chunks";
+}
+
+TEST_F(ObsEventsTest, FullBufferDropsNewEventsAndCountsThem) {
+  obs::setEventBufferCapacity(8);
+  // Capacity applies to buffers created after the call, so the recording
+  // thread must be fresh.
+  std::thread recorder([] {
+    obs::setThreadLabel("ev.overflow");
+    for (int i = 0; i < 32; ++i) {
+      MSD_TRACE_SCOPE("ev.flood");
+    }
+  });
+  recorder.join();
+  obs::setEventBufferCapacity(65536);
+
+  // 64 events hit an 8-slot buffer: 8 retained, 56 dropped and counted.
+  EXPECT_EQ(obs::droppedEventCount(), 56u);
+  const std::vector<obs::DrainedEvent> events = obs::drainEvents();
+  EXPECT_EQ(countKind(events, "ev.flood", obs::EventKind::kBegin) +
+                countKind(events, "ev.flood", obs::EventKind::kEnd),
+            8u);
+
+  bool labeled = false;
+  for (const std::string& label : obs::threadLabels()) {
+    labeled = labeled || label == "ev.overflow";
+  }
+  EXPECT_TRUE(labeled) << "overflow thread lane missing its label";
+
+  // Draining freed the slots: the buffer accepts new events again (from
+  // this thread's own buffer, unaffected by the tiny capacity).
+  { MSD_TRACE_SCOPE("ev.after"); }
+  EXPECT_EQ(countKind(obs::drainEvents(), "ev.after",
+                      obs::EventKind::kBegin),
+            1u);
+}
+
+TEST_F(ObsEventsTest, RecordingOffRecordsNothing) {
+  obs::setEventRecording(false);
+  { MSD_TRACE_SCOPE("ev.dark"); }
+  EXPECT_EQ(obs::flowBegin(), 0u);
+  const std::vector<obs::DrainedEvent> events = obs::drainEvents();
+  EXPECT_EQ(countKind(events, "ev.dark", obs::EventKind::kBegin), 0u);
+}
+
+/// Structural checks shared by the in-process and subprocess documents.
+void checkTraceDocument(const obs::Json& doc) {
+  const obs::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+  const obs::Json* unit = doc.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->stringValue(), "ms");
+
+  std::map<std::string, std::int64_t> balance;  // name -> B minus E
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::Json& event = events->at(i);
+    ASSERT_TRUE(event.isObject());
+    const obs::Json* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string kind = ph->stringValue();
+    ASSERT_NE(event.find("name"), nullptr);
+    ASSERT_NE(event.find("pid"), nullptr);
+    EXPECT_EQ(event.find("pid")->intValue(), 0);
+    if (kind == "M") continue;  // metadata has no timestamp
+    ASSERT_NE(event.find("ts"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+    if (kind == "B") ++balance[event.find("name")->stringValue()];
+    if (kind == "E") --balance[event.find("name")->stringValue()];
+    if (kind == "s" || kind == "t") {
+      ASSERT_NE(event.find("id"), nullptr) << "flow event without an id";
+      EXPECT_EQ(event.find("cat")->stringValue(), "pool");
+    }
+  }
+  for (const auto& [name, delta] : balance) {
+    EXPECT_EQ(delta, 0) << "unbalanced B/E events for " << name;
+  }
+
+  const obs::Json* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const obs::Json* run = other->find("run");
+  ASSERT_NE(run, nullptr) << "trace file lacks the provenance manifest";
+  EXPECT_NO_THROW(obs::parseManifest(*run, "trace"));
+  ASSERT_NE(other->find("dropped_events"), nullptr);
+}
+
+TEST_F(ObsEventsTest, TraceEventsJsonIsAValidChromeTraceDocument) {
+  obs::setThreadLabel("main");
+  setThreadCount(2);
+  {
+    MSD_TRACE_SCOPE("ev.doc");
+    std::vector<int> data(4096, 0);
+    parallelFor(0, data.size(), 64,
+                [&](std::size_t i) { data[i] = 1; });
+  }
+  const obs::Json doc = obs::traceEventsJson();
+  checkTraceDocument(doc);
+
+  // Round-trips through the serializer.
+  const obs::Json reparsed = obs::Json::parse(doc.dump(2));
+  checkTraceDocument(reparsed);
+}
+
+#ifdef MSDYN_BINARY
+TEST(ObsEventsCliTest, MsdynWritesAValidTraceEventsFile) {
+  const std::string dir = testing::TempDir() + "/msdyn_trace_events";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string tracePath = dir + "/trace.json";
+  const std::string command = std::string(MSDYN_BINARY) +
+                              " generate --scale=tiny --seed=3 --out=" + dir +
+                              "/trace.msdb --trace-events=" + tracePath +
+                              " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+
+  std::ifstream in(tracePath);
+  ASSERT_TRUE(in.good()) << "msdyn did not write " << tracePath;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(text.str());
+  checkTraceDocument(doc);
+
+  // The CLI stamps run-side provenance: seed and args must round-trip.
+  const obs::RunManifest manifest = obs::parseManifest(
+      *doc.find("otherData")->find("run"), "msdyn trace");
+  EXPECT_EQ(manifest.seed, 3);
+  EXPECT_FALSE(manifest.args.empty());
+
+  const obs::Json* events = doc.find("traceEvents");
+  std::size_t durationEvents = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const std::string ph = events->at(i).find("ph")->stringValue();
+    if (ph == "B" || ph == "E") ++durationEvents;
+  }
+  EXPECT_GT(durationEvents, 0u) << "generate recorded no duration events";
+}
+#endif  // MSDYN_BINARY
+
+}  // namespace
+}  // namespace msd

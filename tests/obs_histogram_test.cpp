@@ -1,0 +1,161 @@
+// Obs histogram contract (obs/histogram_obs.h): the HDR-style bucket
+// math (exact below 16, <= 25% relative error above, full uint64
+// coverage), nearest-rank quantiles, deterministic merge, registration
+// semantics (first unit wins, references stay stable), and the property
+// the registry's determinism story rests on: a histogram fed the same
+// multiset of values has bit-identical bucket counts at any thread
+// count. Labeled `tsan`: record() is the concurrent hot path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram_obs.h"
+#include "obs/registry.h"
+
+namespace msd {
+namespace {
+
+TEST(HistogramBucketsTest, ValuesBelowSixteenAreExact) {
+  for (std::uint64_t value = 0; value < 16; ++value) {
+    EXPECT_EQ(obs::histogramBucketIndex(value), value);
+    EXPECT_EQ(obs::histogramBucketLo(value), value);
+    EXPECT_EQ(obs::histogramBucketHi(value), value);
+  }
+}
+
+TEST(HistogramBucketsTest, BucketBoundsRoundTripEveryIndex) {
+  for (std::size_t index = 0; index < obs::kHistogramBuckets; ++index) {
+    const std::uint64_t lo = obs::histogramBucketLo(index);
+    const std::uint64_t hi = obs::histogramBucketHi(index);
+    EXPECT_LE(lo, hi) << index;
+    EXPECT_EQ(obs::histogramBucketIndex(lo), index) << index;
+    EXPECT_EQ(obs::histogramBucketIndex(hi), index) << index;
+    if (index > 0) {
+      EXPECT_EQ(obs::histogramBucketHi(index - 1) + 1, lo)
+          << "gap below bucket " << index;
+    }
+  }
+  EXPECT_EQ(obs::histogramBucketHi(obs::kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramBucketsTest, RelativeErrorIsBoundedByQuarter) {
+  // Spot values across the range: the bucket's upper bound (what
+  // quantiles report) overshoots the true value by at most 25%.
+  for (std::uint64_t value : {16ull, 17ull, 100ull, 999ull, 12345ull,
+                              1000000ull, 123456789ull,
+                              (1ull << 40) + 12345ull}) {
+    const std::size_t index = obs::histogramBucketIndex(value);
+    const std::uint64_t hi = obs::histogramBucketHi(index);
+    EXPECT_GE(hi, value);
+    EXPECT_LE(static_cast<double>(hi - value), 0.25 * static_cast<double>(value))
+        << value;
+  }
+}
+
+TEST(HistogramTest, QuantilesUseNearestRankOnExactBuckets) {
+  obs::Histogram histogram(obs::HistogramUnit::kCount);
+  for (std::uint64_t value : {1, 2, 3, 4, 5}) histogram.record(value);
+  const obs::HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_EQ(snapshot.sum, 15u);
+  EXPECT_EQ(snapshot.quantile(0.5), 3u);   // rank ceil(2.5) = 3rd value
+  EXPECT_EQ(snapshot.quantile(0.9), 5u);   // rank ceil(4.5) = 5th value
+  EXPECT_EQ(snapshot.quantile(0.99), 5u);
+  EXPECT_EQ(snapshot.quantile(0.0), 1u);   // clamped to the first value
+
+  obs::Histogram empty(obs::HistogramUnit::kNanos);
+  EXPECT_EQ(empty.snapshot().quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergeSumsBucketsCountsAndSums) {
+  obs::Histogram a(obs::HistogramUnit::kCount);
+  obs::Histogram b(obs::HistogramUnit::kCount);
+  for (std::uint64_t value = 0; value < 100; ++value) {
+    a.record(value);
+    b.record(value * 3);
+  }
+  obs::HistogramSnapshot merged = a.snapshot();
+  merged.mergeFrom(b.snapshot());
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_EQ(merged.sum, 4950u + 3u * 4950u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t bucket : merged.buckets) total += bucket;
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(HistogramTest, RegistrationReturnsStableReferencesFirstUnitWins) {
+  obs::Histogram& first =
+      obs::histogramMetric("hist_test.unit", obs::HistogramUnit::kNanos);
+  obs::Histogram& again =
+      obs::histogramMetric("hist_test.unit", obs::HistogramUnit::kCount);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.unit(), obs::HistogramUnit::kNanos);
+
+  first.record(7);
+  bool found = false;
+  for (const auto& [name, snapshot] : obs::histogramSnapshots()) {
+    if (name != "hist_test.unit") continue;
+    found = true;
+    EXPECT_EQ(snapshot.count, 1u);
+    EXPECT_EQ(snapshot.unit, obs::HistogramUnit::kNanos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HistogramTest, MacroRecordsThroughTheRegistry) {
+  for (int i = 0; i < 10; ++i) {
+    MSD_HISTOGRAM_RECORD("hist_test.macro", i);
+  }
+  for (const auto& [name, snapshot] : obs::histogramSnapshots()) {
+    if (name != "hist_test.macro") continue;
+    EXPECT_EQ(snapshot.count, 10u);
+    EXPECT_EQ(snapshot.sum, 45u);
+    EXPECT_EQ(snapshot.unit, obs::HistogramUnit::kCount);
+    return;
+  }
+  FAIL() << "MSD_HISTOGRAM_RECORD did not register hist_test.macro";
+}
+
+/// Records the same multiset of values across `threads` threads and
+/// returns the snapshot.
+obs::HistogramSnapshot recordPartitioned(obs::Histogram& histogram,
+                                         std::size_t threads) {
+  constexpr std::size_t kValues = 20000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&histogram, t, threads] {
+      for (std::size_t i = t; i < kValues; i += threads) {
+        histogram.record((i * i) % 100003);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return histogram.snapshot();
+}
+
+TEST(HistogramTest, BucketCountsAreThreadCountInvariant) {
+  obs::Histogram one(obs::HistogramUnit::kCount);
+  obs::Histogram two(obs::HistogramUnit::kCount);
+  obs::Histogram eight(obs::HistogramUnit::kCount);
+  const obs::HistogramSnapshot s1 = recordPartitioned(one, 1);
+  const obs::HistogramSnapshot s2 = recordPartitioned(two, 2);
+  const obs::HistogramSnapshot s8 = recordPartitioned(eight, 8);
+
+  EXPECT_EQ(s1.count, s2.count);
+  EXPECT_EQ(s1.count, s8.count);
+  EXPECT_EQ(s1.sum, s2.sum);
+  EXPECT_EQ(s1.sum, s8.sum);
+  EXPECT_EQ(s1.buckets, s2.buckets);
+  EXPECT_EQ(s1.buckets, s8.buckets);
+  EXPECT_EQ(s1.quantile(0.5), s8.quantile(0.5));
+  EXPECT_EQ(s1.quantile(0.99), s8.quantile(0.99));
+}
+
+}  // namespace
+}  // namespace msd

@@ -51,7 +51,10 @@ std::string buildReport() {
   config.tracker.minCommunitySize = 5;
   analyzeCommunities(stream, config);
 
-  return obs::snapshotString({.includeTimings = false});
+  // Manifest excluded: build type/flags/git vary by configuration, and
+  // the golden pins the instrumentation layout, not the build identity.
+  return obs::snapshotString(
+      {.includeTimings = false, .includeManifest = false});
 }
 
 TEST(ObsJsonGoldenTest, ReportMatchesCheckedInGolden) {

@@ -1,0 +1,118 @@
+// Golden lock for the Chrome trace-event export (obs/events.h): a fixed
+// single-threaded scope sequence is recorded and serialized, timestamps
+// and the machine-specific provenance manifest are scrubbed, and the
+// rest of the document — event order, names, phases, lanes, metadata
+// shape — must match tests/golden/trace_events.golden byte for byte.
+// This pins the exporter's wire format: a reordered lane, a renamed key,
+// or a dropped metadata record is a reviewed diff, not a surprise for
+// whoever next opens a trace in ui.perfetto.dev.
+//
+// To regenerate after an *intentional* format change:
+//   MSD_UPDATE_GOLDEN=1 ./obs_trace_golden_test
+//
+// Runs alone in its own binary: event state is process-wide, and a
+// shared binary would leak other tests' lanes into the export.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+#ifndef MSD_TRACE_GOLDEN_FILE
+#error "MSD_TRACE_GOLDEN_FILE must point at the checked-in golden trace"
+#endif
+
+namespace msd {
+namespace {
+
+/// Rebuilds `doc` with every "ts" zeroed and the "run" manifest replaced
+/// by a placeholder — the two machine-dependent parts of the document.
+obs::Json scrubbed(const obs::Json& doc) {
+  obs::Json out = obs::Json::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "traceEvents") {
+      obs::Json events = obs::Json::array();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        obs::Json event = obs::Json::object();
+        for (const auto& [eventKey, eventValue] : value.at(i).members()) {
+          event.set(eventKey, eventKey == "ts" ? obs::Json(0.0) : eventValue);
+        }
+        events.push(std::move(event));
+      }
+      out.set(key, std::move(events));
+    } else if (key == "otherData") {
+      obs::Json other = obs::Json::object();
+      for (const auto& [otherKey, otherValue] : value.members()) {
+        other.set(otherKey, otherKey == "run" ? obs::Json("<scrubbed>")
+                                              : otherValue);
+      }
+      out.set(key, std::move(other));
+    } else {
+      out.set(key, value);
+    }
+  }
+  return out;
+}
+
+std::string buildTrace() {
+  setThreadCount(1);
+  obs::resetAll();
+  obs::setThreadLabel("main");
+  obs::setEventRecording(true);
+
+  {
+    MSD_TRACE_SCOPE("golden.outer");
+    for (int i = 0; i < 2; ++i) {
+      MSD_TRACE_SCOPE("golden.inner");
+    }
+  }
+  { MSD_TRACE_SCOPE("golden.tail"); }
+
+  obs::setEventRecording(false);
+  const std::string text = scrubbed(obs::traceEventsJson()).dump(2) + "\n";
+  obs::resetAll();
+  return text;
+}
+
+TEST(ObsTraceGoldenTest, ExportMatchesCheckedInGolden) {
+  const std::string trace = buildTrace();
+
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(MSD_TRACE_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << MSD_TRACE_GOLDEN_FILE;
+    out << trace;
+    GTEST_SKIP() << "golden file regenerated at " << MSD_TRACE_GOLDEN_FILE;
+  }
+
+  std::ifstream in(MSD_TRACE_GOLDEN_FILE);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << MSD_TRACE_GOLDEN_FILE
+      << " — regenerate with MSD_UPDATE_GOLDEN=1 ./obs_trace_golden_test";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  std::istringstream actualLines(trace);
+  std::istringstream goldenLines(golden.str());
+  std::string actualLine, goldenLine;
+  std::size_t lineNumber = 0;
+  while (std::getline(goldenLines, goldenLine)) {
+    ++lineNumber;
+    ASSERT_TRUE(std::getline(actualLines, actualLine))
+        << "trace ends early at golden line " << lineNumber;
+    ASSERT_EQ(actualLine, goldenLine)
+        << "first divergence at line " << lineNumber;
+  }
+  EXPECT_FALSE(std::getline(actualLines, actualLine))
+      << "trace has extra lines beyond the golden file";
+}
+
+}  // namespace
+}  // namespace msd

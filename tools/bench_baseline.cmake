@@ -1,0 +1,101 @@
+# Committed-baseline bench harness. Runs the figure benches under pinned
+# determinism conditions (MSD_THREADS=2, --scale=tiny --seed=1 --reps=2,
+# fresh output directory so the trace cache state is identical on every
+# run) and either records the resulting BENCH_*.json set as the committed
+# baseline or compares the fresh run against it with bench_compare.
+#
+# The gate is the counters, not the wall times: counters are exact
+# (--counter-threshold=0, scheduling-dependent pool.* excluded), while
+# the wall threshold defaults to effectively-off because CI wall clocks
+# are noise. tools/check.sh --bench tightens the wall threshold.
+#
+# Required -D variables:
+#   BENCH_DIR     directory holding the fig*_ bench binaries
+#   COMPARE       path to the bench_compare binary
+#   OUT_DIR       scratch directory, wiped before the run
+#   BASELINE_DIR  committed baseline directory (bench_out/baseline)
+#   MODE          record | compare
+# Optional:
+#   THRESHOLD     wall-time regression fraction (default 1000000 = off)
+
+foreach(var BENCH_DIR COMPARE OUT_DIR BASELINE_DIR MODE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_baseline: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED THRESHOLD)
+  set(THRESHOLD 1000000)
+endif()
+if(NOT MODE STREQUAL "record" AND NOT MODE STREQUAL "compare")
+  message(FATAL_ERROR "bench_baseline: MODE must be record or compare, "
+                      "got '${MODE}'")
+endif()
+
+# A stale trace cache flips gen.* counters to stream.* ones, so the run
+# must always start from an empty directory.
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# Fixed order: the first bench generates the trace, the rest load the
+# cache — reordering would shuffle which report carries the gen.* set.
+set(benches
+  fig1_network_metrics
+  fig2_edge_dynamics
+  fig3_pref_attach
+  fig4_delta_sensitivity
+  fig5_community_stats
+  fig6_merge_split
+  fig7_user_activity
+  fig8_merge_activity
+  fig9_merge_distance
+)
+
+foreach(bench ${benches})
+  message(STATUS "bench_baseline: ${bench} (tiny, seed=1, 2 threads)")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env MSD_THREADS=2
+            "${BENCH_DIR}/${bench}" --scale=tiny --seed=1 --reps=2
+            "--out=${OUT_DIR}"
+    RESULT_VARIABLE status
+    OUTPUT_QUIET
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "bench_baseline: ${bench} failed (exit ${status})")
+  endif()
+endforeach()
+
+if(MODE STREQUAL "record")
+  execute_process(
+    COMMAND "${COMPARE}" --validate "${OUT_DIR}"
+    RESULT_VARIABLE status
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "bench_baseline: fresh reports failed validation "
+                        "(exit ${status})")
+  endif()
+  file(REMOVE_RECURSE "${BASELINE_DIR}")
+  file(MAKE_DIRECTORY "${BASELINE_DIR}")
+  file(GLOB reports "${OUT_DIR}/BENCH_*.json")
+  foreach(report ${reports})
+    file(COPY "${report}" DESTINATION "${BASELINE_DIR}")
+  endforeach()
+  list(LENGTH reports count)
+  message(STATUS "bench_baseline: recorded ${count} report(s) into "
+                 "${BASELINE_DIR}")
+else()
+  if(NOT EXISTS "${BASELINE_DIR}")
+    message(FATAL_ERROR "bench_baseline: no committed baseline at "
+                        "${BASELINE_DIR}; run the bench_baseline_record "
+                        "target first")
+  endif()
+  execute_process(
+    COMMAND "${COMPARE}" "--threshold=${THRESHOLD}" --counter-threshold=0
+            --counter-ignore=pool. "${BASELINE_DIR}" "${OUT_DIR}"
+    RESULT_VARIABLE status
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "bench_baseline: drift against committed baseline "
+                        "(exit ${status})")
+  endif()
+  message(STATUS "bench_baseline: fresh run matches committed baseline")
+endif()

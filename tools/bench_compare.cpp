@@ -1,13 +1,19 @@
 // bench_compare: diff two sets of BENCH_*.json reports and fail on
-// wall-time regressions.
+// wall-time regressions, counter drift, or provenance mismatches.
 //
 //   bench_compare --validate <file-or-dir>
 //       Schema-check one report set; exit 0 when every file is valid.
-//   bench_compare [--threshold=0.10] <old-file-or-dir> <new-file-or-dir>
-//       Compare medians measurement by measurement. Exit 0 when no
-//       measurement's median wall time grew by more than the threshold,
-//       1 on regression (or when a baseline measurement disappeared),
-//       2 on usage / I/O / schema errors.
+//   bench_compare [--threshold=0.10] [--counter-threshold=F]
+//                 [--counter-ignore=PREFIX]... [--allow-mismatch]
+//                 <old-file-or-dir> <new-file-or-dir>
+//       Compare medians measurement by measurement and counters counter
+//       by counter. Exit 0 when clean, 1 on wall-time regression,
+//       counter drift above the counter threshold, or a disappeared
+//       baseline measurement, 2 on usage / I/O / schema errors or — the
+//       provenance gate — when the runs' msd-run-v1 manifests disagree
+//       on build type/flags/obs/threads/seed and --allow-mismatch was
+//       not given (comparing incomparable runs is an operator error,
+//       not a regression).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +27,17 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: bench_compare [--threshold=FRACTION] OLD NEW\n"
+               "usage: bench_compare [--threshold=FRACTION]\n"
+               "                     [--counter-threshold=FRACTION]\n"
+               "                     [--counter-ignore=PREFIX]...\n"
+               "                     [--allow-mismatch] OLD NEW\n"
                "       bench_compare --validate PATH\n"
                "OLD/NEW/PATH: a BENCH_*.json file or a directory of them.\n"
-               "Default threshold: 0.10 (10%% median wall-time growth).\n");
+               "Default threshold: 0.10 (10%% median wall-time growth).\n"
+               "Counters are report-only unless --counter-threshold is\n"
+               "given (0 = exact match); --counter-ignore skips counters\n"
+               "by name prefix (repeatable). Provenance mismatches exit 2\n"
+               "unless --allow-mismatch.\n");
 }
 
 int runValidate(const std::string& path) {
@@ -38,23 +51,37 @@ int runValidate(const std::string& path) {
   std::printf("bench_compare: %zu valid report(s) in %s\n", runs.size(),
               path.c_str());
   for (const msd::obs::BenchRun& run : runs) {
-    std::printf("  %-32s scale=%s seed=%llu threads=%zu measurements=%zu\n",
+    std::printf("  %-32s scale=%s seed=%llu threads=%zu measurements=%zu%s\n",
                 run.benchmark.c_str(), run.scale.c_str(),
                 static_cast<unsigned long long>(run.seed), run.threads,
-                run.measurements.size());
+                run.measurements.size(),
+                run.manifest ? " manifest=yes" : " manifest=no");
   }
   return 0;
 }
 
 int runCompare(const std::string& oldPath, const std::string& newPath,
-               double threshold) {
+               const msd::obs::CompareOptions& options, bool allowMismatch) {
   msd::obs::CompareReport report;
   try {
     const auto oldRuns = msd::obs::loadBenchSet(oldPath);
     const auto newRuns = msd::obs::loadBenchSet(newPath);
-    report = msd::obs::compareBenchRuns(oldRuns, newRuns, threshold);
+    report = msd::obs::compareBenchRuns(oldRuns, newRuns, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  // Provenance gate first: when the runs are not comparable, the numbers
+  // below are noise, so refuse before printing a misleading diff.
+  for (const std::string& mismatch : report.manifestMismatches) {
+    std::fprintf(stderr, "bench_compare: provenance mismatch: %s\n",
+                 mismatch.c_str());
+  }
+  if (!report.manifestMismatches.empty() && !allowMismatch) {
+    std::fprintf(stderr,
+                 "bench_compare: runs are not comparable (re-run with "
+                 "--allow-mismatch to override)\n");
     return 2;
   }
 
@@ -64,45 +91,89 @@ int runCompare(const std::string& oldPath, const std::string& newPath,
                 entry.measurement.c_str(), entry.oldMedianMs, entry.newMedianMs,
                 entry.relChange * 100.0);
   }
+  for (const msd::obs::CounterDriftEntry& entry : report.counters) {
+    // Unchanged counters stay silent; the interesting lines are deltas.
+    if (entry.oldValue == entry.newValue && !entry.drift) continue;
+    std::printf("%s counter %s/%s: %llu -> %llu (%+.1f%%)\n",
+                entry.drift ? "DRIFT" : "note", entry.benchmark.c_str(),
+                entry.counter.c_str(),
+                static_cast<unsigned long long>(entry.oldValue),
+                static_cast<unsigned long long>(entry.newValue),
+                entry.relChange * 100.0);
+  }
   for (const std::string& key : report.added) {
     std::printf("new %s (no baseline)\n", key.c_str());
   }
+  for (const std::string& key : report.counterAdded) {
+    std::printf("new counter %s (no baseline)\n", key.c_str());
+  }
   for (const std::string& key : report.missing) {
     std::fprintf(stderr, "bench_compare: missing from new set: %s\n",
+                 key.c_str());
+  }
+  for (const std::string& key : report.counterMissing) {
+    std::fprintf(stderr, "bench_compare: counter missing from new set: %s\n",
                  key.c_str());
   }
   if (!report.missing.empty()) return 1;
   if (report.anyRegression) {
     std::fprintf(stderr,
                  "bench_compare: median wall-time regression above %.1f%%\n",
-                 threshold * 100.0);
+                 options.wallThreshold * 100.0);
+    return 1;
+  }
+  if (report.anyCounterDrift) {
+    std::fprintf(stderr, "bench_compare: counter drift above %.1f%%\n",
+                 options.counterThreshold * 100.0);
     return 1;
   }
   std::printf("bench_compare: no regression above %.1f%% across %zu "
-              "measurement(s)\n",
-              threshold * 100.0, report.entries.size());
+              "measurement(s), %zu counter(s) checked\n",
+              options.wallThreshold * 100.0, report.entries.size(),
+              report.counters.size());
   return 0;
+}
+
+bool parseFraction(const std::string& arg, std::size_t prefixLen,
+                   double* out) {
+  char* end = nullptr;
+  const std::string value = arg.substr(prefixLen);
+  *out = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0' && !value.empty() && *out >= 0.0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  double threshold = 0.10;
+  msd::obs::CompareOptions options;
   bool validate = false;
+  bool allowMismatch = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--validate") {
       validate = true;
     } else if (arg.rfind("--threshold=", 0) == 0) {
-      char* end = nullptr;
-      const std::string value = arg.substr(12);
-      threshold = std::strtod(value.c_str(), &end);
-      if (end == nullptr || *end != '\0' || value.empty() || threshold < 0.0) {
+      if (!parseFraction(arg, 12, &options.wallThreshold)) {
         std::fprintf(stderr, "bench_compare: bad threshold '%s'\n",
-                     value.c_str());
+                     arg.substr(12).c_str());
         return 2;
       }
+    } else if (arg.rfind("--counter-threshold=", 0) == 0) {
+      if (!parseFraction(arg, 20, &options.counterThreshold)) {
+        std::fprintf(stderr, "bench_compare: bad counter threshold '%s'\n",
+                     arg.substr(20).c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--counter-ignore=", 0) == 0) {
+      const std::string prefix = arg.substr(17);
+      if (prefix.empty()) {
+        std::fprintf(stderr, "bench_compare: empty --counter-ignore prefix\n");
+        return 2;
+      }
+      options.counterIgnorePrefixes.push_back(prefix);
+    } else if (arg == "--allow-mismatch") {
+      allowMismatch = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -125,5 +196,5 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  return runCompare(paths[0], paths[1], threshold);
+  return runCompare(paths[0], paths[1], options, allowMismatch);
 }

@@ -1,19 +1,25 @@
 #!/usr/bin/env sh
 # One-shot pre-PR gate: strict-warning release build, determinism lint,
-# and the tier-1 test suite. `--full` additionally runs the tsan and asan
+# and the tier-1 test suite. `--bench` additionally compares a fresh
+# bench run against the committed baseline with a tightened wall-time
+# threshold; `--full` additionally runs the tsan, asan, and obs-off
 # preset subsets. Run from anywhere; everything is relative to the repo
 # root. Exits non-zero on the first failure.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 full=0
+bench=0
 for arg in "$@"; do
   case "$arg" in
     --full) full=1 ;;
+    --bench) bench=1 ;;
     -h|--help)
-      echo "usage: tools/check.sh [--full]"
+      echo "usage: tools/check.sh [--bench] [--full]"
       echo "  default: werror build + msd_lint + tier-1 ctest"
-      echo "  --full:  also tsan and asan preset test subsets"
+      echo "  --bench: also compare against the committed bench baseline"
+      echo "           (counters exact, wall-time threshold 50%)"
+      echo "  --full:  also tsan, asan, and obs-off preset test subsets"
       exit 0
       ;;
     *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
@@ -34,6 +40,17 @@ step "msd_lint (determinism hazards H1-H5)"
 step "tier-1 tests (werror build)"
 ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs"
 
+if [ "$bench" -eq 1 ]; then
+  step "bench baseline (counters exact, wall-time threshold 50%)"
+  cmake \
+    -DBENCH_DIR="$root/build-werror/bench" \
+    -DCOMPARE="$root/build-werror/tools/bench_compare" \
+    -DOUT_DIR="$root/build-werror/bench/bench_baseline_out" \
+    -DBASELINE_DIR="$root/bench_out/baseline" \
+    -DMODE=compare -DTHRESHOLD=0.5 \
+    -P "$root/tools/bench_baseline.cmake"
+fi
+
 if [ "$full" -eq 1 ]; then
   step "tsan build + concurrent-kernel subset"
   cmake --preset tsan -S "$root"
@@ -44,6 +61,11 @@ if [ "$full" -eq 1 ]; then
   cmake --preset asan -S "$root"
   cmake --build --preset asan -j "$jobs"
   (cd "$root" && ctest --preset asan -j "$jobs")
+
+  step "obs-off build + fast-test subset (instrumentation compiled out)"
+  cmake --preset obs-off -S "$root"
+  cmake --build --preset obs-off -j "$jobs"
+  (cd "$root" && ctest --preset obs-off -j "$jobs")
 fi
 
 step "all checks passed"

@@ -73,6 +73,12 @@ bool isObs(const std::string& path) { return startsWith(path, "src/obs/"); }
 
 bool isBench(const std::string& path) { return startsWith(path, "bench/"); }
 
+/// True for src/util/stopwatch.h, the sanctioned coarse-progress wrapper
+/// over the obs monotonic clock.
+bool isStopwatch(const std::string& path) {
+  return path == "src/util/stopwatch.h" || endsWith(path, "/stopwatch.h");
+}
+
 /// Finds the offset of the `close` matching the opener at `open`.
 /// Returns npos when unbalanced.
 std::size_t findMatching(const std::string& text, std::size_t open,
@@ -519,6 +525,21 @@ void scanH2(const FileInfo& info, std::vector<Finding>& findings) {
       pushFinding(info, pos, "H2",
                   "time(" + arg + ") reads the wall clock; results must not "
                   "depend on run time",
+                  findings);
+    }
+  }
+  // obs::monotonicNanos() is the repo's one monotonic clock; reading it
+  // directly in computation code is just as hazardous as a chrono now().
+  // Stopwatch (src/util/stopwatch.h) is the sanctioned wrapper for
+  // coarse progress reporting.
+  if (!isStopwatch(info.path)) {
+    for (std::size_t pos : findWord(text, "monotonicNanos")) {
+      const std::size_t after = skipSpaces(text, pos + 14);
+      if (after >= text.size() || text[after] != '(') continue;
+      pushFinding(info, pos, "H2",
+                  "monotonicNanos() reads the wall clock outside src/obs/ "
+                  "and bench/; use Stopwatch for progress reporting or the "
+                  "MSD_HISTOGRAM_*_NS macros for latency metrics",
                   findings);
     }
   }

@@ -33,7 +33,10 @@
 #include "metrics/degree.h"
 #include "metrics/neighborhood.h"
 #include "metrics/paths.h"
+#include "obs/events.h"
+#include "obs/manifest.h"
 #include "obs/registry.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 using namespace msd;
@@ -110,14 +113,19 @@ int usage() {
                "  slice           IN OUT --from=D --to=D\n"
                "  export-temporal IN OUT.txt\n"
                "global options:\n"
-               "  --trace-json=FILE  write counters + scope timings as JSON "
-               "after the command\n");
+               "  --trace-json=FILE    write counters + scope timings as "
+               "JSON after the command\n"
+               "  --trace-events=FILE  record per-thread begin/end events "
+               "and write Chrome\n"
+               "                       trace-event JSON (open in "
+               "ui.perfetto.dev) after the command\n");
   return 2;
 }
 
 int cmdGenerate(const Args& args) {
   const std::string scale = args.get("scale", "renren");
   const std::uint64_t seed = args.getU64("seed", 1);
+  obs::setManifestSeed(static_cast<std::int64_t>(seed));
   const std::string out = args.get("out", "trace.msdb");
   GeneratorConfig config =
       scale == "tiny"
@@ -322,6 +330,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
   const char* traceJson = args.get("trace-json", nullptr);
+  const char* traceEvents = args.get("trace-events", nullptr);
+  // Run-side provenance: every artifact this process writes (obs report,
+  // trace events) carries the full command line and thread count.
+  // Commands that take a seed refine the manifest's seed themselves.
+  obs::setManifestArgs(std::vector<std::string>(argv + 1, argv + argc));
+  obs::setManifestThreads(static_cast<std::int64_t>(threadCount()));
+  obs::setThreadLabel("main");
+  if (traceEvents != nullptr) obs::setEventRecording(true);
   int status = 0;
   try {
     status = runCommand(command, args);
@@ -333,6 +349,15 @@ int main(int argc, char** argv) {
     try {
       obs::writeSnapshotFile(traceJson);
       std::fprintf(stderr, "trace report -> %s\n", traceJson);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "msdyn: %s\n", error.what());
+      if (status == 0) status = 1;
+    }
+  }
+  if (traceEvents != nullptr) {
+    try {
+      obs::writeTraceEventsFile(traceEvents);
+      std::fprintf(stderr, "trace events -> %s\n", traceEvents);
     } catch (const std::exception& error) {
       std::fprintf(stderr, "msdyn: %s\n", error.what());
       if (status == 0) status = 1;
