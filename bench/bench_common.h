@@ -24,6 +24,7 @@
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
+#include "obs/mem.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/time_series.h"
@@ -191,6 +192,16 @@ class BenchReport {
       counters.set(name, value);
     }
     doc.set("counters", std::move(counters));
+    // Process memory high-water mark at report time. Informational only:
+    // bench_compare prints it next to the baseline but never gates on it
+    // (peak RSS depends on allocator and phase order, not correctness).
+    obs::updateMemoryGauges();
+    if (const std::int64_t peak = obs::gaugeValue("mem.high_water_bytes");
+        peak > 0) {
+      obs::Json mem = obs::Json::object();
+      mem.set("high_water_bytes", static_cast<std::uint64_t>(peak));
+      doc.set("mem", std::move(mem));
+    }
 
     namespace fs = std::filesystem;
     std::error_code ec;

@@ -228,6 +228,57 @@ BENCHMARK(BM_MetricsOverTimeThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- Snapshot-count sweep: incremental engine vs batch oracle ------------
+// Arg = snapshot count over the 500-day shared trace (771 mirrors the
+// paper's daily snapshot count). The batch oracle pays O(graph) per
+// snapshot — CSR rebuild, full assortativity, full degree sweep — so its
+// cost grows with the snapshot count; the incremental engine replays the
+// event stream once and pays only the sampled getters per snapshot.
+
+MetricsOverTimeConfig snapshotSweepConfig(const EventStream& stream,
+                                          std::int64_t snapshots) {
+  MetricsOverTimeConfig config;
+  config.snapshotStep = stream.lastTime() / static_cast<double>(snapshots);
+  config.pathEvery = 3.0 * config.snapshotStep;
+  config.pathSamples = 8;
+  config.clusteringSamples = 200;
+  return config;
+}
+
+void BM_MetricsOverTimeIncremental(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  const MetricsOverTimeConfig config =
+      snapshotSweepConfig(stream, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzeMetricsOverTime(stream, config).averageDegree.size());
+  }
+  state.counters["snapshots"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetricsOverTimeIncremental)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(771)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_MetricsOverTimeBatch(benchmark::State& state) {
+  const EventStream& stream = sharedTrace();
+  const MetricsOverTimeConfig config =
+      snapshotSweepConfig(stream, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzeMetricsOverTimeBatch(stream, config).averageDegree.size());
+  }
+  state.counters["snapshots"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetricsOverTimeBatch)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(771)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_Assortativity(benchmark::State& state) {
   const Graph& graph = sharedGraph();
   for (auto _ : state) {

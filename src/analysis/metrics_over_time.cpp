@@ -4,6 +4,7 @@
 #include "metrics/assortativity.h"
 #include "metrics/clustering.h"
 #include "metrics/degree.h"
+#include "metrics/incremental.h"
 #include "metrics/paths.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -16,9 +17,9 @@ namespace {
 // Stream indices of the per-snapshot sampling RNGs. Each sampled metric
 // of each snapshot derives its generator as
 // Rng::stream(seed, snapshotIndex * kStreamsPerSnapshot + offset), a pure
-// function of (seed, snapshot, metric) — so the four metrics can run
-// concurrently without sharing generator state, and the series are
-// identical at any thread count.
+// function of (seed, snapshot, metric) — so the sampled metrics consume
+// no shared generator state and the series are identical at any thread
+// count, on both the incremental and the batch path.
 constexpr std::uint64_t kStreamsPerSnapshot = 2;
 constexpr std::uint64_t kClusteringStream = 0;
 constexpr std::uint64_t kPathStream = 1;
@@ -28,6 +29,66 @@ constexpr std::uint64_t kPathStream = 1;
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config) {
   MSD_TRACE_SCOPE("fig1.metrics_over_time");
+  MetricsOverTime result{TimeSeries("avg_degree"), TimeSeries("avg_path_length"),
+                         TimeSeries("clustering"), TimeSeries("assortativity")};
+  if (stream.empty()) return result;
+
+  const SnapshotSchedule schedule =
+      SnapshotSchedule::everyFor(stream, config.snapshotStep);
+  // One single-pass replay for the whole series: the engine absorbs each
+  // snapshot's new events incrementally, and the per-snapshot getters
+  // reproduce the batch kernels' values exactly (see incremental.h).
+  IncrementalMetricsEngine engine(stream);
+  double nextPathDay = 0.0;
+  std::uint64_t snapshotIndex = 0;
+  for (Day day : schedule.days()) {
+    // End-of-day convention: a snapshot at `day` contains every event
+    // with time < day + 1, matching forEachSnapshot on the batch path.
+    engine.advanceTo(day + 1.0);
+    const std::uint64_t index = snapshotIndex++;
+    if (engine.nodeCount() == 0) continue;
+
+    const bool hasEdges = engine.edgeCount() > 0;
+    const bool doPath = hasEdges && day >= nextPathDay;
+    if (doPath) nextPathDay = day + config.pathEvery;
+
+    MSD_COUNTER_ADD("fig1.snapshots", 1);
+    // Getters run in series — they share the engine's mutable scratch
+    // (BFS buffers, union-find path compression); the parallelism lives
+    // inside the sampled kernels.
+    const double averageDegree = engine.averageDegree();
+    double clustering = 0.0;
+    {
+      MSD_TRACE_SCOPE("incr.metric.clustering");
+      Rng rng = Rng::stream(config.seed,
+                            index * kStreamsPerSnapshot + kClusteringStream);
+      clustering =
+          engine.sampledAverageClustering(config.clusteringSamples, rng);
+    }
+    double assortativity = 0.0;
+    if (hasEdges) {
+      MSD_TRACE_SCOPE("incr.metric.assortativity");
+      assortativity = engine.degreeAssortativity();
+    }
+    double pathLength = 0.0;
+    if (doPath) {
+      MSD_TRACE_SCOPE("incr.metric.path_length");
+      Rng rng = Rng::stream(config.seed,
+                            index * kStreamsPerSnapshot + kPathStream);
+      pathLength = engine.sampledAveragePathLength(config.pathSamples, rng);
+    }
+
+    result.averageDegree.add(day, averageDegree);
+    result.clusteringCoefficient.add(day, clustering);
+    if (hasEdges) result.assortativity.add(day, assortativity);
+    if (doPath) result.averagePathLength.add(day, pathLength);
+  }
+  return result;
+}
+
+MetricsOverTime analyzeMetricsOverTimeBatch(
+    const EventStream& stream, const MetricsOverTimeConfig& config) {
+  MSD_TRACE_SCOPE("fig1.metrics_over_time_batch");
   MetricsOverTime result{TimeSeries("avg_degree"), TimeSeries("avg_path_length"),
                          TimeSeries("clustering"), TimeSeries("assortativity")};
   if (stream.empty()) return result;

@@ -31,9 +31,21 @@ struct MetricsOverTime {
   TimeSeries assortativity;
 };
 
-/// Replays the trace once, computing the metrics at each scheduled
-/// snapshot day.
+/// Replays the trace once through the incremental metrics engine
+/// (src/metrics/incremental.h), updating the Fig 1 statistics per edge
+/// event and sampling the series at each scheduled snapshot day. Series
+/// values are bit-identical to analyzeMetricsOverTimeBatch at any thread
+/// count (same sufficient statistics, same RNG streams, same chunk-
+/// ordered reductions) at a fraction of the cost: per-snapshot work is
+/// O(new events + sampled metrics) instead of O(graph).
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config = {});
+
+/// Reference oracle: materializes every snapshot and recomputes each
+/// metric from scratch with the batch kernels in src/metrics/. Kept for
+/// the incremental-vs-batch property suite and the bench comparison;
+/// O(snapshots × graph) — do not use on paper-scale traces.
+MetricsOverTime analyzeMetricsOverTimeBatch(
+    const EventStream& stream, const MetricsOverTimeConfig& config = {});
 
 }  // namespace msd

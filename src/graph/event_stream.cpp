@@ -87,6 +87,28 @@ void EventStream::validate() const {
          "EventStream::validate: node counter out of sync");
 }
 
+std::span<const Event> EventCursor::takeUntil(Day bound) {
+  const std::size_t begin = next_;
+  while (next_ < events_.size() && events_[next_].time < bound) {
+    MSD_CHECK_MSG(events_[next_].time >= lastTime_,
+                  "EventCursor: timestamps must be non-decreasing");
+    lastTime_ = events_[next_].time;
+    ++next_;
+  }
+  return events_.subspan(begin, next_ - begin);
+}
+
+std::span<const Event> EventCursor::takeRemaining() {
+  const std::size_t begin = next_;
+  while (next_ < events_.size()) {
+    MSD_CHECK_MSG(events_[next_].time >= lastTime_,
+                  "EventCursor: timestamps must be non-decreasing");
+    lastTime_ = events_[next_].time;
+    ++next_;
+  }
+  return events_.subspan(begin, next_ - begin);
+}
+
 std::size_t EventStream::firstIndexAtOrAfter(Day t) const {
   const auto it = std::lower_bound(
       events_.begin(), events_.end(), t,

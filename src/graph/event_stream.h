@@ -66,4 +66,42 @@ class EventStream {
   std::size_t edgeCount_ = 0;
 };
 
+/// Forward-only replay cursor over a chronologically ordered event
+/// sequence. Each takeUntil(bound) call hands out the next contiguous
+/// window of events with time < bound and advances past it, so a single
+/// pass over the stream is split into snapshot-aligned windows without
+/// re-scanning — the access pattern of the incremental metrics engine.
+///
+/// Contract: the cursor re-checks (MSD_CHECK) that timestamps never
+/// decrease as it walks, including across takeUntil calls. EventStream
+/// enforces this on append, but the span constructor accepts raw event
+/// windows that bypassed that guard, and replaying out of order would
+/// silently corrupt every incremental statistic downstream.
+class EventCursor {
+ public:
+  explicit EventCursor(const EventStream& stream)
+      : events_(stream.events()) {}
+  explicit EventCursor(std::span<const Event> events) : events_(events) {}
+
+  /// Events with time < bound starting at the cursor; advances past them.
+  /// Monotone bounds yield disjoint, order-preserving windows.
+  std::span<const Event> takeUntil(Day bound);
+
+  /// All remaining events.
+  std::span<const Event> takeRemaining();
+
+  /// Index of the next event the cursor will hand out.
+  std::size_t position() const { return next_; }
+
+  /// True when every event has been handed out.
+  bool exhausted() const { return next_ == events_.size(); }
+
+ private:
+  std::span<const Event> events_;
+  std::size_t next_ = 0;
+  Day lastTime_ = kMinusInfiniteDay;
+
+  static constexpr Day kMinusInfiniteDay = -1e308;
+};
+
 }  // namespace msd

@@ -6,24 +6,29 @@
 
 namespace msd {
 
+double assortativityFromSums(const AssortativitySums& sums,
+                             double edgeCount) {
+  const double meanTerm = sums.mean / edgeCount;
+  const double numerator = sums.product / edgeCount - meanTerm * meanTerm;
+  const double denominator = sums.square / edgeCount - meanTerm * meanTerm;
+  if (denominator == 0.0) return 0.0;
+  return numerator / denominator;
+}
+
 double degreeAssortativity(const Graph& graph) {
   // Newman's formulation over edge endpoint degree pairs, accumulated
   // symmetrically (each edge contributes both (du,dv) and (dv,du)):
   //   r = [M^-1 sum ji*ki - (M^-1 sum (ji+ki)/2)^2] /
   //       [M^-1 sum (ji^2+ki^2)/2 - (M^-1 sum (ji+ki)/2)^2]
   if (graph.edgeCount() == 0) return 0.0;
-  struct Sums {
-    double product = 0.0;
-    double mean = 0.0;
-    double square = 0.0;
-  };
   // Node ranges in fixed chunks; each chunk owns the edges (u, v) with
   // u < v and u in its range, so every edge is accumulated exactly once
   // and the chunk-ordered combine is thread-count invariant.
-  const Sums sums = parallelReduce(
-      std::size_t{0}, graph.nodeCount(), std::size_t{1024}, Sums{},
+  const AssortativitySums sums = parallelReduce(
+      std::size_t{0}, graph.nodeCount(), std::size_t{1024},
+      AssortativitySums{},
       [&graph](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
-        Sums partial;
+        AssortativitySums partial;
         for (NodeId u = static_cast<NodeId>(chunkBegin); u < chunkEnd; ++u) {
           const double du = static_cast<double>(graph.degree(u));
           for (NodeId v : graph.neighbors(u)) {
@@ -36,18 +41,13 @@ double degreeAssortativity(const Graph& graph) {
         }
         return partial;
       },
-      [](Sums accumulator, Sums partial) {
+      [](AssortativitySums accumulator, AssortativitySums partial) {
         accumulator.product += partial.product;
         accumulator.mean += partial.mean;
         accumulator.square += partial.square;
         return accumulator;
       });
-  const double m = static_cast<double>(graph.edgeCount());
-  const double meanTerm = sums.mean / m;
-  const double numerator = sums.product / m - meanTerm * meanTerm;
-  const double denominator = sums.square / m - meanTerm * meanTerm;
-  if (denominator == 0.0) return 0.0;
-  return numerator / denominator;
+  return assortativityFromSums(sums, static_cast<double>(graph.edgeCount()));
 }
 
 }  // namespace msd

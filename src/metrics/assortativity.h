@@ -4,6 +4,30 @@
 
 namespace msd {
 
+/// Edge-sum sufficient statistics of Newman's degree assortativity, with
+/// du/dv the endpoint degrees of each undirected edge:
+///
+///   product = sum over edges of du*dv
+///   mean    = sum over edges of (du + dv) / 2
+///   square  = sum over edges of (du^2 + dv^2) / 2
+///
+/// All three are sums of integers or half-integers, so the double
+/// accumulations are exact while below 2^52 and any path that produces
+/// the same logical sums (batch edge sweep, incremental engine) yields
+/// bit-identical statistics.
+struct AssortativitySums {
+  double product = 0.0;
+  double mean = 0.0;
+  double square = 0.0;
+};
+
+/// Finishing arithmetic of Newman's r from the sufficient statistics.
+/// Shared by the batch kernel and the incremental engine so the final
+/// floating-point operation sequence — and with it the series values —
+/// is identical on both paths. Returns 0 when the degree variance term
+/// vanishes (uniform degrees).
+double assortativityFromSums(const AssortativitySums& sums, double edgeCount);
+
 /// Degree assortativity: the Pearson correlation of the degrees at the two
 /// ends of every edge (Newman's r, symmetric form). Positive values mean
 /// similar-degree nodes attach to each other; 0 means no preference.

@@ -9,12 +9,6 @@
 namespace msd {
 namespace {
 
-// Chunk sizes of the deterministic reductions. Fixed constants (never
-// derived from the thread count) so the chunk decomposition — and with it
-// the floating-point combine order — is identical at any pool size.
-constexpr std::size_t kNodeSweepGrain = 256;
-constexpr std::size_t kSampleGrain = 4;
-
 /// Closed wedges at `node` on a sorted CSR snapshot: for each neighbor a,
 /// |N(node) ∩ N(a)| by linear merge of the two sorted lists. Every
 /// neighbor-neighbor edge is counted twice (see the header's wedge-count
@@ -109,7 +103,7 @@ double averageClustering(const Graph& graph) {
 }
 
 double averageClustering(const CsrGraph& csr) {
-  return meanClustering(csr, nullptr, csr.nodeCount(), kNodeSweepGrain);
+  return meanClustering(csr, nullptr, csr.nodeCount(), kClusteringNodeSweepGrain);
 }
 
 double sampledAverageClustering(const Graph& graph, std::size_t samples,
@@ -127,7 +121,7 @@ double sampledAverageClustering(const CsrGraph& csr, std::size_t samples,
   // no random draws consumed.
   if (samples >= n) return averageClustering(csr);
   const std::vector<std::size_t> picks = rng.sampleIndices(n, samples);
-  return meanClustering(csr, picks.data(), picks.size(), kSampleGrain);
+  return meanClustering(csr, picks.data(), picks.size(), kClusteringSampleGrain);
 }
 
 }  // namespace msd

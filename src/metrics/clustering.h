@@ -8,6 +8,15 @@
 
 namespace msd {
 
+/// Chunk sizes of the deterministic clustering reductions. Fixed
+/// constants (never derived from the thread count) so the chunk
+/// decomposition — and with it the floating-point combine order — is
+/// identical at any pool size. Exported because the incremental metrics
+/// engine replays the exact same reduction over its own triangle counts;
+/// the two paths must chunk identically to stay bit-for-bit equal.
+inline constexpr std::size_t kClusteringNodeSweepGrain = 256;
+inline constexpr std::size_t kClusteringSampleGrain = 4;
+
 /// Local clustering coefficient of one node: existing edges among its
 /// neighbors divided by the maximum possible. Nodes with degree < 2 have
 /// coefficient 0 (the paper averages them in as zeros).

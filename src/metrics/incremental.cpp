@@ -1,0 +1,488 @@
+#include "metrics/incremental.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "obs/counters.h"
+#include "obs/histogram_obs.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+/// One edge insertion of the current advance window awaiting its
+/// neighborhood-scan deltas (assortativity P, triangle counts).
+struct PendingEdge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  std::uint32_t seq = 0;  ///< global edge sequence tag of this insert
+};
+
+// Chunk size of the parallel neighborhood-scan reduction. Fixed constant
+// (see util/parallel.h's determinism contract); the partial product
+// deltas are integers, so the combine order cannot matter anyway, but
+// the chunk decomposition keeps the scan schedule reproducible.
+constexpr std::size_t kPendingGrain = 16;
+
+}  // namespace
+
+IncrementalMetricsEngine::IncrementalMetricsEngine(
+    const EventStream& stream, IncrementalMetricsConfig config)
+    : config_(config), cursor_(stream) {
+  neighbors_.reserve(stream.nodeCount());
+  tags_.reserve(stream.nodeCount());
+  tri_.reserve(stream.nodeCount());
+  parent_.reserve(stream.nodeCount());
+  unionSize_.reserve(stream.nodeCount());
+  windowTags_.reserve(stream.nodeCount());
+}
+
+IncrementalMetricsEngine::IncrementalMetricsEngine(
+    std::span<const Event> events, IncrementalMetricsConfig config)
+    : config_(config), cursor_(events) {}
+
+void IncrementalMetricsEngine::advanceTo(Day bound) {
+  applyWindow(cursor_.takeUntil(bound));
+}
+
+void IncrementalMetricsEngine::advanceToEnd() {
+  applyWindow(cursor_.takeRemaining());
+}
+
+void IncrementalMetricsEngine::applyWindow(std::span<const Event> events) {
+  if (events.empty()) return;
+  MSD_TRACE_SCOPE("incr.apply_window");
+  MSD_HISTOGRAM_SCOPE_NS("incr.window_ns");
+  require(events.size() <=
+              std::numeric_limits<std::uint32_t>::max() - nextSeq_,
+          "IncrementalMetricsEngine: edge sequence tag overflow");
+  std::size_t edgeEvents = 0;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kEdgeAdd) ++edgeEvents;
+  }
+  MSD_COUNTER_ADD("incr.events", events.size());
+  if (edgeEvents >= config_.parallelEdgeThreshold &&
+      ThreadPool::shared().workerCount() > 1) {
+    MSD_COUNTER_ADD("incr.parallel_windows", 1);
+    applyParallel(events);
+  } else {
+    MSD_COUNTER_ADD("incr.sequential_windows", 1);
+    applySequential(events);
+  }
+}
+
+void IncrementalMetricsEngine::applySequential(std::span<const Event> events) {
+  std::vector<NodeId> commons;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kNodeJoin) {
+      addNode();
+      continue;
+    }
+    const std::uint32_t seq = nextSeq_;
+    if (!insertEdgeStructural(event.u, event.v, seq)) {
+      MSD_COUNTER_ADD("incr.duplicate_edges", 1);
+      continue;
+    }
+    ++nextSeq_;
+    commons.clear();
+    sumEdgeProducts_ += scanEdge(event.u, event.v, seq, commons);
+    tri_[event.u] += commons.size();
+    tri_[event.v] += commons.size();
+    for (NodeId w : commons) ++tri_[w];
+  }
+  for (NodeId node : windowTouched_) windowTags_[node].clear();
+  windowTouched_.clear();
+}
+
+void IncrementalMetricsEngine::applyParallel(std::span<const Event> events) {
+  // Phase A (sequential): structural inserts. Adjacency, degrees, the
+  // histogram, S2/S3, and union-find are order-dependent but O(log d)
+  // to O(d) per event; the expensive neighborhood scans are deferred.
+  std::vector<PendingEdge> pending;
+  pending.reserve(events.size());
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kNodeJoin) {
+      addNode();
+      continue;
+    }
+    const std::uint32_t seq = nextSeq_;
+    if (!insertEdgeStructural(event.u, event.v, seq)) {
+      MSD_COUNTER_ADD("incr.duplicate_edges", 1);
+      continue;
+    }
+    ++nextSeq_;
+    pending.push_back({event.u, event.v, seq});
+  }
+
+  // Phase B (parallel): neighborhood scans. Each pending edge filters
+  // the post-window adjacency down to entries with tag < its seq —
+  // exactly the pre-event state the sequential path scans — so both
+  // paths compute identical integers at any thread count. Common
+  // neighbors land in disjoint per-edge slots; the product delta goes
+  // through the chunk-ordered reduction.
+  std::vector<std::vector<NodeId>> commons(pending.size());
+  const std::uint64_t productDelta = parallelReduce(
+      std::size_t{0}, pending.size(), kPendingGrain, std::uint64_t{0},
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        std::uint64_t partial = 0;
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          partial +=
+              scanEdge(pending[i].u, pending[i].v, pending[i].seq,
+                       commons[i]);
+        }
+        return partial;
+      },
+      [](std::uint64_t accumulator, std::uint64_t partial) {
+        return accumulator + partial;
+      });
+
+  // Phase C (sequential): ordered triangle scatter.
+  sumEdgeProducts_ += productDelta;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    tri_[pending[i].u] += commons[i].size();
+    tri_[pending[i].v] += commons[i].size();
+    for (NodeId w : commons[i]) ++tri_[w];
+  }
+  for (NodeId node : windowTouched_) windowTags_[node].clear();
+  windowTouched_.clear();
+}
+
+void IncrementalMetricsEngine::addNode() {
+  neighbors_.emplace_back();
+  tags_.emplace_back();
+  tri_.push_back(0);
+  parent_.push_back(static_cast<std::uint32_t>(parent_.size()));
+  unionSize_.push_back(1);
+  windowTags_.emplace_back();
+  ++componentCount_;
+  ++degreeHist_[0];
+}
+
+bool IncrementalMetricsEngine::insertEdgeStructural(NodeId u, NodeId v,
+                                                    std::uint32_t seq) {
+  require(u < nodeCount() && v < nodeCount(),
+          "IncrementalMetricsEngine: edge endpoint out of range");
+  require(u != v, "IncrementalMetricsEngine: self-loops not allowed");
+  // Duplicate probe against the smaller sorted list, like Graph::addEdge.
+  const bool probeU = neighbors_[u].size() <= neighbors_[v].size();
+  const std::vector<NodeId>& smaller = probeU ? neighbors_[u] : neighbors_[v];
+  const NodeId sought = probeU ? v : u;
+  if (std::binary_search(smaller.begin(), smaller.end(), sought)) {
+    return false;
+  }
+
+  const std::size_t du = neighbors_[u].size();
+  const std::size_t dv = neighbors_[v].size();
+  // S2/S3 deltas of a degree bump: (d+1)^2-d^2 = 2d+1 and
+  // (d+1)^3-d^3 = 3d(d+1)+1.
+  sumDegreeSquares_ += 2 * du + 1 + 2 * dv + 1;
+  sumDegreeCubes_ += 3 * du * (du + 1) + 1 + 3 * dv * (dv + 1) + 1;
+
+  for (const std::size_t d : {du, dv}) {
+    if (d + 1 == degreeHist_.size()) degreeHist_.push_back(0);
+    --degreeHist_[d];
+    ++degreeHist_[d + 1];
+  }
+
+  const auto posU = static_cast<std::size_t>(
+      std::lower_bound(neighbors_[u].begin(), neighbors_[u].end(), v) -
+      neighbors_[u].begin());
+  neighbors_[u].insert(neighbors_[u].begin() + static_cast<std::ptrdiff_t>(posU), v);
+  tags_[u].insert(tags_[u].begin() + static_cast<std::ptrdiff_t>(posU), seq);
+  const auto posV = static_cast<std::size_t>(
+      std::lower_bound(neighbors_[v].begin(), neighbors_[v].end(), u) -
+      neighbors_[v].begin());
+  neighbors_[v].insert(neighbors_[v].begin() + static_cast<std::ptrdiff_t>(posV), u);
+  tags_[v].insert(tags_[v].begin() + static_cast<std::ptrdiff_t>(posV), seq);
+
+  if (windowTags_[u].empty()) windowTouched_.push_back(u);
+  windowTags_[u].push_back(seq);
+  if (windowTags_[v].empty()) windowTouched_.push_back(v);
+  windowTags_[v].push_back(seq);
+
+  unionNodes(u, v);
+  ++edges_;
+  return true;
+}
+
+std::uint32_t IncrementalMetricsEngine::degreeBefore(
+    NodeId node, std::uint32_t seq) const {
+  // Current degree minus this window's inserts at or after `seq` (the
+  // window tag list is ascending by construction).
+  const std::vector<std::uint32_t>& tags = windowTags_[node];
+  const auto later = static_cast<std::size_t>(
+      tags.end() - std::lower_bound(tags.begin(), tags.end(), seq));
+  return static_cast<std::uint32_t>(neighbors_[node].size() - later);
+}
+
+std::uint64_t IncrementalMetricsEngine::scanEdge(
+    NodeId u, NodeId v, std::uint32_t seq,
+    std::vector<NodeId>& commons) const {
+  // Merge walk over both sorted neighborhoods restricted to entries that
+  // existed just before this insert (tag < seq). Every live neighbor w
+  // contributes its just-before degree to the assortativity delta
+  //   dP = sum_{w in N(u)} d(w) + sum_{w in N(v)} d(w) + (du+1)(dv+1),
+  // and live common neighbors close new triangles.
+  const std::vector<NodeId>& nu = neighbors_[u];
+  const std::vector<std::uint32_t>& tu = tags_[u];
+  const std::vector<NodeId>& nv = neighbors_[v];
+  const std::vector<std::uint32_t>& tv = tags_[v];
+  std::uint64_t sum = 0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      if (tu[i] < seq) sum += degreeBefore(nu[i], seq);
+      ++i;
+    } else if (nv[j] < nu[i]) {
+      if (tv[j] < seq) sum += degreeBefore(nv[j], seq);
+      ++j;
+    } else {
+      const bool liveU = tu[i] < seq;
+      const bool liveV = tv[j] < seq;
+      if (liveU) sum += degreeBefore(nu[i], seq);
+      if (liveV) sum += degreeBefore(nv[j], seq);
+      if (liveU && liveV) commons.push_back(nu[i]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < nu.size(); ++i) {
+    if (tu[i] < seq) sum += degreeBefore(nu[i], seq);
+  }
+  for (; j < nv.size(); ++j) {
+    if (tv[j] < seq) sum += degreeBefore(nv[j], seq);
+  }
+  const std::uint64_t du1 = std::uint64_t{degreeBefore(u, seq)} + 1;
+  const std::uint64_t dv1 = std::uint64_t{degreeBefore(v, seq)} + 1;
+  return sum + du1 * dv1;
+}
+
+std::uint32_t IncrementalMetricsEngine::findRoot(NodeId node) const {
+  std::uint32_t root = node;
+  while (parent_[root] != root) root = parent_[root];
+  std::uint32_t current = node;
+  while (parent_[current] != root) {
+    const std::uint32_t next = parent_[current];
+    parent_[current] = root;
+    current = next;
+  }
+  return root;
+}
+
+void IncrementalMetricsEngine::unionNodes(NodeId u, NodeId v) {
+  std::uint32_t a = findRoot(u);
+  std::uint32_t b = findRoot(v);
+  if (a == b) return;
+  if (unionSize_[a] < unionSize_[b]) std::swap(a, b);
+  parent_[b] = a;
+  unionSize_[a] += unionSize_[b];
+  --componentCount_;
+}
+
+double IncrementalMetricsEngine::averageDegree() const {
+  if (nodeCount() == 0) return 0.0;
+  // Mirrors degreeStats: totalDegree / nodeCount, both via size_t.
+  return static_cast<double>(2 * edges_) /
+         static_cast<double>(nodeCount());
+}
+
+double IncrementalMetricsEngine::degreeAssortativity() const {
+  if (edges_ == 0) return 0.0;
+  // The batch kernel's double sums are sums of integers (product) and
+  // half-integers (mean, square) — exact below 2^52 — so converting the
+  // integer statistics here reproduces them bit-for-bit, and the shared
+  // finisher performs the identical final arithmetic.
+  AssortativitySums sums;
+  sums.product = static_cast<double>(sumEdgeProducts_);
+  sums.mean = 0.5 * static_cast<double>(sumDegreeSquares_);
+  sums.square = 0.5 * static_cast<double>(sumDegreeCubes_);
+  return assortativityFromSums(sums, static_cast<double>(edges_));
+}
+
+double IncrementalMetricsEngine::localCoefficient(NodeId node) const {
+  const std::size_t d = neighbors_[node].size();
+  if (d < 2) return 0.0;
+  // 2*tri equals the batch closedWedges count (each neighbor-neighbor
+  // edge seen once per orientation); the arithmetic below matches
+  // localClustering operation for operation.
+  const double possible =
+      static_cast<double>(d) * static_cast<double>(d - 1);
+  return static_cast<double>(2 * tri_[node]) / possible;
+}
+
+double IncrementalMetricsEngine::meanCoefficient(const std::size_t* nodes,
+                                                 std::size_t count,
+                                                 std::size_t grain) const {
+  if (count == 0) return 0.0;
+  const double total = parallelReduce(
+      std::size_t{0}, count, grain, 0.0,
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t) {
+        double partial = 0.0;
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          const auto node =
+              static_cast<NodeId>(nodes == nullptr ? i : nodes[i]);
+          partial += localCoefficient(node);
+        }
+        return partial;
+      },
+      [](double accumulator, double partial) { return accumulator + partial; });
+  return total / static_cast<double>(count);
+}
+
+double IncrementalMetricsEngine::averageClustering() const {
+  return meanCoefficient(nullptr, nodeCount(), kClusteringNodeSweepGrain);
+}
+
+double IncrementalMetricsEngine::sampledAverageClustering(std::size_t samples,
+                                                          Rng& rng) const {
+  MSD_TRACE_SCOPE("incr.metric.clustering");
+  const std::size_t n = nodeCount();
+  if (n == 0) return 0.0;
+  // Full coverage bypasses the sampler without consuming draws, exactly
+  // like the batch overload.
+  if (samples >= n) return averageClustering();
+  const std::vector<std::size_t> picks = rng.sampleIndices(n, samples);
+  return meanCoefficient(picks.data(), picks.size(), kClusteringSampleGrain);
+}
+
+std::size_t IncrementalMetricsEngine::largestComponentSize() const {
+  std::size_t best = 0;
+  for (NodeId node = 0; node < nodeCount(); ++node) {
+    const std::uint32_t root = findRoot(node);
+    if (unionSize_[root] > best) best = unionSize_[root];
+  }
+  return best;
+}
+
+std::vector<std::size_t> IncrementalMetricsEngine::componentSizes() const {
+  // First-encounter order over ascending node ids == ascending minimum
+  // node id == the batch component numbering.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(componentCount_);
+  std::vector<std::uint8_t> seen(parent_.size(), 0);
+  for (NodeId node = 0; node < nodeCount(); ++node) {
+    const std::uint32_t root = findRoot(node);
+    if (seen[root] == 0) {
+      seen[root] = 1;
+      sizes.push_back(unionSize_[root]);
+    }
+  }
+  return sizes;
+}
+
+std::vector<std::size_t> IncrementalMetricsEngine::degreeDistribution()
+    const {
+  return degreeHist_;
+}
+
+void IncrementalMetricsEngine::bfsFrom(NodeId source,
+                                       BfsScratch& scratch) const {
+  const std::size_t n = nodeCount();
+  if (scratch.dist.size() < n) {
+    scratch.dist.resize(n, 0);
+    scratch.stamp.resize(n, 0);
+  }
+  // Epoch stamping replaces the O(n) distance reset per source; on the
+  // (astronomically rare) wrap the stamps are cleared once.
+  if (scratch.epoch == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.epoch = 0;
+  }
+  ++scratch.epoch;
+  scratch.frontier.clear();
+  scratch.dist[source] = 0;
+  scratch.stamp[source] = scratch.epoch;
+  scratch.frontier.push_back(source);
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const NodeId node = scratch.frontier[head];
+    const std::uint32_t next = scratch.dist[node] + 1;
+    for (NodeId neighbor : neighbors_[node]) {
+      if (scratch.stamp[neighbor] != scratch.epoch) {
+        scratch.stamp[neighbor] = scratch.epoch;
+        scratch.dist[neighbor] = next;
+        scratch.frontier.push_back(neighbor);
+      }
+    }
+  }
+}
+
+double IncrementalMetricsEngine::sampledAveragePathLength(std::size_t samples,
+                                                          Rng& rng) const {
+  MSD_TRACE_SCOPE("incr.paths.sampled_average");
+  if (edges_ == 0) return 0.0;
+
+  // Largest component, ties to the smallest minimum node id — the
+  // ascending scan with a strict comparison reproduces the batch
+  // Components::largest() choice. Path compression inside findRoot makes
+  // the two passes nearly linear.
+  const std::size_t n = nodeCount();
+  std::uint32_t bestRoot = 0;
+  std::size_t bestSize = 0;
+  for (NodeId node = 0; node < n; ++node) {
+    const std::uint32_t root = findRoot(node);
+    if (unionSize_[root] > bestSize) {
+      bestSize = unionSize_[root];
+      bestRoot = root;
+    }
+  }
+  if (bestSize < 2) return 0.0;
+  std::vector<NodeId> coreNodes;
+  coreNodes.reserve(bestSize);
+  for (NodeId node = 0; node < n; ++node) {
+    if (findRoot(node) == bestRoot) coreNodes.push_back(node);
+  }
+
+  // Same up-front source draws as the batch estimator.
+  const std::vector<std::size_t> picks =
+      rng.sampleIndices(coreNodes.size(), samples);
+
+  const std::size_t workers = ThreadPool::shared().workerCount();
+  if (bfsScratch_.size() < workers) bfsScratch_.resize(workers);
+
+  // One BFS source per chunk; partial (sum, pairs) combined in pick
+  // order. Distances are integers, so the double accumulation is exact
+  // and the result is bit-identical to the batch path at any thread
+  // count.
+  struct Partial {
+    double total = 0.0;
+    std::size_t pairs = 0;
+  };
+  const Partial result = parallelReduce(
+      std::size_t{0}, picks.size(), std::size_t{1}, Partial{},
+      [&](std::size_t chunkBegin, std::size_t chunkEnd, std::size_t worker) {
+        Partial partial;
+        std::uint64_t expansions = 0;
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          const NodeId source = coreNodes[picks[i]];
+          BfsScratch& scratch = bfsScratch_[worker];
+          {
+            MSD_HISTOGRAM_SCOPE_NS("incr.bfs.source_ns");
+            bfsFrom(source, scratch);
+          }
+          expansions += scratch.frontier.size();
+          for (NodeId node : coreNodes) {
+            if (node == source) continue;
+            // Every same-component node is reachable by construction.
+            partial.total += static_cast<double>(scratch.dist[node]);
+            ++partial.pairs;
+          }
+        }
+        MSD_COUNTER_ADD("incr.bfs.sources", chunkEnd - chunkBegin);
+        MSD_COUNTER_ADD("incr.bfs.expansions", expansions);
+        return partial;
+      },
+      [](Partial accumulator, Partial partial) {
+        accumulator.total += partial.total;
+        accumulator.pairs += partial.pairs;
+        return accumulator;
+      });
+  return result.pairs == 0
+             ? 0.0
+             : result.total / static_cast<double>(result.pairs);
+}
+
+}  // namespace msd

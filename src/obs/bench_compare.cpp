@@ -129,6 +129,20 @@ std::vector<std::string> validateBenchJson(const Json& json) {
       }
     }
   }
+  // The "mem" section is optional (reports from platforms without a
+  // high-water mark omit it) but must be well-formed when present.
+  if (const Json* mem = json.find("mem")) {
+    if (!mem->isObject()) {
+      problems.push_back("\"mem\" must be an object");
+    } else {
+      const Json* peak = mem->find("high_water_bytes");
+      if (peak == nullptr || !peak->isInt()) {
+        problems.push_back("mem.high_water_bytes must be an integer");
+      } else if (peak->intValue() < 0) {
+        problems.push_back("mem.high_water_bytes must be non-negative");
+      }
+    }
+  }
   return problems;
 }
 
@@ -163,6 +177,10 @@ BenchRun parseBenchRun(const Json& json) {
   }
   if (const Json* manifest = json.find("run")) {
     run.manifest = parseManifest(*manifest, "run");
+  }
+  if (const Json* mem = json.find("mem")) {
+    run.memHighWaterBytes =
+        static_cast<std::uint64_t>(mem->find("high_water_bytes")->intValue());
   }
   return run;
 }
@@ -299,6 +317,21 @@ CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
            manifestMismatches(*oldRun->manifest, *newRun.manifest)) {
         report.manifestMismatches.push_back(name + ": " + mismatch);
       }
+    }
+
+    if (oldRun->memHighWaterBytes && newRun.memHighWaterBytes) {
+      MemEntry entry;
+      entry.benchmark = name;
+      entry.oldBytes = *oldRun->memHighWaterBytes;
+      entry.newBytes = *newRun.memHighWaterBytes;
+      if (entry.oldBytes > 0) {
+        entry.relChange = (static_cast<double>(entry.newBytes) -
+                           static_cast<double>(entry.oldBytes)) /
+                          static_cast<double>(entry.oldBytes);
+      } else {
+        entry.relChange = entry.newBytes > 0 ? 1.0 : 0.0;
+      }
+      report.mem.push_back(std::move(entry));
     }
 
     for (const auto& [counter, oldValue] : oldRun->counters) {

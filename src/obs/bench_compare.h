@@ -14,7 +14,8 @@
 //       { "name": "total", "samples": 3,
 //         "wall_ms": { "median": 41.2, "p10": 40.8, "p90": 44.0 } }
 //     ],
-//     "counters": { "gen.edges": 12345, ... }
+//     "counters": { "gen.edges": 12345, ... },
+//     "mem": { "high_water_bytes": 123456789 }  // optional peak RSS
 //   }
 //
 // The tools/bench_compare binary is a thin front end over these
@@ -52,6 +53,9 @@ struct BenchRun {
   /// Run-provenance manifest ("run" section); absent in pre-manifest
   /// reports, which stay loadable and compare as legacy documents.
   std::optional<RunManifest> manifest;
+  /// Peak process RSS at report time ("mem" section); optional, and
+  /// informational in comparisons — see CompareReport::mem.
+  std::optional<std::uint64_t> memHighWaterBytes;
 };
 
 /// Schema check: returns a list of human-readable problems (empty when
@@ -96,6 +100,17 @@ struct CounterDriftEntry {
   bool drift = false;
 };
 
+/// Peak-RSS comparison for one benchmark present in both sets. Never
+/// gated: peak RSS depends on allocator behavior and phase order, so it
+/// is reported for trend-watching only.
+struct MemEntry {
+  std::string benchmark;
+  std::uint64_t oldBytes = 0;
+  std::uint64_t newBytes = 0;
+  /// (new - old) / old; 0 when both are 0, ±1 when only old is 0.
+  double relChange = 0.0;
+};
+
 struct CompareOptions {
   /// Relative median wall-time growth that counts as a regression
   /// (0.10 = 10%). Improvements of any size pass.
@@ -124,6 +139,9 @@ struct CompareReport {
   /// excluded); gated like drift when a counter threshold is set.
   std::vector<std::string> counterMissing;
   std::vector<std::string> counterAdded;
+  /// Peak-RSS deltas for benchmarks with a "mem" section on both sides;
+  /// informational only, never sets anyRegression/anyCounterDrift.
+  std::vector<MemEntry> mem;
   /// Provenance mismatches between runs of the same benchmark
   /// ("fig1_network_metrics: threads: 2 vs 8"). A manifest present on
   /// only one side is itself a mismatch; absent on both sides compares

@@ -1,0 +1,68 @@
+#include "obs/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/counters.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace msd::obs {
+namespace {
+
+#if defined(__linux__)
+/// VmHWM ("high-water mark") from /proc/self/status, in bytes; 0 when the
+/// file or the field is unavailable. Reported by the kernel in kB.
+std::uint64_t linuxVmHwmBytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  std::uint64_t bytes = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+      bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(status);
+  return bytes;
+}
+#endif
+
+/// ru_maxrss fallback: kB on Linux/BSD, bytes on Apple.
+std::uint64_t rusagePeakBytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0 || usage.ru_maxrss < 0) return 0;
+  const auto raw = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  return raw;
+#else
+  return raw * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t processPeakRssBytes() {
+#if defined(__linux__)
+  const std::uint64_t fromProc = linuxVmHwmBytes();
+  if (fromProc != 0) return fromProc;
+#endif
+  return rusagePeakBytes();
+}
+
+void updateMemoryGauges() {
+  const std::uint64_t peak = processPeakRssBytes();
+  if (peak == 0) return;
+  MSD_GAUGE_SET("mem.high_water_bytes", peak);
+}
+
+}  // namespace msd::obs

@@ -1,0 +1,27 @@
+#pragma once
+
+// Process memory observability: peak resident set size, exported as the
+// "mem.high_water_bytes" gauge.
+//
+// The high-water mark is a kernel-maintained monotone of the whole
+// process, so it is sampled (not accumulated): call updateMemoryGauges()
+// right before emitting an artifact (bench report, obs snapshot) and the
+// gauge holds the peak up to that point. Reading it never affects
+// computation, keeping instrumented runs bit-identical to uninstrumented
+// ones — same contract as every other obs metric.
+
+#include <cstdint>
+
+namespace msd::obs {
+
+/// Peak resident set size of the calling process in bytes, or 0 when the
+/// platform exposes no high-water mark. Linux reads VmHWM from
+/// /proc/self/status (kB granularity); elsewhere ru_maxrss from
+/// getrusage (kB on Linux/BSD, bytes on Apple).
+std::uint64_t processPeakRssBytes();
+
+/// Samples processPeakRssBytes() into the "mem.high_water_bytes" gauge
+/// (no-op under MSD_OBS_DISABLED, and when the platform reports 0).
+void updateMemoryGauges();
+
+}  // namespace msd::obs

@@ -333,6 +333,61 @@ TEST(BenchCompareTest, ZeroCounterThresholdDemandsExactEquality) {
                   .anyCounterDrift);
 }
 
+obs::Json withMem(obs::Json doc, std::uint64_t bytes) {
+  obs::Json mem = obs::Json::object();
+  mem.set("high_water_bytes", bytes);
+  doc.set("mem", std::move(mem));
+  return doc;
+}
+
+TEST(BenchCompareTest, MemSectionIsOptionalValidatedAndParsed) {
+  // Absent: valid, parses to nullopt (pre-mem reports stay loadable).
+  const obs::Json plain = validDoc("fig1", "total", 10.0);
+  EXPECT_TRUE(obs::validateBenchJson(plain).empty());
+  EXPECT_FALSE(obs::parseBenchRun(plain).memHighWaterBytes.has_value());
+
+  // Present and well-formed: parses to the byte count.
+  const obs::Json doc = withMem(validDoc("fig1", "total", 10.0), 123456789);
+  EXPECT_TRUE(obs::validateBenchJson(doc).empty());
+  const obs::BenchRun run = obs::parseBenchRun(doc);
+  ASSERT_TRUE(run.memHighWaterBytes.has_value());
+  EXPECT_EQ(*run.memHighWaterBytes, 123456789u);
+
+  // Malformed shapes are flagged.
+  obs::Json notObject = validDoc("fig1", "total", 10.0);
+  notObject.set("mem", obs::Json::array());
+  EXPECT_FALSE(obs::validateBenchJson(notObject).empty());
+  obs::Json missingField = validDoc("fig1", "total", 10.0);
+  missingField.set("mem", obs::Json::object());
+  EXPECT_FALSE(obs::validateBenchJson(missingField).empty());
+}
+
+TEST(BenchCompareTest, MemDeltasAreInformationalOnly) {
+  const auto oldRuns = std::vector<obs::BenchRun>{
+      obs::parseBenchRun(withMem(validDoc("fig1", "total", 10.0), 1000))};
+  const auto newRuns = std::vector<obs::BenchRun>{
+      obs::parseBenchRun(withMem(validDoc("fig1", "total", 10.0), 1500))};
+  obs::CompareOptions options;
+  options.counterThreshold = 0.0;  // strictest gating everywhere else
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, options);
+  ASSERT_EQ(report.mem.size(), 1u);
+  EXPECT_EQ(report.mem[0].benchmark, "fig1");
+  EXPECT_EQ(report.mem[0].oldBytes, 1000u);
+  EXPECT_EQ(report.mem[0].newBytes, 1500u);
+  EXPECT_NEAR(report.mem[0].relChange, 0.5, 1e-12);
+  // A +50% RSS change never gates: mem is trend data, not a correctness
+  // signal.
+  EXPECT_FALSE(report.anyRegression);
+  EXPECT_FALSE(report.anyCounterDrift);
+
+  // One-sided mem (old report predates the section): no entry, no gate.
+  const auto legacyOld =
+      std::vector<obs::BenchRun>{makeRun("fig1", "total", 10.0)};
+  EXPECT_TRUE(
+      obs::compareBenchRuns(legacyOld, newRuns, options).mem.empty());
+}
+
 TEST(BenchCompareTest, IgnoredPrefixesAndMissingCounters) {
   obs::Json oldDoc = validDoc("fig1", "total", 10.0);
   obs::Json oldCounters = obs::Json::object();

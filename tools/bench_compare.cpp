@@ -101,6 +101,15 @@ int runCompare(const std::string& oldPath, const std::string& newPath,
                 static_cast<unsigned long long>(entry.newValue),
                 entry.relChange * 100.0);
   }
+  for (const msd::obs::MemEntry& entry : report.mem) {
+    // Peak RSS is never gated (allocator- and phase-order-dependent);
+    // print it for trend-watching whenever both sides report one.
+    std::printf("note mem %s/high_water_bytes: %llu -> %llu (%+.1f%%)\n",
+                entry.benchmark.c_str(),
+                static_cast<unsigned long long>(entry.oldBytes),
+                static_cast<unsigned long long>(entry.newBytes),
+                entry.relChange * 100.0);
+  }
   for (const std::string& key : report.added) {
     std::printf("new %s (no baseline)\n", key.c_str());
   }

@@ -35,6 +35,7 @@
 #include "metrics/paths.h"
 #include "obs/events.h"
 #include "obs/manifest.h"
+#include "obs/mem.h"
 #include "obs/registry.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -345,6 +346,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "msdyn %s: %s\n", command.c_str(), error.what());
     status = 1;
   }
+  // Sample the process memory high-water mark so every obs artifact the
+  // CLI writes reports it alongside the counters.
+  obs::updateMemoryGauges();
   if (traceJson != nullptr) {
     try {
       obs::writeSnapshotFile(traceJson);
