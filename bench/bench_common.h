@@ -25,6 +25,7 @@
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/mem.h"
+#include "scenario/scenario.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/time_series.h"
@@ -38,6 +39,10 @@ struct Options {
   std::string outDir = "bench_out";
   bool exportCsv = true;
   std::size_t reps = 1;  ///< timed repetitions per measured phase
+  /// Named workload from the scenario registry (src/scenario). The
+  /// default preset has no overrides, so every bench reproduces the
+  /// paper trajectory unless --scenario says otherwise.
+  std::string scenario = "renren-baseline";
 };
 
 inline Options parseOptions(int argc, char** argv) {
@@ -58,12 +63,14 @@ inline Options parseOptions(int argc, char** argv) {
       options.outDir = v;
     } else if (const char* v = value("--reps")) {
       options.reps = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--scenario")) {
+      options.scenario = v;
     } else if (arg == "--no-csv") {
       options.exportCsv = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--seed=N] [--scale=renren|community|tiny] "
-          "[--out=DIR] [--reps=N] [--no-csv]\n",
+          "[--scenario=NAME] [--out=DIR] [--reps=N] [--no-csv]\n",
           argv[0]);
       std::exit(0);
     }
@@ -78,11 +85,9 @@ inline Options parseOptions(int argc, char** argv) {
 }
 
 inline GeneratorConfig configFor(const Options& options) {
-  if (options.scale == "tiny") return GeneratorConfig::tiny(options.seed);
-  if (options.scale == "community") {
-    return GeneratorConfig::communityScale(options.seed);
-  }
-  return GeneratorConfig::renren(options.seed);
+  return scenario::configFor(options.scenario,
+                             scenario::parseScale(options.scale),
+                             options.seed);
 }
 
 /// Generates (and caches on disk, keyed by scale+seed) the synthetic
@@ -96,9 +101,14 @@ inline EventStream makeTrace(const Options& options) {
   // Bump kTraceCacheVersion whenever the generator's behavior changes;
   // stale caches would otherwise silently pin old dynamics.
   constexpr int kTraceCacheVersion = 2;
+  // The default scenario keeps the historical cache name, so existing
+  // caches stay valid; other presets get their own cache entry.
+  const std::string scenarioTag =
+      options.scenario == "renren-baseline" ? "" : "_" + options.scenario;
   const fs::path cache =
       dir / ("trace_v" + std::to_string(kTraceCacheVersion) + "_" +
-             options.scale + "_" + std::to_string(options.seed) + ".msdb");
+             options.scale + "_" + std::to_string(options.seed) +
+             scenarioTag + ".msdb");
   if (fs::exists(cache)) {
     try {
       return event_io::loadBinaryFile(cache.string());

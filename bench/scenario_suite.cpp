@@ -1,0 +1,67 @@
+// Scenario suite bench: runs every named preset in the scenario
+// registry (src/scenario) through the full generate + report pipeline,
+// timing both phases per preset, then evaluates each preset's
+// qualitative claims the same way `msdyn scenario run` does. The
+// emitted BENCH_scenario_suite.json participates in the committed
+// counter baseline, so a generator change that silently alters any
+// scenario's event mix shows up as counter drift here even before the
+// golden test runs.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/trace_generator.h"
+#include "scenario/assertions.h"
+#include "scenario/scenario.h"
+#include "util/stopwatch.h"
+
+using namespace msd;
+using namespace msd::bench;
+
+int main(int argc, char** argv) {
+  const Options options = parseOptions(argc, argv);
+  const scenario::Scale scale = scenario::parseScale(options.scale);
+  Stopwatch watch;
+  BenchReport report(options, "scenario_suite");
+
+  section("scenario suite (" + options.scale + ", seed=" +
+          std::to_string(options.seed) + ")");
+  std::map<std::string, scenario::ScenarioReport> reports;
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    const GeneratorConfig config =
+        scenario::configFor(preset, scale, options.seed);
+    EventStream stream;
+    report.timed(preset.name + "/generate", [&] {
+      TraceGenerator generator(config);
+      stream = generator.generate();
+    });
+    scenario::ScenarioReport measured;
+    report.timed(preset.name + "/report", [&] {
+      measured = scenario::computeReport(stream, config);
+    });
+    std::printf("  %-18s %7zu nodes %8zu edges\n", preset.name.c_str(),
+                stream.nodeCount(), stream.edgeCount());
+    reports.emplace(preset.name, std::move(measured));
+  }
+
+  section("qualitative claims");
+  std::size_t failed = 0;
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    for (const scenario::ScenarioExpectation& expectation :
+         preset.expectations) {
+      const scenario::ExpectationOutcome outcome = scenario::evaluate(
+          expectation, reports.at(preset.name), reports);
+      if (!outcome.passed) ++failed;
+      std::printf("  %-18s %s\n", preset.name.c_str(),
+                  outcome.text.c_str());
+    }
+  }
+
+  report.write();
+  std::printf("\n[scenario_suite] %zu claim failure(s), total %.1fs\n",
+              failed, watch.seconds());
+  return failed == 0 ? 0 : 1;
+}

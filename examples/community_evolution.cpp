@@ -7,12 +7,14 @@
 
 #include "analysis/community_analysis.h"
 #include "gen/trace_generator.h"
+#include "scenario/scenario.h"
 #include "util/stats.h"
 
 using namespace msd;
 
 int main() {
-  TraceGenerator generator(GeneratorConfig::tiny(/*seed=*/11));
+  TraceGenerator generator(
+      scenario::baseConfig(scenario::Scale::kTiny, /*seed=*/11));
   const EventStream trace = generator.generate();
   std::printf("trace: %zu users, %zu friendships\n", trace.nodeCount(),
               trace.edgeCount());

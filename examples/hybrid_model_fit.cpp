@@ -17,6 +17,7 @@
 #include "analysis/pref_attach.h"
 #include "gen/baselines.h"
 #include "gen/trace_generator.h"
+#include "scenario/scenario.h"
 
 using namespace msd;
 
@@ -49,7 +50,8 @@ TimeSeries measureAlpha(const EventStream& stream) {
 
 int main() {
   // 1. "Observed data": a small multi-scale trace.
-  GeneratorConfig observedConfig = GeneratorConfig::tiny(/*seed=*/21);
+  GeneratorConfig observedConfig =
+      scenario::baseConfig(scenario::Scale::kTiny, /*seed=*/21);
   observedConfig.days = 150.0;
   observedConfig.merge.enabled = false;
   observedConfig.arrival = {4.0, 0.03, 100.0};

@@ -7,11 +7,13 @@
 
 #include "analysis/merge_analysis.h"
 #include "gen/trace_generator.h"
+#include "scenario/scenario.h"
 
 using namespace msd;
 
 int main() {
-  GeneratorConfig generatorConfig = GeneratorConfig::tiny(/*seed=*/5);
+  GeneratorConfig generatorConfig =
+      scenario::baseConfig(scenario::Scale::kTiny, /*seed=*/5);
   TraceGenerator generator(generatorConfig);
   const EventStream trace = generator.generate();
 

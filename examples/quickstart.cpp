@@ -15,13 +15,17 @@
 #include "metrics/components.h"
 #include "metrics/degree.h"
 #include "metrics/paths.h"
+#include "scenario/scenario.h"
 #include "util/rng.h"
 
 using namespace msd;
 
 int main() {
   // 1. Generate a ~100-day Renren-analog trace (deterministic by seed).
-  TraceGenerator generator(GeneratorConfig::tiny(/*seed=*/42));
+  // baseConfig is the shared scenario-registry entry point that the
+  // benches and `msdyn scenario` use too.
+  TraceGenerator generator(
+      scenario::baseConfig(scenario::Scale::kTiny, /*seed=*/42));
   const EventStream trace = generator.generate();
   std::printf("trace: %zu users, %zu friendships, %.0f days\n",
               trace.nodeCount(), trace.edgeCount(), trace.lastTime());

@@ -9,6 +9,7 @@
 #include "gen/trace_generator.h"
 #include "io/csv.h"
 #include "io/event_io.h"
+#include "scenario/scenario.h"
 
 using namespace msd;
 
@@ -17,7 +18,8 @@ int main() {
   const fs::path dir = fs::temp_directory_path() / "msdyn_example";
   fs::create_directories(dir);
 
-  TraceGenerator generator(GeneratorConfig::tiny(/*seed=*/3));
+  TraceGenerator generator(
+      scenario::baseConfig(scenario::Scale::kTiny, /*seed=*/3));
   const EventStream trace = generator.generate();
   std::printf("generated %zu events\n", trace.size());
 

@@ -1,7 +1,10 @@
 #include "analysis/growth.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "util/error.h"
 
 namespace msd {
 
@@ -46,6 +49,34 @@ GrowthSeries analyzeGrowth(const EventStream& stream) {
                                        static_cast<double>(edgesPerDay[day]) /
                                        static_cast<double>(previousEdges));
     }
+  }
+  return series;
+}
+
+TimeSeries analyzeActiveUsers(const EventStream& stream, double window,
+                              double every) {
+  require(window > 0.0, "analyzeActiveUsers: window must be positive");
+  require(every > 0.0, "analyzeActiveUsers: probe spacing must be positive");
+  TimeSeries series("active_users");
+  if (stream.empty() || stream.lastTime() < window) return series;
+
+  // Per-user chronological edge-event times (events arrive time-sorted,
+  // so each per-user list is sorted by construction).
+  std::vector<std::vector<double>> edgeTimes(stream.nodeCount());
+  for (const Event& event : stream.events()) {
+    if (event.kind != EventKind::kEdgeAdd) continue;
+    edgeTimes[event.u].push_back(event.time);
+    edgeTimes[event.v].push_back(event.time);
+  }
+
+  for (double probe = 0.0; probe + window <= stream.lastTime();
+       probe += every) {
+    std::size_t active = 0;
+    for (const std::vector<double>& times : edgeTimes) {
+      const auto it = std::lower_bound(times.begin(), times.end(), probe);
+      if (it != times.end() && *it < probe + window) ++active;
+    }
+    series.add(probe, static_cast<double>(active));
   }
   return series;
 }

@@ -18,4 +18,15 @@ struct GrowthSeries {
 /// Bins a trace's events by integer day and derives the growth series.
 GrowthSeries analyzeGrowth(const EventStream& stream);
 
+/// Sliding-window active-user series: the value at probe day d is the
+/// number of users that participate in at least one edge event inside
+/// [d, d + window) — the §5 notion of "active" generalized to the whole
+/// trace. Probes run every `every` days from day 0 while the window fits
+/// inside the trace; empty when it never does. Requires window > 0 and
+/// every > 0. The scenario harness uses this to detect the stagnation
+/// regime (active population shrinking), which node/edge totals — being
+/// cumulative — can never show.
+TimeSeries analyzeActiveUsers(const EventStream& stream, double window,
+                              double every = 5.0);
+
 }  // namespace msd

@@ -8,8 +8,7 @@ Calendar::Calendar(std::vector<Holiday> holidays)
     : holidays_(std::move(holidays)) {
   for (const Holiday& holiday : holidays_) {
     require(holiday.length >= 0.0, "Calendar: holiday length must be >= 0");
-    require(holiday.factor > 0.0 && holiday.factor <= 1.0,
-            "Calendar: holiday factor must be in (0, 1]");
+    require(holiday.factor > 0.0, "Calendar: holiday factor must be > 0");
   }
 }
 

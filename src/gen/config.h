@@ -7,9 +7,11 @@
 
 namespace msd {
 
-/// One calendar dip: during [startDay, startDay + length), arrivals and
-/// activity are multiplied by `factor` (< 1). Models the Lunar New Year
-/// and summer-vacation dips visible in the paper's Fig 1(a).
+/// One calendar modulation: during [startDay, startDay + length),
+/// arrivals and activity are multiplied by `factor`. Factors < 1 are the
+/// Lunar New Year and summer-vacation dips visible in the paper's
+/// Fig 1(a); factors > 1 are viral signup bursts (the flash-crowd
+/// scenario) — they amplify arrivals and suppress activity deferral.
 struct Holiday {
   double startDay = 0.0;
   double length = 0.0;
@@ -94,6 +96,41 @@ struct RevivalConfig {
   double budgetAlpha = 1.5;      ///< Pareto shape of the revival budget
 };
 
+/// Background attrition independent of the merge script: every day after
+/// `startFraction * days`, an expected `dailyFraction` share of the
+/// active population permanently stops initiating and receiving edges.
+/// Off by default (0) — the Renren trace loses users only through the
+/// merge's duplicate discard and post-merge churn. The stagnation-churn
+/// scenario turns this on to model the decay regime of Hu & Wang's
+/// "Evolution of a large online social network" (sigmoidal growth, then
+/// stagnation and decline), under which several paper claims invert.
+struct ChurnConfig {
+  double dailyFraction = 0.0;  ///< expected quitting share of actives/day
+  double startFraction = 0.0;  ///< first churn day, as a fraction of days
+};
+
+/// Bot cohort that joins during a configured window and friends
+/// uniformly random targets, ignoring degree, groups, and triadic
+/// closure. Off by default (0). While the cohort is active the measured
+/// pe(d) flattens, so the fitted preferential-attachment exponent alpha
+/// drops — the distortion the spam-burst scenario asserts on. The
+/// default budget keeps individual bots LOW degree: the Fig 3 estimator
+/// attributes each edge to its higher-degree endpoint, so a few
+/// high-degree bots would register as extra preferential mass, while a
+/// swarm of low-degree bots pushes probability mass onto the flat
+/// uniform-target side and drags alpha down.
+struct SpamConfig {
+  /// Bot arrivals per day as a multiple of the organic arrival rate
+  /// (0 disables the cohort entirely — no extra RNG draws).
+  double arrivalMultiple = 0.0;
+  double startFraction = 0.5;   ///< window start, as a fraction of days
+  double lengthFraction = 0.1;  ///< window length, as a fraction of days
+  double budgetMin = 4.0;       ///< Pareto minimum of a bot's edge budget
+  double budgetAlpha = 2.2;     ///< Pareto shape of the bot budget
+  double gapScale = 0.05;       ///< bots fire at this fraction of the
+                                ///< organic inter-edge gap
+};
+
 /// The OSN-merge script (Sec 5). The second network is generated
 /// independently (its own arrival/activity scale), imported wholesale on
 /// `mergeDay`, duplicates go silent, and surviving pre-merge users get a
@@ -134,6 +171,15 @@ struct MergeConfig {
   /// rate (Fig 8(a)/(b)).
   double churnDailyMain = 0.0004;
   double churnDailySecond = 0.0008;
+  /// Recurring merges (the repeated-merge scenario): after the first
+  /// import, repeat the whole Sec 5 script `repeatCount` more times,
+  /// spaced `repeatSpacingFraction * (days - mergeDay)` days apart
+  /// (merges landing past the end of the trace are dropped). Each repeat
+  /// imports a fresh independently generated second network; the
+  /// internal/external bias decay restarts from the latest merge day.
+  /// 0 keeps the paper's single-merge history.
+  int repeatCount = 0;
+  double repeatSpacingFraction = 0.25;
 };
 
 /// Full generator configuration.
@@ -146,6 +192,8 @@ struct GeneratorConfig {
   GroupConfig groups{};
   RevivalConfig revival{};
   MergeConfig merge{};
+  ChurnConfig churn{};
+  SpamConfig spam{};
   std::vector<Holiday> holidays = defaultHolidays();
 
   /// The paper's real-world calendar dips mapped onto trace days:

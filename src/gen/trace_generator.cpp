@@ -28,6 +28,25 @@ TraceGenerator::TraceGenerator(GeneratorConfig config)
   require(config_.days > 0.0, "TraceGenerator: days must be positive");
   require(!config_.merge.enabled || config_.merge.mergeDay < config_.days,
           "TraceGenerator: merge day must fall inside the trace");
+  require(config_.merge.repeatCount >= 0,
+          "TraceGenerator: merge repeat count must be non-negative");
+  require(config_.churn.dailyFraction >= 0.0 &&
+              config_.churn.dailyFraction < 1.0,
+          "TraceGenerator: churn daily fraction must be in [0, 1)");
+  require(config_.spam.arrivalMultiple >= 0.0,
+          "TraceGenerator: spam arrival multiple must be non-negative");
+  if (config_.merge.enabled) {
+    mergeDays_.push_back(config_.merge.mergeDay);
+    const double spacing = config_.merge.repeatSpacingFraction *
+                           (config_.days - config_.merge.mergeDay);
+    for (int repeat = 1; repeat <= config_.merge.repeatCount; ++repeat) {
+      const double day = config_.merge.mergeDay + spacing * repeat;
+      // Repeats need at least a day of post-merge history to matter.
+      if (day < config_.days - 1.0 && day > mergeDays_.back()) {
+        mergeDays_.push_back(day);
+      }
+    }
+  }
 }
 
 double TraceGenerator::arrivalRate(double day) const {
@@ -49,25 +68,37 @@ GroupId TraceGenerator::chooseGroup() {
   return group == kNoGroup ? population_.createGroup() : group;
 }
 
-NodeId TraceGenerator::spawnNode(double t, Origin origin) {
+NodeId TraceGenerator::spawnNode(double t, Origin origin, bool isBot) {
   MSD_COUNTER_ADD("gen.nodes", 1);
-  const GroupId group = chooseGroup();
+  // Bots carry no homophily group: they are throwaway accounts, not
+  // schoolmates, and skipping chooseGroup keeps the organic RNG draw
+  // sequence untouched when the cohort is disabled.
+  const GroupId group = isBot ? kNoGroup : chooseGroup();
   const NodeId id = stream_.appendNodeJoin(t, origin, group);
   graph_.addNode();
   degree_.push_back(0);
   population_.addNode(id, origin, group);
+  bots_.push_back(isBot ? 1 : 0);
 
   NodeSim sim;
   const ActivityConfig& activity = config_.activity;
-  // Community reinforcement: larger groups energize their members.
-  const double boost =
-      1.0 + activity.groupSizeBoost *
-                std::log10(1.0 + static_cast<double>(
-                                     population_.groupSize(group)));
-  sim.budget = static_cast<std::uint32_t>(clampBudget(
-      boost * rng_.pareto(activity.budgetMin, activity.budgetAlpha),
-      activity.budgetCap));
-  sim.gapScale = static_cast<float>(1.0 / boost);
+  if (isBot) {
+    MSD_COUNTER_ADD("gen.bots", 1);
+    const SpamConfig& spam = config_.spam;
+    sim.budget = static_cast<std::uint32_t>(clampBudget(
+        rng_.pareto(spam.budgetMin, spam.budgetAlpha), activity.budgetCap));
+    sim.gapScale = static_cast<float>(spam.gapScale);
+  } else {
+    // Community reinforcement: larger groups energize their members.
+    const double boost =
+        1.0 + activity.groupSizeBoost *
+                  std::log10(1.0 + static_cast<double>(
+                                       population_.groupSize(group)));
+    sim.budget = static_cast<std::uint32_t>(clampBudget(
+        boost * rng_.pareto(activity.budgetMin, activity.budgetAlpha),
+        activity.budgetCap));
+    sim.gapScale = static_cast<float>(1.0 / boost);
+  }
   sims_.push_back(sim);
 
   Action action;
@@ -133,7 +164,7 @@ Origin TraceGenerator::chooseTargetClass(NodeId node, double t) {
 
   const Origin origin = population_.originOf(node);
   const MergeConfig& merge = config_.merge;
-  const double sinceMerge = std::max(0.0, t - merge.mergeDay);
+  const double sinceMerge = std::max(0.0, t - lastMergeDay_);
   const double decay = std::exp(-sinceMerge / merge.biasDecayDays);
 
   double weightMain = 0.0, weightSecond = 0.0, weightNew = 0.0;
@@ -186,6 +217,18 @@ Origin TraceGenerator::chooseTargetClass(NodeId node, double t) {
 
 NodeId TraceGenerator::chooseDestination(NodeId node, double t) {
   const AttachmentConfig& attachment = config_.attachment;
+  if (bots_[node] != 0) {
+    // Bots ignore every kernel the organic model uses — no triadic
+    // closure, no homophily, no preferential attachment. A uniformly
+    // random active target flattens the measured pe(d), which is exactly
+    // the alpha distortion the spam-burst scenario asserts on.
+    for (int attempt = 0; attempt < kDestinationAttempts; ++attempt) {
+      const NodeId candidate =
+          population_.sampleUniform(chooseTargetClass(node, t), rng_);
+      if (acceptable(node, candidate)) return candidate;
+    }
+    return kInvalidNode;
+  }
   for (int attempt = 0; attempt < kDestinationAttempts; ++attempt) {
     const Origin targetClass = chooseTargetClass(node, t);
     const double draw = rng_.uniform();
@@ -282,6 +325,7 @@ void TraceGenerator::importSecondNetwork(double t) {
       degree_.push_back(0);
       population_.addNode(id, Origin::kSecond, group);
       sims_.push_back(NodeSim{});  // budget refilled by the burst below
+      bots_.push_back(0);
       idMap[event.u] = id;
     } else {
       const NodeId u = idMap[event.u];
@@ -303,9 +347,13 @@ void TraceGenerator::performMerge(double t) {
 
   importSecondNetwork(t);
 
-  // Duplicate accounts fall permanently silent.
-  duplicateFlags_.assign(graph_.nodeCount(), 0);
+  // Duplicate accounts fall permanently silent. On a repeated merge the
+  // roll only covers still-active incumbents plus the fresh import —
+  // earlier flags survive the resize (at the first merge nobody is
+  // inactive yet, so this is exactly the single-merge behavior).
+  duplicateFlags_.resize(graph_.nodeCount(), 0);
   for (NodeId node = 0; node < graph_.nodeCount(); ++node) {
+    if (!population_.isActive(node)) continue;
     const bool isImported = node >= mainNodes;
     const double dropProbability = isImported
                                        ? merge.duplicateFractionSecond
@@ -339,6 +387,7 @@ void TraceGenerator::performMerge(double t) {
     action.node = node;
     heap_.push(action);
   }
+  lastMergeDay_ = t;
   merged_ = true;
 }
 
@@ -347,14 +396,18 @@ EventStream TraceGenerator::generate() {
   require(!generated_, "TraceGenerator::generate: call at most once");
   generated_ = true;
 
-  const double mergeDay =
-      config_.merge.enabled ? config_.merge.mergeDay : -1.0;
   const auto totalDays = static_cast<long>(std::ceil(config_.days));
+  const double spamStart = config_.spam.startFraction * config_.days;
+  const double spamEnd =
+      spamStart + config_.spam.lengthFraction * config_.days;
+  const double churnStart = config_.churn.startFraction * config_.days;
 
   for (long day = 0; day < totalDays; ++day) {
     const double dayStart = static_cast<double>(day);
-    if (config_.merge.enabled && !merged_ && dayStart >= mergeDay) {
+    if (nextMergeIndex_ < mergeDays_.size() &&
+        dayStart >= mergeDays_[nextMergeIndex_]) {
       performMerge(dayStart);
+      ++nextMergeIndex_;
     }
     // Spawn today's arrivals as join actions at random intra-day times.
     const double rate = arrivalRate(dayStart) * calendar_.factor(dayStart);
@@ -366,6 +419,21 @@ EventStream TraceGenerator::generate() {
       join.isJoin = true;
       join.joinOrigin = origin;
       heap_.push(join);
+    }
+    // Spam cohort: during the configured window, bot signups arrive at a
+    // multiple of the organic rate and mass-friend uniform targets.
+    if (config_.spam.arrivalMultiple > 0.0 && dayStart >= spamStart &&
+        dayStart < spamEnd) {
+      const std::uint64_t botCount =
+          rng_.poisson(config_.spam.arrivalMultiple * rate);
+      for (std::uint64_t i = 0; i < botCount; ++i) {
+        Action join;
+        join.time = dayStart + rng_.uniform();
+        join.isJoin = true;
+        join.isBot = true;
+        join.joinOrigin = origin;
+        heap_.push(join);
+      }
     }
     // Post-merge churn: pre-merge users permanently go quiet at a small
     // per-origin daily rate (the second network's users churn faster).
@@ -381,6 +449,34 @@ EventStream TraceGenerator::generate() {
           const NodeId node = population_.sampleUniform(churnOrigin, rng_);
           if (node != kInvalidNode) population_.deactivate(node);
         }
+      }
+    }
+    // Background churn (stagnation scenario): from the configured start
+    // day, a small share of the whole active population quits for good,
+    // drawn origin-proportionally so no class is singled out.
+    if (config_.churn.dailyFraction > 0.0 && dayStart >= churnStart) {
+      const double activeAll =
+          static_cast<double>(population_.activeCount(Origin::kMain) +
+                              population_.activeCount(Origin::kSecond) +
+                              population_.activeCount(Origin::kPostMerge));
+      const std::uint64_t quits =
+          rng_.poisson(config_.churn.dailyFraction * activeAll);
+      for (std::uint64_t i = 0; i < quits; ++i) {
+        const double weights[3] = {
+            static_cast<double>(population_.activeCount(Origin::kMain)),
+            static_cast<double>(population_.activeCount(Origin::kSecond)),
+            static_cast<double>(population_.activeCount(Origin::kPostMerge))};
+        const double total = weights[0] + weights[1] + weights[2];
+        if (total <= 0.0) break;
+        const double draw = rng_.uniform() * total;
+        Origin quitOrigin = Origin::kMain;
+        if (draw >= weights[0] && draw < weights[0] + weights[1]) {
+          quitOrigin = Origin::kSecond;
+        } else if (draw >= weights[0] + weights[1]) {
+          quitOrigin = Origin::kPostMerge;
+        }
+        const NodeId node = population_.sampleUniform(quitOrigin, rng_);
+        if (node != kInvalidNode) population_.deactivate(node);
       }
     }
 
@@ -459,7 +555,7 @@ EventStream TraceGenerator::generate() {
       const Action action = heap_.top();
       heap_.pop();
       if (action.isJoin) {
-        spawnNode(action.time, action.joinOrigin);
+        spawnNode(action.time, action.joinOrigin, action.isBot);
       } else {
         processAction(action);
       }

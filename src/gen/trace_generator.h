@@ -30,6 +30,11 @@ namespace msd {
 ///    re-energized, and destination-class preferences (internal /
 ///    external / new) decay toward population-proportional choice.
 ///
+/// The scenario layer (src/scenario/) stresses the same machinery with
+/// regimes beyond the Renren history, all inert by default: recurring
+/// merges (MergeConfig::repeatCount), background churn independent of the
+/// merge (ChurnConfig), and uniform-targeting bot cohorts (SpamConfig).
+///
 /// Everything is deterministic given the config seed.
 class TraceGenerator {
  public:
@@ -59,13 +64,14 @@ class TraceGenerator {
     double time = 0.0;
     NodeId node = kInvalidNode;
     bool isJoin = false;
+    bool isBot = false;
     Origin joinOrigin = Origin::kMain;
     bool operator>(const Action& other) const { return time > other.time; }
   };
 
   double arrivalRate(double day) const;
   GroupId chooseGroup();
-  NodeId spawnNode(double t, Origin origin);
+  NodeId spawnNode(double t, Origin origin, bool isBot = false);
   void scheduleNext(NodeId node, double t);
   double drawGap(const NodeSim& sim);
   void processAction(const Action& action);
@@ -88,6 +94,10 @@ class TraceGenerator {
   std::vector<NodeSim> sims_;
   std::priority_queue<Action, std::vector<Action>, std::greater<>> heap_;
   std::vector<std::uint8_t> duplicateFlags_;
+  std::vector<std::uint8_t> bots_;       // per node: spawned as a spam bot
+  std::vector<double> mergeDays_;        // full merge schedule, ascending
+  std::size_t nextMergeIndex_ = 0;       // first not-yet-performed merge
+  double lastMergeDay_ = -1.0;           // decay anchor of chooseTargetClass
   bool merged_ = false;
   bool generated_ = false;
 };

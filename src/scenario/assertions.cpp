@@ -1,0 +1,276 @@
+#include "scenario/assertions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/community_analysis.h"
+#include "analysis/growth.h"
+#include "analysis/metrics_over_time.h"
+#include "analysis/pref_attach.h"
+
+namespace msd::scenario {
+namespace {
+
+std::string formatNumber(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+double lastOrZero(const TimeSeries& series) {
+  return series.empty() ? 0.0 : series.lastValue();
+}
+
+/// Middle element of a copy (deterministic; no even-count averaging).
+double medianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+double meanOf(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double value : values) sum += value;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Integer-day bins where merge imports land: the generator performs a
+/// merge on the first whole day >= its scheduled instant, and the import
+/// stamps every join at that instant.
+std::vector<double> mergeImportBins(const GeneratorConfig& config) {
+  std::vector<double> bins;
+  if (!config.merge.enabled) return bins;
+  bins.push_back(std::ceil(config.merge.mergeDay));
+  const double spacing = config.merge.repeatSpacingFraction *
+                         (config.days - config.merge.mergeDay);
+  for (int k = 1; k <= config.merge.repeatCount; ++k) {
+    const double day = config.merge.mergeDay + spacing * static_cast<double>(k);
+    if (day >= config.days - 1.0 || day <= bins.back()) break;
+    bins.push_back(std::ceil(day));
+  }
+  return bins;
+}
+
+}  // namespace
+
+ScenarioExpectation expectAbove(std::string metric, double bound,
+                                std::string claim) {
+  return {std::move(metric), ScenarioExpectation::Kind::kAbove, bound, "",
+          std::move(claim)};
+}
+
+ScenarioExpectation expectBelow(std::string metric, double bound,
+                                std::string claim) {
+  return {std::move(metric), ScenarioExpectation::Kind::kBelow, bound, "",
+          std::move(claim)};
+}
+
+ScenarioExpectation expectAboveScenario(std::string metric,
+                                        std::string refScenario, double factor,
+                                        std::string claim) {
+  return {std::move(metric), ScenarioExpectation::Kind::kAboveScenario, factor,
+          std::move(refScenario), std::move(claim)};
+}
+
+ScenarioExpectation expectBelowScenario(std::string metric,
+                                        std::string refScenario, double factor,
+                                        std::string claim) {
+  return {std::move(metric), ScenarioExpectation::Kind::kBelowScenario, factor,
+          std::move(refScenario), std::move(claim)};
+}
+
+void ScenarioReport::set(std::string name, double value) {
+  for (auto& metric : metrics_) {
+    if (metric.first == name) {
+      metric.second = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(std::move(name), value);
+}
+
+double ScenarioReport::value(std::string_view name) const {
+  for (const auto& metric : metrics_) {
+    if (metric.first == name) return metric.second;
+  }
+  throw std::invalid_argument("scenario report has no metric '" +
+                              std::string(name) + "'");
+}
+
+bool ScenarioReport::has(std::string_view name) const {
+  for (const auto& metric : metrics_) {
+    if (metric.first == name) return true;
+  }
+  return false;
+}
+
+std::string describe(const ScenarioExpectation& expectation) {
+  using Kind = ScenarioExpectation::Kind;
+  const bool above = expectation.kind == Kind::kAbove ||
+                     expectation.kind == Kind::kAboveScenario;
+  std::string text = expectation.metric + (above ? " > " : " < ") +
+                     formatNumber(expectation.bound);
+  if (expectation.kind == Kind::kAboveScenario ||
+      expectation.kind == Kind::kBelowScenario) {
+    text += " x " + expectation.refScenario + ":" + expectation.metric;
+  }
+  return text;
+}
+
+ScenarioReport computeReport(const EventStream& stream,
+                             const GeneratorConfig& config,
+                             const ReportOptions& options) {
+  ScenarioReport report;
+
+  const GrowthSeries growth = analyzeGrowth(stream);
+  report.set("nodes.final", lastOrZero(growth.totalNodes));
+  report.set("edges.final", lastOrZero(growth.totalEdges));
+
+  // Organic signup burstiness: peak over median daily joins, excluding
+  // the bins where merge imports dump a whole second network at once.
+  const std::vector<double> mergeBins = mergeImportBins(config);
+  std::vector<double> organicJoins;
+  organicJoins.reserve(growth.newNodes.size());
+  for (std::size_t i = 0; i < growth.newNodes.size(); ++i) {
+    const double day = growth.newNodes.timeAt(i);
+    if (std::find(mergeBins.begin(), mergeBins.end(), day) != mergeBins.end())
+      continue;
+    organicJoins.push_back(growth.newNodes.valueAt(i));
+  }
+  const double joinPeak =
+      organicJoins.empty()
+          ? 0.0
+          : *std::max_element(organicJoins.begin(), organicJoins.end());
+  report.set("growth.nodeBurstiness",
+             joinPeak / std::max(medianOf(organicJoins), 1.0));
+
+  // Fig 8-style spikes: days whose new-edge count towers over the
+  // trailing 10-day median (merge imports included on purpose).
+  std::size_t spikes = 0;
+  const std::size_t trailing = 10;
+  const std::span<const double> newEdges = growth.newEdges.values();
+  for (std::size_t i = trailing; i < newEdges.size(); ++i) {
+    const std::vector<double> window(newEdges.begin() +
+                                         static_cast<std::ptrdiff_t>(i - trailing),
+                                     newEdges.begin() +
+                                         static_cast<std::ptrdiff_t>(i));
+    if (newEdges[i] > 4.0 * medianOf(window) + 25.0) ++spikes;
+  }
+  report.set("growth.edgeSpikeCount", static_cast<double>(spikes));
+
+  // Late-trace acceleration: mean daily new edges in the last quarter
+  // over the second quarter.
+  auto meanBetween = [&growth](double lo, double hi) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < growth.newEdges.size(); ++i) {
+      const double day = growth.newEdges.timeAt(i);
+      if (day < lo || day >= hi) continue;
+      sum += growth.newEdges.valueAt(i);
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  };
+  const double mid = meanBetween(0.25 * config.days, 0.5 * config.days);
+  const double late = meanBetween(0.75 * config.days, config.days + 1.0);
+  report.set("growth.lateOverMid", late / std::max(mid, 1.0));
+
+  // Sliding-window active users: last probe over the peak probe.
+  const double window = options.activeWindowFraction * config.days;
+  const TimeSeries active =
+      analyzeActiveUsers(stream, window, std::max(1.0, config.days / 20.0));
+  report.set("active.lateOverPeak",
+             active.empty()
+                 ? 0.0
+                 : active.lastValue() / std::max(active.maxValue(), 1.0));
+
+  // Fig 1(c)-(f) finals via the incremental metrics engine.
+  MetricsOverTimeConfig metricsConfig;
+  metricsConfig.snapshotStep = options.metricsStep;
+  metricsConfig.pathEvery = options.metricsStep;
+  metricsConfig.pathSamples = options.pathSamples;
+  metricsConfig.clusteringSamples = options.clusteringSamples;
+  metricsConfig.seed = options.seed;
+  const MetricsOverTime metrics = analyzeMetricsOverTime(stream, metricsConfig);
+  report.set("metrics.finalDegree", lastOrZero(metrics.averageDegree));
+  report.set("metrics.finalClustering",
+             lastOrZero(metrics.clusteringCoefficient));
+  report.set("metrics.finalAssortativity", lastOrZero(metrics.assortativity));
+  report.set("metrics.finalPathLength", lastOrZero(metrics.averagePathLength));
+
+  // Fig 3 alpha(t): early/late thirds and overall mean of the fitted
+  // exponent (higher-degree destination rule).
+  PrefAttachConfig paConfig;
+  paConfig.fitEveryEdges = options.fitEveryEdges;
+  paConfig.startEdges = options.fitStartEdges;
+  paConfig.seed = options.seed + 1;
+  const PrefAttachResult pa = analyzePreferentialAttachment(stream, paConfig);
+  const std::span<const double> alphas = pa.alphaHigher.values();
+  const std::size_t third = std::max<std::size_t>(1, alphas.size() / 3);
+  report.set("alpha.early",
+             alphas.empty() ? 0.0 : meanOf(alphas.subspan(0, third)));
+  report.set("alpha.late",
+             alphas.empty() ? 0.0
+                            : meanOf(alphas.subspan(alphas.size() - third)));
+  report.set("alpha.mean", meanOf(alphas));
+
+  // Sec 4 community pipeline finals.
+  CommunityAnalysisConfig communityConfig;
+  communityConfig.snapshotStep = options.communityStep;
+  communityConfig.startDay = options.communityStartDay;
+  communityConfig.tracker.minCommunitySize = options.minCommunitySize;
+  communityConfig.sizeDistributionDays = {};
+  const CommunityAnalysisResult communities =
+      analyzeCommunities(stream, communityConfig);
+  report.set("community.finalModularity", lastOrZero(communities.modularity));
+  report.set("community.trackedCount",
+             static_cast<double>(communities.lifetimes.size()));
+  report.set("community.lifecycleMerges",
+             static_cast<double>(communities.mergeRatios.size()));
+  report.set("community.lifecycleSplits",
+             static_cast<double>(communities.splitRatios.size()));
+  return report;
+}
+
+ExpectationOutcome evaluate(
+    const ScenarioExpectation& expectation, const ScenarioReport& own,
+    const std::map<std::string, ScenarioReport>& all) {
+  using Kind = ScenarioExpectation::Kind;
+  ExpectationOutcome outcome;
+  outcome.lhs = own.value(expectation.metric);
+  outcome.rhs = expectation.bound;
+  const bool reference = expectation.kind == Kind::kAboveScenario ||
+                         expectation.kind == Kind::kBelowScenario;
+  if (reference) {
+    const auto it = all.find(expectation.refScenario);
+    if (it == all.end()) {
+      throw std::invalid_argument(
+          "expectation '" + describe(expectation) +
+          "' references scenario '" + expectation.refScenario +
+          "' with no measured report");
+    }
+    outcome.rhs = expectation.bound * it->second.value(expectation.metric);
+  }
+  const bool above = expectation.kind == Kind::kAbove ||
+                     expectation.kind == Kind::kAboveScenario;
+  outcome.passed =
+      above ? outcome.lhs > outcome.rhs : outcome.lhs < outcome.rhs;
+  outcome.text = expectation.metric + " = " + formatNumber(outcome.lhs) +
+                 ", want " + (above ? ">" : "<") + " " +
+                 formatNumber(outcome.rhs);
+  if (reference) {
+    outcome.text += " (" + formatNumber(expectation.bound) + " x " +
+                    expectation.refScenario + ")";
+  }
+  outcome.text += outcome.passed ? " [pass]" : " [FAIL]";
+  return outcome;
+}
+
+}  // namespace msd::scenario

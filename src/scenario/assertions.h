@@ -1,0 +1,142 @@
+#pragma once
+
+// Qualitative-assertion harness of the scenario suite: a small DSL for
+// directional paper claims ("alpha drops under spam", "clustering rises
+// with homophily") plus the end-to-end pipeline that measures the named
+// observables each assertion refers to. Every observable is produced by
+// the deterministic engines (incremental Fig 1 metrics, pref-attach
+// estimator, community pipeline), so a report is bit-identical at any
+// thread count — asserted by tests/scenario_assertions_test.cpp.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/config.h"
+#include "graph/event_stream.h"
+
+namespace msd::scenario {
+
+/// One directional claim about a scenario's measured report.
+///
+/// Constant forms compare a metric against a fixed bound; reference forms
+/// compare it against `factor *` the same metric of another scenario's
+/// report (the cross-scenario inversions: alpha under spam-burst below
+/// the baseline's, clustering under homophily above it).
+struct ScenarioExpectation {
+  enum class Kind {
+    kAbove,          ///< metric >  bound
+    kBelow,          ///< metric <  bound
+    kAboveScenario,  ///< metric >  factor * reference scenario's metric
+    kBelowScenario,  ///< metric <  factor * reference scenario's metric
+  };
+  std::string metric;       ///< report key, see computeReport()
+  Kind kind = Kind::kAbove;
+  double bound = 0.0;       ///< constant bound, or the reference factor
+  std::string refScenario;  ///< reference preset name (reference kinds)
+  std::string claim;        ///< the paper claim this checks, for humans
+};
+
+/// metric > bound. `claim` states the paper claim being checked.
+ScenarioExpectation expectAbove(std::string metric, double bound,
+                                std::string claim);
+
+/// metric < bound.
+ScenarioExpectation expectBelow(std::string metric, double bound,
+                                std::string claim);
+
+/// metric > factor * refScenario's metric.
+ScenarioExpectation expectAboveScenario(std::string metric,
+                                        std::string refScenario,
+                                        double factor, std::string claim);
+
+/// metric < factor * refScenario's metric.
+ScenarioExpectation expectBelowScenario(std::string metric,
+                                        std::string refScenario,
+                                        double factor, std::string claim);
+
+/// Named observables measured from one scenario run, insertion-ordered so
+/// serialized reports are stable.
+class ScenarioReport {
+ public:
+  /// Adds (or overwrites) a metric.
+  void set(std::string name, double value);
+
+  /// Metric by name; throws std::invalid_argument listing the name when
+  /// absent.
+  double value(std::string_view name) const;
+
+  /// True when the metric exists.
+  bool has(std::string_view name) const;
+
+  /// All metrics in insertion order.
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Sampling knobs of the report pipeline. Defaults are sized for the
+/// tiny scale the tests and the bench suite run at; every knob feeds a
+/// deterministic engine, so reports are thread-count invariant.
+struct ReportOptions {
+  double metricsStep = 5.0;        ///< days between Fig 1 snapshots
+  std::size_t pathSamples = 16;    ///< BFS sources per path estimate
+  std::size_t clusteringSamples = 300;
+  std::size_t fitEveryEdges = 2000;   ///< pref-attach window size
+  std::size_t fitStartEdges = 1000;   ///< pref-attach warmup
+  double communityStep = 6.0;      ///< days between Louvain snapshots
+  double communityStartDay = 15.0;
+  std::size_t minCommunitySize = 5;
+  double activeWindowFraction = 0.25;  ///< active-user window / days
+  std::uint64_t seed = 99;         ///< sampled-metric seed
+};
+
+/// Runs the full measurement pipeline on one generated trace — growth
+/// binning, the incremental Fig 1 metrics engine, the pe(d)/alpha
+/// estimator, the Sec 4 community pipeline, and the sliding active-user
+/// window — and distills the report metrics:
+///
+///   nodes.final, edges.final        totals at the end of the trace
+///   growth.nodeBurstiness           max daily joins / median daily joins
+///   growth.edgeSpikeCount           days with newEdges > 4x the trailing
+///                                   median (Fig 8-style import spikes)
+///   growth.lateOverMid              mean daily new edges, last quarter
+///                                   over second quarter
+///   active.lateOverPeak             last active-user probe / peak probe
+///   metrics.finalDegree/.finalClustering/.finalAssortativity
+///   metrics.finalPathLength         last Fig 1(c)-(f) snapshot values
+///   alpha.early / alpha.late        mean fitted alpha, first/last third
+///   alpha.mean                      mean fitted alpha over all windows
+///   community.finalModularity       last Louvain snapshot's Q
+///   community.trackedCount          tracked communities (lifetimes)
+///   community.lifecycleMerges/.lifecycleSplits
+ScenarioReport computeReport(const EventStream& stream,
+                             const GeneratorConfig& config,
+                             const ReportOptions& options = {});
+
+/// One-line rendering of an expectation, e.g.
+/// "alpha.late < 0.9 x renren-baseline:alpha.late".
+std::string describe(const ScenarioExpectation& expectation);
+
+/// Outcome of evaluating one expectation against measured reports.
+struct ExpectationOutcome {
+  bool passed = false;
+  double lhs = 0.0;   ///< the measured metric
+  double rhs = 0.0;   ///< the resolved bound
+  std::string text;   ///< one-line human-readable verdict
+};
+
+/// Evaluates one expectation. `own` is the report of the scenario under
+/// test; `all` maps preset names to reports and must contain the
+/// reference scenario of reference-kind expectations (throws
+/// std::invalid_argument otherwise).
+ExpectationOutcome evaluate(
+    const ScenarioExpectation& expectation, const ScenarioReport& own,
+    const std::map<std::string, ScenarioReport>& all);
+
+}  // namespace msd::scenario

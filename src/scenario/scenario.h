@@ -1,0 +1,95 @@
+#pragma once
+
+// Named-workload scenario layer (ROADMAP item 4): a registry of preset
+// histories beyond the Renren trajectory, each defined as data — a base
+// scale, a list of key=value overrides on GeneratorConfig, and a list of
+// qualitative expectations (src/scenario/assertions.h) stating which
+// paper claims hold or invert under that regime. Presets are consumed by
+// the `msdyn scenario` CLI verb, the figure benches (bench_common.h
+// resolves --scenario through this registry), the scenario bench suite,
+// and the ctest `scenario` label.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/config.h"
+#include "obs/json.h"
+#include "scenario/assertions.h"
+
+namespace msd::scenario {
+
+/// Trace scale of a scenario run; maps to the GeneratorConfig factories.
+enum class Scale { kTiny, kCommunity, kRenren };
+
+/// Parses "tiny" | "community" | "renren"; throws std::invalid_argument
+/// with the offending name otherwise.
+Scale parseScale(std::string_view name);
+
+/// Canonical name of a scale.
+const char* scaleName(Scale scale);
+
+/// One `key=value` configuration override. Keys are dotted paths into
+/// GeneratorConfig (e.g. "arrival.growth", "spam.arrivalMultiple") plus
+/// the special forms "holiday.clear", "holiday.addFraction" (value
+/// "start:length:factor", day fields as fractions of the trace length)
+/// and "homophily.strength" (scales group attachment + reinforcement).
+struct Override {
+  std::string key;
+  std::string value;
+};
+
+/// Parses "key=value"; throws std::invalid_argument with the offending
+/// spec on a missing key or '='.
+Override parseOverride(std::string_view spec);
+
+/// Applies one override to a config. Throws std::invalid_argument with a
+/// context-qualified message ("scenario override 'key=value': ...") on an
+/// unknown key, a malformed value, or an out-of-range value.
+void applyOverride(GeneratorConfig& config, const Override& override_);
+
+/// A named workload preset. Everything is data: the config is derived by
+/// applying `overrides` in order to the base config of the requested
+/// scale, and `expectations` are evaluated against the measured report of
+/// a run (see assertions.h).
+struct ScenarioPreset {
+  std::string name;
+  std::string regime;  ///< one-line growth-regime description
+  std::string claims;  ///< which paper claims hold / invert, for humans
+  std::vector<Override> overrides;
+  std::vector<ScenarioExpectation> expectations;
+};
+
+/// All registered presets, in a fixed registration order (the baseline
+/// first, so reference expectations can always resolve against it).
+const std::vector<ScenarioPreset>& allPresets();
+
+/// Preset by name; nullptr when unknown.
+const ScenarioPreset* findPreset(std::string_view name);
+
+/// Preset by name; throws std::invalid_argument listing the known names
+/// when unknown.
+const ScenarioPreset& presetOrThrow(std::string_view name);
+
+/// The unmodified Renren-analog base config of a scale — the shared
+/// preset call benches and examples use instead of hand-rolled configs.
+GeneratorConfig baseConfig(Scale scale, std::uint64_t seed);
+
+/// Base config of the scale + the preset's overrides + extra overrides
+/// (CLI --set), applied in that order.
+GeneratorConfig configFor(const ScenarioPreset& preset, Scale scale,
+                          std::uint64_t seed,
+                          std::span<const Override> extra = {});
+
+/// Same, resolving the preset by name (throws on unknown names).
+GeneratorConfig configFor(std::string_view name, Scale scale,
+                          std::uint64_t seed,
+                          std::span<const Override> extra = {});
+
+/// JSON-able description of a preset: name, regime, claims, overrides,
+/// and expectations — what `msdyn scenario describe` prints.
+obs::Json presetJson(const ScenarioPreset& preset);
+
+}  // namespace msd::scenario

@@ -27,7 +27,9 @@ TEST(CalendarTest, FactorInsideAndOutsideHolidays) {
 TEST(CalendarTest, RejectsBadHoliday) {
   EXPECT_THROW(Calendar({{0.0, -1.0, 0.5}}), std::invalid_argument);
   EXPECT_THROW(Calendar({{0.0, 1.0, 0.0}}), std::invalid_argument);
-  EXPECT_THROW(Calendar({{0.0, 1.0, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(Calendar({{0.0, 1.0, -0.5}}), std::invalid_argument);
+  // Factors above 1 are viral signup bursts (flash-crowd scenario).
+  EXPECT_NO_THROW(Calendar({{0.0, 1.0, 8.0}}));
 }
 
 TEST(PopulationIndexTest, ClassBookkeeping) {

@@ -5,6 +5,7 @@
 #include "msd_lint/lint.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -462,7 +463,10 @@ int runLint(const std::string& args) {
 class LintCliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "msd_lint_cli_fixture";
+    // Per-process path: ctest -j runs each TEST_F as its own process,
+    // and a shared fixture dir races against a sibling's TearDown.
+    dir_ = fs::temp_directory_path() /
+           ("msd_lint_cli_fixture_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_ / "src");
     fs::create_directories(dir_ / "tools");

@@ -1,0 +1,195 @@
+// Qualitative-assertion harness of the scenario suite: every registered
+// preset generates its trace, runs the full measurement pipeline
+// (incremental Fig 1 metrics, pe(d)/alpha estimator, community
+// pipeline), and must satisfy every one of its directional paper-claim
+// expectations — alpha drops under spam-burst, clustering rises with
+// homophily, the merge schedule spikes activity, stagnation-churn flips
+// net growth negative. Reports must also be bit-identical at 1, 2, and
+// 8 threads, so the expectations can never flake with pool size.
+
+#include "scenario/assertions.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/trace_generator.h"
+#include "scenario/scenario.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+using scenario::ScenarioExpectation;
+using scenario::ScenarioReport;
+
+/// Restores the configured thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+ScenarioReport measure(const scenario::ScenarioPreset& preset) {
+  const GeneratorConfig config =
+      scenario::configFor(preset, scenario::Scale::kTiny, 1);
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  return scenario::computeReport(stream, config);
+}
+
+/// One measured report per preset, built once for the whole suite (the
+/// reference expectations need the baseline's report to resolve).
+const std::map<std::string, ScenarioReport>& allReports() {
+  static const std::map<std::string, ScenarioReport> reports = [] {
+    std::map<std::string, ScenarioReport> built;
+    for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+      built.emplace(preset.name, measure(preset));
+    }
+    return built;
+  }();
+  return reports;
+}
+
+TEST(ScenarioRegistryTest, ShipsAtLeastFivePresetsWithTwoClaimsEach) {
+  const auto& presets = scenario::allPresets();
+  EXPECT_GE(presets.size(), 5u);
+  EXPECT_EQ(presets.front().name, "renren-baseline");
+  for (const scenario::ScenarioPreset& preset : presets) {
+    EXPECT_GE(preset.expectations.size(), 2u) << preset.name;
+    for (const ScenarioExpectation& expectation : preset.expectations) {
+      EXPECT_FALSE(expectation.claim.empty())
+          << preset.name << ": " << describe(expectation);
+    }
+  }
+}
+
+TEST(ScenarioExpectationsTest, EveryPresetSatisfiesEveryClaim) {
+  const auto& reports = allReports();
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    const ScenarioReport& own = reports.at(preset.name);
+    for (const ScenarioExpectation& expectation : preset.expectations) {
+      const scenario::ExpectationOutcome outcome =
+          scenario::evaluate(expectation, own, reports);
+      EXPECT_TRUE(outcome.passed)
+          << preset.name << ": " << outcome.text << " — " << expectation.claim;
+    }
+  }
+}
+
+TEST(ScenarioExpectationsTest, HeadlineInversionsHoldAgainstBaseline) {
+  const auto& reports = allReports();
+  const ScenarioReport& baseline = reports.at("renren-baseline");
+  // Spam bots flatten pe(d): fitted alpha inverts downward.
+  EXPECT_LT(reports.at("spam-burst").value("alpha.late"),
+            baseline.value("alpha.late"));
+  // Stronger homophily closes more wedges: clustering inverts upward.
+  EXPECT_GT(reports.at("homophily-sweep").value("metrics.finalClustering"),
+            baseline.value("metrics.finalClustering"));
+  // The recurring merge schedule lands more activity spikes.
+  EXPECT_GT(reports.at("repeated-merge").value("growth.edgeSpikeCount"),
+            baseline.value("growth.edgeSpikeCount"));
+  // Stagnation-churn flips net growth negative.
+  EXPECT_LT(reports.at("stagnation-churn").value("active.lateOverPeak"), 1.0);
+}
+
+TEST(ScenarioReportTest, IsBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  for (const char* name : {"renren-baseline", "spam-burst"}) {
+    const scenario::ScenarioPreset& preset = scenario::presetOrThrow(name);
+    const GeneratorConfig config =
+        scenario::configFor(preset, scenario::Scale::kTiny, 1);
+    TraceGenerator generator(config);
+    const EventStream stream = generator.generate();
+
+    setThreadCount(1);
+    const ScenarioReport reference = scenario::computeReport(stream, config);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      setThreadCount(threads);
+      const ScenarioReport report = scenario::computeReport(stream, config);
+      ASSERT_EQ(report.metrics().size(), reference.metrics().size());
+      for (std::size_t i = 0; i < report.metrics().size(); ++i) {
+        EXPECT_EQ(report.metrics()[i].first, reference.metrics()[i].first);
+        // Exact: no tolerance — the engines are chunk-order invariant.
+        EXPECT_EQ(report.metrics()[i].second, reference.metrics()[i].second)
+            << name << " metric " << report.metrics()[i].first << " at "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ExpectationDslTest, ConstantBoundsEvaluateDirectionally) {
+  ScenarioReport report;
+  report.set("m", 2.0);
+  const std::map<std::string, ScenarioReport> none;
+  EXPECT_TRUE(
+      scenario::evaluate(scenario::expectAbove("m", 1.5, "c"), report, none)
+          .passed);
+  EXPECT_FALSE(
+      scenario::evaluate(scenario::expectAbove("m", 2.0, "c"), report, none)
+          .passed);
+  EXPECT_TRUE(
+      scenario::evaluate(scenario::expectBelow("m", 2.5, "c"), report, none)
+          .passed);
+  EXPECT_FALSE(
+      scenario::evaluate(scenario::expectBelow("m", 2.0, "c"), report, none)
+          .passed);
+}
+
+TEST(ExpectationDslTest, ReferenceBoundsScaleTheOtherScenariosMetric) {
+  ScenarioReport own;
+  own.set("m", 2.0);
+  ScenarioReport ref;
+  ref.set("m", 4.0);
+  std::map<std::string, ScenarioReport> all;
+  all.emplace("other", ref);
+  const auto below =
+      scenario::evaluate(scenario::expectBelowScenario("m", "other", 0.6, "c"),
+                         own, all);
+  EXPECT_TRUE(below.passed);  // 2.0 < 0.6 * 4.0
+  EXPECT_EQ(below.rhs, 0.6 * 4.0);
+  const auto above =
+      scenario::evaluate(scenario::expectAboveScenario("m", "other", 0.6, "c"),
+                         own, all);
+  EXPECT_FALSE(above.passed);
+}
+
+TEST(ExpectationDslTest, MissingReferenceScenarioThrows) {
+  ScenarioReport own;
+  own.set("m", 2.0);
+  const std::map<std::string, ScenarioReport> all;
+  EXPECT_THROW(
+      scenario::evaluate(scenario::expectAboveScenario("m", "ghost", 1.0, "c"),
+                         own, all),
+      std::invalid_argument);
+}
+
+TEST(ExpectationDslTest, DescribeRendersBothForms) {
+  EXPECT_EQ(scenario::describe(scenario::expectAbove("a.b", 0.5, "c")),
+            "a.b > 0.5");
+  EXPECT_EQ(scenario::describe(
+                scenario::expectBelowScenario("a.b", "base", 0.9, "c")),
+            "a.b < 0.9 x base:a.b");
+}
+
+TEST(ScenarioReportTest, ValueThrowsOnUnknownMetricAndSetOverwrites) {
+  ScenarioReport report;
+  EXPECT_FALSE(report.has("x"));
+  EXPECT_THROW(report.value("x"), std::invalid_argument);
+  report.set("x", 1.0);
+  report.set("x", 2.0);
+  EXPECT_TRUE(report.has("x"));
+  EXPECT_EQ(report.value("x"), 2.0);
+  EXPECT_EQ(report.metrics().size(), 1u);
+}
+
+}  // namespace
+}  // namespace msd

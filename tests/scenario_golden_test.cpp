@@ -1,0 +1,90 @@
+// Golden-file regression lock for the scenario suite: every preset's
+// full measured report (final Fig 1 metrics, fitted alpha, lifecycle
+// counts, growth shape) on the fixed-seed tiny trace is checked in at
+// tests/golden/scenario_summary.golden and compared exactly — doubles
+// serialized as hexfloats — so generator or pipeline refactors cannot
+// silently drift any scenario's observables.
+//
+// To regenerate after an *intentional* behavior change:
+//   MSD_UPDATE_GOLDEN=1 ./scenario_golden_test
+// then review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/trace_generator.h"
+#include "scenario/assertions.h"
+#include "scenario/scenario.h"
+
+#ifndef MSD_SCENARIO_GOLDEN_FILE
+#error "MSD_SCENARIO_GOLDEN_FILE must point at the checked-in summary"
+#endif
+
+namespace msd {
+namespace {
+
+std::string hexDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+std::string buildSummary() {
+  std::ostringstream out;
+  out << "scenario-summary v1 scale=tiny seed=1\n";
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    const GeneratorConfig config =
+        scenario::configFor(preset, scenario::Scale::kTiny, 1);
+    TraceGenerator generator(config);
+    const EventStream stream = generator.generate();
+    const scenario::ScenarioReport report =
+        scenario::computeReport(stream, config);
+    out << "scenario " << preset.name << "\n";
+    for (const auto& [name, value] : report.metrics()) {
+      out << "  " << name << " " << hexDouble(value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(ScenarioGoldenTest, ReportsMatchCheckedInGolden) {
+  const std::string summary = buildSummary();
+
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(MSD_SCENARIO_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << MSD_SCENARIO_GOLDEN_FILE;
+    out << summary;
+    GTEST_SKIP() << "golden file regenerated at " << MSD_SCENARIO_GOLDEN_FILE;
+  }
+
+  std::ifstream in(MSD_SCENARIO_GOLDEN_FILE);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << MSD_SCENARIO_GOLDEN_FILE
+      << " — regenerate with MSD_UPDATE_GOLDEN=1 ./scenario_golden_test";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  // Line-by-line first, for a readable first-divergence message.
+  std::istringstream gotLines(summary);
+  std::istringstream wantLines(golden.str());
+  std::string got, want;
+  std::size_t line = 0;
+  while (std::getline(wantLines, want)) {
+    ++line;
+    ASSERT_TRUE(std::getline(gotLines, got))
+        << "summary ends early at line " << line << "; want: " << want;
+    ASSERT_EQ(got, want) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(gotLines, got))
+      << "summary has extra lines starting at: " << got;
+  EXPECT_EQ(summary, golden.str());
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,216 @@
+// Negative and fuzz coverage of the scenario preset/override parsing
+// surface: unknown presets, malformed override specs, out-of-range
+// values, and the special holiday/homophily forms must all produce
+// context-qualified std::invalid_argument errors (never a crash or a
+// silent clamp), and the `msdyn scenario` CLI must turn every one of
+// them into exit code 2, distinct from runtime failures (1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/config.h"
+#include "scenario/scenario.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+/// Applies one key=value spec to a fresh tiny config, returning the
+/// error message ("" on success).
+std::string applyError(const std::string& key, const std::string& value) {
+  GeneratorConfig config = GeneratorConfig::tiny(1);
+  try {
+    scenario::applyOverride(config, {key, value});
+    return "";
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+}
+
+TEST(ScenarioParseTest, ParseOverrideSplitsOnFirstEquals) {
+  const scenario::Override override_ =
+      scenario::parseOverride("holiday.addFraction=0.3:0.05:8");
+  EXPECT_EQ(override_.key, "holiday.addFraction");
+  EXPECT_EQ(override_.value, "0.3:0.05:8");
+  // A value containing '=' keeps everything after the first one.
+  EXPECT_EQ(scenario::parseOverride("a=b=c").value, "b=c");
+}
+
+TEST(ScenarioParseTest, MalformedSpecsThrowWithTheSpecQuoted) {
+  for (const char* spec : {"noequals", "=value", ""}) {
+    try {
+      scenario::parseOverride(spec);
+      FAIL() << "accepted '" << spec << "'";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("malformed override"),
+                std::string::npos)
+          << spec;
+    }
+  }
+}
+
+TEST(ScenarioParseTest, UnknownKeyNamesTheKeyAndContext) {
+  const std::string message = applyError("arrival.typo", "3");
+  EXPECT_NE(message.find("scenario override 'arrival.typo=3'"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("unknown key"), std::string::npos) << message;
+}
+
+TEST(ScenarioParseTest, MalformedNumbersAreRejectedWithContext) {
+  for (const char* value : {"", "abc", "1.2.3", "1e", "nan", "inf", "3x"}) {
+    const std::string message = applyError("arrival.base", value);
+    EXPECT_NE(message.find("scenario override 'arrival.base="),
+              std::string::npos)
+        << "value: " << value << " -> " << message;
+    EXPECT_NE(message.find("malformed number"), std::string::npos)
+        << "value: " << value << " -> " << message;
+  }
+}
+
+TEST(ScenarioParseTest, OutOfRangeValuesReportTheRange) {
+  const std::string message = applyError("churn.dailyFraction", "0.9");
+  EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+  EXPECT_NE(message.find("[0, 0.5]"), std::string::npos) << message;
+  EXPECT_NE(applyError("arrival.base", "-1"), "");
+  EXPECT_NE(applyError("spam.arrivalMultiple", "101"), "");
+  EXPECT_NE(applyError("attachment.triadicProb", "0.96"), "");
+}
+
+TEST(ScenarioParseTest, SpecialFormsValidateTheirShape) {
+  // merge.enabled is strictly boolean, repeatCount strictly integral.
+  EXPECT_EQ(applyError("merge.enabled", "0"), "");
+  EXPECT_NE(applyError("merge.enabled", "2"), "");
+  EXPECT_EQ(applyError("merge.repeatCount", "3"), "");
+  EXPECT_NE(applyError("merge.repeatCount", "2.5"), "");
+  EXPECT_NE(applyError("merge.repeatCount", "17"), "");
+  // holiday.clear takes exactly "1".
+  EXPECT_EQ(applyError("holiday.clear", "1"), "");
+  EXPECT_NE(applyError("holiday.clear", "yes"), "");
+  // holiday.addFraction wants start:length:factor, each in range.
+  EXPECT_EQ(applyError("holiday.addFraction", "0.3:0.05:8"), "");
+  EXPECT_NE(applyError("holiday.addFraction", "0.3:0.05"), "");
+  EXPECT_NE(applyError("holiday.addFraction", "0.3:0.05:8:9"), "");
+  EXPECT_NE(applyError("holiday.addFraction", "0.3::8"), "");
+  EXPECT_NE(applyError("holiday.addFraction", "2:0.05:8"), "");
+  EXPECT_NE(applyError("holiday.addFraction", "0.3:0.05:99"), "");
+  EXPECT_EQ(applyError("homophily.strength", "1.8"), "");
+  EXPECT_NE(applyError("homophily.strength", "5"), "");
+}
+
+TEST(ScenarioParseTest, AppliedOverridesLandInTheConfig) {
+  GeneratorConfig config = GeneratorConfig::tiny(1);
+  scenario::applyOverride(config, {"arrival.base", "7.5"});
+  EXPECT_EQ(config.arrival.base, 7.5);
+  scenario::applyOverride(config, {"merge.enabled", "0"});
+  EXPECT_FALSE(config.merge.enabled);
+  const std::size_t before = config.holidays.size();
+  scenario::applyOverride(config, {"holiday.addFraction", "0.5:0.1:3"});
+  ASSERT_EQ(config.holidays.size(), before + 1);
+  EXPECT_EQ(config.holidays.back().startDay, 0.5 * config.days);
+  EXPECT_EQ(config.holidays.back().factor, 3.0);
+  scenario::applyOverride(config, {"holiday.clear", "1"});
+  EXPECT_TRUE(config.holidays.empty());
+}
+
+TEST(ScenarioParseTest, UnknownPresetListsTheKnownNames) {
+  EXPECT_EQ(scenario::findPreset("ghost"), nullptr);
+  try {
+    scenario::presetOrThrow("ghost");
+    FAIL();
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown scenario 'ghost'"), std::string::npos);
+    EXPECT_NE(message.find("renren-baseline"), std::string::npos);
+  }
+  EXPECT_THROW(scenario::parseScale("huge"), std::invalid_argument);
+}
+
+// Fuzz: random override strings must either apply cleanly or throw
+// std::invalid_argument — never crash, never leave non-finite values in
+// the config. Deterministic seeds.
+TEST(ScenarioParseFuzzTest, RandomSpecsNeverCrash) {
+  const char charset[] = "abcdefgh.=:-+0123456789eE ";
+  Rng rng(2024);
+  for (int i = 0; i < 4000; ++i) {
+    std::string spec;
+    const std::size_t length = 1 + rng.uniformInt(24);
+    for (std::size_t j = 0; j < length; ++j) {
+      spec += charset[rng.uniformInt(sizeof charset - 1)];
+    }
+    GeneratorConfig config = GeneratorConfig::tiny(1);
+    try {
+      scenario::applyOverride(config, scenario::parseOverride(spec));
+    } catch (const std::invalid_argument&) {
+      continue;  // the expected common outcome
+    }
+    EXPECT_TRUE(std::isfinite(config.arrival.base));
+    EXPECT_TRUE(std::isfinite(config.days));
+  }
+}
+
+// Fuzz with real keys and mutated values: the whitelist must hold the
+// range contract for every key it accepts.
+TEST(ScenarioParseFuzzTest, MutatedValuesOnRealKeysHoldTheContract) {
+  std::vector<std::string> keys;
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    for (const scenario::Override& override_ : preset.overrides) {
+      keys.push_back(override_.key);
+    }
+  }
+  ASSERT_FALSE(keys.empty());
+  const char digits[] = "0123456789.-e";
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string& key = keys[rng.uniformInt(keys.size())];
+    std::string value;
+    const std::size_t length = 1 + rng.uniformInt(8);
+    for (std::size_t j = 0; j < length; ++j) {
+      value += digits[rng.uniformInt(sizeof digits - 1)];
+    }
+    GeneratorConfig config = GeneratorConfig::tiny(1);
+    try {
+      scenario::applyOverride(config, {key, value});
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    EXPECT_TRUE(std::isfinite(config.arrival.base)) << key << "=" << value;
+  }
+}
+
+#ifdef MSDYN_BINARY
+
+int runCli(const std::string& commandTail) {
+  const std::string command =
+      std::string(MSDYN_BINARY) + " " + commandTail + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(ScenarioCliTest, ParseErrorsExitTwo) {
+  EXPECT_EQ(runCli("scenario run no-such-preset"), 2);
+  EXPECT_EQ(runCli("scenario run renren-baseline --scale=huge"), 2);
+  EXPECT_EQ(runCli("scenario run renren-baseline --set=bad"), 2);
+  EXPECT_EQ(runCli("scenario run renren-baseline --set=arrival.typo=3"), 2);
+  EXPECT_EQ(runCli("scenario run renren-baseline "
+                   "--set=spam.arrivalMultiple=999"),
+            2);
+  EXPECT_EQ(runCli("scenario describe no-such-preset"), 2);
+  EXPECT_EQ(runCli("scenario frobnicate"), 2);
+  EXPECT_EQ(runCli("scenario"), 2);
+}
+
+TEST(ScenarioCliTest, ListExitsZero) {
+  EXPECT_EQ(runCli("scenario list"), 0);
+  EXPECT_EQ(runCli("scenario describe spam-burst"), 0);
+}
+
+#endif  // MSDYN_BINARY
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,127 @@
+// Trace-level invariants of every scenario preset: whatever regime the
+// overrides dial in (bursts, churn, bots, repeated merges), the
+// generated EventStream must satisfy the full stream contract —
+// validate() passes, timestamps never decrease, no self-loops — replay
+// identically through EventCursor windows, and serialize byte-
+// identically at 1, 2, and 8 threads (the generator is a single
+// explicitly-seeded walk; pool size must not leak into it).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "gen/trace_generator.h"
+#include "graph/event_stream.h"
+#include "io/event_io.h"
+#include "scenario/scenario.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+EventStream generate(const scenario::ScenarioPreset& preset) {
+  const GeneratorConfig config =
+      scenario::configFor(preset, scenario::Scale::kTiny, 1);
+  TraceGenerator generator(config);
+  return generator.generate();
+}
+
+class ScenarioTraceTest
+    : public ::testing::TestWithParam<const scenario::ScenarioPreset*> {};
+
+TEST_P(ScenarioTraceTest, StreamPassesFullValidation) {
+  const EventStream stream = generate(*GetParam());
+  EXPECT_GT(stream.nodeCount(), 100u);
+  EXPECT_GT(stream.edgeCount(), stream.nodeCount());
+  EXPECT_NO_THROW(stream.validate());
+}
+
+TEST_P(ScenarioTraceTest, TimestampsNeverDecreaseAndNoSelfLoops) {
+  const EventStream stream = generate(*GetParam());
+  double last = 0.0;
+  for (const Event& event : stream.events()) {
+    ASSERT_GE(event.time, last);
+    last = event.time;
+    if (event.kind == EventKind::kEdgeAdd) {
+      ASSERT_NE(event.u, event.v) << "self-loop at t=" << event.time;
+    }
+  }
+}
+
+TEST_P(ScenarioTraceTest, CursorReplayHandsOutEveryEventInOrder) {
+  const EventStream stream = generate(*GetParam());
+  EventCursor cursor(stream);
+  std::size_t position = 0;
+  for (double bound = 1.0; bound <= stream.lastTime() + 1.0; bound += 1.0) {
+    for (const Event& event : cursor.takeUntil(bound)) {
+      ASSERT_LT(event.time, bound);
+      const Event& direct = stream.at(position);
+      ASSERT_EQ(event.time, direct.time);
+      ASSERT_EQ(static_cast<int>(event.kind), static_cast<int>(direct.kind));
+      ASSERT_EQ(event.u, direct.u);
+      ASSERT_EQ(event.v, direct.v);
+      ++position;
+    }
+  }
+  for (const Event& event : cursor.takeRemaining()) {
+    const Event& direct = stream.at(position);
+    ASSERT_EQ(event.time, direct.time);
+    ++position;
+  }
+  EXPECT_EQ(position, stream.size());
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST_P(ScenarioTraceTest, SerializesByteIdenticallyAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  std::string reference;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    const EventStream stream = generate(*GetParam());
+    std::stringstream buffer;
+    event_io::saveBinary(stream, buffer);
+    if (reference.empty()) {
+      reference = buffer.str();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(buffer.str(), reference)
+          << GetParam()->name << " trace differs at " << threads
+          << " threads";
+    }
+  }
+}
+
+std::vector<const scenario::ScenarioPreset*> presetPointers() {
+  std::vector<const scenario::ScenarioPreset*> pointers;
+  for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+    pointers.push_back(&preset);
+  }
+  return pointers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, ScenarioTraceTest, ::testing::ValuesIn(presetPointers()),
+    [](const ::testing::TestParamInfo<const scenario::ScenarioPreset*>&
+           info) {
+      std::string name = info.param->name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace msd

@@ -26,6 +26,7 @@ set(benches
   fig7_user_activity
   fig8_merge_activity
   fig9_merge_distance
+  scenario_suite
 )
 
 foreach(bench ${benches})

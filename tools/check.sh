@@ -37,6 +37,10 @@ cmake --build --preset werror -j "$jobs"
 step "msd_lint (determinism hazards H1-H5)"
 "$root/build-werror/tools/msd_lint" --root="$root"
 
+step "scenario suite (named workloads + qualitative assertions)"
+ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs" \
+  -L scenario
+
 step "tier-1 tests (werror build)"
 ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs"
 

@@ -9,6 +9,7 @@
 //   msdyn merge     trace.msdb [--merge-day=386]
 //   msdyn slice     IN OUT --from=D --to=D
 //   msdyn export-temporal IN OUT.txt
+//   msdyn scenario  list | describe NAME | run NAME [--scale=tiny]
 //
 // Files ending in .msdt are the text format; anything else is binary
 // (the temporal edge list is always plain "u v t" text).
@@ -16,6 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,8 @@
 #include "obs/manifest.h"
 #include "obs/mem.h"
 #include "obs/registry.h"
+#include "scenario/assertions.h"
+#include "scenario/scenario.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -113,6 +119,12 @@ int usage() {
                "  merge           FILE [--merge-day=386] [--window=94]\n"
                "  slice           IN OUT --from=D --to=D\n"
                "  export-temporal IN OUT.txt\n"
+               "  scenario        list\n"
+               "  scenario        describe NAME\n"
+               "  scenario        run NAME [--scale=tiny] [--seed=1] "
+               "[--out=DIR]\n"
+               "                  [--set=key=value ...] [--no-assert] "
+               "[--save-trace=FILE]\n"
                "global options:\n"
                "  --trace-json=FILE    write counters + scope timings as "
                "JSON after the command\n"
@@ -311,6 +323,163 @@ int cmdExportTemporal(const Args& args) {
   return 0;
 }
 
+// Generates one scenario's trace and measures its report.
+scenario::ScenarioReport measureScenario(const scenario::ScenarioPreset& preset,
+                                         scenario::Scale scale,
+                                         std::uint64_t seed,
+                                         std::span<const scenario::Override>
+                                             extra,
+                                         EventStream* streamOut) {
+  const GeneratorConfig config =
+      scenario::configFor(preset, scale, seed, extra);
+  TraceGenerator generator(config);
+  EventStream stream = generator.generate();
+  scenario::ScenarioReport report = scenario::computeReport(stream, config);
+  if (streamOut != nullptr) *streamOut = std::move(stream);
+  return report;
+}
+
+// Exit codes: 0 run + assertions pass, 1 assertion failure, 2 parse error
+// (unknown preset/scale, malformed or out-of-range --set override).
+int cmdScenario(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& verb = args.positional[0];
+
+  if (verb == "list") {
+    for (const scenario::ScenarioPreset& preset : scenario::allPresets()) {
+      std::printf("%-18s %s\n", preset.name.c_str(), preset.regime.c_str());
+    }
+    return 0;
+  }
+
+  if (verb == "describe") {
+    if (args.positional.size() < 2) return usage();
+    try {
+      const scenario::ScenarioPreset& preset =
+          scenario::presetOrThrow(args.positional[1]);
+      std::printf("%s\n", scenario::presetJson(preset).dump(2).c_str());
+      return 0;
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "msdyn scenario: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  if (verb != "run") {
+    std::fprintf(stderr,
+                 "msdyn scenario: unknown subcommand '%s' (known: list, "
+                 "describe, run)\n",
+                 verb.c_str());
+    return 2;
+  }
+  if (args.positional.size() < 2) return usage();
+
+  // Parse phase: anything wrong with the request itself exits 2.
+  const scenario::ScenarioPreset* preset = nullptr;
+  scenario::Scale scale = scenario::Scale::kTiny;
+  std::vector<scenario::Override> extra;
+  GeneratorConfig config;
+  const std::uint64_t seed = args.getU64("seed", 1);
+  try {
+    preset = &scenario::presetOrThrow(args.positional[1]);
+    scale = scenario::parseScale(args.get("scale", "tiny"));
+    for (const auto& [key, value] : args.options) {
+      if (key == "set") extra.push_back(scenario::parseOverride(value));
+    }
+    config = scenario::configFor(*preset, scale, seed, extra);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "msdyn scenario: %s\n", error.what());
+    return 2;
+  }
+
+  obs::setManifestSeed(static_cast<std::int64_t>(seed));
+  const std::string outDir = args.get("out", "scenario_out");
+  std::error_code ec;
+  std::filesystem::create_directories(outDir, ec);
+
+  Stopwatch watch;
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  std::printf("%s @ %s seed %llu: %zu nodes / %zu edges over %.0f days in "
+              "%.1fs\n",
+              preset->name.c_str(), scenario::scaleName(scale),
+              static_cast<unsigned long long>(seed), stream.nodeCount(),
+              stream.edgeCount(), stream.lastTime(), watch.seconds());
+  const char* savePath = args.get("save-trace", nullptr);
+  if (savePath != nullptr) {
+    saveAny(stream, savePath);
+    std::printf("trace -> %s\n", savePath);
+  }
+
+  const scenario::ScenarioReport report =
+      scenario::computeReport(stream, config);
+
+  // Growth series into the standard CSV artifact writer.
+  const GrowthSeries growth = analyzeGrowth(stream);
+  const std::string csvPath = outDir + "/" + preset->name + "_growth.csv";
+  const std::vector<TimeSeries> series = {
+      growth.newNodes, growth.newEdges, growth.totalNodes, growth.totalEdges};
+  writeSeriesCsv(csvPath, series);
+
+  obs::Json json = obs::Json::object();
+  json.set("schema", "msd-scenario-v1");
+  json.set("scenario", preset->name);
+  json.set("scale", scenario::scaleName(scale));
+  json.set("seed", seed);
+  obs::Json metricsJson = obs::Json::object();
+  for (const auto& [name, value] : report.metrics()) {
+    metricsJson.set(name, value);
+  }
+  json.set("metrics", std::move(metricsJson));
+
+  bool allPassed = true;
+  if (args.get("no-assert", nullptr) == nullptr) {
+    // Reference expectations compare against other presets' reports;
+    // measure each referenced preset once, same scale and seed.
+    std::map<std::string, scenario::ScenarioReport> all;
+    all.emplace(preset->name, report);
+    for (const scenario::ScenarioExpectation& expectation :
+         preset->expectations) {
+      if (expectation.refScenario.empty() ||
+          all.count(expectation.refScenario) != 0) {
+        continue;
+      }
+      std::printf("measuring reference scenario '%s'...\n",
+                  expectation.refScenario.c_str());
+      all.emplace(expectation.refScenario,
+                  measureScenario(
+                      scenario::presetOrThrow(expectation.refScenario), scale,
+                      seed, {}, nullptr));
+    }
+    obs::Json outcomes = obs::Json::array();
+    for (const scenario::ScenarioExpectation& expectation :
+         preset->expectations) {
+      const scenario::ExpectationOutcome outcome =
+          scenario::evaluate(expectation, report, all);
+      allPassed = allPassed && outcome.passed;
+      std::printf("  %s\n", outcome.text.c_str());
+      obs::Json entry = obs::Json::object();
+      entry.set("check", scenario::describe(expectation));
+      entry.set("passed", outcome.passed);
+      entry.set("measured", outcome.lhs);
+      entry.set("bound", outcome.rhs);
+      outcomes.push(std::move(entry));
+    }
+    json.set("expectations", std::move(outcomes));
+    json.set("passed", allPassed);
+  }
+
+  const std::string reportPath = outDir + "/" + preset->name + "_report.json";
+  {
+    std::ofstream file(reportPath);
+    if (!file) throw std::runtime_error("cannot write " + reportPath);
+    file << json.dump(2) << "\n";
+  }
+  std::printf("report -> %s, growth csv -> %s\n", reportPath.c_str(),
+              csvPath.c_str());
+  return allPassed ? 0 : 1;
+}
+
 }  // namespace
 
 int runCommand(const std::string& command, const Args& args) {
@@ -323,6 +492,7 @@ int runCommand(const std::string& command, const Args& args) {
   if (command == "merge") return cmdMerge(args);
   if (command == "slice") return cmdSlice(args);
   if (command == "export-temporal") return cmdExportTemporal(args);
+  if (command == "scenario") return cmdScenario(args);
   return usage();
 }
 
