@@ -174,6 +174,20 @@ class BenchReport {
     measurements_.push_back({std::move(name), std::move(samplesMs)});
   }
 
+  /// Samples the process memory high-water mark right now and records it
+  /// under `label` in the report's mem.samples object. Because VmHWM is
+  /// monotone, ordering phases cheap-to-expensive makes each sample an
+  /// upper bound on the phases so far — the scale sweep runs its
+  /// streaming phase before the in-memory one for exactly this reason.
+  void memSample(std::string label) {
+    obs::updateMemoryGauges();
+    const std::int64_t peak = obs::gaugeValue("mem.high_water_bytes");
+    if (peak > 0) {
+      memSamples_.push_back({std::move(label),
+                             static_cast<std::uint64_t>(peak)});
+    }
+  }
+
   /// Writes BENCH_<benchmark>.json; best-effort (a failed write warns on
   /// stdout but never fails the bench).
   void write() const {
@@ -210,6 +224,13 @@ class BenchReport {
         peak > 0) {
       obs::Json mem = obs::Json::object();
       mem.set("high_water_bytes", static_cast<std::uint64_t>(peak));
+      if (!memSamples_.empty()) {
+        obs::Json samples = obs::Json::object();
+        for (const auto& [label, bytes] : memSamples_) {
+          samples.set(label, bytes);
+        }
+        mem.set("samples", std::move(samples));
+      }
       doc.set("mem", std::move(mem));
     }
 
@@ -233,6 +254,7 @@ class BenchReport {
   Options options_;
   std::string benchmark_;
   std::vector<std::pair<std::string, std::vector<double>>> measurements_;
+  std::vector<std::pair<std::string, std::uint64_t>> memSamples_;
 };
 
 /// Prints a horizontal rule + section title.

@@ -1,0 +1,188 @@
+// Paper-scale memory/throughput sweep (1e5 -> 1e6 -> opt-in 1e7 nodes).
+//
+// For each target node count the sweep runs the out-of-core pipeline
+// first — streaming generation straight into an msd-bin-v1 file, then a
+// streaming Fig 1 series replay through BinaryEventReader — and samples
+// the process high-water mark after each phase. Only then does it run
+// the in-memory comparison (readAll() into an EventStream + the same
+// series), so the VmHWM samples bracket the two pipelines: because the
+// high-water mark is monotone, the streaming samples are untainted by
+// the in-memory phase, and the gap between the two is the memory the
+// binary log saves. At the largest scales the in-memory phase is skipped
+// (that materialization is exactly what the format exists to avoid) and
+// the sweep reports the computed EventStream footprint instead.
+//
+//   scale_sweep [--nodes-list=100000,1000000] [--seed=N] [--out=DIR]
+//
+// The 1e7 run is opt-in: --nodes-list=100000,1000000,10000000.
+// Emits BENCH_scale_sweep.json with a mem.samples object keyed
+// n<nodes>.<phase>; bench_compare prints these informationally.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "analysis/metrics_over_time.h"
+#include "io/binary_event_log.h"
+#include "util/error.h"
+
+namespace msd {
+namespace {
+
+std::vector<std::uint64_t> parseNodesList(int argc, char** argv) {
+  std::string list = "100000,1000000";
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--nodes-list=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      list = argv[i] + std::strlen(prefix);
+    }
+  }
+  std::vector<std::uint64_t> nodes;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) {
+      nodes.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  ensure(!nodes.empty(), "scale_sweep: empty --nodes-list");
+  // Ascending order keeps each scale's VmHWM samples meaningful: a big
+  // run before a small one would pin the high-water mark above anything
+  // the small run allocates.
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// Series sampling thinned as the trace grows, so the sweep measures the
+/// streaming substrate rather than O(snapshots * BFS) analysis cost.
+MetricsOverTimeConfig seriesConfigFor(std::uint64_t targetNodes) {
+  MetricsOverTimeConfig config;
+  if (targetNodes >= 5'000'000) {
+    config.snapshotStep = 7.0;
+    config.pathEvery = 77.0;
+    config.pathSamples = 4;
+    config.clusteringSamples = 100;
+  } else if (targetNodes >= 500'000) {
+    config.snapshotStep = 2.0;
+    config.pathEvery = 14.0;
+    config.pathSamples = 8;
+    config.clusteringSamples = 200;
+  }
+  return config;
+}
+
+bool sameSeries(const TimeSeries& a, const TimeSeries& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.timeAt(i) != b.timeAt(i) || a.valueAt(i) != b.valueAt(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  const bench::Options options = bench::parseOptions(argc, argv);
+  const std::vector<std::uint64_t> nodesList = parseNodesList(argc, argv);
+  // In-memory comparison ceiling: above this the EventStream alone is
+  // multiple GB and the point of the sweep is that we never build it.
+  constexpr std::uint64_t kInMemoryCeiling = 2'000'000;
+
+  bench::BenchReport report(options, "scale_sweep");
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options.outDir, ec);
+
+  for (const std::uint64_t targetNodes : nodesList) {
+    const std::string tag = "n" + std::to_string(targetNodes);
+    bench::section("scale " + tag);
+    const std::string tracePath =
+        options.outDir + "/sweep_" + tag + ".msdbin";
+    const GeneratorConfig config = GeneratorConfig::scaledTo(
+        static_cast<double>(targetNodes), options.seed);
+
+    // Phase 1: streaming generation -> msd-bin-v1 (O(graph) memory).
+    Stopwatch genWatch;
+    io::BinaryEventWriter::Stats stats{};
+    {
+      TraceGenerator generator(config);
+      io::BinaryLogOptions logOptions;
+      logOptions.seed = options.seed;
+      io::BinaryEventWriter writer(tracePath, logOptions);
+      generator.generateTo(writer);
+      stats = writer.close();
+    }
+    report.record(tag + ".streaming_generate", {genWatch.seconds() * 1e3});
+    report.memSample(tag + ".streaming_generate");
+    std::printf("  [gen] %" PRIu64 " nodes / %" PRIu64 " edges -> %.1f MB "
+                "msdbin (%.1fs)\n",
+                stats.nodeCount, stats.edgeCount,
+                static_cast<double>(stats.fileBytes) / 1e6,
+                genWatch.seconds());
+
+    // Phase 2: streaming Fig 1 series replay (one decoded block + the
+    // incremental engine's graph state in memory).
+    const MetricsOverTimeConfig seriesConfig = seriesConfigFor(targetNodes);
+    Stopwatch streamWatch;
+    MetricsOverTime streamed;
+    {
+      io::BinaryEventReader reader(tracePath);
+      streamed = analyzeMetricsOverTime(reader, reader.lastTime(),
+                                        seriesConfig);
+    }
+    report.record(tag + ".streaming_series", {streamWatch.seconds() * 1e3});
+    report.memSample(tag + ".streaming_series");
+    std::printf("  [series] %zu snapshots streamed (%.1fs)\n",
+                streamed.averageDegree.size(), streamWatch.seconds());
+
+    // What the in-memory pipeline would hold just for the events.
+    const std::uint64_t eventStreamBytes =
+        stats.eventCount * sizeof(Event);
+    std::printf("  [mem] EventStream alone would hold %.1f MB "
+                "(%" PRIu64 " events x %zu B)\n",
+                static_cast<double>(eventStreamBytes) / 1e6,
+                stats.eventCount, sizeof(Event));
+
+    if (targetNodes > kInMemoryCeiling) {
+      std::printf("  [mem] in-memory comparison skipped at this scale\n");
+      continue;
+    }
+
+    // Phase 3: the in-memory pipeline on the same trace — materialize
+    // the full EventStream, rerun the same series, and demand the
+    // streamed replay was bit-identical.
+    Stopwatch memWatch;
+    MetricsOverTime inMemory;
+    {
+      io::BinaryEventReader reader(tracePath);
+      const EventStream stream = reader.readAll();
+      inMemory = analyzeMetricsOverTime(stream, seriesConfig);
+    }
+    report.record(tag + ".inmemory_series", {memWatch.seconds() * 1e3});
+    report.memSample(tag + ".inmemory_series");
+    ensure(sameSeries(streamed.averageDegree, inMemory.averageDegree) &&
+               sameSeries(streamed.averagePathLength,
+                          inMemory.averagePathLength) &&
+               sameSeries(streamed.clusteringCoefficient,
+                          inMemory.clusteringCoefficient) &&
+               sameSeries(streamed.assortativity, inMemory.assortativity),
+           "scale_sweep: streamed series diverged from in-memory replay");
+    std::printf("  [series] in-memory replay bit-identical (%.1fs)\n",
+                memWatch.seconds());
+  }
+
+  report.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main(int argc, char** argv) { return msd::run(argc, argv); }

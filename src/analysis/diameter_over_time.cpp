@@ -1,6 +1,6 @@
 #include "analysis/diameter_over_time.h"
 
-#include "graph/csr.h"
+#include "graph/delta_csr.h"
 #include "graph/snapshot.h"
 #include "util/error.h"
 
@@ -15,14 +15,24 @@ DiameterOverTime analyzeDiameterOverTime(
 
   const SnapshotSchedule schedule(config.firstDay, stream.lastTime(),
                                   config.every);
-  forEachSnapshot(stream, schedule, [&](Day day, const DynamicGraph& dynamic) {
-    if (dynamic.edgeCount() == 0) return;
-    const CsrGraph csr = CsrGraph::fromGraph(dynamic.graph());
+  // Delta-reused CSR: each snapshot applies only its window's new events
+  // to the persistent adjacency state instead of replaying the stream and
+  // freezing a Graph from scratch. The arrays are byte-identical to the
+  // former per-snapshot CsrGraph::fromGraph, so the ANF series is
+  // unchanged bit for bit.
+  EventCursor cursor(stream);
+  CsrDeltaBuilder builder(CsrDeltaBuilder::Mode::kAdjacency);
+  for (Day day : schedule.days()) {
+    // End-of-day convention: a snapshot at `day` contains every event
+    // with time < day + 1, matching forEachSnapshot.
+    builder.apply(cursor.takeUntil(day + 1.0));
+    if (builder.edgeCount() == 0) continue;
+    const CsrGraph csr = builder.snapshot();
     const NeighborhoodFunction anf = neighborhoodFunction(csr, config.anf);
-    if (anf.pairs.size() < 2) return;
+    if (anf.pairs.size() < 2) continue;
     result.effectiveDiameter.add(day, anf.effectiveDiameter(config.fraction));
     result.meanDistance.add(day, anf.averageDistance());
-  });
+  }
   return result;
 }
 

@@ -1,5 +1,8 @@
 #include "analysis/metrics_over_time.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/snapshot.h"
 #include "metrics/assortativity.h"
 #include "metrics/clustering.h"
@@ -28,17 +31,30 @@ constexpr std::uint64_t kPathStream = 1;
 
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config) {
+  if (stream.empty()) {
+    return MetricsOverTime{TimeSeries("avg_degree"),
+                           TimeSeries("avg_path_length"),
+                           TimeSeries("clustering"),
+                           TimeSeries("assortativity")};
+  }
+  EventCursor cursor(stream);
+  return analyzeMetricsOverTime(cursor, stream.lastTime(), config);
+}
+
+MetricsOverTime analyzeMetricsOverTime(EventSource& source, Day lastDay,
+                                       const MetricsOverTimeConfig& config) {
   MSD_TRACE_SCOPE("fig1.metrics_over_time");
   MetricsOverTime result{TimeSeries("avg_degree"), TimeSeries("avg_path_length"),
                          TimeSeries("clustering"), TimeSeries("assortativity")};
-  if (stream.empty()) return result;
+  if (source.exhausted()) return result;
 
+  const Day lastSnapshotDay = std::max(0.0, std::floor(lastDay));
   const SnapshotSchedule schedule =
-      SnapshotSchedule::everyFor(stream, config.snapshotStep);
+      SnapshotSchedule(0.0, lastSnapshotDay, config.snapshotStep);
   // One single-pass replay for the whole series: the engine absorbs each
   // snapshot's new events incrementally, and the per-snapshot getters
   // reproduce the batch kernels' values exactly (see incremental.h).
-  IncrementalMetricsEngine engine(stream);
+  IncrementalMetricsEngine engine(source);
   double nextPathDay = 0.0;
   std::uint64_t snapshotIndex = 0;
   for (Day day : schedule.days()) {

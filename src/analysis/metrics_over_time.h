@@ -41,6 +41,15 @@ struct MetricsOverTime {
 MetricsOverTime analyzeMetricsOverTime(const EventStream& stream,
                                        const MetricsOverTimeConfig& config = {});
 
+/// Out-of-core variant: replays an arbitrary EventSource (typically an
+/// io::BinaryEventReader) without materializing an EventStream, so the
+/// Fig 1 series of a paper-scale trace are computed in bounded memory.
+/// `lastDay` is the timestamp of the final event (the binary header
+/// records it); the snapshot schedule covers [0, floor(lastDay)]. Series
+/// are bit-identical to the EventStream overload on the same events.
+MetricsOverTime analyzeMetricsOverTime(EventSource& source, Day lastDay,
+                                       const MetricsOverTimeConfig& config = {});
+
 /// Reference oracle: materializes every snapshot and recomputes each
 /// metric from scratch with the batch kernels in src/metrics/. Kept for
 /// the incremental-vs-batch property suite and the bench comparison;

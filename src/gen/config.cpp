@@ -16,6 +16,24 @@ GeneratorConfig GeneratorConfig::communityScale(std::uint64_t seed) {
   return config;
 }
 
+GeneratorConfig GeneratorConfig::scaledTo(double targetNodes,
+                                          std::uint64_t seed) {
+  // Measured node count of the default renren() config (seed 1); the
+  // arrival process is linear in its base/cap, so scaling both by k
+  // scales the expected population by ~k.
+  constexpr double kRenrenNodes = 9.86e4;
+  const double k = targetNodes / kRenrenNodes;
+  GeneratorConfig config = renren(seed);
+  config.arrival.base *= k;
+  config.arrival.cap *= k;
+  config.merge.secondArrival.base *= k;
+  config.merge.secondArrival.cap *= k;
+  config.attachment.paHalfLifeEdges *= k;
+  config.attachment.bestOfHalfLifeEdges *= k;
+  config.groups.referenceNodes *= k;
+  return config;
+}
+
 GeneratorConfig GeneratorConfig::tiny(std::uint64_t seed) {
   GeneratorConfig config;
   config.seed = seed;

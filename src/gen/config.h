@@ -218,6 +218,16 @@ struct GeneratorConfig {
 
   /// Tiny trace for unit tests (~10^3 nodes, ~100 days), merge on day 60.
   static GeneratorConfig tiny(std::uint64_t seed = 1);
+
+  /// Renren analog rescaled to roughly `targetNodes` users over the same
+  /// 770-day history: arrival rates (both networks) scale linearly with
+  /// the target, and the attachment/group reference scales
+  /// (paHalfLifeEdges, bestOfHalfLifeEdges, referenceNodes) scale along
+  /// so the alpha(t) decay and community structure keep their shape
+  /// instead of being pinned to bench-scale constants. The default
+  /// renren() config measures ~9.86e4 nodes, which anchors the scale
+  /// factor. Used by the paper-scale sweep (1e5 → 1e6 → 1e7 nodes).
+  static GeneratorConfig scaledTo(double targetNodes, std::uint64_t seed = 1);
 };
 
 }  // namespace msd

@@ -74,7 +74,7 @@ NodeId TraceGenerator::spawnNode(double t, Origin origin, bool isBot) {
   // schoolmates, and skipping chooseGroup keeps the organic RNG draw
   // sequence untouched when the cohort is disabled.
   const GroupId group = isBot ? kNoGroup : chooseGroup();
-  const NodeId id = stream_.appendNodeJoin(t, origin, group);
+  const NodeId id = emitNodeJoin(t, origin, group);
   graph_.addNode();
   degree_.push_back(0);
   population_.addNode(id, origin, group);
@@ -278,7 +278,7 @@ void TraceGenerator::processAction(const Action& action) {
   const NodeId destination = chooseDestination(node, action.time);
   if (destination != kInvalidNode) {
     MSD_COUNTER_ADD("gen.edges", 1);
-    stream_.appendEdgeAdd(action.time, node, destination);
+    emitEdgeAdd(action.time, node, destination);
     graph_.addEdge(node, destination);
     ++degree_[node];
     ++degree_[destination];
@@ -320,7 +320,7 @@ void TraceGenerator::importSecondNetwork(double t) {
           group = it->second;
         }
       }
-      const NodeId id = stream_.appendNodeJoin(t, Origin::kSecond, group);
+      const NodeId id = emitNodeJoin(t, Origin::kSecond, group);
       graph_.addNode();
       degree_.push_back(0);
       population_.addNode(id, Origin::kSecond, group);
@@ -330,7 +330,7 @@ void TraceGenerator::importSecondNetwork(double t) {
     } else {
       const NodeId u = idMap[event.u];
       const NodeId v = idMap[event.v];
-      stream_.appendEdgeAdd(t, u, v);
+      emitEdgeAdd(t, u, v);
       graph_.addEdge(u, v);
       ++degree_[u];
       ++degree_[v];
@@ -391,10 +391,46 @@ void TraceGenerator::performMerge(double t) {
   merged_ = true;
 }
 
+NodeId TraceGenerator::emitNodeJoin(double t, Origin origin, GroupId group) {
+  const auto id = static_cast<NodeId>(emitted_.nodes);
+  if (sink_ != nullptr) {
+    sink_->push(Event::nodeJoin(t, id, origin, group));
+  } else {
+    stream_.appendNodeJoin(t, origin, group);
+  }
+  ++emitted_.nodes;
+  emitted_.lastTime = t;
+  return id;
+}
+
+void TraceGenerator::emitEdgeAdd(double t, NodeId u, NodeId v) {
+  if (sink_ != nullptr) {
+    sink_->push(Event::edgeAdd(t, u, v));
+  } else {
+    stream_.appendEdgeAdd(t, u, v);
+  }
+  ++emitted_.edges;
+  emitted_.lastTime = t;
+}
+
 EventStream TraceGenerator::generate() {
-  MSD_TRACE_SCOPE("gen.generate");
   require(!generated_, "TraceGenerator::generate: call at most once");
   generated_ = true;
+  run();
+  return std::move(stream_);
+}
+
+TraceGenerator::GenerateStats TraceGenerator::generateTo(EventSink& sink) {
+  require(!generated_, "TraceGenerator::generateTo: call at most once");
+  generated_ = true;
+  sink_ = &sink;
+  run();
+  sink_ = nullptr;
+  return emitted_;
+}
+
+void TraceGenerator::run() {
+  MSD_TRACE_SCOPE("gen.generate");
 
   const auto totalDays = static_cast<long>(std::ceil(config_.days));
   const double spamStart = config_.spam.startFraction * config_.days;
@@ -561,7 +597,6 @@ EventStream TraceGenerator::generate() {
       }
     }
   }
-  return std::move(stream_);
 }
 
 }  // namespace msd

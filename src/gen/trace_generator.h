@@ -44,6 +44,23 @@ class TraceGenerator {
   /// Call at most once per generator instance.
   EventStream generate();
 
+  /// Totals of one streamed generation run.
+  struct GenerateStats {
+    std::uint64_t nodes = 0;
+    std::uint64_t edges = 0;
+    Day lastTime = 0.0;  ///< timestamp of the final event (0 if none)
+  };
+
+  /// Streaming variant: runs the same simulation but pushes every event
+  /// into `sink` (typically an io::BinaryEventWriter) instead of
+  /// materializing an EventStream — the event sequence is identical to
+  /// generate() for the same config. Peak memory drops from
+  /// O(events + graph) to O(graph): the simulation state (adjacency,
+  /// population, schedules) is still needed to choose destinations, but
+  /// the 32-byte-per-event trace goes straight to the sink. Call at most
+  /// once per generator instance; mutually exclusive with generate().
+  GenerateStats generateTo(EventSink& sink);
+
   /// Ground truth after generate(): per node id, whether it was marked a
   /// discarded duplicate account at the merge (such accounts neither
   /// initiate nor receive edges afterwards). Empty when the merge is
@@ -69,6 +86,9 @@ class TraceGenerator {
     bool operator>(const Action& other) const { return time > other.time; }
   };
 
+  void run();
+  NodeId emitNodeJoin(double t, Origin origin, GroupId group);
+  void emitEdgeAdd(double t, NodeId u, NodeId v);
   double arrivalRate(double day) const;
   GroupId chooseGroup();
   NodeId spawnNode(double t, Origin origin, bool isBot = false);
@@ -87,7 +107,9 @@ class TraceGenerator {
   GeneratorConfig config_;
   Calendar calendar_;
   Rng rng_;
-  EventStream stream_;
+  EventStream stream_;       // collect mode only (generate())
+  EventSink* sink_ = nullptr;  // streaming mode only (generateTo())
+  GenerateStats emitted_;
   Graph graph_;
   std::vector<std::uint32_t> degree_;
   PopulationIndex population_;

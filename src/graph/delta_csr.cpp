@@ -1,0 +1,70 @@
+#include "graph/delta_csr.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace msd {
+
+void CsrDeltaBuilder::apply(std::span<const Event> events) {
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kNodeJoin) {
+      require(event.u == rows_.size(),
+              "CsrDeltaBuilder: node ids must be dense and in join order");
+      rows_.emplace_back();
+    } else {
+      require(event.u < rows_.size() && event.v < rows_.size(),
+              "CsrDeltaBuilder: edge endpoints must already exist");
+      require(event.u != event.v, "CsrDeltaBuilder: self-loops not allowed");
+      addEdge(event.u, event.v);
+    }
+  }
+}
+
+bool CsrDeltaBuilder::addEdge(NodeId u, NodeId v) {
+  // Duplicate scan mirrors Graph::addEdge: check the smaller endpoint's
+  // row (binary search when rows are kept sorted).
+  const NodeId probe = rows_[u].size() <= rows_[v].size() ? u : v;
+  const NodeId other = probe == u ? v : u;
+  auto& probeRow = rows_[probe];
+  if (mode_ == Mode::kSorted) {
+    if (std::binary_search(probeRow.begin(), probeRow.end(), other)) {
+      return false;
+    }
+  } else if (std::find(probeRow.begin(), probeRow.end(), other) !=
+             probeRow.end()) {
+    return false;
+  }
+  if (mode_ == Mode::kSorted) {
+    auto& uRow = rows_[u];
+    uRow.insert(std::lower_bound(uRow.begin(), uRow.end(), v), v);
+    auto& vRow = rows_[v];
+    vRow.insert(std::lower_bound(vRow.begin(), vRow.end(), u), u);
+  } else {
+    rows_[u].push_back(v);
+    rows_[v].push_back(u);
+  }
+  ++edges_;
+  return true;
+}
+
+CsrGraph CsrDeltaBuilder::snapshot() const {
+  const std::size_t n = rows_.size();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (std::size_t node = 0; node < n; ++node) {
+    offsets[node + 1] = offsets[node] + rows_[node].size();
+  }
+  std::vector<NodeId> neighbors(offsets[n]);
+  for (std::size_t node = 0; node < n; ++node) {
+    std::copy(rows_[node].begin(), rows_[node].end(),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[node]));
+  }
+  CsrGraph csr = CsrGraph::fromRawParts(std::move(offsets),
+                                        std::move(neighbors),
+                                        mode_ == Mode::kSorted);
+  MSD_CHECK(csr.checkInvariants());
+  return csr;
+}
+
+}  // namespace msd

@@ -1,0 +1,58 @@
+#pragma once
+
+// Delta-reusing CSR materialization for adjacent snapshots.
+//
+// The per-snapshot pattern `CsrGraph::fromGraph(replayedGraph)` pays a
+// full Graph replay + freeze per snapshot; `sortedFromGraph` additionally
+// re-sorts every row each time. CsrDeltaBuilder keeps the adjacency state
+// alive across snapshot windows: each window applies only the new events
+// (kSorted mode inserts new neighbors into already-sorted rows instead of
+// re-sorting), and snapshot() concatenates the rows into CSR arrays — an
+// O(V + E) copy with no sorting and no graph replay.
+//
+// Determinism: given the same event sequence, snapshot() produces arrays
+// byte-identical to CsrGraph::fromGraph (kAdjacency: neighbors in
+// insertion order, duplicate edges ignored exactly like Graph::addEdge)
+// or CsrGraph::sortedFromGraph (kSorted), so downstream kernels (ANF,
+// BFS sweeps, clustering) see the exact same snapshot.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/event.h"
+
+namespace msd {
+
+class CsrDeltaBuilder {
+ public:
+  enum class Mode {
+    kAdjacency,  ///< rows in insertion order (== CsrGraph::fromGraph)
+    kSorted,     ///< rows sorted ascending (== CsrGraph::sortedFromGraph)
+  };
+
+  explicit CsrDeltaBuilder(Mode mode) : mode_(mode) {}
+
+  /// Applies one window of chronologically ordered events. Duplicate
+  /// edge events are ignored (Graph::addEdge semantics); edge endpoints
+  /// must already have joined.
+  void apply(std::span<const Event> events);
+
+  /// Freezes the current state into a CsrGraph. O(V + E) concatenation;
+  /// no sorting, no replay. Arrays are byte-identical to fromGraph /
+  /// sortedFromGraph of a Graph built from the same events.
+  CsrGraph snapshot() const;
+
+  std::size_t nodeCount() const { return rows_.size(); }
+  std::size_t edgeCount() const { return edges_; }
+
+ private:
+  bool addEdge(NodeId u, NodeId v);
+
+  Mode mode_;
+  std::vector<std::vector<NodeId>> rows_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace msd

@@ -46,6 +46,12 @@ void EventStream::append(const Event& event) {
   events_.push_back(event);
 }
 
+void EventStream::appendChecked(const Event& event) {
+  ensure(std::isfinite(event.time),
+         "EventStream::appendChecked: non-finite timestamp");
+  append(event);
+}
+
 NodeId EventStream::appendNodeJoin(Day time, Origin origin, GroupId group) {
   const auto id = static_cast<NodeId>(nodeCount_);
   append(Event::nodeJoin(time, id, origin, group));
@@ -66,6 +72,9 @@ void EventStream::validate() const {
   Day lastTime = -1e308;
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const Event& e = events_[i];
+    ensure(std::isfinite(e.time),
+           "EventStream::validate: non-finite timestamp at event " +
+               std::to_string(i));
     ensure(e.time >= lastTime,
            "EventStream::validate: timestamp regression at event " +
                std::to_string(i));
@@ -90,6 +99,19 @@ void EventStream::validate() const {
 std::span<const Event> EventCursor::takeUntil(Day bound) {
   const std::size_t begin = next_;
   while (next_ < events_.size() && events_[next_].time < bound) {
+    MSD_CHECK_MSG(events_[next_].time >= lastTime_,
+                  "EventCursor: timestamps must be non-decreasing");
+    lastTime_ = events_[next_].time;
+    ++next_;
+  }
+  return events_.subspan(begin, next_ - begin);
+}
+
+std::span<const Event> EventCursor::nextChunk(Day bound,
+                                              std::size_t maxEvents) {
+  const std::size_t begin = next_;
+  while (next_ < events_.size() && next_ - begin < maxEvents &&
+         events_[next_].time < bound) {
     MSD_CHECK_MSG(events_[next_].time >= lastTime_,
                   "EventCursor: timestamps must be non-decreasing");
     lastTime_ = events_[next_].time;

@@ -21,6 +21,14 @@ class EventStream {
   /// Appends one event. Requires event.time >= the last appended time.
   void append(const Event& event);
 
+  /// Appends one event after unconditionally rejecting non-finite
+  /// timestamps (append's finiteness guard is a debug contract, compiled
+  /// out of release builds). The single validated entry point for every
+  /// deserialization path: a +inf timestamp satisfies the monotonicity
+  /// checks in both append and validate, so without this gate it would
+  /// survive a release-build load and poison every downstream schedule.
+  void appendChecked(const Event& event);
+
   /// Appends a node-join event and returns the id it introduced (the next
   /// dense id). Keeps the dense-id invariant by construction.
   NodeId appendNodeJoin(Day time, Origin origin = Origin::kMain,
@@ -66,6 +74,42 @@ class EventStream {
   std::size_t edgeCount_ = 0;
 };
 
+/// Forward-only pull source of chronologically ordered events — the
+/// interface the incremental metrics engine (and every other single-pass
+/// consumer) replays through, so the same code path runs over an
+/// in-memory EventStream (EventCursor) and an out-of-core mmap-backed
+/// binary trace (io::BinaryEventReader) without materializing the latter.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// The next contiguous window of events with time < bound, at most
+  /// maxEvents long, advancing past it. An empty span means no more
+  /// events below the bound remain (a later call with a higher bound may
+  /// produce more). The span is only guaranteed valid until the next
+  /// call on this source. Bounds are expected non-decreasing across
+  /// calls; timestamps within and across windows never decrease.
+  virtual std::span<const Event> nextChunk(Day bound,
+                                           std::size_t maxEvents) = 0;
+
+  /// True when every event has been handed out.
+  virtual bool exhausted() const = 0;
+};
+
+/// Push sink for chronologically ordered events — the streaming emission
+/// target of TraceGenerator::generateTo, implemented by
+/// io::BinaryEventWriter so paper-scale traces go to disk in bounded
+/// memory instead of materializing an EventStream.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Accepts the next event. Implementations validate the EventStream
+  /// invariants (monotone finite timestamps, dense joins, known edge
+  /// endpoints, no self-loops) and throw on violations.
+  virtual void push(const Event& event) = 0;
+};
+
 /// Forward-only replay cursor over a chronologically ordered event
 /// sequence. Each takeUntil(bound) call hands out the next contiguous
 /// window of events with time < bound and advances past it, so a single
@@ -77,8 +121,9 @@ class EventStream {
 /// enforces this on append, but the span constructor accepts raw event
 /// windows that bypassed that guard, and replaying out of order would
 /// silently corrupt every incremental statistic downstream.
-class EventCursor {
+class EventCursor final : public EventSource {
  public:
+  EventCursor() = default;
   explicit EventCursor(const EventStream& stream)
       : events_(stream.events()) {}
   explicit EventCursor(std::span<const Event> events) : events_(events) {}
@@ -90,11 +135,14 @@ class EventCursor {
   /// All remaining events.
   std::span<const Event> takeRemaining();
 
+  /// EventSource: takeUntil capped at maxEvents per call.
+  std::span<const Event> nextChunk(Day bound, std::size_t maxEvents) override;
+
   /// Index of the next event the cursor will hand out.
   std::size_t position() const { return next_; }
 
   /// True when every event has been handed out.
-  bool exhausted() const { return next_ == events_.size(); }
+  bool exhausted() const override { return next_ == events_.size(); }
 
  private:
   std::span<const Event> events_;

@@ -1,0 +1,586 @@
+#include "io/binary_event_log.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "io/wire.h"
+#include "obs/counters.h"
+#include "obs/manifest.h"
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define MSD_HAVE_MMAP 1
+#endif
+
+namespace msd::io {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "msd-bin-v1 I/O assumes a little-endian host");
+
+// Worst case per event: tag + three maximal varints.
+constexpr std::size_t kMaxEventBytes = 1 + 3 * kMaxVarintBytes;
+
+constexpr std::uint8_t kTagKindEdge = 0x01;
+constexpr std::uint8_t kTagOriginShift = 1;
+constexpr std::uint8_t kTagHasGroup = 0x08;
+
+std::size_t pad8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+void store32(std::uint8_t* out, std::uint32_t v) { std::memcpy(out, &v, 4); }
+void store64(std::uint8_t* out, std::uint64_t v) { std::memcpy(out, &v, 8); }
+void storeF64(std::uint8_t* out, double v) { std::memcpy(out, &v, 8); }
+
+std::uint32_t load32(const std::uint8_t* in) {
+  std::uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+std::uint64_t load64(const std::uint8_t* in) {
+  std::uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+double loadF64(const std::uint8_t* in) {
+  double v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+
+/// Encodes one event with the given per-block delta state (updated in
+/// place). `out` must hold kMaxEventBytes.
+std::size_t encodeEvent(const Event& event, std::uint64_t& prevTimeBits,
+                        std::uint64_t& prevU, std::uint64_t& prevV,
+                        std::uint8_t* out) {
+  std::size_t n = 0;
+  const std::uint64_t timeBits = std::bit_cast<std::uint64_t>(event.time);
+  if (event.kind == EventKind::kNodeJoin) {
+    const bool hasGroup = event.group != kNoGroup;
+    std::uint8_t tag =
+        static_cast<std::uint8_t>(static_cast<std::uint8_t>(event.origin)
+                                  << kTagOriginShift);
+    if (hasGroup) tag = static_cast<std::uint8_t>(tag | kTagHasGroup);
+    out[n++] = tag;
+    n += encodeVarint(timeBits ^ prevTimeBits, out + n);
+    if (hasGroup) n += encodeVarint(event.group, out + n);
+  } else {
+    out[n++] = kTagKindEdge;
+    n += encodeVarint(timeBits ^ prevTimeBits, out + n);
+    n += encodeVarint(
+        zigzagEncode(static_cast<std::int64_t>(event.u) -
+                     static_cast<std::int64_t>(prevU)),
+        out + n);
+    n += encodeVarint(
+        zigzagEncode(static_cast<std::int64_t>(event.v) -
+                     static_cast<std::int64_t>(prevV)),
+        out + n);
+    prevU = event.u;
+    prevV = event.v;
+  }
+  prevTimeBits = timeBits;
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+BinaryEventWriter::BinaryEventWriter(const std::string& path,
+                                     const BinaryLogOptions& options)
+    : path_(path), options_(options) {
+  require(options_.blockCapacityBytes >= 64,
+          "BinaryEventWriter: blockCapacityBytes must be >= 64");
+  std::string manifest = options_.manifestJson;
+  if (manifest.empty()) {
+    manifest = obs::manifestJson(obs::currentManifest()).dump();
+  }
+  options_.manifestJson = manifest;
+  ensure(manifest.size() <= std::numeric_limits<std::uint32_t>::max(),
+         "BinaryEventWriter: manifest too large");
+  headerBytes_ = static_cast<std::uint32_t>(kBinaryHeaderBytes +
+                                            pad8(manifest.size()));
+  payload_.reserve(options_.blockCapacityBytes + kMaxEventBytes);
+
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  ensure(out_.is_open(),
+         "BinaryEventWriter: cannot open '" + path_ + "' for writing");
+  // Placeholder header; final totals are patched in close().
+  const std::string zeros(kBinaryHeaderBytes, '\0');
+  out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  out_.write(manifest.data(), static_cast<std::streamsize>(manifest.size()));
+  const std::size_t padding = pad8(manifest.size()) - manifest.size();
+  if (padding > 0) {
+    const char pad[8] = {};
+    out_.write(pad, static_cast<std::streamsize>(padding));
+  }
+  ensure(out_.good(), "BinaryEventWriter: write failed on '" + path_ + "'");
+  stats_.fileBytes = headerBytes_;
+}
+
+BinaryEventWriter::~BinaryEventWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports failures.
+  }
+}
+
+void BinaryEventWriter::push(const Event& event) {
+  ensure(!closed_, "BinaryEventWriter: push after close");
+  ensure(std::isfinite(event.time),
+         "BinaryEventWriter: non-finite timestamp");
+  ensure(!any_ || event.time >= lastTime_,
+         "BinaryEventWriter: timestamps must be non-decreasing");
+  ensure(static_cast<std::uint8_t>(event.origin) <= 2,
+         "BinaryEventWriter: invalid origin");
+  if (event.kind == EventKind::kNodeJoin) {
+    ensure(event.u == stats_.nodeCount,
+           "BinaryEventWriter: node ids must be dense and in join order");
+    ensure(event.v == kInvalidNode,
+           "BinaryEventWriter: node-join event with an edge endpoint");
+  } else {
+    ensure(event.u < stats_.nodeCount && event.v < stats_.nodeCount,
+           "BinaryEventWriter: edge endpoints must already exist");
+    ensure(event.u != event.v, "BinaryEventWriter: self-loops not allowed");
+    ensure(event.group == kNoGroup,
+           "BinaryEventWriter: edge event with a group");
+    ensure(event.origin == Origin::kMain,
+           "BinaryEventWriter: edge event with a non-default origin");
+  }
+
+  encodeInto(event);
+
+  lastTime_ = event.time;
+  any_ = true;
+  ++stats_.eventCount;
+  if (event.kind == EventKind::kNodeJoin) {
+    ++stats_.nodeCount;
+  } else {
+    ++stats_.edgeCount;
+  }
+}
+
+void BinaryEventWriter::encodeInto(const Event& event) {
+  std::uint8_t tmp[kMaxEventBytes];
+  std::uint64_t pt = prevTimeBits_;
+  std::uint64_t pu = prevU_;
+  std::uint64_t pv = prevV_;
+  std::size_t n = encodeEvent(event, pt, pu, pv, tmp);
+  if (payloadEvents_ > 0 && payload_.size() + n > options_.blockCapacityBytes) {
+    flushBlock();  // resets the delta state; re-encode against it
+    pt = prevTimeBits_;
+    pu = prevU_;
+    pv = prevV_;
+    n = encodeEvent(event, pt, pu, pv, tmp);
+  }
+  payload_.insert(payload_.end(), tmp, tmp + n);
+  ++payloadEvents_;
+  prevTimeBits_ = pt;
+  prevU_ = pu;
+  prevV_ = pv;
+}
+
+void BinaryEventWriter::flushBlock() {
+  if (payloadEvents_ == 0) return;
+  std::uint8_t header[kBlockHeaderBytes];
+  store32(header + 0, static_cast<std::uint32_t>(payload_.size()));
+  store32(header + 4, payloadEvents_);
+  store32(header + 8, crc32(payload_.data(), payload_.size()));
+  store32(header + 12, crc32(header, 12));
+  out_.write(reinterpret_cast<const char*>(header),
+             static_cast<std::streamsize>(kBlockHeaderBytes));
+  out_.write(reinterpret_cast<const char*>(payload_.data()),
+             static_cast<std::streamsize>(payload_.size()));
+  ensure(out_.good(), "BinaryEventWriter: write failed on '" + path_ + "'");
+  stats_.fileBytes += kBlockHeaderBytes + payload_.size();
+  ++stats_.blockCount;
+  MSD_COUNTER_ADD("io.msdbin_blocks_written", 1);
+  payload_.clear();
+  payloadEvents_ = 0;
+  prevTimeBits_ = 0;
+  prevU_ = 0;
+  prevV_ = 0;
+}
+
+BinaryEventWriter::Stats BinaryEventWriter::close() {
+  if (closed_) return stats_;
+  flushBlock();
+
+  std::uint8_t header[kBinaryHeaderBytes];
+  std::memset(header, 0, sizeof(header));
+  std::memcpy(header + 0, kBinaryMagic, 8);
+  store32(header + 8, kBinaryVersion);
+  store32(header + 12, headerBytes_);
+  store64(header + 16, stats_.eventCount);
+  store64(header + 24, stats_.nodeCount);
+  store64(header + 32, stats_.edgeCount);
+  store64(header + 40, stats_.blockCount);
+  store64(header + 48, options_.seed);
+  storeF64(header + 56, any_ ? lastTime_ : 0.0);
+  store32(header + 64, options_.blockCapacityBytes);
+  store32(header + 68,
+          static_cast<std::uint32_t>(options_.manifestJson.size()));
+  store32(header + 72, 0);  // reserved
+  store32(header + 76, crc32(header, 76));
+
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(header),
+             static_cast<std::streamsize>(kBinaryHeaderBytes));
+  out_.flush();
+  ensure(out_.good(), "BinaryEventWriter: write failed on '" + path_ + "'");
+  out_.close();
+  closed_ = true;
+  MSD_COUNTER_ADD("io.msdbin_events_written",
+                  static_cast<std::int64_t>(stats_.eventCount));
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Read-only view of the whole file: mmap when available, a heap copy
+/// otherwise. munmap/close in the destructor.
+struct BinaryEventReader::Mapping {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+#ifdef MSD_HAVE_MMAP
+  void* addr = nullptr;
+#endif
+  std::vector<std::uint8_t> fallback;
+
+  explicit Mapping(const std::string& path) {
+#ifdef MSD_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    ensure(fd >= 0, "msd-bin-v1: cannot open '" + path + "' for reading");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      ensure(false, "msd-bin-v1: cannot stat '" + path + "'");
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        addr = nullptr;
+        ::close(fd);
+        ensure(false, "msd-bin-v1: mmap failed for '" + path + "'");
+      }
+      data = static_cast<const std::uint8_t*>(addr);
+    }
+    ::close(fd);
+#else
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.is_open(), "msd-bin-v1: cannot open '" + path + "' for reading");
+    in.seekg(0, std::ios::end);
+    size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    fallback.resize(size);
+    in.read(reinterpret_cast<char*>(fallback.data()),
+            static_cast<std::streamsize>(size));
+    ensure(in.good() || size == 0,
+           "msd-bin-v1: read failed for '" + path + "'");
+    data = fallback.data();
+#endif
+  }
+
+  ~Mapping() {
+#ifdef MSD_HAVE_MMAP
+    if (addr != nullptr) ::munmap(addr, size);
+#endif
+  }
+
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+};
+
+void BinaryEventReader::fail(const std::string& what) const {
+  throw std::runtime_error("msd-bin-v1: " + what + " in '" + path_ + "'");
+}
+
+BinaryEventReader::BinaryEventReader(const std::string& path) : path_(path) {
+  map_ = std::make_unique<Mapping>(path);
+  data_ = map_->data;
+  size_ = map_->size;
+
+  if (size_ < kBinaryHeaderBytes) {
+    fail("truncated file: " + std::to_string(size_) +
+         " bytes, fixed header needs " + std::to_string(kBinaryHeaderBytes));
+  }
+  if (std::memcmp(data_, kBinaryMagic, 8) != 0) {
+    fail("bad magic (not an msd-bin-v1 file)");
+  }
+  const std::uint32_t version = load32(data_ + 8);
+  if (version != kBinaryVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kBinaryVersion) + ")");
+  }
+  if (crc32(data_, 76) != load32(data_ + 76)) {
+    fail("header CRC mismatch");
+  }
+
+  const std::uint32_t headerBytes = load32(data_ + 12);
+  eventCount_ = load64(data_ + 16);
+  nodeCount_ = load64(data_ + 24);
+  edgeCount_ = load64(data_ + 32);
+  blockCount_ = load64(data_ + 40);
+  seed_ = load64(data_ + 48);
+  lastTime_ = loadF64(data_ + 56);
+  blockCapacityBytes_ = load32(data_ + 64);
+  const std::uint32_t manifestBytes = load32(data_ + 68);
+  if (load32(data_ + 72) != 0) {
+    fail("corrupt header: reserved field is non-zero");
+  }
+  if (headerBytes !=
+      kBinaryHeaderBytes + pad8(manifestBytes)) {
+    fail("corrupt header: headerBytes inconsistent with manifest length");
+  }
+  if (headerBytes > size_) {
+    fail("truncated file: header+manifest need " +
+         std::to_string(headerBytes) + " bytes, file has " +
+         std::to_string(size_));
+  }
+  if (blockCount_ > 0 && blockCapacityBytes_ == 0) {
+    fail("corrupt header: zero block capacity with blocks present");
+  }
+  if (eventCount_ != nodeCount_ + edgeCount_) {
+    fail("corrupt header: event count != node count + edge count");
+  }
+  if ((eventCount_ == 0) != (blockCount_ == 0)) {
+    fail("corrupt header: event/block count disagreement");
+  }
+
+  manifest_.assign(reinterpret_cast<const char*>(data_) + kBinaryHeaderBytes,
+                   manifestBytes);
+  obs::RunManifest parsed;
+  try {
+    parsed = obs::parseManifest(obs::Json::parse(manifest_),
+                                "msd-bin-v1 embedded manifest");
+  } catch (const std::exception& e) {
+    fail(std::string("manifest mismatch: embedded manifest invalid: ") +
+         e.what());
+  }
+  if (parsed.seed >= 0 &&
+      static_cast<std::uint64_t>(parsed.seed) != seed_) {
+    fail("manifest mismatch: header seed " + std::to_string(seed_) +
+         " vs manifest seed " + std::to_string(parsed.seed));
+  }
+
+  cursor_ = headerBytes;
+  if (blockCount_ == 0) {
+    if (cursor_ != size_) fail("trailing bytes after last block");
+    totalsChecked_ = true;
+  }
+}
+
+BinaryEventReader::~BinaryEventReader() = default;
+
+void BinaryEventReader::decodeNextBlock() {
+  const std::string blockName = "block " + std::to_string(blocksRead_);
+  if (size_ - cursor_ < kBlockHeaderBytes) {
+    fail("truncated file: " + blockName + " header needs " +
+         std::to_string(kBlockHeaderBytes) + " bytes, " +
+         std::to_string(size_ - cursor_) + " remain");
+  }
+  const std::uint8_t* header = data_ + cursor_;
+  if (crc32(header, 12) != load32(header + 12)) {
+    fail(blockName + " header corrupt (header check mismatch)");
+  }
+  const std::uint32_t payloadBytes = load32(header + 0);
+  const std::uint32_t blockEvents = load32(header + 4);
+  const std::uint32_t blockCrc = load32(header + 8);
+  if (payloadBytes == 0 || payloadBytes > blockCapacityBytes_) {
+    fail(blockName + " corrupt: payload size " +
+         std::to_string(payloadBytes) + " outside (0, " +
+         std::to_string(blockCapacityBytes_) + "]");
+  }
+  if (blockEvents == 0) {
+    fail(blockName + " corrupt: zero events");
+  }
+  if (size_ - cursor_ - kBlockHeaderBytes < payloadBytes) {
+    fail("truncated file: " + blockName + " payload needs " +
+         std::to_string(payloadBytes) + " bytes, " +
+         std::to_string(size_ - cursor_ - kBlockHeaderBytes) + " remain");
+  }
+  const std::uint8_t* payload = header + kBlockHeaderBytes;
+  if (crc32(payload, payloadBytes) != blockCrc) {
+    fail(blockName + " payload CRC mismatch");
+  }
+
+  buffer_.clear();
+  buffer_.reserve(blockEvents);
+  bufPos_ = 0;
+  std::size_t off = 0;
+  std::uint64_t prevTimeBits = 0;
+  std::uint64_t prevU = 0;
+  std::uint64_t prevV = 0;
+  const auto varint = [&](const char* what) {
+    const VarintDecode d = decodeVarint(payload + off, payloadBytes - off);
+    if (!d.ok) {
+      fail(blockName + ": malformed varint (" + std::string(what) +
+           ") at payload offset " + std::to_string(off));
+    }
+    off += d.bytes;
+    return d.value;
+  };
+
+  for (std::uint32_t i = 0; i < blockEvents; ++i) {
+    if (off >= payloadBytes) {
+      fail(blockName + ": payload ends before event " + std::to_string(i));
+    }
+    if (eventsSeen_ == eventCount_) {
+      fail(blockName + ": more events than the header declares");
+    }
+    const std::uint8_t tag = payload[off++];
+    prevTimeBits ^= varint("timestamp");
+    const Day time = std::bit_cast<double>(prevTimeBits);
+    if (!std::isfinite(time)) {
+      fail(blockName + ": non-finite timestamp at event " +
+           std::to_string(i));
+    }
+    if (anyEvent_ && time < lastEventTime_) {
+      fail(blockName + ": timestamp regression at event " +
+           std::to_string(i));
+    }
+
+    if ((tag & kTagKindEdge) == 0) {
+      if ((tag & ~std::uint8_t{0x0f}) != 0) {
+        fail(blockName + ": invalid join tag at event " + std::to_string(i));
+      }
+      const auto originBits =
+          static_cast<std::uint8_t>((tag >> kTagOriginShift) & 0x03u);
+      if (originBits > 2) {
+        fail(blockName + ": invalid origin at event " + std::to_string(i));
+      }
+      GroupId group = kNoGroup;
+      if ((tag & kTagHasGroup) != 0) {
+        const std::uint64_t raw = varint("group");
+        if (raw >= kNoGroup) {
+          fail(blockName + ": group id out of range at event " +
+               std::to_string(i));
+        }
+        group = static_cast<GroupId>(raw);
+      }
+      if (nodesSeen_ >= nodeCount_) {
+        fail(blockName + ": more node joins than the header declares");
+      }
+      buffer_.push_back(Event::nodeJoin(time,
+                                        static_cast<NodeId>(nodesSeen_),
+                                        static_cast<Origin>(originBits),
+                                        group));
+      ++nodesSeen_;
+    } else {
+      if (tag != kTagKindEdge) {
+        fail(blockName + ": invalid edge tag at event " + std::to_string(i));
+      }
+      const std::int64_t u = static_cast<std::int64_t>(prevU) +
+                             zigzagDecode(varint("edge u"));
+      const std::int64_t v = static_cast<std::int64_t>(prevV) +
+                             zigzagDecode(varint("edge v"));
+      if (u < 0 || v < 0 ||
+          static_cast<std::uint64_t>(u) >= nodesSeen_ ||
+          static_cast<std::uint64_t>(v) >= nodesSeen_) {
+        fail(blockName + ": edge references unseen node at event " +
+             std::to_string(i));
+      }
+      if (u == v) {
+        fail(blockName + ": self-loop at event " + std::to_string(i));
+      }
+      prevU = static_cast<std::uint64_t>(u);
+      prevV = static_cast<std::uint64_t>(v);
+      buffer_.push_back(Event::edgeAdd(time, static_cast<NodeId>(u),
+                                       static_cast<NodeId>(v)));
+      ++edgesSeen_;
+    }
+    lastEventTime_ = time;
+    anyEvent_ = true;
+    ++eventsSeen_;
+  }
+  if (off != payloadBytes) {
+    fail(blockName + ": " + std::to_string(payloadBytes - off) +
+         " trailing payload bytes");
+  }
+
+  cursor_ += kBlockHeaderBytes + payloadBytes;
+  ++blocksRead_;
+  MSD_COUNTER_ADD("io.msdbin_blocks_read", 1);
+
+  if (blocksRead_ == blockCount_) {
+    if (cursor_ != size_) fail("trailing bytes after last block");
+    if (eventsSeen_ != eventCount_ || nodesSeen_ != nodeCount_ ||
+        edgesSeen_ != edgeCount_) {
+      fail("event totals disagree with the header (events " +
+           std::to_string(eventsSeen_) + "/" + std::to_string(eventCount_) +
+           ", nodes " + std::to_string(nodesSeen_) + "/" +
+           std::to_string(nodeCount_) + ", edges " +
+           std::to_string(edgesSeen_) + "/" + std::to_string(edgeCount_) +
+           ")");
+    }
+    if (anyEvent_ && !(lastEventTime_ == lastTime_)) {
+      fail("last timestamp disagrees with the header");
+    }
+    totalsChecked_ = true;
+  }
+}
+
+std::span<const Event> BinaryEventReader::nextChunk(Day bound,
+                                                    std::size_t maxEvents) {
+  if (bufPos_ == buffer_.size() && blocksRead_ < blockCount_) {
+    decodeNextBlock();  // every block holds >= 1 event
+  }
+  const std::size_t begin = bufPos_;
+  while (bufPos_ < buffer_.size() && bufPos_ - begin < maxEvents &&
+         buffer_[bufPos_].time < bound) {
+    ++bufPos_;
+  }
+  return std::span<const Event>(buffer_).subspan(begin, bufPos_ - begin);
+}
+
+bool BinaryEventReader::exhausted() const {
+  return bufPos_ == buffer_.size() && blocksRead_ == blockCount_;
+}
+
+EventStream BinaryEventReader::readAll() {
+  EventStream stream;
+  stream.reserve(eventCount_);
+  while (true) {
+    const auto chunk =
+        nextChunk(std::numeric_limits<Day>::infinity(), ~std::size_t{0});
+    if (chunk.empty()) break;
+    for (const Event& e : chunk) stream.appendChecked(e);
+  }
+  ensure(exhausted(), "msd-bin-v1: readAll left events behind");
+  return stream;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+
+BinaryEventWriter::Stats writeBinaryLogFile(const EventStream& stream,
+                                            const std::string& path,
+                                            const BinaryLogOptions& options) {
+  BinaryEventWriter writer(path, options);
+  for (const Event& e : stream.events()) writer.push(e);
+  return writer.close();
+}
+
+EventStream readBinaryLogFile(const std::string& path) {
+  BinaryEventReader reader(path);
+  return reader.readAll();
+}
+
+bool isBinaryLogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ensure(in.is_open(), "cannot open '" + path + "' for reading");
+  char magic[8] = {};
+  in.read(magic, 8);
+  return in.gcount() == 8 && std::memcmp(magic, kBinaryMagic, 8) == 0;
+}
+
+}  // namespace msd::io

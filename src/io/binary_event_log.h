@@ -1,0 +1,221 @@
+#pragma once
+
+// msd-bin-v1: compact, mmap-readable binary event log for paper-scale
+// traces. All integers little-endian.
+//
+// Layout:
+//
+//   offset  size  field
+//   ------  ----  -----
+//        0     8  magic, ASCII "msdbin1\n"
+//        8     4  u32 version (= 1)
+//       12     4  u32 headerBytes   — file offset of the first block
+//                                     (= 80 + manifest padded to 8)
+//       16     8  u64 eventCount
+//       24     8  u64 nodeCount
+//       32     8  u64 edgeCount
+//       40     8  u64 blockCount
+//       48     8  u64 seed          — generator seed (echoes the manifest)
+//       56     8  f64 lastTime      — timestamp of the final event (0 if none)
+//       64     4  u32 blockCapacityBytes — max payload bytes per block
+//       68     4  u32 manifestBytes — unpadded manifest length
+//       72     4  u32 reserved (= 0)
+//       76     4  u32 headerCrc     — CRC32 of bytes [0, 76)
+//       80     …  msd-run-v1 manifest JSON, zero-padded to an 8-byte multiple
+//   headerBytes  blockCount blocks, back to back
+//
+// Each block is a 16-byte header followed by its payload:
+//
+//   u32 payloadBytes   — in (0, blockCapacityBytes]
+//   u32 eventCount     — events encoded in the payload (> 0)
+//   u32 blockCrc       — CRC32 of the payload
+//   u32 headerCheck    — CRC32 of the 12 bytes above
+//
+// so truncation and corruption are detected at block granularity. Blocks
+// are self-contained: the delta state below resets at every block start.
+//
+// Per-event payload encoding (varints are LEB128, io/wire.h):
+//
+//   tag byte: bit 0 = kind (0 join, 1 edge)
+//     joins:  bits 1-2 = origin, bit 3 = has-group
+//     edges:  bits 1-7 = 0
+//   varint( bitcast<u64>(time) XOR previous time bits )  — identical
+//     timestamps (bulk merge imports) cost one byte
+//   joins store NO node id: ids are dense, so id == nodes seen so far
+//   joins with has-group: varint(group)
+//   edges: varint(zigzag(i64(u) - i64(prev u))),
+//          varint(zigzag(i64(v) - i64(prev v)))          — then prev u/v
+//          update to this edge's endpoints
+//
+// BinaryEventWriter is a streaming EventSink (TraceGenerator::generateTo
+// targets it directly); BinaryEventReader is an mmap-backed forward-only
+// EventSource, so IncrementalMetricsEngine and the analysis pipelines
+// replay a trace without ever materializing an EventStream.
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/event_stream.h"
+
+namespace msd::io {
+
+inline constexpr char kBinaryMagic[8] = {'m', 's', 'd', 'b',
+                                         'i', 'n', '1', '\n'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+inline constexpr std::size_t kBinaryHeaderBytes = 80;
+inline constexpr std::size_t kBlockHeaderBytes = 16;
+inline constexpr std::uint32_t kDefaultBlockCapacityBytes = 256 * 1024;
+
+/// Options for writing an msd-bin-v1 file.
+struct BinaryLogOptions {
+  /// Generator seed recorded in the header (cross-checked against the
+  /// embedded manifest's seed on read when both are set).
+  std::uint64_t seed = 0;
+
+  /// Maximum payload bytes per block. Smaller blocks mean finer-grained
+  /// corruption detection and lower reader memory; larger blocks mean
+  /// less header overhead.
+  std::uint32_t blockCapacityBytes = kDefaultBlockCapacityBytes;
+
+  /// When non-empty, written verbatim as the embedded manifest instead of
+  /// serializing the process-wide msd-run-v1 manifest. Golden-file tests
+  /// use this to pin a canonical manifest independent of git state.
+  std::string manifestJson;
+};
+
+/// Streaming writer. Events are validated against the EventStream
+/// invariants as they arrive, encoded into bounded blocks, and flushed to
+/// disk; the header is patched with final totals on close().
+class BinaryEventWriter final : public EventSink {
+ public:
+  struct Stats {
+    std::uint64_t eventCount = 0;
+    std::uint64_t nodeCount = 0;
+    std::uint64_t edgeCount = 0;
+    std::uint64_t blockCount = 0;
+    std::uint64_t fileBytes = 0;
+  };
+
+  BinaryEventWriter(const std::string& path, const BinaryLogOptions& options);
+  ~BinaryEventWriter() override;
+
+  BinaryEventWriter(const BinaryEventWriter&) = delete;
+  BinaryEventWriter& operator=(const BinaryEventWriter&) = delete;
+
+  /// Validates and appends one event. Throws std::runtime_error on an
+  /// invariant violation or I/O failure.
+  void push(const Event& event) override;
+
+  /// Flushes the trailing block, patches the header, and closes the file.
+  /// Idempotent. Throws on I/O failure.
+  Stats close();
+
+  /// True once close() has run.
+  bool closed() const { return closed_; }
+
+ private:
+  void flushBlock();
+  void encodeInto(const Event& event);
+
+  std::string path_;
+  BinaryLogOptions options_;
+  std::ofstream out_;
+  std::vector<std::uint8_t> payload_;   // pending block payload
+  std::uint32_t payloadEvents_ = 0;
+  std::uint64_t prevTimeBits_ = 0;      // per-block delta state
+  std::uint64_t prevU_ = 0;
+  std::uint64_t prevV_ = 0;
+  Day lastTime_ = 0.0;
+  bool any_ = false;
+  Stats stats_;
+  std::uint32_t headerBytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Memory-mapped forward-only reader. Header and manifest are validated
+/// up front; blocks are CRC-checked and decoded lazily, one block at a
+/// time, as nextChunk pulls events — peak memory is one decoded block
+/// regardless of trace size. Every decoded event is re-validated against
+/// the EventStream invariants, and totals are checked against the header
+/// when the last block is consumed. All failures are std::runtime_error
+/// with a distinct "msd-bin-v1:"-prefixed message naming the block.
+class BinaryEventReader final : public EventSource {
+ public:
+  explicit BinaryEventReader(const std::string& path);
+  ~BinaryEventReader() override;
+
+  BinaryEventReader(const BinaryEventReader&) = delete;
+  BinaryEventReader& operator=(const BinaryEventReader&) = delete;
+
+  // EventSource.
+  std::span<const Event> nextChunk(Day bound, std::size_t maxEvents) override;
+  bool exhausted() const override;
+
+  // Header facts (available immediately, before any block is read).
+  std::uint64_t eventCount() const { return eventCount_; }
+  std::uint64_t nodeCount() const { return nodeCount_; }
+  std::uint64_t edgeCount() const { return edgeCount_; }
+  std::uint64_t blockCount() const { return blockCount_; }
+  std::uint64_t seed() const { return seed_; }
+  Day lastTime() const { return lastTime_; }
+  std::uint32_t blockCapacityBytes() const { return blockCapacityBytes_; }
+
+  /// The embedded msd-run-v1 manifest, verbatim.
+  const std::string& manifestJson() const { return manifest_; }
+
+  /// Decodes the remaining events into an EventStream (convenience for
+  /// small traces; defeats the out-of-core purpose at paper scale).
+  EventStream readAll();
+
+ private:
+  struct Mapping;
+
+  void decodeNextBlock();
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string path_;
+  std::unique_ptr<Mapping> map_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+
+  std::uint64_t eventCount_ = 0;
+  std::uint64_t nodeCount_ = 0;
+  std::uint64_t edgeCount_ = 0;
+  std::uint64_t blockCount_ = 0;
+  std::uint64_t seed_ = 0;
+  Day lastTime_ = 0.0;
+  std::uint32_t blockCapacityBytes_ = 0;
+  std::string manifest_;
+
+  std::size_t cursor_ = 0;          // byte offset of the next block
+  std::uint64_t blocksRead_ = 0;
+  std::vector<Event> buffer_;       // decoded events of the current block
+  std::size_t bufPos_ = 0;
+  // Streaming re-validation state.
+  std::uint64_t nodesSeen_ = 0;
+  std::uint64_t edgesSeen_ = 0;
+  std::uint64_t eventsSeen_ = 0;
+  Day lastEventTime_ = 0.0;
+  bool anyEvent_ = false;
+  bool totalsChecked_ = false;
+};
+
+/// Writes a whole in-memory stream as msd-bin-v1. Convenience wrapper
+/// around BinaryEventWriter.
+BinaryEventWriter::Stats writeBinaryLogFile(const EventStream& stream,
+                                            const std::string& path,
+                                            const BinaryLogOptions& options);
+
+/// Reads a whole msd-bin-v1 file into memory.
+EventStream readBinaryLogFile(const std::string& path);
+
+/// True when the file at `path` starts with the msd-bin-v1 magic. Used
+/// by format sniffing in msdyn; throws only when the file cannot be
+/// opened.
+bool isBinaryLogFile(const std::string& path);
+
+}  // namespace msd::io

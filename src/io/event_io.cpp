@@ -1,7 +1,8 @@
 #include "io/event_io.h"
 
-#include <cstdint>
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 #include <fstream>
@@ -44,21 +45,57 @@ std::ifstream openIn(const std::string& path, std::ios::openmode mode) {
   return in;
 }
 
+void writeTextHeader(std::ostream& out, std::size_t nodes,
+                     std::size_t edges) {
+  out << kTextMagic << ' ' << kFormatVersion << ' ' << nodes << ' ' << edges
+      << '\n';
+  out.precision(17);
+}
+
+void writeTextEvent(std::ostream& out, const Event& e) {
+  if (e.kind == EventKind::kNodeJoin) {
+    out << "N " << e.time << ' ' << e.u << ' '
+        << static_cast<unsigned>(e.origin) << ' ' << e.group << '\n';
+  } else {
+    out << "E " << e.time << ' ' << e.u << ' ' << e.v << '\n';
+  }
+}
+
 }  // namespace
 
 void saveText(const EventStream& stream, std::ostream& out) {
-  out << kTextMagic << ' ' << kFormatVersion << ' ' << stream.nodeCount()
-      << ' ' << stream.edgeCount() << '\n';
-  out.precision(17);
+  writeTextHeader(out, stream.nodeCount(), stream.edgeCount());
   for (const Event& e : stream.events()) {
-    if (e.kind == EventKind::kNodeJoin) {
-      out << "N " << e.time << ' ' << e.u << ' '
-          << static_cast<unsigned>(e.origin) << ' ' << e.group << '\n';
-    } else {
-      out << "E " << e.time << ' ' << e.u << ' ' << e.v << '\n';
-    }
+    writeTextEvent(out, e);
   }
   ensure(out.good(), "event_io::saveText: write failure");
+}
+
+TextEventWriter::TextEventWriter(const std::string& path, std::size_t nodes,
+                                 std::size_t edges)
+    : path_(path), out_(openOut(path, std::ios::out)) {
+  writeTextHeader(out_, nodes, edges);
+}
+
+TextEventWriter::~TextEventWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports failures.
+  }
+}
+
+void TextEventWriter::push(const Event& event) {
+  ensure(!closed_, "TextEventWriter: push after close");
+  writeTextEvent(out_, event);
+}
+
+void TextEventWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  ensure(out_.good(), "TextEventWriter: write failure: " + path_);
+  out_.close();
+  closed_ = true;
 }
 
 void saveTextFile(const EventStream& stream, const std::string& path) {
@@ -88,14 +125,15 @@ EventStream loadText(std::istream& in) {
       in >> time >> id >> origin >> group;
       ensure(in.good() || in.eof(), "event_io::loadText: truncated node line");
       ensure(origin <= 2, "event_io::loadText: bad origin value");
-      stream.append(Event::nodeJoin(time, id, static_cast<Origin>(origin),
-                                    group));
+      stream.appendChecked(Event::nodeJoin(time, id,
+                                           static_cast<Origin>(origin),
+                                           group));
     } else if (tag == "E") {
       double time = 0.0;
       NodeId u = 0, v = 0;
       in >> time >> u >> v;
       ensure(in.good() || in.eof(), "event_io::loadText: truncated edge line");
-      stream.append(Event::edgeAdd(time, u, v));
+      stream.appendChecked(Event::edgeAdd(time, u, v));
     } else {
       ensure(false, "event_io::loadText: unknown record tag '" + tag + "'");
     }
@@ -163,7 +201,7 @@ EventStream loadBinary(std::istream& in) {
     e.u = record.u;
     e.v = record.v;
     e.group = record.group;
-    stream.append(e);
+    stream.appendChecked(e);
   }
   stream.validate();
   return stream;
@@ -207,6 +245,8 @@ EventStream loadTemporalEdgeList(std::istream& in) {
            "event_io::loadTemporalEdgeList: malformed line: " + line);
     ensure(edge.u != edge.v,
            "event_io::loadTemporalEdgeList: self-loop: " + line);
+    ensure(std::isfinite(edge.time),
+           "event_io::loadTemporalEdgeList: non-finite timestamp: " + line);
     edges.push_back(edge);
   }
   std::stable_sort(edges.begin(), edges.end(),

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 
@@ -44,6 +45,30 @@ EventStream loadBinary(std::istream& in);
 
 /// Reads the binary format from a file. Throws on I/O failure.
 EventStream loadBinaryFile(const std::string& path);
+
+/// Streaming text writer: produces byte-identical output to saveText,
+/// but events are pushed one at a time — so a binary trace converts to
+/// text without materializing an EventStream. The msdt header needs the
+/// totals up front; the msd-bin-v1 header supplies them.
+class TextEventWriter final : public EventSink {
+ public:
+  TextEventWriter(const std::string& path, std::size_t nodes,
+                  std::size_t edges);
+  ~TextEventWriter() override;
+
+  TextEventWriter(const TextEventWriter&) = delete;
+  TextEventWriter& operator=(const TextEventWriter&) = delete;
+
+  void push(const Event& event) override;
+
+  /// Flushes and closes; throws on I/O failure. Idempotent.
+  void close();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  bool closed_ = false;
+};
 
 /// Writes the SNAP-style temporal edge list ("u v t" per line, one line
 /// per edge, '#' comments) — the de-facto interchange format of public

@@ -1,0 +1,76 @@
+#include "io/wire.h"
+
+#include <array>
+
+namespace msd::io {
+namespace {
+
+// IEEE 802.3 reflected polynomial, the one zlib/gzip/PNG use. Table is
+// computed once at startup; no external compression library involved.
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+std::size_t encodeVarint(std::uint64_t value, std::uint8_t* out) {
+  std::size_t n = 0;
+  while (value >= 0x80u) {
+    out[n++] = static_cast<std::uint8_t>(value | 0x80u);
+    value >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(value);
+  return n;
+}
+
+VarintDecode decodeVarint(const std::uint8_t* data, std::size_t size) {
+  VarintDecode result;
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < size && i < kMaxVarintBytes; ++i) {
+    const std::uint8_t byte = data[i];
+    const std::uint64_t group = byte & 0x7fu;
+    // The 10th byte group carries only the top bit of a uint64; anything
+    // beyond bit 0 there (or a set continuation bit) overflows 64 bits.
+    if (i == kMaxVarintBytes - 1 && byte > 0x01u) {
+      return result;
+    }
+    value |= group << (7 * i);
+    if ((byte & 0x80u) == 0) {
+      result.value = value;
+      result.bytes = i + 1;
+      result.ok = true;
+      return result;
+    }
+  }
+  return result;  // ran out of bytes with the continuation bit still set
+}
+
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size) {
+  const auto& table = crcTable();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32Update(0, data, size);
+}
+
+}  // namespace msd::io

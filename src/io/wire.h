@@ -1,0 +1,51 @@
+#pragma once
+
+// Wire-level primitives of the msd-bin-v1 event log (io/binary_event_log.h):
+// LEB128 varints, zigzag signed mapping, and CRC32 (IEEE 802.3, the zlib
+// polynomial). Exposed as a standalone header so the format tests can fuzz
+// the decoder directly on raw byte strings.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msd::io {
+
+/// Longest LEB128 encoding of a uint64 (ceil(64 / 7) groups).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends the LEB128 encoding of `value` to `out` (which must have room
+/// for kMaxVarintBytes). Returns the number of bytes written (1..10).
+std::size_t encodeVarint(std::uint64_t value, std::uint8_t* out);
+
+/// Result of one varint decode attempt over a bounded buffer.
+struct VarintDecode {
+  std::uint64_t value = 0;
+  std::size_t bytes = 0;  ///< consumed bytes; 0 = malformed or truncated
+  bool ok = false;
+};
+
+/// Decodes one LEB128 varint from [data, data + size). Never reads past
+/// the buffer and never throws: a truncated or over-long (more than 10
+/// byte groups, or bits above 2^64) encoding returns ok == false.
+VarintDecode decodeVarint(const std::uint8_t* data, std::size_t size);
+
+/// Zigzag mapping of a signed delta onto an unsigned varint-friendly
+/// value: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+inline std::uint64_t zigzagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+/// Inverse of zigzagEncode.
+inline std::int64_t zigzagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+/// CRC32 (IEEE, reflected, init/final 0xffffffff) of the given bytes.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feeds more bytes into a running CRC32.
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+}  // namespace msd::io

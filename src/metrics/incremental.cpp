@@ -32,7 +32,7 @@ constexpr std::size_t kPendingGrain = 16;
 
 IncrementalMetricsEngine::IncrementalMetricsEngine(
     const EventStream& stream, IncrementalMetricsConfig config)
-    : config_(config), cursor_(stream) {
+    : config_(config), ownedCursor_(stream), source_(&ownedCursor_) {
   neighbors_.reserve(stream.nodeCount());
   tags_.reserve(stream.nodeCount());
   tri_.reserve(stream.nodeCount());
@@ -43,14 +43,24 @@ IncrementalMetricsEngine::IncrementalMetricsEngine(
 
 IncrementalMetricsEngine::IncrementalMetricsEngine(
     std::span<const Event> events, IncrementalMetricsConfig config)
-    : config_(config), cursor_(events) {}
+    : config_(config), ownedCursor_(events), source_(&ownedCursor_) {}
+
+IncrementalMetricsEngine::IncrementalMetricsEngine(
+    EventSource& source, IncrementalMetricsConfig config)
+    : config_(config), source_(&source) {}
 
 void IncrementalMetricsEngine::advanceTo(Day bound) {
-  applyWindow(cursor_.takeUntil(bound));
+  require(config_.maxWindowEvents > 0,
+          "IncrementalMetricsEngine: maxWindowEvents must be positive");
+  while (true) {
+    const auto chunk = source_->nextChunk(bound, config_.maxWindowEvents);
+    if (chunk.empty()) break;
+    applyWindow(chunk);
+  }
 }
 
 void IncrementalMetricsEngine::advanceToEnd() {
-  applyWindow(cursor_.takeRemaining());
+  advanceTo(std::numeric_limits<Day>::infinity());
 }
 
 void IncrementalMetricsEngine::applyWindow(std::span<const Event> events) {

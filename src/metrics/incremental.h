@@ -27,6 +27,13 @@ struct IncrementalMetricsConfig {
   /// instead of inline. The parallel and sequential paths produce
   /// identical integers, so the threshold affects wall time only.
   std::size_t parallelEdgeThreshold = 4096;
+
+  /// Maximum events pulled from the EventSource per applyWindow call.
+  /// Splitting a snapshot window into chunks yields bit-identical results
+  /// (every statistic is an exact integer update and the window-tag
+  /// visibility filter is chunk-local), so this bounds peak memory of
+  /// out-of-core replay without affecting any value.
+  std::size_t maxWindowEvents = std::size_t{1} << 20;
 };
 
 /// Streaming replacement for the per-snapshot Fig 1 metric recomputation.
@@ -68,6 +75,18 @@ class IncrementalMetricsEngine {
   /// cursor's MSD_CHECK contract catches out-of-order timestamps).
   explicit IncrementalMetricsEngine(std::span<const Event> events,
                                     IncrementalMetricsConfig config = {});
+
+  /// Replays an arbitrary EventSource — the out-of-core entry point (an
+  /// io::BinaryEventReader replays a paper-scale trace in bounded
+  /// memory). The source must outlive the engine.
+  explicit IncrementalMetricsEngine(EventSource& source,
+                                    IncrementalMetricsConfig config = {});
+
+  // The in-memory constructors point source_ at ownedCursor_, so the
+  // engine is not copyable or movable.
+  IncrementalMetricsEngine(const IncrementalMetricsEngine&) = delete;
+  IncrementalMetricsEngine& operator=(const IncrementalMetricsEngine&) =
+      delete;
 
   /// Applies every not-yet-applied event with time < bound. Bounds are
   /// expected to be non-decreasing across calls (a lower bound is a
@@ -154,7 +173,8 @@ class IncrementalMetricsEngine {
   void bfsFrom(NodeId source, BfsScratch& scratch) const;
 
   IncrementalMetricsConfig config_;
-  EventCursor cursor_;
+  EventCursor ownedCursor_;          // backing store of the stream/span ctors
+  EventSource* source_ = nullptr;    // replay source (may be &ownedCursor_)
 
   // Graph state. tags_ mirrors neighbors_ entry for entry with the edge
   // sequence number of the insert — the window-local visibility filter of

@@ -141,6 +141,19 @@ std::vector<std::string> validateBenchJson(const Json& json) {
       } else if (peak->intValue() < 0) {
         problems.push_back("mem.high_water_bytes must be non-negative");
       }
+      // Labeled mid-run samples are optional next to the final mark.
+      if (const Json* samples = mem->find("samples")) {
+        if (!samples->isObject()) {
+          problems.push_back("mem.samples must be an object");
+        } else {
+          for (const auto& [label, value] : samples->members()) {
+            if (!value.isInt() || value.intValue() < 0) {
+              problems.push_back("mem.samples[\"" + label +
+                                 "\"] must be a non-negative integer");
+            }
+          }
+        }
+      }
     }
   }
   return problems;
@@ -181,6 +194,12 @@ BenchRun parseBenchRun(const Json& json) {
   if (const Json* mem = json.find("mem")) {
     run.memHighWaterBytes =
         static_cast<std::uint64_t>(mem->find("high_water_bytes")->intValue());
+    if (const Json* samples = mem->find("samples")) {
+      for (const auto& [label, value] : samples->members()) {
+        run.memSamples[label] =
+            static_cast<std::uint64_t>(value.intValue());
+      }
+    }
   }
   return run;
 }
@@ -324,6 +343,25 @@ CompareReport compareBenchRuns(const std::vector<BenchRun>& oldRuns,
       entry.benchmark = name;
       entry.oldBytes = *oldRun->memHighWaterBytes;
       entry.newBytes = *newRun.memHighWaterBytes;
+      if (entry.oldBytes > 0) {
+        entry.relChange = (static_cast<double>(entry.newBytes) -
+                           static_cast<double>(entry.oldBytes)) /
+                          static_cast<double>(entry.oldBytes);
+      } else {
+        entry.relChange = entry.newBytes > 0 ? 1.0 : 0.0;
+      }
+      report.mem.push_back(std::move(entry));
+    }
+    // Labeled samples compare like the final mark: informational only,
+    // and only for labels present on both sides (a sweep that adds or
+    // drops a scale simply stops reporting that label).
+    for (const auto& [label, oldBytes] : oldRun->memSamples) {
+      const auto sampleIt = newRun.memSamples.find(label);
+      if (sampleIt == newRun.memSamples.end()) continue;
+      MemEntry entry;
+      entry.benchmark = name + "/" + label;
+      entry.oldBytes = oldBytes;
+      entry.newBytes = sampleIt->second;
       if (entry.oldBytes > 0) {
         entry.relChange = (static_cast<double>(entry.newBytes) -
                            static_cast<double>(entry.oldBytes)) /

@@ -56,6 +56,10 @@ struct BenchRun {
   /// Peak process RSS at report time ("mem" section); optional, and
   /// informational in comparisons — see CompareReport::mem.
   std::optional<std::uint64_t> memHighWaterBytes;
+  /// Labeled mid-run high-water samples ("mem.samples" object), emitted
+  /// by phase-ordered sweeps (the scale sweep samples after each phase).
+  /// Informational, like the final high-water mark.
+  std::map<std::string, std::uint64_t> memSamples;
 };
 
 /// Schema check: returns a list of human-readable problems (empty when
@@ -102,7 +106,8 @@ struct CounterDriftEntry {
 
 /// Peak-RSS comparison for one benchmark present in both sets. Never
 /// gated: peak RSS depends on allocator behavior and phase order, so it
-/// is reported for trend-watching only.
+/// is reported for trend-watching only. Labeled mem.samples entries use
+/// "benchmark/label" as the benchmark field.
 struct MemEntry {
   std::string benchmark;
   std::uint64_t oldBytes = 0;

@@ -388,6 +388,76 @@ TEST(BenchCompareTest, MemDeltasAreInformationalOnly) {
       obs::compareBenchRuns(legacyOld, newRuns, options).mem.empty());
 }
 
+obs::Json withMemSamples(obs::Json doc, std::uint64_t bytes,
+                         std::uint64_t streaming, std::uint64_t inMemory) {
+  obs::Json samples = obs::Json::object();
+  samples.set("n100000.streaming_series", streaming);
+  samples.set("n100000.inmemory_series", inMemory);
+  obs::Json mem = obs::Json::object();
+  mem.set("high_water_bytes", bytes);
+  mem.set("samples", std::move(samples));
+  doc.set("mem", std::move(mem));
+  return doc;
+}
+
+TEST(BenchCompareTest, MemSamplesAreValidatedParsedAndCompared) {
+  // Well-formed labeled samples parse into the memSamples map.
+  const obs::Json doc =
+      withMemSamples(validDoc("scale_sweep", "total", 10.0), 2000, 700, 1800);
+  EXPECT_TRUE(obs::validateBenchJson(doc).empty());
+  const obs::BenchRun run = obs::parseBenchRun(doc);
+  ASSERT_EQ(run.memSamples.size(), 2u);
+  EXPECT_EQ(run.memSamples.at("n100000.streaming_series"), 700u);
+  EXPECT_EQ(run.memSamples.at("n100000.inmemory_series"), 1800u);
+
+  // Malformed samples are flagged: non-object, non-integer entry.
+  obs::Json notObject = validDoc("scale_sweep", "total", 10.0);
+  {
+    obs::Json mem = obs::Json::object();
+    mem.set("high_water_bytes", std::uint64_t{1});
+    mem.set("samples", obs::Json::array());
+    notObject.set("mem", std::move(mem));
+  }
+  EXPECT_FALSE(obs::validateBenchJson(notObject).empty());
+  obs::Json badEntry = validDoc("scale_sweep", "total", 10.0);
+  {
+    obs::Json samples = obs::Json::object();
+    samples.set("label", "not-a-number");
+    obs::Json mem = obs::Json::object();
+    mem.set("high_water_bytes", std::uint64_t{1});
+    mem.set("samples", std::move(samples));
+    badEntry.set("mem", std::move(mem));
+  }
+  EXPECT_FALSE(obs::validateBenchJson(badEntry).empty());
+
+  // Comparison yields one informational entry per shared label, keyed
+  // "benchmark/label", plus the final high-water entry; labels on one
+  // side only are dropped silently.
+  const auto oldRuns = std::vector<obs::BenchRun>{obs::parseBenchRun(
+      withMemSamples(validDoc("scale_sweep", "total", 10.0), 2000, 700,
+                     1800))};
+  obs::Json newDoc =
+      withMemSamples(validDoc("scale_sweep", "total", 10.0), 2400, 1400, 1900);
+  const auto newRuns =
+      std::vector<obs::BenchRun>{obs::parseBenchRun(newDoc)};
+  const obs::CompareReport report =
+      obs::compareBenchRuns(oldRuns, newRuns, obs::CompareOptions{});
+  ASSERT_EQ(report.mem.size(), 3u);
+  EXPECT_EQ(report.mem[0].benchmark, "scale_sweep");
+  bool sawStreaming = false;
+  for (const obs::MemEntry& entry : report.mem) {
+    if (entry.benchmark == "scale_sweep/n100000.streaming_series") {
+      sawStreaming = true;
+      EXPECT_EQ(entry.oldBytes, 700u);
+      EXPECT_EQ(entry.newBytes, 1400u);
+      EXPECT_NEAR(entry.relChange, 1.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(sawStreaming);
+  EXPECT_FALSE(report.anyRegression);
+  EXPECT_FALSE(report.anyCounterDrift);
+}
+
 TEST(BenchCompareTest, IgnoredPrefixesAndMissingCounters) {
   obs::Json oldDoc = validDoc("fig1", "total", 10.0);
   obs::Json oldCounters = obs::Json::object();

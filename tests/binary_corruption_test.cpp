@@ -1,0 +1,315 @@
+// Corruption battery for msd-bin-v1 (src/io/binary_event_log.h): every
+// way a file can rot — truncation, a flipped payload byte, a bad magic,
+// an unsupported version, a header/manifest seed disagreement — must
+// surface as a distinct std::runtime_error naming the failure, never a
+// crash or a silently wrong stream; `msdyn convert` must turn them all
+// into exit code 2. A golden hex lock pins the exact bytes of a tiny
+// fixed-seed file so any accidental format change fails loudly
+// (MSD_UPDATE_GOLDEN=1 regenerates after an intentional change).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/event_stream.h"
+#include "io/binary_event_log.h"
+#include "io/wire.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("msd_bincorrupt_" + name)).string();
+}
+
+/// Canonical manifest for reproducible files, independent of git state
+/// and the process-wide manifest.
+const char* kPinnedManifest =
+    "{\"schema\":\"msd-run-v1\",\"build_type\":\"Release\","
+    "\"build_flags\":[],\"obs\":true,\"git\":\"pinned\",\"seed\":42,"
+    "\"threads\":1,\"args\":[]}";
+
+EventStream tinyStream() {
+  EventStream stream;
+  stream.appendChecked(Event::nodeJoin(0.0, 0, Origin::kMain, 1));
+  stream.appendChecked(Event::nodeJoin(0.5, 1, Origin::kSecond, kNoGroup));
+  stream.appendChecked(Event::nodeJoin(1.0, 2, Origin::kPostMerge, 0));
+  stream.appendChecked(Event::edgeAdd(1.5, 0, 1));
+  stream.appendChecked(Event::edgeAdd(2.0, 2, 0));
+  return stream;
+}
+
+std::string writeTiny(const std::string& name) {
+  const std::string path = tempPath(name);
+  io::BinaryLogOptions options;
+  options.seed = 42;
+  options.manifestJson = kPinnedManifest;
+  io::writeBinaryLogFile(tinyStream(), path, options);
+  return path;
+}
+
+std::vector<std::uint8_t> readBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void writeBytes(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Reads the whole file through the streaming reader, returning the
+/// error message ("" when the file reads clean).
+std::string readError(const std::string& path) {
+  try {
+    io::BinaryEventReader reader(path);
+    (void)reader.readAll();
+    return "";
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+}
+
+void patchU32(std::vector<std::uint8_t>& bytes, std::size_t offset,
+              std::uint32_t value) {
+  ASSERT_LE(offset + 4, bytes.size());
+  std::memcpy(bytes.data() + offset, &value, 4);
+}
+
+/// Recomputes the header CRC at offset 76 after a deliberate header
+/// patch, so the test reaches the post-CRC validation it targets.
+void fixHeaderCrc(std::vector<std::uint8_t>& bytes) {
+  patchU32(bytes, 76, io::crc32(bytes.data(), 76));
+}
+
+TEST(BinaryCorruptionTest, CleanFileReads) {
+  const std::string path = writeTiny("clean.msdbin");
+  EXPECT_EQ(readError(path), "");
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, TruncationsAreDetectedEverywhere) {
+  const std::string path = writeTiny("trunc.msdbin");
+  const std::vector<std::uint8_t> full = readBytes(path);
+  // Every proper prefix must fail with a context-qualified error — never
+  // read as a shorter-but-valid file (the header pins all totals).
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    writeBytes(path, std::vector<std::uint8_t>(full.begin(),
+                                               full.begin() +
+                                                   static_cast<std::ptrdiff_t>(
+                                                       keep)));
+    const std::string message = readError(path);
+    ASSERT_NE(message, "") << "prefix of " << keep << " bytes read clean";
+    EXPECT_NE(message.find("msd-bin-v1"), std::string::npos) << message;
+    EXPECT_NE(message.find(path), std::string::npos)
+        << "error must name the file: " << message;
+  }
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, FlippedPayloadByteFailsTheBlockCrc) {
+  const std::string path = writeTiny("flip.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  // The single block starts right after header+manifest; flip one
+  // payload byte past its 16-byte block header.
+  io::BinaryEventReader probe(path);
+  ASSERT_EQ(probe.blockCount(), 1u);
+  std::uint32_t headerBytes = 0;
+  std::memcpy(&headerBytes, bytes.data() + 12, 4);
+  const std::size_t payloadStart = headerBytes + io::kBlockHeaderBytes;
+  ASSERT_LT(payloadStart, bytes.size());
+  bytes[payloadStart] ^= 0x40;
+  writeBytes(path, bytes);
+  const std::string message = readError(path);
+  EXPECT_NE(message.find("payload CRC mismatch"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("block 0"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, FlippedBlockHeaderFailsTheHeaderCheck) {
+  const std::string path = writeTiny("blockhdr.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  std::uint32_t headerBytes = 0;
+  std::memcpy(&headerBytes, bytes.data() + 12, 4);
+  bytes[headerBytes] ^= 0x01;  // first byte of the block's payloadBytes
+  writeBytes(path, bytes);
+  const std::string message = readError(path);
+  EXPECT_NE(message.find("header check mismatch"), std::string::npos)
+      << message;
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, BadMagicIsRejected) {
+  const std::string path = writeTiny("magic.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  bytes[0] = 'X';
+  writeBytes(path, bytes);
+  EXPECT_NE(readError(path).find("bad magic"), std::string::npos);
+  // The legacy "MSDB" magic is a different format, not a version of this
+  // one.
+  std::memcpy(bytes.data(), "MSDBin1\n", 8);
+  writeBytes(path, bytes);
+  EXPECT_NE(readError(path).find("bad magic"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, UnsupportedVersionIsRejected) {
+  const std::string path = writeTiny("version.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  patchU32(bytes, 8, 2);  // version 2 does not exist
+  fixHeaderCrc(bytes);
+  writeBytes(path, bytes);
+  const std::string message = readError(path);
+  EXPECT_NE(message.find("unsupported version 2"), std::string::npos)
+      << message;
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, HeaderCrcGuardsTheHeader) {
+  const std::string path = writeTiny("hdrcrc.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  // Corrupt the event count but leave the CRC: the CRC catches it first.
+  patchU32(bytes, 16, 999);
+  writeBytes(path, bytes);
+  EXPECT_NE(readError(path).find("header CRC mismatch"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, ManifestSeedMismatchIsRejected) {
+  const std::string path = writeTiny("seed.msdbin");
+  std::vector<std::uint8_t> bytes = readBytes(path);
+  // Patch the header seed (offset 48) away from the manifest's 42 and
+  // recompute the header CRC so the cross-check itself is what fires.
+  patchU32(bytes, 48, 43);
+  patchU32(bytes, 52, 0);
+  fixHeaderCrc(bytes);
+  writeBytes(path, bytes);
+  const std::string message = readError(path);
+  EXPECT_NE(message.find("manifest mismatch"), std::string::npos) << message;
+  EXPECT_NE(message.find("header seed 43"), std::string::npos) << message;
+  EXPECT_NE(message.find("manifest seed 42"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(BinaryCorruptionTest, GarbageManifestIsRejected) {
+  const std::string path = tempPath("garbagemanifest.msdbin");
+  io::BinaryLogOptions options;
+  options.seed = 42;
+  options.manifestJson = "this is not json";
+  io::writeBinaryLogFile(tinyStream(), path, options);
+  const std::string message = readError(path);
+  EXPECT_NE(message.find("manifest mismatch: embedded manifest invalid"),
+            std::string::npos)
+      << message;
+  fs::remove(path);
+}
+
+// --- golden hex lock -------------------------------------------------
+
+std::string hexDump(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    hex.push_back(digits[bytes[i] >> 4]);
+    hex.push_back(digits[bytes[i] & 0xf]);
+    hex.push_back((i + 1) % 32 == 0 ? '\n' : ' ');
+  }
+  if (!hex.empty() && hex.back() == ' ') hex.back() = '\n';
+  return hex;
+}
+
+TEST(BinaryCorruptionTest, GoldenHexLock) {
+  // The exact bytes of a tiny fixed-seed file, hex-dumped and locked
+  // against tests/golden/msdbin_tiny.golden. Any change to the header
+  // layout, varint scheme, delta encoding, or CRC parameters trips this;
+  // MSD_UPDATE_GOLDEN=1 regenerates after an intentional format bump
+  // (which must also bump the format version).
+  const std::string path = writeTiny("golden.msdbin");
+  const std::string hex = hexDump(readBytes(path));
+  fs::remove(path);
+
+  const std::string goldenPath = MSD_MSDBIN_GOLDEN_FILE;
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(goldenPath, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << goldenPath;
+    out << hex;
+    ASSERT_TRUE(out.good()) << goldenPath;
+    GTEST_SKIP() << "regenerated " << goldenPath;
+  }
+  std::ifstream in(goldenPath);
+  ASSERT_TRUE(in.good())
+      << "missing " << goldenPath
+      << " — run with MSD_UPDATE_GOLDEN=1 to create it";
+  const std::string expected{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(hex, expected)
+      << "msd-bin-v1 byte layout changed; if intentional, bump the format "
+         "version and regenerate with MSD_UPDATE_GOLDEN=1";
+}
+
+// --- CLI exit codes --------------------------------------------------
+
+#ifdef MSDYN_BINARY
+
+int runCli(const std::string& commandTail) {
+  const std::string command =
+      std::string(MSDYN_BINARY) + " " + commandTail + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(BinaryCorruptionCliTest, ConvertExitsTwoOnCorruptInput) {
+  const std::string out = tempPath("cli_out.msdt");
+  // Truncated file.
+  {
+    const std::string path = writeTiny("cli_trunc.msdbin");
+    std::vector<std::uint8_t> bytes = readBytes(path);
+    bytes.resize(bytes.size() - 5);
+    writeBytes(path, bytes);
+    EXPECT_EQ(runCli("convert " + path + " " + out), 2);
+    fs::remove(path);
+  }
+  // Flipped payload byte (CRC failure mid-stream).
+  {
+    const std::string path = writeTiny("cli_flip.msdbin");
+    std::vector<std::uint8_t> bytes = readBytes(path);
+    std::uint32_t headerBytes = 0;
+    std::memcpy(&headerBytes, bytes.data() + 12, 4);
+    bytes[headerBytes + io::kBlockHeaderBytes] ^= 0x40;
+    writeBytes(path, bytes);
+    EXPECT_EQ(runCli("convert " + path + " " + out), 2);
+    fs::remove(path);
+  }
+  // A clean file converts with exit 0, to both text and binary.
+  {
+    const std::string path = writeTiny("cli_clean.msdbin");
+    EXPECT_EQ(runCli("convert " + path + " " + out), 0);
+    const std::string binOut = tempPath("cli_out2.msdbin");
+    EXPECT_EQ(runCli("convert " + path + " " + binOut), 0);
+    fs::remove(path);
+    fs::remove(binOut);
+  }
+  fs::remove(out);
+}
+
+#endif  // MSDYN_BINARY
+
+}  // namespace
+}  // namespace msd

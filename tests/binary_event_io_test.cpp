@@ -1,0 +1,309 @@
+// Round-trip and fuzz coverage of the msd-bin-v1 binary event log
+// (src/io/binary_event_log.h): every EventStream must survive
+// write -> read with exact field equality (times compared by bit
+// pattern), the writer must be deterministic byte-for-byte, edge cases
+// (empty streams, duplicate-edge attempts, identical and maximally
+// distant timestamps) must hold, and the varint decoder must never
+// crash or over-read on arbitrary bytes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gen/trace_generator.h"
+#include "graph/event_stream.h"
+#include "io/binary_event_log.h"
+#include "io/wire.h"
+#include "util/rng.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("msd_binio_" + name)).string();
+}
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Field-exact event equality; times compared by bit pattern so the
+/// check would catch any lossy timestamp encoding.
+void expectSameEvents(const EventStream& a, const EventStream& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  ASSERT_EQ(a.edgeCount(), b.edgeCount());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Event& x = a.events()[i];
+    const Event& y = b.events()[i];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x.time),
+              std::bit_cast<std::uint64_t>(y.time))
+        << "event " << i;
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.origin, y.origin) << "event " << i;
+    EXPECT_EQ(x.u, y.u) << "event " << i;
+    EXPECT_EQ(x.v, y.v) << "event " << i;
+    EXPECT_EQ(x.group, y.group) << "event " << i;
+  }
+}
+
+EventStream roundTrip(const EventStream& stream,
+                      const io::BinaryLogOptions& options,
+                      const std::string& name) {
+  const std::string path = tempPath(name);
+  io::writeBinaryLogFile(stream, path, options);
+  io::BinaryEventReader reader(path);
+  EXPECT_EQ(reader.eventCount(), stream.size());
+  EXPECT_EQ(reader.nodeCount(), stream.nodeCount());
+  EXPECT_EQ(reader.edgeCount(), stream.edgeCount());
+  EventStream back = reader.readAll();
+  fs::remove(path);
+  return back;
+}
+
+TEST(BinaryEventIoTest, GeneratedTraceRoundTripsExactly) {
+  TraceGenerator generator(GeneratorConfig::tiny(7));
+  const EventStream stream = generator.generate();
+  ASSERT_GT(stream.size(), 1000u);
+  const EventStream back = roundTrip(stream, {}, "roundtrip.msdbin");
+  expectSameEvents(stream, back);
+}
+
+TEST(BinaryEventIoTest, TinyBlocksForceMultiBlockFiles) {
+  TraceGenerator generator(GeneratorConfig::tiny(11));
+  const EventStream stream = generator.generate();
+  io::BinaryLogOptions options;
+  options.blockCapacityBytes = 64;  // the enforced minimum
+  const std::string path = tempPath("multiblock.msdbin");
+  const io::BinaryEventWriter::Stats stats =
+      io::writeBinaryLogFile(stream, path, options);
+  EXPECT_GT(stats.blockCount, stream.size() / 8)
+      << "64-byte blocks should hold only a handful of events each";
+  io::BinaryEventReader reader(path);
+  EXPECT_EQ(reader.blockCount(), stats.blockCount);
+  expectSameEvents(stream, reader.readAll());
+  fs::remove(path);
+}
+
+TEST(BinaryEventIoTest, WriterIsDeterministicByteForByte) {
+  TraceGenerator generator(GeneratorConfig::tiny(3));
+  const EventStream stream = generator.generate();
+  io::BinaryLogOptions options;
+  options.seed = 3;
+  options.manifestJson =
+      "{\"schema\":\"msd-run-v1\",\"build_type\":\"Release\","
+      "\"build_flags\":[],\"obs\":true,\"git\":\"pinned\",\"seed\":3,"
+      "\"threads\":1,\"args\":[]}";
+  const std::string pathA = tempPath("det_a.msdbin");
+  const std::string pathB = tempPath("det_b.msdbin");
+  io::writeBinaryLogFile(stream, pathA, options);
+  io::writeBinaryLogFile(stream, pathB, options);
+  EXPECT_EQ(readFileBytes(pathA), readFileBytes(pathB));
+  fs::remove(pathA);
+  fs::remove(pathB);
+}
+
+TEST(BinaryEventIoTest, EmptyStreamRoundTrips) {
+  const EventStream empty;
+  const std::string path = tempPath("empty.msdbin");
+  const io::BinaryEventWriter::Stats stats =
+      io::writeBinaryLogFile(empty, path, {});
+  EXPECT_EQ(stats.eventCount, 0u);
+  EXPECT_EQ(stats.blockCount, 0u);
+  io::BinaryEventReader reader(path);
+  EXPECT_EQ(reader.eventCount(), 0u);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_TRUE(reader.nextChunk(std::numeric_limits<Day>::infinity(), 1024)
+                  .empty());
+  expectSameEvents(empty, reader.readAll());
+  fs::remove(path);
+}
+
+TEST(BinaryEventIoTest, HandAssembledEdgeCasesRoundTrip) {
+  // Identical timestamps (a bulk import), the maximal double jump
+  // (0 -> huge), zero-delta edges, group-less and grouped joins, and
+  // endpoint deltas in both directions.
+  EventStream stream;
+  stream.appendChecked(Event::nodeJoin(0.0, 0, Origin::kMain, kNoGroup));
+  stream.appendChecked(Event::nodeJoin(0.0, 1, Origin::kSecond, 5));
+  stream.appendChecked(Event::nodeJoin(0.0, 2, Origin::kPostMerge, 0));
+  stream.appendChecked(
+      Event::nodeJoin(std::numeric_limits<double>::max(), 3, Origin::kMain,
+                      std::numeric_limits<GroupId>::max() - 1));
+  stream.appendChecked(
+      Event::edgeAdd(std::numeric_limits<double>::max(), 3, 0));
+  stream.appendChecked(
+      Event::edgeAdd(std::numeric_limits<double>::max(), 3, 1));
+  stream.appendChecked(
+      Event::edgeAdd(std::numeric_limits<double>::max(), 1, 2));
+  // Duplicate edge events are legal trace content (the EventStream
+  // contract allows them; replay layers deduplicate) and must encode
+  // losslessly, including the zero endpoint deltas.
+  stream.appendChecked(
+      Event::edgeAdd(std::numeric_limits<double>::max(), 1, 2));
+  const EventStream back = roundTrip(stream, {}, "edgecases.msdbin");
+  expectSameEvents(stream, back);
+}
+
+TEST(BinaryEventIoTest, WriterRejectsInvalidEvents) {
+  const std::string path = tempPath("reject.msdbin");
+  {
+    io::BinaryEventWriter writer(path, {});
+    writer.push(Event::nodeJoin(1.0, 0));
+    writer.push(Event::nodeJoin(1.0, 1));
+    writer.push(Event::edgeAdd(2.0, 0, 1));
+    // Self loop.
+    EXPECT_THROW(writer.push(Event::edgeAdd(3.0, 1, 1)), std::runtime_error);
+    // Non-dense join id.
+    EXPECT_THROW(writer.push(Event::nodeJoin(3.0, 7)), std::runtime_error);
+    // Time going backwards.
+    EXPECT_THROW(writer.push(Event::nodeJoin(0.5, 2)), std::runtime_error);
+    // Non-finite timestamp.
+    EXPECT_THROW(
+        writer.push(
+            Event::nodeJoin(std::numeric_limits<double>::infinity(), 2)),
+        std::runtime_error);
+    // Edge to an unknown node.
+    EXPECT_THROW(writer.push(Event::edgeAdd(3.0, 0, 9)), std::runtime_error);
+  }
+  fs::remove(path);
+}
+
+TEST(BinaryEventIoTest, ReaderChunksRespectBoundAndCap) {
+  EventStream stream;
+  for (NodeId i = 0; i < 100; ++i) {
+    stream.appendChecked(
+        Event::nodeJoin(static_cast<Day>(i), i, Origin::kMain, kNoGroup));
+  }
+  const std::string path = tempPath("chunks.msdbin");
+  io::writeBinaryLogFile(stream, path, {});
+  io::BinaryEventReader reader(path);
+  // Bound: only events strictly below day 10.
+  std::size_t below = 0;
+  while (true) {
+    const auto chunk = reader.nextChunk(10.0, 1024);
+    if (chunk.empty()) break;
+    for (const Event& e : chunk) EXPECT_LT(e.time, 10.0);
+    below += chunk.size();
+  }
+  EXPECT_EQ(below, 10u);
+  EXPECT_FALSE(reader.exhausted());
+  // Cap: chunks never exceed maxEvents.
+  std::size_t rest = 0;
+  while (true) {
+    const auto chunk =
+        reader.nextChunk(std::numeric_limits<Day>::infinity(), 7);
+    if (chunk.empty()) break;
+    EXPECT_LE(chunk.size(), 7u);
+    rest += chunk.size();
+  }
+  EXPECT_EQ(rest, 90u);
+  EXPECT_TRUE(reader.exhausted());
+  fs::remove(path);
+}
+
+// --- varint layer ---------------------------------------------------
+
+TEST(WireTest, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,
+      1,
+      127,
+      128,
+      16383,
+      16384,
+      std::uint64_t{1} << 32,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  for (const std::uint64_t value : values) {
+    std::uint8_t buffer[io::kMaxVarintBytes] = {};
+    const std::size_t n = io::encodeVarint(value, buffer);
+    ASSERT_GE(n, 1u);
+    ASSERT_LE(n, io::kMaxVarintBytes);
+    const io::VarintDecode decoded = io::decodeVarint(buffer, n);
+    EXPECT_TRUE(decoded.ok) << value;
+    EXPECT_EQ(decoded.value, value);
+    EXPECT_EQ(decoded.bytes, n);
+    // Truncated input must fail cleanly, not read past the buffer.
+    const io::VarintDecode truncated = io::decodeVarint(buffer, n - 1);
+    EXPECT_FALSE(truncated.ok) << value;
+  }
+}
+
+TEST(WireTest, ZigzagRoundTripsExtremes) {
+  const std::int64_t values[] = {
+      0, -1, 1, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t value : values) {
+    EXPECT_EQ(io::zigzagDecode(io::zigzagEncode(value)), value);
+  }
+}
+
+TEST(WireTest, VarintDecoderFuzz5000) {
+  // 5000 random buffers: the decoder must never crash, never report more
+  // bytes than offered, and any accepted value must survive a canonical
+  // re-encode/decode cycle. (LEB128 itself admits non-canonical inputs
+  // like 0x80 0x00, so byte-level equality is only demanded one way.)
+  Rng rng(20240808);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::uint8_t buffer[16];
+    const std::size_t len = static_cast<std::size_t>(rng.uniformInt(17));
+    for (std::size_t i = 0; i < len; ++i) {
+      buffer[i] = static_cast<std::uint8_t>(rng.uniformInt(256));
+    }
+    const io::VarintDecode decoded = io::decodeVarint(buffer, len);
+    if (!decoded.ok) continue;
+    ASSERT_GE(decoded.bytes, 1u);
+    ASSERT_LE(decoded.bytes, std::min(len, io::kMaxVarintBytes));
+    std::uint8_t reencoded[io::kMaxVarintBytes] = {};
+    const std::size_t n = io::encodeVarint(decoded.value, reencoded);
+    ASSERT_LE(n, decoded.bytes) << "trial " << trial;
+    const io::VarintDecode again = io::decodeVarint(reencoded, n);
+    ASSERT_TRUE(again.ok) << "trial " << trial;
+    EXPECT_EQ(again.value, decoded.value) << "trial " << trial;
+    EXPECT_EQ(again.bytes, n) << "trial " << trial;
+  }
+}
+
+TEST(WireTest, OverlongVarintsAreRejected) {
+  // 11 continuation bytes: longer than any canonical u64 encoding.
+  std::uint8_t overlong[12];
+  std::fill(std::begin(overlong), std::end(overlong),
+            static_cast<std::uint8_t>(0x80));
+  EXPECT_FALSE(io::decodeVarint(overlong, sizeof(overlong)).ok);
+  // 10 bytes whose final byte would overflow bit 63.
+  std::uint8_t overflow[10];
+  std::fill(std::begin(overflow), std::end(overflow),
+            static_cast<std::uint8_t>(0xff));
+  overflow[9] = 0x02;
+  EXPECT_FALSE(io::decodeVarint(overflow, sizeof(overflow)).ok);
+  // The same shape ending in <= 0x01 is the maximal legal encoding.
+  overflow[9] = 0x01;
+  const io::VarintDecode maximal = io::decodeVarint(overflow, sizeof(overflow));
+  EXPECT_TRUE(maximal.ok);
+  EXPECT_EQ(maximal.value, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WireTest, Crc32MatchesKnownVector) {
+  // The classic IEEE test vector.
+  EXPECT_EQ(io::crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(io::crc32("", 0), 0x00000000u);
+}
+
+}  // namespace
+}  // namespace msd

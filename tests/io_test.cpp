@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -85,6 +87,37 @@ TEST(EventIoTest, TextRejectsCountMismatch) {
 TEST(EventIoTest, TextRejectsUnknownTag) {
   std::stringstream buffer("msdt 1 1 0\nX 0 0 0 0\n");
   EXPECT_THROW((void)event_io::loadText(buffer), std::runtime_error);
+}
+
+TEST(EventIoTest, TextRejectsNonFiniteTimestamps) {
+  // Regression: deserialization used to bypass the EventStream finite-
+  // timestamp contract (append instead of appendChecked), so "+inf" and
+  // "nan" in a text trace produced a stream that violated invariants
+  // downstream. Both readers now route through the validated entry point.
+  for (const char* time : {"inf", "+inf", "-inf", "nan"}) {
+    std::stringstream join("msdt 1 1 0\nN " + std::string(time) + " 0 0 0\n");
+    EXPECT_THROW((void)event_io::loadText(join), std::runtime_error) << time;
+  }
+  std::stringstream edge("msdt 1 2 1\nN 0 0 0 0\nN 0 1 0 0\nE inf 0 1\n");
+  EXPECT_THROW((void)event_io::loadText(edge), std::runtime_error);
+}
+
+TEST(EventIoTest, BinaryRejectsNonFiniteTimestamps) {
+  EventStream original = sampleStream();
+  std::stringstream buffer;
+  event_io::saveBinary(original, buffer);
+  std::string bytes = buffer.str();
+  // Patch the first record's timestamp (record layout: 24 bytes after
+  // the 16-byte header, time first) to +inf.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::memcpy(bytes.data() + 16, &inf, sizeof(inf));
+  std::stringstream patched(bytes);
+  EXPECT_THROW((void)event_io::loadBinary(patched), std::runtime_error);
+}
+
+TEST(EventIoTest, TemporalEdgeListRejectsNonFiniteTimestamps) {
+  std::stringstream in("0 1 inf\n");
+  EXPECT_THROW((void)event_io::loadTemporalEdgeList(in), std::runtime_error);
 }
 
 TEST(EventIoTest, BinaryRejectsTruncation) {

@@ -1,0 +1,194 @@
+// End-to-end determinism of the out-of-core pipeline: replaying a trace
+// from an msd-bin-v1 file must produce bit-identical analysis results to
+// replaying the same trace from memory, at 1, 2, and 8 threads — the
+// binary log is a storage format, never a source of drift. Also locks
+// the generator's streaming emission (generateTo) to its one-shot
+// in-memory path (generate) byte-for-byte. Runs under the tsan preset
+// (thread-count sweep over the parallel metrics engine).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics_over_time.h"
+#include "gen/trace_generator.h"
+#include "graph/event_stream.h"
+#include "io/binary_event_log.h"
+#include "scenario/assertions.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("msd_streampipe_" + name)).string();
+}
+
+/// Restores the pool size on scope exit (mirrors the incremental-metrics
+/// tests' guard).
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(threadCount()) {}
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+/// Bitwise double equality: hexfloat-identical means identical bits.
+void expectSameBits(double a, double b, const std::string& what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expectSameSeries(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size()) << a.name();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expectSameBits(a.timeAt(i), b.timeAt(i), a.name() + " time " +
+                                                 std::to_string(i));
+    expectSameBits(a.valueAt(i), b.valueAt(i), a.name() + " value " +
+                                                   std::to_string(i));
+  }
+}
+
+TEST(StreamingPipelineTest, SeriesFromBinaryMatchesInMemoryAcrossThreads) {
+  ThreadCountGuard guard;
+  TraceGenerator generator(GeneratorConfig::tiny(5));
+  const EventStream stream = generator.generate();
+  const std::string path = tempPath("series.msdbin");
+  io::writeBinaryLogFile(stream, path, {});
+
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 5.0;
+  config.pathEvery = 10.0;
+  config.pathSamples = 8;
+  config.clusteringSamples = 100;
+
+  setThreadCount(1);
+  const MetricsOverTime reference = analyzeMetricsOverTime(stream, config);
+  ASSERT_GT(reference.averageDegree.size(), 5u);
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    io::BinaryEventReader reader(path);
+    const MetricsOverTime streamed =
+        analyzeMetricsOverTime(reader, reader.lastTime(), config);
+    expectSameSeries(reference.averageDegree, streamed.averageDegree);
+    expectSameSeries(reference.averagePathLength, streamed.averagePathLength);
+    expectSameSeries(reference.clusteringCoefficient,
+                     streamed.clusteringCoefficient);
+    expectSameSeries(reference.assortativity, streamed.assortativity);
+  }
+  fs::remove(path);
+}
+
+TEST(StreamingPipelineTest, TinyChunksDoNotChangeTheSeries) {
+  // Chunk boundaries (both block size on disk and the engine's window
+  // cap) must be invisible in the results: integer sufficient statistics
+  // make window splits exact.
+  ThreadCountGuard guard;
+  setThreadCount(2);
+  TraceGenerator generator(GeneratorConfig::tiny(6));
+  const EventStream stream = generator.generate();
+  const std::string path = tempPath("chunky.msdbin");
+  io::BinaryLogOptions options;
+  options.blockCapacityBytes = 256;  // hundreds of blocks for a tiny trace
+  io::writeBinaryLogFile(stream, path, options);
+
+  MetricsOverTimeConfig config;
+  config.snapshotStep = 10.0;
+  config.pathSamples = 4;
+  config.clusteringSamples = 50;
+  const MetricsOverTime reference = analyzeMetricsOverTime(stream, config);
+  io::BinaryEventReader reader(path);
+  const MetricsOverTime streamed =
+      analyzeMetricsOverTime(reader, reader.lastTime(), config);
+  expectSameSeries(reference.averageDegree, streamed.averageDegree);
+  expectSameSeries(reference.averagePathLength, streamed.averagePathLength);
+  expectSameSeries(reference.clusteringCoefficient,
+                   streamed.clusteringCoefficient);
+  expectSameSeries(reference.assortativity, streamed.assortativity);
+  fs::remove(path);
+}
+
+TEST(StreamingPipelineTest, ScenarioReportFromBinaryTraceMatchesInMemory) {
+  ThreadCountGuard guard;
+  const GeneratorConfig config = GeneratorConfig::tiny(9);
+  TraceGenerator generator(config);
+  const EventStream stream = generator.generate();
+  const std::string path = tempPath("report.msdbin");
+  io::writeBinaryLogFile(stream, path, {});
+
+  setThreadCount(1);
+  const scenario::ScenarioReport reference =
+      scenario::computeReport(stream, config);
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    setThreadCount(threads);
+    io::BinaryEventReader reader(path);
+    const EventStream replayed = reader.readAll();
+    const scenario::ScenarioReport fromBinary =
+        scenario::computeReport(replayed, config);
+    ASSERT_EQ(fromBinary.metrics().size(), reference.metrics().size());
+    for (std::size_t i = 0; i < reference.metrics().size(); ++i) {
+      EXPECT_EQ(fromBinary.metrics()[i].first, reference.metrics()[i].first);
+      expectSameBits(fromBinary.metrics()[i].second,
+                     reference.metrics()[i].second,
+                     "metric " + reference.metrics()[i].first + " at " +
+                         std::to_string(threads) + " threads");
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(StreamingPipelineTest, ChunkedGenerationMatchesOneShotByteForByte) {
+  // The streaming generator path (generateTo) must emit the exact event
+  // sequence of the in-memory path (generate): same RNG draws, same
+  // emission order, hence identical msd-bin-v1 files.
+  io::BinaryLogOptions options;
+  options.seed = 12;
+  options.manifestJson =
+      "{\"schema\":\"msd-run-v1\",\"build_type\":\"Release\","
+      "\"build_flags\":[],\"obs\":true,\"git\":\"pinned\",\"seed\":12,"
+      "\"threads\":1,\"args\":[]}";
+
+  const std::string oneShotPath = tempPath("oneshot.msdbin");
+  {
+    TraceGenerator generator(GeneratorConfig::tiny(12));
+    const EventStream stream = generator.generate();
+    io::writeBinaryLogFile(stream, oneShotPath, options);
+  }
+  const std::string streamedPath = tempPath("streamed.msdbin");
+  TraceGenerator::GenerateStats stats{};
+  {
+    TraceGenerator generator(GeneratorConfig::tiny(12));
+    io::BinaryEventWriter writer(streamedPath, options);
+    stats = generator.generateTo(writer);
+    writer.close();
+  }
+  EXPECT_GT(stats.nodes, 100u);
+
+  std::ifstream a(oneShotPath, std::ios::binary);
+  std::ifstream b(streamedPath, std::ios::binary);
+  const std::string bytesA((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  const std::string bytesB((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytesA.size(), bytesB.size());
+  EXPECT_TRUE(bytesA == bytesB)
+      << "streamed generation diverged from one-shot generation";
+  fs::remove(oneShotPath);
+  fs::remove(streamedPath);
+}
+
+}  // namespace
+}  // namespace msd

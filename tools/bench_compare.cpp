@@ -104,8 +104,13 @@ int runCompare(const std::string& oldPath, const std::string& newPath,
   for (const msd::obs::MemEntry& entry : report.mem) {
     // Peak RSS is never gated (allocator- and phase-order-dependent);
     // print it for trend-watching whenever both sides report one.
-    std::printf("note mem %s/high_water_bytes: %llu -> %llu (%+.1f%%)\n",
+    // Labeled mem.samples entries already carry their label in the
+    // benchmark field ("scale_sweep/n100000.streaming_series").
+    const bool labeled =
+        entry.benchmark.find('/') != std::string::npos;
+    std::printf("note mem %s%s: %llu -> %llu (%+.1f%%)\n",
                 entry.benchmark.c_str(),
+                labeled ? "" : "/high_water_bytes",
                 static_cast<unsigned long long>(entry.oldBytes),
                 static_cast<unsigned long long>(entry.newBytes),
                 entry.relChange * 100.0);

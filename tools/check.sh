@@ -56,6 +56,9 @@ if [ "$bench" -eq 1 ]; then
 fi
 
 if [ "$full" -eq 1 ]; then
+  step "scale smoke (1e6-node streaming pipeline under a memory ceiling)"
+  ctest --test-dir "$root/build-werror" --output-on-failure -R scale_smoke
+
   step "tsan build + concurrent-kernel subset"
   cmake --preset tsan -S "$root"
   cmake --build --preset tsan -j "$jobs"

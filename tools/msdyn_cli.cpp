@@ -1,9 +1,11 @@
 // msdyn — command-line front end for the library.
 //
 //   msdyn generate  --scale=renren --seed=1 --out=trace.msdb
+//   msdyn generate  --nodes=1e7 --format=bin --out=trace.msdbin
 //   msdyn info      trace.msdb
 //   msdyn convert   trace.msdb trace.msdt
 //   msdyn metrics   trace.msdb [--day=386] [--samples=24]
+//   msdyn series    trace.msdbin [--step=1] [--csv=OUT.csv]
 //   msdyn growth    trace.msdb --csv=growth.csv
 //   msdyn communities trace.msdb [--delta=0.04] [--step=3]
 //   msdyn merge     trace.msdb [--merge-day=386]
@@ -11,14 +13,19 @@
 //   msdyn export-temporal IN OUT.txt
 //   msdyn scenario  list | describe NAME | run NAME [--scale=tiny]
 //
-// Files ending in .msdt are the text format; anything else is binary
-// (the temporal edge list is always plain "u v t" text).
+// Input format is sniffed from the leading magic bytes (msd-bin-v1,
+// legacy MSDB binary, or msdt text). Output format follows the
+// extension: .msdt = text, .msdbin = msd-bin-v1, anything else = legacy
+// binary (the temporal edge list is always plain "u v t" text).
+// Generation and conversion involving .msdbin stream events in bounded
+// memory — the paths paper-scale runs use.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,6 +33,8 @@
 #include "analysis/community_analysis.h"
 #include "analysis/growth.h"
 #include "analysis/merge_analysis.h"
+#include "analysis/metrics_over_time.h"
+#include "io/binary_event_log.h"
 #include "gen/trace_generator.h"
 #include "graph/dynamic_graph.h"
 #include "graph/stream_ops.h"
@@ -43,6 +52,7 @@
 #include "obs/registry.h"
 #include "scenario/assertions.h"
 #include "scenario/scenario.h"
+#include "util/error.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -88,20 +98,75 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-bool isTextPath(const std::string& path) {
-  return path.size() >= 5 && path.substr(path.size() - 5) == ".msdt";
+bool hasSuffix(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool isTextPath(const std::string& path) { return hasSuffix(path, ".msdt"); }
+
+bool isMsdbinPath(const std::string& path) {
+  return hasSuffix(path, ".msdbin");
+}
+
+enum class TraceFormat { kText, kLegacyBinary, kMsdbin };
+
+/// Sniffs the on-disk format from the leading magic bytes, so any command
+/// accepts any trace file regardless of its extension.
+TraceFormat sniffFormat(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  ensure(probe.is_open(), "cannot open '" + path + "' for reading");
+  char head[8] = {};
+  probe.read(head, 8);
+  const auto got = probe.gcount();
+  if (got == 8 && std::memcmp(head, io::kBinaryMagic, 8) == 0) {
+    return TraceFormat::kMsdbin;
+  }
+  if (got >= 4 && std::memcmp(head, "MSDB", 4) == 0) {
+    return TraceFormat::kLegacyBinary;
+  }
+  return TraceFormat::kText;
 }
 
 EventStream loadAny(const std::string& path) {
-  return isTextPath(path) ? event_io::loadTextFile(path)
-                          : event_io::loadBinaryFile(path);
+  switch (sniffFormat(path)) {
+    case TraceFormat::kMsdbin:
+      return io::readBinaryLogFile(path);
+    case TraceFormat::kLegacyBinary:
+      return event_io::loadBinaryFile(path);
+    case TraceFormat::kText:
+      break;
+  }
+  return event_io::loadTextFile(path);
+}
+
+/// Binary-log options carrying the process manifest's seed (when one was
+/// set), so the embedded-manifest cross-check holds on read-back.
+io::BinaryLogOptions binaryLogOptions() {
+  io::BinaryLogOptions options;
+  const std::int64_t seed = obs::currentManifest().seed;
+  options.seed = seed >= 0 ? static_cast<std::uint64_t>(seed) : 0;
+  return options;
 }
 
 void saveAny(const EventStream& stream, const std::string& path) {
   if (isTextPath(path)) {
     event_io::saveTextFile(stream, path);
+  } else if (isMsdbinPath(path)) {
+    io::writeBinaryLogFile(stream, path, binaryLogOptions());
   } else {
     event_io::saveBinaryFile(stream, path);
+  }
+}
+
+/// Pumps every remaining event of `source` into `sink` in bounded chunks.
+void pumpEvents(EventSource& source, EventSink& sink) {
+  constexpr std::size_t kChunk = std::size_t{1} << 20;
+  constexpr Day kForever = std::numeric_limits<Day>::infinity();
+  while (true) {
+    const auto chunk = source.nextChunk(kForever, kChunk);
+    if (chunk.empty()) break;
+    for (const Event& event : chunk) sink.push(event);
   }
 }
 
@@ -110,8 +175,15 @@ int usage() {
                "usage: msdyn <command> [args]\n"
                "  generate        --scale=renren|community|tiny --seed=N "
                "--out=FILE\n"
+               "                  [--nodes=N] [--format=bin]  (streams to "
+               ".msdbin, bounded memory)\n"
                "  info            FILE\n"
-               "  convert         IN OUT\n"
+               "  convert         IN OUT       (.msdt/.msdbin/legacy by "
+               "extension; exit 2 on corrupt input)\n"
+               "  series          FILE [--step=1] [--path-every=3] "
+               "[--path-samples=24]\n"
+               "                  [--clustering-samples=400] [--csv=OUT.csv]"
+               "  (streams .msdbin)\n"
                "  metrics         FILE [--day=D] [--samples=N] [--anf]\n"
                "  growth          FILE [--csv=OUT.csv]\n"
                "  communities     FILE [--delta=0.04] [--step=3] "
@@ -139,14 +211,36 @@ int cmdGenerate(const Args& args) {
   const std::string scale = args.get("scale", "renren");
   const std::uint64_t seed = args.getU64("seed", 1);
   obs::setManifestSeed(static_cast<std::int64_t>(seed));
-  const std::string out = args.get("out", "trace.msdb");
+  const double targetNodes = args.getDouble("nodes", 0.0);
+  const bool binFormat =
+      std::string(args.get("format", "")) == "bin";
+  const std::string out =
+      args.get("out", binFormat ? "trace.msdbin" : "trace.msdb");
   GeneratorConfig config =
-      scale == "tiny"
-          ? GeneratorConfig::tiny(seed)
-          : (scale == "community" ? GeneratorConfig::communityScale(seed)
-                                  : GeneratorConfig::renren(seed));
+      targetNodes > 0.0
+          ? GeneratorConfig::scaledTo(targetNodes, seed)
+          : (scale == "tiny"
+                 ? GeneratorConfig::tiny(seed)
+                 : (scale == "community"
+                        ? GeneratorConfig::communityScale(seed)
+                        : GeneratorConfig::renren(seed)));
   Stopwatch watch;
   TraceGenerator generator(config);
+  if (binFormat || isMsdbinPath(out)) {
+    // Streaming path: events go straight into the msd-bin-v1 writer, so
+    // the full EventStream is never materialized (paper-scale runs).
+    io::BinaryEventWriter writer(out, binaryLogOptions());
+    generator.generateTo(writer);
+    const io::BinaryEventWriter::Stats stats = writer.close();
+    std::printf(
+        "generated %llu nodes / %llu edges in %.1fs -> %s "
+        "(%llu blocks, %.1f MB)\n",
+        static_cast<unsigned long long>(stats.nodeCount),
+        static_cast<unsigned long long>(stats.edgeCount), watch.seconds(),
+        out.c_str(), static_cast<unsigned long long>(stats.blockCount),
+        static_cast<double>(stats.fileBytes) / (1024.0 * 1024.0));
+    return 0;
+  }
   const EventStream stream = generator.generate();
   saveAny(stream, out);
   std::printf("generated %zu nodes / %zu edges over %.0f days in %.1fs -> "
@@ -158,27 +252,143 @@ int cmdGenerate(const Args& args) {
 
 int cmdInfo(const Args& args) {
   if (args.positional.empty()) return usage();
-  const EventStream stream = loadAny(args.positional[0]);
+  const std::string& path = args.positional[0];
   std::size_t byOrigin[3] = {0, 0, 0};
-  for (const Event& event : stream.events()) {
-    if (event.kind == EventKind::kNodeJoin) {
-      ++byOrigin[static_cast<std::size_t>(event.origin)];
+  std::size_t events = 0, nodes = 0, edges = 0;
+  double span = 0.0;
+  const auto tally = [&byOrigin](std::span<const Event> chunk) {
+    for (const Event& event : chunk) {
+      if (event.kind == EventKind::kNodeJoin) {
+        ++byOrigin[static_cast<std::size_t>(event.origin)];
+      }
     }
+  };
+  if (sniffFormat(path) == TraceFormat::kMsdbin) {
+    // Chunk-wise walk: header totals plus a bounded-memory origin tally.
+    io::BinaryEventReader reader(path);
+    constexpr Day kForever = std::numeric_limits<Day>::infinity();
+    while (true) {
+      const auto chunk = reader.nextChunk(kForever, std::size_t{1} << 20);
+      if (chunk.empty()) break;
+      tally(chunk);
+    }
+    events = reader.eventCount();
+    nodes = reader.nodeCount();
+    edges = reader.edgeCount();
+    span = reader.lastTime();
+    std::printf("format:  msd-bin-v1 (%llu blocks, seed %llu)\n",
+                static_cast<unsigned long long>(reader.blockCount()),
+                static_cast<unsigned long long>(reader.seed()));
+  } else {
+    const EventStream stream = loadAny(path);
+    tally(stream.events());
+    events = stream.size();
+    nodes = stream.nodeCount();
+    edges = stream.edgeCount();
+    span = stream.lastTime();
   }
-  std::printf("events:  %zu (%zu nodes, %zu edges)\n", stream.size(),
-              stream.nodeCount(), stream.edgeCount());
-  std::printf("span:    %.2f days\n", stream.lastTime());
+  std::printf("events:  %zu (%zu nodes, %zu edges)\n", events, nodes, edges);
+  std::printf("span:    %.2f days\n", span);
   std::printf("origins: %zu main, %zu second, %zu post-merge\n", byOrigin[0],
               byOrigin[1], byOrigin[2]);
   return 0;
 }
 
+// Exit codes: 0 success, 1 unexpected I/O failure on write, 2 malformed
+// or corrupt input (the format battery asserts on this).
 int cmdConvert(const Args& args) {
   if (args.positional.size() < 2) return usage();
-  const EventStream stream = loadAny(args.positional[0]);
-  saveAny(stream, args.positional[1]);
-  std::printf("wrote %zu events to %s\n", stream.size(),
-              args.positional[1].c_str());
+  const std::string& in = args.positional[0];
+  const std::string& out = args.positional[1];
+  try {
+    if (sniffFormat(in) == TraceFormat::kMsdbin) {
+      // Streaming conversion: one decoded block in memory at a time.
+      io::BinaryEventReader reader(in);
+      if (isMsdbinPath(out)) {
+        io::BinaryLogOptions options;
+        options.seed = reader.seed();
+        options.manifestJson = reader.manifestJson();
+        io::BinaryEventWriter writer(out, options);
+        pumpEvents(reader, writer);
+        writer.close();
+      } else if (isTextPath(out)) {
+        event_io::TextEventWriter writer(out, reader.nodeCount(),
+                                         reader.edgeCount());
+        pumpEvents(reader, writer);
+        writer.close();
+      } else {
+        // The legacy writer needs the whole stream up front.
+        saveAny(reader.readAll(), out);
+      }
+      std::printf("wrote %llu events to %s\n",
+                  static_cast<unsigned long long>(reader.eventCount()),
+                  out.c_str());
+      return 0;
+    }
+    const EventStream stream = loadAny(in);
+    saveAny(stream, out);
+    std::printf("wrote %zu events to %s\n", stream.size(), out.c_str());
+    return 0;
+  } catch (const std::runtime_error& error) {
+    std::fprintf(stderr, "msdyn convert: %s\n", error.what());
+    return 2;
+  }
+}
+
+// Fig 1(c)-(f) series through the incremental engine; .msdbin inputs
+// replay out-of-core (no EventStream materialization).
+int cmdSeries(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& path = args.positional[0];
+  MetricsOverTimeConfig config;
+  config.snapshotStep = args.getDouble("step", config.snapshotStep);
+  config.pathEvery = args.getDouble("path-every", config.pathEvery);
+  config.pathSamples = static_cast<std::size_t>(
+      args.getU64("path-samples", config.pathSamples));
+  config.clusteringSamples = static_cast<std::size_t>(
+      args.getU64("clustering-samples", config.clusteringSamples));
+  config.seed = args.getU64("series-seed", config.seed);
+
+  Stopwatch watch;
+  MetricsOverTime series;
+  if (sniffFormat(path) == TraceFormat::kMsdbin) {
+    io::BinaryEventReader reader(path);
+    series = analyzeMetricsOverTime(reader, reader.lastTime(), config);
+  } else {
+    const EventStream stream = loadAny(path);
+    series = analyzeMetricsOverTime(stream, config);
+  }
+  std::printf("series: %zu snapshots in %.1fs\n", series.averageDegree.size(),
+              watch.seconds());
+  const char* csv = args.get("csv", nullptr);
+  if (csv != nullptr) {
+    const std::vector<TimeSeries> all = {
+        series.averageDegree, series.averagePathLength,
+        series.clusteringCoefficient, series.assortativity};
+    writeSeriesCsv(csv, all);
+    std::printf("wrote %s\n", csv);
+    return 0;
+  }
+  if (!series.averageDegree.empty()) {
+    std::printf("avg degree:    %.4f -> %.4f\n",
+                series.averageDegree.valueAt(0),
+                series.averageDegree.lastValue());
+  }
+  if (!series.clusteringCoefficient.empty()) {
+    std::printf("clustering:    %.4f -> %.4f\n",
+                series.clusteringCoefficient.valueAt(0),
+                series.clusteringCoefficient.lastValue());
+  }
+  if (!series.assortativity.empty()) {
+    std::printf("assortativity: %.4f -> %.4f\n",
+                series.assortativity.valueAt(0),
+                series.assortativity.lastValue());
+  }
+  if (!series.averagePathLength.empty()) {
+    std::printf("path length:   %.4f -> %.4f\n",
+                series.averagePathLength.valueAt(0),
+                series.averagePathLength.lastValue());
+  }
   return 0;
 }
 
@@ -486,6 +696,7 @@ int runCommand(const std::string& command, const Args& args) {
   if (command == "generate") return cmdGenerate(args);
   if (command == "info") return cmdInfo(args);
   if (command == "convert") return cmdConvert(args);
+  if (command == "series") return cmdSeries(args);
   if (command == "metrics") return cmdMetrics(args);
   if (command == "growth") return cmdGrowth(args);
   if (command == "communities") return cmdCommunities(args);

@@ -1,0 +1,103 @@
+# Paper-scale smoke: generate a 1e6-node trace straight to msd-bin-v1,
+# stream-convert it, and replay the incremental Fig 1 series from the
+# converted file — asserting after every phase that the process peak RSS
+# (the mem.high_water_bytes gauge in the --trace-json report) stayed
+# under a ceiling far below what materializing the full EventStream
+# would need. This is the out-of-core contract as a ctest entry: if a
+# future change sneaks an O(events) buffer back into the generate,
+# convert, or series path, the ceiling trips. Driven by the
+# `scale_smoke` ctest entry (see tools/CMakeLists.txt) and by
+# tools/check.sh --full.
+#
+# Required -D variables:
+#   MSDYN     path to the msdyn binary
+#   OUT_DIR   scratch directory for the trace + trace-json reports
+#
+# Optional:
+#   NODES              target node count          (default 1000000)
+#   MEM_CEILING_BYTES  per-phase peak-RSS ceiling (default 700000000)
+#
+# Ceiling rationale: the 1e6-node trace holds ~1.05e7 events. Measured
+# peaks (2026-08, bench/scale_sweep): generate 287 MB, convert 118 MB,
+# streaming series 503 MB — dominated by graph/engine state, not by
+# events. The in-memory replay of the same trace (EventStream at
+# 24 B/event ~= 251 MB on top) peaks at 766 MB, so 700 MB passes the
+# streaming path with ~40% headroom while failing any change that
+# materializes the full event stream.
+
+foreach(var MSDYN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "scale_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED NODES)
+  set(NODES 1000000)
+endif()
+if(NOT DEFINED MEM_CEILING_BYTES)
+  set(MEM_CEILING_BYTES 700000000)
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace "${OUT_DIR}/scale_smoke.msdbin")
+set(converted "${OUT_DIR}/scale_smoke_converted.msdbin")
+
+# Reads mem.high_water_bytes out of a --trace-json report and fails when
+# it exceeds the ceiling.
+function(assert_mem_under report phase)
+  file(READ "${report}" text)
+  string(REGEX MATCH "\"mem\\.high_water_bytes\": ([0-9]+)" _ "${text}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR
+            "scale_smoke: ${phase}: no mem.high_water_bytes in ${report}")
+  endif()
+  set(peak ${CMAKE_MATCH_1})
+  if(peak GREATER ${MEM_CEILING_BYTES})
+    message(FATAL_ERROR
+            "scale_smoke: ${phase}: peak RSS ${peak} bytes exceeds the "
+            "${MEM_CEILING_BYTES}-byte ceiling — an O(events) buffer has "
+            "crept into the streaming path")
+  endif()
+  message(STATUS
+          "scale_smoke: ${phase}: peak RSS ${peak} bytes (ceiling "
+          "${MEM_CEILING_BYTES})")
+endfunction()
+
+message(STATUS "scale_smoke: generate --nodes=${NODES} --format=bin")
+execute_process(
+  COMMAND "${MSDYN}" generate "--nodes=${NODES}" --format=bin --seed=1
+          "--out=${trace}" "--trace-json=${OUT_DIR}/generate.json"
+  RESULT_VARIABLE status
+  OUTPUT_QUIET
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "scale_smoke: generate failed (exit ${status})")
+endif()
+assert_mem_under("${OUT_DIR}/generate.json" "generate")
+
+message(STATUS "scale_smoke: convert (streaming msdbin -> msdbin)")
+execute_process(
+  COMMAND "${MSDYN}" convert "${trace}" "${converted}"
+          "--trace-json=${OUT_DIR}/convert.json"
+  RESULT_VARIABLE status
+  OUTPUT_QUIET
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "scale_smoke: convert failed (exit ${status})")
+endif()
+assert_mem_under("${OUT_DIR}/convert.json" "convert")
+
+message(STATUS "scale_smoke: series (streaming incremental metrics)")
+execute_process(
+  COMMAND "${MSDYN}" series "${converted}" --step=7 --path-every=77
+          --path-samples=4 --clustering-samples=100
+          "--trace-json=${OUT_DIR}/series.json"
+  RESULT_VARIABLE status
+  OUTPUT_QUIET
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "scale_smoke: series failed (exit ${status})")
+endif()
+assert_mem_under("${OUT_DIR}/series.json" "series")
+
+file(REMOVE "${trace}" "${converted}")
+message(STATUS "scale_smoke: all phases under the memory ceiling")
