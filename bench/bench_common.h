@@ -98,6 +98,10 @@ inline EventStream makeTrace(const Options& options) {
   const fs::path dir = fs::path(options.outDir);
   std::error_code ec;
   fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[bench] cannot create %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+  }
   // Bump kTraceCacheVersion whenever the generator's behavior changes;
   // stale caches would otherwise silently pin old dynamics.
   constexpr int kTraceCacheVersion = 2;
@@ -237,6 +241,10 @@ class BenchReport {
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(options_.outDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] cannot create %s: %s\n",
+                   options_.outDir.c_str(), ec.message().c_str());
+    }
     const std::string path =
         options_.outDir + "/BENCH_" + benchmark_ + ".json";
     std::FILE* out = std::fopen(path.c_str(), "w");
@@ -290,6 +298,11 @@ inline void exportSeries(const Options& options, const std::string& name,
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(options.outDir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[bench] cannot create %s: %s\n",
+                 options.outDir.c_str(), ec.message().c_str());
+    return;
+  }
   const std::string path = options.outDir + "/" + name + ".csv";
   try {
     writeSeriesCsv(path, series);

@@ -73,6 +73,10 @@ class JsonBenchReporter : public benchmark::ConsoleReporter {
 
     std::error_code ec;
     std::filesystem::create_directories(outDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] cannot create %s: %s\n", outDir.c_str(),
+                   ec.message().c_str());
+    }
     const std::string path = outDir + "/BENCH_" + benchmark + ".json";
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {

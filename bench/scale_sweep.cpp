@@ -99,6 +99,11 @@ int run(int argc, char** argv) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(options.outDir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[bench] cannot create %s: %s\n",
+                 options.outDir.c_str(), ec.message().c_str());
+    return 1;
+  }
 
   for (const std::uint64_t targetNodes : nodesList) {
     const std::string tag = "n" + std::to_string(targetNodes);

@@ -33,26 +33,6 @@ constexpr std::uint8_t kTagHasGroup = 0x08;
 
 std::size_t pad8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
 
-void store32(std::uint8_t* out, std::uint32_t v) { std::memcpy(out, &v, 4); }
-void store64(std::uint8_t* out, std::uint64_t v) { std::memcpy(out, &v, 8); }
-void storeF64(std::uint8_t* out, double v) { std::memcpy(out, &v, 8); }
-
-std::uint32_t load32(const std::uint8_t* in) {
-  std::uint32_t v;
-  std::memcpy(&v, in, 4);
-  return v;
-}
-std::uint64_t load64(const std::uint8_t* in) {
-  std::uint64_t v;
-  std::memcpy(&v, in, 8);
-  return v;
-}
-double loadF64(const std::uint8_t* in) {
-  double v;
-  std::memcpy(&v, in, 8);
-  return v;
-}
-
 /// Encodes one event with the given per-block delta state (updated in
 /// place). `out` must hold kMaxEventBytes.
 std::size_t encodeEvent(const Event& event, std::uint64_t& prevTimeBits,

@@ -7,8 +7,39 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace msd::io {
+
+// Fixed-width little-endian accessors. These are the sanctioned raw-byte
+// touchpoint of the wire layer: callers must have bounds-checked the
+// buffer before calling (the reader guards every block against the
+// mapped size first), so the helpers themselves stay branch-free.
+
+inline void store32(std::uint8_t* out, std::uint32_t v) {
+  std::memcpy(out, &v, 4);
+}
+inline void store64(std::uint8_t* out, std::uint64_t v) {
+  std::memcpy(out, &v, 8);
+}
+inline void storeF64(std::uint8_t* out, double v) {
+  std::memcpy(out, &v, 8);
+}
+inline std::uint32_t load32(const std::uint8_t* in) {
+  std::uint32_t v;
+  std::memcpy(&v, in, 4);
+  return v;
+}
+inline std::uint64_t load64(const std::uint8_t* in) {
+  std::uint64_t v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
+inline double loadF64(const std::uint8_t* in) {
+  double v;
+  std::memcpy(&v, in, 8);
+  return v;
+}
 
 /// Longest LEB128 encoding of a uint64 (ceil(64 / 7) groups).
 inline constexpr std::size_t kMaxVarintBytes = 10;

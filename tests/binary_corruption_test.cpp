@@ -17,6 +17,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "graph/event_stream.h"
@@ -275,6 +276,20 @@ int runCli(const std::string& commandTail) {
   return WEXITSTATUS(status);
 }
 
+/// Like runCli but captures stderr, for tests that assert on the
+/// diagnostic text and not just the exit code.
+int runCliStderr(const std::string& commandTail, std::string* stderrText) {
+  const std::string errPath = tempPath("cli_stderr.txt");
+  const std::string command = std::string(MSDYN_BINARY) + " " + commandTail +
+                              " >/dev/null 2>" + errPath;
+  const int status = std::system(command.c_str());
+  std::ifstream in(errPath);
+  stderrText->assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  fs::remove(errPath);
+  return WEXITSTATUS(status);
+}
+
 TEST(BinaryCorruptionCliTest, ConvertExitsTwoOnCorruptInput) {
   const std::string out = tempPath("cli_out.msdt");
   // Truncated file.
@@ -305,6 +320,38 @@ TEST(BinaryCorruptionCliTest, ConvertExitsTwoOnCorruptInput) {
     EXPECT_EQ(runCli("convert " + path + " " + binOut), 0);
     fs::remove(path);
     fs::remove(binOut);
+  }
+  fs::remove(out);
+}
+
+// Regression: an unreadable input is an I/O failure, not a corrupt
+// trace — the message carries the errno text so the two are
+// distinguishable even though both exit 2.
+TEST(BinaryCorruptionCliTest, ConvertDistinguishesIoFromFormatErrors) {
+  const std::string out = tempPath("cli_io_out.msdt");
+  // Nonexistent input: errno text ("No such file or directory").
+  {
+    const std::string missing = tempPath("cli_does_not_exist.msdbin");
+    fs::remove(missing);
+    std::string err;
+    EXPECT_EQ(runCliStderr("convert " + missing + " " + out, &err), 2);
+    EXPECT_NE(err.find("I/O error"), std::string::npos) << err;
+    EXPECT_NE(err.find(std::generic_category()
+                           .message(static_cast<int>(std::errc::no_such_file_or_directory))),
+              std::string::npos)
+        << err;
+  }
+  // Corrupt input: a format diagnostic, not an I/O one.
+  {
+    const std::string path = writeTiny("cli_io_corrupt.msdbin");
+    std::vector<std::uint8_t> bytes = readBytes(path);
+    bytes.resize(bytes.size() - 5);
+    writeBytes(path, bytes);
+    std::string err;
+    EXPECT_EQ(runCliStderr("convert " + path + " " + out, &err), 2);
+    EXPECT_NE(err.find("invalid trace"), std::string::npos) << err;
+    EXPECT_EQ(err.find("I/O error"), std::string::npos) << err;
+    fs::remove(path);
   }
   fs::remove(out);
 }

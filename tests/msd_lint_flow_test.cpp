@@ -1,0 +1,556 @@
+// Fixture coverage for the flow-aware hazard classes H6–H9 and the
+// lambda/region parsing layer underneath them: capture-list edge cases
+// (defaults, init-captures, this, nested lambdas), function-region
+// detection, and positive + negative fixtures per hazard class.
+
+#include "msd_lint/flow.h"
+#include "msd_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace msd::lint {
+namespace {
+
+SourceFile file(std::string path, std::string text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.text = std::move(text);
+  return f;
+}
+
+std::vector<Finding> scan(std::vector<SourceFile> files) {
+  return scanFiles(files, {});
+}
+
+std::vector<Finding> byHazard(const std::vector<Finding>& findings,
+                              const std::string& hazard) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.hazard == hazard) out.push_back(f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lambda capture-list parsing.
+// ---------------------------------------------------------------------------
+
+TEST(LintFlowTest, ParsesExplicitCaptures) {
+  const std::string text = "auto f = [&a, b, this](int i) { return i; };";
+  const auto lambda = flow::parseLambdaAt(text, text.find('['));
+  ASSERT_TRUE(lambda.has_value());
+  EXPECT_FALSE(lambda->defaultByRef);
+  EXPECT_FALSE(lambda->defaultByValue);
+  EXPECT_TRUE(lambda->capturesThis);
+  EXPECT_EQ(lambda->refCaptures.count("a"), 1u);
+  EXPECT_EQ(lambda->valueCaptures.count("b"), 1u);
+  ASSERT_EQ(lambda->params.size(), 1u);
+  EXPECT_EQ(lambda->params[0], "i");
+}
+
+TEST(LintFlowTest, ParsesCaptureDefaults) {
+  const std::string byRef = "[&](int i) { return i; }";
+  const auto a = flow::parseLambdaAt(byRef, 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->defaultByRef);
+
+  const std::string byValue = "[=]() { return 1; }";
+  const auto b = flow::parseLambdaAt(byValue, 0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->defaultByValue);
+
+  const std::string starThis = "[*this]() { return 1; }";
+  const auto c = flow::parseLambdaAt(starThis, 0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_FALSE(c->capturesThis);  // *this copies the object
+  EXPECT_EQ(c->valueCaptures.count("this"), 1u);
+}
+
+TEST(LintFlowTest, ParsesInitCaptures) {
+  const std::string text = "[&acc = out, n = out.size()]() { acc.clear(); }";
+  const auto lambda = flow::parseLambdaAt(text, 0);
+  ASSERT_TRUE(lambda.has_value());
+  EXPECT_EQ(lambda->refCaptures.count("acc"), 1u);
+  EXPECT_EQ(lambda->valueCaptures.count("n"), 1u);
+  // The init expressions themselves are not capture names.
+  EXPECT_EQ(lambda->refCaptures.count("out"), 0u);
+  EXPECT_EQ(lambda->valueCaptures.count("out"), 0u);
+}
+
+TEST(LintFlowTest, ParsesTemplateLambda) {
+  const std::string text = "[]<typename T>(T value) { return value; }";
+  const auto lambda = flow::parseLambdaAt(text, 0);
+  ASSERT_TRUE(lambda.has_value());
+  ASSERT_EQ(lambda->params.size(), 1u);
+  EXPECT_EQ(lambda->params[0], "value");
+}
+
+TEST(LintFlowTest, SubscriptIsNotALambda) {
+  const std::string text = "void f() { arr[i] = 0; g(arr[j]); }";
+  const auto lambdas = flow::lambdasIn(text, 0, text.size());
+  EXPECT_TRUE(lambdas.empty());
+}
+
+TEST(LintFlowTest, FindsNestedLambdas) {
+  const std::string text =
+      "run([&](int i) { auto g = [&](int j) { return j; }; g(i); });";
+  const auto lambdas = flow::lambdasIn(text, 0, text.size());
+  ASSERT_EQ(lambdas.size(), 2u);
+  // Sorted by position: the outer one first, the nested one inside it.
+  EXPECT_LT(lambdas[0].bodyOpen, lambdas[1].captureOpen);
+  EXPECT_GT(lambdas[0].bodyClose, lambdas[1].bodyClose);
+}
+
+TEST(LintFlowTest, FunctionRegionsSkipControlFlow) {
+  const std::string text =
+      "int f(int x) {\n"
+      "  if (x > 0) { return x; }\n"
+      "  for (int i = 0; i < x; ++i) { x += i; }\n"
+      "  return x;\n"
+      "}\n"
+      "void g() { f(1); }\n";
+  const auto regions = flow::functionRegions(text);
+  ASSERT_EQ(regions.size(), 2u);
+}
+
+TEST(LintFlowTest, DeclaredNamesFindLocalsAndBindings) {
+  const std::string text =
+      "  std::size_t count = 0;\n"
+      "  auto [key, value] = *it;\n"
+      "  std::vector<int>& slot = buckets[0];\n";
+  const auto names = flow::declaredNames(text, 0, text.size());
+  EXPECT_EQ(names.count("count"), 1u);
+  EXPECT_EQ(names.count("key"), 1u);
+  EXPECT_EQ(names.count("value"), 1u);
+  EXPECT_EQ(names.count("slot"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// H6: shared-state writes in pool lambdas.
+// ---------------------------------------------------------------------------
+
+TEST(LintH6Test, PushBackToRefCapturedVectorIsFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "#include \"util/parallel.h\"\n"
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::vector<int> out;\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    out.push_back(static_cast<int>(i));\n"
+                                   "  });\n"
+                                   "}\n")});
+  const auto h6 = byHazard(findings, "H6");
+  ASSERT_EQ(h6.size(), 1u);
+  EXPECT_EQ(h6[0].line, 5u);
+  EXPECT_NE(h6[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(LintH6Test, AssignmentToRefCapturedScalarIsFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  int last = 0;\n"
+                                   "  parallelForChunks(pool, 0, n, [&](std::size_t b, std::size_t e) {\n"
+                                   "    last = static_cast<int>(e);\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H6").size(), 1u);
+}
+
+TEST(LintH6Test, InitCaptureByRefIsFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::vector<int> out;\n"
+                                   "  pool.run([&acc = out]() {\n"
+                                   "    acc.clear();\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H6").size(), 1u);
+}
+
+TEST(LintH6Test, WriteThroughValueCapturedPointerIsFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n, int* total) {\n"
+                                   "  parallelFor(pool, 0, n, 16, [total](std::size_t i) {\n"
+                                   "    *total += static_cast<int>(i);\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H6").size(), 1u);
+}
+
+TEST(LintH6Test, WriteInsideNestedLambdaIsFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::vector<int> out;\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    auto emit = [&]() { out.push_back(1); };\n"
+                                   "    emit();\n"
+                                   "  });\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H6").size(), 1u);
+}
+
+TEST(LintH6Test, InductionIndexedSlotIsNotFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::vector<int> out(n);\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    out[i] = static_cast<int>(i);\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H6").empty());
+}
+
+TEST(LintH6Test, AtomicWritesAreNotFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::atomic<int> total{0};\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    total.fetch_add(1);\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H6").empty());
+}
+
+TEST(LintH6Test, ValueCapturedCopyIsNotFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  int total = 0;\n"
+                                   "  parallelFor(pool, 0, n, 16, [total](std::size_t i) mutable {\n"
+                                   "    total += static_cast<int>(i);\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H6").empty());
+}
+
+TEST(LintH6Test, LambdaLocalStateIsNotFlagged) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    std::vector<int> scratch;\n"
+                                   "    scratch.push_back(static_cast<int>(i));\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H6").empty());
+}
+
+TEST(LintH6Test, NestedValueCaptureShadowsSharedName) {
+  // The nested lambda copies `total`; its write hits the copy.
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  int total = 0;\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    auto g = [total]() mutable { total += 1; };\n"
+                                   "    g();\n"
+                                   "  });\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H6").empty());
+}
+
+TEST(LintH6Test, InlineAllowSuppressesH6) {
+  const auto findings = scan({file("src/metrics/agg.cpp",
+                                   "void f(ThreadPool& pool, int n) {\n"
+                                   "  std::vector<int> out;\n"
+                                   "  parallelFor(pool, 0, n, 16, [&](std::size_t i) {\n"
+                                   "    // msd-lint: allow(H6: guarded by the external mutex)\n"
+                                   "    out.push_back(static_cast<int>(i));\n"
+                                   "  });\n"
+                                   "}\n")});
+  const auto h6 = byHazard(findings, "H6");
+  ASSERT_EQ(h6.size(), 1u);
+  EXPECT_TRUE(h6[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// H7: unchecked wire-parse byte access.
+// ---------------------------------------------------------------------------
+
+TEST(LintH7Test, UnguardedSubscriptIsFlagged) {
+  const auto findings = scan({file("src/io/reader.cpp",
+                                   "int f(const std::uint8_t* data, std::size_t size) {\n"
+                                   "  return data[12];\n"
+                                   "}\n")});
+  const auto h7 = byHazard(findings, "H7");
+  ASSERT_EQ(h7.size(), 1u);
+  EXPECT_EQ(h7[0].line, 2u);
+}
+
+TEST(LintH7Test, GuardedSubscriptIsNotFlagged) {
+  const auto findings = scan({file("src/io/reader.cpp",
+                                   "int f(const std::uint8_t* data, std::size_t size) {\n"
+                                   "  if (size < 16) return 0;\n"
+                                   "  return data[12];\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, UnguardedPointerArithmeticIsFlagged) {
+  const auto findings = scan({file("src/io/reader.cpp",
+                                   "int f(const std::uint8_t* data, std::size_t off) {\n"
+                                   "  return parseAt(data + off);\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H7").size(), 1u);
+}
+
+TEST(LintH7Test, CheckedVarintReaderIsNotFlagged) {
+  const auto findings = scan({file("src/io/reader.cpp",
+                                   "int f(const std::uint8_t* data, std::size_t size, std::size_t off) {\n"
+                                   "  const auto r = decodeVarint(data + off, size - off);\n"
+                                   "  return r.ok ? 1 : 0;\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, UnguardedMemcpyIsFlagged) {
+  const auto findings = scan({file("src/io/reader.cpp",
+                                   "int f(const std::uint8_t* bytes) {\n"
+                                   "  int v;\n"
+                                   "  std::memcpy(&v, bytes, 4);\n"
+                                   "  return v;\n"
+                                   "}\n")});
+  const auto h7 = byHazard(findings, "H7");
+  ASSERT_EQ(h7.size(), 1u);
+  EXPECT_NE(h7[0].message.find("memcpy"), std::string::npos);
+}
+
+TEST(LintH7Test, WriterSideBufferIsNotFlagged) {
+  // Non-const byte buffers are the writer side: exempt.
+  const auto findings = scan({file("src/io/writer.cpp",
+                                   "void f() {\n"
+                                   "  std::uint8_t header[16];\n"
+                                   "  header[0] = 1;\n"
+                                   "  std::memcpy(header + 4, header, 4);\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, SameNameInOtherFunctionDoesNotTaintWriter) {
+  // Regression: a reader-side `const std::uint8_t* header` local in one
+  // function must not turn a writer-side `header` array in another
+  // function into a mapped-byte access.
+  const auto findings = scan({file("src/io/log.cpp",
+                                   "int read(const std::uint8_t* base, std::size_t size) {\n"
+                                   "  if (size < 8) return 0;\n"
+                                   "  const std::uint8_t* header = base;\n"
+                                   "  return header[4];\n"
+                                   "}\n"
+                                   "void write() {\n"
+                                   "  std::uint8_t header[16];\n"
+                                   "  header[0] = 1;\n"
+                                   "  std::memcpy(header + 4, header, 4);\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, WireLayerItselfIsExempt) {
+  const auto findings = scan({file("src/io/wire.cpp",
+                                   "int f(const std::uint8_t* data) {\n"
+                                   "  return data[0];\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, OutsideIoLayerIsExempt) {
+  const auto findings = scan({file("src/metrics/raw.cpp",
+                                   "int f(const std::uint8_t* data) {\n"
+                                   "  return data[0];\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H7").empty());
+}
+
+TEST(LintH7Test, CompanionHeaderMemberIsScanned) {
+  // A const byte-pointer member declared in the companion .h is in
+  // scope everywhere in the .cpp.
+  const auto findings = scan(
+      {file("src/io/mapped.h",
+            "struct Mapped {\n"
+            "  const std::uint8_t* data_ = nullptr;\n"
+            "  std::size_t size_ = 0;\n"
+            "};\n"),
+       file("src/io/mapped.cpp",
+            "#include \"io/mapped.h\"\n"
+            "int Mapped_peek(const Mapped& m) {\n"
+            "  return m_data[0];\n"
+            "}\n"
+            "int peekRaw() {\n"
+            "  return data_[0];\n"
+            "}\n")});
+  const auto h7 = byHazard(findings, "H7");
+  ASSERT_EQ(h7.size(), 1u);
+  EXPECT_EQ(h7[0].file, "src/io/mapped.cpp");
+  EXPECT_EQ(h7[0].line, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// H8: discarded error-bearing results.
+// ---------------------------------------------------------------------------
+
+TEST(LintH8Test, DiscardedBoolParseResultIsFlagged) {
+  const auto findings = scan({file("src/io/parse.cpp",
+                                   "bool parseHeader(int x);\n"
+                                   "void f(int x) {\n"
+                                   "  parseHeader(x);\n"
+                                   "}\n")});
+  const auto h8 = byHazard(findings, "H8");
+  ASSERT_EQ(h8.size(), 1u);
+  EXPECT_EQ(h8[0].line, 3u);
+}
+
+TEST(LintH8Test, DiscardedExpectedResultIsFlagged) {
+  const auto findings = scan({file("src/io/parse.cpp",
+                                   "Expected<int> countEvents(int x);\n"
+                                   "void f(int x) {\n"
+                                   "  countEvents(x);\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H8").size(), 1u);
+}
+
+TEST(LintH8Test, DiscardedCallInsideIfBodyIsFlagged) {
+  const auto findings = scan({file("src/io/parse.cpp",
+                                   "bool readBlock(int x);\n"
+                                   "void f(int x, bool go) {\n"
+                                   "  if (go) readBlock(x);\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H8").size(), 1u);
+}
+
+TEST(LintH8Test, BranchedOnResultIsNotFlagged) {
+  const auto findings = scan({file("src/io/parse.cpp",
+                                   "bool parseHeader(int x);\n"
+                                   "bool f(int x) {\n"
+                                   "  if (!parseHeader(x)) return false;\n"
+                                   "  const bool ok = parseHeader(x + 1);\n"
+                                   "  return ok;\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H8").empty());
+}
+
+TEST(LintH8Test, VoidCastIsAnExplicitWaiver) {
+  const auto findings = scan({file("src/io/parse.cpp",
+                                   "bool flushTail(int x);\n"
+                                   "void f(int x) {\n"
+                                   "  (void)flushTail(x);\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H8").empty());
+}
+
+TEST(LintH8Test, UnexaminedErrorCodeIsFlagged) {
+  const auto findings = scan({file("src/io/fsops.cpp",
+                                   "void f(const std::string& dir) {\n"
+                                   "  std::error_code ec;\n"
+                                   "  std::filesystem::create_directories(dir, ec);\n"
+                                   "}\n")});
+  const auto h8 = byHazard(findings, "H8");
+  ASSERT_EQ(h8.size(), 1u);
+  EXPECT_EQ(h8[0].line, 2u);
+}
+
+TEST(LintH8Test, ExaminedErrorCodeIsNotFlagged) {
+  const auto findings = scan({file("src/io/fsops.cpp",
+                                   "bool f(const std::string& dir) {\n"
+                                   "  std::error_code ec;\n"
+                                   "  std::filesystem::create_directories(dir, ec);\n"
+                                   "  if (ec) return false;\n"
+                                   "  return true;\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H8").empty());
+}
+
+TEST(LintH8Test, PropagatedErrorCodeIsNotFlagged) {
+  const auto findings = scan({file("src/io/fsops.cpp",
+                                   "std::error_code f(const std::string& dir) {\n"
+                                   "  std::error_code ec;\n"
+                                   "  std::filesystem::create_directories(dir, ec);\n"
+                                   "  return ec;\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H8").empty());
+}
+
+// ---------------------------------------------------------------------------
+// H9: nondeterministic ordering sinks.
+// ---------------------------------------------------------------------------
+
+TEST(LintH9Test, DefaultSortOfPointerSequenceIsFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "struct Node { int id; };\n"
+                                   "void f(std::vector<const Node*>& items) {\n"
+                                   "  std::sort(items.begin(), items.end());\n"
+                                   "  for (const Node* n : items) printf(\"%d\\n\", n->id);\n"
+                                   "}\n")});
+  const auto h9 = byHazard(findings, "H9");
+  ASSERT_EQ(h9.size(), 1u);
+  EXPECT_EQ(h9[0].line, 4u);
+}
+
+TEST(LintH9Test, AddressComparatorIsFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "struct Node { int id; };\n"
+                                   "void f(std::vector<Node*>& items) {\n"
+                                   "  std::sort(items.begin(), items.end(),\n"
+                                   "            [](const Node* a, const Node* b) { return a < b; });\n"
+                                   "  printf(\"%zu\\n\", items.size());\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H9").size(), 1u);
+}
+
+TEST(LintH9Test, KeyComparatorIsNotFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "struct Node { int id; };\n"
+                                   "void f(std::vector<Node*>& items) {\n"
+                                   "  std::sort(items.begin(), items.end(),\n"
+                                   "            [](const Node* a, const Node* b) { return a->id < b->id; });\n"
+                                   "  printf(\"%zu\\n\", items.size());\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H9").empty());
+}
+
+TEST(LintH9Test, UnsortedUnorderedExtractionIsFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "#include <unordered_map>\n"
+                                   "void f(const std::unordered_map<int, int>& m) {\n"
+                                   "  std::vector<std::pair<int, int>> rows(m.begin(), m.end());\n"
+                                   "  printf(\"%zu\\n\", rows.size());\n"
+                                   "}\n")});
+  const auto h9 = byHazard(findings, "H9");
+  ASSERT_EQ(h9.size(), 1u);
+  EXPECT_EQ(h9[0].line, 4u);
+}
+
+TEST(LintH9Test, ExtractionSortedLaterIsNotFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "#include <unordered_map>\n"
+                                   "void f(const std::unordered_map<int, int>& m) {\n"
+                                   "  std::vector<std::pair<int, int>> rows(m.begin(), m.end());\n"
+                                   "  std::sort(rows.begin(), rows.end());\n"
+                                   "  printf(\"%zu\\n\", rows.size());\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H9").empty());
+}
+
+TEST(LintH9Test, AccumulateOverUnorderedIsFlagged) {
+  const auto findings = scan({file("src/metrics/report.cpp",
+                                   "#include <cstdio>\n"
+                                   "#include <unordered_map>\n"
+                                   "double f(const std::unordered_map<int, double>& m) {\n"
+                                   "  return std::accumulate(m.begin(), m.end(), 0.0, addValues);\n"
+                                   "}\n")});
+  ASSERT_EQ(byHazard(findings, "H9").size(), 1u);
+}
+
+TEST(LintH9Test, NonOutputRelevantFileIsExempt) {
+  const auto findings = scan({file("src/graph/scratch.cpp",
+                                   "struct Node { int id; };\n"
+                                   "void f(std::vector<const Node*>& items) {\n"
+                                   "  std::sort(items.begin(), items.end());\n"
+                                   "}\n")});
+  EXPECT_TRUE(byHazard(findings, "H9").empty());
+}
+
+}  // namespace
+}  // namespace msd::lint

@@ -1,0 +1,315 @@
+// SARIF emission and baseline-ratchet tests: an exact snapshot of the
+// SARIF 2.1.0 skeleton (schema, driver, full H1–H9 rule table),
+// structural checks for results and inSource suppressions, baseline
+// round-trip/diff semantics in both ratchet directions, the CLI exit
+// contract, and the real-tree self-scan against the committed baseline.
+
+#include "msd_lint/baseline.h"
+#include "msd_lint/lint.h"
+#include "msd_lint/sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace msd::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+Finding finding(std::string file, std::size_t line, std::string hazard,
+                std::string message, bool suppressed = false,
+                std::string reason = "") {
+  Finding f;
+  f.file = std::move(file);
+  f.line = line;
+  f.hazard = std::move(hazard);
+  f.message = std::move(message);
+  f.suppressed = suppressed;
+  f.suppressReason = std::move(reason);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF document.
+// ---------------------------------------------------------------------------
+
+// The full document for an empty scan, pinned byte-for-byte: any change
+// to the schema URL, driver block, or rule table shows up here first.
+constexpr const char* kEmptySarif = R"sarif({
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "msd_lint",
+          "version": "2.0.0",
+          "informationUri": "https://example.invalid/msd_lint",
+          "rules": [
+            {
+              "id": "H1",
+              "shortDescription": {"text": "Unordered-container iteration in an output-relevant file"}
+            },
+            {
+              "id": "H2",
+              "shortDescription": {"text": "Banned nondeterminism source (rand/random_device/clock)"}
+            },
+            {
+              "id": "H3",
+              "shortDescription": {"text": "By-reference floating-point accumulation in a pool lambda"}
+            },
+            {
+              "id": "H4",
+              "shortDescription": {"text": "Thread identity (thread_local/get_id) outside the pool"}
+            },
+            {
+              "id": "H5",
+              "shortDescription": {"text": "Raw thread construction outside src/util/parallel.*"}
+            },
+            {
+              "id": "H6",
+              "shortDescription": {"text": "Shared-state write in a pool lambda without a safe idiom"}
+            },
+            {
+              "id": "H7",
+              "shortDescription": {"text": "Raw wire-parse byte access without a dominating bounds check"}
+            },
+            {
+              "id": "H8",
+              "shortDescription": {"text": "Discarded error-bearing result"}
+            },
+            {
+              "id": "H9",
+              "shortDescription": {"text": "Nondeterministic ordering sink (pointer order / unordered extraction)"}
+            }
+          ]
+        }
+      },
+      "results": [
+      ]
+    }
+  ]
+}
+)sarif";
+
+TEST(SarifTest, EmptyScanMatchesSnapshot) {
+  EXPECT_EQ(toSarif({}), kEmptySarif);
+}
+
+TEST(SarifTest, ResultCarriesRuleIdIndexAndLocation) {
+  const std::string doc =
+      toSarif({finding("src/io/reader.cpp", 42, "H7", "raw access")});
+  EXPECT_NE(doc.find("\"ruleId\": \"H7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleIndex\": 6"), std::string::npos);
+  EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(doc.find("\"message\": {\"text\": \"raw access\"}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"uri\": \"src/io/reader.cpp\", "
+                     "\"uriBaseId\": \"SRCROOT\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"region\": {\"startLine\": 42}"), std::string::npos);
+  EXPECT_EQ(doc.find("\"suppressions\""), std::string::npos);
+}
+
+TEST(SarifTest, SuppressedFindingGetsInSourceSuppression) {
+  const std::string doc = toSarif(
+      {finding("src/a.cpp", 7, "H1", "msg", true, "keyed accumulator")});
+  EXPECT_NE(doc.find("\"suppressions\": ["), std::string::npos);
+  EXPECT_NE(doc.find("{\"kind\": \"inSource\", \"justification\": "
+                     "\"keyed accumulator\"}"),
+            std::string::npos);
+}
+
+TEST(SarifTest, EscapesQuotesAndControlCharacters) {
+  const std::string doc =
+      toSarif({finding("src/a.cpp", 1, "H2", "uses \"rand\"\n\ttwice")});
+  EXPECT_NE(doc.find("uses \\\"rand\\\"\\n\\ttwice"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: serialization, parsing, ratchet.
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, WriteParseRoundTrip) {
+  const std::string doc = writeBaseline(
+      {finding("src/io/a.cpp", 3, "H7", "x"),
+       finding("src/io/a.cpp", 9, "H7", "y"),
+       finding("tools/b.cpp", 5, "H8", "z"),
+       finding("src/io/a.cpp", 4, "H1", "suppressed", true, "why")});
+  const std::vector<BaselineEntry> entries = parseBaseline(doc);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].file, "src/io/a.cpp");
+  EXPECT_EQ(entries[0].hazard, "H7");
+  EXPECT_EQ(entries[0].count, 2u);
+  EXPECT_EQ(entries[1].file, "tools/b.cpp");
+  EXPECT_EQ(entries[1].hazard, "H8");
+  EXPECT_EQ(entries[1].count, 1u);
+}
+
+TEST(BaselineTest, EmptyBaselineRoundTrip) {
+  EXPECT_TRUE(parseBaseline(writeBaseline({})).empty());
+}
+
+TEST(BaselineTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(parseBaseline(""), std::runtime_error);
+  EXPECT_THROW(parseBaseline("{}"), std::runtime_error);  // no schema tag
+  EXPECT_THROW(parseBaseline("{\"schema\": \"other-v9\", \"findings\": []}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parseBaseline("{\"schema\": \"msd-lint-baseline-v1\", \"findings\": "
+                    "[{\"file\": \"a\", \"hazard\": \"H0\", \"count\": 1}]}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parseBaseline("{\"schema\": \"msd-lint-baseline-v1\", \"findings\": "
+                    "[{\"file\": \"a\", \"hazard\": \"H1\"}]}"),
+      std::runtime_error);
+}
+
+TEST(BaselineTest, NewFindingIsFlaggedAsDrift) {
+  const std::vector<BaselineEntry> baseline =
+      parseBaseline(writeBaseline({finding("src/a.cpp", 1, "H1", "x")}));
+  const BaselineDiff diff = diffBaseline(
+      {finding("src/a.cpp", 1, "H1", "x"), finding("src/a.cpp", 9, "H1", "y")},
+      baseline);
+  EXPECT_FALSE(diff.clean());
+  ASSERT_EQ(diff.newFindings.size(), 1u);
+  EXPECT_TRUE(diff.staleEntries.empty());
+}
+
+TEST(BaselineTest, StaleEntryIsFlaggedAsDrift) {
+  const std::vector<BaselineEntry> baseline =
+      parseBaseline(writeBaseline({finding("src/a.cpp", 1, "H1", "x")}));
+  const BaselineDiff diff = diffBaseline({}, baseline);
+  EXPECT_FALSE(diff.clean());
+  EXPECT_TRUE(diff.newFindings.empty());
+  ASSERT_EQ(diff.staleEntries.size(), 1u);
+}
+
+TEST(BaselineTest, MatchingScanIsClean) {
+  const std::vector<Finding> scan = {finding("src/a.cpp", 1, "H1", "x"),
+                                     finding("src/b.cpp", 2, "H7", "y")};
+  EXPECT_TRUE(diffBaseline(scan, parseBaseline(writeBaseline(scan))).clean());
+}
+
+TEST(BaselineTest, SuppressedFindingsNeverCount) {
+  // A suppressed finding is neither new against an empty baseline nor
+  // able to satisfy a baseline entry.
+  const std::vector<Finding> scan = {
+      finding("src/a.cpp", 1, "H1", "x", true, "waived")};
+  EXPECT_TRUE(diffBaseline(scan, {}).clean());
+  const std::vector<BaselineEntry> baseline =
+      parseBaseline(writeBaseline({finding("src/a.cpp", 1, "H1", "x")}));
+  EXPECT_FALSE(diffBaseline(scan, baseline).clean());
+}
+
+// ---------------------------------------------------------------------------
+// CLI exit contract and the real-tree self-scan.
+// ---------------------------------------------------------------------------
+
+#if defined(MSD_LINT_BINARY) && defined(MSD_LINT_REPO_ROOT)
+
+int runLint(const std::string& argsTail) {
+  const std::string command = std::string(MSD_LINT_BINARY) + " " + argsTail +
+                              " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+class RatchetCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("msd_lint_ratchet_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "io");
+    fs::create_directories(root_ / "tools");
+    fs::create_directories(root_ / "bench");
+    baseline_ = (root_ / "tools" / "msd_lint_baseline.json").string();
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void writeFile(const std::string& relative, const std::string& text) {
+    std::ofstream out(root_ / relative);
+    out << text;
+  }
+
+  std::string rootArg() const { return "--root=" + root_.string(); }
+
+  fs::path root_;
+  std::string baseline_;
+};
+
+TEST_F(RatchetCliTest, WriteBaselineThenDiffIsClean) {
+  writeFile("src/io/reader.cpp",
+            "int f(const std::uint8_t* data) { return data[9]; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --write-baseline"), 0);
+  EXPECT_EQ(runLint(rootArg() + " --format=sarif --diff-baseline"), 0);
+  // Without the ratchet the finding still fails the plain scan.
+  EXPECT_EQ(runLint(rootArg()), 1);
+}
+
+TEST_F(RatchetCliTest, NewFindingFailsRatchet) {
+  writeFile("src/io/reader.cpp", "int f() { return 0; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --write-baseline"), 0);
+  writeFile("src/io/reader.cpp",
+            "int f(const std::uint8_t* data) { return data[9]; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --diff-baseline"), 1);
+}
+
+TEST_F(RatchetCliTest, StaleBaselineEntryFailsRatchet) {
+  writeFile("src/io/reader.cpp",
+            "int f(const std::uint8_t* data) { return data[9]; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --write-baseline"), 0);
+  // Fix the finding but leave the baseline entry: the ratchet must
+  // demand the entry's removal.
+  writeFile("src/io/reader.cpp", "int f() { return 0; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --diff-baseline"), 1);
+}
+
+TEST_F(RatchetCliTest, MissingBaselineExitsTwo) {
+  writeFile("src/io/reader.cpp", "int f() { return 0; }\n");
+  EXPECT_EQ(runLint(rootArg() + " --diff-baseline"), 2);
+}
+
+TEST_F(RatchetCliTest, MalformedBaselineExitsTwo) {
+  writeFile("src/io/reader.cpp", "int f() { return 0; }\n");
+  writeFile("tools/msd_lint_baseline.json", "{\"schema\": \"nope\"}");
+  EXPECT_EQ(runLint(rootArg() + " --diff-baseline"), 2);
+}
+
+TEST_F(RatchetCliTest, DiffAndWriteAreMutuallyExclusive) {
+  EXPECT_EQ(runLint(rootArg() + " --diff-baseline --write-baseline"), 2);
+}
+
+TEST(LintSelfScanSarifTest, RealTreeDiffBaselineIsClean) {
+  // The shipped tree must pass the exact gate check.sh and ctest run:
+  // SARIF output mode with the committed (empty) baseline.
+  EXPECT_EQ(runLint("--root=" MSD_LINT_REPO_ROOT
+                    " --format=sarif --diff-baseline"),
+            0);
+}
+
+TEST(LintSelfScanSarifTest, CommittedBaselineIsEmpty) {
+  std::ifstream in(std::string(MSD_LINT_REPO_ROOT) +
+                   "/tools/msd_lint_baseline.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(parseBaseline(buffer.str()).empty())
+      << "the committed baseline must stay empty: fix new findings or "
+         "waive them inline instead of ratcheting them in";
+}
+
+#endif  // MSD_LINT_BINARY && MSD_LINT_REPO_ROOT
+
+}  // namespace
+}  // namespace msd::lint

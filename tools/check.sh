@@ -34,8 +34,9 @@ step "werror build (release + -Wall -Wextra -Wshadow -Wconversion -Werror)"
 cmake --preset werror -S "$root"
 cmake --build --preset werror -j "$jobs"
 
-step "msd_lint (determinism hazards H1-H5)"
-"$root/build-werror/tools/msd_lint" --root="$root"
+step "msd_lint (hazards H1-H9, SARIF + ratchet baseline)"
+"$root/build-werror/tools/msd_lint" --root="$root" \
+  --format=sarif --diff-baseline > /dev/null
 
 step "scenario suite (named workloads + qualitative assertions)"
 ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs" \

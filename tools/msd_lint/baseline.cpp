@@ -1,0 +1,239 @@
+#include "msd_lint/baseline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "msd_lint/sarif.h"  // jsonEscape
+
+namespace msd::lint {
+
+namespace {
+
+constexpr const char* kSchema = "msd-lint-baseline-v1";
+
+/// Minimal recursive-descent reader for exactly the baseline document
+/// shape — not a general JSON parser. Throws on anything unexpected so a
+/// hand-edited baseline fails loudly instead of silently ratcheting.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::size_t number() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a non-negative integer");
+    return static_cast<std::size_t>(
+        std::stoull(text_.substr(start, pos_ - start)));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return pos_ >= text_.size();
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("msd_lint: malformed baseline at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::map<std::pair<std::string, std::string>, std::size_t> bucketize(
+    const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, std::size_t> buckets;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    ++buckets[{f.file, f.hazard}];
+  }
+  return buckets;
+}
+
+}  // namespace
+
+std::string writeBaseline(const std::vector<Finding>& findings) {
+  const auto buckets = bucketize(findings);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"" << kSchema << "\",\n";
+  out << "  \"findings\": [";
+  bool first = true;
+  for (const auto& [key, count] : buckets) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << jsonEscape(key.first)
+        << "\", \"hazard\": \"" << jsonEscape(key.second)
+        << "\", \"count\": " << count << "}";
+  }
+  out << (first ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<BaselineEntry> parseBaseline(const std::string& text) {
+  Reader reader(text);
+  reader.expect('{');
+  bool sawSchema = false;
+  std::vector<BaselineEntry> entries;
+  bool firstKey = true;
+  while (true) {
+    if (reader.consume('}')) break;
+    if (!firstKey) reader.expect(',');
+    firstKey = false;
+    const std::string key = reader.string();
+    reader.expect(':');
+    if (key == "schema") {
+      const std::string schema = reader.string();
+      if (schema != kSchema) {
+        throw std::runtime_error(
+            "msd_lint: baseline schema mismatch: expected '" +
+            std::string(kSchema) + "', got '" + schema + "'");
+      }
+      sawSchema = true;
+    } else if (key == "findings") {
+      reader.expect('[');
+      bool firstEntry = true;
+      while (true) {
+        if (reader.consume(']')) break;
+        if (!firstEntry) {
+          reader.expect(',');
+          // Allow a trailing comma-free list only; `],` handled above.
+        }
+        firstEntry = false;
+        reader.expect('{');
+        BaselineEntry entry;
+        bool sawFile = false;
+        bool sawHazard = false;
+        bool sawCount = false;
+        bool firstField = true;
+        while (true) {
+          if (reader.consume('}')) break;
+          if (!firstField) reader.expect(',');
+          firstField = false;
+          const std::string field = reader.string();
+          reader.expect(':');
+          if (field == "file") {
+            entry.file = reader.string();
+            sawFile = true;
+          } else if (field == "hazard") {
+            entry.hazard = reader.string();
+            sawHazard = true;
+          } else if (field == "count") {
+            entry.count = reader.number();
+            sawCount = true;
+          } else {
+            reader.fail("unknown entry field '" + field + "'");
+          }
+        }
+        if (!sawFile || !sawHazard || !sawCount) {
+          reader.fail("entry needs file, hazard, and count");
+        }
+        const bool hazardOk = entry.hazard.size() == 2 &&
+                              entry.hazard[0] == 'H' &&
+                              entry.hazard[1] >= '1' && entry.hazard[1] <= '9';
+        if (!hazardOk || entry.file.empty() || entry.count == 0) {
+          reader.fail("invalid entry (hazard H1-H9, non-empty file, "
+                      "count >= 1 required)");
+        }
+        entries.push_back(std::move(entry));
+      }
+    } else {
+      reader.fail("unknown key '" + key + "'");
+    }
+  }
+  if (!reader.atEnd()) reader.fail("trailing content");
+  if (!sawSchema) {
+    throw std::runtime_error("msd_lint: baseline is missing the schema tag");
+  }
+  return entries;
+}
+
+BaselineDiff diffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline) {
+  const auto scanned = bucketize(findings);
+  std::map<std::pair<std::string, std::string>, std::size_t> accepted;
+  for (const BaselineEntry& entry : baseline) {
+    accepted[{entry.file, entry.hazard}] += entry.count;
+  }
+
+  BaselineDiff diff;
+  for (const auto& [key, count] : scanned) {
+    const auto it = accepted.find(key);
+    const std::size_t base = it == accepted.end() ? 0 : it->second;
+    if (count > base) {
+      diff.newFindings.push_back(
+          key.first + ": [" + key.second + "] " + std::to_string(count) +
+          " finding(s), baseline accepts " + std::to_string(base));
+    }
+  }
+  for (const auto& [key, base] : accepted) {
+    const auto it = scanned.find(key);
+    const std::size_t count = it == scanned.end() ? 0 : it->second;
+    if (count < base) {
+      diff.staleEntries.push_back(
+          key.first + ": [" + key.second + "] baseline accepts " +
+          std::to_string(base) + " but the scan found " +
+          std::to_string(count) + " — delete the fixed entry");
+    }
+  }
+  return diff;
+}
+
+}  // namespace msd::lint

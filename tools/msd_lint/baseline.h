@@ -1,0 +1,51 @@
+#pragma once
+
+// Findings baseline with ratchet semantics. The committed baseline
+// (tools/msd_lint_baseline.json) records the accepted per-(file, hazard)
+// finding counts — at zero for a clean tree. `--diff-baseline` fails in
+// BOTH directions: a count above the baseline is a new hazard, a count
+// below it (or a vanished file) is a stale entry that must be deleted so
+// the ratchet can only ever tighten.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "msd_lint/lint.h"
+
+namespace msd::lint {
+
+/// One accepted (file, hazard) bucket.
+struct BaselineEntry {
+  std::string file;
+  std::string hazard;
+  std::size_t count = 0;
+};
+
+/// Serializes the unsuppressed findings as a baseline document
+/// (schema "msd-lint-baseline-v1", entries sorted by file then hazard).
+std::string writeBaseline(const std::vector<Finding>& findings);
+
+/// Parses a baseline document. Throws std::runtime_error on a missing or
+/// mismatched schema tag, malformed JSON, or invalid entries.
+std::vector<BaselineEntry> parseBaseline(const std::string& text);
+
+/// Outcome of comparing a scan against a baseline.
+struct BaselineDiff {
+  /// Buckets whose scan count exceeds the baseline (new hazards).
+  std::vector<std::string> newFindings;
+  /// Baseline buckets whose scan count dropped below the recorded count
+  /// (fixed findings whose entries must be removed from the baseline).
+  std::vector<std::string> staleEntries;
+
+  bool clean() const { return newFindings.empty() && staleEntries.empty(); }
+};
+
+/// Compares unsuppressed findings against the baseline, bucketed by
+/// (file, hazard). Suppressed findings never count: inline waivers are
+/// the mechanism for accepted sites, the baseline is the mechanism for
+/// *transitionally* accepted ones.
+BaselineDiff diffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline);
+
+}  // namespace msd::lint

@@ -1,0 +1,365 @@
+#include "msd_lint/flow.h"
+
+#include <algorithm>
+
+#include "msd_lint/internal.h"
+
+namespace msd::lint::flow {
+
+namespace {
+
+using internal::findMatching;
+using internal::isWordChar;
+using internal::prevNonSpace;
+using internal::prevWord;
+using internal::skipSpaces;
+using internal::trim;
+
+/// Splits `text[begin, end)` on commas at nesting depth zero with respect
+/// to (), [], and {}.
+std::vector<std::string> splitTopLevel(const std::string& text,
+                                       std::size_t begin, std::size_t end) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (end > start) parts.push_back(text.substr(start, end - start));
+  return parts;
+}
+
+/// First identifier in `s`, or empty.
+std::string firstIdentifier(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && !isWordChar(s[i])) ++i;
+  const std::size_t start = i;
+  while (i < s.size() && isWordChar(s[i])) ++i;
+  return s.substr(start, i - start);
+}
+
+/// Last identifier in `s`, or empty.
+std::string lastIdentifier(const std::string& s) {
+  std::size_t end = s.size();
+  while (end > 0 && !isWordChar(s[end - 1])) --end;
+  std::size_t start = end;
+  while (start > 0 && isWordChar(s[start - 1])) --start;
+  return s.substr(start, end - start);
+}
+
+/// True when the '[' at `open` can syntactically start a lambda: the
+/// preceding token must not be a postfix expression (identifier, ')',
+/// ']') — those make it a subscript — and not another '[' (attribute).
+bool positionAllowsLambda(const std::string& text, std::size_t open) {
+  const char prev = prevNonSpace(text, open);
+  if (prev == '\0') return true;
+  if (isWordChar(prev)) {
+    // `return [..]` and `co_return [..]` are lambdas; `name[..]` is not.
+    const std::string word = prevWord(text, open);
+    return word == "return" || word == "co_return" || word == "case";
+  }
+  return prev != ')' && prev != ']' && prev != '[';
+}
+
+void parseCaptureItem(const std::string& rawItem, Lambda& out) {
+  const std::string item = trim(rawItem);
+  if (item.empty()) return;
+  if (item == "&") {
+    out.defaultByRef = true;
+    return;
+  }
+  if (item == "=") {
+    out.defaultByValue = true;
+    return;
+  }
+  if (item == "this") {
+    out.capturesThis = true;
+    return;
+  }
+  if (item == "*this") {
+    // Copy of *this: member writes hit the copy, not shared state.
+    out.valueCaptures.insert("this");
+    return;
+  }
+  if (item[0] == '&') {
+    // `&name` or `&name = expr` (ref init-capture) or `&...pack`.
+    std::string rest = trim(item.substr(1));
+    const std::size_t eq = rest.find('=');
+    if (eq != std::string::npos) rest = rest.substr(0, eq);
+    const std::string name = firstIdentifier(rest);
+    if (!name.empty()) out.refCaptures.insert(name);
+    return;
+  }
+  // `name`, `name = expr` (init-capture by value), `...pack`.
+  std::string rest = item;
+  const std::size_t eq = rest.find('=');
+  if (eq != std::string::npos) rest = rest.substr(0, eq);
+  const std::string name = firstIdentifier(rest);
+  if (!name.empty()) out.valueCaptures.insert(name);
+}
+
+}  // namespace
+
+std::optional<Lambda> parseLambdaAt(const std::string& text,
+                                    std::size_t open) {
+  if (open >= text.size() || text[open] != '[') return std::nullopt;
+  if (!positionAllowsLambda(text, open)) return std::nullopt;
+  const std::size_t close = findMatching(text, open, '[', ']');
+  if (close == std::string::npos) return std::nullopt;
+
+  Lambda lambda;
+  lambda.captureOpen = open;
+  lambda.captureClose = close;
+
+  std::size_t cursor = skipSpaces(text, close + 1);
+  // Generic lambda template head: []<typename T>(...).
+  if (cursor < text.size() && text[cursor] == '<') {
+    const std::size_t tClose = findMatching(text, cursor, '<', '>');
+    if (tClose == std::string::npos) return std::nullopt;
+    cursor = skipSpaces(text, tClose + 1);
+  }
+  std::size_t paramOpen = std::string::npos;
+  if (cursor < text.size() && text[cursor] == '(') {
+    paramOpen = cursor;
+    const std::size_t paramClose = findMatching(text, cursor, '(', ')');
+    if (paramClose == std::string::npos) return std::nullopt;
+    for (const std::string& piece :
+         splitTopLevel(text, paramOpen + 1, paramClose)) {
+      // Parameter name: last identifier of the declarator, before any
+      // default argument.
+      std::string decl = piece;
+      const std::size_t eq = decl.find('=');
+      if (eq != std::string::npos) decl = decl.substr(0, eq);
+      const std::string name = lastIdentifier(decl);
+      if (!name.empty()) lambda.params.push_back(name);
+    }
+    cursor = skipSpaces(text, paramClose + 1);
+  }
+  // Skip qualifiers and trailing return type up to the body brace.
+  while (cursor < text.size() && text[cursor] != '{') {
+    if (text[cursor] == ';' || text[cursor] == ')' || text[cursor] == ',' ||
+        text[cursor] == ']') {
+      return std::nullopt;  // `arr[i]` etc. — not a lambda after all
+    }
+    if (text[cursor] == '(') {
+      // noexcept(...) or a parenthesized trailing-return component.
+      const std::size_t c = findMatching(text, cursor, '(', ')');
+      if (c == std::string::npos) return std::nullopt;
+      cursor = c + 1;
+      continue;
+    }
+    if (text[cursor] == '<') {
+      const std::size_t c = findMatching(text, cursor, '<', '>');
+      if (c == std::string::npos) return std::nullopt;
+      cursor = c + 1;
+      continue;
+    }
+    ++cursor;
+  }
+  if (cursor >= text.size()) return std::nullopt;
+  lambda.bodyOpen = cursor;
+  const std::size_t bodyClose = findMatching(text, cursor, '{', '}');
+  if (bodyClose == std::string::npos) return std::nullopt;
+  lambda.bodyClose = bodyClose;
+
+  for (const std::string& item : splitTopLevel(text, open + 1, close)) {
+    parseCaptureItem(item, lambda);
+  }
+  return lambda;
+}
+
+std::vector<Lambda> lambdasIn(const std::string& text, std::size_t begin,
+                              std::size_t end) {
+  std::vector<Lambda> out;
+  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+    if (text[i] != '[') continue;
+    std::optional<Lambda> lambda = parseLambdaAt(text, i);
+    if (lambda.has_value()) {
+      // Skip the capture list so `[x = arr[i]]` doesn't re-trigger on
+      // the inner '['; the body stays scanned so nested lambdas appear.
+      i = lambda->captureClose;
+      out.push_back(std::move(*lambda));
+    }
+  }
+  return out;
+}
+
+std::vector<Region> functionRegions(const std::string& text) {
+  static const std::set<std::string> kControl = {
+      "if", "for", "while", "switch", "catch", "return", "co_return",
+      "sizeof", "alignof", "decltype"};
+  static const std::set<std::string> kQualifier = {
+      "const", "noexcept", "override", "final", "mutable", "try"};
+  std::vector<Region> regions;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != ')') continue;
+    // Forward: skip qualifiers / trailing return up to '{' or give up.
+    std::size_t cursor = skipSpaces(text, i + 1);
+    bool sawArrow = false;
+    while (cursor < text.size() && text[cursor] != '{') {
+      if (text[cursor] == '-' && cursor + 1 < text.size() &&
+          text[cursor + 1] == '>') {
+        sawArrow = true;
+        cursor += 2;
+        continue;
+      }
+      if (isWordChar(text[cursor])) {
+        std::size_t wordEnd = cursor;
+        while (wordEnd < text.size() && isWordChar(text[wordEnd])) ++wordEnd;
+        const std::string word = text.substr(cursor, wordEnd - cursor);
+        if (!sawArrow && kQualifier.count(word) == 0) break;
+        cursor = skipSpaces(text, wordEnd);
+        continue;
+      }
+      if (sawArrow && (text[cursor] == ':' || text[cursor] == '<' ||
+                       text[cursor] == '&' || text[cursor] == '*' ||
+                       std::isspace(static_cast<unsigned char>(
+                           text[cursor])) != 0)) {
+        if (text[cursor] == '<') {
+          const std::size_t c = findMatching(text, cursor, '<', '>');
+          if (c == std::string::npos) break;
+          cursor = c + 1;
+        } else {
+          ++cursor;
+        }
+        continue;
+      }
+      break;
+    }
+    if (cursor >= text.size() || text[cursor] != '{') continue;
+    // Backward: the word introducing the parens must not be control flow.
+    int depth = 0;
+    std::size_t openParen = std::string::npos;
+    for (std::size_t j = i + 1; j-- > 0;) {
+      if (text[j] == ')') {
+        ++depth;
+      } else if (text[j] == '(') {
+        --depth;
+        if (depth == 0) {
+          openParen = j;
+          break;
+        }
+      }
+    }
+    if (openParen == std::string::npos) continue;
+    const char before = prevNonSpace(text, openParen);
+    if (before == ']') continue;  // lambda: handled by lambdasIn callers
+    const std::string word = prevWord(text, openParen);
+    if (kControl.count(word) > 0) continue;
+    const std::size_t bodyClose = findMatching(text, cursor, '{', '}');
+    if (bodyClose == std::string::npos) continue;
+    regions.push_back(Region{cursor, bodyClose});
+  }
+  return regions;
+}
+
+std::optional<Region> enclosingRegion(const std::vector<Region>& regions,
+                                      std::size_t offset) {
+  std::optional<Region> best;
+  for (const Region& r : regions) {
+    if (offset <= r.bodyOpen || offset >= r.bodyClose) continue;
+    if (!best.has_value() ||
+        r.bodyClose - r.bodyOpen < best->bodyClose - best->bodyOpen) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::set<std::string> declaredNames(const std::string& text,
+                                    std::size_t begin, std::size_t end) {
+  // Words that end a statement rather than name a type: an identifier
+  // directly after one of these is an expression, not a declaration.
+  static const std::set<std::string> kNotTypes = {
+      "return",   "co_return", "co_yield", "case",   "goto",   "new",
+      "delete",   "throw",     "else",     "do",     "break",  "continue",
+      "sizeof",   "alignof",   "typedef",  "using",  "not",    "and",
+      "or",       "xor",       "if",       "while",  "for",    "switch",
+      "operator", "public",    "private",  "protected"};
+  std::set<std::string> names;
+  std::size_t i = std::min(begin, text.size());
+  const std::size_t stop = std::min(end, text.size());
+  while (i < stop) {
+    if (!isWordChar(text[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < stop && isWordChar(text[i])) ++i;
+    if (std::isdigit(static_cast<unsigned char>(text[start])) != 0) continue;
+    const std::string word = text.substr(start, i - start);
+    // Structured bindings: `auto [a, b]` / `auto& [k, v]`.
+    if (word == "auto") {
+      std::size_t cursor = skipSpaces(text, i);
+      while (cursor < stop &&
+             (text[cursor] == '&' || text[cursor] == '*')) {
+        cursor = skipSpaces(text, cursor + 1);
+      }
+      if (cursor < stop && text[cursor] == '[') {
+        const std::size_t close = findMatching(text, cursor, '[', ']');
+        if (close != std::string::npos && close < stop) {
+          for (const std::string& ident : internal::identifiersIn(
+                   text.substr(cursor + 1, close - cursor - 1))) {
+            names.insert(ident);
+          }
+        }
+      }
+      continue;
+    }
+    const char prevCh = prevNonSpace(text, start);
+    if (prevCh == '>') {
+      // `vector<T> v` — the closing angle of a template type.
+      names.insert(word);
+      continue;
+    }
+    if (prevCh == '&' || prevCh == '*') {
+      // Declarator decoration (`auto& x`, `T* p`) — but only when a
+      // type actually precedes the decoration. `*p += 1;` at statement
+      // position is a dereference, not a declaration.
+      std::size_t j = start;
+      while (j > 0 &&
+             (text[j - 1] == ' ' || text[j - 1] == '\t' ||
+              text[j - 1] == '\n' || text[j - 1] == '&' ||
+              text[j - 1] == '*')) {
+        --j;
+      }
+      if (j > 0 && text[j - 1] == '>') {
+        names.insert(word);
+      } else if (j > 0 && isWordChar(text[j - 1])) {
+        const std::string prev = prevWord(text, j);
+        if (!prev.empty() && kNotTypes.count(prev) == 0 &&
+            std::isdigit(static_cast<unsigned char>(prev[0])) == 0) {
+          names.insert(word);
+        }
+      }
+      continue;
+    }
+    if (isWordChar(prevCh)) {
+      const std::string prev = prevWord(text, start);
+      if (!prev.empty() && kNotTypes.count(prev) == 0 &&
+          std::isdigit(static_cast<unsigned char>(prev[0])) == 0) {
+        // Two adjacent identifiers: `Type name`.
+        names.insert(word);
+      }
+    }
+  }
+  return names;
+}
+
+bool mentionsAny(const std::string& expr, const std::set<std::string>& names) {
+  if (names.empty()) return false;
+  for (const std::string& ident : internal::identifiersIn(expr)) {
+    if (names.count(ident) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace msd::lint::flow

@@ -1,0 +1,72 @@
+#pragma once
+
+// Flow-layer parsing primitives for the H6-H9 passes: a lambda
+// capture-list/parameter parser, a brace-matched function-region finder,
+// and a heuristic local-declaration collector. All of it operates on the
+// comment/string-stripped text (offsets are preserved, so results map
+// straight to line numbers). This is deliberately not a C++ parser — it
+// understands exactly enough structure to reason about captures,
+// enclosing scopes, and declared names with zero false positives on the
+// shipped tree; the fixture tests pin the supported shapes.
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace msd::lint::flow {
+
+/// One parsed lambda expression. Offsets index into the stripped text.
+struct Lambda {
+  std::size_t captureOpen = 0;   ///< offset of '['
+  std::size_t captureClose = 0;  ///< offset of matching ']'
+  std::size_t bodyOpen = 0;      ///< offset of the body '{'
+  std::size_t bodyClose = 0;     ///< offset of the matching '}'
+  bool defaultByRef = false;     ///< [&] / [&, ...]
+  bool defaultByValue = false;   ///< [=] / [=, ...]
+  bool capturesThis = false;     ///< [this] or [&...] in a member function
+  std::set<std::string> refCaptures;    ///< [&x] and [&x = expr]
+  std::set<std::string> valueCaptures;  ///< [x], [x = expr], [*this]
+  std::vector<std::string> params;      ///< declared parameter names
+};
+
+/// Parses the lambda whose capture list opens at `open` (which must be a
+/// '['). Returns std::nullopt when the brackets do not introduce a lambda
+/// (subscript, attribute, unbalanced text).
+std::optional<Lambda> parseLambdaAt(const std::string& text,
+                                    std::size_t open);
+
+/// All lambdas whose capture list starts in [begin, end), in order.
+/// Nested lambdas are included (a lambda inside another lambda's body
+/// produces its own entry).
+std::vector<Lambda> lambdasIn(const std::string& text, std::size_t begin,
+                              std::size_t end);
+
+/// A brace-delimited body region: function, constructor, or lambda body.
+struct Region {
+  std::size_t bodyOpen = 0;   ///< offset of '{'
+  std::size_t bodyClose = 0;  ///< offset of matching '}'
+};
+
+/// Finds function-ish body regions: every `...) {` whose introducing
+/// word is not a control-flow keyword (if/for/while/switch/catch).
+/// Constructor bodies resolve to the brace after the last initializer.
+std::vector<Region> functionRegions(const std::string& text);
+
+/// The innermost region containing `offset`, if any.
+std::optional<Region> enclosingRegion(const std::vector<Region>& regions,
+                                      std::size_t offset);
+
+/// Heuristic set of names declared in [begin, end): an identifier whose
+/// preceding token is a type-ish word (not a statement keyword) or a
+/// declarator decoration (&, *, >), plus structured bindings
+/// (`auto [a, b]`). Over-approximates on purpose — treating a name as
+/// locally declared only ever silences a finding.
+std::set<std::string> declaredNames(const std::string& text,
+                                    std::size_t begin, std::size_t end);
+
+/// True when any identifier in `expr` is in `names`.
+bool mentionsAny(const std::string& expr, const std::set<std::string>& names);
+
+}  // namespace msd::lint::flow

@@ -1,0 +1,1089 @@
+// H6-H9: the flow-aware hazard passes. These lean on the flow layer
+// (lambda captures, function regions, declared names) to reason across
+// statements — which shared names a pool lambda can race on, whether a
+// raw byte access is dominated by a bounds check, whether an
+// error-bearing result is consumed, and whether unordered/pointer
+// ordering can reach output. Every rule here is tuned for zero false
+// positives on the shipped tree; the fixture tests pin both directions.
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "msd_lint/flow.h"
+#include "msd_lint/internal.h"
+
+namespace msd::lint::internal {
+
+namespace {
+
+std::size_t prevNonSpaceIdx(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return pos;
+  }
+  return std::string::npos;
+}
+
+/// First identifier in `s`, or empty.
+std::string firstIdentifier(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && !isWordChar(s[i])) ++i;
+  const std::size_t start = i;
+  while (i < s.size() && isWordChar(s[i])) ++i;
+  return s.substr(start, i - start);
+}
+
+/// Splits on commas at bracket depth zero.
+std::vector<std::string> splitArgs(const std::string& text, std::size_t begin,
+                                   std::size_t end) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (end > start) parts.push_back(text.substr(start, end - start));
+  return parts;
+}
+
+/// Name of the function whose argument list contains `offset`, or empty
+/// when `offset` is not inside a call (statement scope reached first).
+std::string calleeOf(const std::string& text, std::size_t offset) {
+  int depth = 0;
+  std::size_t j = offset;
+  while (j > 0) {
+    --j;
+    const char c = text[j];
+    if (c == ')' || c == ']') {
+      ++depth;
+    } else if (c == '(' || c == '[') {
+      if (depth == 0) {
+        return c == '(' ? prevWord(text, j) : std::string();
+      }
+      --depth;
+    } else if (depth == 0 && (c == ';' || c == '{' || c == '}')) {
+      return std::string();
+    }
+  }
+  return std::string();
+}
+
+// ---------------------------------------------------------------------------
+// H6: shared-state writes inside pool lambdas.
+// ---------------------------------------------------------------------------
+
+/// Names declared with std::atomic<...> anywhere in the file.
+std::set<std::string> collectAtomicNames(const std::string& text) {
+  std::set<std::string> names;
+  for (std::size_t pos : findWord(text, "atomic")) {
+    std::size_t cursor = skipSpaces(text, pos + 6);
+    if (cursor >= text.size() || text[cursor] != '<') continue;
+    const std::size_t close = findMatching(text, cursor, '<', '>');
+    if (close == std::string::npos) continue;
+    cursor = skipSpaces(text, close + 1);
+    while (cursor < text.size() &&
+           (text[cursor] == '&' || text[cursor] == '*')) {
+      cursor = skipSpaces(text, cursor + 1);
+    }
+    const std::size_t nameStart = cursor;
+    while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+    if (cursor > nameStart) {
+      names.insert(text.substr(nameStart, cursor - nameStart));
+    }
+  }
+  return names;
+}
+
+bool isAtomicMethod(const std::string& name) {
+  static const std::set<std::string> kMethods = {
+      "store",       "load",          "exchange",
+      "fetch_add",   "fetch_sub",     "fetch_and",
+      "fetch_or",    "fetch_xor",     "compare_exchange_weak",
+      "compare_exchange_strong"};
+  return kMethods.count(name) > 0;
+}
+
+bool isMutatingMethod(const std::string& name) {
+  static const std::set<std::string> kMethods = {
+      "push_back", "emplace_back", "emplace",  "insert", "erase",
+      "clear",     "resize",       "assign",   "pop_back", "push",
+      "pop",       "append",       "reserve",  "reset",  "swap",
+      "fill",      "shrink_to_fit"};
+  return kMethods.count(name) > 0;
+}
+
+/// Ranges of the lambda body whose execution is partitioned by an
+/// induction parameter: `switch (param...)` bodies and
+/// `if (param == ...)` statements. Writes inside them hit disjoint
+/// branches per index (the parallel-sections idiom).
+std::vector<std::pair<std::size_t, std::size_t>> partitionRanges(
+    const std::string& text, const flow::Lambda& lambda,
+    const std::set<std::string>& params) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  const std::string body = text.substr(
+      lambda.bodyOpen, lambda.bodyClose - lambda.bodyOpen + 1);
+  for (const char* keyword : {"switch", "if"}) {
+    for (std::size_t rel : findWord(body, keyword)) {
+      const std::size_t pos = lambda.bodyOpen + rel;
+      const std::size_t open =
+          skipSpaces(text, pos + std::string(keyword).size());
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t close = findMatching(text, open, '(', ')');
+      if (close == std::string::npos || close >= lambda.bodyClose) continue;
+      const std::string cond = text.substr(open + 1, close - open - 1);
+      if (!flow::mentionsAny(cond, params)) continue;
+      if (std::string(keyword) == "if" &&
+          cond.find("==") == std::string::npos) {
+        continue;
+      }
+      std::size_t stmt = skipSpaces(text, close + 1);
+      if (stmt < text.size() && text[stmt] == '{') {
+        const std::size_t end = findMatching(text, stmt, '{', '}');
+        if (end != std::string::npos) ranges.emplace_back(stmt, end);
+      } else {
+        const std::size_t semi = text.find(';', stmt);
+        if (semi != std::string::npos) ranges.emplace_back(stmt, semi);
+      }
+    }
+  }
+  return ranges;
+}
+
+struct WriteHit {
+  bool isWrite = false;
+  std::string what;  ///< how the write happens, for the message
+};
+
+/// Follows the access path after the identifier ending at `end`
+/// (member/subscript chain) and classifies whether it mutates, and
+/// whether a subscript indexed by a chunk-private name makes the target
+/// element disjoint per chunk.
+WriteHit classifyAccess(const std::string& text, std::size_t end,
+                        std::size_t limit,
+                        const std::set<std::string>& safeIndexNames) {
+  WriteHit hit;
+  bool indexSafe = false;
+  std::size_t cur = skipSpaces(text, end);
+  while (cur < limit) {
+    const char c = text[cur];
+    const char next = cur + 1 < text.size() ? text[cur + 1] : '\0';
+    if (c == '[') {
+      const std::size_t close = findMatching(text, cur, '[', ']');
+      if (close == std::string::npos || close > limit) return hit;
+      if (flow::mentionsAny(text.substr(cur + 1, close - cur - 1),
+                            safeIndexNames)) {
+        indexSafe = true;
+      }
+      cur = skipSpaces(text, close + 1);
+      continue;
+    }
+    if (c == '.' || (c == '-' && next == '>')) {
+      std::size_t m = skipSpaces(text, cur + (c == '.' ? 1 : 2));
+      const std::size_t mStart = m;
+      while (m < text.size() && isWordChar(text[m])) ++m;
+      if (m == mStart) return hit;
+      const std::string member = text.substr(mStart, m - mStart);
+      const std::size_t after = skipSpaces(text, m);
+      if (after < text.size() && text[after] == '(') {
+        if (isAtomicMethod(member)) return hit;  // atomic idiom: safe
+        if (member == "at") {
+          const std::size_t close = findMatching(text, after, '(', ')');
+          if (close == std::string::npos || close > limit) return hit;
+          if (flow::mentionsAny(text.substr(after + 1, close - after - 1),
+                                safeIndexNames)) {
+            indexSafe = true;
+          }
+          cur = skipSpaces(text, close + 1);
+          continue;
+        }
+        if (isMutatingMethod(member)) {
+          if (!indexSafe) {
+            hit.isWrite = true;
+            hit.what = "." + member + "()";
+          }
+          return hit;
+        }
+        return hit;  // unknown method: stop, assume read
+      }
+      cur = after;
+      continue;
+    }
+    if (c == '=' && next != '=') {
+      if (!indexSafe) {
+        hit.isWrite = true;
+        hit.what = "assignment";
+      }
+      return hit;
+    }
+    if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+         c == '&' || c == '|' || c == '^')) {
+      if (next == '=') {
+        if (!indexSafe) {
+          hit.isWrite = true;
+          hit.what = std::string(1, c) + "=";
+        }
+        return hit;
+      }
+      if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
+        if (!indexSafe) {
+          hit.isWrite = true;
+          hit.what = std::string(1, c) + std::string(1, c);
+        }
+        return hit;
+      }
+      return hit;
+    }
+    if (c == '<' && next == '<' && cur + 2 < text.size() &&
+        text[cur + 2] == '=') {
+      if (!indexSafe) {
+        hit.isWrite = true;
+        hit.what = "<<=";
+      }
+      return hit;
+    }
+    return hit;
+  }
+  return hit;
+}
+
+void analyzePoolLambda(const FileInfo& info, const std::string& text,
+                       const flow::Lambda& lambda,
+                       const std::vector<flow::Lambda>& allLambdas,
+                       const std::set<std::string>& atomicNames,
+                       const std::set<std::size_t>& h3Lines,
+                       std::set<std::pair<std::size_t, std::string>>& seen,
+                       std::vector<Finding>& findings) {
+  const std::set<std::string> params(lambda.params.begin(),
+                                     lambda.params.end());
+  const std::set<std::string> insideDecl =
+      flow::declaredNames(text, lambda.bodyOpen + 1, lambda.bodyClose);
+  std::vector<const flow::Lambda*> nested;
+  std::set<std::string> safeIndexNames = params;
+  safeIndexNames.insert(insideDecl.begin(), insideDecl.end());
+  for (const flow::Lambda& other : allLambdas) {
+    if (other.bodyOpen > lambda.bodyOpen &&
+        other.bodyClose < lambda.bodyClose) {
+      nested.push_back(&other);
+      for (const std::string& p : other.params) safeIndexNames.insert(p);
+    }
+  }
+  const auto partitions = partitionRanges(text, lambda, params);
+
+  std::size_t i = lambda.bodyOpen + 1;
+  while (i < lambda.bodyClose) {
+    if (!isWordChar(text[i]) ||
+        std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < lambda.bodyClose && isWordChar(text[i])) ++i;
+    const std::string name = text.substr(start, i - start);
+    const char prevCh = prevNonSpace(text, start);
+    if (prevCh == '.' || prevCh == ':' ||
+        (prevCh == '>' && start >= 2 && text[start - 2] == '-')) {
+      continue;  // member/qualified component — receiver was checked
+    }
+
+    // Deref through a captured pointer writes shared state even when the
+    // pointer itself is captured by value.
+    const std::size_t prevIdx = prevNonSpaceIdx(text, start);
+    const bool isDeref =
+        prevIdx != std::string::npos && text[prevIdx] == '*' &&
+        (prevIdx == 0 ||
+         (!isWordChar(text[prevIdx - 1]) && text[prevIdx - 1] != ')' &&
+          text[prevIdx - 1] != ']'));
+
+    // Chunk-private names never race.
+    if (params.count(name) > 0 || insideDecl.count(name) > 0) continue;
+    // Value-captured by the innermost nested lambda: the write hits a
+    // copy (except through a deref, where the pointee is still shared).
+    bool shadowedByValue = false;
+    for (const flow::Lambda* m : nested) {
+      if (start <= m->bodyOpen || start >= m->bodyClose) continue;
+      if (std::count(m->params.begin(), m->params.end(), name) > 0) {
+        shadowedByValue = true;
+        break;
+      }
+      if (!isDeref && (m->valueCaptures.count(name) > 0 ||
+                       (m->defaultByValue &&
+                        m->refCaptures.count(name) == 0))) {
+        shadowedByValue = true;
+        break;
+      }
+    }
+    if (shadowedByValue) continue;
+
+    bool shared = lambda.defaultByRef || lambda.refCaptures.count(name) > 0;
+    if (!shared && lambda.capturesThis &&
+        lambda.valueCaptures.count(name) == 0) {
+      shared = true;  // bare name under [this]: a member or global
+    }
+    if (!shared && isDeref &&
+        (lambda.valueCaptures.count(name) > 0 || lambda.defaultByValue)) {
+      shared = true;  // pointer copied by value, pointee still shared
+    }
+    if (!shared) continue;
+    if (atomicNames.count(name) > 0) continue;
+
+    // Prefix ++/--.
+    WriteHit hit;
+    if (prevIdx != std::string::npos && prevIdx >= 1 &&
+        ((text[prevIdx] == '+' && text[prevIdx - 1] == '+') ||
+         (text[prevIdx] == '-' && text[prevIdx - 1] == '-'))) {
+      hit.isWrite = true;
+      hit.what = std::string(2, text[prevIdx]);
+    } else {
+      hit = classifyAccess(text, i, lambda.bodyClose, safeIndexNames);
+    }
+    if (!hit.isWrite) continue;
+
+    bool partitioned = false;
+    for (const auto& [from, to] : partitions) {
+      if (start > from && start < to) {
+        partitioned = true;
+        break;
+      }
+    }
+    if (partitioned) continue;
+
+    const std::size_t line = lineOf(info, start);
+    if (h3Lines.count(line) > 0) continue;  // already reported as H3
+    if (!seen.insert({line, name}).second) continue;
+    pushFinding(info, start, "H6",
+                "write (" + hit.what + ") to captured '" + name +
+                    "' shared across pool workers; give each chunk a "
+                    "disjoint slot (index by the induction variable, "
+                    "WorkerScratch, or a per-chunk partial buffer), use an "
+                    "atomic, or reduce via parallelReduce",
+                findings);
+  }
+}
+
+}  // namespace
+
+void scanH6(const FileInfo& info, std::vector<Finding>& findings) {
+  if (isParallelUtil(info.path) || isObs(info.path)) return;
+  const std::string& text = info.stripped;
+
+  std::vector<std::size_t> calls = findWord(text, "parallelFor");
+  for (std::size_t pos : findWord(text, "parallelForChunks")) {
+    calls.push_back(pos);
+  }
+  for (std::size_t pos : findWord(text, "run")) {
+    if (pos > 0 && text[pos - 1] == '.') calls.push_back(pos);
+  }
+  if (calls.empty()) return;
+  std::sort(calls.begin(), calls.end());
+
+  std::set<std::size_t> h3Lines;
+  for (const Finding& f : findings) {
+    if (f.file == info.path && f.hazard == "H3") h3Lines.insert(f.line);
+  }
+  const std::set<std::string> atomicNames = collectAtomicNames(text);
+  std::set<std::pair<std::size_t, std::string>> seen;
+
+  for (std::size_t pos : calls) {
+    const std::size_t open = text.find('(', pos);
+    if (open == std::string::npos) continue;
+    const std::size_t close = findMatching(text, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::vector<flow::Lambda> lambdas =
+        flow::lambdasIn(text, open + 1, close);
+    for (const flow::Lambda& lambda : lambdas) {
+      // Only top-level lambdas: nested ones are analyzed as part of
+      // their enclosing lambda's body.
+      bool isNested = false;
+      for (const flow::Lambda& other : lambdas) {
+        if (&other != &lambda && lambda.captureOpen > other.bodyOpen &&
+            lambda.bodyClose < other.bodyClose) {
+          isNested = true;
+          break;
+        }
+      }
+      if (isNested) continue;
+      analyzePoolLambda(info, text, lambda, lambdas, atomicNames, h3Lines,
+                        seen, findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H7: unchecked raw byte access in the wire-parse layer.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Declarations of `const std::uint8_t*` names (the read side of the
+/// wire layer; writer-side buffers are non-const and exempt), keyed by
+/// name with the offset of each declaration. The offsets let the caller
+/// scope a local's accesses to its own function — a writer-side array
+/// that happens to share a name with a reader-side pointer elsewhere in
+/// the file must not inherit its byte-pointer status.
+std::map<std::string, std::vector<std::size_t>> collectBytePtrDecls(
+    const std::string& text) {
+  std::map<std::string, std::vector<std::size_t>> decls;
+  for (std::size_t pos : findWord(text, "uint8_t")) {
+    // Require a `const` qualifier introducing the declaration.
+    std::size_t q = pos;
+    if (q >= 2 && text[q - 1] == ':' && text[q - 2] == ':') {
+      q -= 2;
+      while (q > 0 && isWordChar(text[q - 1])) --q;  // skip `std`
+    }
+    if (prevWord(text, q) != "const") continue;
+    std::size_t cursor = skipSpaces(text, pos + 7);
+    if (cursor >= text.size() || text[cursor] != '*') continue;
+    cursor = skipSpaces(text, cursor + 1);
+    // `* const` members.
+    if (text.compare(cursor, 5, "const") == 0 &&
+        (cursor + 5 >= text.size() || !isWordChar(text[cursor + 5]))) {
+      cursor = skipSpaces(text, cursor + 5);
+    }
+    const std::size_t nameStart = cursor;
+    while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+    if (cursor > nameStart) {
+      decls[text.substr(nameStart, cursor - nameStart)].push_back(nameStart);
+    }
+  }
+  return decls;
+}
+
+bool isSizeishWord(const std::string& word) {
+  if (word == "sizeof") return true;
+  std::string lower;
+  lower.reserve(word.size());
+  for (char c : word) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const char* stem :
+       {"size", "bytes", "len", "remaining", "count", "capacity", "end"}) {
+    if (lower.find(stem) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Offsets of lines that perform a length/remaining comparison: the line
+/// contains a relational operator and a size-ish identifier. Lines like
+/// `if (size_ - cursor_ < kBlockHeaderBytes) return ...;` dominate the
+/// raw accesses that follow them in the same function.
+std::vector<std::size_t> collectGuardOffsets(const std::string& text) {
+  std::vector<std::size_t> guards;
+  std::size_t lineStart = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    const std::string line = text.substr(lineStart, i - lineStart);
+    bool relational = false;
+    for (std::size_t j = 0; j + 1 < line.size() && !relational; ++j) {
+      const char c = line[j];
+      if (c != '<' && c != '>') continue;
+      const char prev = j > 0 ? line[j - 1] : '\0';
+      const char next = line[j + 1];
+      if (next == c || prev == c) continue;    // shift
+      if (c == '>' && prev == '-') continue;   // arrow
+      if (next == '<' || next == '>') continue;
+      // Template argument lists: `<` directly between word chars with a
+      // matching `>` would still count; accept the over-approximation —
+      // a template mention on a line with a size-ish word is rare and
+      // only ever silences, never creates, a finding.
+      relational = true;
+    }
+    if (relational) {
+      for (const std::string& ident : identifiersIn(line)) {
+        if (isSizeishWord(ident)) {
+          guards.push_back(lineStart);
+          break;
+        }
+      }
+    }
+    lineStart = i + 1;
+  }
+  return guards;
+}
+
+}  // namespace
+
+void scanH7(const FileInfo& info,
+            const std::map<std::string, const FileInfo*>& byPath,
+            std::vector<Finding>& findings) {
+  if (!isIoLayer(info.path) || isWireLayer(info.path)) return;
+  const std::string& text = info.stripped;
+
+  const std::map<std::string, std::vector<std::size_t>> decls =
+      collectBytePtrDecls(text);
+  const std::vector<flow::Region> regions = flow::functionRegions(text);
+
+  // Names valid everywhere in the file: companion-header members and
+  // file-scope declarations (including function parameters, which sit
+  // just outside their body's region).
+  std::set<std::string> globalNames;
+  if (endsWith(info.path, ".cpp")) {
+    const std::string companion =
+        info.path.substr(0, info.path.size() - 4) + ".h";
+    const auto it = byPath.find(companion);
+    if (it != byPath.end()) {
+      for (const auto& [name, offsets] :
+           collectBytePtrDecls(it->second->stripped)) {
+        globalNames.insert(name);
+      }
+    }
+  }
+  std::set<std::string> names = globalNames;
+  for (const auto& [name, offsets] : decls) {
+    names.insert(name);
+    for (std::size_t d : offsets) {
+      if (!flow::enclosingRegion(regions, d).has_value()) {
+        globalNames.insert(name);
+        break;
+      }
+    }
+  }
+  if (names.empty()) return;
+
+  // An occurrence only counts as a byte-pointer access if a declaration
+  // of that name is in scope there: globally valid, or declared in the
+  // same function region.
+  const auto validAt = [&](const std::string& name, std::size_t occ) {
+    if (globalNames.count(name) > 0) return true;
+    const auto occRegion = flow::enclosingRegion(regions, occ);
+    if (!occRegion.has_value()) return false;
+    const auto it = decls.find(name);
+    if (it == decls.end()) return false;
+    for (std::size_t d : it->second) {
+      const auto declRegion = flow::enclosingRegion(regions, d);
+      if (declRegion.has_value() &&
+          declRegion->bodyOpen == occRegion->bodyOpen) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::vector<std::size_t> guards = collectGuardOffsets(text);
+
+  struct Access {
+    std::size_t offset;
+    std::string name;
+    std::string kind;
+  };
+  std::vector<Access> accesses;
+
+  for (const std::string& name : names) {
+    for (std::size_t occ : findWord(text, name)) {
+      if (!validAt(name, occ)) continue;
+      const std::size_t after = skipSpaces(text, occ + name.size());
+      const char ac = after < text.size() ? text[after] : '\0';
+      const char an = after + 1 < text.size() ? text[after + 1] : '\0';
+      if (ac == '[') {
+        accesses.push_back({occ, name, "indexes"});
+        continue;
+      }
+      if ((ac == '+' || ac == '-') && an != ac && an != '=') {
+        // Pointer arithmetic forms an offset pointer — unless it feeds
+        // the checked varint reader, which takes (ptr, remaining).
+        if (calleeOf(text, occ) != "decodeVarint") {
+          accesses.push_back({occ, name, "offsets"});
+        }
+        continue;
+      }
+      if (ac == ',' || ac == ')') {
+        // A bare byte pointer handed to the raw copy/compare routines.
+        const std::string callee = calleeOf(text, occ);
+        if (callee == "memcpy" || callee == "memcmp" ||
+            callee == "memmove") {
+          accesses.push_back({occ, name, "feeds " + callee + " with"});
+        }
+        continue;
+      }
+      const std::size_t prevIdx = prevNonSpaceIdx(text, occ);
+      if (prevIdx != std::string::npos && text[prevIdx] == '*' &&
+          (prevIdx == 0 ||
+           (!isWordChar(text[prevIdx - 1]) && text[prevIdx - 1] != ')' &&
+            text[prevIdx - 1] != ']'))) {
+        accesses.push_back({occ, name, "dereferences"});
+      }
+    }
+  }
+
+  std::set<std::size_t> seenLines;
+  std::sort(accesses.begin(), accesses.end(),
+            [](const Access& a, const Access& b) {
+              return a.offset < b.offset;
+            });
+  for (const Access& access : accesses) {
+    const auto region = flow::enclosingRegion(regions, access.offset);
+    const std::size_t begin = region.has_value() ? region->bodyOpen : 0;
+    bool guarded = false;
+    for (std::size_t g : guards) {
+      if (g > begin && g < access.offset) {
+        guarded = true;
+        break;
+      }
+    }
+    if (guarded) continue;
+    const std::size_t line = lineOf(info, access.offset);
+    if (!seenLines.insert(line).second) continue;
+    pushFinding(info, access.offset, "H7",
+                "'" + access.name + "' " + access.kind +
+                    " mapped bytes with no preceding length/remaining "
+                    "check in this function; bounds-check against the "
+                    "mapped size or route through the checked wire.h "
+                    "readers",
+                findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H8: discarded error-bearing results.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool hasErrorBearerName(const std::string& name) {
+  for (const char* prefix : {"parse", "read", "open", "write", "load",
+                             "save", "decode", "try", "flush"}) {
+    if (startsWith(name, prefix)) return true;
+  }
+  return false;
+}
+
+bool isDeclSpecifier(const std::string& word) {
+  static const std::set<std::string> kSpecifiers = {
+      "inline", "static", "virtual", "constexpr", "extern", "friend",
+      "explicit"};
+  return kSpecifiers.count(word) > 0;
+}
+
+}  // namespace
+
+std::set<std::string> collectErrorBearers(const std::vector<FileInfo>& files) {
+  std::set<std::string> out;
+  for (const FileInfo& info : files) {
+    const std::string& text = info.stripped;
+    for (std::size_t pos : findWord(text, "bool")) {
+      const char prev = prevNonSpace(text, pos);
+      const bool positionOk =
+          prev == '\0' || prev == ';' || prev == '}' || prev == '{' ||
+          prev == ']' || prev == ':';
+      if (!positionOk && !isDeclSpecifier(prevWord(text, pos))) continue;
+      std::size_t cursor = skipSpaces(text, pos + 4);
+      const std::size_t nameStart = cursor;
+      while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+      if (cursor == nameStart) continue;
+      const std::string name = text.substr(nameStart, cursor - nameStart);
+      if (!hasErrorBearerName(name)) continue;
+      cursor = skipSpaces(text, cursor);
+      if (cursor < text.size() && text[cursor] == '(') out.insert(name);
+    }
+    // Every function returning Expected<...> is error-bearing by
+    // construction, whatever its name.
+    for (std::size_t pos : findWord(text, "Expected")) {
+      std::size_t cursor = skipSpaces(text, pos + 8);
+      if (cursor >= text.size() || text[cursor] != '<') continue;
+      const std::size_t close = findMatching(text, cursor, '<', '>');
+      if (close == std::string::npos) continue;
+      cursor = skipSpaces(text, close + 1);
+      const std::size_t nameStart = cursor;
+      while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+      if (cursor == nameStart) continue;
+      const std::string name = text.substr(nameStart, cursor - nameStart);
+      cursor = skipSpaces(text, cursor);
+      if (cursor < text.size() && text[cursor] == '(') out.insert(name);
+    }
+  }
+  return out;
+}
+
+void scanH8(const FileInfo& info, const std::set<std::string>& errorBearers,
+            std::vector<Finding>& findings) {
+  const std::string& text = info.stripped;
+
+  // (a) Statement-position calls whose result is dropped on the floor.
+  for (const std::string& name : errorBearers) {
+    for (std::size_t occ : findWord(text, name)) {
+      const std::size_t open = skipSpaces(text, occ + name.size());
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t close = findMatching(text, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::size_t post = skipSpaces(text, close + 1);
+      if (post >= text.size() || text[post] != ';') continue;
+
+      std::size_t prevIdx = prevNonSpaceIdx(text, occ);
+      // Member call: hop over `receiver.` / `receiver->` to the
+      // statement position.
+      if (prevIdx != std::string::npos &&
+          (text[prevIdx] == '.' ||
+           (text[prevIdx] == '>' && prevIdx >= 1 &&
+            text[prevIdx - 1] == '-'))) {
+        std::size_t r = text[prevIdx] == '.' ? prevIdx : prevIdx - 1;
+        r = prevNonSpaceIdx(text, r);
+        if (r == std::string::npos || !isWordChar(text[r])) continue;
+        while (r > 0 && isWordChar(text[r - 1])) --r;
+        prevIdx = prevNonSpaceIdx(text, r);
+      }
+      const char prev =
+          prevIdx == std::string::npos ? '\0' : text[prevIdx];
+      bool discarded = false;
+      if (prev == '\0' || prev == ';' || prev == '{' || prev == '}' ||
+          prev == ':') {
+        discarded = true;
+      } else if (prev == ')') {
+        // `(void)call();` is an explicit waiver; `if (...) call();`
+        // still discards the result.
+        int depth = 0;
+        std::size_t j = prevIdx + 1;
+        std::size_t openParen = std::string::npos;
+        while (j > 0) {
+          --j;
+          if (text[j] == ')') {
+            ++depth;
+          } else if (text[j] == '(') {
+            --depth;
+            if (depth == 0) {
+              openParen = j;
+              break;
+            }
+          }
+        }
+        if (openParen != std::string::npos) {
+          const std::string inner =
+              trim(text.substr(openParen + 1, prevIdx - openParen - 1));
+          const std::string introducer = prevWord(text, openParen);
+          if (inner == "void") {
+            discarded = false;
+          } else if (introducer == "if" || introducer == "while" ||
+                     introducer == "for") {
+            discarded = true;
+          }
+        }
+      }
+      if (!discarded) continue;
+      pushFinding(info, occ, "H8",
+                  "result of '" + name +
+                      "' carries success/failure and is discarded; branch "
+                      "on it, propagate it, or cast to (void) with a "
+                      "justification",
+                  findings);
+    }
+  }
+
+  // (b) std::error_code locals that are filled but never examined.
+  std::vector<flow::Region> regions;
+  bool regionsComputed = false;
+  for (std::size_t occ : findWord(text, "error_code")) {
+    std::size_t cursor = skipSpaces(text, occ + 10);
+    const std::size_t nameStart = cursor;
+    while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+    if (cursor == nameStart) continue;
+    const std::string name = text.substr(nameStart, cursor - nameStart);
+    std::size_t after = skipSpaces(text, cursor);
+    if (after >= text.size()) continue;
+    if (text[after] != ';' && text[after] != '=') continue;
+    if (text[after] == '=' && after + 1 < text.size() &&
+        text[after + 1] == '=') {
+      continue;  // comparison, not a declaration
+    }
+    const std::size_t declEnd = text.find(';', after);
+    if (declEnd == std::string::npos) continue;
+
+    if (!regionsComputed) {
+      regions = flow::functionRegions(text);
+      regionsComputed = true;
+    }
+    const auto region = flow::enclosingRegion(regions, occ);
+    const std::size_t searchEnd =
+        region.has_value() ? region->bodyClose : text.size();
+
+    bool examined = false;
+    for (std::size_t use : findWord(text, name)) {
+      if (use <= declEnd || use >= searchEnd) continue;
+      const std::size_t useEnd = use + name.size();
+      const std::size_t next = skipSpaces(text, useEnd);
+      if (next < text.size() && text[next] == '.') {
+        examined = true;  // ec.value() / ec.message()
+        break;
+      }
+      if (next + 1 < text.size() &&
+          ((text[next] == '=' && text[next + 1] == '=') ||
+           (text[next] == '!' && text[next + 1] == '='))) {
+        examined = true;
+        break;
+      }
+      const std::size_t prevIdx = prevNonSpaceIdx(text, use);
+      if (prevIdx == std::string::npos) continue;
+      if (text[prevIdx] == '!') {
+        examined = true;  // ensure(!ec, ...)
+        break;
+      }
+      if (text[prevIdx] == '(') {
+        const std::string introducer = prevWord(text, prevIdx);
+        if (introducer == "if" || introducer == "while") {
+          examined = true;  // if (ec) { ... }
+          break;
+        }
+      }
+      if (isWordChar(text[prevIdx]) && prevWord(text, useEnd - name.size()) == "return") {
+        examined = true;  // propagated to the caller
+        break;
+      }
+    }
+    if (examined) continue;
+    pushFinding(info, occ, "H8",
+                "std::error_code '" + name +
+                    "' is filled but never examined; branch on it or "
+                    "propagate the failure instead of silently ignoring it",
+                findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H9: nondeterministic ordering sinks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Names declared as vector/span over a pointer element type.
+std::set<std::string> collectPtrSequenceNames(const std::string& text) {
+  std::set<std::string> names;
+  for (const char* type : {"vector", "span"}) {
+    for (std::size_t pos : findWord(text, type)) {
+      std::size_t cursor = skipSpaces(text, pos + std::string(type).size());
+      if (cursor >= text.size() || text[cursor] != '<') continue;
+      const std::size_t close = findMatching(text, cursor, '<', '>');
+      if (close == std::string::npos) continue;
+      const std::string inner = text.substr(cursor + 1, close - cursor - 1);
+      if (inner.find('*') == std::string::npos) continue;
+      cursor = skipSpaces(text, close + 1);
+      while (cursor < text.size() &&
+             (text[cursor] == '&' || text[cursor] == '*')) {
+        cursor = skipSpaces(text, cursor + 1);
+      }
+      const std::size_t nameStart = cursor;
+      while (cursor < text.size() && isWordChar(text[cursor])) ++cursor;
+      if (cursor > nameStart) {
+        names.insert(text.substr(nameStart, cursor - nameStart));
+      }
+    }
+  }
+  return names;
+}
+
+/// True when the comparator lambda text orders by raw pointer address:
+/// both parameters are pointers and the body compares them directly
+/// (`a < b`) rather than through a dereference or member.
+bool comparatorOrdersByAddress(const std::string& comparator) {
+  const std::size_t capClose = comparator.find(']');
+  if (comparator.empty() || comparator[0] != '[' ||
+      capClose == std::string::npos) {
+    return false;
+  }
+  const std::size_t paramOpen = comparator.find('(', capClose);
+  if (paramOpen == std::string::npos) return false;
+  const std::size_t paramClose =
+      findMatching(comparator, paramOpen, '(', ')');
+  if (paramClose == std::string::npos) return false;
+  std::vector<std::string> paramNames;
+  for (const std::string& piece :
+       splitArgs(comparator, paramOpen + 1, paramClose)) {
+    if (piece.find('*') == std::string::npos) return false;
+    std::size_t end = piece.size();
+    while (end > 0 && !isWordChar(piece[end - 1])) --end;
+    std::size_t start = end;
+    while (start > 0 && isWordChar(piece[start - 1])) --start;
+    if (start == end) return false;
+    paramNames.push_back(piece.substr(start, end - start));
+  }
+  if (paramNames.size() != 2) return false;
+  const std::string body = comparator.substr(paramClose + 1);
+  for (std::size_t occ : findWord(body, paramNames[0])) {
+    const std::size_t op = skipSpaces(body, occ + paramNames[0].size());
+    if (op >= body.size() || (body[op] != '<' && body[op] != '>')) continue;
+    if (op + 1 < body.size() &&
+        (body[op + 1] == body[op] || body[op + 1] == '=')) {
+      continue;  // shift or <= / >= — still address order, keep checking
+    }
+    const std::size_t rhs = skipSpaces(body, op + 1);
+    if (body.compare(rhs, paramNames[1].size(), paramNames[1]) == 0) {
+      const std::size_t rhsEnd = rhs + paramNames[1].size();
+      if (rhsEnd >= body.size() || !isWordChar(body[rhsEnd])) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void scanH9(const FileInfo& info, std::vector<Finding>& findings) {
+  if (!info.outputRelevant) return;
+  const std::string& text = info.stripped;
+
+  // (a) Sorting by pointer value.
+  const std::set<std::string> ptrSequences = collectPtrSequenceNames(text);
+  for (const char* fn : {"sort", "stable_sort"}) {
+    for (std::size_t occ : findWord(text, fn)) {
+      const std::size_t open = skipSpaces(text, occ + std::string(fn).size());
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t close = findMatching(text, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::vector<std::string> args = splitArgs(text, open + 1, close);
+      if (args.size() >= 3) {
+        const std::string comparator = trim(args.back());
+        if (comparatorOrdersByAddress(comparator)) {
+          pushFinding(info, occ, "H9",
+                      "comparator orders by raw pointer address; pointer "
+                      "values are allocation-dependent and leak into "
+                      "output order — compare a stable key instead",
+                      findings);
+          continue;
+        }
+      }
+      if (args.size() == 2 && !ptrSequences.empty()) {
+        const std::string first = trim(args[0]);
+        if (first.find(".begin") == std::string::npos &&
+            first.find("begin(") == std::string::npos) {
+          continue;
+        }
+        const std::string name = firstIdentifier(first);
+        if (name == "begin" || ptrSequences.count(name) == 0) continue;
+        pushFinding(info, occ, "H9",
+                    "sorts pointer sequence '" + name +
+                        "' without a comparator; the default '<' orders by "
+                        "allocation address — compare a stable key instead",
+                    findings);
+      }
+    }
+  }
+
+  // (b) Unordered-container extraction that never gets sorted.
+  const auto unorderedNames = collectUnorderedNames(text);
+  if (unorderedNames.empty()) return;
+  std::vector<flow::Region> regions;
+  bool regionsComputed = false;
+  std::set<std::size_t> seenLines;
+  for (const auto& [name, decls] : unorderedNames) {
+    (void)decls;
+    for (std::size_t occ : findWord(text, name)) {
+      // Match `name.begin()` as the first argument of a call/ctor with a
+      // matching `name.end()`.
+      std::size_t cursor = skipSpaces(text, occ + name.size());
+      if (cursor >= text.size() || text[cursor] != '.') continue;
+      cursor = skipSpaces(text, cursor + 1);
+      if (text.compare(cursor, 5, "begin") != 0) continue;
+
+      // Enclosing call.
+      int depth = 0;
+      std::size_t j = occ;
+      std::size_t openParen = std::string::npos;
+      while (j > 0) {
+        --j;
+        if (text[j] == ')' || text[j] == ']') {
+          ++depth;
+        } else if (text[j] == '(' || text[j] == '[') {
+          if (depth == 0 && text[j] == '(') {
+            openParen = j;
+            break;
+          }
+          --depth;
+        } else if (depth == 0 &&
+                   (text[j] == ';' || text[j] == '{' || text[j] == '}')) {
+          break;
+        }
+      }
+      if (openParen == std::string::npos) continue;
+      const std::size_t closeParen = findMatching(text, openParen, '(', ')');
+      if (closeParen == std::string::npos) continue;
+      const std::string inside =
+          text.substr(openParen + 1, closeParen - openParen - 1);
+      if (inside.find(".end") == std::string::npos ||
+          findWord(inside, name).size() < 2) {
+        continue;
+      }
+      const std::string introducer = prevWord(text, openParen);
+      if (introducer == "for") continue;  // iterator loop: H1's domain
+      if (introducer == "sort" || introducer == "stable_sort") continue;
+
+      // Destination: ctor/receiver name, or the output arg of copy-style
+      // algorithms.
+      std::string dest;
+      bool orderDependent = false;
+      if (introducer == "accumulate" || introducer == "reduce" ||
+          introducer == "for_each") {
+        orderDependent = true;
+      } else if (introducer == "copy" || introducer == "copy_n" ||
+                 introducer == "transform") {
+        const std::vector<std::string> args =
+            splitArgs(text, openParen + 1, closeParen);
+        if (!args.empty()) dest = firstIdentifier(trim(args.back()));
+      } else if (introducer == "assign" || introducer == "insert") {
+        // Receiver before `.assign(` — the container being filled.
+        std::size_t r = openParen;
+        while (r > 0 && !isWordChar(text[r - 1])) --r;
+        std::size_t dotIdx = prevNonSpaceIdx(text, r - introducer.size());
+        if (dotIdx != std::string::npos && text[dotIdx] == '.') {
+          std::size_t e = dotIdx;
+          while (e > 0 && !isWordChar(text[e - 1])) --e;
+          std::size_t s = e;
+          while (s > 0 && isWordChar(text[s - 1])) --s;
+          dest = text.substr(s, e - s);
+        }
+      } else if (!introducer.empty()) {
+        dest = introducer;  // `std::vector<K> keys(m.begin(), m.end());`
+      }
+
+      bool sortedLater = false;
+      if (!dest.empty()) {
+        if (!regionsComputed) {
+          regions = flow::functionRegions(text);
+          regionsComputed = true;
+        }
+        const auto region = flow::enclosingRegion(regions, occ);
+        const std::size_t searchEnd =
+            region.has_value() ? region->bodyClose : text.size();
+        for (const char* fn : {"sort", "stable_sort"}) {
+          for (std::size_t s : findWord(text, fn)) {
+            if (s <= closeParen || s >= searchEnd) continue;
+            const std::size_t sOpen =
+                skipSpaces(text, s + std::string(fn).size());
+            if (sOpen >= text.size() || text[sOpen] != '(') continue;
+            const std::size_t sClose = findMatching(text, sOpen, '(', ')');
+            if (sClose == std::string::npos) continue;
+            if (!findWord(text.substr(sOpen + 1, sClose - sOpen - 1), dest)
+                     .empty()) {
+              sortedLater = true;
+              break;
+            }
+          }
+          if (sortedLater) break;
+        }
+      }
+      if (sortedLater && !orderDependent) continue;
+      const std::size_t line = lineOf(info, occ);
+      if (!seenLines.insert(line).second) continue;
+      pushFinding(
+          info, occ, "H9",
+          orderDependent
+              ? "order-dependent algorithm '" + introducer +
+                    "' consumes unordered container '" + name +
+                    "' directly; hash order reaches the result — extract "
+                    "and sort first"
+              : "extracts unordered container '" + name + "' into '" +
+                    (dest.empty() ? std::string("a temporary") : dest) +
+                    "' which is never sorted in this function; hash order "
+                    "reaches output — sort before use",
+          findings);
+    }
+  }
+}
+
+}  // namespace msd::lint::internal

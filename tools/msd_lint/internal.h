@@ -1,0 +1,153 @@
+#pragma once
+
+// Shared internals of the msd_lint passes: the per-file scan state, the
+// small string utilities every pass uses, and the declarations of the
+// flow-aware passes (H6-H9, lint_flow_passes.cpp) so lint.cpp can invoke
+// them from scanFiles(). Not part of the public API (lint.h) — tests
+// reach this layer only through scanFiles()/scanTree().
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "msd_lint/lint.h"
+
+namespace msd::lint::internal {
+
+// ---------------------------------------------------------------------------
+// String utilities (offset-preserving; all passes operate on the
+// comment/string-stripped text so byte offsets map to line numbers).
+
+inline bool isWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+inline bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim(const std::string& s);
+
+/// Collapses "." and ".." components and backslashes so resolved include
+/// paths compare equal to the scanner's root-relative paths.
+std::string normalizePath(const std::string& path);
+
+std::string dirName(const std::string& path);
+
+/// Finds the offset of the `close` matching the opener at `open`.
+/// Returns npos when unbalanced.
+std::size_t findMatching(const std::string& text, std::size_t open,
+                         char openCh, char closeCh);
+
+/// All offsets where `word` occurs with word boundaries on both sides.
+std::vector<std::size_t> findWord(const std::string& text,
+                                  const std::string& word);
+
+std::size_t skipSpaces(const std::string& text, std::size_t pos);
+
+/// Last non-whitespace character strictly before `pos` ('\0' when none).
+char prevNonSpace(const std::string& text, std::size_t pos);
+
+/// The identifier ending at the last non-space position before `pos`
+/// (empty when the preceding token is not an identifier).
+std::string prevWord(const std::string& text, std::size_t pos);
+
+/// Identifiers (excluding leading-digit tokens) in `text`, in order.
+std::vector<std::string> identifiersIn(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Path predicates shared by the passes.
+
+/// The pool implementation files (src/util/parallel.h/.cpp) — the one
+/// place allowed to touch raw threads and worker state.
+inline bool isParallelUtil(const std::string& path) {
+  return startsWith(path, "src/util/parallel.");
+}
+
+inline bool isObs(const std::string& path) {
+  return startsWith(path, "src/obs/");
+}
+
+inline bool isBench(const std::string& path) {
+  return startsWith(path, "bench/");
+}
+
+/// src/io/wire.h/.cpp: the checked-reader layer itself, exempt from H7
+/// the same way parallel.* is exempt from H5 — it is the one place raw
+/// byte access is allowed, and it owns the bounds contract.
+inline bool isWireLayer(const std::string& path) {
+  return startsWith(path, "src/io/wire.");
+}
+
+inline bool isIoLayer(const std::string& path) {
+  return startsWith(path, "src/io/");
+}
+
+// ---------------------------------------------------------------------------
+// Per-file state shared by the hazard passes.
+
+struct FileInfo {
+  std::string path;
+  std::string original;
+  std::string stripped;
+  std::vector<std::size_t> lineStarts;  ///< offset of each line's first byte
+  std::vector<std::string> quotedIncludes;  ///< raw `#include "..."` names
+  std::vector<std::string> systemIncludes;  ///< raw `#include <...>` names
+  /// line -> (hazard, reason) from inline msd-lint comments; the hazard
+  /// "H1" entry is produced by ordered-ok.
+  std::map<std::size_t, std::pair<std::string, std::string>> inlineAllows;
+  std::vector<std::string> resolvedIncludes;  ///< root-relative, in-tree
+  bool outputRelevant = false;
+};
+
+std::size_t lineOf(const FileInfo& info, std::size_t offset);
+
+void pushFinding(const FileInfo& info, std::size_t offset,
+                 const std::string& hazard, const std::string& message,
+                 std::vector<Finding>& findings);
+
+/// Names declared in `stripped` with an unordered container type, mapped
+/// to their declaration offsets. Shared by H1 and H9.
+std::map<std::string, std::vector<std::size_t>> collectUnorderedNames(
+    const std::string& stripped);
+
+// ---------------------------------------------------------------------------
+// Flow-aware passes (lint_flow_passes.cpp).
+
+/// H6: shared-state writes inside parallelFor/parallelForChunks/pool.run
+/// lambdas without a disjoint-index, atomic, or partial-buffer idiom.
+/// `findings` is consulted so sites H3 already reported are not doubled.
+void scanH6(const FileInfo& info, std::vector<Finding>& findings);
+
+/// H7: raw byte reads in src/io/ not dominated by a length/remaining
+/// check and not routed through the checked wire.h readers. Byte-pointer
+/// names are also collected from the companion header via `byPath`.
+void scanH7(const FileInfo& info,
+            const std::map<std::string, const FileInfo*>& byPath,
+            std::vector<Finding>& findings);
+
+/// Names of tree-declared functions whose return value carries
+/// success/failure (bool/Expected/std::error_code returns with
+/// parse/read/open/write/load/save/decode/try names).
+std::set<std::string> collectErrorBearers(const std::vector<FileInfo>& files);
+
+/// H8: discarded error-bearing results — statement-position calls to
+/// `errorBearers` and `std::error_code` locals that are never examined.
+void scanH8(const FileInfo& info, const std::set<std::string>& errorBearers,
+            std::vector<Finding>& findings);
+
+/// H9: nondeterministic ordering sinks in output-relevant files —
+/// sorting/comparing by pointer value and unordered-container extraction
+/// that is never sorted before use.
+void scanH9(const FileInfo& info, std::vector<Finding>& findings);
+
+}  // namespace msd::lint::internal

@@ -7,24 +7,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "msd_lint/internal.h"
+
 namespace msd::lint {
-namespace {
 
-namespace fs = std::filesystem;
+// ---------------------------------------------------------------------------
+// Shared internals (declared in internal.h, used by the flow passes too).
+// ---------------------------------------------------------------------------
 
-bool isWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool startsWith(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() &&
-         s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool endsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
+namespace internal {
 
 std::string trim(const std::string& s) {
   std::size_t b = 0;
@@ -34,8 +25,6 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-/// Collapses "." and ".." components and backslashes so resolved include
-/// paths compare equal to the scanner's root-relative paths.
 std::string normalizePath(const std::string& path) {
   std::vector<std::string> parts;
   std::string part;
@@ -63,24 +52,6 @@ std::string dirName(const std::string& path) {
   return slash == std::string::npos ? std::string() : path.substr(0, slash);
 }
 
-/// True for the pool implementation files (src/util/parallel.h/.cpp),
-/// which are the one place allowed to touch raw threads and worker state.
-bool isParallelUtil(const std::string& path) {
-  return startsWith(path, "src/util/parallel.");
-}
-
-bool isObs(const std::string& path) { return startsWith(path, "src/obs/"); }
-
-bool isBench(const std::string& path) { return startsWith(path, "bench/"); }
-
-/// True for src/util/stopwatch.h, the sanctioned coarse-progress wrapper
-/// over the obs monotonic clock.
-bool isStopwatch(const std::string& path) {
-  return path == "src/util/stopwatch.h" || endsWith(path, "/stopwatch.h");
-}
-
-/// Finds the offset of the `close` matching the opener at `open`.
-/// Returns npos when unbalanced.
 std::size_t findMatching(const std::string& text, std::size_t open,
                          char openCh, char closeCh) {
   int depth = 0;
@@ -95,7 +66,6 @@ std::size_t findMatching(const std::string& text, std::size_t open,
   return std::string::npos;
 }
 
-/// All offsets where `word` occurs with word boundaries on both sides.
 std::vector<std::size_t> findWord(const std::string& text,
                                   const std::string& word) {
   std::vector<std::size_t> hits;
@@ -118,26 +88,102 @@ std::size_t skipSpaces(const std::string& text, std::size_t pos) {
   return pos;
 }
 
-/// Per-file state shared by the hazard passes.
-struct FileInfo {
-  std::string path;
-  std::string original;
-  std::string stripped;
-  std::vector<std::size_t> lineStarts;  ///< offset of each line's first byte
-  std::vector<std::string> quotedIncludes;  ///< raw `#include "..."` names
-  std::vector<std::string> systemIncludes;  ///< raw `#include <...>` names
-  /// line -> (hazard-or-"*", reason) from inline msd-lint comments; the
-  /// hazard "H1" entry is produced by ordered-ok, "*" never occurs (allow
-  /// requires a class).
-  std::map<std::size_t, std::pair<std::string, std::string>> inlineAllows;
-  std::vector<std::string> resolvedIncludes;  ///< root-relative, in-tree
-  bool outputRelevant = false;
-};
+char prevNonSpace(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) {
+      return text[pos];
+    }
+  }
+  return '\0';
+}
+
+std::string prevWord(const std::string& text, std::size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(text[pos - 1])) != 0) {
+    --pos;
+  }
+  std::size_t end = pos;
+  while (pos > 0 && isWordChar(text[pos - 1])) --pos;
+  return text.substr(pos, end - pos);
+}
+
+std::vector<std::string> identifiersIn(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (isWordChar(text[i]) &&
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      const std::size_t start = i;
+      while (i < text.size() && isWordChar(text[i])) ++i;
+      out.push_back(text.substr(start, i - start));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
 
 std::size_t lineOf(const FileInfo& info, std::size_t offset) {
   const auto it = std::upper_bound(info.lineStarts.begin(),
                                    info.lineStarts.end(), offset);
   return static_cast<std::size_t>(it - info.lineStarts.begin());
+}
+
+void pushFinding(const FileInfo& info, std::size_t offset,
+                 const std::string& hazard, const std::string& message,
+                 std::vector<Finding>& findings) {
+  Finding f;
+  f.file = info.path;
+  f.line = lineOf(info, offset);
+  f.hazard = hazard;
+  f.message = message;
+  findings.push_back(std::move(f));
+}
+
+/// Names declared in this file with an unordered container type, mapped to
+/// their declaration offsets (functions returning unordered containers
+/// count too: iterating their result is just as order-hazardous).
+std::map<std::string, std::vector<std::size_t>> collectUnorderedNames(
+    const std::string& stripped) {
+  std::map<std::string, std::vector<std::size_t>> names;
+  static const char* kTypes[] = {"unordered_map", "unordered_set",
+                                 "unordered_multimap", "unordered_multiset"};
+  for (const char* type : kTypes) {
+    for (std::size_t pos : findWord(stripped, type)) {
+      std::size_t cursor = skipSpaces(stripped, pos + std::string(type).size());
+      if (cursor >= stripped.size() || stripped[cursor] != '<') continue;
+      const std::size_t close = findMatching(stripped, cursor, '<', '>');
+      if (close == std::string::npos) continue;
+      cursor = skipSpaces(stripped, close + 1);
+      // Skip ref/pointer/const decorations between type and name.
+      while (cursor < stripped.size() &&
+             (stripped[cursor] == '&' || stripped[cursor] == '*')) {
+        cursor = skipSpaces(stripped, cursor + 1);
+      }
+      const std::size_t nameStart = cursor;
+      while (cursor < stripped.size() && isWordChar(stripped[cursor])) {
+        ++cursor;
+      }
+      if (cursor == nameStart) continue;
+      names[stripped.substr(nameStart, cursor - nameStart)].push_back(pos);
+    }
+  }
+  return names;
+}
+
+}  // namespace internal
+
+namespace {
+
+using namespace internal;
+
+namespace fs = std::filesystem;
+
+/// True for src/util/stopwatch.h, the sanctioned coarse-progress wrapper
+/// over the obs monotonic clock.
+bool isStopwatch(const std::string& path) {
+  return path == "src/util/stopwatch.h" || endsWith(path, "/stopwatch.h");
 }
 
 void parseDirectives(FileInfo& info) {
@@ -182,7 +228,7 @@ void parseDirectives(FileInfo& info) {
           const std::string reason =
               trim(rest.substr(colon + 1, close - colon - 1));
           if (hazard.size() == 2 && hazard[0] == 'H' && hazard[1] >= '1' &&
-              hazard[1] <= '5') {
+              hazard[1] <= '9') {
             info.inlineAllows[lineNo] = {hazard, reason};
           }
         }
@@ -331,53 +377,6 @@ void computeOutputRelevance(std::vector<FileInfo>& files) {
 // H1: unordered-container iteration in output-relevant files.
 // ---------------------------------------------------------------------------
 
-/// Names declared in this file with an unordered container type, mapped to
-/// their declaration offsets (functions returning unordered containers
-/// count too: iterating their result is just as order-hazardous).
-std::map<std::string, std::vector<std::size_t>> collectUnorderedNames(
-    const std::string& stripped) {
-  std::map<std::string, std::vector<std::size_t>> names;
-  static const char* kTypes[] = {"unordered_map", "unordered_set",
-                                 "unordered_multimap", "unordered_multiset"};
-  for (const char* type : kTypes) {
-    for (std::size_t pos : findWord(stripped, type)) {
-      std::size_t cursor = skipSpaces(stripped, pos + std::string(type).size());
-      if (cursor >= stripped.size() || stripped[cursor] != '<') continue;
-      const std::size_t close = findMatching(stripped, cursor, '<', '>');
-      if (close == std::string::npos) continue;
-      cursor = skipSpaces(stripped, close + 1);
-      // Skip ref/pointer/const decorations between type and name.
-      while (cursor < stripped.size() &&
-             (stripped[cursor] == '&' || stripped[cursor] == '*')) {
-        cursor = skipSpaces(stripped, cursor + 1);
-      }
-      const std::size_t nameStart = cursor;
-      while (cursor < stripped.size() && isWordChar(stripped[cursor])) {
-        ++cursor;
-      }
-      if (cursor == nameStart) continue;
-      names[stripped.substr(nameStart, cursor - nameStart)].push_back(pos);
-    }
-  }
-  return names;
-}
-
-std::vector<std::string> identifiersIn(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    if (isWordChar(text[i]) &&
-        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
-      const std::size_t start = i;
-      while (i < text.size() && isWordChar(text[i])) ++i;
-      out.push_back(text.substr(start, i - start));
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
 void scanH1(const FileInfo& info, std::vector<Finding>& findings) {
   if (!info.outputRelevant) return;
   const auto unorderedNames = collectUnorderedNames(info.stripped);
@@ -464,17 +463,6 @@ std::set<std::string> collectChronoAliases(const std::string& stripped) {
     }
   }
   return aliases;
-}
-
-void pushFinding(const FileInfo& info, std::size_t offset,
-                 const std::string& hazard, const std::string& message,
-                 std::vector<Finding>& findings) {
-  Finding f;
-  f.file = info.path;
-  f.line = lineOf(info, offset);
-  f.hazard = hazard;
-  f.message = message;
-  findings.push_back(std::move(f));
 }
 
 /// True when the word at `pos` is a bare call `word(` — not a member
@@ -800,8 +788,19 @@ std::string stripCommentsAndStrings(const std::string& text) {
           state = State::kString;
           out[i] = ' ';
         } else if (c == '\'') {
-          state = State::kChar;
+          // A quote inside a numeric token (1'000'000, 0xFF'FF) is a
+          // digit separator, not a character literal; treating it as one
+          // would silently blank everything up to the next quote.
+          std::size_t tok = i;
+          while (tok > 0 &&
+                 (isWordChar(text[tok - 1]) || text[tok - 1] == '\'')) {
+            --tok;
+          }
+          const bool digitSeparator =
+              tok < i &&
+              std::isdigit(static_cast<unsigned char>(text[tok])) != 0;
           out[i] = ' ';
+          if (!digitSeparator) state = State::kChar;
         }
         break;
       case State::kLineComment:
@@ -870,15 +869,15 @@ std::vector<Suppression> parseSuppressions(const std::string& text) {
   std::size_t lineNo = 0;
   while (std::getline(in, line)) {
     ++lineNo;
-    const std::string t = trim(line);
+    const std::string t = internal::trim(line);
     if (t.empty() || t[0] == '#') continue;
     std::istringstream fields(t);
     Suppression s;
     fields >> s.hazard >> s.pathSuffix;
     std::getline(fields, s.reason);
-    s.reason = trim(s.reason);
+    s.reason = internal::trim(s.reason);
     const bool hazardOk = s.hazard.size() == 2 && s.hazard[0] == 'H' &&
-                          s.hazard[1] >= '1' && s.hazard[1] <= '5';
+                          s.hazard[1] >= '1' && s.hazard[1] <= '9';
     if (!hazardOk || s.pathSuffix.empty() || s.reason.empty()) {
       throw std::runtime_error(
           "msd_lint: suppressions line " + std::to_string(lineNo) +
@@ -909,6 +908,10 @@ std::vector<Finding> scanFiles(const std::vector<SourceFile>& files,
   }
   computeOutputRelevance(infos);
 
+  std::map<std::string, const FileInfo*> byPath;
+  for (const FileInfo& info : infos) byPath[info.path] = &info;
+  const std::set<std::string> errorBearers = collectErrorBearers(infos);
+
   std::vector<Finding> findings;
   for (const FileInfo& info : infos) {
     scanH1(info, findings);
@@ -916,6 +919,10 @@ std::vector<Finding> scanFiles(const std::vector<SourceFile>& files,
     scanH3(info, findings);
     scanH4(info, findings);
     scanH5(info, findings);
+    scanH6(info, findings);
+    scanH7(info, byPath, findings);
+    scanH8(info, errorBearers, findings);
+    scanH9(info, findings);
   }
   applySuppressions(infos, suppressions, findings);
   std::sort(findings.begin(), findings.end(),

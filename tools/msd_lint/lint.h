@@ -26,6 +26,29 @@
 //       and src/obs/ — all parallelism must go through the shared pool,
 //       which owns the determinism contract.
 //
+// H6–H9 are flow-aware (flow.h parses function regions, lambda capture
+// lists, and local declarations; flow_passes.cpp reasons over them):
+//
+//   H6  any write (push_back, insert, operator[], =, +=, ...) to a
+//       by-ref-captured or value-captured-pointer variable inside a
+//       parallelFor/parallelForChunks/pool.run lambda that is not the
+//       disjoint-slot idiom (indexed by the induction variable), an
+//       std::atomic operation, or a parallelReduce partial.
+//       Generalizes H3 beyond FP accumulation.
+//   H7  raw wire-parse byte access in src/io/ (subscript, pointer
+//       arithmetic, memcpy/memcmp/memmove on mapped bytes) not
+//       dominated by a bounds/remaining check in the same function and
+//       not routed through the checked wire.h readers (the sanctioned
+//       raw-byte touchpoint).
+//   H8  discarded error-bearing results: statement-position calls to
+//       parse*/read*/open*/write* whose return is ignored, and
+//       std::error_code out-parameters never examined afterwards.
+//       `(void)call();  // msd-lint: allow(H8: reason)` is the explicit
+//       waiver shape.
+//   H9  nondeterministic ordering sinks: std::sort over pointers or
+//       with an address comparator, and unordered_* contents extracted
+//       into an output-relevant path without a subsequent sort.
+//
 // Output-relevance (H1) is computed from the include graph: every
 // translation unit whose transitive include closure contains a
 // serialization header (<cstdio>, <iostream>, <fstream>, <ostream>,
@@ -41,8 +64,14 @@
 //   checked-in file (one grandfathered site class per line):
 //     H2 src/util/stopwatch.h reason text...
 //
-// Exit codes of the CLI: 0 = clean (every finding suppressed), 1 = new
-// findings, 2 = usage or I/O error.
+// The CLI also emits SARIF 2.1.0 (--format=sarif) and enforces the
+// committed ratchet baseline (tools/msd_lint_baseline.json):
+// --diff-baseline fails on new findings AND on baseline entries that no
+// longer reproduce; --write-baseline regenerates the file.
+//
+// Exit codes of the CLI: 0 = clean (every finding suppressed, baseline
+// matches), 1 = new findings or baseline drift, 2 = usage/I/O error or
+// a malformed baseline.
 
 #include <cstddef>
 #include <map>
@@ -56,7 +85,7 @@ namespace msd::lint {
 struct Finding {
   std::string file;    ///< path relative to the scan root, '/'-separated
   std::size_t line = 0;///< 1-based
-  std::string hazard;  ///< "H1".."H5"
+  std::string hazard;  ///< "H1".."H9"
   std::string message;
   bool suppressed = false;
   std::string suppressReason;  ///< why, when suppressed

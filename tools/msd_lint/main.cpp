@@ -1,7 +1,11 @@
-// msd_lint CLI: scans src/, tools/ and bench/ under --root for the H1–H5
-// determinism hazards (see lint.h) and prints `file:line: [H#] message`
-// for each finding. Exit code 0 = clean, 1 = unsuppressed findings,
-// 2 = usage or I/O error.
+// msd_lint CLI: scans src/, tools/ and bench/ under --root for the H1–H9
+// determinism/safety hazards (see lint.h) and prints `file:line: [H#]
+// message` per finding, or a SARIF 2.1.0 document with --format=sarif.
+// With --diff-baseline the exit status ratchets against the committed
+// baseline: new findings fail, and stale baseline entries (fixed
+// findings that were not removed) fail too.
+// Exit code 0 = clean, 1 = findings / baseline drift, 2 = usage or I/O
+// error (including a malformed or missing baseline).
 
 #include <cstdio>
 #include <exception>
@@ -11,20 +15,31 @@
 #include <string>
 #include <vector>
 
+#include "msd_lint/baseline.h"
 #include "msd_lint/lint.h"
+#include "msd_lint/sarif.h"
 
 namespace {
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: msd_lint [--root=DIR] [--suppressions=FILE] "
-               "[--subdirs=a,b,c] [--verbose]\n"
-               "  --root=DIR           tree to scan (default: .)\n"
-               "  --suppressions=FILE  suppression list (default: "
-               "ROOT/tools/msd_lint_suppressions.txt if present)\n"
-               "  --subdirs=a,b,c      root-relative dirs to scan "
-               "(default: src,tools,bench)\n"
-               "  --verbose            also print suppressed findings\n");
+  std::fprintf(
+      stderr,
+      "usage: msd_lint [--root=DIR] [--suppressions=FILE] [--subdirs=a,b,c]\n"
+      "                [--format=text|sarif] [--baseline=FILE]\n"
+      "                [--diff-baseline] [--write-baseline] [--verbose]\n"
+      "  --root=DIR           tree to scan (default: .)\n"
+      "  --suppressions=FILE  suppression list (default: "
+      "ROOT/tools/msd_lint_suppressions.txt if present)\n"
+      "  --subdirs=a,b,c      root-relative dirs to scan "
+      "(default: src,tools,bench)\n"
+      "  --format=text|sarif  output format (default: text)\n"
+      "  --baseline=FILE      baseline path (default: "
+      "ROOT/tools/msd_lint_baseline.json)\n"
+      "  --diff-baseline      ratchet: fail on findings not accepted by "
+      "the baseline AND on stale baseline entries\n"
+      "  --write-baseline     regenerate the baseline from this scan and "
+      "exit\n"
+      "  --verbose            also print suppressed findings (text mode)\n");
 }
 
 std::vector<std::string> splitCommas(const std::string& value) {
@@ -37,13 +52,29 @@ std::vector<std::string> splitCommas(const std::string& value) {
   return out;
 }
 
+std::string readFileOrThrow(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error(std::string("msd_lint: cannot open ") + what +
+                             ": " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string suppressionsPath;
   bool suppressionsExplicit = false;
+  std::string baselinePath;
+  bool baselineExplicit = false;
   std::vector<std::string> subdirs = {"src", "tools", "bench"};
+  std::string format = "text";
+  bool diffBaseline = false;
+  bool writeBaseline = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -55,6 +86,15 @@ int main(int argc, char** argv) {
       suppressionsExplicit = true;
     } else if (arg.rfind("--subdirs=", 0) == 0) {
       subdirs = splitCommas(arg.substr(10));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baselinePath = arg.substr(11);
+      baselineExplicit = true;
+    } else if (arg == "--diff-baseline") {
+      diffBaseline = true;
+    } else if (arg == "--write-baseline") {
+      writeBaseline = true;
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -70,6 +110,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "msd_lint: --subdirs must name at least one dir\n");
     return 2;
   }
+  if (format != "text" && format != "sarif") {
+    std::fprintf(stderr, "msd_lint: unknown format: %s\n", format.c_str());
+    return 2;
+  }
+  if (diffBaseline && writeBaseline) {
+    std::fprintf(stderr,
+                 "msd_lint: --diff-baseline and --write-baseline are "
+                 "mutually exclusive\n");
+    return 2;
+  }
   if (!suppressionsExplicit) {
     const std::filesystem::path candidate =
         std::filesystem::path(root) / "tools" / "msd_lint_suppressions.txt";
@@ -77,40 +127,85 @@ int main(int argc, char** argv) {
       suppressionsPath = candidate.string();
     }
   }
+  if (!baselineExplicit) {
+    baselinePath = (std::filesystem::path(root) / "tools" /
+                    "msd_lint_baseline.json")
+                       .string();
+  }
 
   try {
     std::vector<msd::lint::Suppression> suppressions;
     if (!suppressionsPath.empty()) {
-      std::ifstream in(suppressionsPath, std::ios::binary);
-      if (!in.good()) {
-        std::fprintf(stderr, "msd_lint: cannot open suppressions file: %s\n",
-                     suppressionsPath.c_str());
-        return 2;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      suppressions = msd::lint::parseSuppressions(buffer.str());
+      suppressions = msd::lint::parseSuppressions(
+          readFileOrThrow(suppressionsPath, "suppressions file"));
     }
 
     const std::vector<msd::lint::Finding> findings =
         msd::lint::scanTree(root, subdirs, suppressions);
+
+    if (writeBaseline) {
+      std::ofstream out(baselinePath, std::ios::binary | std::ios::trunc);
+      if (!out.good()) {
+        throw std::runtime_error("msd_lint: cannot write baseline: " +
+                                 baselinePath);
+      }
+      out << msd::lint::writeBaseline(findings);
+      std::fprintf(stderr, "msd_lint: baseline written: %s\n",
+                   baselinePath.c_str());
+      return 0;
+    }
+
     std::size_t active = 0;
     std::size_t suppressed = 0;
     for (const msd::lint::Finding& f : findings) {
       if (f.suppressed) {
         ++suppressed;
-        if (verbose) {
-          std::printf("%s [suppressed: %s]\n",
-                      msd::lint::formatFinding(f).c_str(),
-                      f.suppressReason.c_str());
-        }
-        continue;
+      } else {
+        ++active;
       }
-      ++active;
-      std::printf("%s\n", msd::lint::formatFinding(f).c_str());
     }
-    std::printf("msd_lint: %zu finding(s), %zu suppressed\n", active,
-                suppressed);
+
+    if (format == "sarif") {
+      std::printf("%s", msd::lint::toSarif(findings).c_str());
+    } else {
+      for (const msd::lint::Finding& f : findings) {
+        if (f.suppressed) {
+          if (verbose) {
+            std::printf("%s [suppressed: %s]\n",
+                        msd::lint::formatFinding(f).c_str(),
+                        f.suppressReason.c_str());
+          }
+          continue;
+        }
+        std::printf("%s\n", msd::lint::formatFinding(f).c_str());
+      }
+    }
+    std::fprintf(stderr, "msd_lint: %zu finding(s), %zu suppressed\n",
+                 active, suppressed);
+
+    if (diffBaseline) {
+      const std::vector<msd::lint::BaselineEntry> baseline =
+          msd::lint::parseBaseline(
+              readFileOrThrow(baselinePath, "baseline"));
+      const msd::lint::BaselineDiff diff =
+          msd::lint::diffBaseline(findings, baseline);
+      for (const std::string& entry : diff.newFindings) {
+        std::fprintf(stderr, "msd_lint: new vs baseline: %s\n",
+                     entry.c_str());
+      }
+      for (const std::string& entry : diff.staleEntries) {
+        std::fprintf(stderr, "msd_lint: stale baseline entry: %s\n",
+                     entry.c_str());
+      }
+      if (!diff.clean()) {
+        std::fprintf(stderr,
+                     "msd_lint: baseline drift (%zu new, %zu stale); fix "
+                     "the findings or regenerate with --write-baseline\n",
+                     diff.newFindings.size(), diff.staleEntries.size());
+        return 1;
+      }
+      return 0;
+    }
     return active == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

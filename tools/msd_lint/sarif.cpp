@@ -1,0 +1,137 @@
+#include "msd_lint/sarif.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace msd::lint {
+
+namespace {
+
+struct RuleMeta {
+  const char* id;
+  const char* shortDescription;
+};
+
+// Fixed rule table: indices are stable so ruleIndex stays meaningful
+// across runs even when a class never fires.
+constexpr std::array<RuleMeta, 9> kRules = {{
+    {"H1", "Unordered-container iteration in an output-relevant file"},
+    {"H2", "Banned nondeterminism source (rand/random_device/clock)"},
+    {"H3", "By-reference floating-point accumulation in a pool lambda"},
+    {"H4", "Thread identity (thread_local/get_id) outside the pool"},
+    {"H5", "Raw thread construction outside src/util/parallel.*"},
+    {"H6", "Shared-state write in a pool lambda without a safe idiom"},
+    {"H7", "Raw wire-parse byte access without a dominating bounds check"},
+    {"H8", "Discarded error-bearing result"},
+    {"H9", "Nondeterministic ordering sink (pointer order / unordered "
+           "extraction)"},
+}};
+
+int ruleIndexOf(const std::string& hazard) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (hazard == kRules[i].id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string toSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [\n";
+  out << "    {\n";
+  out << "      \"tool\": {\n";
+  out << "        \"driver\": {\n";
+  out << "          \"name\": \"msd_lint\",\n";
+  out << "          \"version\": \"2.0.0\",\n";
+  out << "          \"informationUri\": "
+         "\"https://example.invalid/msd_lint\",\n";
+  out << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    out << "            {\n";
+    out << "              \"id\": \"" << kRules[i].id << "\",\n";
+    out << "              \"shortDescription\": {\"text\": \""
+        << jsonEscape(kRules[i].shortDescription) << "\"}\n";
+    out << "            }" << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n";
+  out << "        }\n";
+  out << "      },\n";
+  out << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n";
+    out << "          \"ruleId\": \"" << jsonEscape(f.hazard) << "\",\n";
+    const int ruleIndex = ruleIndexOf(f.hazard);
+    if (ruleIndex >= 0) {
+      out << "          \"ruleIndex\": " << ruleIndex << ",\n";
+    }
+    out << "          \"level\": \"error\",\n";
+    out << "          \"message\": {\"text\": \"" << jsonEscape(f.message)
+        << "\"},\n";
+    out << "          \"locations\": [\n";
+    out << "            {\n";
+    out << "              \"physicalLocation\": {\n";
+    out << "                \"artifactLocation\": {\"uri\": \""
+        << jsonEscape(f.file) << "\", \"uriBaseId\": \"SRCROOT\"},\n";
+    out << "                \"region\": {\"startLine\": " << f.line << "}\n";
+    out << "              }\n";
+    out << "            }\n";
+    out << "          ]";
+    if (f.suppressed) {
+      out << ",\n          \"suppressions\": [\n";
+      out << "            {\"kind\": \"inSource\", \"justification\": \""
+          << jsonEscape(f.suppressReason) << "\"}\n";
+      out << "          ]\n";
+    } else {
+      out << "\n";
+    }
+    out << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n";
+  out << "    }\n";
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace msd::lint

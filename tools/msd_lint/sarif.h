@@ -1,0 +1,24 @@
+#pragma once
+
+// SARIF 2.1.0 rendering of lint findings, for editor/CI integration
+// (`msd_lint --format=sarif`). The document is fully deterministic:
+// fixed rule table, findings in scan order, stable two-space layout.
+
+#include <string>
+#include <vector>
+
+#include "msd_lint/lint.h"
+
+namespace msd::lint {
+
+/// Renders findings as one SARIF 2.1.0 run. Every hazard class H1-H9
+/// appears in the rule table regardless of whether it fired; suppressed
+/// findings carry a `suppressions` entry (kind "inSource") so SARIF
+/// consumers hide them by default. Ends with a trailing newline.
+std::string toSarif(const std::vector<Finding>& findings);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Exposed for tests.
+std::string jsonEscape(const std::string& s);
+
+}  // namespace msd::lint

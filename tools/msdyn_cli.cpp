@@ -20,6 +20,7 @@
 // Generation and conversion involving .msdbin stream events in bounded
 // memory — the paths paper-scale runs use.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +28,9 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "analysis/community_analysis.h"
@@ -111,11 +114,22 @@ bool isMsdbinPath(const std::string& path) {
 
 enum class TraceFormat { kText, kLegacyBinary, kMsdbin };
 
+/// The input could not be opened or read at the OS level — as opposed to
+/// a malformed trace. Carries the errno text so the user can tell a
+/// missing/unreadable file from a corrupt one.
+struct InputIoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 /// Sniffs the on-disk format from the leading magic bytes, so any command
 /// accepts any trace file regardless of its extension.
 TraceFormat sniffFormat(const std::string& path) {
   std::ifstream probe(path, std::ios::binary);
-  ensure(probe.is_open(), "cannot open '" + path + "' for reading");
+  if (!probe.is_open()) {
+    const int err = errno;
+    throw InputIoError("cannot read '" + path + "': " +
+                       std::generic_category().message(err));
+  }
   char head[8] = {};
   probe.read(head, 8);
   const auto got = probe.gcount();
@@ -294,8 +308,11 @@ int cmdInfo(const Args& args) {
   return 0;
 }
 
-// Exit codes: 0 success, 1 unexpected I/O failure on write, 2 malformed
-// or corrupt input (the format battery asserts on this).
+// Exit codes: 0 success, 2 for both malformed/corrupt input (the format
+// battery asserts on this) and OS-level I/O failures — but the two are
+// distinguished in the message: I/O errors carry the errno text
+// ("I/O error: ... No such file or directory"), format errors describe
+// the corruption.
 int cmdConvert(const Args& args) {
   if (args.positional.size() < 2) return usage();
   const std::string& in = args.positional[0];
@@ -329,8 +346,11 @@ int cmdConvert(const Args& args) {
     saveAny(stream, out);
     std::printf("wrote %zu events to %s\n", stream.size(), out.c_str());
     return 0;
+  } catch (const InputIoError& error) {
+    std::fprintf(stderr, "msdyn convert: I/O error: %s\n", error.what());
+    return 2;
   } catch (const std::runtime_error& error) {
-    std::fprintf(stderr, "msdyn convert: %s\n", error.what());
+    std::fprintf(stderr, "msdyn convert: invalid trace: %s\n", error.what());
     return 2;
   }
 }
@@ -606,6 +626,11 @@ int cmdScenario(const Args& args) {
   const std::string outDir = args.get("out", "scenario_out");
   std::error_code ec;
   std::filesystem::create_directories(outDir, ec);
+  if (ec) {
+    std::fprintf(stderr, "msdyn scenario: cannot create %s: %s\n",
+                 outDir.c_str(), ec.message().c_str());
+    return 2;
+  }
 
   Stopwatch watch;
   TraceGenerator generator(config);
