@@ -192,6 +192,13 @@ class BenchReport {
     }
   }
 
+  /// Records an externally sampled peak. The scale sweep feeds these
+  /// from its StatsSampler snapshots so the BENCH json's mem.samples and
+  /// the STATS jsonl series come from the same measurements.
+  void memSample(std::string label, std::uint64_t bytes) {
+    if (bytes > 0) memSamples_.push_back({std::move(label), bytes});
+  }
+
   /// Writes BENCH_<benchmark>.json; best-effort (a failed write warns on
   /// stdout but never fails the bench).
   void write() const {

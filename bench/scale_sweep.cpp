@@ -27,6 +27,7 @@
 #include "bench_common.h"
 #include "analysis/metrics_over_time.h"
 #include "io/binary_event_log.h"
+#include "obs/stats.h"
 #include "util/error.h"
 
 namespace msd {
@@ -105,6 +106,15 @@ int run(int argc, char** argv) {
     return 1;
   }
 
+  // One whole-sweep sampler replaces the manual updateMemoryGauges()
+  // calls: the background thread gives the STATS jsonl a real time
+  // series across every phase, and sampleNow() at each phase boundary
+  // yields the exact snapshot the BENCH json's mem.samples record — the
+  // two artifacts agree by construction.
+  obs::StatsSamplerOptions statsOptions;
+  statsOptions.jsonlPath = options.outDir + "/STATS_scale_sweep.jsonl";
+  obs::StatsSampler sampler(std::move(statsOptions));
+
   for (const std::uint64_t targetNodes : nodesList) {
     const std::string tag = "n" + std::to_string(targetNodes);
     bench::section("scale " + tag);
@@ -125,7 +135,9 @@ int run(int argc, char** argv) {
       stats = writer.close();
     }
     report.record(tag + ".streaming_generate", {genWatch.seconds() * 1e3});
-    report.memSample(tag + ".streaming_generate");
+    report.memSample(tag + ".streaming_generate",
+                     static_cast<std::uint64_t>(statsGaugeValue(
+                         sampler.sampleNow(), "mem.high_water_bytes")));
     std::printf("  [gen] %" PRIu64 " nodes / %" PRIu64 " edges -> %.1f MB "
                 "msdbin (%.1fs)\n",
                 stats.nodeCount, stats.edgeCount,
@@ -143,7 +155,9 @@ int run(int argc, char** argv) {
                                         seriesConfig);
     }
     report.record(tag + ".streaming_series", {streamWatch.seconds() * 1e3});
-    report.memSample(tag + ".streaming_series");
+    report.memSample(tag + ".streaming_series",
+                     static_cast<std::uint64_t>(statsGaugeValue(
+                         sampler.sampleNow(), "mem.high_water_bytes")));
     std::printf("  [series] %zu snapshots streamed (%.1fs)\n",
                 streamed.averageDegree.size(), streamWatch.seconds());
 
@@ -171,7 +185,9 @@ int run(int argc, char** argv) {
       inMemory = analyzeMetricsOverTime(stream, seriesConfig);
     }
     report.record(tag + ".inmemory_series", {memWatch.seconds() * 1e3});
-    report.memSample(tag + ".inmemory_series");
+    report.memSample(tag + ".inmemory_series",
+                     static_cast<std::uint64_t>(statsGaugeValue(
+                         sampler.sampleNow(), "mem.high_water_bytes")));
     ensure(sameSeries(streamed.averageDegree, inMemory.averageDegree) &&
                sameSeries(streamed.averagePathLength,
                           inMemory.averagePathLength) &&
@@ -183,6 +199,9 @@ int run(int argc, char** argv) {
                 memWatch.seconds());
   }
 
+  sampler.stop();
+  std::printf("[bench] stats series -> %s/STATS_scale_sweep.jsonl\n",
+              options.outDir.c_str());
   report.write();
   return 0;
 }

@@ -182,6 +182,10 @@ void BinaryEventWriter::flushBlock() {
   stats_.fileBytes += kBlockHeaderBytes + payload_.size();
   ++stats_.blockCount;
   MSD_COUNTER_ADD("io.msdbin_blocks_written", 1);
+  // Live-telemetry series: bumped per flushed block (not once at close)
+  // so the stats sampler sees a moving events/s throughput counter.
+  MSD_COUNTER_ADD("io.events_written", payloadEvents_);
+  MSD_COUNTER_ADD("io.bytes_written", kBlockHeaderBytes + payload_.size());
   payload_.clear();
   payloadEvents_ = 0;
   prevTimeBits_ = 0;
@@ -490,6 +494,8 @@ void BinaryEventReader::decodeNextBlock() {
   cursor_ += kBlockHeaderBytes + payloadBytes;
   ++blocksRead_;
   MSD_COUNTER_ADD("io.msdbin_blocks_read", 1);
+  MSD_COUNTER_ADD("io.events_read", buffer_.size());
+  MSD_COUNTER_ADD("io.bytes_read", kBlockHeaderBytes + payloadBytes);
 
   if (blocksRead_ == blockCount_) {
     if (cursor_ != size_) fail("trailing bytes after last block");

@@ -117,6 +117,11 @@ class BinaryEventWriter final : public EventSink {
   /// True once close() has run.
   bool closed() const { return closed_; }
 
+  /// Running totals (events/bytes land as their block is flushed) — the
+  /// progress-meter feed while a streaming write is in flight.
+  std::uint64_t eventsWritten() const { return stats_.eventCount; }
+  std::uint64_t bytesWritten() const { return stats_.fileBytes; }
+
  private:
   void flushBlock();
   void encodeInto(const Event& event);
@@ -166,6 +171,12 @@ class BinaryEventReader final : public EventSource {
 
   /// The embedded msd-run-v1 manifest, verbatim.
   const std::string& manifestJson() const { return manifest_; }
+
+  /// Running consumption totals — the progress-meter feed (eventCount()
+  /// and the file size give the denominators).
+  std::uint64_t eventsConsumed() const { return eventsSeen_; }
+  std::uint64_t bytesConsumed() const { return cursor_; }
+  std::uint64_t fileBytes() const { return size_; }
 
   /// Decodes the remaining events into an EventStream (convenience for
   /// small traces; defeats the out-of-core purpose at paper scale).

@@ -1,0 +1,59 @@
+#pragma once
+
+// Progress adapters for the streaming event interfaces: wrap any
+// EventSink / EventSource and feed an obs::ProgressMeter with item (and
+// optionally byte) counts as events flow through, without changing what
+// flows. The adapters are pure pass-throughs — same events, same order,
+// same exceptions — so pipelines stay bit-identical with or without
+// them; only stderr gains the live `items/s, %done, ETA` line.
+//
+// They live in src/io (not src/obs) by layering: obs sits *below* the
+// graph library, so it cannot name EventSink/EventSource; the I/O layer
+// can see both sides of the seam.
+
+#include <cstddef>
+#include <span>
+
+#include "graph/event_stream.h"
+#include "obs/progress.h"
+
+namespace msd::io {
+
+/// Pass-through sink counting every pushed event into the meter.
+class ProgressSink final : public EventSink {
+ public:
+  ProgressSink(EventSink& inner, obs::ProgressMeter& meter,
+               std::size_t bytesPerEvent = 0)
+      : inner_(inner), meter_(meter), bytesPerEvent_(bytesPerEvent) {}
+
+  void push(const Event& event) override {
+    inner_.push(event);
+    meter_.add(1, bytesPerEvent_);
+  }
+
+ private:
+  EventSink& inner_;
+  obs::ProgressMeter& meter_;
+  std::size_t bytesPerEvent_;  ///< estimate credited per event (0 = none)
+};
+
+/// Pass-through source counting every handed-out event into the meter.
+class ProgressSource final : public EventSource {
+ public:
+  ProgressSource(EventSource& inner, obs::ProgressMeter& meter)
+      : inner_(inner), meter_(meter) {}
+
+  std::span<const Event> nextChunk(Day bound, std::size_t maxEvents) override {
+    const std::span<const Event> chunk = inner_.nextChunk(bound, maxEvents);
+    if (!chunk.empty()) meter_.add(chunk.size());
+    return chunk;
+  }
+
+  bool exhausted() const override { return inner_.exhausted(); }
+
+ private:
+  EventSource& inner_;
+  obs::ProgressMeter& meter_;
+};
+
+}  // namespace msd::io

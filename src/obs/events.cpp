@@ -1,11 +1,14 @@
 #include "obs/events.h"
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "obs/manifest.h"
@@ -73,9 +76,14 @@ class EventBuffer {
       DrainedEvent event;
       event.name = slot.name;
       event.tsNanos = slot.tsNanos;
-      event.flowId = slot.flowId;
       event.kind = slot.kind;
       event.tid = tid_;
+      if (slot.kind == EventKind::kCounter) {
+        // Counter slots reuse the flowId word as the sampled value.
+        event.value = std::bit_cast<double>(slot.flowId);
+      } else {
+        event.flowId = slot.flowId;
+      }
       out.push_back(std::move(event));
     }
     tail_.store(tail, std::memory_order_release);
@@ -143,6 +151,7 @@ const char* phaseFor(EventKind kind) {
     case EventKind::kEnd: return "E";
     case EventKind::kFlowStart: return "s";
     case EventKind::kFlowStep: return "t";
+    case EventKind::kCounter: return "C";
   }
   return "B";
 }
@@ -175,6 +184,30 @@ std::uint64_t flowBegin() {
   detail::recordEvent("pool.batch", EventKind::kFlowStart, monotonicNanos(),
                       id);
   return id;
+}
+
+namespace {
+
+/// Interns `name` into process-lifetime storage so the ring buffers'
+/// `const char*` slots stay valid after the caller's string dies (drains
+/// can happen long after the sampler that produced the name stopped).
+/// Guarded by the registry mutex; counter sampling is off the hot path.
+const char* internedEventName(std::string_view name) {
+  static std::set<std::string, std::less<>>* pool =
+      new std::set<std::string, std::less<>>();  // never destroyed
+  EventState& global = state();
+  std::lock_guard<std::mutex> lock(global.mutex);
+  auto it = pool->find(name);
+  if (it == pool->end()) it = pool->emplace(name).first;
+  return it->c_str();
+}
+
+}  // namespace
+
+void recordCounterSample(const char* name, double value) {
+  if (!eventRecordingEnabled()) return;
+  detail::recordEvent(internedEventName(name), EventKind::kCounter,
+                      monotonicNanos(), std::bit_cast<std::uint64_t>(value));
 }
 
 namespace detail {
@@ -270,6 +303,11 @@ Json traceEventsJson() {
         event.kind == EventKind::kFlowStep) {
       out.set("cat", "pool");
       out.set("id", static_cast<std::int64_t>(event.flowId));
+    } else if (event.kind == EventKind::kCounter) {
+      // Perfetto renders "C" events with a numeric arg as counter tracks.
+      Json counterArgs = Json::object();
+      counterArgs.set("value", event.value);
+      out.set("args", std::move(counterArgs));
     }
     traceEvents.push(std::move(out));
   }

@@ -52,6 +52,7 @@ enum class EventKind : std::uint8_t {
   kEnd,        ///< scope exit (Chrome ph "E")
   kFlowStart,  ///< work handed to the pool (Chrome ph "s")
   kFlowStep,   ///< a worker adopted that work's scope (Chrome ph "t")
+  kCounter,    ///< sampled counter value (Chrome ph "C" counter track)
 };
 
 /// One drained event. `name` points at process-lifetime storage (scope
@@ -60,6 +61,7 @@ struct DrainedEvent {
   std::string name;
   std::uint64_t tsNanos = 0;
   std::uint64_t flowId = 0;  ///< nonzero for flow events only
+  double value = 0.0;        ///< sampled value for kCounter events only
   EventKind kind = EventKind::kBegin;
   std::uint32_t tid = 0;     ///< buffer index, stable per thread
 };
@@ -75,6 +77,7 @@ static inline bool eventRecordingEnabled() { return false; }
 static inline void setEventBufferCapacity(std::size_t) {}
 static inline void setThreadLabel(const char*) {}
 static inline std::uint64_t flowBegin() { return 0; }
+static inline void recordCounterSample(const char*, double) {}
 
 namespace detail {
 static inline void recordEvent(const char*, EventKind, std::uint64_t,
@@ -107,6 +110,12 @@ void setThreadLabel(const char* label);
 /// pass that 0 around freely; it makes every downstream flow call a
 /// no-op.
 std::uint64_t flowBegin();
+
+/// Records one sampled counter value on the calling thread's buffer as a
+/// Chrome "C" (counter track) event. `name` is interned into process-
+/// lifetime storage, so callers may pass transient strings (the stats
+/// sampler builds names at runtime). No-op while recording is off.
+void recordCounterSample(const char* name, double value);
 
 namespace detail {
 /// Appends one event to the calling thread's buffer (creating it on

@@ -60,6 +60,28 @@ HistogramSnapshot Histogram::snapshot() const {
   return out;
 }
 
+HistogramSnapshot Histogram::stableSnapshot() const {
+  // A plain snapshot() can tear: a record() landing between the bucket
+  // loop and the count load leaves sum(buckets) != count, which skews
+  // quantile()'s nearest-rank denominator. Retry until two consecutive
+  // passes agree; under sustained writers equality may never hold, so
+  // after a few attempts repair the totals from the buckets instead —
+  // the buckets themselves are each atomically read, and a snapshot
+  // whose count equals its bucket total is all quantile() needs.
+  constexpr int kMaxAttempts = 4;
+  HistogramSnapshot out;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    out = snapshot();
+    std::uint64_t total = 0;
+    for (const std::uint64_t bucket : out.buckets) total += bucket;
+    if (total == out.count) return out;
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t bucket : out.buckets) total += bucket;
+  out.count = total;
+  return out;
+}
+
 Histogram& histogramMetric(std::string_view name, HistogramUnit unit) {
   HistogramStore& histograms = store();
   std::lock_guard<std::mutex> lock(histograms.mutex);
@@ -79,6 +101,18 @@ std::vector<std::pair<std::string, HistogramSnapshot>> histogramSnapshots() {
   snapshot.reserve(histograms.histograms.size());
   for (const auto& [name, histogram] : histograms.histograms) {
     snapshot.emplace_back(name, histogram->snapshot());
+  }
+  return snapshot;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+histogramStableSnapshots() {
+  HistogramStore& histograms = store();
+  std::lock_guard<std::mutex> lock(histograms.mutex);
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshot;
+  snapshot.reserve(histograms.histograms.size());
+  for (const auto& [name, histogram] : histograms.histograms) {
+    snapshot.emplace_back(name, histogram->stableSnapshot());
   }
   return snapshot;
 }

@@ -108,6 +108,14 @@ class Histogram {
 
   HistogramSnapshot snapshot() const;
 
+  /// Snapshot for concurrent readers (the stats sampler): re-reads until
+  /// the bucket total matches the count atomic across two passes, then
+  /// falls back to repairing count/sum from the buckets so the returned
+  /// snapshot is ALWAYS internally consistent (sum(buckets) == count,
+  /// which quantile()'s nearest-rank walk relies on) even while writers
+  /// never quiesce.
+  HistogramSnapshot stableSnapshot() const;
+
  private:
   friend void detail::resetHistograms();
   const HistogramUnit unit_;
@@ -125,6 +133,11 @@ Histogram& histogramMetric(std::string_view name, HistogramUnit unit);
 
 /// Name-sorted snapshots of every registered histogram.
 std::vector<std::pair<std::string, HistogramSnapshot>> histogramSnapshots();
+
+/// Name-sorted stableSnapshot()s — the sampler-path variant safe to take
+/// while writer threads are still recording.
+std::vector<std::pair<std::string, HistogramSnapshot>>
+histogramStableSnapshots();
 
 /// RAII timer recording elapsed monotonic nanoseconds into a histogram on
 /// destruction; prefer the MSD_HISTOGRAM_SCOPE_NS macro.

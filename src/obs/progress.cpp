@@ -1,0 +1,141 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "obs/events.h"  // monotonicNanos
+
+namespace msd::obs {
+
+namespace {
+
+bool stderrIsTty() {
+#if defined(_WIN32)
+  return false;
+#else
+  return isatty(2) != 0;
+#endif
+}
+
+/// "1234" / "56.7K" / "8.9M" / "1.2G" — compact item counts.
+std::string humanCount(double value) {
+  char buffer[32];
+  if (value < 10'000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else if (value < 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", value / 1e3);
+  } else if (value < 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fM", value / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fG", value / 1e9);
+  }
+  return buffer;
+}
+
+std::string humanBytes(double value) {
+  char buffer[32];
+  if (value < 1e4) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f B", value);
+  } else if (value < 1e7) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KB", value / 1e3);
+  } else if (value < 1e10) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB", value / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f GB", value / 1e9);
+  }
+  return buffer;
+}
+
+std::string humanSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 90.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fs", seconds);
+  } else if (seconds < 5400.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fm", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(ProgressMeterOptions options)
+    : options_(std::move(options)), startNanos_(monotonicNanos()) {
+  rendering_ = options_.live && (options_.forceRender || stderrIsTty());
+}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::add(std::uint64_t items, std::uint64_t bytes) {
+  items_.fetch_add(items, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!rendering_ || finished_) return;
+  const std::uint64_t now = monotonicNanos();
+  if (lastRenderNanos_ != 0 &&
+      now - lastRenderNanos_ < options_.minRenderNanos) {
+    return;
+  }
+  lastRenderNanos_ = now;
+  render(/*final=*/false);
+}
+
+void ProgressMeter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (rendering_) render(/*final=*/true);
+}
+
+std::string ProgressMeter::renderLine() const {
+  const std::uint64_t items = items_.load(std::memory_order_relaxed);
+  const std::uint64_t bytes = bytes_.load(std::memory_order_relaxed);
+  const double elapsed =
+      static_cast<double>(monotonicNanos() - startNanos_) / 1e9;
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(items) / elapsed : 0.0;
+
+  // Built with += throughout: gcc 12's -Wrestrict misfires on
+  // `"literal" + std::string&&` chains.
+  std::string line = "[";
+  line += options_.label;
+  line += "] ";
+  line += humanCount(static_cast<double>(items));
+  line += " items";
+  if (bytes > 0) {
+    line += ' ';
+    line += humanBytes(static_cast<double>(bytes));
+  }
+  line += ' ';
+  line += humanCount(rate);
+  line += " items/s";
+  if (options_.totalItems > 0) {
+    const double fraction =
+        static_cast<double>(items) / static_cast<double>(options_.totalItems);
+    char percent[16];
+    std::snprintf(percent, sizeof(percent), " %.0f%%",
+                  fraction > 1.0 ? 100.0 : fraction * 100.0);
+    line += percent;
+    if (rate > 0.0 && items < options_.totalItems) {
+      const double remaining =
+          static_cast<double>(options_.totalItems - items) / rate;
+      line += " ETA " + humanSeconds(remaining);
+    }
+  }
+  return line;
+}
+
+void ProgressMeter::render(bool final) {
+  const std::string line = renderLine();
+  if (stderrIsTty()) {
+    // Redraw in place; erase-to-EOL clears leftovers of a longer line.
+    std::fprintf(stderr, "\r%s\x1b[K%s", line.c_str(), final ? "\n" : "");
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::fflush(stderr);
+}
+
+}  // namespace msd::obs

@@ -1,0 +1,449 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>  // msd-lint: allow(H5: sampler thread, obs-internal)
+
+#include "obs/counters.h"
+#include "obs/events.h"
+#include "obs/manifest.h"
+#include "obs/mem.h"
+
+namespace msd::obs {
+
+namespace {
+
+std::string formatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Prometheus metric name: msd_ prefix, every character outside
+/// [a-zA-Z0-9_] mapped to '_'.
+std::string prometheusName(const std::string& name) {
+  std::string out = "msd_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+const char* unitName(HistogramUnit unit) {
+  return unit == HistogramUnit::kNanos ? "nanos" : "count";
+}
+
+}  // namespace
+
+StatsSample takeStatsSample(const StatsSample* prev, bool sampleMemory) {
+  StatsSample sample;
+  if (sampleMemory) updateMemoryGauges();
+  sample.tNanos = monotonicNanos();
+  sample.counters = counterSnapshot();
+  sample.gauges = gaugeSnapshot();
+  sample.histograms = histogramStableSnapshots();
+  if (prev != nullptr && sample.tNanos > prev->tNanos) {
+    const double dtSeconds =
+        static_cast<double>(sample.tNanos - prev->tNanos) / 1e9;
+    // Both snapshots are name-sorted: one merge walk finds the baseline.
+    std::size_t j = 0;
+    for (const auto& [name, value] : sample.counters) {
+      while (j < prev->counters.size() && prev->counters[j].first < name) ++j;
+      const std::uint64_t before =
+          (j < prev->counters.size() && prev->counters[j].first == name)
+              ? prev->counters[j].second
+              : 0;
+      if (value > before) {
+        sample.rates.emplace_back(
+            name, static_cast<double>(value - before) / dtSeconds);
+      }
+    }
+  }
+  return sample;
+}
+
+std::int64_t statsGaugeValue(const StatsSample& sample,
+                             std::string_view name) {
+  for (const auto& [gaugeName, value] : sample.gauges) {
+    if (gaugeName == name) return value;
+  }
+  return 0;
+}
+
+Json statsSampleJson(const StatsSample& sample, bool includeTimings) {
+  Json doc = Json::object();
+  doc.set("seq", sample.seq);
+  doc.set("t_ns", includeTimings ? sample.tNanos : std::uint64_t{0});
+  Json counters = Json::object();
+  for (const auto& [name, value] : sample.counters) counters.set(name, value);
+  doc.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : sample.gauges) gauges.set(name, value);
+  doc.set("gauges", std::move(gauges));
+  if (includeTimings && !sample.rates.empty()) {
+    Json rates = Json::object();
+    for (const auto& [name, rate] : sample.rates) rates.set(name, rate);
+    doc.set("rates", std::move(rates));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, snapshot] : sample.histograms) {
+    Json entry = Json::object();
+    entry.set("unit", unitName(snapshot.unit));
+    entry.set("count", snapshot.count);
+    // Nanos histograms hold wall-clock values; with timings suppressed
+    // only their (deterministic) count survives — registry policy.
+    if (includeTimings || snapshot.unit != HistogramUnit::kNanos) {
+      entry.set("sum", snapshot.sum);
+      entry.set("p50", snapshot.quantile(0.5));
+      entry.set("p90", snapshot.quantile(0.9));
+      entry.set("p99", snapshot.quantile(0.99));
+    }
+    histograms.set(name, std::move(entry));
+  }
+  doc.set("hist", std::move(histograms));
+  return doc;
+}
+
+Json statsHeaderJson(std::uint64_t intervalNanos, bool includeRun) {
+  Json doc = Json::object();
+  doc.set("schema", kStatsSchema);
+  doc.set("interval_ms", static_cast<double>(intervalNanos) / 1e6);
+  if (includeRun) doc.set("run", manifestJson(currentManifest()));
+  return doc;
+}
+
+std::string statsPrometheusText(const StatsSample& sample) {
+  // Rates are deliberately absent: Prometheus computes rate() server-side
+  // from the counter series; exposing both would double-count.
+  std::string out;
+  for (const auto& [name, value] : sample.counters) {
+    const std::string metric = prometheusName(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : sample.gauges) {
+    const std::string metric = prometheusName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snapshot] : sample.histograms) {
+    const std::string metric = prometheusName(name);
+    out += "# TYPE " + metric + " summary\n";
+    for (const char* q : {"0.5", "0.9", "0.99"}) {
+      out += metric + "{quantile=\"" + q + "\"} " +
+             std::to_string(snapshot.quantile(std::atof(q))) + "\n";
+    }
+    out += metric + "_sum " + std::to_string(snapshot.sum) + "\n";
+    out += metric + "_count " + std::to_string(snapshot.count) + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StatsSampler
+
+struct StatsSampler::Impl {
+  StatsSamplerOptions options;
+
+  mutable std::mutex mutex;  // ring + stream + rate baseline
+  std::vector<StatsSample> ring;
+  std::size_t ringStart = 0;
+  std::uint64_t taken = 0;
+  StatsSample prev;
+  bool hasPrev = false;
+  std::ofstream out;
+  bool streaming = false;
+
+  std::thread thread;  // msd-lint: allow(H5: obs sampler, below the pool)
+  std::mutex wakeMutex;
+  std::condition_variable wake;
+  bool stopRequested = false;
+  bool stopFinished = false;
+
+  /// Takes one sample and records it (ring + JSONL + counter tracks).
+  StatsSample takeOne() {
+    std::lock_guard<std::mutex> lock(mutex);
+    StatsSample sample =
+        takeStatsSample(hasPrev ? &prev : nullptr, options.sampleMemory);
+    sample.seq = taken;
+    ++taken;
+    if (options.counterTracks && eventRecordingEnabled()) {
+      for (const auto& [name, value] : sample.gauges) {
+        recordCounterSample(name.c_str(), static_cast<double>(value));
+      }
+      for (const auto& [name, rate] : sample.rates) {
+        recordCounterSample((name + "/s").c_str(), rate);
+      }
+    }
+    if (ring.size() < options.ringCapacity) {
+      ring.push_back(sample);
+    } else if (!ring.empty()) {
+      ring[ringStart] = sample;
+      ringStart = (ringStart + 1) % ring.size();
+    }
+    if (streaming) {
+      out << statsSampleJson(sample).dump(-1) << "\n";
+      out.flush();
+    }
+    prev = sample;
+    hasPrev = true;
+    return sample;
+  }
+
+  void threadMain() {
+    setThreadLabel("obs.sampler");  // names this lane in trace exports
+    std::unique_lock<std::mutex> lock(wakeMutex);
+    while (!stopRequested) {
+      wake.wait_for(lock, std::chrono::nanoseconds(static_cast<std::int64_t>(
+                              options.intervalNanos)));
+      if (stopRequested) break;
+      lock.unlock();
+      takeOne();
+      lock.lock();
+    }
+  }
+};
+
+StatsSampler::StatsSampler(StatsSamplerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  if (impl_->options.ringCapacity == 0) impl_->options.ringCapacity = 1;
+  if (impl_->options.intervalNanos == 0) {
+    impl_->options.intervalNanos = 1'000'000;  // 1 ms floor
+  }
+  if (!impl_->options.jsonlPath.empty()) {
+    impl_->out.open(impl_->options.jsonlPath, std::ios::trunc);
+    if (!impl_->out.good()) {
+      throw std::runtime_error("stats: cannot write " +
+                               impl_->options.jsonlPath);
+    }
+    impl_->out << statsHeaderJson(impl_->options.intervalNanos,
+                                  impl_->options.includeRun)
+                      .dump(-1)
+               << "\n";
+    impl_->out.flush();
+    impl_->streaming = true;
+  }
+  if (impl_->options.live) {
+    Impl* impl = impl_.get();
+    impl_->thread = std::thread([impl] { impl->threadMain(); });
+  }
+}
+
+StatsSampler::~StatsSampler() { stop(); }
+
+StatsSample StatsSampler::sampleNow() {
+  if (!impl_->options.live) return StatsSample{};
+  return impl_->takeOne();
+}
+
+void StatsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->wakeMutex);
+    if (impl_->stopFinished) return;
+    impl_->stopFinished = true;
+    impl_->stopRequested = true;
+  }
+  impl_->wake.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  // One final sample so short runs (shorter than one interval) still
+  // record their end state.
+  if (impl_->options.live) impl_->takeOne();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->streaming) {
+    impl_->out.flush();
+    impl_->out.close();
+    impl_->streaming = false;
+  }
+}
+
+std::vector<StatsSample> StatsSampler::samples() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<StatsSample> out;
+  out.reserve(impl_->ring.size());
+  for (std::size_t i = 0; i < impl_->ring.size(); ++i) {
+    out.push_back(impl_->ring[(impl_->ringStart + i) % impl_->ring.size()]);
+  }
+  return out;
+}
+
+std::uint64_t StatsSampler::sampleCount() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->taken;
+}
+
+// ---------------------------------------------------------------------------
+// Parse / validate / summarize
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& what) {
+  throw std::runtime_error(context + ": " + what);
+}
+
+/// Flattens one "name": number section ("counters", "gauges", "rates").
+void flattenNumberSection(const Json& doc, const char* section,
+                          const std::string& context,
+                          std::map<std::string, std::vector<double>>& series) {
+  const Json* sec = doc.find(section);
+  if (sec == nullptr) return;
+  if (!sec->isObject()) fail(context, std::string(section) + " not an object");
+  for (const auto& [name, value] : sec->members()) {
+    if (!value.isNumber()) {
+      fail(context, std::string(section) + "." + name + " not a number");
+    }
+    series[std::string(section) + "." + name].push_back(value.numberValue());
+  }
+}
+
+}  // namespace
+
+StatsSeries parseStatsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("stats: cannot open " + path);
+
+  StatsSeries out;
+  std::map<std::string, std::vector<double>> series;
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+  std::uint64_t expectSeq = 0;
+  std::uint64_t prevT = 0;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    const std::string context = path + ":" + std::to_string(lineNo);
+    Json doc;
+    try {
+      doc = Json::parse(line);
+    } catch (const std::exception& error) {
+      fail(context, error.what());
+    }
+    if (!doc.isObject()) fail(context, "line is not a JSON object");
+
+    if (!sawHeader) {
+      const Json* schema = doc.find("schema");
+      if (schema == nullptr || !schema->isString() ||
+          schema->stringValue() != kStatsSchema) {
+        fail(context, std::string("expected header with schema \"") +
+                          kStatsSchema + "\"");
+      }
+      const Json* interval = doc.find("interval_ms");
+      if (interval == nullptr || !interval->isNumber() ||
+          interval->numberValue() < 0.0) {
+        fail(context, "missing or invalid interval_ms");
+      }
+      out.intervalMs = interval->numberValue();
+      const Json* run = doc.find("run");
+      if (run != nullptr) {
+        parseManifest(*run, context);  // throws on schema violations
+        out.hasRun = true;
+      }
+      for (const auto& [key, value] : doc.members()) {
+        if (key != "schema" && key != "interval_ms" && key != "run") {
+          fail(context, "unknown header key \"" + key + "\"");
+        }
+      }
+      sawHeader = true;
+      continue;
+    }
+
+    // Sample line.
+    const Json* seq = doc.find("seq");
+    if (seq == nullptr || !seq->isInt() ||
+        seq->intValue() != static_cast<std::int64_t>(expectSeq)) {
+      fail(context, "expected seq " + std::to_string(expectSeq));
+    }
+    const Json* t = doc.find("t_ns");
+    if (t == nullptr || !t->isNumber() || t->numberValue() < 0.0) {
+      fail(context, "missing or invalid t_ns");
+    }
+    const std::uint64_t tNs = static_cast<std::uint64_t>(t->intValue());
+    if (expectSeq > 0 && tNs < prevT) {
+      fail(context, "t_ns went backwards (" + std::to_string(tNs) + " < " +
+                        std::to_string(prevT) + ")");
+    }
+    prevT = tNs;
+    ++expectSeq;
+
+    flattenNumberSection(doc, "counters", context, series);
+    flattenNumberSection(doc, "gauges", context, series);
+    flattenNumberSection(doc, "rates", context, series);
+
+    const Json* hist = doc.find("hist");
+    if (hist != nullptr) {
+      if (!hist->isObject()) fail(context, "hist not an object");
+      for (const auto& [name, entry] : hist->members()) {
+        if (!entry.isObject()) {
+          fail(context, "hist." + name + " not an object");
+        }
+        const Json* unit = entry.find("unit");
+        if (unit == nullptr || !unit->isString() ||
+            (unit->stringValue() != "count" &&
+             unit->stringValue() != "nanos")) {
+          fail(context, "hist." + name + " missing or invalid unit");
+        }
+        const Json* count = entry.find("count");
+        if (count == nullptr || !count->isNumber()) {
+          fail(context, "hist." + name + " missing count");
+        }
+        for (const auto& [key, value] : entry.members()) {
+          if (key == "unit") continue;
+          if (key != "count" && key != "sum" && key != "p50" &&
+              key != "p90" && key != "p99") {
+            fail(context, "hist." + name + " unknown key \"" + key + "\"");
+          }
+          if (!value.isNumber()) {
+            fail(context, "hist." + name + "." + key + " not a number");
+          }
+          series["hist." + name + "." + key].push_back(value.numberValue());
+        }
+      }
+    }
+
+    for (const auto& [key, value] : doc.members()) {
+      if (key != "seq" && key != "t_ns" && key != "counters" &&
+          key != "gauges" && key != "rates" && key != "hist") {
+        fail(context, "unknown sample key \"" + key + "\"");
+      }
+    }
+  }
+
+  if (!sawHeader) {
+    throw std::runtime_error(path + ": empty file, expected " +
+                             std::string(kStatsSchema) + " header");
+  }
+  out.sampleCount = static_cast<std::size_t>(expectSeq);
+  out.series.assign(series.begin(), series.end());
+  return out;
+}
+
+std::string statsSummaryText(const StatsSeries& series) {
+  std::string out = std::string(kStatsSchema) + ": " +
+                    std::to_string(series.sampleCount) + " samples, " +
+                    "interval_ms=" + formatDouble(series.intervalMs) +
+                    (series.hasRun ? ", run manifest present" : "") + "\n";
+  for (const auto& [name, values] : series.series) {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[(sorted.size() - 1) / 2];
+    out += name + ": n=" + std::to_string(values.size()) +
+           " min=" + formatDouble(sorted.front()) +
+           " median=" + formatDouble(median) +
+           " max=" + formatDouble(sorted.back()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace msd::obs

@@ -1,0 +1,159 @@
+#pragma once
+
+// Live run telemetry ("msd-stats-v1"): a background sampler that
+// periodically snapshots every registered counter, gauge, and histogram
+// (plus the process RSS high-water mark) into an in-memory ring of
+// timestamped samples, optionally streamed to disk as JSONL while the
+// run executes.
+//
+// The artifact is one JSON object per line:
+//
+//   {"schema":"msd-stats-v1","interval_ms":100,"run":{msd-run-v1 ...}}
+//   {"seq":0,"t_ns":12034,"counters":{"io.events_written":81920,...},
+//    "gauges":{"mem.high_water_bytes":14680064},
+//    "rates":{"io.events_written":1638400.0},
+//    "hist":{"bfs.source_ns":{"unit":"nanos","count":12}}}
+//   ...
+//
+// `rates` holds per-second deltas of every counter that moved since the
+// previous sample — the events/s throughput series. Histograms are
+// serialized as quantiles (p50/p90/p99) + count/sum, never raw buckets;
+// nanos-unit histograms drop everything but the count when timings are
+// suppressed, same policy as the registry snapshot.
+//
+// Determinism contract: the sampler thread only *reads* relaxed atomics
+// and writes to its own file/ring — it never touches analysis state, so
+// every primary artifact is bit-identical with sampling on or off
+// (tested). The same sample struct feeds three consumers: the JSONL
+// stream, statsPrometheusText() (the /metrics seam for `msdyn serve`),
+// and Perfetto counter tracks via recordCounterSample().
+//
+// With MSD_OBS_DISABLED the sampler never starts its thread and samples
+// are empty, but the JSONL header line is still written when a path is
+// configured (an obs-off `--stats-json` run produces a valid, empty
+// series that says obs=false in its manifest) and the parse/validate/
+// summarize helpers stay fully live for the tools.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram_obs.h"
+#include "obs/json.h"
+
+namespace msd::obs {
+
+inline constexpr const char* kStatsSchema = "msd-stats-v1";
+
+/// One point-in-time snapshot of every registered metric. Name-sorted
+/// vectors, same order as the registry snapshot functions.
+struct StatsSample {
+  std::uint64_t seq = 0;     ///< 0-based sample index within the run
+  std::uint64_t tNanos = 0;  ///< monotonicNanos() at sample time
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  /// Per-second counter deltas vs the previous sample; only counters
+  /// that moved appear. Empty on the first sample of a run.
+  std::vector<std::pair<std::string, double>> rates;
+};
+
+/// Takes one sample right now, on the calling thread — the same code
+/// path the sampler thread runs. `prev` (nullable) supplies the rate
+/// baseline; `sampleMemory` refreshes mem.high_water_bytes first.
+StatsSample takeStatsSample(const StatsSample* prev, bool sampleMemory);
+
+/// Value of the named gauge inside a sample, or 0 when absent.
+std::int64_t statsGaugeValue(const StatsSample& sample,
+                             std::string_view name);
+
+/// Serializes one sample as the compact msd-stats-v1 line object.
+/// includeTimings=false scrubs the wall clock for golden tests: t_ns is
+/// zeroed, rates are dropped, and nanos-unit histograms emit count only.
+Json statsSampleJson(const StatsSample& sample, bool includeTimings = true);
+
+/// The msd-stats-v1 header line: schema, sampling interval, and (when
+/// includeRun) the msd-run-v1 provenance manifest.
+Json statsHeaderJson(std::uint64_t intervalNanos, bool includeRun = true);
+
+/// Prometheus text exposition (text/plain; version=0.0.4) of one sample:
+/// counters as `msd_<name>_total`, gauges as `msd_<name>`, histograms as
+/// summaries with quantile labels. Metric names have every character
+/// outside [a-zA-Z0-9_] mapped to '_'. This is the payload `msdyn serve`
+/// will mount at /metrics.
+std::string statsPrometheusText(const StatsSample& sample);
+
+struct StatsSamplerOptions {
+  std::uint64_t intervalNanos = 100'000'000;  ///< 100 ms default cadence
+  std::string jsonlPath;     ///< non-empty: stream samples to this file
+  std::size_t ringCapacity = 512;  ///< in-memory samples retained
+  bool sampleMemory = true;  ///< refresh mem.high_water_bytes per sample
+  bool counterTracks = true; ///< mirror samples into the event ring ("C")
+  bool includeRun = true;    ///< manifest in the JSONL header line
+  /// Master switch: false keeps the sampler fully inert (no thread, no
+  /// samples; the JSONL header is still written so the artifact stays
+  /// valid). Defaults off in MSD_OBS_DISABLED translation units.
+#if defined(MSD_OBS_DISABLED)
+  bool live = false;
+#else
+  bool live = true;
+#endif
+};
+
+/// RAII background sampler. Construction opens the JSONL stream (throws
+/// std::runtime_error when the file cannot be written) and, when live,
+/// starts the sampling thread; destruction (or stop()) takes one final
+/// sample, flushes, and joins. sampleNow() takes a synchronous extra
+/// sample between the periodic ones — bench phase boundaries use it.
+class StatsSampler {
+ public:
+  explicit StatsSampler(StatsSamplerOptions options);
+  ~StatsSampler();
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  /// Takes a sample on the calling thread and returns a copy of it.
+  /// No-op (returns an empty sample) when the sampler is not live.
+  StatsSample sampleNow();
+
+  /// Stops the thread, takes the final sample, and closes the stream.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Ring contents, oldest first. At most ringCapacity samples.
+  std::vector<StatsSample> samples() const;
+
+  /// Total samples taken since construction (may exceed the ring size).
+  std::uint64_t sampleCount() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A parsed + schema-validated msd-stats-v1 file, flattened for the
+/// summarize/validate tools: each numeric series is keyed
+/// "<section>.<metric>" ("counters.io.events_written",
+/// "gauges.mem.high_water_bytes", "rates.io.events_written",
+/// "hist.bfs.source_ns.p50"), name-sorted, holding one value per sample
+/// line where the metric was present.
+struct StatsSeries {
+  double intervalMs = 0.0;
+  bool hasRun = false;          ///< header carried an msd-run-v1 manifest
+  std::size_t sampleCount = 0;  ///< sample lines (header excluded)
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+/// Parses and validates an msd-stats-v1 JSONL file: header schema and
+/// interval, per-line sample shape, consecutive seq from 0, and
+/// non-decreasing t_ns. Throws std::runtime_error with a line-qualified
+/// message on any violation (the tools map that to exit code 2).
+StatsSeries parseStatsFile(const std::string& path);
+
+/// min/median/max per series — the `msdyn stats summarize` payload.
+std::string statsSummaryText(const StatsSeries& series);
+
+}  // namespace msd::obs

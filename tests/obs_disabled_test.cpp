@@ -17,7 +17,9 @@
 #include "obs/counters.h"
 #include "obs/events.h"
 #include "obs/histogram_obs.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 
 namespace msd {
@@ -103,6 +105,52 @@ TEST(ObsDisabledTest, EventRecordingEntryPointsAreInertNoOps) {
   const obs::Json doc = obs::traceEventsJson();
   ASSERT_NE(doc.find("traceEvents"), nullptr);
   ASSERT_NE(doc.find("otherData"), nullptr);
+}
+
+TEST(ObsDisabledTest, StatsSamplerStaysInert) {
+  // In a disabled TU StatsSamplerOptions defaults live=false: the
+  // sampler must never start a thread or take a sample, and the scrubbed
+  // registry yields an empty Prometheus exposition.
+  obs::StatsSamplerOptions options;
+  EXPECT_FALSE(options.live);
+  obs::StatsSampler sampler(std::move(options));
+  const obs::StatsSample now = sampler.sampleNow();
+  EXPECT_EQ(now.seq, 0u);
+  EXPECT_EQ(now.tNanos, 0u);
+  sampler.stop();
+  EXPECT_EQ(sampler.sampleCount(), 0u);
+  EXPECT_TRUE(sampler.samples().empty());
+  EXPECT_EQ(obs::statsPrometheusText(obs::StatsSample{}), "");
+}
+
+TEST(ObsDisabledTest, StatsJsonlStillGetsAValidHeader) {
+  // An obs-off `--stats-json` run must still produce a parseable (empty)
+  // msd-stats-v1 artifact — the header line is written regardless of
+  // `live`, so downstream tooling never chokes on a truncated file.
+  const std::string path = testing::TempDir() + "/obs_disabled_stats.jsonl";
+  obs::StatsSamplerOptions options;
+  options.jsonlPath = path;
+  {
+    obs::StatsSampler sampler(std::move(options));
+    sampler.stop();
+  }
+  const obs::StatsSeries series = obs::parseStatsFile(path);
+  EXPECT_EQ(series.sampleCount, 0u);
+  EXPECT_TRUE(series.series.empty());
+}
+
+TEST(ObsDisabledTest, ProgressMeterCountsButNeverRenders) {
+  obs::ProgressMeterOptions options;
+  EXPECT_FALSE(options.live);
+  options.forceRender = true;  // live=false must win over forceRender
+  obs::ProgressMeter meter(std::move(options));
+  EXPECT_FALSE(meter.rendering());
+  meter.add(10, 100);
+  meter.add(5);
+  meter.finish();
+  // The byte/item tallies stay usable for callers even when inert.
+  EXPECT_EQ(meter.items(), 15u);
+  EXPECT_EQ(meter.bytes(), 100u);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Golden lock for the msd-stats-v1 serialization and the Prometheus
+// text exposition: a fixed set of counters/gauges/histograms is sampled
+// twice, scrubbed of wall-clock content (t_ns zeroed, rates dropped,
+// nanos histograms count-only — the statsSampleJson(includeTimings=
+// false) contract), and the resulting JSONL + exposition text must
+// match tests/golden/stats_series.golden byte for byte. A renamed key,
+// a reordered section, or a float formatting change is a diff, not a
+// surprise.
+//
+// To regenerate after an *intentional* schema change:
+//   MSD_UPDATE_GOLDEN=1 ./obs_stats_golden_test
+// then review the diff like any other code change.
+//
+// Runs alone in its own binary: the registry is process-wide, so
+// sharing a binary with other tests would leak their metrics into the
+// sample.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/histogram_obs.h"
+#include "obs/registry.h"
+#include "obs/stats.h"
+#include "util/parallel.h"
+
+#ifndef MSD_STATS_GOLDEN_FILE
+#error "MSD_STATS_GOLDEN_FILE must point at the checked-in golden file"
+#endif
+
+namespace msd {
+namespace {
+
+/// Two deterministic samples over a hand-fed registry, serialized the
+/// way the sampler streams them, followed by the Prometheus exposition
+/// of the final sample.
+std::string buildSnapshot() {
+  setThreadCount(1);
+  obs::resetAll();
+
+  MSD_COUNTER_ADD("golden.events", 1024);
+  MSD_COUNTER_ADD("golden.flushes", 3);
+  MSD_GAUGE_SET("golden.queue_depth", 17);
+  for (int i = 1; i <= 32; ++i) {
+    MSD_HISTOGRAM_RECORD("golden.block_bytes", i * 100);
+  }
+  // A nanos-unit histogram fed a fixed value (not a timer): the scrubbed
+  // JSONL keeps only its count, the exposition keeps everything.
+  MSD_HISTOGRAM_RECORD_NS("golden.flush_ns", 123456);
+
+  obs::StatsSample first =
+      obs::takeStatsSample(nullptr, /*sampleMemory=*/false);
+  first.seq = 0;
+  MSD_COUNTER_ADD("golden.events", 2048);
+  obs::StatsSample second =
+      obs::takeStatsSample(&first, /*sampleMemory=*/false);
+  second.seq = 1;
+
+  std::string out =
+      obs::statsHeaderJson(50'000'000, /*includeRun=*/false).dump(-1) + "\n";
+  out += obs::statsSampleJson(first, /*includeTimings=*/false).dump(-1) + "\n";
+  out += obs::statsSampleJson(second, /*includeTimings=*/false).dump(-1) +
+         "\n";
+  out += "--- prometheus ---\n";
+  out += obs::statsPrometheusText(second);
+  return out;
+}
+
+TEST(ObsStatsGoldenTest, SeriesMatchesCheckedInGolden) {
+  const std::string snapshot = buildSnapshot();
+
+  if (std::getenv("MSD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(MSD_STATS_GOLDEN_FILE, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << MSD_STATS_GOLDEN_FILE;
+    out << snapshot;
+    GTEST_SKIP() << "golden file regenerated at " << MSD_STATS_GOLDEN_FILE;
+  }
+
+  std::ifstream in(MSD_STATS_GOLDEN_FILE);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << MSD_STATS_GOLDEN_FILE
+      << " — regenerate with MSD_UPDATE_GOLDEN=1 ./obs_stats_golden_test";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  std::istringstream actualLines(snapshot);
+  std::istringstream goldenLines(golden.str());
+  std::string actualLine, goldenLine;
+  std::size_t lineNumber = 0;
+  while (std::getline(goldenLines, goldenLine)) {
+    ++lineNumber;
+    ASSERT_TRUE(std::getline(actualLines, actualLine))
+        << "snapshot ends early at golden line " << lineNumber;
+    ASSERT_EQ(actualLine, goldenLine)
+        << "first divergence at line " << lineNumber;
+  }
+  EXPECT_FALSE(std::getline(actualLines, actualLine))
+      << "snapshot has extra lines beyond the golden file";
+}
+
+TEST(ObsStatsGoldenTest, ScrubbedSeriesStillValidates) {
+  // The JSONL half of the golden (everything above the exposition
+  // divider) must parse clean through the same validator the tools use.
+  const std::string snapshot = buildSnapshot();
+  const std::string jsonl =
+      snapshot.substr(0, snapshot.find("--- prometheus ---"));
+  const std::string path = testing::TempDir() + "/stats_golden_check.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << jsonl;
+  }
+  const obs::StatsSeries series = obs::parseStatsFile(path);
+  EXPECT_EQ(series.sampleCount, 2u);
+  EXPECT_FALSE(series.hasRun);
+  EXPECT_DOUBLE_EQ(series.intervalMs, 50.0);
+}
+
+}  // namespace
+}  // namespace msd

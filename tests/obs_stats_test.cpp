@@ -1,0 +1,399 @@
+// Live telemetry contract (obs/stats.h): sample capture (counters,
+// gauges, histogram quantiles, per-second rates), the background
+// sampler's ring/JSONL/counter-track outputs, msd-stats-v1 validation,
+// the Prometheus exposition shape, and the determinism contract — the
+// primary binary artifact is byte-identical with sampling on or off at
+// 1/2/8 threads.
+//
+// Registry and event state are process-global, so every fixture test
+// starts from obs::resetAll(). Labeled `tsan`: the stable-snapshot test
+// races reader and writer threads on a live histogram by design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/config.h"
+#include "gen/trace_generator.h"
+#include "io/binary_event_log.h"
+#include "obs/counters.h"
+#include "obs/events.h"
+#include "obs/histogram_obs.h"
+#include "obs/json.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
+#include "obs/stats.h"
+#include "util/parallel.h"
+
+namespace msd {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + "/msd_stats_" + name;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+class ObsStatsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    setThreadCount(1);
+    obs::resetAll();
+  }
+  void TearDown() override {
+    obs::setEventRecording(false);
+    obs::resetAll();
+    setThreadCount(0);
+  }
+};
+
+TEST_F(ObsStatsTest, SampleCapturesCountersGaugesAndHistograms) {
+  MSD_COUNTER_ADD("stats.widgets", 41);
+  MSD_GAUGE_SET("stats.depth", -7);
+  for (int i = 1; i <= 100; ++i) MSD_HISTOGRAM_RECORD("stats.sizes", i);
+
+  const obs::StatsSample sample =
+      obs::takeStatsSample(nullptr, /*sampleMemory=*/false);
+  std::uint64_t widgets = 0;
+  for (const auto& [name, value] : sample.counters) {
+    if (name == "stats.widgets") widgets = value;
+  }
+  EXPECT_EQ(widgets, 41u);
+  EXPECT_EQ(obs::statsGaugeValue(sample, "stats.depth"), -7);
+  EXPECT_EQ(obs::statsGaugeValue(sample, "stats.absent"), 0);
+  bool sawHistogram = false;
+  for (const auto& [name, snapshot] : sample.histograms) {
+    if (name != "stats.sizes") continue;
+    sawHistogram = true;
+    EXPECT_EQ(snapshot.count, 100u);
+    EXPECT_NEAR(static_cast<double>(snapshot.quantile(0.5)), 50.0, 10.0);
+  }
+  EXPECT_TRUE(sawHistogram);
+  // No baseline sample: the first sample of a run carries no rates.
+  EXPECT_TRUE(sample.rates.empty());
+}
+
+TEST_F(ObsStatsTest, RatesCoverOnlyCountersThatMoved) {
+  MSD_COUNTER_ADD("stats.moving", 10);
+  MSD_COUNTER_ADD("stats.frozen", 5);
+  obs::StatsSample first =
+      obs::takeStatsSample(nullptr, /*sampleMemory=*/false);
+  // Rates divide by the wall-clock delta, so it must be nonzero.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  MSD_COUNTER_ADD("stats.moving", 30);
+  const obs::StatsSample second =
+      obs::takeStatsSample(&first, /*sampleMemory=*/false);
+  bool sawMoving = false;
+  for (const auto& [name, rate] : second.rates) {
+    EXPECT_NE(name, "stats.frozen") << "idle counter grew a rate";
+    if (name == "stats.moving") {
+      sawMoving = true;
+      EXPECT_GT(rate, 0.0);
+    }
+  }
+  EXPECT_TRUE(sawMoving);
+}
+
+TEST_F(ObsStatsTest, SamplerStreamsValidStatsFileWithMemoryGauge) {
+  const std::string path = tempPath("sampler.jsonl");
+  MSD_COUNTER_ADD("stats.work", 1);
+  {
+    obs::StatsSamplerOptions options;
+    options.jsonlPath = path;
+    options.intervalNanos = 2'000'000;  // 2 ms
+    obs::StatsSampler sampler(std::move(options));
+    for (int i = 0; i < 10; ++i) {
+      MSD_COUNTER_ADD("stats.work", 100);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    sampler.stop();
+    EXPECT_GE(sampler.sampleCount(), 5u);
+    const std::vector<obs::StatsSample> ring = sampler.samples();
+    ASSERT_FALSE(ring.empty());
+    for (std::size_t i = 1; i < ring.size(); ++i) {
+      EXPECT_EQ(ring[i].seq, ring[i - 1].seq + 1) << "ring out of order";
+      EXPECT_GE(ring[i].tNanos, ring[i - 1].tNanos);
+    }
+  }
+  const obs::StatsSeries series = obs::parseStatsFile(path);
+  EXPECT_GE(series.sampleCount, 5u);
+  EXPECT_TRUE(series.hasRun);
+  bool sawMem = false;
+  bool sawWorkRate = false;
+  for (const auto& [name, values] : series.series) {
+    if (name == "gauges.mem.high_water_bytes") {
+      sawMem = true;
+      for (const double v : values) EXPECT_GT(v, 0.0);
+    }
+    if (name == "rates.counters.stats.work" ||
+        name == "rates.stats.work") {
+      sawWorkRate = true;
+    }
+  }
+  EXPECT_TRUE(sawMem) << "mem.high_water_bytes series missing";
+  EXPECT_TRUE(sawWorkRate) << "throughput rate series missing";
+}
+
+TEST_F(ObsStatsTest, RingIsBoundedAndKeepsTheNewestSamples) {
+  obs::StatsSamplerOptions options;
+  options.ringCapacity = 4;
+  options.intervalNanos = 60'000'000'000;  // periodic path effectively off
+  options.sampleMemory = false;
+  obs::StatsSampler sampler(std::move(options));
+  for (int i = 0; i < 10; ++i) sampler.sampleNow();
+  sampler.stop();  // takes one final sample: 11 total
+  EXPECT_EQ(sampler.sampleCount(), 11u);
+  const std::vector<obs::StatsSample> ring = sampler.samples();
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front().seq, 7u);
+  EXPECT_EQ(ring.back().seq, 10u);
+}
+
+TEST_F(ObsStatsTest, SamplerMirrorsSamplesIntoCounterTracks) {
+  obs::setEventRecording(true);
+  MSD_COUNTER_ADD("stats.tracked", 50);
+  obs::StatsSamplerOptions options;
+  options.intervalNanos = 60'000'000'000;
+  obs::StatsSampler sampler(std::move(options));
+  sampler.sampleNow();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  MSD_COUNTER_ADD("stats.tracked", 50);
+  sampler.sampleNow();
+  sampler.stop();
+
+  const obs::Json doc = obs::traceEventsJson();
+  const obs::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool sawGaugeTrack = false;
+  bool sawRateTrack = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::Json& event = events->at(i);
+    if (event.find("ph")->stringValue() != "C") continue;
+    const std::string name = event.find("name")->stringValue();
+    const obs::Json* value = event.find("args")->find("value");
+    ASSERT_NE(value, nullptr) << "counter event without args.value";
+    if (name == "mem.high_water_bytes") {
+      sawGaugeTrack = true;
+      EXPECT_GT(value->numberValue(), 0.0);
+    }
+    if (name == "stats.tracked/s") {
+      sawRateTrack = true;
+      EXPECT_GT(value->numberValue(), 0.0);
+    }
+  }
+  EXPECT_TRUE(sawGaugeTrack) << "no gauge counter track in trace export";
+  EXPECT_TRUE(sawRateTrack) << "no rate counter track in trace export";
+}
+
+TEST_F(ObsStatsTest, PrometheusTextExposesEveryMetricFamily) {
+  MSD_COUNTER_ADD("stats.prom-counter", 12);
+  MSD_GAUGE_SET("stats.prom.gauge", 34);
+  for (int i = 1; i <= 10; ++i) MSD_HISTOGRAM_RECORD("stats.prom_hist", i);
+  const obs::StatsSample sample =
+      obs::takeStatsSample(nullptr, /*sampleMemory=*/false);
+  const std::string text = obs::statsPrometheusText(sample);
+  // Names are sanitized: '.' and '-' both map to '_'.
+  EXPECT_NE(text.find("# TYPE msd_stats_prom_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("msd_stats_prom_counter_total 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE msd_stats_prom_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("msd_stats_prom_gauge 34\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE msd_stats_prom_hist summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("msd_stats_prom_hist{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("msd_stats_prom_hist_count 10\n"), std::string::npos);
+}
+
+TEST_F(ObsStatsTest, StableSnapshotStaysConsistentUnderWriters) {
+  // Readers race writers on the same histogram by design: snapshot() may
+  // observe a torn count/bucket pair, stableSnapshot() must never —
+  // sum(buckets) == count on every read, or quantile()'s nearest-rank
+  // denominator drifts from the bucket mass.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&stop] {
+      std::uint64_t value = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        MSD_HISTOGRAM_RECORD("stats.torn", value);
+        value = value * 31 % 100003 + 1;
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto& [name, snapshot] : obs::histogramStableSnapshots()) {
+      if (name != "stats.torn") continue;
+      std::uint64_t total = 0;
+      for (const std::uint64_t bucket : snapshot.buckets) total += bucket;
+      ASSERT_EQ(total, snapshot.count)
+          << "stable snapshot returned torn totals on read " << i;
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+}
+
+TEST_F(ObsStatsTest, ProgressMeterRenderLineReportsRateAndPercent) {
+  obs::ProgressMeterOptions options;
+  options.label = "convert";
+  options.totalItems = 200;
+  options.live = false;  // exercise the format seam, not stderr
+  obs::ProgressMeter meter(std::move(options));
+  meter.add(100, 1000);
+  const std::string line = meter.renderLine();
+  EXPECT_NE(line.find("[convert]"), std::string::npos) << line;
+  EXPECT_NE(line.find("100 items"), std::string::npos) << line;
+  EXPECT_NE(line.find("items/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("50%"), std::string::npos) << line;
+  EXPECT_FALSE(meter.rendering());
+}
+
+TEST_F(ObsStatsTest, ParseRejectsSchemaViolations) {
+  const auto writeAndParse = [](const std::string& name,
+                                const std::string& content) {
+    const std::string path = tempPath(name);
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.close();
+    obs::parseStatsFile(path);
+  };
+  const char* header = "{\"schema\":\"msd-stats-v1\",\"interval_ms\":10}\n";
+  EXPECT_THROW(writeAndParse("no_header.jsonl", "{\"seq\":0}\n"),
+               std::runtime_error);
+  EXPECT_THROW(writeAndParse("bad_seq.jsonl",
+                             std::string(header) +
+                                 "{\"seq\":1,\"t_ns\":5,\"counters\":{}}\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      writeAndParse("time_travel.jsonl",
+                    std::string(header) +
+                        "{\"seq\":0,\"t_ns\":50,\"counters\":{}}\n"
+                        "{\"seq\":1,\"t_ns\":40,\"counters\":{}}\n"),
+      std::runtime_error);
+  EXPECT_THROW(writeAndParse("unknown_key.jsonl",
+                             std::string(header) +
+                                 "{\"seq\":0,\"t_ns\":5,\"bogus\":{}}\n"),
+               std::runtime_error);
+  EXPECT_THROW(writeAndParse("empty.jsonl", ""), std::runtime_error);
+  // The reference shape parses clean.
+  EXPECT_NO_THROW(writeAndParse(
+      "good.jsonl",
+      std::string(header) +
+          "{\"seq\":0,\"t_ns\":5,\"counters\":{\"a\":1},\"gauges\":{},"
+          "\"hist\":{\"h\":{\"unit\":\"count\",\"count\":2,\"sum\":3,"
+          "\"p50\":1,\"p90\":2,\"p99\":2}}}\n"));
+}
+
+// The determinism contract, asserted in-process at 1/2/8 threads: the
+// msd-bin-v1 artifact a generation run writes must be byte-identical
+// with a live sampler hammering the registry and without one.
+TEST_F(ObsStatsTest, BinaryArtifactUnchangedBySamplingAcrossThreadCounts) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    setThreadCount(threads);
+    const std::string tag = std::to_string(threads);
+    const std::string plainPath = tempPath("plain_" + tag + ".msdbin");
+    const std::string sampledPath = tempPath("sampled_" + tag + ".msdbin");
+
+    {
+      TraceGenerator generator(GeneratorConfig::tiny(7));
+      io::BinaryEventWriter writer(plainPath, io::BinaryLogOptions{});
+      generator.generateTo(writer);
+      writer.close();
+    }
+    {
+      obs::StatsSamplerOptions options;
+      options.jsonlPath = tempPath("sampled_" + tag + ".jsonl");
+      options.intervalNanos = 1'000'000;  // 1 ms: maximum interference
+      obs::StatsSampler sampler(std::move(options));
+      TraceGenerator generator(GeneratorConfig::tiny(7));
+      io::BinaryEventWriter writer(sampledPath, io::BinaryLogOptions{});
+      generator.generateTo(writer);
+      writer.close();
+      sampler.stop();
+    }
+    const std::string plain = readFile(plainPath);
+    ASSERT_FALSE(plain.empty());
+    ASSERT_EQ(plain, readFile(sampledPath))
+        << "sampling changed the primary artifact";
+  }
+}
+
+#ifdef MSDYN_BINARY
+int runShell(const std::string& command) {
+  return WEXITSTATUS(std::system(command.c_str()));
+}
+
+TEST(ObsStatsCliTest, GenerateWithStatsJsonWritesAValidSeries) {
+  const std::string dir = testing::TempDir() + "/msdyn_stats_cli";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string statsPath = dir + "/stats.jsonl";
+  ASSERT_EQ(runShell(std::string(MSDYN_BINARY) +
+                     " generate --scale=tiny --seed=3 --format=bin --out=" +
+                     dir + "/trace.msdbin --stats-json=" + statsPath +
+                     " --stats-interval-ms=5 >/dev/null 2>&1"),
+            0);
+  const obs::StatsSeries series = obs::parseStatsFile(statsPath);
+  EXPECT_GE(series.sampleCount, 1u);
+  EXPECT_TRUE(series.hasRun);
+  EXPECT_DOUBLE_EQ(series.intervalMs, 5.0);
+
+  // summarize accepts the file and exits 0...
+  EXPECT_EQ(runShell(std::string(MSDYN_BINARY) + " stats summarize " +
+                     statsPath + " >/dev/null 2>&1"),
+            0);
+  // ...and rejects malformed input with the documented exit code 2.
+  const std::string badPath = dir + "/bad.jsonl";
+  std::ofstream bad(badPath);
+  bad << "not json\n";
+  bad.close();
+  EXPECT_EQ(runShell(std::string(MSDYN_BINARY) + " stats summarize " +
+                     badPath + " >/dev/null 2>&1"),
+            2);
+  EXPECT_EQ(runShell(std::string(MSDYN_BINARY) +
+                     " stats summarize >/dev/null 2>&1"),
+            2);
+}
+
+TEST(ObsStatsCliTest, DroppedTraceEventsPrintAWarning) {
+  const std::string dir = testing::TempDir() + "/msdyn_stats_drops";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string errPath = dir + "/stderr.txt";
+  // A 4-slot ring cannot hold a generation run's events: drops are
+  // guaranteed, and the export must say so on stderr instead of burying
+  // the count inside the JSON's otherData.
+  ASSERT_EQ(runShell(std::string(MSDYN_BINARY) +
+                     " generate --scale=tiny --seed=3 --format=bin --out=" +
+                     dir + "/trace.msdbin --trace-events=" + dir +
+                     "/trace.json --trace-buffer-cap=4 >/dev/null 2>" +
+                     errPath),
+            0);
+  const std::string err = readFile(errPath);
+  EXPECT_NE(err.find("trace events dropped"), std::string::npos)
+      << "no drop warning on stderr: " << err;
+  EXPECT_NE(err.find("--trace-buffer-cap"), std::string::npos);
+}
+#endif  // MSDYN_BINARY
+
+}  // namespace
+}  // namespace msd

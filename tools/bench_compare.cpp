@@ -18,10 +18,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "obs/bench_compare.h"
+#include "obs/stats.h"
 
 namespace {
 
@@ -33,6 +36,9 @@ void usage() {
                "                     [--allow-mismatch] OLD NEW\n"
                "       bench_compare --validate PATH\n"
                "OLD/NEW/PATH: a BENCH_*.json file or a directory of them.\n"
+               "--validate also accepts an msd-stats-v1 JSONL file\n"
+               "(sniffed from the header line): schema + monotone-\n"
+               "timestamp validation, exit 2 on any violation.\n"
                "Default threshold: 0.10 (10%% median wall-time growth).\n"
                "Counters are report-only unless --counter-threshold is\n"
                "given (0 = exact match); --counter-ignore skips counters\n"
@@ -40,7 +46,38 @@ void usage() {
                "unless --allow-mismatch.\n");
 }
 
+/// True when `path` is a file whose first line carries the msd-stats-v1
+/// schema marker — the dispatch test for --validate.
+bool looksLikeStatsFile(const std::string& path) {
+  std::error_code ec;
+  const bool isDirectory = std::filesystem::is_directory(path, ec);
+  // A stat failure (missing path, permissions) is not a stats file
+  // either way — the bench-set loader will surface the real error.
+  if (ec || isDirectory) return false;
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string first;
+  std::getline(in, first);
+  return first.find("\"msd-stats-v1\"") != std::string::npos;
+}
+
+int runValidateStats(const std::string& path) {
+  try {
+    const msd::obs::StatsSeries series = msd::obs::parseStatsFile(path);
+    std::printf(
+        "bench_compare: valid msd-stats-v1: %zu sample(s), %zu series, "
+        "interval %.3g ms%s\n",
+        series.sampleCount, series.series.size(), series.intervalMs,
+        series.hasRun ? ", run manifest" : "");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}
+
 int runValidate(const std::string& path) {
+  if (looksLikeStatsFile(path)) return runValidateStats(path);
   std::vector<msd::obs::BenchRun> runs;
   try {
     runs = msd::obs::loadBenchSet(path);

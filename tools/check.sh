@@ -38,6 +38,16 @@ step "msd_lint (hazards H1-H9, SARIF + ratchet baseline)"
 "$root/build-werror/tools/msd_lint" --root="$root" \
   --format=sarif --diff-baseline > /dev/null
 
+step "live telemetry smoke (msd-stats-v1 emit + validate)"
+stats_dir="$root/build-werror/stats_smoke"
+mkdir -p "$stats_dir"
+"$root/build-werror/tools/msdyn" generate --scale=tiny --seed=1 \
+  --format=bin --out="$stats_dir/trace.msdbin" \
+  --stats-json="$stats_dir/stats.jsonl" --stats-interval-ms=5 \
+  > /dev/null 2>&1
+"$root/build-werror/tools/bench_compare" --validate \
+  "$stats_dir/stats.jsonl"
+
 step "scenario suite (named workloads + qualitative assertions)"
 ctest --test-dir "$root/build-werror" --output-on-failure -j "$jobs" \
   -L scenario

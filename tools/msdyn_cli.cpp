@@ -28,6 +28,7 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <system_error>
@@ -43,6 +44,7 @@
 #include "graph/stream_ops.h"
 #include "io/csv.h"
 #include "io/event_io.h"
+#include "io/progress_io.h"
 #include "metrics/assortativity.h"
 #include "metrics/clustering.h"
 #include "metrics/components.h"
@@ -52,7 +54,9 @@
 #include "obs/events.h"
 #include "obs/manifest.h"
 #include "obs/mem.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
+#include "obs/stats.h"
 #include "scenario/assertions.h"
 #include "scenario/scenario.h"
 #include "util/error.h"
@@ -173,6 +177,20 @@ void saveAny(const EventStream& stream, const std::string& path) {
   }
 }
 
+/// Progress-meter options for one command: rendering only when the user
+/// passed --progress (forced, so piped stderr still gets lines), and
+/// never in obs-off builds (the default `live` is false there).
+obs::ProgressMeterOptions progressOptionsFor(const Args& args,
+                                             std::string label,
+                                             std::uint64_t totalItems) {
+  obs::ProgressMeterOptions options;
+  options.label = std::move(label);
+  options.totalItems = totalItems;
+  options.forceRender = true;
+  options.live = options.live && args.get("progress", nullptr) != nullptr;
+  return options;
+}
+
 /// Pumps every remaining event of `source` into `sink` in bounded chunks.
 void pumpEvents(EventSource& source, EventSink& sink) {
   constexpr std::size_t kChunk = std::size_t{1} << 20;
@@ -211,13 +229,25 @@ int usage() {
                "[--out=DIR]\n"
                "                  [--set=key=value ...] [--no-assert] "
                "[--save-trace=FILE]\n"
+               "  stats           summarize FILE   (min/median/max per "
+               "msd-stats-v1 series; exit 2 on malformed input)\n"
                "global options:\n"
                "  --trace-json=FILE    write counters + scope timings as "
                "JSON after the command\n"
                "  --trace-events=FILE  record per-thread begin/end events "
                "and write Chrome\n"
                "                       trace-event JSON (open in "
-               "ui.perfetto.dev) after the command\n");
+               "ui.perfetto.dev) after the command\n"
+               "  --trace-buffer-cap=N per-thread event ring capacity "
+               "(default 65536)\n"
+               "  --stats-json=FILE    sample live counters/gauges/"
+               "histograms into an\n"
+               "                       msd-stats-v1 JSONL time series "
+               "while the command runs\n"
+               "  --stats-interval-ms=N  sampling cadence for --stats-json "
+               "(default 100)\n"
+               "  --progress           live items/s, %%done, ETA line on "
+               "stderr (streaming commands)\n");
   return 2;
 }
 
@@ -244,7 +274,10 @@ int cmdGenerate(const Args& args) {
     // Streaming path: events go straight into the msd-bin-v1 writer, so
     // the full EventStream is never materialized (paper-scale runs).
     io::BinaryEventWriter writer(out, binaryLogOptions());
-    generator.generateTo(writer);
+    obs::ProgressMeter progress(progressOptionsFor(args, "generate", 0));
+    io::ProgressSink sink(writer, progress);
+    generator.generateTo(sink);
+    progress.finish();
     const io::BinaryEventWriter::Stats stats = writer.close();
     std::printf(
         "generated %llu nodes / %llu edges in %.1fs -> %s "
@@ -257,6 +290,13 @@ int cmdGenerate(const Args& args) {
   }
   const EventStream stream = generator.generate();
   saveAny(stream, out);
+  {
+    // In-memory path: no streaming seam to feed, so the meter reports
+    // the end-of-run totals in one line.
+    obs::ProgressMeter progress(
+        progressOptionsFor(args, "generate", stream.size()));
+    progress.add(stream.size());
+  }
   std::printf("generated %zu nodes / %zu edges over %.0f days in %.1fs -> "
               "%s\n",
               stream.nodeCount(), stream.edgeCount(), stream.lastTime(),
@@ -321,22 +361,27 @@ int cmdConvert(const Args& args) {
     if (sniffFormat(in) == TraceFormat::kMsdbin) {
       // Streaming conversion: one decoded block in memory at a time.
       io::BinaryEventReader reader(in);
+      obs::ProgressMeter progress(
+          progressOptionsFor(args, "convert", reader.eventCount()));
+      io::ProgressSource source(reader, progress);
       if (isMsdbinPath(out)) {
         io::BinaryLogOptions options;
         options.seed = reader.seed();
         options.manifestJson = reader.manifestJson();
         io::BinaryEventWriter writer(out, options);
-        pumpEvents(reader, writer);
+        pumpEvents(source, writer);
         writer.close();
       } else if (isTextPath(out)) {
         event_io::TextEventWriter writer(out, reader.nodeCount(),
                                          reader.edgeCount());
-        pumpEvents(reader, writer);
+        pumpEvents(source, writer);
         writer.close();
       } else {
         // The legacy writer needs the whole stream up front.
         saveAny(reader.readAll(), out);
+        progress.add(reader.eventsConsumed());
       }
+      progress.finish();
       std::printf("wrote %llu events to %s\n",
                   static_cast<unsigned long long>(reader.eventCount()),
                   out.c_str());
@@ -373,7 +418,11 @@ int cmdSeries(const Args& args) {
   MetricsOverTime series;
   if (sniffFormat(path) == TraceFormat::kMsdbin) {
     io::BinaryEventReader reader(path);
-    series = analyzeMetricsOverTime(reader, reader.lastTime(), config);
+    obs::ProgressMeter progress(
+        progressOptionsFor(args, "series", reader.eventCount()));
+    io::ProgressSource source(reader, progress);
+    series = analyzeMetricsOverTime(source, reader.lastTime(), config);
+    progress.finish();
   } else {
     const EventStream stream = loadAny(path);
     series = analyzeMetricsOverTime(stream, config);
@@ -635,6 +684,11 @@ int cmdScenario(const Args& args) {
   Stopwatch watch;
   TraceGenerator generator(config);
   const EventStream stream = generator.generate();
+  {
+    obs::ProgressMeter progress(
+        progressOptionsFor(args, "scenario", stream.size()));
+    progress.add(stream.size());
+  }
   std::printf("%s @ %s seed %llu: %zu nodes / %zu edges over %.0f days in "
               "%.1fs\n",
               preset->name.c_str(), scenario::scaleName(scale),
@@ -715,6 +769,23 @@ int cmdScenario(const Args& args) {
   return allPassed ? 0 : 1;
 }
 
+// Quick-look over an msd-stats-v1 JSONL artifact. Exit codes: 0 valid,
+// 2 for malformed input (unreadable file, bad schema, non-monotone
+// timestamps) — same contract as the other format-validating commands.
+int cmdStats(const Args& args) {
+  if (args.positional.size() < 2 || args.positional[0] != "summarize") {
+    return usage();
+  }
+  try {
+    const obs::StatsSeries series = obs::parseStatsFile(args.positional[1]);
+    std::fputs(obs::statsSummaryText(series).c_str(), stdout);
+    return 0;
+  } catch (const std::runtime_error& error) {
+    std::fprintf(stderr, "msdyn stats: %s\n", error.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int runCommand(const std::string& command, const Args& args) {
@@ -729,6 +800,7 @@ int runCommand(const std::string& command, const Args& args) {
   if (command == "slice") return cmdSlice(args);
   if (command == "export-temporal") return cmdExportTemporal(args);
   if (command == "scenario") return cmdScenario(args);
+  if (command == "stats") return cmdStats(args);
   return usage();
 }
 
@@ -744,13 +816,39 @@ int main(int argc, char** argv) {
   obs::setManifestArgs(std::vector<std::string>(argv + 1, argv + argc));
   obs::setManifestThreads(static_cast<std::int64_t>(threadCount()));
   obs::setThreadLabel("main");
+  const std::uint64_t traceBufferCap = args.getU64("trace-buffer-cap", 0);
+  if (traceBufferCap > 0) {
+    obs::setEventBufferCapacity(static_cast<std::size_t>(traceBufferCap));
+  }
   if (traceEvents != nullptr) obs::setEventRecording(true);
+  // Live telemetry: the sampler thread starts before the command and
+  // snapshots counters/gauges/histograms on a fixed cadence. It only
+  // reads relaxed atomics — primary artifacts are bit-identical with or
+  // without it (the determinism contract, asserted in the test suite).
+  const char* statsJson = args.get("stats-json", nullptr);
+  std::unique_ptr<obs::StatsSampler> sampler;
+  if (statsJson != nullptr) {
+    obs::StatsSamplerOptions statsOptions;
+    statsOptions.jsonlPath = statsJson;
+    statsOptions.intervalNanos =
+        args.getU64("stats-interval-ms", 100) * 1'000'000;
+    try {
+      sampler = std::make_unique<obs::StatsSampler>(std::move(statsOptions));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "msdyn: %s\n", error.what());
+      return 1;
+    }
+  }
   int status = 0;
   try {
     status = runCommand(command, args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "msdyn %s: %s\n", command.c_str(), error.what());
     status = 1;
+  }
+  if (sampler != nullptr) {
+    sampler->stop();  // final sample + flush before any trace export
+    std::fprintf(stderr, "stats -> %s\n", statsJson);
   }
   // Sample the process memory high-water mark so every obs artifact the
   // CLI writes reports it alongside the counters.
@@ -768,6 +866,15 @@ int main(int argc, char** argv) {
     try {
       obs::writeTraceEventsFile(traceEvents);
       std::fprintf(stderr, "trace events -> %s\n", traceEvents);
+      // Drops used to be visible only inside the exported JSON's
+      // otherData; surface them where the user is looking.
+      const std::uint64_t dropped = obs::droppedEventCount();
+      if (dropped > 0) {
+        std::fprintf(stderr,
+                     "msdyn: warning: %llu trace events dropped (ring "
+                     "buffers full; raise --trace-buffer-cap)\n",
+                     static_cast<unsigned long long>(dropped));
+      }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "msdyn: %s\n", error.what());
       if (status == 0) status = 1;

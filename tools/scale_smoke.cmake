@@ -9,11 +9,22 @@
 # `scale_smoke` ctest entry (see tools/CMakeLists.txt) and by
 # tools/check.sh --full.
 #
+# The generate phase also runs the live stats sampler
+# (--stats-json --stats-interval-ms=50) and asserts the msd-stats-v1
+# acceptance contract: at least 5 valid samples, a mem.high_water_bytes
+# gauge series, and an io.events_written/s throughput series — then
+# proves the determinism contract by regenerating WITHOUT sampling at
+# 1, 2, and 8 threads and demanding each artifact's event payload
+# SHA256 matches the sampled run's (the embedded manifest header
+# records the differing command lines and is excluded).
+#
 # Required -D variables:
 #   MSDYN     path to the msdyn binary
 #   OUT_DIR   scratch directory for the trace + trace-json reports
 #
 # Optional:
+#   BENCH_COMPARE      bench_compare binary; runs --validate on the
+#                      stats series when set
 #   NODES              target node count          (default 1000000)
 #   MEM_CEILING_BYTES  per-phase peak-RSS ceiling (default 700000000)
 #
@@ -62,10 +73,14 @@ function(assert_mem_under report phase)
           "${MEM_CEILING_BYTES})")
 endfunction()
 
-message(STATUS "scale_smoke: generate --nodes=${NODES} --format=bin")
+set(stats "${OUT_DIR}/generate_stats.jsonl")
+message(STATUS
+        "scale_smoke: generate --nodes=${NODES} --format=bin "
+        "--stats-json --stats-interval-ms=50")
 execute_process(
   COMMAND "${MSDYN}" generate "--nodes=${NODES}" --format=bin --seed=1
           "--out=${trace}" "--trace-json=${OUT_DIR}/generate.json"
+          "--stats-json=${stats}" --stats-interval-ms=50
   RESULT_VARIABLE status
   OUTPUT_QUIET
 )
@@ -73,6 +88,93 @@ if(NOT status EQUAL 0)
   message(FATAL_ERROR "scale_smoke: generate failed (exit ${status})")
 endif()
 assert_mem_under("${OUT_DIR}/generate.json" "generate")
+
+# msd-stats-v1 acceptance: schema-valid, >= 5 samples, and both the
+# memory gauge and the events/s throughput series present. summarize is
+# also the validator (exit 2 on any schema violation).
+if(DEFINED BENCH_COMPARE)
+  execute_process(
+    COMMAND "${BENCH_COMPARE}" --validate "${stats}"
+    RESULT_VARIABLE status
+    OUTPUT_QUIET
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "scale_smoke: bench_compare --validate rejected ${stats} "
+            "(exit ${status})")
+  endif()
+endif()
+execute_process(
+  COMMAND "${MSDYN}" stats summarize "${stats}"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE summary
+)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "scale_smoke: stats summarize failed (exit ${status})")
+endif()
+string(REGEX MATCH "msd-stats-v1: ([0-9]+) samples" _ "${summary}")
+set(sample_count "${CMAKE_MATCH_1}")
+if(NOT sample_count OR sample_count LESS 5)
+  message(FATAL_ERROR
+          "scale_smoke: expected >= 5 stats samples, summarize said: "
+          "${summary}")
+endif()
+foreach(series "gauges.mem.high_water_bytes" "rates.io.events_written")
+  if(NOT summary MATCHES "${series}: n=")
+    message(FATAL_ERROR
+            "scale_smoke: stats series ${series} missing from ${stats}")
+  endif()
+endforeach()
+message(STATUS
+        "scale_smoke: stats series valid (${sample_count} samples, "
+        "memory gauge + events/s present)")
+
+# SHA256 of everything past the msd-bin-v1 file header (the u32 at
+# offset 12 is the first block's offset). The header embeds the
+# msd-run-v1 manifest — command line and thread count — which differs
+# between the compared runs BY DESIGN; the event payload is the
+# determinism contract. (obs_stats_test separately proves whole-file
+# identity when the manifests agree.)
+function(payload_sha path out_var)
+  file(READ "${path}" raw OFFSET 12 LIMIT 4 HEX)
+  string(SUBSTRING "${raw}" 0 2 b0)
+  string(SUBSTRING "${raw}" 2 2 b1)
+  string(SUBSTRING "${raw}" 4 2 b2)
+  string(SUBSTRING "${raw}" 6 2 b3)
+  math(EXPR header_bytes "0x${b3}${b2}${b1}${b0}")  # little-endian u32
+  file(READ "${path}" payload OFFSET ${header_bytes} HEX)
+  string(SHA256 sha "${payload}")
+  set(${out_var} "${sha}" PARENT_SCOPE)
+endfunction()
+
+# Determinism contract: the event payload the sampled run wrote must be
+# byte-identical to unsampled regenerations at 1, 2, and 8 threads.
+payload_sha("${trace}" sampled_sha)
+foreach(threads 1 2 8)
+  set(replica "${OUT_DIR}/scale_smoke_t${threads}.msdbin")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "MSD_THREADS=${threads}"
+            "${MSDYN}" generate "--nodes=${NODES}" --format=bin --seed=1
+            "--out=${replica}"
+    RESULT_VARIABLE status
+    OUTPUT_QUIET
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "scale_smoke: unsampled generate at ${threads} threads failed "
+            "(exit ${status})")
+  endif()
+  payload_sha("${replica}" replica_sha)
+  file(REMOVE "${replica}")
+  if(NOT replica_sha STREQUAL sampled_sha)
+    message(FATAL_ERROR
+            "scale_smoke: event payload diverged at ${threads} threads "
+            "without sampling (${replica_sha} vs ${sampled_sha}) — the "
+            "stats sampler perturbed a primary output")
+  endif()
+  message(STATUS
+          "scale_smoke: ${threads}-thread unsampled payload byte-identical")
+endforeach()
 
 message(STATUS "scale_smoke: convert (streaming msdbin -> msdbin)")
 execute_process(
